@@ -1,0 +1,208 @@
+//! Dummy registers (Appendix D): metadata-only register copies that reshape
+//! the share graph.
+//!
+//! A dummy copy of `x` at replica `j` means `j` receives every update to
+//! `x` (metadata only — no value, no client access) and times-stamps as if
+//! it stored `x`. Adding dummies changes the share graph seen by the
+//! *metadata* layer while real storage is unchanged; chosen judiciously this
+//! reduces timestamp size at the cost of extra messages and false
+//! dependencies. The extreme point is full-replication emulation, where the
+//! metadata share graph is a clique and compressed timestamps shrink to the
+//! traditional length-`R` vector.
+
+use prcc_clock::{EdgeProtocol, Protocol};
+use prcc_graph::{RegisterId, ReplicaId, ShareGraph};
+use std::fmt;
+
+/// The paper's algorithm running on a dummy-augmented share graph: metadata
+/// follows the augmented graph, values follow the real one.
+pub struct DummyProtocol {
+    real: ShareGraph,
+    inner: EdgeProtocol,
+    name: String,
+}
+
+impl DummyProtocol {
+    /// Adds the given dummy copies: `(replica, register)` pairs the replica
+    /// will track but not store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair references an out-of-range replica or register.
+    pub fn with_dummies(real: ShareGraph, dummies: &[(ReplicaId, RegisterId)]) -> Self {
+        let mut assignments: Vec<Vec<RegisterId>> = real
+            .replicas()
+            .map(|i| real.registers_of(i).iter().collect())
+            .collect();
+        for &(r, x) in dummies {
+            assert!(r.index() < real.num_replicas(), "replica {r} out of range");
+            assert!(x.index() < real.num_registers(), "register {x} out of range");
+            if !assignments[r.index()].contains(&x) {
+                assignments[r.index()].push(x);
+            }
+        }
+        let augmented = ShareGraph::from_assignments(assignments).expect("non-empty");
+        DummyProtocol {
+            real,
+            inner: EdgeProtocol::new(augmented),
+            name: format!("dummies(+{})", dummies.len()),
+        }
+    }
+
+    /// Full-replication emulation: a dummy copy of every register at every
+    /// replica. The metadata share graph becomes a full-replication clique,
+    /// so after compression timestamps have vector-clock overhead — at the
+    /// price of broadcasting every update's metadata.
+    pub fn full_emulation(real: ShareGraph) -> Self {
+        let all: Vec<(ReplicaId, RegisterId)> = real
+            .replicas()
+            .flat_map(|i| real.registers().map(move |x| (i, x)))
+            .filter(|&(i, x)| !real.stores(i, x))
+            .collect();
+        let mut p = Self::with_dummies(real, &all);
+        p.name = "full-emulation".into();
+        p
+    }
+
+    /// The metadata (augmented) share graph.
+    pub fn metadata_graph(&self) -> &ShareGraph {
+        self.inner.share_graph()
+    }
+}
+
+impl fmt::Debug for DummyProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DummyProtocol")
+            .field("name", &self.name)
+            .field("replicas", &self.real.num_replicas())
+            .finish()
+    }
+}
+
+impl Protocol for DummyProtocol {
+    type Clock = <EdgeProtocol as Protocol>::Clock;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The *real* share graph: storage, oracle checks and client routing
+    /// follow actual placement.
+    fn share_graph(&self) -> &ShareGraph {
+        &self.real
+    }
+
+    fn new_clock(&self, i: ReplicaId) -> Self::Clock {
+        self.inner.new_clock(i)
+    }
+
+    fn advance(&self, i: ReplicaId, local: &mut Self::Clock, x: RegisterId) {
+        self.inner.advance(i, local, x)
+    }
+
+    fn deliverable(
+        &self,
+        i: ReplicaId,
+        local: &Self::Clock,
+        k: ReplicaId,
+        attached: &Self::Clock,
+        x: RegisterId,
+    ) -> bool {
+        self.inner.deliverable(i, local, k, attached, x)
+    }
+
+    fn merge(&self, i: ReplicaId, local: &mut Self::Clock, k: ReplicaId, attached: &Self::Clock) {
+        self.inner.merge(i, local, k, attached)
+    }
+
+    fn recipients(&self, i: ReplicaId, x: RegisterId) -> Vec<ReplicaId> {
+        // Metadata goes to every (real or dummy) holder.
+        self.inner.share_graph().recipients(i, x)
+    }
+
+    fn stores_value(&self, k: ReplicaId, x: RegisterId) -> bool {
+        self.real.stores(k, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_clock::ClockState;
+    use prcc_core::Cluster;
+    use prcc_graph::topologies;
+    use prcc_net::{FixedDelay, UniformDelay};
+
+    #[test]
+    fn full_emulation_metadata_graph_is_clique() {
+        let g = topologies::line(4);
+        let p = DummyProtocol::full_emulation(g.clone());
+        assert!(p.metadata_graph().is_full_replication());
+        assert_eq!(p.share_graph(), &g, "real graph unchanged");
+    }
+
+    #[test]
+    fn full_emulation_broadcasts_and_stays_consistent() {
+        let g = topologies::ring(4);
+        let mut c = Cluster::new(
+            DummyProtocol::full_emulation(g.clone()),
+            Box::new(UniformDelay::new(3, 1, 25)),
+        );
+        for round in 0..24u64 {
+            let i = ReplicaId((round % 4) as usize);
+            let regs: Vec<RegisterId> = g.registers_of(i).iter().collect();
+            c.write(i, regs[(round % 2) as usize], round).unwrap();
+        }
+        c.run_to_quiescence();
+        assert!(c.verdict().is_consistent());
+        let s = c.stats();
+        // Every update reaches all 3 peers; real holders are only 1 per
+        // register on the ring.
+        assert_eq!(s.messages_per_update(), 3.0);
+        assert!(s.metadata_only_messages > 0);
+    }
+
+    #[test]
+    fn selective_dummy_adds_an_edge() {
+        // Figure 3's path 1–2–3–4: a dummy copy of z (reg 2) at replica 1
+        // creates metadata edges 1↔3 and 1↔4.
+        let g = topologies::figure3();
+        let p = DummyProtocol::with_dummies(g, &[(ReplicaId(0), RegisterId(2))]);
+        assert!(p.metadata_graph().are_adjacent(ReplicaId(0), ReplicaId(2)));
+        assert!(p.metadata_graph().are_adjacent(ReplicaId(0), ReplicaId(3)));
+        assert!(!p.share_graph().are_adjacent(ReplicaId(0), ReplicaId(2)));
+        // Updates to z now also go to replica 0 (metadata only).
+        let r = p.recipients(ReplicaId(2), RegisterId(2));
+        assert!(r.contains(&ReplicaId(0)));
+        assert!(!p.stores_value(ReplicaId(0), RegisterId(2)));
+    }
+
+    #[test]
+    fn dummy_cluster_never_materializes_dummy_values() {
+        let g = topologies::figure3();
+        let mut c = Cluster::new(
+            DummyProtocol::with_dummies(g, &[(ReplicaId(0), RegisterId(2))]),
+            Box::new(FixedDelay(2)),
+        );
+        c.write(ReplicaId(2), RegisterId(2), 77).unwrap();
+        c.run_to_quiescence();
+        assert!(c.verdict().is_consistent());
+        assert!(c.replica(ReplicaId(0)).peek(RegisterId(2)).is_none());
+        assert_eq!(c.read(ReplicaId(3), RegisterId(2)).unwrap(), Some(77));
+    }
+
+    #[test]
+    fn full_emulation_timestamps_have_clique_structure() {
+        let g = topologies::ring(5);
+        let p = DummyProtocol::full_emulation(g.clone());
+        let clock = p.new_clock(ReplicaId(0));
+        // Metadata clique: R(R−1) = 20 raw entries (vs 10 for the ring) —
+        // but rank-compressible to R = 5, which E11 reports.
+        assert_eq!(clock.entries(), 20);
+        let report = prcc_graph::analysis::compression_report(
+            p.metadata_graph(),
+            &prcc_graph::TimestampGraph::compute(p.metadata_graph(), ReplicaId(0)),
+        );
+        assert_eq!(report.rank_entries, 5);
+    }
+}

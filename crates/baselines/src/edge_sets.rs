@@ -1,0 +1,203 @@
+//! Alternative tracked-edge sets for [`EdgeProtocol`].
+
+use prcc_clock::EdgeProtocol;
+use prcc_graph::loops::find_loop_bounded;
+use prcc_graph::{hoops, Edge, ReplicaId, ShareGraph, TimestampGraph};
+
+/// Every replica tracks every directed share edge — the naive baseline a
+/// system without the `(i, e_jk)`-loop analysis would use. Safe (it is a
+/// superset of every `E_i`) but `|E|` counters per replica.
+pub fn all_edges(g: &ShareGraph) -> Vec<TimestampGraph> {
+    g.replicas()
+        .map(|i| TimestampGraph::from_edges(i, g.directed_edges()))
+        .collect()
+}
+
+/// Edge sets induced by Hélary & Milani's criterion: replica `i` tracks a
+/// non-incident edge `e_jk` iff some register of `X_jk` is one `i` "has to
+/// transmit information about" — i.e. `i` stores it or lies on a minimal
+/// `x`-hoop. `modified` selects the modified minimal-hoop definition
+/// (Definition 20); the original is used otherwise.
+///
+/// With the original definition this *over*-tracks relative to the
+/// timestamp graphs (counterexample 1); with the modified definition it can
+/// *under*-track and violate causal consistency (counterexample 2) — see
+/// the crate tests for the executable demonstrations.
+pub fn hoop_based(g: &ShareGraph, modified: bool) -> Vec<TimestampGraph> {
+    g.replicas()
+        .map(|i| {
+            let tracked = if modified {
+                hoops::tracked_registers_modified(g, i)
+            } else {
+                hoops::tracked_registers_original(g, i)
+            };
+            let edges = g.directed_edges().filter(|e| {
+                e.touches(i) || !g.shared_on(*e).is_disjoint(&tracked)
+            });
+            TimestampGraph::from_edges(i, edges)
+        })
+        .collect()
+}
+
+/// Bounded-loop edge sets (Appendix D "sacrificing causality"): replica `i`
+/// tracks incident edges plus `e_jk` only when an `(i, e_jk)`-loop with at
+/// most `l + 1` edges exists.
+///
+/// Safe when one-hop messages always beat `l`-hop dependency chains (loose
+/// synchrony, [`prcc_net::UniformDelay::loosely_synchronous`]); unsafe in
+/// general — experiment E13 measures the violation rate.
+pub fn bounded_loops(g: &ShareGraph, l: usize) -> Vec<TimestampGraph> {
+    g.replicas()
+        .map(|i| {
+            let mut edges: Vec<Edge> = Vec::new();
+            for &n in g.neighbors(i) {
+                edges.push(Edge::new(i, n));
+                edges.push(Edge::new(n, i));
+            }
+            for e in g.directed_edges() {
+                if !e.touches(i) && find_loop_bounded(g, i, e, l + 1).is_some() {
+                    edges.push(e);
+                }
+            }
+            TimestampGraph::from_edges(i, edges)
+        })
+        .collect()
+}
+
+/// The exact timestamp graphs with one edge removed from one replica's set —
+/// the "oblivious to updates on `e`" configuration whose impossibility
+/// Theorem 8 proves. Used by the necessity experiments (E07) to exhibit
+/// violations.
+pub fn drop_edge(g: &ShareGraph, victim: ReplicaId, e: Edge) -> Vec<TimestampGraph> {
+    TimestampGraph::compute_all(g)
+        .into_iter()
+        .map(|tsg| {
+            if tsg.replica() == victim {
+                TimestampGraph::from_edges(victim, tsg.edges().filter(|&x| x != e))
+            } else {
+                tsg
+            }
+        })
+        .collect()
+}
+
+/// Convenience: the paper's protocol with [`all_edges`] tracking.
+pub fn all_edges_protocol(g: &ShareGraph) -> EdgeProtocol {
+    EdgeProtocol::with_edge_sets(g.clone(), all_edges(g), "all-edges")
+}
+
+/// Convenience: the paper's protocol with [`hoop_based`] tracking.
+pub fn hoop_protocol(g: &ShareGraph, modified: bool) -> EdgeProtocol {
+    let name = if modified {
+        "hoop-modified"
+    } else {
+        "hoop-original"
+    };
+    EdgeProtocol::with_edge_sets(g.clone(), hoop_based(g, modified), name)
+}
+
+/// Convenience: the paper's protocol with [`bounded_loops`] tracking.
+pub fn bounded_loop_protocol(g: &ShareGraph, l: usize) -> EdgeProtocol {
+    EdgeProtocol::with_edge_sets(
+        g.clone(),
+        bounded_loops(g, l),
+        format!("bounded-loops(l={l})"),
+    )
+}
+
+/// Convenience: the paper's protocol with one edge dropped at one replica.
+pub fn drop_edge_protocol(g: &ShareGraph, victim: ReplicaId, e: Edge) -> EdgeProtocol {
+    EdgeProtocol::with_edge_sets(
+        g.clone(),
+        drop_edge(g, victim, e),
+        format!("drop({victim},{e})"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_graph::topologies;
+
+    #[test]
+    fn all_edges_is_superset_of_timestamp_graphs() {
+        let g = topologies::figure5();
+        let exact = TimestampGraph::compute_all(&g);
+        let naive = all_edges(&g);
+        for (e, n) in exact.iter().zip(&naive) {
+            for edge in e.edges() {
+                assert!(n.contains(edge));
+            }
+            assert!(n.len() >= e.len());
+        }
+    }
+
+    #[test]
+    fn hoop_original_overtracks_on_counterexample1() {
+        let (g, r) = topologies::counterexample1();
+        let exact = TimestampGraph::compute_all(&g);
+        let hm = hoop_based(&g, false);
+        let i = r.i.index();
+        // HM forces i to track the j–k edge; the exact graph does not.
+        assert!(hm[i].contains(Edge::new(r.j, r.k)));
+        assert!(!exact[i].contains(Edge::new(r.j, r.k)));
+        assert!(hm[i].len() > exact[i].len());
+    }
+
+    #[test]
+    fn hoop_modified_undertracks_on_counterexample2() {
+        let (g, r) = topologies::counterexample2();
+        let exact = TimestampGraph::compute_all(&g);
+        let hm = hoop_based(&g, true);
+        let i = r.i.index();
+        assert!(exact[i].contains(Edge::new(r.k, r.j)), "Theorem 8 requires e_kj");
+        assert!(
+            !hm[i].contains(Edge::new(r.k, r.j)),
+            "modified hoops drop it — the unsafe configuration"
+        );
+    }
+
+    #[test]
+    fn bounded_loops_monotone_in_l() {
+        let g = topologies::ring(6);
+        let l2 = bounded_loops(&g, 2);
+        let l5 = bounded_loops(&g, 5);
+        let l6 = bounded_loops(&g, 6);
+        for i in 0..6 {
+            assert!(l2[i].len() <= l5[i].len());
+            assert!(l5[i].len() <= l6[i].len());
+            // The ring's only loop has 6 edges → l = 5 already covers it
+            // (l + 1 = 6), while l = 2 tracks only incident edges.
+            assert_eq!(l2[i].len(), 4);
+            assert_eq!(l5[i].len(), 12);
+        }
+        // With l covering the whole ring, the sets equal the exact graphs.
+        let exact = TimestampGraph::compute_all(&g);
+        assert_eq!(l6, exact);
+    }
+
+    #[test]
+    fn drop_edge_removes_exactly_one() {
+        let g = topologies::figure5();
+        let e = Edge::new(ReplicaId(3), ReplicaId(2));
+        let dropped = drop_edge(&g, ReplicaId(0), e);
+        let exact = TimestampGraph::compute_all(&g);
+        assert_eq!(dropped[0].len() + 1, exact[0].len());
+        assert!(!dropped[0].contains(e));
+        for i in 1..4 {
+            assert_eq!(dropped[i], exact[i]);
+        }
+    }
+
+    #[test]
+    fn protocol_constructors_name_themselves() {
+        use prcc_clock::Protocol as _;
+        let g = topologies::ring(4);
+        assert_eq!(all_edges_protocol(&g).name(), "all-edges");
+        assert_eq!(hoop_protocol(&g, false).name(), "hoop-original");
+        assert_eq!(hoop_protocol(&g, true).name(), "hoop-modified");
+        assert!(bounded_loop_protocol(&g, 3).name().contains("l=3"));
+        let e = Edge::new(ReplicaId(1), ReplicaId(2));
+        assert!(drop_edge_protocol(&g, ReplicaId(0), e).name().contains("drop"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline protocols and the paper's practical optimizations (Section 5,
+//! Appendix D).
+//!
+//! Everything here reuses the generic replica/cluster machinery of
+//! `prcc-core` with a different metadata policy, so comparisons against the
+//! paper's algorithm are apples-to-apples:
+//!
+//! * [`edge_sets`] — alternative tracked-edge sets plugged into
+//!   [`prcc_clock::EdgeProtocol`]: all share edges (naive
+//!   over-approximation), Hélary–Milani hoop-based sets (original and
+//!   modified definitions — the paper's counterexamples show the former
+//!   over-tracks and the latter is *unsafe*), bounded-loop sets
+//!   ("sacrificing causality"), and single-edge deletions (Theorem 8
+//!   necessity demos).
+//! * [`DummyProtocol`] — dummy registers (Appendix D): metadata-only copies
+//!   that reshape the share graph, up to full-replication emulation.
+//! * [`RingBreaker`] — restricted communication via virtual registers
+//!   (Appendix D, Figure 13): the ring share graph with one link removed
+//!   and updates relayed hop-by-hop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dummy;
+pub mod edge_sets;
+mod ring_breaker;
+
+pub use dummy::DummyProtocol;
+pub use ring_breaker::{RingBreaker, RingBreakerStats};

@@ -1,0 +1,84 @@
+//! Microbenchmarks of the timestamp operations: `advance`, `merge` and the
+//! delivery predicate `J`, as a function of timestamp length (topology).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prcc_clock::{CompressedProtocol, EdgeProtocol, Protocol, VectorProtocol};
+use prcc_graph::{topologies, RegisterId, ReplicaId};
+use std::hint::black_box;
+
+fn bench_edge_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_clock");
+    for n in [4usize, 8, 12] {
+        let g = topologies::ring(n);
+        let p = EdgeProtocol::new(g);
+        let i = ReplicaId(0);
+        let x = RegisterId(0);
+        group.bench_with_input(BenchmarkId::new("advance", n), &n, |b, _| {
+            let mut clock = p.new_clock(i);
+            b.iter(|| p.advance(i, black_box(&mut clock), x));
+        });
+        let mut sender = p.new_clock(ReplicaId(1));
+        p.advance(ReplicaId(1), &mut sender, RegisterId(1));
+        group.bench_with_input(BenchmarkId::new("merge", n), &n, |b, _| {
+            let mut clock = p.new_clock(i);
+            b.iter(|| p.merge(i, black_box(&mut clock), ReplicaId(1), &sender));
+        });
+        group.bench_with_input(BenchmarkId::new("predicate", n), &n, |b, _| {
+            let clock = p.new_clock(i);
+            b.iter(|| {
+                black_box(p.deliverable(i, &clock, ReplicaId(1), &sender, RegisterId(0)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_variants");
+    let g = topologies::ring(8);
+    let i = ReplicaId(0);
+    let x = RegisterId(0);
+    {
+        let p = EdgeProtocol::new(g.clone());
+        group.bench_function("edge/advance", |b| {
+            let mut clock = p.new_clock(i);
+            b.iter(|| p.advance(i, black_box(&mut clock), x));
+        });
+    }
+    {
+        let p = CompressedProtocol::new(g.clone());
+        group.bench_function("compressed/advance", |b| {
+            let mut clock = p.new_clock(i);
+            b.iter(|| p.advance(i, black_box(&mut clock), x));
+        });
+    }
+    {
+        let p = VectorProtocol::new(g.clone());
+        group.bench_function("vector/advance", |b| {
+            let mut clock = p.new_clock(i);
+            b.iter(|| p.advance(i, black_box(&mut clock), x));
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let counters: Vec<u64> = (0..64).map(|k| k * 1000).collect();
+    c.bench_function("encoding/encode64", |b| {
+        b.iter(|| prcc_clock::encoding::encode_counters(black_box(&counters)))
+    });
+    let buf = prcc_clock::encoding::encode_counters(&counters);
+    c.bench_function("encoding/decode64", |b| {
+        b.iter(|| prcc_clock::encoding::decode_counters(black_box(&buf)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500));
+    targets = bench_edge_clock, bench_protocol_variants, bench_encoding
+}
+criterion_main!(benches);

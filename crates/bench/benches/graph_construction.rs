@@ -1,0 +1,62 @@
+//! Benchmarks of the combinatorial layer: `(i, e_jk)`-loop search and
+//! timestamp-graph construction across topology families and sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prcc_graph::{loops, topologies, Edge, ReplicaId, TimestampGraph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_timestamp_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timestamp_graph");
+    for n in [6usize, 10, 14] {
+        let ring = topologies::ring(n);
+        group.bench_with_input(BenchmarkId::new("ring", n), &ring, |b, g| {
+            b.iter(|| TimestampGraph::compute(black_box(g), ReplicaId(0)))
+        });
+    }
+    for n in [4usize, 5, 6] {
+        let clique = topologies::clique_pairwise(n);
+        group.bench_with_input(BenchmarkId::new("clique_pairwise", n), &clique, |b, g| {
+            b.iter(|| TimestampGraph::compute(black_box(g), ReplicaId(0)))
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let random = topologies::random_connected(8, 10, 3, &mut rng);
+    group.bench_function("random(8,10,3)", |b| {
+        b.iter(|| TimestampGraph::compute_all(black_box(&random)))
+    });
+    group.finish();
+}
+
+fn bench_loop_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loop_search");
+    let g = topologies::ring(12);
+    let e = Edge::new(ReplicaId(6), ReplicaId(5));
+    group.bench_function("ring12_hit", |b| {
+        b.iter(|| loops::find_loop(black_box(&g), ReplicaId(0), e).is_some())
+    });
+    let (ce, roles) = topologies::counterexample1();
+    let ejk = Edge::new(roles.j, roles.k);
+    group.bench_function("counterexample1_miss", |b| {
+        b.iter(|| loops::find_loop(black_box(&ce), roles.i, ejk).is_none())
+    });
+    group.finish();
+}
+
+fn bench_hoops(c: &mut Criterion) {
+    let (g, roles) = topologies::counterexample1();
+    c.bench_function("hoops/tracked_original", |b| {
+        b.iter(|| prcc_graph::hoops::tracked_registers_original(black_box(&g), roles.i))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500));
+    targets = bench_timestamp_graphs, bench_loop_search, bench_hoops
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! End-to-end simulation throughput: full workload runs (writes, delivery,
+//! predicate scans, oracle checks) per protocol and topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prcc_baselines::edge_sets;
+use prcc_clock::{CompressedProtocol, EdgeProtocol, VectorProtocol};
+use prcc_graph::topologies;
+use prcc_net::UniformDelay;
+use prcc_workloads::{run_workload, WorkloadConfig};
+use std::hint::black_box;
+
+const CFG: WorkloadConfig = WorkloadConfig {
+    total_writes: 150,
+    seed: 9,
+    interleave: 1,
+    hotspot: None,
+};
+
+fn bench_protocols_on_ring(c: &mut Criterion) {
+    let g = topologies::ring(6);
+    let mut group = c.benchmark_group("workload_ring6");
+    group.bench_function("edge-tsg", |b| {
+        b.iter(|| {
+            black_box(run_workload(
+                EdgeProtocol::new(g.clone()),
+                Box::new(UniformDelay::new(1, 1, 30)),
+                CFG,
+            ))
+        })
+    });
+    group.bench_function("compressed", |b| {
+        b.iter(|| {
+            black_box(run_workload(
+                CompressedProtocol::new(g.clone()),
+                Box::new(UniformDelay::new(1, 1, 30)),
+                CFG,
+            ))
+        })
+    });
+    group.bench_function("all-edges", |b| {
+        b.iter(|| {
+            black_box(run_workload(
+                edge_sets::all_edges_protocol(&g),
+                Box::new(UniformDelay::new(1, 1, 30)),
+                CFG,
+            ))
+        })
+    });
+    group.bench_function("vector-bcast", |b| {
+        b.iter(|| {
+            black_box(run_workload(
+                VectorProtocol::new(g.clone()),
+                Box::new(UniformDelay::new(1, 1, 30)),
+                CFG,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_topology_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_scaling");
+    for n in [4usize, 8, 12] {
+        let g = topologies::ring(n);
+        group.bench_with_input(BenchmarkId::new("ring", n), &g, |b, g| {
+            b.iter(|| {
+                black_box(run_workload(
+                    EdgeProtocol::new(g.clone()),
+                    Box::new(UniformDelay::new(1, 1, 30)),
+                    CFG,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_protocols_on_ring, bench_topology_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Shared helpers for experiments: adversarial delivery policies and table
+//! formatting.
+
+use prcc_net::{DeliveryPolicy, NodeIndex, VirtualTime};
+
+/// A delivery policy whose per-message delays *shrink*: the `n`-th message
+/// gets delay `max(start − n·step, 1)`. Two consecutive messages on the
+/// same link are therefore delivered in reverse order — the deterministic
+/// reordering used by the Theorem 8 Case 1/2 demonstrations (the paper:
+/// "recall that the channel is not FIFO").
+#[derive(Debug)]
+pub struct ShrinkingDelay {
+    start: u64,
+    step: u64,
+    count: u64,
+}
+
+impl ShrinkingDelay {
+    /// Creates the policy.
+    pub fn new(start: u64, step: u64) -> Self {
+        ShrinkingDelay {
+            start,
+            step,
+            count: 0,
+        }
+    }
+}
+
+impl DeliveryPolicy for ShrinkingDelay {
+    fn delay(&mut self, _src: NodeIndex, _dst: NodeIndex, _now: VirtualTime) -> u64 {
+        let d = self.start.saturating_sub(self.count * self.step).max(1);
+        self.count += 1;
+        d
+    }
+}
+
+/// Formats rows of equal arity as an aligned ASCII table.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (c, h) in header.iter().enumerate() {
+        width[c] = h.len();
+    }
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (c, cell) in row.iter().enumerate() {
+            width[c] = width[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], width: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, cell) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:<w$} |", cell, w = width[c]));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &width));
+    let mut sep = String::from("|");
+    for w in &width {
+        sep.push_str(&format!("{:-<w$}|", "", w = w + 2));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row, &width));
+    }
+    out
+}
+
+/// Shorthand for building a row of strings.
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        vec![$(format!("{}", $cell)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinking_delay_reverses_pairs() {
+        let mut p = ShrinkingDelay::new(20, 10);
+        let d1 = p.delay(0, 1, VirtualTime::ZERO);
+        let d2 = p.delay(0, 1, VirtualTime::ZERO);
+        assert!(d2 < d1, "second message must overtake the first");
+        // Floors at 1.
+        for _ in 0..10 {
+            assert!(p.delay(0, 1, VirtualTime::ZERO) >= 1);
+        }
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["a", "topology"],
+            &[row!["x", 12], row!["longer", 3]],
+        );
+        assert!(t.contains("| a      | topology |"));
+        assert!(t.lines().count() == 4);
+        let widths: Vec<usize> = t.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "aligned: {t}");
+    }
+}

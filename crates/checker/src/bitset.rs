@@ -1,0 +1,142 @@
+//! A growable bitset for update-id sets.
+
+use std::fmt;
+
+/// A dynamically growing bitset over `u64` indices (update ids).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct DynBitSet {
+    words: Vec<u64>,
+}
+
+impl DynBitSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        DynBitSet::default()
+    }
+
+    /// Inserts `i`; returns true if newly added.
+    pub fn insert(&mut self, i: u64) -> bool {
+        let (w, b) = ((i / 64) as usize, i % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: u64) -> bool {
+        let (w, b) = ((i / 64) as usize, i % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &DynBitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as u64;
+                    bits &= bits - 1;
+                    Some(w as u64 * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Members of `self` that are not in `other`.
+    pub fn difference<'a>(&'a self, other: &'a DynBitSet) -> impl Iterator<Item = u64> + 'a {
+        self.iter().filter(move |&i| !other.contains(i))
+    }
+
+    /// True if every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &DynBitSet) -> bool {
+        self.words.iter().enumerate().all(|(w, &bits)| {
+            bits & !other.words.get(w).copied().unwrap_or(0) == 0
+        })
+    }
+}
+
+impl fmt::Debug for DynBitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<u64> for DynBitSet {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut s = DynBitSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_grow() {
+        let mut s = DynBitSet::new();
+        assert!(s.insert(0));
+        assert!(s.insert(1000));
+        assert!(!s.insert(1000));
+        assert!(s.contains(0));
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a: DynBitSet = [1u64, 5, 64].into_iter().collect();
+        let b: DynBitSet = [5u64, 128].into_iter().collect();
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 4);
+        assert!(a.is_subset(&u));
+        assert!(b.is_subset(&u));
+        assert!(!u.is_subset(&a));
+        assert_eq!(u.difference(&a).collect::<Vec<_>>(), vec![128]);
+    }
+
+    #[test]
+    fn iteration_sorted() {
+        let s: DynBitSet = [200u64, 3, 64].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 200]);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let s = DynBitSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.is_subset(&s));
+        assert!(!s.contains(0));
+    }
+}

@@ -1,0 +1,27 @@
+//! The causal-consistency oracle: ground-truth `↪` tracking and
+//! verification of the paper's Definition 2.
+//!
+//! Protocol metadata (timestamps) is never consulted: the oracle observes
+//! only the *events* — which replica issued which update, and which replica
+//! applied which update, in what order — and maintains the exact
+//! happened-before relation `↪` of Definition 1 (and its client-server
+//! extension `↪′`, Definition 25) via per-update ancestor bitsets.
+//!
+//! * **Safety** (checked on every apply): if replica `i` applies `u`, every
+//!   `u' ↪ u` writing a register in `X_i` must already be applied at `i`.
+//! * **Liveness** (checked at quiescence): every issued update is applied at
+//!   every replica storing its register.
+//!
+//! The oracle also exposes causal pasts and causal dependency graphs
+//! (Definition 6), which the lower-bound machinery builds on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod oracle;
+mod report;
+
+pub use bitset::DynBitSet;
+pub use oracle::{Oracle, UpdateId};
+pub use report::{LivenessViolation, SafetyViolation, Verdict};

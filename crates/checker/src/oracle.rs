@@ -1,0 +1,434 @@
+//! The happened-before oracle.
+
+use crate::bitset::DynBitSet;
+use crate::report::{LivenessViolation, SafetyViolation};
+use prcc_graph::{RegisterId, ReplicaId, ShareGraph};
+use std::fmt;
+
+/// Globally unique identifier of an update, assigned at issue time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UpdateId(pub u64);
+
+impl UpdateId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UpdateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct UpdateMeta {
+    issuer: ReplicaId,
+    register: RegisterId,
+    /// Exact causal past: every update `u'` with `u' ↪ u`.
+    past: DynBitSet,
+}
+
+/// Ground-truth tracker of the `↪` relation (Definition 1) and verifier of
+/// replica-centric causal consistency (Definition 2).
+///
+/// Drive it with [`Oracle::on_issue`] / [`Oracle::on_apply`] events emitted
+/// by the system under test; for the client-server architecture
+/// (Definition 25's `↪′`) additionally report client accesses with
+/// [`Oracle::on_client_access`].
+///
+/// ```
+/// use prcc_checker::Oracle;
+/// use prcc_graph::{topologies, RegisterId, ReplicaId};
+///
+/// let g = topologies::clique_full(3, 1);
+/// let mut oracle = Oracle::new(&g);
+/// let u0 = oracle.on_issue(ReplicaId(0), RegisterId(0));
+/// oracle.on_apply(ReplicaId(1), u0)?;
+/// let u1 = oracle.on_issue(ReplicaId(1), RegisterId(0));
+/// assert!(oracle.happened_before(u0, u1));
+/// // Applying u1 at replica 2 without u0 is a safety violation:
+/// assert!(oracle.on_apply(ReplicaId(2), u1).is_err());
+/// # Ok::<(), prcc_checker::SafetyViolation>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    g: ShareGraph,
+    updates: Vec<UpdateMeta>,
+    /// Updates applied at each replica (an update is applied at its issuer
+    /// at issue time, step 2 of the prototype).
+    applied: Vec<DynBitSet>,
+    /// Transitive closure per replica: applied updates plus everything in
+    /// their causal pasts — the set `S` of Definition 6.
+    closure: Vec<DynBitSet>,
+    /// Per-client session pasts for `↪′`: updates applied at replicas the
+    /// client has accessed, as of each access.
+    client_past: Vec<DynBitSet>,
+}
+
+impl Oracle {
+    /// Creates an oracle for a system over the given share graph, with no
+    /// clients.
+    pub fn new(g: &ShareGraph) -> Self {
+        Oracle::with_clients(g, 0)
+    }
+
+    /// Creates an oracle that additionally tracks `num_clients` client
+    /// sessions (client-server architecture).
+    pub fn with_clients(g: &ShareGraph, num_clients: usize) -> Self {
+        Oracle {
+            g: g.clone(),
+            updates: Vec::new(),
+            applied: (0..g.num_replicas()).map(|_| DynBitSet::new()).collect(),
+            closure: (0..g.num_replicas()).map(|_| DynBitSet::new()).collect(),
+            client_past: (0..num_clients).map(|_| DynBitSet::new()).collect(),
+        }
+    }
+
+    /// Records that replica `i` issues an update to register `x`
+    /// (peer-to-peer architecture). The update is immediately applied at the
+    /// issuer.
+    ///
+    /// Returns the new update's id; its causal past is everything applied at
+    /// `i` so far.
+    pub fn on_issue(&mut self, i: ReplicaId, x: RegisterId) -> UpdateId {
+        self.issue_with_extra_past(i, x, None)
+    }
+
+    /// Records that replica `i` issues an update to `x` *on behalf of a
+    /// client* (client-server): the update's past additionally includes the
+    /// client's session past (Definition 25, condition ii).
+    pub fn on_client_issue(&mut self, c: usize, i: ReplicaId, x: RegisterId) -> UpdateId {
+        // The client observes the replica state at this access.
+        self.on_client_access(c, i);
+        let client = self.client_past[c].clone();
+        self.issue_with_extra_past(i, x, Some(&client))
+    }
+
+    fn issue_with_extra_past(
+        &mut self,
+        i: ReplicaId,
+        x: RegisterId,
+        extra: Option<&DynBitSet>,
+    ) -> UpdateId {
+        let id = UpdateId(self.updates.len() as u64);
+        // The causal past is the replica's closure (Definition 1:
+        // everything applied here, transitively) plus, for client-issued
+        // updates, the client's session past (↪′ condition ii).
+        let mut past = self.closure[i.index()].clone();
+        if let Some(e) = extra {
+            past.union_with(e);
+        }
+        self.updates.push(UpdateMeta {
+            issuer: i,
+            register: x,
+            past,
+        });
+        // Step 2(i): the issuer applies its own update immediately.
+        self.applied[i.index()].insert(id.0);
+        self.closure[i.index()].insert(id.0);
+        id
+    }
+
+    /// Records that a client read from or wrote through replica `i`: the
+    /// client's session past absorbs everything applied at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client index is out of range.
+    pub fn on_client_access(&mut self, c: usize, i: ReplicaId) {
+        let closure = self.closure[i.index()].clone();
+        self.client_past[c].union_with(&closure);
+    }
+
+    /// Records that replica `i` applies update `u`, checking safety: every
+    /// `u' ↪ u` with `register(u') ∈ X_i` must already be applied at `i`.
+    ///
+    /// The update is recorded as applied even when a violation is returned,
+    /// so a run can collect multiple violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first missing dependency as a [`SafetyViolation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is unknown or `i` does not store its register (the
+    /// system under test delivered a value to a non-holder).
+    pub fn on_apply(&mut self, i: ReplicaId, u: UpdateId) -> Result<(), SafetyViolation> {
+        let meta = &self.updates[u.index()];
+        assert!(
+            self.g.stores(i, meta.register),
+            "replica {i} does not store {} (update {u})",
+            meta.register
+        );
+        let mut violation = None;
+        for dep in meta.past.iter() {
+            let dep_meta = &self.updates[dep as usize];
+            if self.g.stores(i, dep_meta.register) && !self.applied[i.index()].contains(dep) {
+                violation = Some(SafetyViolation {
+                    replica: i,
+                    applied: u,
+                    missing: UpdateId(dep),
+                });
+                break;
+            }
+        }
+        self.applied[i.index()].insert(u.0);
+        self.closure[i.index()].insert(u.0);
+        let past = self.updates[u.index()].past.clone();
+        self.closure[i.index()].union_with(&past);
+        match violation {
+            None => Ok(()),
+            Some(v) => Err(v),
+        }
+    }
+
+    /// The exact happened-before test: `a ↪ b`.
+    pub fn happened_before(&self, a: UpdateId, b: UpdateId) -> bool {
+        self.updates[b.index()].past.contains(a.0)
+    }
+
+    /// True when neither `a ↪ b` nor `b ↪ a`.
+    pub fn concurrent(&self, a: UpdateId, b: UpdateId) -> bool {
+        a != b && !self.happened_before(a, b) && !self.happened_before(b, a)
+    }
+
+    /// The causal past of `u` (all `u' ↪ u`), ascending.
+    pub fn causal_past(&self, u: UpdateId) -> Vec<UpdateId> {
+        self.updates[u.index()].past.iter().map(UpdateId).collect()
+    }
+
+    /// The causal past of *replica* `i`: the set `S` of Definition 6 —
+    /// updates applied at `i` together with everything that happened before
+    /// them.
+    pub fn replica_causal_past(&self, i: ReplicaId) -> Vec<UpdateId> {
+        self.closure[i.index()].iter().map(UpdateId).collect()
+    }
+
+    /// The issuer of `u`.
+    pub fn issuer(&self, u: UpdateId) -> ReplicaId {
+        self.updates[u.index()].issuer
+    }
+
+    /// The register `u` wrote.
+    pub fn register(&self, u: UpdateId) -> RegisterId {
+        self.updates[u.index()].register
+    }
+
+    /// Whether `u` has been applied at `i`.
+    pub fn is_applied(&self, i: ReplicaId, u: UpdateId) -> bool {
+        self.applied[i.index()].contains(u.0)
+    }
+
+    /// Total updates issued.
+    pub fn num_updates(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Liveness check (run at quiescence): every update must be applied at
+    /// every replica that stores its register.
+    pub fn check_liveness(&self) -> Vec<LivenessViolation> {
+        let mut out = Vec::new();
+        for (idx, meta) in self.updates.iter().enumerate() {
+            for &holder in self.g.holders(meta.register) {
+                if !self.applied[holder.index()].contains(idx as u64) {
+                    out.push(LivenessViolation {
+                        replica: holder,
+                        update: UpdateId(idx as u64),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Client-access safety check (Definition 26, second safety clause):
+    /// when client `c` accesses replica `i`, every update in the client's
+    /// session past whose register `i` stores must already be applied at
+    /// `i`. Returns the first missing update, if any.
+    ///
+    /// Call *before* [`Oracle::on_client_access`] for the access being
+    /// checked (the access itself would otherwise absorb `i`'s state).
+    pub fn client_access_violation(&self, c: usize, i: ReplicaId) -> Option<UpdateId> {
+        self.client_past[c].iter().find_map(|id| {
+            let meta = &self.updates[id as usize];
+            if self.g.stores(i, meta.register) && !self.applied[i.index()].contains(id) {
+                Some(UpdateId(id))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The edges of the causal dependency graph (Definition 6) restricted to
+    /// the causal past of replica `i`: all pairs `(a, b)` with `a ↪ b`.
+    pub fn dependency_edges(&self, i: ReplicaId) -> Vec<(UpdateId, UpdateId)> {
+        let past = self.replica_causal_past(i);
+        let mut edges = Vec::new();
+        for &b in &past {
+            for &a in &past {
+                if a != b && self.happened_before(a, b) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_graph::topologies;
+
+    /// Reproduces the paper's Figure 2: three replicas, u1 and u2 issued by
+    /// r1, u3 by r2, u4 by r3; u2 applied at r2 before u3, u1/u2 never reach
+    /// r3 before u4.
+    #[test]
+    fn figure2_happened_before_relation() {
+        // Registers: 0 private to r1; 1 shared r1,r2; 2 shared r2,r3;
+        // 3 private to r3.
+        let g = prcc_graph::ShareGraphBuilder::new()
+            .replica_raw([0, 1])
+            .replica_raw([1, 2])
+            .replica_raw([2, 3])
+            .build()
+            .unwrap();
+        let mut o = Oracle::new(&g);
+        let u1 = o.on_issue(ReplicaId(0), RegisterId(0));
+        let u2 = o.on_issue(ReplicaId(0), RegisterId(1));
+        let u4 = o.on_issue(ReplicaId(2), RegisterId(3));
+        o.on_apply(ReplicaId(1), u2).unwrap();
+        let u3 = o.on_issue(ReplicaId(1), RegisterId(2));
+        o.on_apply(ReplicaId(2), u3).unwrap();
+        // u1 ↪ u2 (same issuer), u2 ↪ u3 (applied before issue), u1 ↪ u3
+        // (transitivity).
+        assert!(o.happened_before(u1, u2));
+        assert!(o.happened_before(u2, u3));
+        assert!(o.happened_before(u1, u3));
+        // u1 ∥ u4 and u2 ∥ u4.
+        assert!(o.concurrent(u1, u4));
+        assert!(o.concurrent(u2, u4));
+        assert!(!o.happened_before(u3, u3));
+    }
+
+    #[test]
+    fn safety_violation_detected() {
+        let g = topologies::clique_full(3, 1);
+        let x = RegisterId(0);
+        let mut o = Oracle::new(&g);
+        let u0 = o.on_issue(ReplicaId(0), x);
+        o.on_apply(ReplicaId(1), u0).unwrap();
+        let u1 = o.on_issue(ReplicaId(1), x);
+        // Replica 2 applies u1 without u0 → violation citing u0.
+        let err = o.on_apply(ReplicaId(2), u1).unwrap_err();
+        assert_eq!(err.replica, ReplicaId(2));
+        assert_eq!(err.applied, u1);
+        assert_eq!(err.missing, u0);
+    }
+
+    #[test]
+    fn safety_ignores_unstored_registers() {
+        // u0 writes a register replica 2 does not store; applying u1 at 2
+        // without u0 is fine.
+        let g = prcc_graph::ShareGraphBuilder::new()
+            .replica_raw([0, 1])
+            .replica_raw([0, 1])
+            .replica_raw([1])
+            .build()
+            .unwrap();
+        let mut o = Oracle::new(&g);
+        let u0 = o.on_issue(ReplicaId(0), RegisterId(0));
+        o.on_apply(ReplicaId(1), u0).unwrap();
+        let u1 = o.on_issue(ReplicaId(1), RegisterId(1));
+        assert!(o.on_apply(ReplicaId(2), u1).is_ok());
+    }
+
+    #[test]
+    fn liveness_reports_missing_applications() {
+        let g = topologies::line(2);
+        let mut o = Oracle::new(&g);
+        let u = o.on_issue(ReplicaId(0), RegisterId(0));
+        let missing = o.check_liveness();
+        assert_eq!(
+            missing,
+            vec![LivenessViolation {
+                replica: ReplicaId(1),
+                update: u
+            }]
+        );
+        o.on_apply(ReplicaId(1), u).unwrap();
+        assert!(o.check_liveness().is_empty());
+    }
+
+    #[test]
+    fn replica_causal_past_closure() {
+        let g = topologies::clique_full(3, 1);
+        let x = RegisterId(0);
+        let mut o = Oracle::new(&g);
+        let u0 = o.on_issue(ReplicaId(0), x);
+        o.on_apply(ReplicaId(1), u0).unwrap();
+        let u1 = o.on_issue(ReplicaId(1), x);
+        o.on_apply(ReplicaId(2), u1).unwrap_err(); // u0 missing: violation
+        // Even so, 2's causal past includes u0 (via u1's past).
+        let past = o.replica_causal_past(ReplicaId(2));
+        assert!(past.contains(&u0));
+        assert!(past.contains(&u1));
+    }
+
+    #[test]
+    fn client_sessions_extend_happened_before() {
+        // Two replicas with disjoint registers; a client reads at 0 then
+        // writes through 1: the write depends on what it saw at 0.
+        let g = prcc_graph::ShareGraphBuilder::new()
+            .replica_raw([0])
+            .replica_raw([1])
+            .build()
+            .unwrap();
+        let mut o = Oracle::with_clients(&g, 1);
+        let u0 = o.on_issue(ReplicaId(0), RegisterId(0));
+        o.on_client_access(0, ReplicaId(0));
+        let u1 = o.on_client_issue(0, ReplicaId(1), RegisterId(1));
+        assert!(o.happened_before(u0, u1), "↪′ via the client session");
+        // Without clients the two replicas never interact.
+        let mut o2 = Oracle::new(&g);
+        let v0 = o2.on_issue(ReplicaId(0), RegisterId(0));
+        let v1 = o2.on_issue(ReplicaId(1), RegisterId(1));
+        assert!(o2.concurrent(v0, v1));
+    }
+
+    #[test]
+    fn dependency_edges_subset_of_pairs() {
+        let g = topologies::clique_full(2, 1);
+        let mut o = Oracle::new(&g);
+        let u0 = o.on_issue(ReplicaId(0), RegisterId(0));
+        o.on_apply(ReplicaId(1), u0).unwrap();
+        let u1 = o.on_issue(ReplicaId(1), RegisterId(0));
+        o.on_apply(ReplicaId(0), u1).unwrap();
+        let edges = o.dependency_edges(ReplicaId(0));
+        assert!(edges.contains(&(u0, u1)));
+        assert_eq!(edges.len(), 1);
+    }
+
+    #[test]
+    fn issuer_register_accessors() {
+        let g = topologies::line(2);
+        let mut o = Oracle::new(&g);
+        let u = o.on_issue(ReplicaId(1), RegisterId(0));
+        assert_eq!(o.issuer(u), ReplicaId(1));
+        assert_eq!(o.register(u), RegisterId(0));
+        assert!(o.is_applied(ReplicaId(1), u));
+        assert!(!o.is_applied(ReplicaId(0), u));
+        assert_eq!(o.num_updates(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not store")]
+    fn applying_at_non_holder_panics() {
+        let g = topologies::line(3);
+        let mut o = Oracle::new(&g);
+        let u = o.on_issue(ReplicaId(0), RegisterId(0));
+        let _ = o.on_apply(ReplicaId(2), u);
+    }
+}

@@ -1,0 +1,110 @@
+//! Violation reports with witnesses.
+
+use crate::UpdateId;
+use prcc_graph::ReplicaId;
+use std::fmt;
+
+/// A safety violation of Definition 2: `replica` applied `applied` while
+/// some causally preceding update `missing` (on a register the replica
+/// stores) had not been applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SafetyViolation {
+    /// The replica at which the violation occurred.
+    pub replica: ReplicaId,
+    /// The update that was applied too early.
+    pub applied: UpdateId,
+    /// The causally preceding update that was missing.
+    pub missing: UpdateId,
+}
+
+impl fmt::Display for SafetyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "safety violation at {}: applied {} before its causal dependency {}",
+            self.replica, self.applied, self.missing
+        )
+    }
+}
+
+impl std::error::Error for SafetyViolation {}
+
+/// A liveness violation of Definition 2: at quiescence, `replica` stores the
+/// register of `update` but never applied it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivenessViolation {
+    /// The replica that should have applied the update.
+    pub replica: ReplicaId,
+    /// The update that was never applied.
+    pub update: UpdateId,
+}
+
+impl fmt::Display for LivenessViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "liveness violation at {}: update {} was never applied",
+            self.replica, self.update
+        )
+    }
+}
+
+impl std::error::Error for LivenessViolation {}
+
+/// Combined verdict of a full run: safety violations observed during the
+/// execution and liveness violations at quiescence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Verdict {
+    /// All safety violations, in occurrence order.
+    pub safety: Vec<SafetyViolation>,
+    /// All liveness violations found at quiescence.
+    pub liveness: Vec<LivenessViolation>,
+}
+
+impl Verdict {
+    /// True when the execution was causally consistent.
+    pub fn is_consistent(&self) -> bool {
+        self.safety.is_empty() && self.liveness.is_empty()
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_consistent() {
+            write!(f, "causally consistent")
+        } else {
+            write!(
+                f,
+                "{} safety violation(s), {} liveness violation(s)",
+                self.safety.len(),
+                self.liveness.len()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let s = SafetyViolation {
+            replica: ReplicaId(1),
+            applied: UpdateId(5),
+            missing: UpdateId(3),
+        };
+        assert!(s.to_string().contains("safety violation at r1"));
+        let l = LivenessViolation {
+            replica: ReplicaId(0),
+            update: UpdateId(7),
+        };
+        assert!(l.to_string().contains("liveness"));
+        let mut v = Verdict::default();
+        assert!(v.is_consistent());
+        assert_eq!(v.to_string(), "causally consistent");
+        v.safety.push(s);
+        assert!(!v.is_consistent());
+        assert!(v.to_string().contains("1 safety"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Timestamp configuration for the client-server algorithm (Appendix E.5).
+
+use prcc_clock::EdgeClock;
+use prcc_graph::{AugmentedShareGraph, ClientId, Edge, RegisterId, ReplicaId, TimestampGraph};
+
+/// Precomputed timestamp structure: augmented timestamp graphs `Ê_i` per
+/// replica and the client index sets `∪_{i ∈ R_c} Ê_i`, plus the
+/// `advance` / `merge` / predicate functions of Appendix E.5.
+#[derive(Debug)]
+pub struct CsConfig {
+    aug: AugmentedShareGraph,
+    replica_graphs: Vec<TimestampGraph>,
+    replica_zero: Vec<EdgeClock>,
+    client_zero: Vec<EdgeClock>,
+}
+
+impl CsConfig {
+    /// Computes the configuration for an augmented share graph.
+    pub fn new(aug: AugmentedShareGraph) -> Self {
+        let replica_graphs = aug.augmented_timestamp_graphs();
+        let replica_zero: Vec<EdgeClock> = replica_graphs
+            .iter()
+            .map(|t| EdgeClock::zero_over(t.edges()))
+            .collect();
+        let client_zero = aug
+            .clients()
+            .map(|c| EdgeClock::zero_over(aug.client_timestamp_edges(c)))
+            .collect();
+        CsConfig {
+            aug,
+            replica_graphs,
+            replica_zero,
+            client_zero,
+        }
+    }
+
+    /// The augmented share graph.
+    pub fn augmented(&self) -> &AugmentedShareGraph {
+        &self.aug
+    }
+
+    /// The augmented timestamp graph `Ê_i`.
+    pub fn replica_graph(&self, i: ReplicaId) -> &TimestampGraph {
+        &self.replica_graphs[i.index()]
+    }
+
+    /// The zero timestamp of replica `i`.
+    pub fn replica_clock(&self, i: ReplicaId) -> EdgeClock {
+        self.replica_zero[i.index()].clone()
+    }
+
+    /// The zero timestamp `µ_c` of client `c`.
+    pub fn client_clock(&self, c: ClientId) -> EdgeClock {
+        self.client_zero[c.index()].clone()
+    }
+
+    /// `advance(i, τ, c, µ, x, v)`: increment edges `e_ik` with
+    /// `x ∈ X_ik`; take `max(τ[e], µ[e])` on every other entry.
+    pub fn advance(&self, i: ReplicaId, tau: &mut EdgeClock, mu: &EdgeClock, x: RegisterId) {
+        // Fold the client's knowledge in first…
+        tau.merge_from(mu);
+        // …then increment the write's own edges (which cannot also need the
+        // µ-max: µ can never exceed i's own-edge counters, as only i bumps
+        // them and every client value was copied from some replica's τ).
+        let g = self.aug.share_graph();
+        for &k in g.neighbors(i) {
+            if g.shared(i, k).contains(x) {
+                tau.bump_edge(Edge::new(i, k));
+            }
+        }
+    }
+
+    /// Predicates `J1 = J2`: the replica has applied everything the client
+    /// has seen on `i`'s incoming tracked edges
+    /// (`τ[e_ji] ≥ µ[e_ji] ∀ e_ji ∈ Ê_i`).
+    pub fn request_ready(&self, i: ReplicaId, tau: &EdgeClock, mu: &EdgeClock) -> bool {
+        tau.dominates_where(mu, |e| e.to == i)
+    }
+
+    /// Predicate `J3`: as the peer-to-peer `J` —
+    /// `τ[e_ki] = T[e_ki] − 1` and `τ[e_ji] ≥ T[e_ji]` for every other
+    /// common incoming edge.
+    pub fn update_ready(&self, i: ReplicaId, tau: &EdgeClock, k: ReplicaId, t: &EdgeClock) -> bool {
+        tau.common_entries(t).all(|(e, mine, theirs)| {
+            if e.to != i {
+                true
+            } else if e.from == k {
+                mine == theirs.wrapping_sub(1)
+            } else {
+                mine >= theirs
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_clock::ClockState;
+    use prcc_graph::topologies;
+
+    fn line_with_bridge_client() -> CsConfig {
+        let g = topologies::line(4);
+        let aug = AugmentedShareGraph::new(
+            g,
+            vec![vec![ReplicaId(0), ReplicaId(3)]],
+        )
+        .unwrap();
+        CsConfig::new(aug)
+    }
+
+    #[test]
+    fn client_clock_spans_its_replicas() {
+        let cfg = line_with_bridge_client();
+        let mu = cfg.client_clock(ClientId(0));
+        let t0 = cfg.replica_graph(ReplicaId(0));
+        let t3 = cfg.replica_graph(ReplicaId(3));
+        assert_eq!(
+            mu.entries(),
+            t0.edges()
+                .chain(t3.edges())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        );
+    }
+
+    #[test]
+    fn advance_bumps_own_edges_and_folds_client() {
+        let cfg = line_with_bridge_client();
+        let i = ReplicaId(0);
+        let mut tau = cfg.replica_clock(i);
+        let mut mu = cfg.client_clock(ClientId(0));
+        // Pretend the client saw an update on edge 3→2 (tracked by replica
+        // 3's graph, hence in µ).
+        let e32 = Edge::new(ReplicaId(3), ReplicaId(2));
+        if mu.get(e32).is_some() {
+            mu.bump_edge(e32);
+        }
+        cfg.advance(i, &mut tau, &mu, RegisterId(0));
+        assert_eq!(tau.get(Edge::new(ReplicaId(0), ReplicaId(1))), Some(1));
+        if tau.get(e32).is_some() {
+            assert_eq!(tau.get(e32), Some(1), "client knowledge folded in");
+        }
+    }
+
+    #[test]
+    fn request_ready_blocks_until_caught_up() {
+        let cfg = line_with_bridge_client();
+        let i = ReplicaId(0);
+        let tau = cfg.replica_clock(i);
+        let mut mu = cfg.client_clock(ClientId(0));
+        assert!(cfg.request_ready(i, &tau, &mu));
+        // Client has seen one update on 1→0; fresh replica clock hasn't.
+        assert!(mu.bump_edge(Edge::new(ReplicaId(1), ReplicaId(0))));
+        assert!(!cfg.request_ready(i, &tau, &mu));
+        // Knowledge about edges not incoming at i does not block.
+        let mut mu2 = cfg.client_clock(ClientId(0));
+        if mu2.get(Edge::new(ReplicaId(2), ReplicaId(3))).is_some() {
+            mu2.bump_edge(Edge::new(ReplicaId(2), ReplicaId(3)));
+            assert!(cfg.request_ready(i, &tau, &mu2));
+        }
+    }
+
+    #[test]
+    fn update_ready_matches_p2p_shape() {
+        let cfg = line_with_bridge_client();
+        let i = ReplicaId(1);
+        let tau = cfg.replica_clock(i);
+        let mut sender = cfg.replica_clock(ReplicaId(0));
+        let mu = cfg.client_clock(ClientId(0));
+        cfg.advance(ReplicaId(0), &mut sender, &mu, RegisterId(0));
+        assert!(cfg.update_ready(i, &tau, ReplicaId(0), &sender));
+        let mut sender2 = sender.clone();
+        cfg.advance(ReplicaId(0), &mut sender2, &mu, RegisterId(0));
+        assert!(!cfg.update_ready(i, &tau, ReplicaId(0), &sender2));
+    }
+}

@@ -1,0 +1,26 @@
+//! The client-server architecture (Figure 1b; Section 6, Appendix E).
+//!
+//! Clients access arbitrary subsets of replicas (`R_c`), propagating causal
+//! dependencies between replicas that share no registers. Compared to the
+//! peer-to-peer system:
+//!
+//! * Clients keep their own timestamps `µ_c`, indexed by
+//!   `∪_{i ∈ R_c} Ê_i`, and attach them to requests.
+//! * Replicas buffer client requests until `J1`/`J2` hold (the replica has
+//!   caught up with everything the client has seen) and time-stamp with the
+//!   *augmented* timestamp graphs `Ê_i` of Definition 28, whose extra edges
+//!   come from client-induced augmented `(i, e_jk)`-loops.
+//! * `advance` additionally folds the client's timestamp into the replica's
+//!   (`max(τ[e], µ[e])` on non-incremented entries).
+//!
+//! The [`CsSystem`] simulates the whole architecture over `prcc-net` and
+//! verifies the `↪′`-based consistency of Definition 26 with the oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod system;
+
+pub use config::CsConfig;
+pub use system::{CsError, CsStats, CsSystem, CsVerdict};

@@ -1,0 +1,485 @@
+//! The paper's algorithm (Section 3.3): edge-indexed vector timestamps.
+
+use crate::encoding;
+use crate::traits::{ClockState, Protocol};
+use prcc_graph::{Edge, RegisterId, ReplicaId, ShareGraph, TimestampGraph};
+use std::fmt;
+use std::sync::Arc;
+
+/// An edge-indexed vector timestamp `τ_i`: one counter per edge of the
+/// owning replica's timestamp graph `E_i`.
+///
+/// The key set is immutable, shared (`Arc`) configuration; only the counter
+/// vector is per-instance, so attaching a timestamp to an update message is
+/// a cheap clone.
+#[derive(Clone, PartialEq, Eq)]
+pub struct EdgeClock {
+    /// Sorted edge keys (ascending [`Edge`] order).
+    keys: Arc<[Edge]>,
+    counters: Vec<u64>,
+}
+
+impl EdgeClock {
+    /// Creates the all-zero clock over a sorted key set.
+    fn new(keys: Arc<[Edge]>) -> Self {
+        let counters = vec![0; keys.len()];
+        EdgeClock { keys, counters }
+    }
+
+    /// Creates an all-zero clock over an arbitrary edge set (sorted and
+    /// deduplicated). Used by the client-server extension, whose clients
+    /// keep clocks over `∪_{i ∈ R_c} Ê_i`.
+    pub fn zero_over<I: IntoIterator<Item = Edge>>(edges: I) -> Self {
+        let mut v: Vec<Edge> = edges.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        EdgeClock::new(v.into())
+    }
+
+    /// Increments the counter of `e` if tracked; returns whether it was.
+    pub fn bump_edge(&mut self, e: Edge) -> bool {
+        match self.keys.binary_search(&e) {
+            Ok(idx) => {
+                self.counters[idx] += 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Pointwise maximum over the common key set (`T[e] := max(τ[e], T[e])`
+    /// for `e ∈ E_self ∩ E_other` — the shape shared by the paper's `merge`,
+    /// `merge1/2/3` functions).
+    pub fn merge_from(&mut self, other: &EdgeClock) {
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.keys.len() && b < other.keys.len() {
+            match self.keys[a].cmp(&other.keys[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    self.counters[a] = self.counters[a].max(other.counters[b]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+    }
+
+    /// True if `self[e] ≥ other[e]` for every common key selected by
+    /// `filter` (the shape of predicates `J1`/`J2`: `τ[e_ji] ≥ µ[e_ji]`).
+    pub fn dominates_where<F: Fn(Edge) -> bool>(&self, other: &EdgeClock, filter: F) -> bool {
+        self.common_entries(other)
+            .all(|(e, mine, theirs)| !filter(e) || mine >= theirs)
+    }
+
+    /// Iterates `(edge, self counter, other counter)` over the common keys.
+    pub fn common_entries<'a>(
+        &'a self,
+        other: &'a EdgeClock,
+    ) -> impl Iterator<Item = (Edge, u64, u64)> + 'a {
+        CommonEntries {
+            a: self,
+            b: other,
+            ia: 0,
+            ib: 0,
+        }
+    }
+
+    /// The counter for edge `e`, or `None` if the edge is not tracked.
+    pub fn get(&self, e: Edge) -> Option<u64> {
+        self.keys
+            .binary_search(&e)
+            .ok()
+            .map(|idx| self.counters[idx])
+    }
+
+    /// The tracked edges, ascending.
+    pub fn edges(&self) -> &[Edge] {
+        &self.keys
+    }
+
+    /// Raw counters, parallel to [`EdgeClock::edges`].
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// Iterates `(edge, counter)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Edge, u64)> + '_ {
+        self.keys.iter().copied().zip(self.counters.iter().copied())
+    }
+
+    /// Sum of all counters (used by tests as a cheap progress measure).
+    pub fn total(&self) -> u64 {
+        self.counters.iter().sum()
+    }
+
+    fn bump(&mut self, idx: usize) {
+        self.counters[idx] += 1;
+    }
+}
+
+struct CommonEntries<'a> {
+    a: &'a EdgeClock,
+    b: &'a EdgeClock,
+    ia: usize,
+    ib: usize,
+}
+
+impl Iterator for CommonEntries<'_> {
+    type Item = (Edge, u64, u64);
+
+    fn next(&mut self) -> Option<(Edge, u64, u64)> {
+        while self.ia < self.a.keys.len() && self.ib < self.b.keys.len() {
+            match self.a.keys[self.ia].cmp(&self.b.keys[self.ib]) {
+                std::cmp::Ordering::Less => self.ia += 1,
+                std::cmp::Ordering::Greater => self.ib += 1,
+                std::cmp::Ordering::Equal => {
+                    let out = (
+                        self.a.keys[self.ia],
+                        self.a.counters[self.ia],
+                        self.b.counters[self.ib],
+                    );
+                    self.ia += 1;
+                    self.ib += 1;
+                    return Some(out);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for EdgeClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.iter().map(|(e, c)| (e.to_string(), c)))
+            .finish()
+    }
+}
+
+impl ClockState for EdgeClock {
+    fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn encoded_len(&self) -> usize {
+        encoding::counters_len(&self.counters)
+    }
+}
+
+/// The paper's causal-consistency protocol (Section 3.3), parameterized by
+/// the per-replica edge sets it tracks.
+///
+/// [`EdgeProtocol::new`] uses the exact timestamp graphs `G_i`
+/// (Definition 5) — the necessary-and-sufficient choice. Baselines that
+/// deliberately track other sets (all share edges, Hélary–Milani hoops,
+/// bounded loops) construct the same protocol via
+/// [`EdgeProtocol::with_edge_sets`]; everything else (advance/merge/`J`) is
+/// identical, which makes over-/under-tracking comparisons apples-to-apples.
+pub struct EdgeProtocol {
+    g: ShareGraph,
+    name: String,
+    /// Sorted edge keys per replica.
+    keys: Vec<Arc<[Edge]>>,
+    /// `bump[i][x]` — indices (into replica `i`'s keys) of edges `e_ik` with
+    /// `x ∈ X_ik`, precomputed for `advance`.
+    bump: Vec<Vec<Vec<usize>>>,
+}
+
+impl EdgeProtocol {
+    /// Builds the protocol with the exact timestamp graphs of Definition 5.
+    pub fn new(g: ShareGraph) -> Self {
+        let graphs = TimestampGraph::compute_all(&g);
+        Self::with_edge_sets(g, graphs, "edge-tsg")
+    }
+
+    /// Builds the protocol from caller-provided edge sets (one
+    /// [`TimestampGraph`] per replica, in replica order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs.len() != g.num_replicas()` or a graph's owner
+    /// doesn't match its position.
+    pub fn with_edge_sets(
+        g: ShareGraph,
+        graphs: Vec<TimestampGraph>,
+        name: impl Into<String>,
+    ) -> Self {
+        assert_eq!(graphs.len(), g.num_replicas(), "one edge set per replica");
+        let mut keys = Vec::with_capacity(graphs.len());
+        let mut bump = Vec::with_capacity(graphs.len());
+        for (i, tsg) in graphs.iter().enumerate() {
+            assert_eq!(tsg.replica(), ReplicaId(i), "edge set out of order");
+            let ks: Arc<[Edge]> = tsg.edges().collect::<Vec<_>>().into();
+            let mut per_reg = vec![Vec::new(); g.num_registers()];
+            for (idx, e) in ks.iter().enumerate() {
+                if e.from == ReplicaId(i) {
+                    for x in g.shared_on(*e).iter() {
+                        per_reg[x.index()].push(idx);
+                    }
+                }
+            }
+            keys.push(ks);
+            bump.push(per_reg);
+        }
+        EdgeProtocol {
+            g,
+            name: name.into(),
+            keys,
+            bump,
+        }
+    }
+
+    /// The edge key set of replica `i`.
+    pub fn keys_of(&self, i: ReplicaId) -> &[Edge] {
+        &self.keys[i.index()]
+    }
+}
+
+impl fmt::Debug for EdgeProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EdgeProtocol")
+            .field("name", &self.name)
+            .field("replicas", &self.g.num_replicas())
+            .finish()
+    }
+}
+
+impl Protocol for EdgeProtocol {
+    type Clock = EdgeClock;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn share_graph(&self) -> &ShareGraph {
+        &self.g
+    }
+
+    fn new_clock(&self, i: ReplicaId) -> EdgeClock {
+        EdgeClock::new(Arc::clone(&self.keys[i.index()]))
+    }
+
+    fn advance(&self, i: ReplicaId, local: &mut EdgeClock, x: RegisterId) {
+        // T_i[e_jk] := τ_i[e_jk] + 1 if j = i and x ∈ X_ik, unchanged
+        // otherwise.
+        for &idx in &self.bump[i.index()][x.index()] {
+            local.bump(idx);
+        }
+    }
+
+    fn deliverable(
+        &self,
+        i: ReplicaId,
+        local: &EdgeClock,
+        k: ReplicaId,
+        attached: &EdgeClock,
+        _x: RegisterId,
+    ) -> bool {
+        // J(i, τ_i, k, T) ⇔ τ_i[e_ki] = T[e_ki] − 1
+        //                  ∧ τ_i[e_ji] ≥ T[e_ji] ∀ e_ji ∈ E_i ∩ E_k, j ≠ k.
+        // Merge-join the two sorted key sets; only edges into i matter.
+        let (mut a, mut b) = (0usize, 0usize);
+        let (ka, kb) = (&local.keys, &attached.keys);
+        while a < ka.len() && b < kb.len() {
+            match ka[a].cmp(&kb[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    let e = ka[a];
+                    if e.to == i {
+                        if e.from == k {
+                            if local.counters[a] != attached.counters[b].wrapping_sub(1) {
+                                return false;
+                            }
+                        } else if local.counters[a] < attached.counters[b] {
+                            return false;
+                        }
+                    }
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        true
+    }
+
+    fn merge(&self, _i: ReplicaId, local: &mut EdgeClock, _k: ReplicaId, attached: &EdgeClock) {
+        // T_i[e] := max(τ_i[e], T[e]) for e ∈ E_i ∩ E_k, τ_i[e] otherwise.
+        local.merge_from(attached);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_graph::topologies;
+
+    fn edge(from: usize, to: usize) -> Edge {
+        Edge::new(ReplicaId(from), ReplicaId(to))
+    }
+
+    #[test]
+    fn advance_bumps_exactly_matching_outgoing_edges() {
+        // Figure 5 fixture: replica 0 stores {a, y, w}; writing y (reg 5)
+        // must bump e_01 and e_03 (both neighbors store y); writing w
+        // (reg 7) only e_03; writing a (reg 0, unshared) nothing.
+        let g = topologies::figure5();
+        let p = EdgeProtocol::new(g);
+        let mut c = p.new_clock(ReplicaId(0));
+        p.advance(ReplicaId(0), &mut c, RegisterId(5));
+        assert_eq!(c.get(edge(0, 1)), Some(1));
+        assert_eq!(c.get(edge(0, 3)), Some(1));
+        assert_eq!(c.get(edge(1, 0)), Some(0));
+        p.advance(ReplicaId(0), &mut c, RegisterId(7));
+        assert_eq!(c.get(edge(0, 1)), Some(1));
+        assert_eq!(c.get(edge(0, 3)), Some(2));
+        let before = c.clone();
+        p.advance(ReplicaId(0), &mut c, RegisterId(0));
+        assert_eq!(c, before, "unshared register bumps nothing");
+    }
+
+    #[test]
+    fn predicate_enforces_per_edge_fifo() {
+        let g = topologies::line(2);
+        let p = EdgeProtocol::new(g);
+        let mut sender = p.new_clock(ReplicaId(0));
+        let receiver = p.new_clock(ReplicaId(1));
+        // First update deliverable, second (without the first) not.
+        p.advance(ReplicaId(0), &mut sender, RegisterId(0));
+        let t1 = sender.clone();
+        p.advance(ReplicaId(0), &mut sender, RegisterId(0));
+        let t2 = sender.clone();
+        assert!(p.deliverable(ReplicaId(1), &receiver, ReplicaId(0), &t1, RegisterId(0)));
+        assert!(!p.deliverable(ReplicaId(1), &receiver, ReplicaId(0), &t2, RegisterId(0)));
+        // After merging t1, t2 becomes deliverable.
+        let mut receiver = receiver;
+        p.merge(ReplicaId(1), &mut receiver, ReplicaId(0), &t1);
+        assert!(p.deliverable(ReplicaId(1), &receiver, ReplicaId(0), &t2, RegisterId(0)));
+    }
+
+    #[test]
+    fn predicate_waits_for_transitive_dependency() {
+        // Triangle with one shared register everywhere: 0 writes, 1 applies
+        // then writes; 2 must not apply 1's update before 0's.
+        let g = topologies::clique_full(3, 1);
+        let p = EdgeProtocol::new(g);
+        let x = RegisterId(0);
+        let mut c0 = p.new_clock(ReplicaId(0));
+        let mut c1 = p.new_clock(ReplicaId(1));
+        let c2 = p.new_clock(ReplicaId(2));
+        p.advance(ReplicaId(0), &mut c0, x);
+        let t0 = c0.clone();
+        // Replica 1 applies u0, then issues u1.
+        assert!(p.deliverable(ReplicaId(1), &c1, ReplicaId(0), &t0, x));
+        p.merge(ReplicaId(1), &mut c1, ReplicaId(0), &t0);
+        p.advance(ReplicaId(1), &mut c1, x);
+        let t1 = c1.clone();
+        // u1 alone is not deliverable at 2 (u0 ↪ u1 missing).
+        assert!(!p.deliverable(ReplicaId(2), &c2, ReplicaId(1), &t1, x));
+        let mut c2m = c2.clone();
+        p.merge(ReplicaId(2), &mut c2m, ReplicaId(0), &t0);
+        assert!(p.deliverable(ReplicaId(2), &c2m, ReplicaId(1), &t1, x));
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_monotone() {
+        let g = topologies::ring(4);
+        let p = EdgeProtocol::new(g);
+        let mut a = p.new_clock(ReplicaId(0));
+        let mut b = p.new_clock(ReplicaId(1));
+        p.advance(ReplicaId(0), &mut a, RegisterId(0));
+        p.advance(ReplicaId(1), &mut b, RegisterId(1));
+        let mut merged = a.clone();
+        p.merge(ReplicaId(0), &mut merged, ReplicaId(1), &b);
+        let once = merged.clone();
+        p.merge(ReplicaId(0), &mut merged, ReplicaId(1), &b);
+        assert_eq!(merged, once, "idempotent");
+        for (e, c) in a.iter() {
+            assert!(once.get(e).unwrap() >= c, "monotone on {e}");
+        }
+    }
+
+    #[test]
+    fn clocks_of_different_replicas_have_different_keys() {
+        let g = topologies::figure5();
+        let p = EdgeProtocol::new(g);
+        let c0 = p.new_clock(ReplicaId(0));
+        let c2 = p.new_clock(ReplicaId(2));
+        assert_ne!(c0.edges(), c2.edges());
+        assert_eq!(c0.entries(), 8);
+    }
+
+    #[test]
+    fn encoded_len_grows_with_counters() {
+        let g = topologies::line(2);
+        let p = EdgeProtocol::new(g);
+        let mut c = p.new_clock(ReplicaId(0));
+        let small = c.encoded_len();
+        for _ in 0..1000 {
+            p.advance(ReplicaId(0), &mut c, RegisterId(0));
+        }
+        assert!(c.encoded_len() > small);
+        assert_eq!(
+            crate::encoding::decode_counters(&crate::encoding::encode_counters(c.counters()))
+                .unwrap(),
+            c.counters()
+        );
+    }
+
+    #[test]
+    fn with_edge_sets_accepts_custom_tracking() {
+        // Tracking all share edges everywhere (a legal over-approximation).
+        let g = topologies::figure5();
+        let graphs: Vec<TimestampGraph> = g
+            .replicas()
+            .map(|i| TimestampGraph::from_edges(i, g.directed_edges()))
+            .collect();
+        let p = EdgeProtocol::with_edge_sets(g.clone(), graphs, "all-edges");
+        assert_eq!(p.name(), "all-edges");
+        let c = p.new_clock(ReplicaId(0));
+        assert_eq!(c.entries(), g.num_directed_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "one edge set per replica")]
+    fn with_edge_sets_validates_length() {
+        let g = topologies::line(2);
+        let _ = EdgeProtocol::with_edge_sets(g, vec![], "broken");
+    }
+
+    #[test]
+    fn zero_over_sorts_and_dedups() {
+        let c = EdgeClock::zero_over([edge(2, 1), edge(0, 1), edge(2, 1)]);
+        assert_eq!(c.edges(), &[edge(0, 1), edge(2, 1)]);
+        assert_eq!(c.entries(), 2);
+    }
+
+    #[test]
+    fn bump_and_common_entries() {
+        let mut a = EdgeClock::zero_over([edge(0, 1), edge(1, 0), edge(2, 1)]);
+        let mut b = EdgeClock::zero_over([edge(1, 0), edge(2, 1), edge(3, 1)]);
+        assert!(a.bump_edge(edge(1, 0)));
+        assert!(!a.bump_edge(edge(9, 8)));
+        assert!(b.bump_edge(edge(2, 1)));
+        let common: Vec<_> = a.common_entries(&b).collect();
+        assert_eq!(
+            common,
+            vec![(edge(1, 0), 1, 0), (edge(2, 1), 0, 1)]
+        );
+        assert!(!a.dominates_where(&b, |_| true));
+        assert!(a.dominates_where(&b, |e| e == edge(1, 0)));
+        a.merge_from(&b);
+        assert_eq!(a.get(edge(2, 1)), Some(1));
+        assert_eq!(a.get(edge(1, 0)), Some(1));
+    }
+
+    #[test]
+    fn debug_formats_are_informative() {
+        let g = topologies::line(2);
+        let p = EdgeProtocol::new(g);
+        assert!(format!("{p:?}").contains("EdgeProtocol"));
+        let c = p.new_clock(ReplicaId(0));
+        assert!(format!("{c:?}").contains("e(0→1)"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Epoch-based reconfiguration of the share graph.
+//!
+//! The paper treats the register placement `X_r` as static and notes that
+//! "in practice, set `X_r` for replica `r` may change dynamically"
+//! (Section 2). This module implements the standard epoch-barrier approach
+//! to that future-work item:
+//!
+//! 1. drain the current epoch to quiescence and verify it was causally
+//!    consistent,
+//! 2. build a fresh cluster (new share graph ⇒ new timestamp graphs and
+//!    zeroed clocks), and
+//! 3. re-publish the surviving register values as fresh epoch-initial
+//!    writes, so they acquire causal histories in the new epoch and
+//!    propagate to all (possibly new) holders through the normal protocol.
+//!
+//! Causal dependencies do not cross the barrier — exactly the guarantee an
+//! epoch change gives: every update of epoch `e` happens-before every
+//! update of epoch `e + 1` by construction (the barrier is a global
+//! synchronization point).
+
+use crate::cluster::Cluster;
+use crate::CoreError;
+use prcc_checker::Verdict;
+use prcc_clock::Protocol;
+use prcc_graph::{RegisterId, ReplicaId};
+use prcc_net::DeliveryPolicy;
+
+/// Error returned when a reconfiguration barrier finds the old epoch
+/// inconsistent.
+#[derive(Debug, Clone)]
+pub struct EpochError {
+    /// The epoch that failed verification.
+    pub epoch: u64,
+    /// The failing verdict.
+    pub verdict: Verdict,
+}
+
+impl std::fmt::Display for EpochError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {} failed the reconfiguration barrier: {}",
+            self.epoch, self.verdict
+        )
+    }
+}
+
+impl std::error::Error for EpochError {}
+
+/// A cluster with epoch-based share-graph reconfiguration.
+pub struct EpochedCluster<P: Protocol> {
+    epoch: u64,
+    cluster: Cluster<P>,
+}
+
+impl<P: Protocol> EpochedCluster<P> {
+    /// Starts epoch 0.
+    pub fn new(protocol: P, policy: Box<dyn DeliveryPolicy>) -> Self {
+        EpochedCluster {
+            epoch: 0,
+            cluster: Cluster::new(protocol, policy),
+        }
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The live cluster of the current epoch.
+    pub fn cluster(&self) -> &Cluster<P> {
+        &self.cluster
+    }
+
+    /// Mutable access to the live cluster (writes, stepping, link control).
+    pub fn cluster_mut(&mut self) -> &mut Cluster<P> {
+        &mut self.cluster
+    }
+
+    /// Runs the barrier and switches to a new share graph/protocol.
+    ///
+    /// Register values that survive (registers present in both universes)
+    /// are re-published in the new epoch via one initial write at their
+    /// first new holder and propagated to quiescence, so the new epoch
+    /// starts in a consistent, fully replicated-per-placement state.
+    ///
+    /// # Errors
+    ///
+    /// [`EpochError`] if the old epoch's final verdict is inconsistent;
+    /// the old cluster is left in place in that case.
+    pub fn reconfigure(
+        &mut self,
+        new_protocol: P,
+        new_policy: Box<dyn DeliveryPolicy>,
+    ) -> Result<(), EpochError> {
+        // 1. Barrier: drain and verify the old epoch.
+        self.cluster.release_and_settle();
+        let verdict = self.cluster.verdict();
+        if !verdict.is_consistent() {
+            return Err(EpochError {
+                epoch: self.epoch,
+                verdict,
+            });
+        }
+        // 2. Snapshot surviving values: one representative holder each.
+        let old_g = self.cluster.protocol().share_graph().clone();
+        let mut survivors: Vec<(RegisterId, u64)> = Vec::new();
+        for x in old_g.registers() {
+            for &h in old_g.holders(x) {
+                if let Some(v) = self.cluster.replica(h).peek(x) {
+                    survivors.push((x, v));
+                    break;
+                }
+            }
+        }
+        // 3. Fresh epoch.
+        let mut next = Cluster::new(new_protocol, new_policy);
+        let new_g = next.protocol().share_graph().clone();
+        for (x, v) in survivors {
+            if x.index() >= new_g.num_registers() {
+                continue;
+            }
+            if let Some(&h) = new_g.holders(x).first() {
+                next.write(h, x, v).expect("holder stores the register");
+            }
+        }
+        next.run_to_quiescence();
+        debug_assert!(next.verdict().is_consistent());
+        self.cluster = next;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Convenience passthrough: write in the current epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from the cluster.
+    pub fn write(&mut self, i: ReplicaId, x: RegisterId, v: u64) -> Result<(), CoreError> {
+        self.cluster.write(i, x, v).map(|_| ())
+    }
+
+    /// Convenience passthrough: read in the current epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from the cluster.
+    pub fn read(&self, i: ReplicaId, x: RegisterId) -> Result<Option<u64>, CoreError> {
+        self.cluster.read(i, x)
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for EpochedCluster<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochedCluster")
+            .field("epoch", &self.epoch)
+            .field("cluster", &self.cluster)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_clock::EdgeProtocol;
+    use prcc_graph::topologies;
+    use prcc_net::{FixedDelay, UniformDelay};
+
+    #[test]
+    fn values_survive_a_topology_change() {
+        // Epoch 0: line(3); epoch 1: ring(3) with the same register ids
+        // 0..=1 plus the new ring register 2.
+        let mut ec = EpochedCluster::new(
+            EdgeProtocol::new(topologies::line(3)),
+            Box::new(FixedDelay(2)),
+        );
+        ec.write(ReplicaId(0), RegisterId(0), 7).unwrap();
+        ec.write(ReplicaId(2), RegisterId(1), 9).unwrap();
+        ec.reconfigure(
+            EdgeProtocol::new(topologies::ring(3)),
+            Box::new(FixedDelay(2)),
+        )
+        .unwrap();
+        assert_eq!(ec.epoch(), 1);
+        // ring(3): register 0 held by {0,1}, register 1 by {1,2}.
+        assert_eq!(ec.read(ReplicaId(1), RegisterId(0)).unwrap(), Some(7));
+        assert_eq!(ec.read(ReplicaId(2), RegisterId(1)).unwrap(), Some(9));
+        // New epoch keeps working and verifying.
+        ec.write(ReplicaId(0), RegisterId(2), 5).unwrap();
+        ec.cluster_mut().run_to_quiescence();
+        assert!(ec.cluster().verdict().is_consistent());
+        assert_eq!(ec.read(ReplicaId(2), RegisterId(2)).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn barrier_drains_in_flight_traffic() {
+        let mut ec = EpochedCluster::new(
+            EdgeProtocol::new(topologies::ring(4)),
+            Box::new(UniformDelay::new(3, 1, 30)),
+        );
+        for v in 0..20u64 {
+            let i = ReplicaId((v % 4) as usize);
+            let reg = prcc_graph::RegisterId((i.index() % 4) as u32);
+            ec.write(i, reg, v).unwrap();
+        }
+        // Reconfigure immediately: the barrier must finish delivery first.
+        ec.reconfigure(
+            EdgeProtocol::new(topologies::ring(4)),
+            Box::new(UniformDelay::new(4, 1, 30)),
+        )
+        .unwrap();
+        assert!(ec.cluster().verdict().is_consistent());
+    }
+
+    #[test]
+    fn growing_the_system_adds_replicas() {
+        let mut ec = EpochedCluster::new(
+            EdgeProtocol::new(topologies::line(2)),
+            Box::new(FixedDelay(1)),
+        );
+        ec.write(ReplicaId(0), RegisterId(0), 3).unwrap();
+        ec.reconfigure(
+            EdgeProtocol::new(topologies::line(5)),
+            Box::new(FixedDelay(1)),
+        )
+        .unwrap();
+        // The old register 0 (shared 0–1) survives into the larger line.
+        assert_eq!(ec.read(ReplicaId(1), RegisterId(0)).unwrap(), Some(3));
+        ec.write(ReplicaId(4), RegisterId(3), 8).unwrap();
+        ec.cluster_mut().run_to_quiescence();
+        assert_eq!(ec.read(ReplicaId(3), RegisterId(3)).unwrap(), Some(8));
+        assert!(ec.cluster().verdict().is_consistent());
+    }
+}

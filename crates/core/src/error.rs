@@ -1,0 +1,50 @@
+//! Error type for client-facing operations.
+
+use prcc_graph::{RegisterId, ReplicaId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by cluster/replica operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The replica does not store the requested register.
+    NotStored {
+        /// The replica the operation was addressed to.
+        replica: ReplicaId,
+        /// The register it does not store.
+        register: RegisterId,
+    },
+    /// Replica id out of range.
+    UnknownReplica(ReplicaId),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotStored { replica, register } => {
+                write!(f, "replica {replica} does not store register {register}")
+            }
+            CoreError::UnknownReplica(r) => write!(f, "unknown replica {r}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CoreError::NotStored {
+            replica: ReplicaId(1),
+            register: RegisterId(2),
+        };
+        assert_eq!(e.to_string(), "replica r1 does not store register x2");
+        assert!(CoreError::UnknownReplica(ReplicaId(9))
+            .to_string()
+            .contains("r9"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Graphviz (DOT) export for share graphs and timestamp graphs, used by the
+//! examples and experiment binaries to visualize the paper's figures.
+
+use crate::{ShareGraph, TimestampGraph};
+use std::fmt::Write as _;
+
+/// Renders a share graph as an undirected Graphviz graph, edges labelled by
+/// their shared register sets (the paper's figure style).
+pub fn share_graph_dot(g: &ShareGraph) -> String {
+    let mut out = String::from("graph share {\n  node [shape=circle];\n");
+    for i in g.replicas() {
+        let _ = writeln!(
+            out,
+            "  r{} [label=\"r{}\\n{}\"];",
+            i.index(),
+            i.index(),
+            g.registers_of(i)
+        );
+    }
+    for e in g.undirected_edges() {
+        let _ = writeln!(
+            out,
+            "  r{} -- r{} [label=\"{}\"];",
+            e.from.index(),
+            e.to.index(),
+            g.shared_on(e)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a timestamp graph as a directed Graphviz graph; edges incident at
+/// the owner are solid, loop-induced edges dashed.
+pub fn timestamp_graph_dot(t: &TimestampGraph) -> String {
+    let mut out = String::from("digraph timestamp {\n  node [shape=circle];\n");
+    let owner = t.replica();
+    let _ = writeln!(out, "  r{} [style=filled];", owner.index());
+    for v in t.vertices() {
+        if v != owner {
+            let _ = writeln!(out, "  r{};", v.index());
+        }
+    }
+    for e in t.edges() {
+        let style = if e.touches(owner) { "solid" } else { "dashed" };
+        let _ = writeln!(
+            out,
+            "  r{} -> r{} [style={style}];",
+            e.from.index(),
+            e.to.index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+    use crate::ReplicaId;
+
+    #[test]
+    fn share_graph_dot_mentions_all_edges() {
+        let g = topologies::figure3();
+        let dot = share_graph_dot(&g);
+        assert!(dot.starts_with("graph share {"));
+        assert!(dot.contains("r0 -- r1"));
+        assert!(dot.contains("r1 -- r2"));
+        assert!(dot.contains("r2 -- r3"));
+        assert!(!dot.contains("r0 -- r3"));
+    }
+
+    #[test]
+    fn timestamp_graph_dot_distinguishes_loop_edges() {
+        let g = topologies::figure5();
+        let t = TimestampGraph::compute(&g, ReplicaId(0));
+        let dot = timestamp_graph_dot(&t);
+        assert!(dot.contains("style=filled"));
+        assert!(dot.contains("style=dashed"), "loop edges must be dashed");
+        assert!(dot.contains("style=solid"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for share-graph construction and validation.
+
+use crate::{RegisterId, ReplicaId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph has no replicas.
+    NoReplicas,
+    /// A register id is referenced that is not stored by any replica in the
+    /// declared universe.
+    UnknownRegister(RegisterId),
+    /// A replica id is out of range.
+    UnknownReplica(ReplicaId),
+    /// A client (client-server architecture) references a replica outside the
+    /// share graph.
+    ClientReplicaOutOfRange {
+        /// Index of the offending client.
+        client: usize,
+        /// The out-of-range replica.
+        replica: ReplicaId,
+    },
+    /// A client has an empty replica set.
+    EmptyClientReplicaSet {
+        /// Index of the offending client.
+        client: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NoReplicas => write!(f, "share graph must have at least one replica"),
+            GraphError::UnknownRegister(r) => write!(f, "register {r} is not in the universe"),
+            GraphError::UnknownReplica(r) => write!(f, "replica {r} is out of range"),
+            GraphError::ClientReplicaOutOfRange { client, replica } => {
+                write!(f, "client c{client} references out-of-range replica {replica}")
+            }
+            GraphError::EmptyClientReplicaSet { client } => {
+                write!(f, "client c{client} has an empty replica set")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs = [
+            GraphError::NoReplicas,
+            GraphError::UnknownRegister(RegisterId(3)),
+            GraphError::UnknownReplica(ReplicaId(9)),
+            GraphError::ClientReplicaOutOfRange {
+                client: 1,
+                replica: ReplicaId(7),
+            },
+            GraphError::EmptyClientReplicaSet { client: 0 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

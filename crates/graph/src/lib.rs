@@ -1,0 +1,71 @@
+//! Share graphs, `(i, e_jk)`-loops and timestamp graphs for partially
+//! replicated causally consistent shared memory.
+//!
+//! This crate implements the combinatorial core of Xiang & Vaidya,
+//! *"Partially Replicated Causally Consistent Shared Memory: Lower Bounds and
+//! An Algorithm"* (PODC 2019):
+//!
+//! * [`ShareGraph`] — the share graph `G` of Definition 3: vertices are
+//!   replicas, a (bidirectional) pair of directed edges connects replicas
+//!   `i, j` whenever they store a common register (`X_ij ≠ ∅`).
+//! * [`loops`] — detection of `(i, e_jk)`-loops (Definition 4), the loops in
+//!   the share graph along which a causal dependency can propagate back to a
+//!   replica `i` without touching the intermediate replicas' state.
+//! * [`TimestampGraph`] — the timestamp graph `G_i` (Definition 5): the set
+//!   of directed edges that replica `i` *must and need only* track in its
+//!   timestamp (Theorem 8 + Section 3.3).
+//! * [`hoops`] — Hélary & Milani's `x`-hoops and minimal hoops (original and
+//!   modified definitions), implemented so the paper's counterexamples to
+//!   their claim can be reproduced.
+//! * [`augmented`] — the client-server extension: augmented share graphs,
+//!   augmented `(i, e_jk)`-loops and augmented timestamp graphs
+//!   (Definitions 16, 27, 28).
+//! * [`topologies`] — generators for the share graphs used throughout the
+//!   paper and the experiment suite (rings, trees, cliques, …, plus the
+//!   exact fixtures of Figures 3, 5, 6, 8a, 8b and 13).
+//! * [`analysis`] — timestamp-compression analysis (Section 5 / Appendix D):
+//!   ranks of edge–register incidence matrices, independent counter counts.
+//!
+//! # Example
+//!
+//! ```
+//! use prcc_graph::{ShareGraphBuilder, RegisterId, ReplicaId, TimestampGraph, Edge};
+//!
+//! // The running example of Section 3 (Figure 5a).
+//! let [a, b, c, d, x, y, z, w] = [0, 1, 2, 3, 4, 5, 6, 7].map(RegisterId);
+//! let g = ShareGraphBuilder::new()
+//!     .replica([a, y, w])
+//!     .replica([b, x, y])
+//!     .replica([c, x, z])
+//!     .replica([d, y, z, w])
+//!     .build()
+//!     .expect("valid share graph");
+//!
+//! let g1 = TimestampGraph::compute(&g, ReplicaId(0));
+//! // e43 is tracked by replica 1, e34 is not (paper, Section 3 example;
+//! // replicas are 0-indexed here).
+//! assert!(g1.contains(Edge::new(ReplicaId(3), ReplicaId(2))));
+//! assert!(!g1.contains(Edge::new(ReplicaId(2), ReplicaId(3))));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod augmented;
+pub mod bitset;
+pub mod dot;
+mod error;
+pub mod hoops;
+mod ids;
+pub mod loops;
+mod share_graph;
+mod timestamp_graph;
+pub mod topologies;
+
+pub use augmented::{AugmentedShareGraph, ClientId};
+pub use bitset::RegSet;
+pub use error::GraphError;
+pub use ids::{edge, Edge, RegisterId, ReplicaId};
+pub use share_graph::{ShareGraph, ShareGraphBuilder};
+pub use timestamp_graph::TimestampGraph;

@@ -1,0 +1,630 @@
+//! Share-graph generators: structured topologies used by the paper's
+//! analysis (rings, trees, cliques) and the exact fixtures of its figures.
+
+use crate::{RegisterId, ReplicaId, ShareGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A ring of `n ≥ 3` replicas: replica `p` shares a unique register with
+/// each ring neighbor and nothing else (the Section 4 "cycle" topology and
+/// the Figure 13 example with `n = 6`).
+///
+/// Register `p` is shared by replicas `p` and `(p+1) mod n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> ShareGraph {
+    assert!(n >= 3, "a ring needs at least 3 replicas");
+    let assignments = (0..n)
+        .map(|p| {
+            vec![
+                RegisterId(((p + n - 1) % n) as u32),
+                RegisterId(p as u32),
+            ]
+        })
+        .collect();
+    ShareGraph::from_assignments(assignments).expect("ring is non-empty")
+}
+
+/// A line (path) of `n ≥ 2` replicas: register `p` shared by replicas `p`
+/// and `p + 1`. A tree, so timestamp graphs contain only incident edges.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn line(n: usize) -> ShareGraph {
+    assert!(n >= 2, "a line needs at least 2 replicas");
+    let mut assignments = vec![Vec::new(); n];
+    for p in 0..n - 1 {
+        assignments[p].push(RegisterId(p as u32));
+        assignments[p + 1].push(RegisterId(p as u32));
+    }
+    ShareGraph::from_assignments(assignments).expect("line is non-empty")
+}
+
+/// A star with `n − 1` leaves: leaf `p ∈ 1..n` shares register `p − 1` with
+/// the hub (replica 0) only.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> ShareGraph {
+    assert!(n >= 2, "a star needs at least 2 replicas");
+    let mut assignments = vec![Vec::new(); n];
+    for p in 1..n {
+        assignments[0].push(RegisterId((p - 1) as u32));
+        assignments[p].push(RegisterId((p - 1) as u32));
+    }
+    ShareGraph::from_assignments(assignments).expect("star is non-empty")
+}
+
+/// Full replication over a complete graph: `n` replicas each storing all
+/// `k ≥ 1` registers (the Section 4 clique special case).
+///
+/// # Panics
+///
+/// Panics if `n < 1` or `k < 1`.
+pub fn clique_full(n: usize, k: usize) -> ShareGraph {
+    assert!(n >= 1 && k >= 1);
+    let all: Vec<RegisterId> = (0..k as u32).map(RegisterId).collect();
+    ShareGraph::from_assignments(vec![all; n]).expect("clique is non-empty")
+}
+
+/// Partial replication over a complete share graph: one *unique* register
+/// per unordered pair of replicas.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn clique_pairwise(n: usize) -> ShareGraph {
+    assert!(n >= 2);
+    let mut assignments = vec![Vec::new(); n];
+    let mut next = 0u32;
+    for i in 0..n {
+        for j in i + 1..n {
+            assignments[i].push(RegisterId(next));
+            assignments[j].push(RegisterId(next));
+            next += 1;
+        }
+    }
+    ShareGraph::from_assignments(assignments).expect("clique is non-empty")
+}
+
+/// A `rows × cols` grid: one unique register per grid edge.
+///
+/// # Panics
+///
+/// Panics if `rows * cols < 2`.
+pub fn grid(rows: usize, cols: usize) -> ShareGraph {
+    assert!(rows * cols >= 2);
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut assignments = vec![Vec::new(); rows * cols];
+    let mut next = 0u32;
+    let mut connect = |a: usize, b: usize, assignments: &mut Vec<Vec<RegisterId>>| {
+        assignments[a].push(RegisterId(next));
+        assignments[b].push(RegisterId(next));
+        next += 1;
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                connect(id(r, c), id(r, c + 1), &mut assignments);
+            }
+            if r + 1 < rows {
+                connect(id(r, c), id(r + 1, c), &mut assignments);
+            }
+        }
+    }
+    ShareGraph::from_assignments(assignments).expect("grid is non-empty")
+}
+
+/// A uniformly random labelled tree on `n ≥ 2` replicas (via a random Prüfer
+/// sequence), one unique register per tree edge.
+pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> ShareGraph {
+    assert!(n >= 2, "a tree needs at least 2 replicas");
+    if n == 2 {
+        return line(2);
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut assignments = vec![Vec::new(); n];
+    let mut next = 0u32;
+    let mut connect = |a: usize, b: usize, assignments: &mut Vec<Vec<RegisterId>>| {
+        assignments[a].push(RegisterId(next));
+        assignments[b].push(RegisterId(next));
+        next += 1;
+    };
+    let mut degree_mut = degree;
+    for &v in &prufer {
+        let leaf = (0..n).find(|&u| degree_mut[u] == 1).expect("leaf exists");
+        connect(leaf, v, &mut assignments);
+        degree_mut[leaf] -= 1;
+        degree_mut[v] -= 1;
+    }
+    let remaining: Vec<usize> = (0..n).filter(|&u| degree_mut[u] == 1).collect();
+    connect(remaining[0], remaining[1], &mut assignments);
+    ShareGraph::from_assignments(assignments).expect("tree is non-empty")
+}
+
+/// A random partially replicated system: `regs` registers, each stored by a
+/// uniformly random subset of replicas with size in `2..=max_holders`.
+///
+/// Not guaranteed connected; callers that require connectivity should check
+/// [`ShareGraph::is_connected`] and retry or use [`random_connected`].
+pub fn random_share_graph<R: Rng>(
+    n: usize,
+    regs: usize,
+    max_holders: usize,
+    rng: &mut R,
+) -> ShareGraph {
+    assert!(n >= 2 && regs >= 1 && max_holders >= 2);
+    let mut assignments = vec![Vec::new(); n];
+    let mut ids: Vec<usize> = (0..n).collect();
+    for x in 0..regs as u32 {
+        let holders = rng.gen_range(2..=max_holders.min(n));
+        ids.shuffle(rng);
+        for &p in ids.iter().take(holders) {
+            assignments[p].push(RegisterId(x));
+        }
+    }
+    ShareGraph::from_assignments(assignments).expect("non-empty")
+}
+
+/// Like [`random_share_graph`] but post-processed with extra chain registers
+/// so that the result is connected.
+pub fn random_connected<R: Rng>(
+    n: usize,
+    regs: usize,
+    max_holders: usize,
+    rng: &mut R,
+) -> ShareGraph {
+    let g = random_share_graph(n, regs, max_holders, rng);
+    if g.is_connected() {
+        return g;
+    }
+    // Collect components and stitch them with fresh registers.
+    let mut comp = vec![usize::MAX; n];
+    let mut ncomp = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![ReplicaId(start)];
+        comp[start] = ncomp;
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if comp[v.index()] == usize::MAX {
+                    comp[v.index()] = ncomp;
+                    stack.push(v);
+                }
+            }
+        }
+        ncomp += 1;
+    }
+    let mut assignments: Vec<Vec<RegisterId>> = (0..n)
+        .map(|p| g.registers_of(ReplicaId(p)).iter().collect())
+        .collect();
+    let mut next = g.num_registers() as u32;
+    let mut reps: Vec<usize> = Vec::new();
+    for c in 0..ncomp {
+        reps.push((0..n).find(|&p| comp[p] == c).expect("component rep"));
+    }
+    for w in reps.windows(2) {
+        assignments[w[0]].push(RegisterId(next));
+        assignments[w[1]].push(RegisterId(next));
+        next += 1;
+    }
+    ShareGraph::from_assignments(assignments).expect("non-empty")
+}
+
+/// A wheel: a ring of `n − 1` rim replicas (unique register per rim edge)
+/// plus a hub sharing a unique register with every rim replica. Rich in
+/// short loops: every rim edge sits on a triangle through the hub.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn wheel(n: usize) -> ShareGraph {
+    assert!(n >= 4, "a wheel needs a hub and at least 3 rim replicas");
+    let rim = n - 1;
+    let mut assignments: Vec<Vec<RegisterId>> = vec![Vec::new(); n];
+    let mut next = 0u32;
+    // Rim edges: replicas 1..n arranged in a cycle.
+    for p in 0..rim {
+        let a = 1 + p;
+        let b = 1 + (p + 1) % rim;
+        assignments[a].push(RegisterId(next));
+        assignments[b].push(RegisterId(next));
+        next += 1;
+    }
+    // Spokes.
+    for p in 1..n {
+        assignments[0].push(RegisterId(next));
+        assignments[p].push(RegisterId(next));
+        next += 1;
+    }
+    ShareGraph::from_assignments(assignments).expect("wheel is non-empty")
+}
+
+/// A complete bipartite share graph `K_{a,b}`: one unique register per
+/// (left, right) pair. Dense in 4-cycles, so timestamp graphs grow large —
+/// a stress topology for loop search.
+///
+/// # Panics
+///
+/// Panics if `a < 1` or `b < 1`.
+pub fn complete_bipartite(a: usize, b: usize) -> ShareGraph {
+    assert!(a >= 1 && b >= 1);
+    let mut assignments: Vec<Vec<RegisterId>> = vec![Vec::new(); a + b];
+    let mut next = 0u32;
+    for l in 0..a {
+        for r in 0..b {
+            assignments[l].push(RegisterId(next));
+            assignments[a + r].push(RegisterId(next));
+            next += 1;
+        }
+    }
+    ShareGraph::from_assignments(assignments).expect("bipartite is non-empty")
+}
+
+/// Two rings of sizes `a` and `b` sharing exactly one replica (a figure
+/// eight). Loops through the shared replica stay within one ring: a
+/// fixture showing that `E_i` of a far replica in ring A never contains
+/// ring-B edges.
+///
+/// The shared replica is replica `0`; ring A uses replicas `0..a`, ring B
+/// uses `0` and `a..a+b−1`.
+///
+/// # Panics
+///
+/// Panics if `a < 3` or `b < 3`.
+pub fn figure_eight(a: usize, b: usize) -> ShareGraph {
+    assert!(a >= 3 && b >= 3);
+    let n = a + b - 1;
+    let mut assignments: Vec<Vec<RegisterId>> = vec![Vec::new(); n];
+    let mut next = 0u32;
+    let mut connect = |u: usize, v: usize, assignments: &mut Vec<Vec<RegisterId>>| {
+        assignments[u].push(RegisterId(next));
+        assignments[v].push(RegisterId(next));
+        next += 1;
+    };
+    // Ring A over 0..a.
+    for p in 0..a {
+        connect(p, (p + 1) % a, &mut assignments);
+    }
+    // Ring B over 0, a, a+1, …, a+b−2.
+    let ring_b: Vec<usize> = std::iter::once(0).chain(a..n).collect();
+    for w in 0..ring_b.len() {
+        connect(ring_b[w], ring_b[(w + 1) % ring_b.len()], &mut assignments);
+    }
+    ShareGraph::from_assignments(assignments).expect("figure eight is non-empty")
+}
+
+/// The share graph of the paper's Figure 3: `X1 = {x}`, `X2 = {x, y}`,
+/// `X3 = {y, z}`, `X4 = {z}` (0-indexed replicas; registers `x, y, z` are
+/// `0, 1, 2`). A path graph 1–2–3–4.
+pub fn figure3() -> ShareGraph {
+    ShareGraph::from_assignments(vec![
+        vec![RegisterId(0)],
+        vec![RegisterId(0), RegisterId(1)],
+        vec![RegisterId(1), RegisterId(2)],
+        vec![RegisterId(2)],
+    ])
+    .expect("figure 3 fixture")
+}
+
+/// Registers of the [`figure5`] fixture, in order
+/// `a, b, c, d, x, y, z, w = 0..8`.
+pub mod figure5_registers {
+    use crate::RegisterId;
+    /// `a` (private to replica 1).
+    pub const A: RegisterId = RegisterId(0);
+    /// `b` (private to replica 2).
+    pub const B: RegisterId = RegisterId(1);
+    /// `c` (private to replica 3).
+    pub const C: RegisterId = RegisterId(2);
+    /// `d` (private to replica 4).
+    pub const D: RegisterId = RegisterId(3);
+    /// `x`, shared by replicas 2 and 3.
+    pub const X: RegisterId = RegisterId(4);
+    /// `y`, shared by replicas 1, 2 and 4.
+    pub const Y: RegisterId = RegisterId(5);
+    /// `z`, shared by replicas 3 and 4.
+    pub const Z: RegisterId = RegisterId(6);
+    /// `w`, shared by replicas 1 and 4.
+    pub const W: RegisterId = RegisterId(7);
+}
+
+/// The share graph of the paper's Figure 5a: `X1 = {a, y, w}`,
+/// `X2 = {b, x, y}`, `X3 = {c, x, z}`, `X4 = {d, y, z, w}`.
+///
+/// Its timestamp graph `G_1` (Figure 5b) contains `e43` but not `e34`.
+pub fn figure5() -> ShareGraph {
+    use figure5_registers::*;
+    ShareGraph::from_assignments(vec![
+        vec![A, Y, W],
+        vec![B, X, Y],
+        vec![C, X, Z],
+        vec![D, Y, Z, W],
+    ])
+    .expect("figure 5 fixture")
+}
+
+/// Replica roles and named registers for the Hélary–Milani counterexamples
+/// (Figures 6, 8a, 8b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterexampleRoles {
+    /// The observing replica `i`.
+    pub i: ReplicaId,
+    /// Replica `a1` (on the `i`-to-`k` side).
+    pub a1: ReplicaId,
+    /// Replica `a2`.
+    pub a2: ReplicaId,
+    /// Replica `k` (stores `x`).
+    pub k: ReplicaId,
+    /// Replica `j` (stores `x`).
+    pub j: ReplicaId,
+    /// Replica `b1` (on the `j`-to-`i` side).
+    pub b1: ReplicaId,
+    /// Replica `b2`.
+    pub b2: ReplicaId,
+    /// The register `x` shared by `j` and `k`.
+    pub x: RegisterId,
+    /// The register `y` shared by `b1`, `b2` and `a1`.
+    pub y: RegisterId,
+    /// The register `z` shared by `b2`, `a1` and `a2` (counterexample 1
+    /// only).
+    pub z: Option<RegisterId>,
+}
+
+/// Counterexample 1 (Figure 6 / Figure 8a, Appendix A): a 7-cycle
+/// `j–b1–b2–i–a1–a2–k–j` where `x ∈ X_j ∩ X_k`, `y` is shared by
+/// `{b1, b2, a1}` and `z` by `{b2, a1, a2}`; all other edge labels unique.
+///
+/// The loop `(j, b1, b2, i, a1, a2, k)` is a *minimal x-hoop* per Hélary &
+/// Milani, so their claim forces `i` to track `x`-updates by `j`/`k` — yet
+/// no `(i, e_jk)`- or `(i, e_kj)`-loop exists, so Theorem 8 does not.
+pub fn counterexample1() -> (ShareGraph, CounterexampleRoles) {
+    // Indices: i=0, a1=1, a2=2, k=3, j=4, b1=5, b2=6.
+    // Registers: x=0, y=1, z=2, u1(j·b1)=3, u2(b2·i)=4, u3(i·a1)=5,
+    // u4(a2·k)=6.
+    let g = ShareGraph::from_assignments(vec![
+        /* i  */ vec![RegisterId(4), RegisterId(5)],
+        /* a1 */ vec![RegisterId(5), RegisterId(1), RegisterId(2)],
+        /* a2 */ vec![RegisterId(2), RegisterId(6)],
+        /* k  */ vec![RegisterId(6), RegisterId(0)],
+        /* j  */ vec![RegisterId(0), RegisterId(3)],
+        /* b1 */ vec![RegisterId(3), RegisterId(1)],
+        /* b2 */ vec![RegisterId(1), RegisterId(2), RegisterId(4)],
+    ])
+    .expect("counterexample 1 fixture");
+    let roles = CounterexampleRoles {
+        i: ReplicaId(0),
+        a1: ReplicaId(1),
+        a2: ReplicaId(2),
+        k: ReplicaId(3),
+        j: ReplicaId(4),
+        b1: ReplicaId(5),
+        b2: ReplicaId(6),
+        x: RegisterId(0),
+        y: RegisterId(1),
+        z: Some(RegisterId(2)),
+    };
+    (g, roles)
+}
+
+/// Counterexample 2 (Figure 8b, Appendix A): the same 7-cycle but only `y`
+/// is triply shared (`{b1, b2, a1}`); the `a1–a2` edge gets a unique
+/// register.
+///
+/// Under the *modified* minimal-hoop definition the hoop through `i` is not
+/// minimal (label `y` is stored by three hoop replicas), so `i` would not
+/// track `x` — yet an `(i, e_kj)`-loop exists and Theorem 8 requires
+/// tracking it.
+pub fn counterexample2() -> (ShareGraph, CounterexampleRoles) {
+    // Indices as in counterexample 1.
+    // Registers: x=0, y=1, u1(j·b1)=2, u2(b2·i)=3, u3(i·a1)=4, u4(a2·k)=5,
+    // u5(a1·a2)=6.
+    let g = ShareGraph::from_assignments(vec![
+        /* i  */ vec![RegisterId(3), RegisterId(4)],
+        /* a1 */ vec![RegisterId(4), RegisterId(1), RegisterId(6)],
+        /* a2 */ vec![RegisterId(6), RegisterId(5)],
+        /* k  */ vec![RegisterId(5), RegisterId(0)],
+        /* j  */ vec![RegisterId(0), RegisterId(2)],
+        /* b1 */ vec![RegisterId(2), RegisterId(1)],
+        /* b2 */ vec![RegisterId(1), RegisterId(3)],
+    ])
+    .expect("counterexample 2 fixture");
+    let roles = CounterexampleRoles {
+        i: ReplicaId(0),
+        a1: ReplicaId(1),
+        a2: ReplicaId(2),
+        k: ReplicaId(3),
+        j: ReplicaId(4),
+        b1: ReplicaId(5),
+        b2: ReplicaId(6),
+        x: RegisterId(0),
+        y: RegisterId(1),
+        z: None,
+    };
+    (g, roles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(6);
+        assert_eq!(g.num_replicas(), 6);
+        assert_eq!(g.num_registers(), 6);
+        for p in 0..6 {
+            assert_eq!(g.degree(ReplicaId(p)), 2, "ring degree");
+        }
+        assert!(!g.is_forest());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn line_and_star_are_trees() {
+        assert!(line(7).is_forest());
+        assert!(line(7).is_connected());
+        let s = star(5);
+        assert!(s.is_forest());
+        assert_eq!(s.degree(ReplicaId(0)), 4);
+        for p in 1..5 {
+            assert_eq!(s.degree(ReplicaId(p)), 1);
+        }
+    }
+
+    #[test]
+    fn clique_full_is_full_replication() {
+        let g = clique_full(4, 3);
+        assert!(g.is_full_replication());
+        assert_eq!(g.num_directed_edges(), 12);
+    }
+
+    #[test]
+    fn clique_pairwise_is_complete_but_partial() {
+        let g = clique_pairwise(4);
+        assert!(!g.is_full_replication());
+        assert_eq!(g.num_directed_edges(), 12);
+        assert_eq!(g.num_registers(), 6);
+        for e in g.directed_edges() {
+            assert_eq!(g.shared_on(e).len(), 1, "one register per pair");
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_replicas(), 12);
+        // 3*3 horizontal + 2*4 vertical edges.
+        assert_eq!(g.num_registers(), 9 + 8);
+        assert!(g.is_connected());
+        assert!(!g.is_forest());
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for n in 2..12 {
+            let g = random_tree(n, &mut rng);
+            assert!(g.is_forest(), "n={n}");
+            assert!(g.is_connected(), "n={n}");
+            assert_eq!(g.num_registers(), n - 1);
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for seed in 0..20 {
+            let mut r = ChaCha8Rng::seed_from_u64(seed);
+            let g = random_connected(8, 6, 3, &mut r);
+            assert!(g.is_connected(), "seed={seed}");
+            let _ = &mut rng;
+        }
+    }
+
+    #[test]
+    fn wheel_structure() {
+        let g = wheel(6);
+        assert_eq!(g.num_replicas(), 6);
+        assert_eq!(g.degree(ReplicaId(0)), 5, "hub touches every rim replica");
+        for p in 1..6 {
+            assert_eq!(g.degree(ReplicaId(p)), 3, "rim: two rim edges + spoke");
+        }
+        assert!(g.is_connected());
+        assert!(!g.is_forest());
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.num_replicas(), 5);
+        assert_eq!(g.num_registers(), 6);
+        for l in 0..2 {
+            assert_eq!(g.degree(ReplicaId(l)), 3);
+        }
+        for r in 2..5 {
+            assert_eq!(g.degree(ReplicaId(r)), 2);
+        }
+        assert!(!g.are_adjacent(ReplicaId(0), ReplicaId(1)), "no intra-side edges");
+    }
+
+    #[test]
+    fn figure_eight_structure() {
+        let g = figure_eight(3, 4);
+        assert_eq!(g.num_replicas(), 6);
+        assert_eq!(g.degree(ReplicaId(0)), 4, "shared replica sits on both rings");
+        assert!(g.is_connected());
+        // A replica deep in ring A must not track ring-B edges: every loop
+        // through it stays within ring A (ring B edges cannot be on a simple
+        // loop through a non-shared ring-A vertex).
+        let t1 = crate::TimestampGraph::compute(&g, ReplicaId(1));
+        for e in t1.loop_edges() {
+            assert!(
+                e.from.index() < 3 && e.to.index() < 3,
+                "ring-B edge {e} leaked into ring-A replica's timestamp graph"
+            );
+        }
+    }
+
+    #[test]
+    fn figure3_matches_paper() {
+        let g = figure3();
+        assert_eq!(g.shared(ReplicaId(1), ReplicaId(2)).len(), 1);
+        assert!(g.shared(ReplicaId(0), ReplicaId(3)).is_empty());
+    }
+
+    #[test]
+    fn figure5_labels_match_paper() {
+        use figure5_registers::*;
+        let g = figure5();
+        assert_eq!(g.shared(ReplicaId(2), ReplicaId(3)).iter().collect::<Vec<_>>(), vec![Z]);
+        assert_eq!(g.shared(ReplicaId(0), ReplicaId(1)).iter().collect::<Vec<_>>(), vec![Y]);
+        assert!(g
+            .shared(ReplicaId(0), ReplicaId(3))
+            .contains(W));
+        assert!(!g.are_adjacent(ReplicaId(0), ReplicaId(2)));
+    }
+
+    #[test]
+    fn counterexample1_structure() {
+        let (g, r) = counterexample1();
+        // The 7-cycle plus chords (b1,a1), (b2,a1), (b2,a2).
+        assert!(g.are_adjacent(r.j, r.k));
+        assert!(g.are_adjacent(r.b1, r.a1));
+        assert!(g.are_adjacent(r.b2, r.a1));
+        assert!(g.are_adjacent(r.b2, r.a2));
+        assert!(!g.are_adjacent(r.i, r.j));
+        assert!(!g.are_adjacent(r.i, r.k));
+        // Exactly two edges labelled exactly {y}: (b1,b2) and (b1,a1).
+        let y_only: Vec<_> = g
+            .undirected_edges()
+            .filter(|&e| {
+                let s = g.shared_on(e);
+                s.len() == 1 && s.contains(r.y)
+            })
+            .collect();
+        assert_eq!(y_only.len(), 2, "paper: two edges labelled y, got {y_only:?}");
+    }
+
+    #[test]
+    fn counterexample2_structure() {
+        let (g, r) = counterexample2();
+        assert!(g.are_adjacent(r.j, r.k));
+        assert!(g.are_adjacent(r.b1, r.a1));
+        assert!(g.are_adjacent(r.b2, r.a1));
+        assert!(!g.are_adjacent(r.b2, r.a2), "no z chord in counterexample 2");
+        assert_eq!(g.holders(r.y).len(), 3);
+    }
+}

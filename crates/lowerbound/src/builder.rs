@@ -1,0 +1,150 @@
+//! Scripted executions whose terminal causal pasts are feasible by
+//! construction.
+
+use crate::past::{AbstractUpdate, CausalPast};
+use prcc_checker::{Oracle, UpdateId};
+use prcc_graph::{RegisterId, ReplicaId, ShareGraph};
+
+/// Builds an execution step by step (issue / apply events), checking causal
+/// consistency with the oracle as it goes, and extracts replica causal
+/// pasts as [`CausalPast`] values.
+///
+/// Because every issued update is validated by the oracle's safety check on
+/// application, any causal past extracted from a fully-applied builder run
+/// is *feasible* — realizable by a causally consistent execution — which is
+/// what Definition 12's `σ_i(m)` quantifies over.
+pub struct ExecutionBuilder {
+    g: ShareGraph,
+    oracle: Oracle,
+    /// Per (issuer, register) sequence counters.
+    seq: Vec<u64>,
+    /// Metadata per oracle update id.
+    updates: Vec<AbstractUpdate>,
+    /// Per-replica issue counts (for the ≤ m budget of Definition 12).
+    issued: Vec<u64>,
+}
+
+impl ExecutionBuilder {
+    /// Starts an empty execution.
+    pub fn new(g: &ShareGraph) -> Self {
+        ExecutionBuilder {
+            g: g.clone(),
+            oracle: Oracle::new(g),
+            seq: vec![0; g.num_replicas() * g.num_registers()],
+            updates: Vec::new(),
+            issued: vec![0; g.num_replicas()],
+        }
+    }
+
+    /// Replica `j` issues an update to `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` does not store `x`.
+    pub fn issue(&mut self, j: ReplicaId, x: RegisterId) -> UpdateId {
+        assert!(self.g.stores(j, x), "{j} does not store {x}");
+        let id = self.oracle.on_issue(j, x);
+        let slot = j.index() * self.g.num_registers() + x.index();
+        self.seq[slot] += 1;
+        self.updates.push(AbstractUpdate {
+            issuer: j,
+            register: x,
+            seq: self.seq[slot],
+        });
+        self.issued[j.index()] += 1;
+        id
+    }
+
+    /// Replica `k` applies a previously issued update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application violates causal safety — scripts used for
+    /// lower-bound families must be consistent, so a panic indicates a bug
+    /// in the script.
+    pub fn apply(&mut self, k: ReplicaId, u: UpdateId) {
+        self.oracle
+            .on_apply(k, u)
+            .unwrap_or_else(|v| panic!("script is not causally consistent: {v}"));
+    }
+
+    /// Issues at `j` and immediately applies at every other holder —
+    /// the "global sequential, immediate full delivery" schedule that is
+    /// trivially causally consistent.
+    pub fn issue_and_broadcast(&mut self, j: ReplicaId, x: RegisterId) -> UpdateId {
+        let id = self.issue(j, x);
+        for k in self.g.recipients(j, x) {
+            self.apply(k, id);
+        }
+        id
+    }
+
+    /// The causal past of replica `i` (Definition 6's set `S`).
+    pub fn causal_past(&self, i: ReplicaId) -> CausalPast {
+        self.oracle
+            .replica_causal_past(i)
+            .into_iter()
+            .map(|u| self.updates[u.0 as usize])
+            .collect()
+    }
+
+    /// Updates issued by `j` so far.
+    pub fn issued_by(&self, j: ReplicaId) -> u64 {
+        self.issued[j.index()]
+    }
+
+    /// Largest per-replica issue count — the `m` of Definition 12 this
+    /// execution fits in.
+    pub fn max_issued(&self) -> u64 {
+        self.issued.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The oracle, for direct queries.
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_graph::topologies;
+
+    #[test]
+    fn broadcast_keeps_everything_consistent() {
+        let g = topologies::ring(4);
+        let mut b = ExecutionBuilder::new(&g);
+        for p in 0..4 {
+            let i = ReplicaId(p);
+            for x in g.registers_of(i).iter() {
+                b.issue_and_broadcast(i, x);
+            }
+        }
+        assert!(b.oracle().check_liveness().is_empty());
+        assert_eq!(b.max_issued(), 2);
+    }
+
+    #[test]
+    fn causal_past_accumulates_transitively() {
+        let g = topologies::line(3);
+        let mut b = ExecutionBuilder::new(&g);
+        b.issue_and_broadcast(ReplicaId(0), RegisterId(0));
+        b.issue_and_broadcast(ReplicaId(1), RegisterId(1));
+        // Replica 2 applied r1's update, whose past contains r0's.
+        let past = b.causal_past(ReplicaId(2));
+        assert_eq!(past.len(), 2);
+        assert_eq!(b.issued_by(ReplicaId(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not causally consistent")]
+    fn bad_script_panics() {
+        let g = topologies::clique_full(3, 1);
+        let mut b = ExecutionBuilder::new(&g);
+        let u0 = b.issue(ReplicaId(0), RegisterId(0));
+        b.apply(ReplicaId(1), u0);
+        let u1 = b.issue(ReplicaId(1), RegisterId(0));
+        // Applying u1 at 2 without u0 violates safety.
+        b.apply(ReplicaId(2), u1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Chromatic numbers of (small) conflict graphs.
+//!
+//! Theorem 15: `σ_i(m) ≥ χ(H_i)`. Over an explicitly generated family the
+//! induced subgraph's chromatic number is still a valid lower bound (any
+//! proper coloring of `H_i` restricts to one of the subgraph).
+
+/// Greedy (Welsh–Powell order) coloring — an upper bound on `χ`.
+pub fn greedy_coloring(adj: &[Vec<bool>]) -> usize {
+    let n = adj.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(adj[v].iter().filter(|&&b| b).count()));
+    let mut color = vec![usize::MAX; n];
+    let mut used = 0;
+    for &v in &order {
+        let mut taken: Vec<bool> = vec![false; used + 1];
+        for u in 0..n {
+            if adj[v][u] && color[u] != usize::MAX
+                && color[u] < taken.len() {
+                    taken[color[u]] = true;
+                }
+        }
+        let c = (0..).find(|&c| c >= taken.len() || !taken[c]).unwrap();
+        color[v] = c;
+        used = used.max(c + 1);
+    }
+    used
+}
+
+/// A large clique found greedily — a lower bound on `χ`.
+pub fn greedy_clique(adj: &[Vec<bool>]) -> usize {
+    let n = adj.len();
+    let mut best = 0;
+    for start in 0..n {
+        let mut clique = vec![start];
+        for v in 0..n {
+            if v != start && clique.iter().all(|&u| adj[u][v]) {
+                clique.push(v);
+            }
+        }
+        best = best.max(clique.len());
+    }
+    best
+}
+
+/// Exact chromatic number by branch and bound; intended for graphs of at
+/// most ~16 vertices.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 24 vertices (exponential blow-up
+/// guard).
+pub fn exact_chromatic(adj: &[Vec<bool>]) -> usize {
+    let n = adj.len();
+    assert!(n <= 24, "exact chromatic number limited to 24 vertices");
+    if n == 0 {
+        return 0;
+    }
+    let lower = greedy_clique(adj);
+    let upper = greedy_coloring(adj);
+    let mut k = lower;
+    while k < upper {
+        if colorable(adj, k) {
+            return k;
+        }
+        k += 1;
+    }
+    upper
+}
+
+fn colorable(adj: &[Vec<bool>], k: usize) -> bool {
+    fn rec(adj: &[Vec<bool>], colors: &mut Vec<usize>, v: usize, k: usize) -> bool {
+        if v == adj.len() {
+            return true;
+        }
+        // Symmetry breaking: vertex v may only use colors 0..=min(v, k−1)…
+        let cap = k.min(v + 1);
+        for c in 0..cap {
+            if (0..v).all(|u| !adj[v][u] || colors[u] != c) {
+                colors[v] = c;
+                if rec(adj, colors, v + 1, k) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    rec(adj, &mut vec![usize::MAX; adj.len()], 0, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> Vec<Vec<bool>> {
+        (0..n)
+            .map(|a| (0..n).map(|b| a != b).collect())
+            .collect()
+    }
+
+    fn cycle(n: usize) -> Vec<Vec<bool>> {
+        (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|b| (a + 1) % n == b || (b + 1) % n == a)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn complete_graphs() {
+        for n in 1..8 {
+            assert_eq!(exact_chromatic(&complete(n)), n);
+            assert_eq!(greedy_clique(&complete(n)), n);
+            assert_eq!(greedy_coloring(&complete(n)), n);
+        }
+    }
+
+    #[test]
+    fn odd_and_even_cycles() {
+        assert_eq!(exact_chromatic(&cycle(5)), 3);
+        assert_eq!(exact_chromatic(&cycle(6)), 2);
+        assert_eq!(exact_chromatic(&cycle(7)), 3);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert_eq!(exact_chromatic(&[]), 0);
+        let edgeless = vec![vec![false; 5]; 5];
+        assert_eq!(exact_chromatic(&edgeless), 1);
+        assert_eq!(greedy_clique(&edgeless), 1);
+    }
+
+    #[test]
+    fn greedy_bounds_bracket_exact() {
+        let g = cycle(9);
+        let lo = greedy_clique(&g);
+        let hi = greedy_coloring(&g);
+        let chi = exact_chromatic(&g);
+        assert!(lo <= chi && chi <= hi);
+    }
+}

@@ -1,0 +1,330 @@
+//! The conflict relation on causal pasts (Definition 13).
+
+use crate::past::CausalPast;
+use prcc_graph::{Edge, ReplicaId, ShareGraph};
+
+/// Decides whether two causal pasts of replica `i` *conflict*
+/// (Definition 13), in which case Lemma 14 forces distinct timestamps.
+///
+/// Conditions:
+///
+/// 1. `S1|e ≠ ∅ ≠ S2|e` for every edge `e ∈ E`, and
+/// 2. some edge `e` with `S1|e ⊊ S2|e` (or symmetrically `S2|e ⊊ S1|e`)
+///    that is incident at `i`, or sits as `e_{r1, ls}` on a simple loop
+///    `(i, l_1 … l_s, r_1 … r_t, i)` with
+///    * `S1|e_{rp,lq} = S2|e_{rp,lq}` for every other `(r_p, l_q)` pair
+///      (with `r_{t+1} = i`), and
+///    * `Sx|e_{rp,rp+1} − ∪_q Sx|e_{rp,lq} ≠ ∅` for `1 ≤ p ≤ t`, `x = 1,2`.
+pub fn conflict(g: &ShareGraph, i: ReplicaId, s1: &CausalPast, s2: &CausalPast) -> bool {
+    // Condition 1.
+    for e in g.directed_edges() {
+        if s1.count_on(g, e) == 0 || s2.count_on(g, e) == 0 {
+            return false;
+        }
+    }
+    // Condition 2, tried in both orders.
+    directional_conflict(g, i, s1, s2) || directional_conflict(g, i, s2, s1)
+}
+
+fn directional_conflict(g: &ShareGraph, i: ReplicaId, s1: &CausalPast, s2: &CausalPast) -> bool {
+    for e in g.directed_edges() {
+        if !s1.strictly_below_on(s2, g, e) {
+            continue;
+        }
+        if e.touches(i) {
+            return true;
+        }
+        if loop_condition(g, i, e, s1, s2) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Searches for a simple loop `(i, l_1 … l_s, r_1 … r_t, i)` with
+/// `e = e_{r1, ls}` satisfying Definition 13's side conditions. The loop
+/// orientation is: the `l`-chain leaves `i` and ends at `l_s = e.to`; the
+/// `r`-chain starts at `r_1 = e.from` and returns to `i`.
+fn loop_condition(
+    g: &ShareGraph,
+    i: ReplicaId,
+    e: Edge,
+    s1: &CausalPast,
+    s2: &CausalPast,
+) -> bool {
+    let (r1, ls) = (e.from, e.to);
+    if r1 == i || ls == i {
+        return false;
+    }
+    // Enumerate l-chains: simple paths i → ls avoiding r1.
+    let mut l_chain = vec![];
+    let mut on = vec![false; g.num_replicas()];
+    on[i.index()] = true;
+    dfs_l(g, i, ls, r1, &mut l_chain, &mut on, &mut |l_chain, on| {
+        // For this l-chain, enumerate r-chains r1 → i disjoint from it.
+        let mut r_chain = vec![r1];
+        let mut on2 = on.to_vec();
+        on2[r1.index()] = true;
+        dfs_r(g, i, &mut r_chain, &mut on2, &mut |r_chain| {
+            check_side_conditions(g, i, e, s1, s2, l_chain, r_chain)
+        })
+    })
+}
+
+fn dfs_l(
+    g: &ShareGraph,
+    u: ReplicaId,
+    target: ReplicaId,
+    forbidden: ReplicaId,
+    l_chain: &mut Vec<ReplicaId>,
+    on: &mut Vec<bool>,
+    visit: &mut impl FnMut(&[ReplicaId], &[bool]) -> bool,
+) -> bool {
+    for &v in g.neighbors(u) {
+        if v == forbidden || on[v.index()] {
+            continue;
+        }
+        if v == target {
+            l_chain.push(v);
+            on[v.index()] = true;
+            let hit = visit(l_chain, on);
+            on[v.index()] = false;
+            l_chain.pop();
+            if hit {
+                return true;
+            }
+            continue;
+        }
+        l_chain.push(v);
+        on[v.index()] = true;
+        let hit = dfs_l(g, v, target, forbidden, l_chain, on, visit);
+        on[v.index()] = false;
+        l_chain.pop();
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+fn dfs_r(
+    g: &ShareGraph,
+    i: ReplicaId,
+    r_chain: &mut Vec<ReplicaId>,
+    on: &mut Vec<bool>,
+    visit: &mut impl FnMut(&[ReplicaId]) -> bool,
+) -> bool {
+    let u = *r_chain.last().unwrap();
+    if g.are_adjacent(u, i) && visit(r_chain) {
+        return true;
+    }
+    for &v in g.neighbors(u) {
+        if on[v.index()] {
+            continue;
+        }
+        r_chain.push(v);
+        on[v.index()] = true;
+        let hit = dfs_r(g, i, r_chain, on, visit);
+        on[v.index()] = false;
+        r_chain.pop();
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_side_conditions(
+    g: &ShareGraph,
+    i: ReplicaId,
+    e: Edge,
+    s1: &CausalPast,
+    s2: &CausalPast,
+    l_chain: &[ReplicaId],
+    r_chain: &[ReplicaId],
+) -> bool {
+    // (1): equality on every cross edge e_{rp,lq} ≠ e, with r_{t+1} = i.
+    let mut r_ext: Vec<ReplicaId> = r_chain.to_vec();
+    r_ext.push(i);
+    for &rp in &r_ext {
+        for &lq in l_chain {
+            let cross = Edge::new(rp, lq);
+            if cross == e || !g.has_edge(cross) {
+                continue;
+            }
+            if s1.restrict(g, cross) != s2.restrict(g, cross) {
+                return false;
+            }
+        }
+    }
+    // (2): for 1 ≤ p ≤ t (r_{t+1} = i):
+    // Sx|e_{rp,rp+1} − ∪_q Sx|e_{rp,lq} ≠ ∅.
+    for p in 0..r_chain.len() {
+        let rp = r_chain[p];
+        let rp1 = if p + 1 < r_chain.len() {
+            r_chain[p + 1]
+        } else {
+            i
+        };
+        let along = Edge::new(rp, rp1);
+        for s in [s1, s2] {
+            let mut set = s.restrict(g, along);
+            for &lq in l_chain {
+                let cross = Edge::new(rp, lq);
+                if g.has_edge(cross) {
+                    for u in s.restrict(g, cross) {
+                        set.remove(&u);
+                    }
+                }
+            }
+            if set.is_empty() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Builds the conflict graph over a family of causal pasts: adjacency
+/// matrix entry `(a, b)` is true iff the pasts conflict.
+pub fn conflict_graph(
+    g: &ShareGraph,
+    i: ReplicaId,
+    family: &[CausalPast],
+) -> Vec<Vec<bool>> {
+    let n = family.len();
+    let mut adj = vec![vec![false; n]; n];
+    for a in 0..n {
+        for b in a + 1..n {
+            if conflict(g, i, &family[a], &family[b]) {
+                adj[a][b] = true;
+                adj[b][a] = true;
+            }
+        }
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::past::AbstractUpdate;
+    use prcc_graph::{edge, RegisterId, topologies};
+
+    fn u(issuer: usize, register: u32, seq: u64) -> AbstractUpdate {
+        AbstractUpdate {
+            issuer: ReplicaId(issuer),
+            register: RegisterId(register),
+            seq,
+        }
+    }
+
+    /// Base past with one update on every directed edge of a graph.
+    fn base(g: &ShareGraph) -> CausalPast {
+        let mut s = CausalPast::new();
+        for e in g.directed_edges() {
+            let reg = g.shared_on(e).first().unwrap();
+            s.insert(AbstractUpdate {
+                issuer: e.from,
+                register: reg,
+                seq: 1,
+            });
+        }
+        s
+    }
+
+    use prcc_graph::ShareGraph;
+
+    #[test]
+    fn incident_edge_difference_conflicts() {
+        let g = topologies::line(3);
+        let i = ReplicaId(1);
+        let s1 = base(&g);
+        let mut s2 = s1.clone();
+        s2.insert(u(0, 0, 2)); // one more update on e_01 (incident at 1).
+        assert!(conflict(&g, i, &s1, &s2));
+        assert!(conflict(&g, i, &s2, &s1), "symmetric");
+    }
+
+    #[test]
+    fn condition1_requires_all_edges_nonempty() {
+        let g = topologies::line(3);
+        let i = ReplicaId(1);
+        let mut s1 = CausalPast::new();
+        s1.insert(u(0, 0, 1)); // nothing on the 1–2 edge.
+        let mut s2 = s1.clone();
+        s2.insert(u(0, 0, 2));
+        assert!(!conflict(&g, i, &s1, &s2));
+    }
+
+    #[test]
+    fn equal_pasts_do_not_conflict() {
+        let g = topologies::ring(4);
+        let s = base(&g);
+        assert!(!conflict(&g, ReplicaId(0), &s, &s.clone()));
+    }
+
+    #[test]
+    fn ring_far_edge_conflicts_via_loop() {
+        // On a ring, a difference on a non-incident edge (with everything
+        // else equal) conflicts through the whole-ring loop.
+        let g = topologies::ring(4);
+        let i = ReplicaId(0);
+        let s1 = base(&g);
+        let mut s2 = s1.clone();
+        // Edge e_{2→3} carries register 2 (shared by replicas 2,3).
+        s2.insert(u(2, 2, 2));
+        assert!(s1.strictly_below_on(&s2, &g, edge(2, 3)));
+        assert!(conflict(&g, i, &s1, &s2));
+    }
+
+    #[test]
+    fn tree_far_edge_does_not_conflict() {
+        // On a line, a difference on a far edge has no loop to carry it; no
+        // incident difference either → no conflict. (This is exactly why
+        // trees only need incident counters.)
+        let g = topologies::line(4);
+        let i = ReplicaId(0);
+        let s1 = base(&g);
+        let mut s2 = s1.clone();
+        s2.insert(u(2, 2, 2)); // far edge 2–3
+        assert!(!conflict(&g, i, &s1, &s2));
+    }
+
+    #[test]
+    fn counterexample1_jk_difference_does_not_conflict_at_i() {
+        // Definition 13 mirrors the (i, e_jk)-loop analysis: in
+        // counterexample 1 a difference on the j–k edge alone cannot
+        // conflict at i (the y/z chords break condition (2)).
+        let (g, r) = topologies::counterexample1();
+        let s1 = base(&g);
+        let mut s2 = s1.clone();
+        s2.insert(AbstractUpdate {
+            issuer: r.j,
+            register: r.x,
+            seq: 2,
+        });
+        assert!(!conflict(&g, r.i, &s1, &s2));
+        // But the same difference *does* conflict at k (incident).
+        assert!(conflict(&g, r.k, &s1, &s2));
+    }
+
+    #[test]
+    fn conflict_graph_structure() {
+        let g = topologies::line(3);
+        let i = ReplicaId(1);
+        let s1 = base(&g);
+        let mut s2 = s1.clone();
+        s2.insert(u(0, 0, 2));
+        let mut s3 = s2.clone();
+        s3.insert(u(0, 0, 3));
+        let fam = vec![s1, s2, s3];
+        let adj = conflict_graph(&g, i, &fam);
+        // Chain of strict inclusions: all pairs conflict (clique).
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(adj[a][b], a != b, "({a},{b})");
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Timestamp-space lower bounds (Section 4, Appendix C).
+//!
+//! Definition 12 measures `σ_i(m)`: the minimum number of distinct
+//! timestamps replica `i` must be able to assign over all executions in
+//! which each replica issues up to `m` updates, given Constraint 1
+//! (timestamps are a function of the causal past). Lemma 14 shows
+//! *conflicting* causal pasts (Definition 13) require distinct timestamps,
+//! so any pairwise-conflicting family is a clique in the conflict graph and
+//! `σ_i(m) ≥ χ(H_i) ≥ |family|` (Theorem 15).
+//!
+//! This crate makes that computational:
+//!
+//! * [`CausalPast`] — causal pasts as explicit update sets with the `S|e`
+//!   per-edge restriction.
+//! * [`conflict`] — a literal implementation of Definition 13, including
+//!   the simple-loop case with its equality and non-emptiness side
+//!   conditions.
+//! * [`ExecutionBuilder`] — scripted executions, validated for causal
+//!   consistency by the oracle, whose terminal causal pasts are *feasible*
+//!   by construction.
+//! * [`families`] — explicit pairwise-conflicting families: the incident
+//!   family (any connected graph, size `c^(2·N_i)`), the ring family
+//!   (size `c^(2n)`), and the full-replication family (size `c^R`) —
+//!   matching the paper's closed forms `2 N_i log m`, `2n log m` and
+//!   `R log m` bits.
+//! * [`chromatic`] — exact (small) and greedy chromatic numbers of conflict
+//!   graphs over a family.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod chromatic;
+mod conflict;
+pub mod families;
+mod past;
+
+pub use builder::ExecutionBuilder;
+pub use conflict::{conflict, conflict_graph};
+pub use past::{AbstractUpdate, CausalPast};
+
+/// Closed-form bit lower bounds from the paper's Section 4 discussion.
+pub mod closed_forms {
+    /// Tree share graph: `2 N_i · log2(m)` bits for replica `i` with `N_i`
+    /// neighbors.
+    pub fn tree_bits(n_i: usize, m: u64) -> f64 {
+        2.0 * n_i as f64 * (m as f64).log2()
+    }
+
+    /// Cycle of `n` replicas: `2n · log2(m)` bits.
+    pub fn cycle_bits(n: usize, m: u64) -> f64 {
+        2.0 * n as f64 * (m as f64).log2()
+    }
+
+    /// Full replication with `R` replicas: `R · log2(m)` bits (the vector
+    /// timestamp bound: timestamp space `m^R`).
+    pub fn clique_bits(r: usize, m: u64) -> f64 {
+        r as f64 * (m as f64).log2()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn formulas() {
+            assert_eq!(tree_bits(3, 4), 12.0);
+            assert_eq!(cycle_bits(5, 2), 10.0);
+            assert_eq!(clique_bits(4, 16), 16.0);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The in-flight message queue.
+
+use crate::policy::DeliveryPolicy;
+use crate::stats::NetStats;
+use crate::{NodeIndex, VirtualTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+/// Unique, monotonically increasing identifier of a sent message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u64);
+
+/// A message handed back by [`Network::deliver_next`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Message id assigned at send time.
+    pub id: MessageId,
+    /// Sender node.
+    pub src: NodeIndex,
+    /// Receiver node.
+    pub dst: NodeIndex,
+    /// Virtual time of delivery.
+    pub time: VirtualTime,
+    /// The payload.
+    pub msg: M,
+}
+
+struct Envelope<M> {
+    id: MessageId,
+    src: NodeIndex,
+    dst: NodeIndex,
+    bytes: usize,
+    msg: M,
+}
+
+/// A reliable point-to-point network of `n` nodes with pluggable delays and
+/// per-link hold-back.
+///
+/// Guarantees:
+///
+/// * **Reliable**: every sent message is eventually delivered (held-back
+///   messages once released).
+/// * **Deterministic**: delivery order depends only on the policy (and its
+///   seed) and the send sequence; ties in delivery time break by send order.
+/// * **Non-FIFO** unless the policy is [`crate::FixedDelay`].
+///
+/// ```
+/// use prcc_net::{FixedDelay, Network};
+/// let mut net: Network<&str> = Network::new(2, Box::new(FixedDelay(5)));
+/// net.send(0, 1, 16, "hello");
+/// let d = net.deliver_next().expect("one message in flight");
+/// assert_eq!((d.src, d.dst, d.msg), (0, 1, "hello"));
+/// assert!(net.is_quiescent());
+/// ```
+pub struct Network<M> {
+    now: VirtualTime,
+    next_id: u64,
+    queue: BinaryHeap<Reverse<(VirtualTime, u64)>>,
+    in_flight: HashMap<u64, Envelope<M>>,
+    held: HashMap<(NodeIndex, NodeIndex), Vec<Envelope<M>>>,
+    held_links: Vec<(NodeIndex, NodeIndex)>,
+    policy: Box<dyn DeliveryPolicy>,
+    stats: NetStats,
+    num_nodes: usize,
+    /// When `k > 0`, every `k`-th send also delivers a duplicate copy —
+    /// fault injection for at-least-once channels.
+    duplicate_every: u64,
+    sends: u64,
+}
+
+impl<M> Network<M> {
+    /// Creates a network of `num_nodes` nodes with the given delay policy.
+    pub fn new(num_nodes: usize, policy: Box<dyn DeliveryPolicy>) -> Self {
+        Network {
+            now: VirtualTime::ZERO,
+            next_id: 0,
+            queue: BinaryHeap::new(),
+            in_flight: HashMap::new(),
+            held: HashMap::new(),
+            held_links: Vec::new(),
+            policy,
+            stats: NetStats::new(num_nodes),
+            num_nodes,
+            duplicate_every: 0,
+            sends: 0,
+        }
+    }
+
+    /// Enables duplicate injection: every `k`-th sent message is delivered
+    /// twice (at independent times). `0` disables. Exercises the receivers'
+    /// at-least-once tolerance; the paper assumes exactly-once channels, so
+    /// replicas must deduplicate to keep their predicates live.
+    pub fn set_duplicate_every(&mut self, k: u64) {
+        self.duplicate_every = k;
+    }
+
+    /// Number of attached nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Current virtual time (time of the last delivery).
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    fn send_one(&mut self, src: NodeIndex, dst: NodeIndex, bytes: usize, msg: M) -> MessageId {
+        let id = MessageId(self.next_id);
+        self.next_id += 1;
+        self.stats.record_send(src, dst, bytes);
+        let env = Envelope {
+            id,
+            src,
+            dst,
+            bytes,
+            msg,
+        };
+        if self.held_links.contains(&(src, dst)) {
+            self.held.entry((src, dst)).or_default().push(env);
+        } else {
+            self.schedule(env);
+        }
+        id
+    }
+
+    fn schedule(&mut self, env: Envelope<M>) {
+        let delay = self.policy.delay(env.src, env.dst, self.now).max(1);
+        let at = self.now + delay;
+        self.queue.push(Reverse((at, env.id.0)));
+        self.in_flight.insert(env.id.0, env);
+    }
+
+    /// Pops the earliest scheduled delivery, advancing virtual time.
+    ///
+    /// Held-back messages are not candidates until released. Returns `None`
+    /// when nothing is in flight.
+    pub fn deliver_next(&mut self) -> Option<Delivery<M>> {
+        let Reverse((at, id)) = self.queue.pop()?;
+        let env = self
+            .in_flight
+            .remove(&id)
+            .expect("queued message must be in flight");
+        self.now = self.now.max(at);
+        self.stats.record_delivery(env.src, env.dst, env.bytes, at);
+        Some(Delivery {
+            id: env.id,
+            src: env.src,
+            dst: env.dst,
+            time: at,
+            msg: env.msg,
+        })
+    }
+
+    /// Starts holding back all *future* messages on the directed link
+    /// `src → dst` (the proof executions' "delayed in the communication
+    /// channels").
+    pub fn hold_link(&mut self, src: NodeIndex, dst: NodeIndex) {
+        if !self.held_links.contains(&(src, dst)) {
+            self.held_links.push((src, dst));
+        }
+    }
+
+    /// Stops holding the link and schedules everything accumulated on it.
+    pub fn release_link(&mut self, src: NodeIndex, dst: NodeIndex) {
+        self.held_links.retain(|&l| l != (src, dst));
+        if let Some(envs) = self.held.remove(&(src, dst)) {
+            for env in envs {
+                self.schedule(env);
+            }
+        }
+    }
+
+    /// Releases every held link.
+    pub fn release_all(&mut self) {
+        let links: Vec<_> = self.held.keys().copied().collect();
+        for (s, d) in links {
+            self.release_link(s, d);
+        }
+        self.held_links.clear();
+    }
+
+    /// Number of messages currently scheduled (excluding held).
+    pub fn scheduled_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of messages currently held back.
+    pub fn held_count(&self) -> usize {
+        self.held.values().map(Vec::len).sum()
+    }
+
+    /// True when no message is scheduled *or* held.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty() && self.held.values().all(Vec::is_empty)
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+impl<M: Clone> Network<M> {
+    /// Sends `msg` from `src` to `dst`; `bytes` is its wire size for
+    /// accounting. With duplicate injection enabled, periodically schedules
+    /// a second copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either index is out of range.
+    pub fn send(&mut self, src: NodeIndex, dst: NodeIndex, bytes: usize, msg: M) -> MessageId {
+        assert!(src != dst, "no self messages");
+        assert!(src < self.num_nodes && dst < self.num_nodes, "node out of range");
+        self.sends += 1;
+        if self.duplicate_every > 0 && self.sends.is_multiple_of(self.duplicate_every) {
+            self.send_one(src, dst, bytes, msg.clone());
+        }
+        self.send_one(src, dst, bytes, msg)
+    }
+}
+
+impl<M> fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.num_nodes)
+            .field("now", &self.now)
+            .field("scheduled", &self.queue.len())
+            .field("held", &self.held_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FixedDelay, UniformDelay};
+
+    fn fifo_net() -> Network<&'static str> {
+        Network::new(3, Box::new(FixedDelay(5)))
+    }
+
+    #[test]
+    fn fixed_delay_preserves_send_order() {
+        let mut net = fifo_net();
+        net.send(0, 1, 10, "a");
+        net.send(0, 1, 10, "b");
+        net.send(0, 1, 10, "c");
+        let order: Vec<_> = std::iter::from_fn(|| net.deliver_next())
+            .map(|d| d.msg)
+            .collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert!(net.is_quiescent());
+    }
+
+    #[test]
+    fn uniform_delay_can_reorder() {
+        // With a wide delay range, some pair of consecutive messages gets
+        // swapped for this seed.
+        let mut net: Network<u32> = Network::new(2, Box::new(UniformDelay::new(3, 1, 100)));
+        for m in 0..20 {
+            net.send(0, 1, 1, m);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| net.deliver_next())
+            .map(|d| d.msg)
+            .collect();
+        assert_eq!(order.len(), 20);
+        assert!(
+            order.windows(2).any(|w| w[0] > w[1]),
+            "expected at least one reordering, got {order:?}"
+        );
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut net: Network<u32> = Network::new(2, Box::new(UniformDelay::new(9, 1, 50)));
+        for m in 0..10 {
+            net.send(0, 1, 1, m);
+        }
+        let mut last = VirtualTime::ZERO;
+        while let Some(d) = net.deliver_next() {
+            assert!(d.time >= last);
+            last = d.time;
+        }
+        assert_eq!(net.now(), last);
+    }
+
+    #[test]
+    fn hold_and_release() {
+        let mut net = fifo_net();
+        net.hold_link(0, 1);
+        net.send(0, 1, 1, "held");
+        net.send(0, 2, 1, "direct");
+        assert_eq!(net.held_count(), 1);
+        assert!(!net.is_quiescent());
+        let first = net.deliver_next().unwrap();
+        assert_eq!(first.msg, "direct");
+        assert!(net.deliver_next().is_none(), "held message must not deliver");
+        net.release_link(0, 1);
+        let second = net.deliver_next().unwrap();
+        assert_eq!(second.msg, "held");
+        assert!(net.is_quiescent());
+    }
+
+    #[test]
+    fn release_all_flushes_everything() {
+        let mut net = fifo_net();
+        net.hold_link(0, 1);
+        net.hold_link(1, 2);
+        net.send(0, 1, 1, "a");
+        net.send(1, 2, 1, "b");
+        assert_eq!(net.held_count(), 2);
+        net.release_all();
+        assert_eq!(net.held_count(), 0);
+        assert_eq!(net.scheduled_count(), 2);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let mut net = fifo_net();
+        net.send(0, 1, 100, "a");
+        net.send(1, 2, 50, "b");
+        while net.deliver_next().is_some() {}
+        assert_eq!(net.stats().messages_sent(), 2);
+        assert_eq!(net.stats().bytes_sent(), 150);
+        assert_eq!(net.stats().messages_delivered(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self messages")]
+    fn self_send_panics() {
+        let mut net = fifo_net();
+        net.send(1, 1, 1, "x");
+    }
+
+    #[test]
+    fn message_ids_are_unique_and_ordered() {
+        let mut net = fifo_net();
+        let a = net.send(0, 1, 1, "a");
+        let b = net.send(0, 2, 1, "b");
+        assert!(a < b);
+    }
+}

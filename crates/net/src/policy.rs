@@ -1,0 +1,193 @@
+//! Message delay policies.
+
+use crate::{NodeIndex, VirtualTime};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Decides the in-flight delay of each message.
+///
+/// Policies see only (source, destination, send time), never payloads, so
+/// protocol behaviour cannot leak into scheduling except through genuine
+/// message-passing — the adversary of the paper's model.
+pub trait DeliveryPolicy: fmt::Debug + Send {
+    /// Delay, in ticks, for a message sent `src → dst` at `now`. Must be at
+    /// least 1 so causality of the simulation itself is preserved.
+    fn delay(&mut self, src: NodeIndex, dst: NodeIndex, now: VirtualTime) -> u64;
+}
+
+/// Independent uniformly random per-message delays in `[min, max]` — the
+/// paper's asynchronous non-FIFO channel model. With `max > min`, later
+/// messages routinely overtake earlier ones on the same link.
+pub struct UniformDelay {
+    rng: ChaCha8Rng,
+    min: u64,
+    max: u64,
+}
+
+impl UniformDelay {
+    /// Creates the policy from a seed and an inclusive delay range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min < 1` or `min > max`.
+    pub fn new(seed: u64, min: u64, max: u64) -> Self {
+        assert!(min >= 1 && min <= max, "need 1 ≤ min ≤ max");
+        UniformDelay {
+            rng: <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed),
+            min,
+            max,
+        }
+    }
+
+    /// A loosely synchronous variant (Appendix D): single-hop delays in
+    /// `[min, max]` with `max < l·min` guarantee that any dependency chain
+    /// of `l` or more hops arrives after a direct one-hop message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range cannot satisfy the constraint (`l < 2`).
+    pub fn loosely_synchronous(seed: u64, min: u64, l: usize) -> Self {
+        assert!(l >= 2, "loose synchrony needs a path bound ≥ 2");
+        let max = (l as u64) * min - 1;
+        Self::new(seed, min, max)
+    }
+}
+
+impl fmt::Debug for UniformDelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UniformDelay")
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl DeliveryPolicy for UniformDelay {
+    fn delay(&mut self, _src: NodeIndex, _dst: NodeIndex, _now: VirtualTime) -> u64 {
+        self.rng.gen_range(self.min..=self.max)
+    }
+}
+
+/// Constant delay on every link. Combined with the network's deterministic
+/// FIFO tie-breaking this yields per-link FIFO channels.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedDelay(pub u64);
+
+impl DeliveryPolicy for FixedDelay {
+    fn delay(&mut self, _src: NodeIndex, _dst: NodeIndex, _now: VirtualTime) -> u64 {
+        self.0.max(1)
+    }
+}
+
+/// Per-link base delays plus uniform jitter — heterogeneous topologies such
+/// as the ring-breaking relay of experiment E12, where relayed updates
+/// traverse several slow hops.
+pub struct PerLinkDelay {
+    rng: ChaCha8Rng,
+    default: u64,
+    jitter: u64,
+    overrides: Vec<((NodeIndex, NodeIndex), u64)>,
+}
+
+impl PerLinkDelay {
+    /// Creates the policy with a default base delay and ± jitter.
+    pub fn new(seed: u64, default: u64, jitter: u64) -> Self {
+        PerLinkDelay {
+            rng: <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed),
+            default: default.max(1),
+            jitter,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Overrides the base delay of one directed link.
+    pub fn set_link(&mut self, src: NodeIndex, dst: NodeIndex, base: u64) {
+        self.overrides.push(((src, dst), base.max(1)));
+    }
+
+    fn base(&self, src: NodeIndex, dst: NodeIndex) -> u64 {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == (src, dst))
+            .map(|&(_, d)| d)
+            .unwrap_or(self.default)
+    }
+}
+
+impl fmt::Debug for PerLinkDelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PerLinkDelay")
+            .field("default", &self.default)
+            .field("jitter", &self.jitter)
+            .field("overrides", &self.overrides.len())
+            .finish()
+    }
+}
+
+impl DeliveryPolicy for PerLinkDelay {
+    fn delay(&mut self, src: NodeIndex, dst: NodeIndex, _now: VirtualTime) -> u64 {
+        let base = self.base(src, dst);
+        if self.jitter == 0 {
+            base
+        } else {
+            base + self.rng.gen_range(0..=self.jitter)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_delay_stays_in_range() {
+        let mut p = UniformDelay::new(1, 2, 9);
+        for _ in 0..200 {
+            let d = p.delay(0, 1, VirtualTime::ZERO);
+            assert!((2..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniform_delay_is_deterministic_per_seed() {
+        let mut a = UniformDelay::new(7, 1, 100);
+        let mut b = UniformDelay::new(7, 1, 100);
+        for _ in 0..50 {
+            assert_eq!(a.delay(0, 1, VirtualTime::ZERO), b.delay(0, 1, VirtualTime::ZERO));
+        }
+    }
+
+    #[test]
+    fn loosely_synchronous_bound() {
+        let mut p = UniformDelay::loosely_synchronous(3, 10, 4);
+        for _ in 0..200 {
+            let d = p.delay(0, 1, VirtualTime::ZERO);
+            assert!((10..40).contains(&d), "one hop must beat any 4-hop chain");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ min ≤ max")]
+    fn uniform_rejects_bad_range() {
+        let _ = UniformDelay::new(0, 5, 4);
+    }
+
+    #[test]
+    fn fixed_delay_floor() {
+        let mut p = FixedDelay(0);
+        assert_eq!(p.delay(0, 1, VirtualTime::ZERO), 1);
+    }
+
+    #[test]
+    fn per_link_overrides() {
+        let mut p = PerLinkDelay::new(0, 5, 0);
+        p.set_link(0, 1, 50);
+        assert_eq!(p.delay(0, 1, VirtualTime::ZERO), 50);
+        assert_eq!(p.delay(1, 0, VirtualTime::ZERO), 5);
+        // Latest override wins.
+        p.set_link(0, 1, 70);
+        assert_eq!(p.delay(0, 1, VirtualTime::ZERO), 70);
+    }
+}

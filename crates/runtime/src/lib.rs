@@ -1,0 +1,245 @@
+//! A threaded in-process deployment of the protocol.
+//!
+//! The discrete-event simulator (`prcc-net`) is the primary substrate for
+//! experiments because it is deterministic and can realize the paper's
+//! adversarial schedules. This crate complements it with *real*
+//! concurrency: each replica runs on its own OS thread, updates travel
+//! through a pool of delayer threads (so messages between the same pair of
+//! replicas can overtake each other — the paper's non-FIFO channels), and
+//! the shared oracle checks causal consistency under true parallelism.
+//!
+//! This shakes out `Send`/`Sync` issues and validates that the protocol
+//! logic does not secretly depend on the simulator's cooperative stepping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use prcc_checker::{Oracle, Verdict};
+use prcc_clock::Protocol;
+use prcc_core::{Replica, Update};
+use prcc_graph::{RegisterId, ReplicaId};
+use prcc_net::VirtualTime;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+enum Msg<C> {
+    Write(RegisterId, u64),
+    Update(Update<C>),
+    Shutdown,
+}
+
+type NodeChannels<C> = (Vec<Sender<Msg<C>>>, Vec<Receiver<Msg<C>>>);
+
+/// A write operation for the threaded cluster: `(replica, register, value)`.
+pub type WriteOp = (ReplicaId, RegisterId, u64);
+
+/// Outcome of a threaded run.
+#[derive(Debug)]
+pub struct ThreadedReport {
+    /// Oracle verdict at termination.
+    pub verdict: Verdict,
+    /// Total update messages exchanged.
+    pub messages: u64,
+    /// Remote applies performed across replicas.
+    pub applies: u64,
+}
+
+/// Runs `ops` against a threaded deployment of `protocol` and verifies
+/// causal consistency.
+///
+/// Each replica is an OS thread; updates are routed through `delayers`
+/// threads that sleep up to `max_delay_us` microseconds before forwarding,
+/// so per-link FIFO order is deliberately broken. The function returns once
+/// every message has been processed (quiescence via an in-flight counter).
+///
+/// # Panics
+///
+/// Panics if an op addresses a replica/register pair the share graph does
+/// not permit, or if a worker thread panics.
+pub fn run_threaded<P>(
+    protocol: Arc<P>,
+    ops: Vec<WriteOp>,
+    delayers: usize,
+    max_delay_us: u64,
+    seed: u64,
+) -> ThreadedReport
+where
+    P: Protocol + 'static,
+{
+    let g = protocol.share_graph().clone();
+    let n = g.num_replicas();
+    let oracle = Arc::new(Mutex::new(Oracle::new(&g)));
+    let violations = Arc::new(Mutex::new(Vec::new()));
+    let in_flight = Arc::new(AtomicI64::new(0));
+    let messages = Arc::new(AtomicI64::new(0));
+    let applies = Arc::new(AtomicI64::new(0));
+
+    // Replica channels.
+    let (replica_tx, replica_rx): NodeChannels<P::Clock> = (0..n).map(|_| unbounded()).unzip();
+
+    // Delayer pool: (dst, update) pairs forwarded after a random nap.
+    let (delay_tx, delay_rx) = unbounded::<(usize, Update<P::Clock>)>();
+    let mut handles = Vec::new();
+    for d in 0..delayers.max(1) {
+        let rx = delay_rx.clone();
+        let txs = replica_tx.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (d as u64) << 32);
+        handles.push(thread::spawn(move || {
+            while let Ok((dst, update)) = rx.recv() {
+                if max_delay_us > 0 {
+                    let nap = rng.gen_range(0..=max_delay_us);
+                    thread::sleep(Duration::from_micros(nap));
+                }
+                // The receiving replica decrements in_flight.
+                let _ = txs[dst].send(Msg::Update(update));
+            }
+        }));
+    }
+    drop(delay_rx);
+
+    // Replica threads.
+    for (idx, rx) in replica_rx.into_iter().enumerate() {
+        let protocol = Arc::clone(&protocol);
+        let oracle = Arc::clone(&oracle);
+        let violations = Arc::clone(&violations);
+        let in_flight = Arc::clone(&in_flight);
+        let messages = Arc::clone(&messages);
+        let applies = Arc::clone(&applies);
+        let delay_tx = delay_tx.clone();
+        let g = g.clone();
+        handles.push(thread::spawn(move || {
+            let me = ReplicaId(idx);
+            let mut replica: Replica<P> = Replica::new(&protocol, me);
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    Msg::Shutdown => break,
+                    Msg::Write(x, v) => {
+                        let clock = replica.write(&protocol, x, v).expect("valid scripted write");
+                        let id = oracle.lock().on_issue(me, x);
+                        let update = Update {
+                            id,
+                            issuer: me,
+                            register: x,
+                            value: v,
+                            clock,
+                            issued_at: VirtualTime::ZERO,
+                            received_at: VirtualTime::ZERO,
+                        };
+                        for k in protocol.recipients(me, x) {
+                            in_flight.fetch_add(1, Ordering::SeqCst);
+                            messages.fetch_add(1, Ordering::SeqCst);
+                            delay_tx
+                                .send((k.index(), update.clone()))
+                                .expect("delayer alive");
+                        }
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    Msg::Update(u) => {
+                        replica.receive(u, VirtualTime::ZERO);
+                        for done in replica.drain(&protocol) {
+                            if g.stores(me, done.register) {
+                                if let Err(v) = oracle.lock().on_apply(me, done.id) {
+                                    violations.lock().push(v);
+                                }
+                            }
+                            applies.fetch_add(1, Ordering::SeqCst);
+                        }
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+        }));
+    }
+    drop(delay_tx);
+
+    // Inject the script.
+    for (i, x, v) in ops {
+        in_flight.fetch_add(1, Ordering::SeqCst);
+        replica_tx[i.index()]
+            .send(Msg::Write(x, v))
+            .expect("replica alive");
+    }
+
+    // Quiescence: all injected and derived messages processed.
+    while in_flight.load(Ordering::SeqCst) != 0 {
+        thread::sleep(Duration::from_micros(200));
+    }
+    for tx in &replica_tx {
+        let _ = tx.send(Msg::Shutdown);
+    }
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+
+    let mut verdict = Verdict {
+        safety: violations.lock().clone(),
+        liveness: Vec::new(),
+    };
+    verdict.liveness = oracle.lock().check_liveness();
+    ThreadedReport {
+        verdict,
+        messages: messages.load(Ordering::SeqCst) as u64,
+        applies: applies.load(Ordering::SeqCst) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_clock::EdgeProtocol;
+    use prcc_graph::topologies;
+
+    fn script(g: &prcc_graph::ShareGraph, writes: usize, seed: u64) -> Vec<WriteOp> {
+        use rand::seq::SliceRandom;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        let replicas: Vec<ReplicaId> = g.replicas().collect();
+        for v in 0..writes {
+            let i = *replicas.choose(&mut rng).unwrap();
+            let regs: Vec<RegisterId> = g.registers_of(i).iter().collect();
+            if regs.is_empty() {
+                continue;
+            }
+            out.push((i, *regs.choose(&mut rng).unwrap(), v as u64));
+        }
+        out
+    }
+
+    #[test]
+    fn threaded_ring_is_causally_consistent() {
+        let g = topologies::ring(5);
+        let protocol = Arc::new(EdgeProtocol::new(g.clone()));
+        let report = run_threaded(protocol, script(&g, 120, 7), 4, 300, 42);
+        assert!(
+            report.verdict.is_consistent(),
+            "threaded run violated consistency: {:?}",
+            report.verdict
+        );
+        assert!(report.applies > 0);
+        assert!(report.messages > 0);
+    }
+
+    #[test]
+    fn threaded_figure5_many_seeds() {
+        let g = topologies::figure5();
+        for seed in 0..3 {
+            let protocol = Arc::new(EdgeProtocol::new(g.clone()));
+            let report = run_threaded(protocol, script(&g, 80, seed), 3, 200, seed);
+            assert!(report.verdict.is_consistent(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_delay_still_works() {
+        let g = topologies::line(3);
+        let protocol = Arc::new(EdgeProtocol::new(g.clone()));
+        let report = run_threaded(protocol, script(&g, 40, 1), 2, 0, 1);
+        assert!(report.verdict.is_consistent());
+    }
+}

@@ -1,0 +1,62 @@
+//! Run reports.
+
+use prcc_core::ClusterStats;
+use serde::{Deserialize, Serialize};
+
+/// Everything an experiment table needs from one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Protocol name.
+    pub protocol: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Whether the run was causally consistent.
+    pub consistent: bool,
+    /// Number of safety violations observed.
+    pub safety_violations: usize,
+    /// Number of liveness violations at quiescence.
+    pub liveness_violations: usize,
+    /// Cluster statistics (traffic, latency, metadata).
+    pub stats: ClusterStats,
+    /// Virtual duration of the run in ticks.
+    pub duration_ticks: u64,
+}
+
+impl RunReport {
+    /// Updates applied per 1000 virtual ticks — the simulator's throughput
+    /// proxy.
+    pub fn throughput(&self) -> f64 {
+        if self.duration_ticks == 0 {
+            0.0
+        } else {
+            self.stats.applies as f64 * 1000.0 / self.duration_ticks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let r = RunReport {
+            protocol: "x".into(),
+            seed: 0,
+            consistent: true,
+            safety_violations: 0,
+            liveness_violations: 0,
+            stats: ClusterStats {
+                applies: 50,
+                ..Default::default()
+            },
+            duration_ticks: 1000,
+        };
+        assert_eq!(r.throughput(), 50.0);
+        let zero = RunReport {
+            duration_ticks: 0,
+            ..r
+        };
+        assert_eq!(zero.throughput(), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests pinning the paper's headline claims.
+
+use prcc::clock::{ClockState, EdgeProtocol, Protocol};
+use prcc::graph::{
+    analysis, edge, hoops, topologies, Edge, RegisterId, ReplicaId, TimestampGraph,
+};
+use prcc::lowerbound::{closed_forms, conflict, families};
+
+/// Section 3 example (Figure 5): `e43 ∈ G_1`, `e34 ∉ G_1`.
+#[test]
+fn figure5_asymmetric_timestamp_graph() {
+    let g = topologies::figure5();
+    let g1 = TimestampGraph::compute(&g, ReplicaId(0));
+    assert!(g1.contains(edge(3, 2)));
+    assert!(!g1.contains(edge(2, 3)));
+    assert!(g1.contains(edge(2, 1)));
+    assert!(!g1.contains(edge(1, 2)));
+}
+
+/// Section 4: tree → `2·N_i` entries; cycle(n) → `2n`; full-replication
+/// clique → `R(R−1)` raw, `R` compressed.
+#[test]
+fn closed_form_timestamp_sizes() {
+    for n in [2usize, 4, 7] {
+        let g = topologies::line(n);
+        for i in g.replicas() {
+            assert_eq!(
+                TimestampGraph::compute(&g, i).len(),
+                2 * g.degree(i),
+                "line({n}) {i}"
+            );
+        }
+    }
+    for n in [3usize, 5, 8] {
+        let g = topologies::ring(n);
+        for i in g.replicas() {
+            assert_eq!(TimestampGraph::compute(&g, i).len(), 2 * n, "ring({n}) {i}");
+        }
+    }
+    let g = topologies::clique_full(5, 2);
+    for i in g.replicas() {
+        let tsg = TimestampGraph::compute(&g, i);
+        assert_eq!(tsg.len(), 5 * 4);
+        assert_eq!(analysis::compression_report(&g, &tsg).rank_entries, 5);
+    }
+}
+
+/// Appendix A, counterexample 1: the original minimal-hoop criterion makes
+/// `i` track `x`; the loop criterion does not.
+#[test]
+fn helary_milani_original_overapproximates() {
+    let (g, r) = topologies::counterexample1();
+    assert!(hoops::must_track_original(&g, r.i, r.x));
+    let gi = TimestampGraph::compute(&g, r.i);
+    assert!(!hoops::tracked_registers_loops(&g, &gi).contains(r.x));
+}
+
+/// Appendix A, counterexample 2: the modified criterion drops `e_kj`, which
+/// Theorem 8 requires.
+#[test]
+fn helary_milani_modified_underapproximates() {
+    let (g, r) = topologies::counterexample2();
+    assert!(!hoops::must_track_modified(&g, r.i, r.x));
+    let gi = TimestampGraph::compute(&g, r.i);
+    assert!(gi.contains(Edge::new(r.k, r.j)));
+}
+
+/// Theorem 15 tightness on small systems: conflict-clique lower bound =
+/// number of distinct timestamps the algorithm assigns.
+#[test]
+fn lower_bounds_are_tight_on_small_systems() {
+    // Tree (mid of a line): 2·N_i dimensions.
+    let g = topologies::line(3);
+    let fam = families::incident_family(&g, ReplicaId(1), 2);
+    assert_eq!(fam.len(), 16);
+    assert_eq!(families::algorithm_timestamps(&g, &fam), 16);
+    assert!((fam.bits() - closed_forms::tree_bits(2, 2)).abs() < 1e-9);
+
+    // Cycle: 2n dimensions.
+    let g = topologies::ring(3);
+    let fam = families::ring_family(&g, ReplicaId(0), 2);
+    assert_eq!(fam.len(), 64);
+    assert_eq!(families::algorithm_timestamps(&g, &fam), 64);
+    assert!((fam.bits() - closed_forms::cycle_bits(3, 2)).abs() < 1e-9);
+}
+
+/// Lemma 14 sanity: members of a family conflict pairwise; a far-edge-only
+/// difference on a tree does not conflict.
+#[test]
+fn conflict_relation_matches_topology() {
+    let g = topologies::line(3);
+    let fam = families::incident_family(&g, ReplicaId(1), 2);
+    for a in 0..fam.len() {
+        for b in a + 1..fam.len() {
+            assert!(conflict(&g, ReplicaId(1), &fam.pasts[a], &fam.pasts[b]));
+        }
+    }
+}
+
+/// Full replication: the edge protocol's compressed footprint matches the
+/// traditional vector clock (Section 5).
+#[test]
+fn full_replication_equals_vector_clock_after_compression() {
+    let g = topologies::clique_full(4, 3);
+    let p = EdgeProtocol::new(g.clone());
+    let raw = p.new_clock(ReplicaId(0)).entries();
+    let compressed = analysis::compression_report(
+        &g,
+        &TimestampGraph::compute(&g, ReplicaId(0)),
+    )
+    .rank_entries;
+    assert_eq!(raw, 12);
+    assert_eq!(compressed, g.num_replicas());
+}
+
+/// The augmented share graph grows timestamp graphs only when clients close
+/// new cycles (Definitions 16/27/28).
+#[test]
+fn client_bridges_grow_augmented_graphs() {
+    use prcc::graph::AugmentedShareGraph;
+    let g = topologies::line(4);
+    let no_clients = AugmentedShareGraph::new(g.clone(), vec![]).unwrap();
+    let bridged = AugmentedShareGraph::new(
+        g.clone(),
+        vec![vec![ReplicaId(0), ReplicaId(3)]],
+    )
+    .unwrap();
+    for i in g.replicas() {
+        let plain = no_clients.augmented_timestamp_graph(i).len();
+        let aug = bridged.augmented_timestamp_graph(i).len();
+        assert!(aug >= plain, "{i}");
+    }
+    // The interior replicas must now track cross edges.
+    let t1 = bridged.augmented_timestamp_graph(ReplicaId(1));
+    assert!(t1.loop_edges().count() > 0);
+}
+
+/// The dummy-register full emulation reshapes the metadata graph to a
+/// clique while storage stays partial (Appendix D).
+#[test]
+fn dummy_emulation_metadata_vs_storage() {
+    use prcc::baselines::DummyProtocol;
+    let g = topologies::figure3();
+    let p = DummyProtocol::full_emulation(g.clone());
+    assert!(p.metadata_graph().is_full_replication());
+    assert!(!p.share_graph().is_full_replication());
+    // Every update's metadata now reaches everyone.
+    assert_eq!(p.recipients(ReplicaId(0), RegisterId(0)).len(), 3);
+    assert!(!p.stores_value(ReplicaId(3), RegisterId(0)));
+}
+
+/// The whole experiment suite runs; every report carries its paper anchor.
+#[test]
+fn all_experiments_generate_reports() {
+    for (id, run) in prcc_bench::all_experiments() {
+        let out = run();
+        assert!(!out.is_empty(), "{id} produced no report");
+        assert!(
+            out.contains("—"),
+            "{id} report must carry its paper anchor line: {out}"
+        );
+    }
+}

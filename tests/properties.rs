@@ -1,0 +1,255 @@
+//! Property-based tests (proptest) over random share graphs, workloads and
+//! schedules.
+
+use proptest::prelude::*;
+use prcc::clock::{CompressedProtocol, EdgeProtocol, Protocol};
+use prcc::graph::{loops, topologies, Edge, RegisterId, ReplicaId, ShareGraph, TimestampGraph};
+use prcc::net::UniformDelay;
+use prcc::workloads::{run_workload, WorkloadConfig};
+use rand::SeedableRng;
+
+fn arb_share_graph() -> impl Strategy<Value = ShareGraph> {
+    (2usize..7, 1usize..8, 2usize..4, 0u64..1000).prop_map(|(n, regs, holders, seed)| {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        topologies::random_connected(n, regs, holders, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Timestamp graphs always contain both orientations of every incident
+    /// edge, and loop edges only between non-`i` endpoints.
+    #[test]
+    fn timestamp_graph_invariants(g in arb_share_graph()) {
+        for i in g.replicas() {
+            let tsg = TimestampGraph::compute(&g, i);
+            for &n in g.neighbors(i) {
+                prop_assert!(tsg.contains(Edge::new(i, n)));
+                prop_assert!(tsg.contains(Edge::new(n, i)));
+            }
+            for e in tsg.loop_edges() {
+                prop_assert!(!e.touches(i));
+                prop_assert!(g.has_edge(e));
+            }
+        }
+    }
+
+    /// Every loop the search returns satisfies Definition 4 (independent
+    /// re-verification), and forests never have loops.
+    #[test]
+    fn loop_witnesses_verify(g in arb_share_graph()) {
+        let forest = g.is_forest();
+        for i in g.replicas() {
+            for e in g.directed_edges() {
+                if e.touches(i) {
+                    continue;
+                }
+                if let Some(w) = loops::find_loop(&g, i, e) {
+                    prop_assert!(w.verify(&g), "invalid witness {w}");
+                    prop_assert!(!forest, "forests cannot contain loops");
+                }
+            }
+        }
+    }
+
+    /// The paper's protocol is causally consistent on random graphs under
+    /// random asynchronous schedules.
+    #[test]
+    fn edge_protocol_random_consistency(
+        g in arb_share_graph(),
+        seed in 0u64..500,
+        interleave in 0usize..3,
+    ) {
+        let r = run_workload(
+            EdgeProtocol::new(g),
+            Box::new(UniformDelay::new(seed + 1, 1, 60)),
+            WorkloadConfig { total_writes: 60, seed, interleave, hotspot: None },
+        );
+        prop_assert!(r.consistent, "{r:?}");
+        prop_assert_eq!(r.liveness_violations, 0);
+    }
+
+    /// The register-level compressed protocol reaches the same final store
+    /// as the edge protocol under the identical schedule, and is likewise
+    /// consistent.
+    #[test]
+    fn compressed_matches_edge_protocol(
+        g in arb_share_graph(),
+        seed in 0u64..200,
+    ) {
+        let cfg = WorkloadConfig { total_writes: 50, seed, interleave: 1, hotspot: None };
+        let a = run_workload(
+            EdgeProtocol::new(g.clone()),
+            Box::new(UniformDelay::new(seed + 7, 1, 40)),
+            cfg,
+        );
+        let b = run_workload(
+            CompressedProtocol::new(g),
+            Box::new(UniformDelay::new(seed + 7, 1, 40)),
+            cfg,
+        );
+        prop_assert!(a.consistent && b.consistent);
+        prop_assert_eq!(a.stats.updates_issued, b.stats.updates_issued);
+        prop_assert_eq!(a.stats.messages_sent, b.stats.messages_sent);
+    }
+
+    /// `advance` bumps exactly the outgoing edges whose shared set contains
+    /// the register; `merge` is idempotent and monotone.
+    #[test]
+    fn clock_algebra(g in arb_share_graph(), seed in 0u64..100) {
+        use rand::seq::SliceRandom;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let p = EdgeProtocol::new(g.clone());
+        let replicas: Vec<ReplicaId> = g.replicas().collect();
+        let i = *replicas.choose(&mut rng).unwrap();
+        let regs: Vec<RegisterId> = g.registers_of(i).iter().collect();
+        prop_assume!(!regs.is_empty());
+        let x = *regs.choose(&mut rng).unwrap();
+        let mut c = p.new_clock(i);
+        let before = c.clone();
+        p.advance(i, &mut c, x);
+        for (e, v) in c.iter() {
+            let was = before.get(e).unwrap();
+            if e.from == i && g.shared(i, e.to).contains(x) {
+                prop_assert_eq!(v, was + 1, "edge {}", e);
+            } else {
+                prop_assert_eq!(v, was, "edge {}", e);
+            }
+        }
+        // Idempotent merge.
+        let j = *replicas.choose(&mut rng).unwrap();
+        let mut other = p.new_clock(j);
+        if let Some(y) = g.registers_of(j).first() {
+            p.advance(j, &mut other, y);
+        }
+        let mut m1 = c.clone();
+        p.merge(i, &mut m1, j, &other);
+        let mut m2 = m1.clone();
+        p.merge(i, &mut m2, j, &other);
+        prop_assert_eq!(&m1, &m2);
+        // Monotone.
+        for (e, v) in c.iter() {
+            prop_assert!(m1.get(e).unwrap() >= v);
+        }
+    }
+
+    /// Wire encoding round-trips arbitrary counter vectors.
+    #[test]
+    fn encoding_round_trip(counters in proptest::collection::vec(any::<u64>(), 0..40)) {
+        let buf = prcc::clock::encoding::encode_counters(&counters);
+        prop_assert_eq!(buf.len(), prcc::clock::encoding::counters_len(&counters));
+        prop_assert_eq!(prcc::clock::encoding::decode_counters(&buf), Some(counters));
+    }
+
+    /// Compression analysis: rank entries never exceed raw entries, and the
+    /// compressed clock reconstructs every tracked outgoing edge counter.
+    #[test]
+    fn compression_bounds(g in arb_share_graph()) {
+        use prcc::graph::analysis;
+        for i in g.replicas() {
+            let tsg = TimestampGraph::compute(&g, i);
+            let rep = analysis::compression_report(&g, &tsg);
+            prop_assert!(rep.rank_entries <= rep.raw_entries);
+            prop_assert!(rep.rank_entries <= rep.register_entries);
+        }
+    }
+
+    /// Duplicate-injecting channels never break consistency or wedge
+    /// pending buffers.
+    #[test]
+    fn duplication_tolerated_on_random_graphs(
+        g in arb_share_graph(),
+        seed in 0u64..200,
+        dup in 2u64..5,
+    ) {
+        let mut cluster = prcc::core::Cluster::new(
+            EdgeProtocol::new(g.clone()),
+            Box::new(UniformDelay::new(seed + 3, 1, 40)),
+        );
+        cluster.net_mut().set_duplicate_every(dup);
+        use rand::seq::SliceRandom;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let writers: Vec<ReplicaId> =
+            g.replicas().filter(|&i| !g.registers_of(i).is_empty()).collect();
+        prop_assume!(!writers.is_empty());
+        for v in 0..40u64 {
+            let i = *writers.choose(&mut rng).unwrap();
+            let regs: Vec<RegisterId> = g.registers_of(i).iter().collect();
+            cluster.write(i, *regs.choose(&mut rng).unwrap(), v).unwrap();
+            cluster.step();
+        }
+        cluster.run_to_quiescence();
+        prop_assert!(cluster.verdict().is_consistent());
+        prop_assert_eq!(cluster.pending_total(), 0);
+    }
+
+    /// The client-server system is consistent for random client placements
+    /// over random share graphs.
+    #[test]
+    fn client_server_random_consistency(
+        g in arb_share_graph(),
+        seed in 0u64..100,
+        num_clients in 1usize..4,
+    ) {
+        use prcc::clientserver::CsSystem;
+        use prcc::graph::{AugmentedShareGraph, ClientId};
+        use rand::seq::SliceRandom;
+        use rand::RngCore;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let replicas: Vec<ReplicaId> = g.replicas().collect();
+        let clients: Vec<Vec<ReplicaId>> = (0..num_clients)
+            .map(|_| {
+                let k = 1 + (rng.next_u32() as usize) % 2.min(replicas.len());
+                let mut set = replicas.clone();
+                set.shuffle(&mut rng);
+                set.truncate(k.max(1));
+                set
+            })
+            .collect();
+        let aug = AugmentedShareGraph::new(g.clone(), clients.clone()).unwrap();
+        let mut sys = CsSystem::new(aug, Box::new(UniformDelay::new(seed + 17, 1, 25)));
+        let mut wrote = false;
+        for round in 0..20u64 {
+            let c = (round as usize) % num_clients;
+            // Pick a replica the client may access that stores something.
+            let candidates: Vec<ReplicaId> = clients[c]
+                .iter()
+                .copied()
+                .filter(|&r| !g.registers_of(r).is_empty())
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let rep = candidates[(round as usize) % candidates.len()];
+            let regs: Vec<RegisterId> = g.registers_of(rep).iter().collect();
+            let x = regs[(round as usize) % regs.len()];
+            if round % 3 == 2 {
+                let _ = sys.read(ClientId(c), rep, x).unwrap();
+            } else {
+                sys.write(ClientId(c), rep, x, round).unwrap();
+                wrote = true;
+            }
+        }
+        sys.run_to_quiescence();
+        prop_assume!(wrote);
+        prop_assert!(sys.verdict().is_consistent());
+    }
+
+    /// Bounded-loop edge sets are monotone in the bound and converge to the
+    /// exact timestamp graphs.
+    #[test]
+    fn bounded_loops_converge(g in arb_share_graph()) {
+        use prcc::baselines::edge_sets;
+        let exact = TimestampGraph::compute_all(&g);
+        let full = edge_sets::bounded_loops(&g, g.num_replicas() + 1);
+        prop_assert_eq!(&full, &exact);
+        let small = edge_sets::bounded_loops(&g, 2);
+        for (s, e) in small.iter().zip(&exact) {
+            prop_assert!(s.len() <= e.len());
+            for edge in s.edges() {
+                prop_assert!(e.contains(edge) || edge.touches(s.replica()));
+            }
+        }
+    }
+}
