@@ -1,0 +1,265 @@
+//! Offline compatibility shim for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`
+//! builder knobs, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter` and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a small wall-clock harness: warm up
+//! for the configured time, then run timed batches for the measurement
+//! window and report mean ns/iteration. No statistics, plots or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level bench configuration and driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, &id.to_string(), &mut f);
+        self
+    }
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher {
+    mode: Mode,
+    /// Total time spent inside `iter` routines in timed mode.
+    elapsed: Duration,
+    /// Iterations executed in timed mode.
+    iters: u64,
+}
+
+enum Mode {
+    WarmUp { budget: Duration },
+    Timed { batch: u64 },
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing it in measurement mode.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::WarmUp { budget } => {
+                let start = Instant::now();
+                while start.elapsed() < budget {
+                    std_black_box(routine());
+                }
+            }
+            Mode::Timed { batch } => {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    std_black_box(routine());
+                }
+                self.elapsed += start.elapsed();
+                self.iters += batch;
+            }
+        }
+    }
+}
+
+fn run_one(criterion: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up pass; also sizes the timed batches.
+    let mut warm = Bencher {
+        mode: Mode::WarmUp {
+            budget: criterion.warm_up,
+        },
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut warm);
+
+    // Calibration: one-shot batch to pick a batch size that fills the
+    // measurement window across `sample_size` samples.
+    let mut probe = Bencher {
+        mode: Mode::Timed { batch: 1 },
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut probe);
+    let per_iter = (probe.elapsed.as_nanos().max(1) / probe.iters.max(1) as u128).max(1);
+    let target_ns = criterion.measurement.as_nanos() / criterion.sample_size.max(1) as u128;
+    let batch = (target_ns / per_iter).clamp(1, u64::MAX as u128) as u64;
+
+    let mut bench = Bencher {
+        mode: Mode::Timed { batch },
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    for _ in 0..criterion.sample_size {
+        f(&mut bench);
+    }
+    let mean_ns = bench.elapsed.as_nanos() as f64 / bench.iters.max(1) as f64;
+    println!(
+        "bench {label:<48} {mean_ns:>14.1} ns/iter ({} iters)",
+        bench.iters
+    );
+}
+
+/// Declares a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut criterion = quick();
+        let mut runs = 0u64;
+        criterion.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_format() {
+        let mut criterion = quick();
+        let mut group = criterion.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline compatibility shim for the `serde` crate.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io, so the real `serde` cannot be vendored. The repo's types keep
+//! their `#[derive(Serialize, Deserialize)]` annotations (so swapping the
+//! real serde back in is a one-line Cargo change), but the derives expand to
+//! nothing and the traits are inert markers.
+//!
+//! Actual wire serialization in this workspace is hand-rolled: see
+//! `prcc_clock::encoding` (varint counters), `prcc_clock::WireClock`, and
+//! `prcc_service::wire` (length-prefixed frames), which together form the
+//! real, tested serialization path used by the TCP deployment.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

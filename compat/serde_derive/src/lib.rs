@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! `#[derive(Serialize, Deserialize)]` must resolve to *something* for the
+//! annotated types to compile; in this hermetic workspace it expands to an
+//! empty token stream. The `serde` attribute is registered so field/container
+//! attributes would not break compilation if ever added.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the `serde` shim crate for rationale.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the `serde` shim crate for rationale.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -36,7 +36,10 @@ impl DummyProtocol {
             .collect();
         for &(r, x) in dummies {
             assert!(r.index() < real.num_replicas(), "replica {r} out of range");
-            assert!(x.index() < real.num_registers(), "register {x} out of range");
+            assert!(
+                x.index() < real.num_registers(),
+                "register {x} out of range"
+            );
             if !assignments[r.index()].contains(&x) {
                 assignments[r.index()].push(x);
             }

@@ -31,9 +31,9 @@ pub fn hoop_based(g: &ShareGraph, modified: bool) -> Vec<TimestampGraph> {
             } else {
                 hoops::tracked_registers_original(g, i)
             };
-            let edges = g.directed_edges().filter(|e| {
-                e.touches(i) || !g.shared_on(*e).is_disjoint(&tracked)
-            });
+            let edges = g
+                .directed_edges()
+                .filter(|e| e.touches(i) || !g.shared_on(*e).is_disjoint(&tracked));
             TimestampGraph::from_edges(i, edges)
         })
         .collect()
@@ -150,7 +150,10 @@ mod tests {
         let exact = TimestampGraph::compute_all(&g);
         let hm = hoop_based(&g, true);
         let i = r.i.index();
-        assert!(exact[i].contains(Edge::new(r.k, r.j)), "Theorem 8 requires e_kj");
+        assert!(
+            exact[i].contains(Edge::new(r.k, r.j)),
+            "Theorem 8 requires e_kj"
+        );
         assert!(
             !hm[i].contains(Edge::new(r.k, r.j)),
             "modified hoops drop it — the unsafe configuration"
@@ -198,6 +201,8 @@ mod tests {
         assert_eq!(hoop_protocol(&g, true).name(), "hoop-modified");
         assert!(bounded_loop_protocol(&g, 3).name().contains("l=3"));
         let e = Edge::new(ReplicaId(1), ReplicaId(2));
-        assert!(drop_edge_protocol(&g, ReplicaId(0), e).name().contains("drop"));
+        assert!(drop_edge_protocol(&g, ReplicaId(0), e)
+            .name()
+            .contains("drop"));
     }
 }

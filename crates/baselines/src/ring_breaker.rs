@@ -259,7 +259,8 @@ mod tests {
         let mut rb = RingBreaker::new(5, Box::new(UniformDelay::new(23, 1, 40)));
         for round in 0..10u64 {
             rb.write_x(round).unwrap();
-            rb.write_local(ReplicaId((round % 4) as usize), round).unwrap();
+            rb.write_local(ReplicaId((round % 4) as usize), round)
+                .unwrap();
         }
         rb.run_to_quiescence();
         assert!(rb.verdict().is_consistent());

@@ -25,9 +25,7 @@ fn bench_edge_clock(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("predicate", n), &n, |b, _| {
             let clock = p.new_clock(i);
-            b.iter(|| {
-                black_box(p.deliverable(i, &clock, ReplicaId(1), &sender, RegisterId(0)))
-            });
+            b.iter(|| black_box(p.deliverable(i, &clock, ReplicaId(1), &sender, RegisterId(0))));
         });
     }
     group.finish();

@@ -7,9 +7,7 @@ use prcc_baselines::edge_sets;
 use prcc_checker::Oracle;
 use prcc_clock::EdgeProtocol;
 use prcc_core::Cluster;
-use prcc_graph::{
-    edge, hoops, loops, topologies, Edge, RegisterId, ReplicaId, TimestampGraph,
-};
+use prcc_graph::{edge, hoops, loops, topologies, Edge, RegisterId, ReplicaId, TimestampGraph};
 use prcc_net::FixedDelay;
 use prcc_workloads::{violation_rate, WorkloadConfig};
 
@@ -131,16 +129,11 @@ pub fn e04_counterexample1() -> String {
     let hm = hoops::tracked_registers_original(&g, r.i);
     let ours = hoops::tracked_registers_loops(&g, &gi);
     let hm_sets = edge_sets::hoop_based(&g, false);
-    let mut out = String::from(
-        "E04 — Counterexample 1 (Fig. 6/8a): original minimal hoops over-track\n",
-    );
+    let mut out =
+        String::from("E04 — Counterexample 1 (Fig. 6/8a): original minimal hoops over-track\n");
     let rows = vec![
         row!["registers i must track", hm, ours],
-        row![
-            "tracks x (by j,k)?",
-            hm.contains(r.x),
-            ours.contains(r.x)
-        ],
+        row!["tracks x (by j,k)?", hm.contains(r.x), ours.contains(r.x)],
         row![
             "timestamp entries at i",
             hm_sets[r.i.index()].len(),
@@ -160,7 +153,10 @@ pub fn e04_counterexample1() -> String {
             )
         ],
     ];
-    out.push_str(&table(&["quantity", "Hélary–Milani (orig.)", "this paper"], &rows));
+    out.push_str(&table(
+        &["quantity", "Hélary–Milani (orig.)", "this paper"],
+        &rows,
+    ));
     // The smaller set is sufficient: no violation across randomized runs.
     let (rate, reports) = violation_rate(
         || EdgeProtocol::new(g.clone()),
@@ -210,9 +206,8 @@ pub fn e05_counterexample2() -> String {
     let (g, r) = topologies::counterexample2();
     let gi = TimestampGraph::compute(&g, r.i);
     let hm_mod = edge_sets::hoop_based(&g, true);
-    let mut out = String::from(
-        "E05 — Counterexample 2 (Fig. 8b): modified minimal hoops are unsafe\n",
-    );
+    let mut out =
+        String::from("E05 — Counterexample 2 (Fig. 8b): modified minimal hoops are unsafe\n");
     let rows = vec![
         row![
             "e_kj tracked at i?",

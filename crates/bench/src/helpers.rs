@@ -96,10 +96,7 @@ mod tests {
 
     #[test]
     fn table_alignment() {
-        let t = table(
-            &["a", "topology"],
-            &[row!["x", 12], row!["longer", 3]],
-        );
+        let t = table(&["a", "topology"], &[row!["x", 12], row!["longer", 3]]);
         assert!(t.contains("| a      | topology |"));
         assert!(t.lines().count() == 4);
         let widths: Vec<usize> = t.lines().map(|l| l.len()).collect();

@@ -37,10 +37,22 @@ pub fn e08_sizes() -> String {
     check("star(6)", &star, ReplicaId(2), 2, "tree: 2·N_i");
     for n in [4, 5, 6, 7] {
         let ring = topologies::ring(n);
-        check(&format!("ring({n})"), &ring, ReplicaId(0), 2 * n, "cycle: 2n");
+        check(
+            &format!("ring({n})"),
+            &ring,
+            ReplicaId(0),
+            2 * n,
+            "cycle: 2n",
+        );
     }
     let clique = topologies::clique_full(4, 3);
-    check("clique_full(4)", &clique, ReplicaId(0), 12, "clique: R(R−1)");
+    check(
+        "clique_full(4)",
+        &clique,
+        ReplicaId(0),
+        12,
+        "clique: R(R−1)",
+    );
     let fig5 = topologies::figure5();
     check("figure5", &fig5, ReplicaId(0), 8, "exact G_1 (Fig. 5b)");
 
@@ -50,10 +62,8 @@ pub fn e08_sizes() -> String {
         &rows,
     ));
     // Compressed full replication = vector clocks.
-    let rep = analysis::compression_report(
-        &clique,
-        &TimestampGraph::compute(&clique, ReplicaId(0)),
-    );
+    let rep =
+        analysis::compression_report(&clique, &TimestampGraph::compute(&clique, ReplicaId(0)));
     out.push_str(&format!(
         "\nclique_full(4): raw {} entries, rank-compressed {} = R (vector timestamp)\n",
         rep.raw_entries, rep.rank_entries
@@ -123,7 +133,14 @@ pub fn e09_lower_bound() -> String {
          assigns exactly that many distinct timestamps)\n",
     );
     out.push_str(&table(
-        &["system", "family", "clique", "bits", "closed form", "alg. stamps"],
+        &[
+            "system",
+            "family",
+            "clique",
+            "bits",
+            "closed form",
+            "alg. stamps",
+        ],
         &rows,
     ));
     // Exact chromatic number of a small conflict graph confirms the clique
@@ -190,7 +207,14 @@ pub fn e10_compression() -> String {
          I(E_i,·) vs register-level counters\n",
     );
     out.push_str(&table(
-        &["system", "replica", "raw", "rank", "register-level", "savings"],
+        &[
+            "system",
+            "replica",
+            "raw",
+            "rank",
+            "register-level",
+            "savings",
+        ],
         &rows,
     ));
     out
@@ -232,7 +256,12 @@ pub fn e11_dummies() -> String {
         let p = EdgeProtocol::new(g.clone());
         let entries = p.new_clock(ReplicaId(0)).entries();
         let r = run_workload(p, policy(1), cfg);
-        rows.push(report_row("partial (ours)", &r, entries, total_rank(&g) / 5));
+        rows.push(report_row(
+            "partial (ours)",
+            &r,
+            entries,
+            total_rank(&g) / 5,
+        ));
     }
     {
         let p = DummyProtocol::full_emulation(g.clone());
@@ -305,7 +334,11 @@ pub fn e12_ring_breaking() -> String {
         ],
         row![
             "broken ring (relay)",
-            format!("{:?} (max {})", rb_entries, rb_entries.iter().max().unwrap()),
+            format!(
+                "{:?} (max {})",
+                rb_entries,
+                rb_entries.iter().max().unwrap()
+            ),
             format!(
                 "{:.1}",
                 rb.stats().relay_hops as f64 / rb.stats().x_updates as f64
@@ -320,7 +353,13 @@ pub fn e12_ring_breaking() -> String {
          pays n−1 hops.\n",
     );
     out.push_str(&table(
-        &["scheme", "entries/replica", "msgs per x-update", "x latency", "consistent"],
+        &[
+            "scheme",
+            "entries/replica",
+            "msgs per x-update",
+            "x latency",
+            "consistent",
+        ],
         &rows,
     ));
     out
@@ -381,7 +420,12 @@ pub fn e13_bounded_loops() -> String {
          (1 hop beats 5) random runs stay consistent.\n",
     );
     out.push_str(&table(
-        &["bound", "entries/replica", "chain violations", "loose-sync rate"],
+        &[
+            "bound",
+            "entries/replica",
+            "chain violations",
+            "loose-sync rate",
+        ],
         &rows,
     ));
     out
@@ -393,7 +437,10 @@ pub fn e14_client_server() -> String {
     use prcc_graph::ClientId;
 
     let g = topologies::line(4);
-    let plain: Vec<usize> = TimestampGraph::compute_all(&g).iter().map(|t| t.len()).collect();
+    let plain: Vec<usize> = TimestampGraph::compute_all(&g)
+        .iter()
+        .map(|t| t.len())
+        .collect();
     let aug = AugmentedShareGraph::new(
         g.clone(),
         vec![
@@ -429,8 +476,10 @@ pub fn e14_client_server() -> String {
     // Correctness under a mixed client workload.
     let mut s = CsSystem::new(aug, Box::new(UniformDelay::new(77, 1, 25)));
     for round in 0..30u64 {
-        s.write(ClientId(1), ReplicaId(0), RegisterId(0), round).unwrap();
-        s.write(ClientId(2), ReplicaId(2), RegisterId(2), round).unwrap();
+        s.write(ClientId(1), ReplicaId(0), RegisterId(0), round)
+            .unwrap();
+        s.write(ClientId(2), ReplicaId(2), RegisterId(2), round)
+            .unwrap();
         if round % 3 == 0 {
             let _ = s.read(ClientId(0), ReplicaId(0), RegisterId(0)).unwrap();
             let _ = s.read(ClientId(0), ReplicaId(3), RegisterId(2)).unwrap();
@@ -474,29 +523,52 @@ pub fn e15_protocol_matrix() -> String {
                 let e = (0..g.num_replicas())
                     .map(|i| p.new_clock(ReplicaId(i)).entries())
                     .sum();
-                ("edge-tsg".into(), run_workload(p, Box::new(UniformDelay::new(7, 1, 30)), cfg), e)
+                (
+                    "edge-tsg".into(),
+                    run_workload(p, Box::new(UniformDelay::new(7, 1, 30)), cfg),
+                    e,
+                )
             },
             {
                 let p = CompressedProtocol::new(g.clone());
                 let e = (0..g.num_replicas())
                     .map(|i| p.new_clock(ReplicaId(i)).entries())
                     .sum();
-                ("compressed".into(), run_workload(p, Box::new(UniformDelay::new(7, 1, 30)), cfg), e)
+                (
+                    "compressed".into(),
+                    run_workload(p, Box::new(UniformDelay::new(7, 1, 30)), cfg),
+                    e,
+                )
             },
             {
                 let p = edge_sets::all_edges_protocol(g);
                 let e = g.num_directed_edges() * g.num_replicas();
-                ("all-edges".into(), run_workload(p, Box::new(UniformDelay::new(7, 1, 30)), cfg), e)
+                (
+                    "all-edges".into(),
+                    run_workload(p, Box::new(UniformDelay::new(7, 1, 30)), cfg),
+                    e,
+                )
             },
             {
                 let p = edge_sets::hoop_protocol(g, false);
-                let e = edge_sets::hoop_based(g, false).iter().map(|t| t.len()).sum();
-                ("hoop-orig".into(), run_workload(p, Box::new(UniformDelay::new(7, 1, 30)), cfg), e)
+                let e = edge_sets::hoop_based(g, false)
+                    .iter()
+                    .map(|t| t.len())
+                    .sum();
+                (
+                    "hoop-orig".into(),
+                    run_workload(p, Box::new(UniformDelay::new(7, 1, 30)), cfg),
+                    e,
+                )
             },
             {
                 let p = VectorProtocol::new(g.clone());
                 let e = g.num_replicas() * g.num_replicas();
-                ("vector-bcast".into(), run_workload(p, Box::new(UniformDelay::new(7, 1, 30)), cfg), e)
+                (
+                    "vector-bcast".into(),
+                    run_workload(p, Box::new(UniformDelay::new(7, 1, 30)), cfg),
+                    e,
+                )
             },
         ];
         for (pname, r, entries) in runs {
@@ -673,9 +745,8 @@ mod tests {
         // and is safe.
         assert!(l2.contains("| 4 "), "{l2}");
         assert!(l5.contains("| 12 "), "{l5}");
-        let viol = |line: &str| -> usize {
-            line.split('|').nth(3).unwrap().trim().parse().unwrap()
-        };
+        let viol =
+            |line: &str| -> usize { line.split('|').nth(3).unwrap().trim().parse().unwrap() };
         assert!(viol(l2) >= 1, "{l2}");
         assert_eq!(viol(l5), 0, "{l5}");
     }
@@ -683,12 +754,22 @@ mod tests {
     #[test]
     fn e14_client_grows_graphs_and_stays_consistent() {
         let out = e14_client_server();
-        assert!(out.contains("consistent (↪′ incl. client sessions): true"), "{out}");
+        assert!(
+            out.contains("consistent (↪′ incl. client sessions): true"),
+            "{out}"
+        );
         // Some replica gained tracked edges from the client bridge.
         let gained: usize = out
             .lines()
             .filter(|l| l.starts_with("| r") && !l.contains("replica"))
-            .map(|l| l.split('|').nth(4).unwrap().trim().parse::<usize>().unwrap())
+            .map(|l| {
+                l.split('|')
+                    .nth(4)
+                    .unwrap()
+                    .trim()
+                    .parse::<usize>()
+                    .unwrap()
+            })
             .sum();
         assert!(gained > 0, "{out}");
     }

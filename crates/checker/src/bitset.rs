@@ -74,9 +74,10 @@ impl DynBitSet {
 
     /// True if every member of `self` is in `other`.
     pub fn is_subset(&self, other: &DynBitSet) -> bool {
-        self.words.iter().enumerate().all(|(w, &bits)| {
-            bits & !other.words.get(w).copied().unwrap_or(0) == 0
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(w, &bits)| bits & !other.words.get(w).copied().unwrap_or(0) == 0)
     }
 }
 

@@ -21,7 +21,9 @@
 mod bitset;
 mod oracle;
 mod report;
+pub mod trace;
 
 pub use bitset::DynBitSet;
 pub use oracle::{Oracle, UpdateId};
 pub use report::{LivenessViolation, SafetyViolation, Verdict};
+pub use trace::{verify_trace, TraceError, TraceEvent};

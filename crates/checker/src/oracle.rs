@@ -371,7 +371,7 @@ mod tests {
         o.on_apply(ReplicaId(1), u0).unwrap();
         let u1 = o.on_issue(ReplicaId(1), x);
         o.on_apply(ReplicaId(2), u1).unwrap_err(); // u0 missing: violation
-        // Even so, 2's causal past includes u0 (via u1's past).
+                                                   // Even so, 2's causal past includes u0 (via u1's past).
         let past = o.replica_causal_past(ReplicaId(2));
         assert!(past.contains(&u0));
         assert!(past.contains(&u1));

@@ -1,0 +1,292 @@
+//! Post-hoc verification of distributed execution traces.
+//!
+//! The discrete-event simulator feeds the [`Oracle`] online, but a real
+//! networked deployment (`prcc-service`) cannot: its replicas live in
+//! different threads or processes, and routing every event through a shared
+//! oracle would serialize the very concurrency being tested. Instead each
+//! node records its *local* event log — issues and applies, in local
+//! processing order, keyed by globally unique wire update ids — and the
+//! logs are verified after the run by replaying them through the oracle.
+//!
+//! Replay needs a single global order, but the verdict does not depend on
+//! which one is chosen: the oracle's state is a function of per-replica
+//! prefixes only (an issue's causal past is what the issuer applied before
+//! it, locally; an apply is checked against the applying replica's local
+//! history). Any interleaving that (a) preserves each node's local order
+//! and (b) schedules every issue before the applies of that update is
+//! therefore equivalent — and one always exists for logs produced by a real
+//! execution, because real time provides it.
+
+use crate::{Oracle, Verdict};
+use prcc_graph::{RegisterId, ReplicaId, ShareGraph};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One entry of a node's local event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The node issued an update (step 2 of the prototype); the update is
+    /// applied at the issuer at this point.
+    Issue {
+        /// The issuing replica.
+        replica: ReplicaId,
+        /// The written register.
+        register: RegisterId,
+        /// Globally unique wire id of the update.
+        update: u64,
+    },
+    /// The node applied a remote update (step 4 of the prototype).
+    Apply {
+        /// The applying replica.
+        replica: ReplicaId,
+        /// Wire id of the applied update.
+        update: u64,
+    },
+}
+
+/// Why a set of logs could not be replayed at all (distinct from a
+/// causal-consistency violation, which replay *reports* via the verdict).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Two issues carried the same wire id.
+    DuplicateIssue {
+        /// The offending wire id.
+        update: u64,
+    },
+    /// A node applied an update no log ever issued.
+    UnknownUpdate {
+        /// The applying replica.
+        replica: ReplicaId,
+        /// The unissued wire id.
+        update: u64,
+    },
+    /// A node applied an update whose register it does not store.
+    ApplyAtNonHolder {
+        /// The applying replica.
+        replica: ReplicaId,
+        /// The misdelivered wire id.
+        update: u64,
+    },
+    /// No interleaving consistent with the local orders exists (an apply
+    /// precedes its own issue in a way no merge can untangle) — the logs do
+    /// not come from a real execution.
+    NoConsistentOrder {
+        /// Events left unscheduled when replay wedged.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::DuplicateIssue { update } => {
+                write!(f, "wire update id {update} issued twice")
+            }
+            TraceError::UnknownUpdate { replica, update } => {
+                write!(f, "{replica} applied unissued update {update}")
+            }
+            TraceError::ApplyAtNonHolder { replica, update } => {
+                write!(
+                    f,
+                    "{replica} applied update {update} on a register it does not store"
+                )
+            }
+            TraceError::NoConsistentOrder { remaining } => {
+                write!(f, "no consistent replay order ({remaining} events stuck)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Replays one local event log per replica through a fresh [`Oracle`] and
+/// returns the causal-consistency verdict of the recorded execution.
+///
+/// `logs[i]` must be replica `i`'s events in local processing order.
+/// Safety violations surface in `Verdict::safety`; updates that never
+/// reached some holder surface in `Verdict::liveness` (so call this only on
+/// traces captured at quiescence if liveness matters).
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] when the logs are structurally invalid — which
+/// means the *recording* is broken, not that the system was inconsistent.
+pub fn verify_trace(g: &ShareGraph, logs: &[Vec<TraceEvent>]) -> Result<Verdict, TraceError> {
+    // Pre-scan: every issued id, for duplicate/unknown detection.
+    let mut issued_ids = HashSet::new();
+    for log in logs {
+        for event in log {
+            if let TraceEvent::Issue { update, .. } = event {
+                if !issued_ids.insert(*update) {
+                    return Err(TraceError::DuplicateIssue { update: *update });
+                }
+            }
+        }
+    }
+    for log in logs {
+        for event in log {
+            if let TraceEvent::Apply { replica, update } = event {
+                if !issued_ids.contains(update) {
+                    return Err(TraceError::UnknownUpdate {
+                        replica: *replica,
+                        update: *update,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut oracle = Oracle::new(g);
+    let mut verdict = Verdict::default();
+    let mut ids = HashMap::new();
+    let mut heads = vec![0usize; logs.len()];
+    let remaining =
+        |heads: &[usize]| -> usize { logs.iter().zip(heads).map(|(log, &h)| log.len() - h).sum() };
+
+    // Greedy merge: repeatedly advance any log whose head event is enabled.
+    loop {
+        let mut progressed = false;
+        for (log, head) in logs.iter().zip(heads.iter_mut()) {
+            while let Some(event) = log.get(*head) {
+                match *event {
+                    TraceEvent::Issue {
+                        replica,
+                        register,
+                        update,
+                    } => {
+                        let oracle_id = oracle.on_issue(replica, register);
+                        ids.insert(update, oracle_id);
+                    }
+                    TraceEvent::Apply { replica, update } => {
+                        let Some(&oracle_id) = ids.get(&update) else {
+                            // Issue not yet scheduled; try another log.
+                            break;
+                        };
+                        if !g.stores(replica, oracle.register(oracle_id)) {
+                            return Err(TraceError::ApplyAtNonHolder { replica, update });
+                        }
+                        if let Err(violation) = oracle.on_apply(replica, oracle_id) {
+                            verdict.safety.push(violation);
+                        }
+                    }
+                }
+                *head += 1;
+                progressed = true;
+            }
+        }
+        if remaining(&heads) == 0 {
+            break;
+        }
+        if !progressed {
+            return Err(TraceError::NoConsistentOrder {
+                remaining: remaining(&heads),
+            });
+        }
+    }
+
+    verdict.liveness = oracle.check_liveness();
+    Ok(verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_graph::topologies;
+
+    fn issue(replica: usize, register: u32, update: u64) -> TraceEvent {
+        TraceEvent::Issue {
+            replica: ReplicaId(replica),
+            register: RegisterId(register),
+            update,
+        }
+    }
+
+    fn apply(replica: usize, update: u64) -> TraceEvent {
+        TraceEvent::Apply {
+            replica: ReplicaId(replica),
+            update,
+        }
+    }
+
+    #[test]
+    fn consistent_run_verifies() {
+        // clique_full(3, 1): register 0 everywhere. 0 writes; 1 applies then
+        // writes; 2 applies both in causal order.
+        let g = topologies::clique_full(3, 1);
+        let logs = vec![
+            vec![issue(0, 0, 10), apply(0, 20)],
+            vec![apply(1, 10), issue(1, 0, 20)],
+            vec![apply(2, 10), apply(2, 20)],
+        ];
+        let verdict = verify_trace(&g, &logs).unwrap();
+        assert!(verdict.is_consistent(), "{verdict:?}");
+    }
+
+    #[test]
+    fn causal_order_violation_detected() {
+        let g = topologies::clique_full(3, 1);
+        // Replica 2 applies u20 (which causally follows u10) before u10.
+        let logs = vec![
+            vec![issue(0, 0, 10), apply(0, 20)],
+            vec![apply(1, 10), issue(1, 0, 20)],
+            vec![apply(2, 20), apply(2, 10)],
+        ];
+        let verdict = verify_trace(&g, &logs).unwrap();
+        assert_eq!(verdict.safety.len(), 1);
+        assert_eq!(verdict.safety[0].replica, ReplicaId(2));
+    }
+
+    #[test]
+    fn missing_apply_is_liveness_violation() {
+        let g = topologies::line(2);
+        let logs = vec![vec![issue(0, 0, 1)], vec![]];
+        let verdict = verify_trace(&g, &logs).unwrap();
+        assert!(verdict.safety.is_empty());
+        assert_eq!(verdict.liveness.len(), 1);
+        assert_eq!(verdict.liveness[0].replica, ReplicaId(1));
+    }
+
+    #[test]
+    fn merge_handles_cross_log_waits() {
+        // Replica 2's log starts with an apply of an update issued *late* in
+        // replica 0's log; the merge must interleave around it.
+        let g = topologies::clique_full(3, 1);
+        let logs = vec![
+            vec![issue(0, 0, 1), issue(0, 0, 2), issue(0, 0, 3)],
+            vec![apply(1, 1), apply(1, 2), apply(1, 3)],
+            vec![apply(2, 1), apply(2, 2), apply(2, 3)],
+        ];
+        let verdict = verify_trace(&g, &logs).unwrap();
+        assert!(verdict.is_consistent());
+    }
+
+    #[test]
+    fn structural_errors_reported() {
+        let g = topologies::line(2);
+        let dup = vec![vec![issue(0, 0, 1), issue(0, 0, 1)], vec![]];
+        assert_eq!(
+            verify_trace(&g, &dup),
+            Err(TraceError::DuplicateIssue { update: 1 })
+        );
+        let unknown = vec![vec![], vec![apply(1, 9)]];
+        assert_eq!(
+            verify_trace(&g, &unknown),
+            Err(TraceError::UnknownUpdate {
+                replica: ReplicaId(1),
+                update: 9
+            })
+        );
+        // line(3): register 0 shared by replicas 0 and 1 only; replica 2
+        // applying it is a routing bug.
+        let g3 = topologies::line(3);
+        let misrouted = vec![vec![issue(0, 0, 1)], vec![apply(1, 1)], vec![apply(2, 1)]];
+        assert_eq!(
+            verify_trace(&g3, &misrouted),
+            Err(TraceError::ApplyAtNonHolder {
+                replica: ReplicaId(2),
+                update: 1
+            })
+        );
+    }
+}

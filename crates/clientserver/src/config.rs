@@ -101,11 +101,7 @@ mod tests {
 
     fn line_with_bridge_client() -> CsConfig {
         let g = topologies::line(4);
-        let aug = AugmentedShareGraph::new(
-            g,
-            vec![vec![ReplicaId(0), ReplicaId(3)]],
-        )
-        .unwrap();
+        let aug = AugmentedShareGraph::new(g, vec![vec![ReplicaId(0), ReplicaId(3)]]).unwrap();
         CsConfig::new(aug)
     }
 

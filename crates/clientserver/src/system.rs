@@ -40,7 +40,10 @@ impl fmt::Display for CsError {
             CsError::NotStored { replica, register } => {
                 write!(f, "replica {replica} does not store {register}")
             }
-            CsError::Stalled => write!(f, "operation stalled: predicate unsatisfiable at quiescence"),
+            CsError::Stalled => write!(
+                f,
+                "operation stalled: predicate unsatisfiable at quiescence"
+            ),
         }
     }
 }
@@ -174,10 +177,16 @@ impl CsSystem {
 
     fn validate(&self, c: ClientId, i: ReplicaId, x: RegisterId) -> Result<(), CsError> {
         if !self.cfg.augmented().replicas_of(c).contains(&i) {
-            return Err(CsError::NotInReplicaSet { client: c, replica: i });
+            return Err(CsError::NotInReplicaSet {
+                client: c,
+                replica: i,
+            });
         }
         if !self.cfg.augmented().share_graph().stores(i, x) {
-            return Err(CsError::NotStored { replica: i, register: x });
+            return Err(CsError::NotStored {
+                replica: i,
+                register: x,
+            });
         }
         Ok(())
     }
@@ -463,7 +472,8 @@ mod tests {
     #[test]
     fn read_your_own_writes_through_one_replica() {
         let mut s = bridge_system(1);
-        s.write(ClientId(1), ReplicaId(0), RegisterId(0), 5).unwrap();
+        s.write(ClientId(1), ReplicaId(0), RegisterId(0), 5)
+            .unwrap();
         assert_eq!(
             s.read(ClientId(1), ReplicaId(0), RegisterId(0)).unwrap(),
             Some(5)
@@ -479,7 +489,8 @@ mod tests {
         // session via replica 3 blocks until replica 3 has caught up with
         // everything client 0 saw.
         let mut s = bridge_system(2);
-        s.write(ClientId(0), ReplicaId(0), RegisterId(0), 9).unwrap();
+        s.write(ClientId(0), ReplicaId(0), RegisterId(0), 9)
+            .unwrap();
         // Access the far end: J1 requires replica 3 to be at least as
         // current as the client's µ — which here has only replica-0-side
         // knowledge; a read of register 2 at 3 is served once consistent.
@@ -512,8 +523,10 @@ mod tests {
     fn mixed_workload_is_consistent() {
         let mut s = bridge_system(4);
         for round in 0..20u64 {
-            s.write(ClientId(1), ReplicaId(0), RegisterId(0), round).unwrap();
-            s.write(ClientId(2), ReplicaId(2), RegisterId(2), round).unwrap();
+            s.write(ClientId(1), ReplicaId(0), RegisterId(0), round)
+                .unwrap();
+            s.write(ClientId(2), ReplicaId(2), RegisterId(2), round)
+                .unwrap();
             if round % 3 == 0 {
                 let _ = s.read(ClientId(0), ReplicaId(0), RegisterId(0)).unwrap();
                 let _ = s.read(ClientId(0), ReplicaId(3), RegisterId(2)).unwrap();
@@ -531,14 +544,12 @@ mod tests {
     #[test]
     fn fifo_network_still_buffers_nothing_wrongly() {
         let g = topologies::ring(4);
-        let aug = AugmentedShareGraph::new(
-            g,
-            vec![vec![ReplicaId(0), ReplicaId(2)]],
-        )
-        .unwrap();
+        let aug = AugmentedShareGraph::new(g, vec![vec![ReplicaId(0), ReplicaId(2)]]).unwrap();
         let mut s = CsSystem::new(aug, Box::new(FixedDelay(3)));
-        s.write(ClientId(0), ReplicaId(0), RegisterId(0), 1).unwrap();
-        s.write(ClientId(0), ReplicaId(2), RegisterId(2), 2).unwrap();
+        s.write(ClientId(0), ReplicaId(0), RegisterId(0), 1)
+            .unwrap();
+        s.write(ClientId(0), ReplicaId(2), RegisterId(2), 2)
+            .unwrap();
         s.run_to_quiescence();
         assert!(s.verdict().is_consistent());
         assert_eq!(s.peek(ReplicaId(1), RegisterId(0)), Some(1));

@@ -67,10 +67,7 @@ impl CompressedClock {
 impl fmt::Debug for CompressedClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_map()
-            .entries(
-                self.iter()
-                    .map(|((j, r), c)| (format!("({j},{r})"), c)),
-            )
+            .entries(self.iter().map(|((j, r), c)| (format!("({j},{r})"), c)))
             .finish()
     }
 }
@@ -82,6 +79,20 @@ impl ClockState for CompressedClock {
 
     fn encoded_len(&self) -> usize {
         encoding::counters_len(&self.counters)
+    }
+}
+
+impl crate::wire::WireClock for CompressedClock {
+    fn counter_values(&self) -> &[u64] {
+        &self.counters
+    }
+
+    fn load_counters(&mut self, counters: &[u64]) -> bool {
+        if counters.len() != self.counters.len() {
+            return false;
+        }
+        self.counters.copy_from_slice(counters);
+        true
     }
 }
 
@@ -348,9 +359,6 @@ mod tests {
         let g = topologies::line(3);
         let cp = CompressedProtocol::new(g.clone());
         let c = cp.new_clock(ReplicaId(0));
-        assert_eq!(
-            c.edge_counter(&g, Edge::new(ReplicaId(1), ReplicaId(2))),
-            0
-        );
+        assert_eq!(c.edge_counter(&g, Edge::new(ReplicaId(1), ReplicaId(2))), 0);
     }
 }

@@ -167,6 +167,20 @@ impl ClockState for EdgeClock {
     }
 }
 
+impl crate::wire::WireClock for EdgeClock {
+    fn counter_values(&self) -> &[u64] {
+        &self.counters
+    }
+
+    fn load_counters(&mut self, counters: &[u64]) -> bool {
+        if counters.len() != self.counters.len() {
+            return false;
+        }
+        self.counters.copy_from_slice(counters);
+        true
+    }
+}
+
 /// The paper's causal-consistency protocol (Section 3.3), parameterized by
 /// the per-replica edge sets it tracks.
 ///
@@ -463,10 +477,7 @@ mod tests {
         assert!(!a.bump_edge(edge(9, 8)));
         assert!(b.bump_edge(edge(2, 1)));
         let common: Vec<_> = a.common_entries(&b).collect();
-        assert_eq!(
-            common,
-            vec![(edge(1, 0), 1, 0), (edge(2, 1), 0, 1)]
-        );
+        assert_eq!(common, vec![(edge(1, 0), 1, 0), (edge(2, 1), 0, 1)]);
         assert!(!a.dominates_where(&b, |_| true));
         assert!(a.dominates_where(&b, |e| e == edge(1, 0)));
         a.merge_from(&b);

@@ -30,8 +30,10 @@ mod edge_clock;
 pub mod encoding;
 mod traits;
 mod vector_clock;
+pub mod wire;
 
 pub use compressed::{CompressedClock, CompressedProtocol};
 pub use edge_clock::{EdgeClock, EdgeProtocol};
 pub use traits::{ClockState, Protocol};
 pub use vector_clock::{VectorClock, VectorProtocol};
+pub use wire::WireClock;

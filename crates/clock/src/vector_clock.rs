@@ -47,6 +47,20 @@ impl ClockState for VectorClock {
     }
 }
 
+impl crate::wire::WireClock for VectorClock {
+    fn counter_values(&self) -> &[u64] {
+        &self.counters
+    }
+
+    fn load_counters(&mut self, counters: &[u64]) -> bool {
+        if counters.len() != self.counters.len() {
+            return false;
+        }
+        self.counters.copy_from_slice(counters);
+        true
+    }
+}
+
 /// The full-replication-emulation baseline (Appendix D): traditional vector
 /// timestamps of length `R`, with *metadata broadcast to every replica*.
 ///

@@ -1,0 +1,147 @@
+//! Wire (de)serialization support for timestamps.
+//!
+//! All three clock representations share the same shape: an immutable,
+//! statically configured index set plus a dense vector of `u64` counters.
+//! Only the counters travel on the wire (LEB128 varints, see
+//! [`crate::encoding`]); the receiving endpoint reconstructs the index set
+//! from its own copy of the share-graph configuration and the issuer id.
+//!
+//! [`WireClock`] is the contract the networked deployment (`prcc-service`)
+//! builds on: expose the counters for encoding, and load decoded counters
+//! into a freshly minted template clock (`Protocol::new_clock(issuer)`).
+
+use crate::encoding;
+use crate::traits::ClockState;
+
+/// Timestamps that can be shipped over a real wire.
+///
+/// Implementations must guarantee that for any clock `c` and a template
+/// `t` created for the same replica under the same protocol configuration,
+/// `t.load_counters(c.counter_values())` succeeds and makes `t == c`.
+pub trait WireClock: ClockState {
+    /// The dense counter vector, in the clock's canonical index order.
+    fn counter_values(&self) -> &[u64];
+
+    /// Replaces the counters with `counters`.
+    ///
+    /// Returns `false` (leaving the clock untouched) when the length does
+    /// not match this clock's index set — the sign of a configuration
+    /// mismatch between endpoints.
+    fn load_counters(&mut self, counters: &[u64]) -> bool;
+
+    /// Appends the varint encoding of the counters (count prefix included).
+    fn encode_wire(&self, out: &mut Vec<u8>) {
+        let counters = self.counter_values();
+        encoding::write_varint(out, counters.len() as u64);
+        for &c in counters {
+            encoding::write_varint(out, c);
+        }
+    }
+
+    /// Decodes counters produced by [`WireClock::encode_wire`] from the
+    /// front of `buf` into `self`, advancing `offset`.
+    ///
+    /// Returns `false` on malformed input or an index-set length mismatch.
+    fn decode_wire(&mut self, buf: &[u8], offset: &mut usize) -> bool {
+        let Some(rest) = buf.get(*offset..) else {
+            return false;
+        };
+        let Some((n, used)) = encoding::read_varint(rest) else {
+            return false;
+        };
+        let mut at = *offset + used;
+        // Clamp the pre-allocation: `n` is attacker-controlled on a real
+        // wire, and an absurd claim must fail on decode, not on alloc.
+        let mut counters = Vec::with_capacity((n as usize).min(1 << 16));
+        for _ in 0..n {
+            let Some((v, used)) = encoding::read_varint(&buf[at..]) else {
+                return false;
+            };
+            counters.push(v);
+            at += used;
+        }
+        if !self.load_counters(&counters) {
+            return false;
+        }
+        *offset = at;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompressedProtocol, EdgeProtocol, Protocol, VectorProtocol};
+    use prcc_graph::{topologies, RegisterId, ReplicaId};
+
+    fn round_trip<P: Protocol>(p: &P)
+    where
+        P::Clock: WireClock,
+    {
+        let i = ReplicaId(0);
+        let mut c = p.new_clock(i);
+        for _ in 0..5 {
+            p.advance(i, &mut c, RegisterId(0));
+        }
+        let mut buf = Vec::new();
+        c.encode_wire(&mut buf);
+        let mut out = p.new_clock(i);
+        let mut offset = 0;
+        assert!(out.decode_wire(&buf, &mut offset));
+        assert_eq!(offset, buf.len());
+        assert_eq!(out, c);
+    }
+
+    #[test]
+    fn all_protocols_round_trip() {
+        let g = topologies::ring(5);
+        round_trip(&EdgeProtocol::new(g.clone()));
+        round_trip(&CompressedProtocol::new(g.clone()));
+        round_trip(&VectorProtocol::new(g));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let g = topologies::ring(5);
+        let p = EdgeProtocol::new(g);
+        let c = p.new_clock(ReplicaId(0));
+        let mut buf = Vec::new();
+        c.encode_wire(&mut buf);
+        // A clock over a different index set refuses the counters.
+        let other = EdgeProtocol::new(topologies::line(2));
+        let mut wrong = other.new_clock(ReplicaId(0));
+        let mut offset = 0;
+        assert!(!wrong.decode_wire(&buf, &mut offset));
+        assert_eq!(offset, 0, "offset untouched on failure");
+    }
+
+    #[test]
+    fn absurd_counter_count_rejected_without_allocating() {
+        // A counter-count varint claiming 2^40 entries must fail on decode
+        // (truncation), not abort the process trying to pre-allocate.
+        let g = topologies::line(2);
+        let p = EdgeProtocol::new(g);
+        let mut buf = Vec::new();
+        crate::encoding::write_varint(&mut buf, 1 << 40);
+        buf.extend_from_slice(&[0, 0, 0]);
+        let mut clock = p.new_clock(ReplicaId(0));
+        let mut offset = 0;
+        assert!(!clock.decode_wire(&buf, &mut offset));
+        // Out-of-range offset is also rejected, not a panic.
+        let mut offset = buf.len() + 10;
+        assert!(!clock.decode_wire(&buf, &mut offset));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let g = topologies::ring(4);
+        let p = EdgeProtocol::new(g);
+        let mut c = p.new_clock(ReplicaId(1));
+        p.advance(ReplicaId(1), &mut c, RegisterId(1));
+        let mut buf = Vec::new();
+        c.encode_wire(&mut buf);
+        let mut out = p.new_clock(ReplicaId(1));
+        let mut offset = 0;
+        assert!(!out.decode_wire(&buf[..buf.len() - 1], &mut offset));
+    }
+}

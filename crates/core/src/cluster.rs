@@ -49,10 +49,7 @@ impl<P: Protocol> Cluster<P> {
         let net = Network::new(g.num_replicas(), policy);
         let oracle = Oracle::new(g);
         let stats = ClusterStats {
-            timestamp_entries: replicas
-                .iter()
-                .map(|r| r.clock().entries())
-                .collect(),
+            timestamp_entries: replicas.iter().map(|r| r.clock().entries()).collect(),
             ..Default::default()
         };
         Cluster {

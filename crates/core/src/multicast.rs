@@ -15,9 +15,7 @@ use prcc_net::DeliveryPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a multicast group (one group per shared register).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct GroupId(pub u32);
 
 impl std::fmt::Display for GroupId {

@@ -233,10 +233,16 @@ mod tests {
         let t1 = sender.write(&p, RegisterId(0), 1).unwrap();
         let t2 = sender.write(&p, RegisterId(0), 2).unwrap();
         // Deliver the second update first: it must buffer.
-        receiver.receive(update::<EdgeProtocol>(1, ReplicaId(0), RegisterId(0), 2, t2), VirtualTime(5));
+        receiver.receive(
+            update::<EdgeProtocol>(1, ReplicaId(0), RegisterId(0), 2, t2),
+            VirtualTime(5),
+        );
         assert!(receiver.drain(&p).is_empty());
         assert_eq!(receiver.pending_len(), 1);
-        receiver.receive(update::<EdgeProtocol>(0, ReplicaId(0), RegisterId(0), 1, t1), VirtualTime(6));
+        receiver.receive(
+            update::<EdgeProtocol>(0, ReplicaId(0), RegisterId(0), 1, t1),
+            VirtualTime(6),
+        );
         let applied = receiver.drain(&p);
         assert_eq!(applied.len(), 2);
         assert_eq!(applied[0].value, 1);

@@ -225,11 +225,7 @@ mod tests {
         // both ends closes a cycle in Ĝ; replica 1 must now track edges on
         // the far side of the cycle.
         let g = topologies::line(4);
-        let a = AugmentedShareGraph::new(
-            g,
-            vec![vec![ReplicaId(0), ReplicaId(3)]],
-        )
-        .unwrap();
+        let a = AugmentedShareGraph::new(g, vec![vec![ReplicaId(0), ReplicaId(3)]]).unwrap();
         let t1 = a.augmented_timestamp_graph(ReplicaId(1));
         // Without the client, a line gives only incident edges.
         let plain = TimestampGraph::compute(a.share_graph(), ReplicaId(1));
@@ -260,11 +256,8 @@ mod tests {
     #[test]
     fn single_replica_clients_add_nothing() {
         let g = topologies::ring(4);
-        let a = AugmentedShareGraph::new(
-            g.clone(),
-            vec![vec![ReplicaId(0)], vec![ReplicaId(2)]],
-        )
-        .unwrap();
+        let a = AugmentedShareGraph::new(g.clone(), vec![vec![ReplicaId(0)], vec![ReplicaId(2)]])
+            .unwrap();
         for i in g.replicas() {
             assert_eq!(
                 a.augmented_timestamp_graph(i),

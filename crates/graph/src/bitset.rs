@@ -53,7 +53,11 @@ impl RegSet {
     /// Panics if the register is outside the universe.
     pub fn insert(&mut self, r: RegisterId) -> bool {
         let i = r.index();
-        assert!(i < self.universe, "register {r} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "register {r} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[i / WORD_BITS];
         let mask = 1u64 << (i % WORD_BITS);
         let fresh = *w & mask == 0;
@@ -145,7 +149,10 @@ impl RegSet {
     /// Definition 4 all have the form "`A − B ≠ ∅`", i.e. `!A.is_subset(B)`.
     pub fn is_subset(&self, other: &RegSet) -> bool {
         assert_eq!(self.universe, other.universe, "universe mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// True if the two sets share no member.

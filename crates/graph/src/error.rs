@@ -37,7 +37,10 @@ impl fmt::Display for GraphError {
             GraphError::UnknownRegister(r) => write!(f, "register {r} is not in the universe"),
             GraphError::UnknownReplica(r) => write!(f, "replica {r} is out of range"),
             GraphError::ClientReplicaOutOfRange { client, replica } => {
-                write!(f, "client c{client} references out-of-range replica {replica}")
+                write!(
+                    f,
+                    "client c{client} references out-of-range replica {replica}"
+                )
             }
             GraphError::EmptyClientReplicaSet { client } => {
                 write!(f, "client c{client} has an empty replica set")

@@ -83,11 +83,7 @@ impl Hoop {
         let mut s = self.candidates_original(g, h);
         let mut drop = Vec::new();
         for reg in s.iter() {
-            let holders_in_hoop = self
-                .path
-                .iter()
-                .filter(|&&r| g.stores(r, reg))
-                .count();
+            let holders_in_hoop = self.path.iter().filter(|&&r| g.stores(r, reg)).count();
             if holders_in_hoop > 2 {
                 drop.push(reg);
             }
@@ -299,10 +295,7 @@ pub fn tracked_registers_modified(g: &ShareGraph, i: ReplicaId) -> RegSet {
 /// The register set replica `i` tracks under *this paper's* criterion: `x`
 /// is tracked iff `i` stores it or some tracked edge `e_jk ∈ E_i` carries it
 /// (`x ∈ X_jk`).
-pub fn tracked_registers_loops(
-    g: &ShareGraph,
-    tsg: &crate::TimestampGraph,
-) -> RegSet {
+pub fn tracked_registers_loops(g: &ShareGraph, tsg: &crate::TimestampGraph) -> RegSet {
     let i = tsg.replica();
     let mut s = g.registers_of(i).clone();
     for e in tsg.edges() {

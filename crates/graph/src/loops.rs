@@ -248,11 +248,7 @@ struct LoopSearch<'a> {
 
 impl LoopSearch<'_> {
     fn connected(&self, u: ReplicaId, v: ReplicaId) -> bool {
-        self.g.are_adjacent(u, v)
-            || self
-                .client_edges
-                .map(|ce| ce(u, v))
-                .unwrap_or(false)
+        self.g.are_adjacent(u, v) || self.client_edges.map(|ce| ce(u, v)).unwrap_or(false)
     }
 
     /// Successors of `u` in the (possibly augmented) graph.
@@ -412,7 +408,10 @@ mod tests {
         let g = topologies::figure5();
         let w = find_loop(&g, ReplicaId(0), edge(3, 2)).expect("loop must exist");
         assert!(w.verify(&g), "witness must satisfy Definition 4: {w}");
-        assert_eq!(w.cycle(), vec![ReplicaId(0), ReplicaId(1), ReplicaId(2), ReplicaId(3)]);
+        assert_eq!(
+            w.cycle(),
+            vec![ReplicaId(0), ReplicaId(1), ReplicaId(2), ReplicaId(3)]
+        );
     }
 
     #[test]
@@ -483,7 +482,11 @@ mod tests {
         let g = topologies::clique_full(3, 2);
         let w = find_loop(&g, ReplicaId(0), edge(1, 2)).expect("loop in K3");
         assert!(w.verify(&g));
-        assert_eq!(w.l_chain.len() + w.r_chain.len(), 2, "minimal loop is the triangle");
+        assert_eq!(
+            w.l_chain.len() + w.r_chain.len(),
+            2,
+            "minimal loop is the triangle"
+        );
     }
 
     #[test]

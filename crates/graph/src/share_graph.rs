@@ -36,9 +36,7 @@ impl ShareGraph {
     /// # Errors
     ///
     /// Returns [`GraphError::NoReplicas`] if `assignments` is empty.
-    pub fn from_assignments(
-        assignments: Vec<Vec<RegisterId>>,
-    ) -> Result<ShareGraph, GraphError> {
+    pub fn from_assignments(assignments: Vec<Vec<RegisterId>>) -> Result<ShareGraph, GraphError> {
         if assignments.is_empty() {
             return Err(GraphError::NoReplicas);
         }
@@ -84,6 +82,14 @@ impl ShareGraph {
             adj,
             holders,
         })
+    }
+
+    /// The per-replica register assignments, in replica order — the inverse
+    /// of [`ShareGraph::from_assignments`], used to ship the topology
+    /// configuration over the wire (`prcc-service`) and to clone graphs
+    /// across process boundaries.
+    pub fn assignments(&self) -> Vec<Vec<RegisterId>> {
+        self.regs.iter().map(|x| x.iter().collect()).collect()
     }
 
     /// Number of replicas `R`.
@@ -164,9 +170,8 @@ impl ShareGraph {
 
     /// Iterator over all directed edges of `E` (both orientations).
     pub fn directed_edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.replicas().flat_map(move |i| {
-            self.neighbors(i).iter().map(move |&j| Edge::new(i, j))
-        })
+        self.replicas()
+            .flat_map(move |i| self.neighbors(i).iter().map(move |&j| Edge::new(i, j)))
     }
 
     /// Iterator over undirected edges, each reported once with
@@ -182,9 +187,7 @@ impl ShareGraph {
 
     /// True if every replica stores every register (full replication).
     pub fn is_full_replication(&self) -> bool {
-        self.regs
-            .iter()
-            .all(|x| x.len() == self.num_registers)
+        self.regs.iter().all(|x| x.len() == self.num_registers)
     }
 
     /// True if the share graph, viewed undirected, contains no cycle.
@@ -380,8 +383,14 @@ mod tests {
         let g = figure3();
         assert_eq!(g.holders(RegisterId(0)), &[ReplicaId(0), ReplicaId(1)]);
         assert_eq!(g.holders(RegisterId(1)), &[ReplicaId(1), ReplicaId(2)]);
-        assert_eq!(g.recipients(ReplicaId(1), RegisterId(0)), vec![ReplicaId(0)]);
-        assert_eq!(g.recipients(ReplicaId(0), RegisterId(0)), vec![ReplicaId(1)]);
+        assert_eq!(
+            g.recipients(ReplicaId(1), RegisterId(0)),
+            vec![ReplicaId(0)]
+        );
+        assert_eq!(
+            g.recipients(ReplicaId(0), RegisterId(0)),
+            vec![ReplicaId(1)]
+        );
     }
 
     #[test]
@@ -436,7 +445,10 @@ mod tests {
     #[test]
     fn shared_on_directed_edge() {
         let g = figure3();
-        assert_eq!(g.shared_on(edge(1, 2)), g.shared(ReplicaId(1), ReplicaId(2)));
+        assert_eq!(
+            g.shared_on(edge(1, 2)),
+            g.shared(ReplicaId(1), ReplicaId(2))
+        );
     }
 
     #[test]

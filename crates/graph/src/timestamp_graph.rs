@@ -54,7 +54,9 @@ impl TimestampGraph {
 
     /// Computes the timestamp graphs of all replicas.
     pub fn compute_all(g: &ShareGraph) -> Vec<TimestampGraph> {
-        g.replicas().map(|i| TimestampGraph::compute(g, i)).collect()
+        g.replicas()
+            .map(|i| TimestampGraph::compute(g, i))
+            .collect()
     }
 
     /// Like [`TimestampGraph::compute`], but also returns, for every

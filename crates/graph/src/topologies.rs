@@ -17,12 +17,7 @@ use rand::Rng;
 pub fn ring(n: usize) -> ShareGraph {
     assert!(n >= 3, "a ring needs at least 3 replicas");
     let assignments = (0..n)
-        .map(|p| {
-            vec![
-                RegisterId(((p + n - 1) % n) as u32),
-                RegisterId(p as u32),
-            ]
-        })
+        .map(|p| vec![RegisterId(((p + n - 1) % n) as u32), RegisterId(p as u32)])
         .collect();
     ShareGraph::from_assignments(assignments).expect("ring is non-empty")
 }
@@ -557,14 +552,21 @@ mod tests {
         for r in 2..5 {
             assert_eq!(g.degree(ReplicaId(r)), 2);
         }
-        assert!(!g.are_adjacent(ReplicaId(0), ReplicaId(1)), "no intra-side edges");
+        assert!(
+            !g.are_adjacent(ReplicaId(0), ReplicaId(1)),
+            "no intra-side edges"
+        );
     }
 
     #[test]
     fn figure_eight_structure() {
         let g = figure_eight(3, 4);
         assert_eq!(g.num_replicas(), 6);
-        assert_eq!(g.degree(ReplicaId(0)), 4, "shared replica sits on both rings");
+        assert_eq!(
+            g.degree(ReplicaId(0)),
+            4,
+            "shared replica sits on both rings"
+        );
         assert!(g.is_connected());
         // A replica deep in ring A must not track ring-B edges: every loop
         // through it stays within ring A (ring B edges cannot be on a simple
@@ -589,11 +591,19 @@ mod tests {
     fn figure5_labels_match_paper() {
         use figure5_registers::*;
         let g = figure5();
-        assert_eq!(g.shared(ReplicaId(2), ReplicaId(3)).iter().collect::<Vec<_>>(), vec![Z]);
-        assert_eq!(g.shared(ReplicaId(0), ReplicaId(1)).iter().collect::<Vec<_>>(), vec![Y]);
-        assert!(g
-            .shared(ReplicaId(0), ReplicaId(3))
-            .contains(W));
+        assert_eq!(
+            g.shared(ReplicaId(2), ReplicaId(3))
+                .iter()
+                .collect::<Vec<_>>(),
+            vec![Z]
+        );
+        assert_eq!(
+            g.shared(ReplicaId(0), ReplicaId(1))
+                .iter()
+                .collect::<Vec<_>>(),
+            vec![Y]
+        );
+        assert!(g.shared(ReplicaId(0), ReplicaId(3)).contains(W));
         assert!(!g.are_adjacent(ReplicaId(0), ReplicaId(2)));
     }
 
@@ -615,7 +625,11 @@ mod tests {
                 s.len() == 1 && s.contains(r.y)
             })
             .collect();
-        assert_eq!(y_only.len(), 2, "paper: two edges labelled y, got {y_only:?}");
+        assert_eq!(
+            y_only.len(),
+            2,
+            "paper: two edges labelled y, got {y_only:?}"
+        );
     }
 
     #[test]
@@ -624,7 +638,10 @@ mod tests {
         assert!(g.are_adjacent(r.j, r.k));
         assert!(g.are_adjacent(r.b1, r.a1));
         assert!(g.are_adjacent(r.b2, r.a1));
-        assert!(!g.are_adjacent(r.b2, r.a2), "no z chord in counterexample 2");
+        assert!(
+            !g.are_adjacent(r.b2, r.a2),
+            "no z chord in counterexample 2"
+        );
         assert_eq!(g.holders(r.y).len(), 3);
     }
 }

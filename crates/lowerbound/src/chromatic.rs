@@ -17,10 +17,9 @@ pub fn greedy_coloring(adj: &[Vec<bool>]) -> usize {
     for &v in &order {
         let mut taken: Vec<bool> = vec![false; used + 1];
         for u in 0..n {
-            if adj[v][u] && color[u] != usize::MAX
-                && color[u] < taken.len() {
-                    taken[color[u]] = true;
-                }
+            if adj[v][u] && color[u] != usize::MAX && color[u] < taken.len() {
+                taken[color[u]] = true;
+            }
         }
         let c = (0..).find(|&c| c >= taken.len() || !taken[c]).unwrap();
         color[v] = c;
@@ -35,8 +34,8 @@ pub fn greedy_clique(adj: &[Vec<bool>]) -> usize {
     let mut best = 0;
     for start in 0..n {
         let mut clique = vec![start];
-        for v in 0..n {
-            if v != start && clique.iter().all(|&u| adj[u][v]) {
+        for v in (0..n).filter(|&v| v != start) {
+            if clique.iter().all(|&u| adj[u][v]) {
                 clique.push(v);
             }
         }
@@ -95,9 +94,7 @@ mod tests {
     use super::*;
 
     fn complete(n: usize) -> Vec<Vec<bool>> {
-        (0..n)
-            .map(|a| (0..n).map(|b| a != b).collect())
-            .collect()
+        (0..n).map(|a| (0..n).map(|b| a != b).collect()).collect()
     }
 
     fn cycle(n: usize) -> Vec<Vec<bool>> {

@@ -45,13 +45,7 @@ fn directional_conflict(g: &ShareGraph, i: ReplicaId, s1: &CausalPast, s2: &Caus
 /// `e = e_{r1, ls}` satisfying Definition 13's side conditions. The loop
 /// orientation is: the `l`-chain leaves `i` and ends at `l_s = e.to`; the
 /// `r`-chain starts at `r_1 = e.from` and returns to `i`.
-fn loop_condition(
-    g: &ShareGraph,
-    i: ReplicaId,
-    e: Edge,
-    s1: &CausalPast,
-    s2: &CausalPast,
-) -> bool {
+fn loop_condition(g: &ShareGraph, i: ReplicaId, e: Edge, s1: &CausalPast, s2: &CausalPast) -> bool {
     let (r1, ls) = (e.from, e.to);
     if r1 == i || ls == i {
         return false;
@@ -187,11 +181,7 @@ fn check_side_conditions(
 
 /// Builds the conflict graph over a family of causal pasts: adjacency
 /// matrix entry `(a, b)` is true iff the pasts conflict.
-pub fn conflict_graph(
-    g: &ShareGraph,
-    i: ReplicaId,
-    family: &[CausalPast],
-) -> Vec<Vec<bool>> {
+pub fn conflict_graph(g: &ShareGraph, i: ReplicaId, family: &[CausalPast]) -> Vec<Vec<bool>> {
     let n = family.len();
     let mut adj = vec![vec![false; n]; n];
     for a in 0..n {
@@ -209,7 +199,7 @@ pub fn conflict_graph(
 mod tests {
     use super::*;
     use crate::past::AbstractUpdate;
-    use prcc_graph::{edge, RegisterId, topologies};
+    use prcc_graph::{edge, topologies, RegisterId};
 
     fn u(issuer: usize, register: u32, seq: u64) -> AbstractUpdate {
         AbstractUpdate {
@@ -321,9 +311,9 @@ mod tests {
         let fam = vec![s1, s2, s3];
         let adj = conflict_graph(&g, i, &fam);
         // Chain of strict inclusions: all pairs conflict (clique).
-        for a in 0..3 {
-            for b in 0..3 {
-                assert_eq!(adj[a][b], a != b, "({a},{b})");
+        for (a, row) in adj.iter().enumerate() {
+            for (b, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, a != b, "({a},{b})");
             }
         }
     }

@@ -8,9 +8,7 @@ use std::fmt;
 /// An update identified by issuer, register and per-(issuer, register)
 /// sequence number — enough structure to evaluate the `S|e` restrictions of
 /// Section 4 without carrying values.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AbstractUpdate {
     /// The issuing replica.
     pub issuer: ReplicaId,

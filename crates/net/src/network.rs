@@ -211,7 +211,10 @@ impl<M: Clone> Network<M> {
     /// Panics if `src == dst` or either index is out of range.
     pub fn send(&mut self, src: NodeIndex, dst: NodeIndex, bytes: usize, msg: M) -> MessageId {
         assert!(src != dst, "no self messages");
-        assert!(src < self.num_nodes && dst < self.num_nodes, "node out of range");
+        assert!(
+            src < self.num_nodes && dst < self.num_nodes,
+            "node out of range"
+        );
         self.sends += 1;
         if self.duplicate_every > 0 && self.sends.is_multiple_of(self.duplicate_every) {
             self.send_one(src, dst, bytes, msg.clone());
@@ -295,7 +298,10 @@ mod tests {
         assert!(!net.is_quiescent());
         let first = net.deliver_next().unwrap();
         assert_eq!(first.msg, "direct");
-        assert!(net.deliver_next().is_none(), "held message must not deliver");
+        assert!(
+            net.deliver_next().is_none(),
+            "held message must not deliver"
+        );
         net.release_link(0, 1);
         let second = net.deliver_next().unwrap();
         assert_eq!(second.msg, "held");

@@ -155,7 +155,10 @@ mod tests {
         let mut a = UniformDelay::new(7, 1, 100);
         let mut b = UniformDelay::new(7, 1, 100);
         for _ in 0..50 {
-            assert_eq!(a.delay(0, 1, VirtualTime::ZERO), b.delay(0, 1, VirtualTime::ZERO));
+            assert_eq!(
+                a.delay(0, 1, VirtualTime::ZERO),
+                b.delay(0, 1, VirtualTime::ZERO)
+            );
         }
     }
 

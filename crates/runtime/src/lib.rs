@@ -120,7 +120,9 @@ where
                 match msg {
                     Msg::Shutdown => break,
                     Msg::Write(x, v) => {
-                        let clock = replica.write(&protocol, x, v).expect("valid scripted write");
+                        let clock = replica
+                            .write(&protocol, x, v)
+                            .expect("valid scripted write");
                         let id = oracle.lock().on_issue(me, x);
                         let update = Update {
                             id,

@@ -1,0 +1,237 @@
+//! `prcc-load` — drive configurable load at a loopback TCP cluster and
+//! report throughput, latency, wire bytes and the post-hoc oracle verdict.
+//!
+//! ```text
+//! prcc-load --nodes 4 --ops 10000
+//! prcc-load --nodes 6 --topology random --hotspot 0.3 --value-bytes 256
+//! ```
+//!
+//! Writes `BENCH_service.json` (schema in `prcc_service::report`) so later
+//! changes can track the performance trajectory.
+
+use prcc_clock::EdgeProtocol;
+use prcc_service::config::{build_topology, Args};
+use prcc_service::report::{BenchReport, LatencySummary};
+use prcc_service::{LoopbackCluster, ServiceConfig};
+use prcc_workloads::ops::{generate_ops, partition_by_replica};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::process::exit;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+struct DriverResult {
+    latencies_us: Vec<u64>,
+    reads: usize,
+    failures: usize,
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::from_env();
+    if args.has("--help") {
+        println!(
+            "prcc-load: drive load at a loopback prcc cluster\n\n\
+             \t--nodes N        cluster size (default 4)\n\
+             \t--topology T     ring|line|star|clique|figure5|random (default ring)\n\
+             \t--ops N          total operations (default 10000)\n\
+             \t--seed S         workload/topology seed (default 1)\n\
+             \t--hotspot F      fraction of writes hitting register 0 (default off)\n\
+             \t--read-pct F     fraction of ops issued as reads (default 0.0)\n\
+             \t--value-bytes B  extra payload bytes per update (default 0)\n\
+             \t--rate R         target ops/sec across the cluster, 0 = unlimited (default 0)\n\
+             \t--batch N        max updates per peer frame (default 64)\n\
+             \t--flush-us U     batch flush interval in microseconds (default 200)\n\
+             \t--base-port P    0 = ephemeral ports (default)\n\
+             \t--out PATH       report path (default BENCH_service.json)\n\
+             \t--quiet          suppress the human-readable summary"
+        );
+        return Ok(());
+    }
+    let nodes = args.parse_or("--nodes", 4usize)?;
+    let topology = args.value("--topology").unwrap_or("ring").to_string();
+    let ops_total = args.parse_or("--ops", 10_000usize)?;
+    let seed = args.parse_or("--seed", 1u64)?;
+    let hotspot = match args.value("--hotspot") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse::<f64>()
+                .map_err(|_| format!("invalid --hotspot '{raw}'"))?,
+        ),
+    };
+    let read_pct = args.parse_or("--read-pct", 0.0f64)?;
+    let value_bytes = args.parse_or("--value-bytes", 0usize)?;
+    let rate = args.parse_or("--rate", 0f64)?;
+    let base_port = args.parse_or("--base-port", 0u16)?;
+    let out_path = args
+        .value("--out")
+        .unwrap_or("BENCH_service.json")
+        .to_string();
+    let quiet = args.has("--quiet");
+    let cfg = ServiceConfig {
+        batch_max: args.parse_or("--batch", 64usize)?.max(1),
+        flush_interval: Duration::from_micros(args.parse_or("--flush-us", 200u64)?),
+        pad_bytes: value_bytes,
+        ..ServiceConfig::default()
+    };
+
+    let graph = build_topology(&topology, nodes, seed)?;
+    let n = graph.num_replicas();
+    let protocol = Arc::new(EdgeProtocol::new(graph.clone()));
+    let cluster = LoopbackCluster::launch(protocol, &cfg, base_port)
+        .map_err(|e| format!("launch failed: {e}"))?;
+
+    // One seeded op stream, partitioned into per-node driver scripts — the
+    // same generator the simulator workloads use.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ops = generate_ops(&graph, ops_total, hotspot, &mut rng);
+    let scripts = partition_by_replica(&graph, &ops);
+
+    // Per-thread pacing for --rate: each driver holds the cluster-wide
+    // interval scaled by its share of the ops.
+    let drive_start = Instant::now();
+    let mut drivers = Vec::with_capacity(n);
+    for (node, script) in scripts.into_iter().enumerate() {
+        let mut client = cluster
+            .client(node)
+            .map_err(|e| format!("connect node {node}: {e}"))?;
+        let share = script.len() as f64 / ops_total.max(1) as f64;
+        let interval = if rate > 0.0 && !script.is_empty() {
+            Some(Duration::from_secs_f64(1.0 / (rate * share)))
+        } else {
+            None
+        };
+        let mut thread_rng = ChaCha8Rng::seed_from_u64(seed ^ ((node as u64 + 1) << 32));
+        drivers.push(thread::spawn(move || -> std::io::Result<DriverResult> {
+            let mut result = DriverResult {
+                latencies_us: Vec::with_capacity(script.len()),
+                reads: 0,
+                failures: 0,
+            };
+            let mut next_at = Instant::now();
+            for (_, register, value) in script {
+                if let Some(interval) = interval {
+                    let now = Instant::now();
+                    if next_at > now {
+                        thread::sleep(next_at - now);
+                    }
+                    next_at += interval;
+                }
+                let started = Instant::now();
+                let ok = if read_pct > 0.0 && thread_rng.gen_bool(read_pct) {
+                    result.reads += 1;
+                    client.read(register).map(|_| true)?
+                } else {
+                    client.write_padded(register, value, value_bytes)?
+                };
+                if !ok {
+                    result.failures += 1;
+                }
+                result
+                    .latencies_us
+                    .push(started.elapsed().as_micros() as u64);
+            }
+            Ok(result)
+        }));
+    }
+
+    let mut latencies = Vec::with_capacity(ops_total);
+    let mut reads = 0usize;
+    let mut failures = 0usize;
+    for driver in drivers {
+        let result = driver
+            .join()
+            .map_err(|_| "driver thread panicked".to_string())
+            .and_then(|r| r.map_err(|e| format!("driver I/O error: {e}")))?;
+        latencies.extend(result.latencies_us);
+        reads += result.reads;
+        failures += result.failures;
+    }
+    let drive_seconds = drive_start.elapsed().as_secs_f64();
+    if failures > 0 {
+        return Err(format!("{failures} operations were rejected by their node"));
+    }
+
+    // Quiescence, then verification on the collected traces.
+    let drain_start = Instant::now();
+    let drain_budget = Duration::from_secs(30) + Duration::from_millis(ops_total as u64 / 10);
+    let drained = cluster
+        .drain(drain_budget)
+        .map_err(|e| format!("drain: {e}"))?;
+    let drain_seconds = drain_start.elapsed().as_secs_f64();
+    if !drained {
+        return Err("cluster failed to reach quiescence (liveness bug?)".into());
+    }
+    let statuses = cluster.statuses().map_err(|e| format!("status: {e}"))?;
+    let verdict = cluster
+        .verify()
+        .map_err(|e| format!("trace collection: {e}"))?
+        .map_err(|e| format!("trace replay: {e}"))?;
+
+    let mut report = BenchReport {
+        topology,
+        nodes: n,
+        ops: latencies.len(),
+        reads,
+        seed,
+        value_bytes,
+        hotspot,
+        drive_seconds,
+        drain_seconds,
+        throughput_ops_per_sec: latencies.len() as f64 / drive_seconds.max(1e-9),
+        latency: LatencySummary::from_latencies(&mut latencies),
+        wire_bytes_out: 0,
+        wire_bytes_per_update: 0.0,
+        messages_sent: 0,
+        batches_sent: 0,
+        updates_per_batch: 0.0,
+        consistent: verdict.is_consistent(),
+        safety_violations: verdict.safety.len(),
+        liveness_violations: verdict.liveness.len(),
+    };
+    report.absorb_statuses(&statuses);
+
+    std::fs::write(&out_path, report.to_json()).map_err(|e| format!("writing {out_path}: {e}"))?;
+    cluster.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+
+    if !quiet {
+        println!(
+            "prcc-load: {} ops ({} reads) on {} nodes ('{}') in {:.2}s + {:.2}s drain",
+            report.ops, report.reads, report.nodes, report.topology, drive_seconds, drain_seconds
+        );
+        println!(
+            "  throughput {:.0} ops/s; latency mean {:.0}us p50 {}us p99 {}us",
+            report.throughput_ops_per_sec,
+            report.latency.mean_us,
+            report.latency.p50_us,
+            report.latency.p99_us
+        );
+        println!(
+            "  wire: {} bytes out, {:.1} bytes/update, {:.2} updates/batch",
+            report.wire_bytes_out, report.wire_bytes_per_update, report.updates_per_batch
+        );
+        println!(
+            "  oracle: {}",
+            if report.consistent {
+                "causally consistent".to_string()
+            } else {
+                format!(
+                    "{} safety / {} liveness violations",
+                    report.safety_violations, report.liveness_violations
+                )
+            }
+        );
+        println!("  report written to {out_path}");
+    }
+    if !report.consistent {
+        return Err("oracle verdict: NOT causally consistent".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("prcc-load: {message}");
+        exit(1);
+    }
+}

@@ -1,0 +1,92 @@
+//! `ServiceClient` — the blocking client library for the node API.
+
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, ClientRequest, ClientResponse,
+    NodeStatus,
+};
+use prcc_checker::trace::TraceEvent;
+use prcc_graph::RegisterId;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+/// A connection to one node's client API.
+///
+/// One request is in flight at a time (simple request/response framing);
+/// open several clients for pipelined load.
+#[derive(Debug)]
+pub struct ServiceClient {
+    stream: TcpStream,
+}
+
+fn protocol_error(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+impl ServiceClient {
+    /// Connects to a node's client listener.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServiceClient { stream })
+    }
+
+    fn round_trip(&mut self, req: &ClientRequest) -> io::Result<ClientResponse> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| protocol_error("connection closed mid-request"))?;
+        decode_response(&payload)
+    }
+
+    /// Issues `write(x, v)`, shipping `pad` extra payload bytes; resolves
+    /// once the node has applied the write locally and enqueued the peer
+    /// updates. Returns `false` if the node does not store `x`.
+    pub fn write_padded(&mut self, x: RegisterId, v: u64, pad: usize) -> io::Result<bool> {
+        match self.round_trip(&ClientRequest::Write {
+            register: x,
+            value: v,
+            pad,
+        })? {
+            ClientResponse::WriteAck { ok } => Ok(ok),
+            _ => Err(protocol_error("unexpected response to write")),
+        }
+    }
+
+    /// Issues `write(x, v)`.
+    pub fn write(&mut self, x: RegisterId, v: u64) -> io::Result<bool> {
+        self.write_padded(x, v, 0)
+    }
+
+    /// Issues `read(x)`. `Err` is an I/O problem; `Ok(None)` means the node
+    /// stores `x` but no write has reached it (or does not store `x` — check
+    /// with the topology).
+    pub fn read(&mut self, x: RegisterId) -> io::Result<Option<u64>> {
+        match self.round_trip(&ClientRequest::Read { register: x })? {
+            ClientResponse::ReadResp { value, .. } => Ok(value),
+            _ => Err(protocol_error("unexpected response to read")),
+        }
+    }
+
+    /// Fetches the node's counter snapshot.
+    pub fn status(&mut self) -> io::Result<NodeStatus> {
+        match self.round_trip(&ClientRequest::Status)? {
+            ClientResponse::Status(status) => Ok(status),
+            _ => Err(protocol_error("unexpected response to status")),
+        }
+    }
+
+    /// Fetches the node's local event log.
+    pub fn trace(&mut self) -> io::Result<Vec<TraceEvent>> {
+        match self.round_trip(&ClientRequest::Trace)? {
+            ClientResponse::Trace(events) => Ok(events),
+            _ => Err(protocol_error("unexpected response to trace")),
+        }
+    }
+
+    /// Asks the node to shut down gracefully.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.round_trip(&ClientRequest::Shutdown)? {
+            ClientResponse::Bye => Ok(()),
+            _ => Err(protocol_error("unexpected response to shutdown")),
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Standing up and tearing down a loopback cluster.
+
+use crate::client::ServiceClient;
+use crate::node::{spawn_node, NodeHandle, NodeSeed, ServiceConfig};
+use crate::wire::NodeStatus;
+use prcc_checker::trace::{verify_trace, TraceError, TraceEvent};
+use prcc_checker::Verdict;
+use prcc_clock::{Protocol, WireClock};
+use prcc_graph::ReplicaId;
+use prcc_graph::ShareGraph;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A full cluster of nodes on 127.0.0.1, one pair of listeners each.
+#[derive(Debug)]
+pub struct LoopbackCluster {
+    graph: ShareGraph,
+    nodes: Vec<NodeHandle>,
+}
+
+impl LoopbackCluster {
+    /// Binds listeners for every node (ephemeral ports when `base_port` is
+    /// 0, else `base_port + 2i` / `base_port + 2i + 1`), then spawns the
+    /// nodes with the full peer map.
+    pub fn launch<P>(
+        protocol: Arc<P>,
+        cfg: &ServiceConfig,
+        base_port: u16,
+    ) -> io::Result<LoopbackCluster>
+    where
+        P: Protocol + 'static,
+        P::Clock: WireClock,
+    {
+        let graph = protocol.share_graph().clone();
+        let n = graph.num_replicas();
+        let mut peer_listeners = Vec::with_capacity(n);
+        let mut client_listeners = Vec::with_capacity(n);
+        let mut peer_addrs = Vec::with_capacity(n);
+        for i in 0..n {
+            let (peer_port, client_port) = if base_port == 0 {
+                (0, 0)
+            } else {
+                (base_port + 2 * i as u16, base_port + 2 * i as u16 + 1)
+            };
+            let peer = TcpListener::bind(("127.0.0.1", peer_port))?;
+            let client = TcpListener::bind(("127.0.0.1", client_port))?;
+            peer_addrs.push(peer.local_addr()?);
+            peer_listeners.push(peer);
+            client_listeners.push(client);
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for (i, (peer_listener, client_listener)) in
+            peer_listeners.into_iter().zip(client_listeners).enumerate()
+        {
+            nodes.push(spawn_node(
+                Arc::clone(&protocol),
+                NodeSeed {
+                    id: ReplicaId(i),
+                    peer_listener,
+                    client_listener,
+                    peer_addrs: peer_addrs.clone(),
+                },
+                cfg.clone(),
+            )?);
+        }
+        Ok(LoopbackCluster { graph, nodes })
+    }
+
+    /// The cluster's share graph.
+    pub fn graph(&self) -> &ShareGraph {
+        &self.graph
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has no nodes (never after a launch).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `(peer, client)` listener addresses of node `i`.
+    pub fn addrs(&self, i: usize) -> (SocketAddr, SocketAddr) {
+        (self.nodes[i].peer_addr, self.nodes[i].client_addr)
+    }
+
+    /// Opens a fresh client to node `i`.
+    pub fn client(&self, i: usize) -> io::Result<ServiceClient> {
+        ServiceClient::connect(self.nodes[i].client_addr)
+    }
+
+    /// Snapshot of every node's counters.
+    pub fn statuses(&self) -> io::Result<Vec<NodeStatus>> {
+        self.nodes
+            .iter()
+            .map(|node| ServiceClient::connect(node.client_addr)?.status())
+            .collect()
+    }
+
+    /// Polls until the cluster is quiescent: every pending buffer empty,
+    /// every sent update received, and the counters stable across two
+    /// consecutive polls. Returns `false` on timeout.
+    pub fn drain(&self, timeout: Duration) -> io::Result<bool> {
+        // One persistent client per node: the poll loop runs every 10ms and
+        // per-call connections would churn thousands of sockets per drain.
+        let mut clients = self
+            .nodes
+            .iter()
+            .map(|node| ServiceClient::connect(node.client_addr))
+            .collect::<io::Result<Vec<_>>>()?;
+        let deadline = Instant::now() + timeout;
+        let mut previous: Option<Vec<NodeStatus>> = None;
+        loop {
+            let statuses = clients
+                .iter_mut()
+                .map(ServiceClient::status)
+                .collect::<io::Result<Vec<_>>>()?;
+            let sent: u64 = statuses.iter().map(|s| s.messages_sent).sum();
+            let received: u64 = statuses.iter().map(|s| s.messages_received).sum();
+            let pending: u64 = statuses.iter().map(|s| s.pending).sum();
+            let settled = pending == 0 && sent == received;
+            if settled && previous.as_ref() == Some(&statuses) {
+                return Ok(true);
+            }
+            previous = Some(statuses);
+            if Instant::now() >= deadline {
+                return Ok(false);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Collects every node's local event log, in replica order.
+    pub fn collect_traces(&self) -> io::Result<Vec<Vec<TraceEvent>>> {
+        self.nodes
+            .iter()
+            .map(|node| ServiceClient::connect(node.client_addr)?.trace())
+            .collect()
+    }
+
+    /// Replays the collected traces through the shared [`prcc_checker`]
+    /// oracle — the post-hoc causal-consistency check.
+    pub fn verify(&self) -> io::Result<Result<Verdict, TraceError>> {
+        let traces = self.collect_traces()?;
+        Ok(verify_trace(&self.graph, &traces))
+    }
+
+    /// Gracefully shuts every node down and joins their core threads.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        for node in &self.nodes {
+            ServiceClient::connect(node.client_addr)?.shutdown()?;
+        }
+        for node in &mut self.nodes {
+            node.join();
+        }
+        Ok(())
+    }
+
+    /// Blocks until every node has been shut down externally (used by
+    /// `prcc-serve`).
+    pub fn join(&mut self) {
+        for node in &mut self.nodes {
+            node.join();
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Topology selection and argument plumbing shared by the binaries.
+
+use prcc_graph::{topologies, ShareGraph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds the share graph for a named topology family at size `nodes`.
+///
+/// Families: `ring` (default), `line`, `star`, `clique`, `figure5` (fixed
+/// 4 nodes), `random` (seeded connected random graph with `2·nodes`
+/// registers, ≤ 3 holders each).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names or invalid sizes.
+pub fn build_topology(name: &str, nodes: usize, seed: u64) -> Result<ShareGraph, String> {
+    match name {
+        "ring" => {
+            if nodes < 3 {
+                return Err("ring needs --nodes >= 3".into());
+            }
+            Ok(topologies::ring(nodes))
+        }
+        "line" => {
+            if nodes < 2 {
+                return Err("line needs --nodes >= 2".into());
+            }
+            Ok(topologies::line(nodes))
+        }
+        "star" => {
+            if nodes < 2 {
+                return Err("star needs --nodes >= 2".into());
+            }
+            Ok(topologies::star(nodes))
+        }
+        "clique" => {
+            if nodes < 2 {
+                return Err("clique needs --nodes >= 2".into());
+            }
+            Ok(topologies::clique_full(nodes, 2))
+        }
+        "figure5" => Ok(topologies::figure5()),
+        "random" => {
+            if nodes < 2 {
+                return Err("random needs --nodes >= 2".into());
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            Ok(topologies::random_connected(nodes, 2 * nodes, 3, &mut rng))
+        }
+        other => Err(format!(
+            "unknown topology '{other}' (ring|line|star|clique|figure5|random)"
+        )),
+    }
+}
+
+/// Tiny `--flag value` argument scanner for the binaries (no external
+/// parser available in this hermetic workspace).
+#[derive(Debug)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments (after the binary name).
+    pub fn from_env() -> Self {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds from an explicit list (tests).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Args { raw }
+    }
+
+    /// True when `--flag` appears (with or without a value).
+    pub fn has(&self, flag: &str) -> bool {
+        self.raw.iter().any(|a| a == flag)
+    }
+
+    /// The value following `--flag`, if any.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|at| self.raw.get(at + 1))
+            .map(String::as_str)
+    }
+
+    /// Parses the value of `--flag`, falling back to `default`.
+    ///
+    /// # Errors
+    ///
+    /// Reports unparseable values with the offending flag name.
+    pub fn parse_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value '{raw}' for {flag}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies_build() {
+        for name in ["ring", "line", "star", "clique", "random"] {
+            let g = build_topology(name, 5, 7).unwrap();
+            assert!(g.num_replicas() >= 4, "{name}");
+        }
+        assert_eq!(build_topology("figure5", 99, 0).unwrap().num_replicas(), 4);
+        assert!(build_topology("ring", 2, 0).is_err());
+        assert!(build_topology("moebius", 5, 0).is_err());
+    }
+
+    #[test]
+    fn args_scanner() {
+        let args = Args::from_vec(
+            ["--nodes", "6", "--hotspot", "0.3", "--quiet"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(args.parse_or("--nodes", 4usize).unwrap(), 6);
+        assert_eq!(args.parse_or("--ops", 100usize).unwrap(), 100);
+        assert!((args.parse_or("--hotspot", 0.0f64).unwrap() - 0.3).abs() < 1e-9);
+        assert!(args.has("--quiet"));
+        assert!(args.parse_or("--hotspot", 0usize).is_err());
+    }
+}

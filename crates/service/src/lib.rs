@@ -1,0 +1,42 @@
+//! A networked TCP deployment of the partially-replicated causal-consistency
+//! protocol.
+//!
+//! The simulator (`prcc-net`) and threaded runtime (`prcc-runtime`) validate
+//! the algorithm in one process; this crate takes the same generic
+//! [`prcc_clock::Protocol`] replicas across real sockets:
+//!
+//! * [`wire`] — the length-prefixed binary wire protocol: peer handshakes
+//!   (carrying the serialized share-graph configuration), batched update
+//!   frames built on [`prcc_clock::WireClock`] / `Update::encode_wire`, and
+//!   the client read/write API.
+//! * [`node`] — a replica as a TCP node: a core event-loop thread owning
+//!   the [`prcc_core::Replica`], per-peer sender threads with update
+//!   batching (size- and time-bounded), and listeners for peer and client
+//!   traffic.
+//! * [`client`] — [`ServiceClient`], the blocking client library.
+//! * [`cluster`] — [`LoopbackCluster`]: bind, spawn, drain-to-quiescence,
+//!   trace collection and post-hoc [`prcc_checker`] oracle verification.
+//! * [`report`] — the `prcc-load` benchmark report (`BENCH_service.json`).
+//! * [`config`] — topology selection shared by the `prcc-serve` /
+//!   `prcc-load` binaries.
+//!
+//! The deployment is event-loop-per-node with blocking I/O threads rather
+//! than an async runtime: the hermetic build environment has no tokio, and
+//! the thread constellation keeps identical semantics (a run-to-completion
+//! core loop fed by channels) while remaining std-only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod node;
+pub mod report;
+pub mod wire;
+
+pub use client::ServiceClient;
+pub use cluster::LoopbackCluster;
+pub use node::{spawn_node, NodeHandle, NodeSeed, ServiceConfig};
+pub use report::{BenchReport, LatencySummary};
+pub use wire::NodeStatus;

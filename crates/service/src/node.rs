@@ -1,0 +1,498 @@
+//! A replica as an async-style TCP node.
+//!
+//! Each node runs a small constellation of threads around one *core* thread
+//! that owns the [`Replica`] state machine:
+//!
+//! * the core thread serializes all state access (writes, reads, update
+//!   application, trace/status snapshots) through one channel — replicating
+//!   the run-to-completion event loop an async runtime would provide;
+//! * one *sender* thread per peer dials the peer's update listener, then
+//!   coalesces outgoing updates into batched frames: a batch closes when it
+//!   reaches `batch_max` updates or `flush_interval` elapses after its
+//!   first update, whichever is first;
+//! * the peer listener accepts connections and spawns a reader per peer
+//!   that decodes batches and forwards them to the core;
+//! * the client listener serves the request/response API of
+//!   [`crate::wire::ClientRequest`].
+//!
+//! Updates carry globally unique wire ids (`issuer << 40 | seq`), which
+//! drive both duplicate suppression in [`Replica::receive`] and the
+//! post-hoc oracle replay over collected traces.
+
+use crate::wire::{
+    decode_batch, decode_peer_hello, decode_request, encode_batch, encode_peer_hello,
+    encode_response, read_frame, write_frame, ClientRequest, ClientResponse, NodeStatus, PeerHello,
+};
+use prcc_checker::trace::TraceEvent;
+use prcc_checker::UpdateId;
+use prcc_clock::{Protocol, WireClock};
+use prcc_core::{Replica, Update};
+use prcc_graph::{RegisterId, ReplicaId, ShareGraph};
+use prcc_net::VirtualTime;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a node deployment.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum updates coalesced into one peer frame.
+    pub batch_max: usize,
+    /// How long a non-full batch may wait for more updates.
+    pub flush_interval: Duration,
+    /// Extra bytes shipped with each update (simulated value size).
+    pub pad_bytes: usize,
+    /// How long senders keep retrying a peer dial before giving up.
+    pub connect_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            batch_max: 64,
+            flush_interval: Duration::from_micros(200),
+            pad_bytes: 0,
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Everything a node needs to come up: its identity, pre-bound listeners
+/// (binding first solves the ephemeral-port bootstrap), and the peer map.
+#[derive(Debug)]
+pub struct NodeSeed {
+    /// This node's replica id.
+    pub id: ReplicaId,
+    /// Listener for incoming peer update connections.
+    pub peer_listener: TcpListener,
+    /// Listener for the client API.
+    pub client_listener: TcpListener,
+    /// Peer update-listener addresses, indexed by replica.
+    pub peer_addrs: Vec<SocketAddr>,
+}
+
+/// Handle to a spawned node.
+#[derive(Debug)]
+pub struct NodeHandle {
+    /// The node's replica id.
+    pub id: ReplicaId,
+    /// Address of the peer update listener.
+    pub peer_addr: SocketAddr,
+    /// Address of the client API listener.
+    pub client_addr: SocketAddr,
+    core: Option<thread::JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// Blocks until the node's core thread exits (a client sent
+    /// [`ClientRequest::Shutdown`]).
+    pub fn join(&mut self) {
+        if let Some(handle) = self.core.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+enum CoreMsg<C> {
+    Write {
+        register: RegisterId,
+        value: u64,
+        reply: mpsc::Sender<bool>,
+    },
+    Read {
+        register: RegisterId,
+        reply: mpsc::Sender<(bool, Option<u64>)>,
+    },
+    Updates(Vec<Update<C>>),
+    Status(mpsc::Sender<NodeStatus>),
+    Trace(mpsc::Sender<Vec<TraceEvent>>),
+    Shutdown,
+}
+
+struct SocketCounters {
+    bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+    batches_sent: AtomicU64,
+}
+
+/// Spawns a node: core thread, peer senders, peer/client listeners.
+///
+/// # Errors
+///
+/// Fails only on listener introspection; network errors after spawn are
+/// handled per-connection (logged to stderr, connection dropped).
+pub fn spawn_node<P>(protocol: Arc<P>, seed: NodeSeed, cfg: ServiceConfig) -> io::Result<NodeHandle>
+where
+    P: Protocol + 'static,
+    P::Clock: WireClock,
+{
+    let NodeSeed {
+        id,
+        peer_listener,
+        client_listener,
+        peer_addrs,
+    } = seed;
+    let peer_addr = peer_listener.local_addr()?;
+    let client_addr = client_listener.local_addr()?;
+    let graph = protocol.share_graph().clone();
+    let n = graph.num_replicas();
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(SocketCounters {
+        bytes_out: AtomicU64::new(0),
+        bytes_in: AtomicU64::new(0),
+        batches_sent: AtomicU64::new(0),
+    });
+
+    let (core_tx, core_rx) = mpsc::channel::<CoreMsg<P::Clock>>();
+
+    // Per-peer outgoing channels feeding the sender threads.
+    let mut peer_txs: Vec<Option<mpsc::Sender<Update<P::Clock>>>> = Vec::with_capacity(n);
+    for (k, &addr) in peer_addrs.iter().enumerate().take(n) {
+        if k == id.index() {
+            peer_txs.push(None);
+            continue;
+        }
+        let (tx, rx) = mpsc::channel::<Update<P::Clock>>();
+        peer_txs.push(Some(tx));
+        let hello = PeerHello {
+            node: id,
+            graph: graph.clone(),
+        };
+        let cfg = cfg.clone();
+        let counters = Arc::clone(&counters);
+        thread::spawn(move || peer_sender(addr, hello, rx, &cfg, &counters));
+    }
+
+    // Peer listener: one reader thread per inbound peer connection.
+    {
+        let core_tx = core_tx.clone();
+        let protocol = Arc::clone(&protocol);
+        let graph = graph.clone();
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        thread::spawn(move || {
+            for conn in peer_listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { break };
+                let core_tx = core_tx.clone();
+                let protocol = Arc::clone(&protocol);
+                let graph = graph.clone();
+                let counters = Arc::clone(&counters);
+                thread::spawn(move || {
+                    if let Err(e) = peer_reader(stream, &protocol, &graph, &core_tx, &counters) {
+                        eprintln!("prcc-service[{id}]: peer reader: {e}");
+                    }
+                });
+            }
+        });
+    }
+
+    // Client listener: one handler thread per client connection.
+    {
+        let core_tx = core_tx.clone();
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        let addrs = (peer_addr, client_addr);
+        thread::spawn(move || {
+            for conn in client_listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { break };
+                let core_tx = core_tx.clone();
+                let stop = Arc::clone(&stop);
+                let counters = Arc::clone(&counters);
+                thread::spawn(move || {
+                    let _ = client_handler(stream, &core_tx, &stop, &counters, addrs);
+                });
+            }
+        });
+    }
+
+    // The core event loop.
+    let core = thread::Builder::new()
+        .name(format!("prcc-core-{}", id.index()))
+        .spawn(move || core_loop(&protocol, id, &core_rx, &peer_txs))?;
+
+    Ok(NodeHandle {
+        id,
+        peer_addr,
+        client_addr,
+        core: Some(core),
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn core_loop<P>(
+    protocol: &Arc<P>,
+    id: ReplicaId,
+    core_rx: &mpsc::Receiver<CoreMsg<P::Clock>>,
+    peer_txs: &[Option<mpsc::Sender<Update<P::Clock>>>],
+) where
+    P: Protocol,
+    P::Clock: WireClock,
+{
+    let mut replica: Replica<P> = Replica::new(protocol, id);
+    let mut log: Vec<TraceEvent> = Vec::new();
+    let mut seq: u64 = 0;
+    let (mut issued, mut sent, mut received) = (0u64, 0u64, 0u64);
+
+    while let Ok(msg) = core_rx.recv() {
+        match msg {
+            CoreMsg::Write {
+                register,
+                value,
+                reply,
+            } => match replica.write(&**protocol, register, value) {
+                Ok(clock) => {
+                    seq += 1;
+                    let wire_id = ((id.index() as u64) << 40) | seq;
+                    log.push(TraceEvent::Issue {
+                        replica: id,
+                        register,
+                        update: wire_id,
+                    });
+                    issued += 1;
+                    let update = Update {
+                        id: UpdateId(wire_id),
+                        issuer: id,
+                        register,
+                        value,
+                        clock,
+                        issued_at: VirtualTime::ZERO,
+                        received_at: VirtualTime::ZERO,
+                    };
+                    for k in protocol.recipients(id, register) {
+                        if let Some(tx) = &peer_txs[k.index()] {
+                            if tx.send(update.clone()).is_ok() {
+                                sent += 1;
+                            }
+                        }
+                    }
+                    let _ = reply.send(true);
+                }
+                Err(_) => {
+                    let _ = reply.send(false);
+                }
+            },
+            CoreMsg::Read { register, reply } => {
+                let answer = match replica.read(&**protocol, register) {
+                    Ok(value) => (true, value),
+                    Err(_) => (false, None),
+                };
+                let _ = reply.send(answer);
+            }
+            CoreMsg::Updates(updates) => {
+                for update in updates {
+                    received += 1;
+                    replica.receive(update, VirtualTime::ZERO);
+                }
+                for done in replica.drain(&**protocol) {
+                    if protocol.stores_value(id, done.register) {
+                        log.push(TraceEvent::Apply {
+                            replica: id,
+                            update: done.id.0,
+                        });
+                    }
+                }
+            }
+            CoreMsg::Status(reply) => {
+                let _ = reply.send(NodeStatus {
+                    node: id.index() as u64,
+                    issued,
+                    messages_sent: sent,
+                    messages_received: received,
+                    applies: replica.applies(),
+                    pending: replica.pending_len() as u64,
+                    duplicates_dropped: replica.dropped_duplicates(),
+                    // Socket byte counters are filled in by the handler.
+                    bytes_out: 0,
+                    bytes_in: 0,
+                    batches_sent: 0,
+                });
+            }
+            CoreMsg::Trace(reply) => {
+                let _ = reply.send(log.clone());
+            }
+            CoreMsg::Shutdown => break,
+        }
+    }
+}
+
+fn peer_sender<C: WireClock>(
+    addr: SocketAddr,
+    hello: PeerHello,
+    rx: mpsc::Receiver<Update<C>>,
+    cfg: &ServiceConfig,
+    counters: &SocketCounters,
+) {
+    // Dial with retry: peers come up in arbitrary order.
+    let deadline = Instant::now() + cfg.connect_timeout;
+    let mut stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => break stream,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    eprintln!("prcc-service[{}]: dial {addr}: {e}", hello.node);
+                    // Drain so the core never blocks on a dead peer.
+                    while rx.recv().is_ok() {}
+                    return;
+                }
+                thread::sleep(Duration::from_millis(5));
+            }
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let send = |stream: &mut TcpStream, payload: &[u8]| -> io::Result<usize> {
+        write_frame(stream, payload)
+    };
+    if let Ok(n) = send(&mut stream, &encode_peer_hello(&hello)) {
+        counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+    } else {
+        while rx.recv().is_ok() {}
+        return;
+    }
+
+    // Batching loop: block for the first update, then coalesce until the
+    // batch fills or the flush interval elapses.
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        let deadline = Instant::now() + cfg.flush_interval;
+        while batch.len() < cfg.batch_max {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(update) => batch.push(update),
+                Err(_) => break,
+            }
+        }
+        match send(&mut stream, &encode_batch(&batch, cfg.pad_bytes)) {
+            Ok(n) => {
+                counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                counters.batches_sent.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                eprintln!("prcc-service[{}]: send to {addr}: {e}", hello.node);
+                while rx.recv().is_ok() {}
+                return;
+            }
+        }
+    }
+}
+
+fn peer_reader<P>(
+    mut stream: TcpStream,
+    protocol: &Arc<P>,
+    graph: &ShareGraph,
+    core_tx: &mpsc::Sender<CoreMsg<P::Clock>>,
+    counters: &SocketCounters,
+) -> io::Result<()>
+where
+    P: Protocol,
+    P::Clock: WireClock,
+{
+    let _ = stream.set_nodelay(true);
+    let Some(hello_frame) = read_frame(&mut stream)? else {
+        return Ok(());
+    };
+    counters
+        .bytes_in
+        .fetch_add(hello_frame.len() as u64 + 4, Ordering::Relaxed);
+    let hello = decode_peer_hello(&hello_frame)?;
+    if &hello.graph != graph {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer {} runs a different topology", hello.node),
+        ));
+    }
+    let n = graph.num_replicas();
+    while let Some(payload) = read_frame(&mut stream)? {
+        counters
+            .bytes_in
+            .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
+        let updates = decode_batch(&payload, |k| (k.index() < n).then(|| protocol.new_clock(k)))?;
+        if core_tx.send(CoreMsg::Updates(updates)).is_err() {
+            break; // Core shut down.
+        }
+    }
+    Ok(())
+}
+
+fn client_handler<C: WireClock>(
+    mut stream: TcpStream,
+    core_tx: &mpsc::Sender<CoreMsg<C>>,
+    stop: &Arc<AtomicBool>,
+    counters: &SocketCounters,
+    listeners: (SocketAddr, SocketAddr),
+) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    while let Some(payload) = read_frame(&mut stream)? {
+        let response = match decode_request(&payload)? {
+            ClientRequest::Write {
+                register, value, ..
+            } => {
+                let (reply, rx) = mpsc::channel();
+                let ok = core_tx
+                    .send(CoreMsg::Write {
+                        register,
+                        value,
+                        reply,
+                    })
+                    .is_ok()
+                    && rx.recv().unwrap_or(false);
+                ClientResponse::WriteAck { ok }
+            }
+            ClientRequest::Read { register } => {
+                let (reply, rx) = mpsc::channel();
+                let (ok, value) = if core_tx.send(CoreMsg::Read { register, reply }).is_ok() {
+                    rx.recv().unwrap_or((false, None))
+                } else {
+                    (false, None)
+                };
+                ClientResponse::ReadResp { ok, value }
+            }
+            ClientRequest::Status => {
+                let (reply, rx) = mpsc::channel();
+                let mut status = if core_tx.send(CoreMsg::Status(reply)).is_ok() {
+                    rx.recv().unwrap_or_default()
+                } else {
+                    NodeStatus::default()
+                };
+                status.bytes_out = counters.bytes_out.load(Ordering::Relaxed);
+                status.bytes_in = counters.bytes_in.load(Ordering::Relaxed);
+                status.batches_sent = counters.batches_sent.load(Ordering::Relaxed);
+                ClientResponse::Status(status)
+            }
+            ClientRequest::Trace => {
+                let (reply, rx) = mpsc::channel();
+                let events = if core_tx.send(CoreMsg::Trace(reply)).is_ok() {
+                    rx.recv().unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                ClientResponse::Trace(events)
+            }
+            ClientRequest::Shutdown => {
+                stop.store(true, Ordering::SeqCst);
+                // Ack *before* stopping the core: once the core exits, a
+                // process joining it (prcc-serve) may exit and kill this
+                // thread before an ack written later would ever leave.
+                write_frame(&mut stream, &encode_response(&ClientResponse::Bye))?;
+                let _ = core_tx.send(CoreMsg::Shutdown);
+                // Unblock the accept loops so their threads observe `stop`.
+                let _ = TcpStream::connect(listeners.0);
+                let _ = TcpStream::connect(listeners.1);
+                return Ok(());
+            }
+        };
+        write_frame(&mut stream, &encode_response(&response))?;
+    }
+    Ok(())
+}

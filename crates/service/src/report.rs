@@ -1,0 +1,223 @@
+//! The `prcc-load` benchmark report and its JSON emission.
+//!
+//! JSON is written by hand — the hermetic workspace has no serde_json — but
+//! the schema is stable and intended for cross-PR tracking in
+//! `BENCH_service.json`.
+
+use crate::wire::NodeStatus;
+use std::fmt::Write as _;
+
+/// Latency distribution in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of per-op latencies (sorted in place).
+    pub fn from_latencies(latencies: &mut [u64]) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        latencies.sort_unstable();
+        let total: u64 = latencies.iter().sum();
+        let at = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+        LatencySummary {
+            mean_us: total as f64 / latencies.len() as f64,
+            p50_us: at(0.50),
+            p99_us: at(0.99),
+            max_us: *latencies.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Everything `prcc-load` measures in one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Topology family name.
+    pub topology: String,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Ops issued (writes + reads).
+    pub ops: usize,
+    /// Reads among `ops`.
+    pub reads: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Simulated value bytes per update.
+    pub value_bytes: usize,
+    /// Hotspot fraction, if any.
+    pub hotspot: Option<f64>,
+    /// Wall-clock seconds spent driving load (excludes drain).
+    pub drive_seconds: f64,
+    /// Wall-clock seconds until quiescence after the last op.
+    pub drain_seconds: f64,
+    /// Ops per second during the drive phase.
+    pub throughput_ops_per_sec: f64,
+    /// Client-observed op latency.
+    pub latency: LatencySummary,
+    /// Total bytes written to peer sockets across the cluster.
+    pub wire_bytes_out: u64,
+    /// Wire bytes per issued update.
+    pub wire_bytes_per_update: f64,
+    /// Update copies sent / received / applied across the cluster.
+    pub messages_sent: u64,
+    /// Peer frames written (batches).
+    pub batches_sent: u64,
+    /// Mean updates per batch.
+    pub updates_per_batch: f64,
+    /// Whether the post-hoc oracle replay found the run causally consistent.
+    pub consistent: bool,
+    /// Safety violations found by replay.
+    pub safety_violations: usize,
+    /// Liveness violations found by replay (at quiescence: should be 0).
+    pub liveness_violations: usize,
+}
+
+impl BenchReport {
+    /// Folds per-node statuses into the aggregate wire/message fields.
+    pub fn absorb_statuses(&mut self, statuses: &[NodeStatus]) {
+        let issued: u64 = statuses.iter().map(|s| s.issued).sum();
+        self.messages_sent = statuses.iter().map(|s| s.messages_sent).sum();
+        self.wire_bytes_out = statuses.iter().map(|s| s.bytes_out).sum();
+        self.batches_sent = statuses.iter().map(|s| s.batches_sent).sum();
+        self.wire_bytes_per_update = if issued == 0 {
+            0.0
+        } else {
+            self.wire_bytes_out as f64 / issued as f64
+        };
+        self.updates_per_batch = if self.batches_sent == 0 {
+            0.0
+        } else {
+            self.messages_sent as f64 / self.batches_sent as f64
+        };
+    }
+
+    /// Renders the stable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"benchmark\": \"prcc-load\",");
+        let _ = writeln!(out, "  \"topology\": \"{}\",", self.topology);
+        let _ = writeln!(out, "  \"nodes\": {},", self.nodes);
+        let _ = writeln!(out, "  \"ops\": {},", self.ops);
+        let _ = writeln!(out, "  \"reads\": {},", self.reads);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"value_bytes\": {},", self.value_bytes);
+        let _ = writeln!(
+            out,
+            "  \"hotspot\": {},",
+            self.hotspot
+                .map_or_else(|| "null".to_string(), |f| format!("{f:.3}"))
+        );
+        let _ = writeln!(out, "  \"drive_seconds\": {:.6},", self.drive_seconds);
+        let _ = writeln!(out, "  \"drain_seconds\": {:.6},", self.drain_seconds);
+        let _ = writeln!(
+            out,
+            "  \"throughput_ops_per_sec\": {:.1},",
+            self.throughput_ops_per_sec
+        );
+        let _ = writeln!(out, "  \"latency_mean_us\": {:.1},", self.latency.mean_us);
+        let _ = writeln!(out, "  \"latency_p50_us\": {},", self.latency.p50_us);
+        let _ = writeln!(out, "  \"latency_p99_us\": {},", self.latency.p99_us);
+        let _ = writeln!(out, "  \"latency_max_us\": {},", self.latency.max_us);
+        let _ = writeln!(out, "  \"wire_bytes_out\": {},", self.wire_bytes_out);
+        let _ = writeln!(
+            out,
+            "  \"wire_bytes_per_update\": {:.1},",
+            self.wire_bytes_per_update
+        );
+        let _ = writeln!(out, "  \"messages_sent\": {},", self.messages_sent);
+        let _ = writeln!(out, "  \"batches_sent\": {},", self.batches_sent);
+        let _ = writeln!(
+            out,
+            "  \"updates_per_batch\": {:.2},",
+            self.updates_per_batch
+        );
+        let _ = writeln!(out, "  \"consistent\": {},", self.consistent);
+        let _ = writeln!(out, "  \"safety_violations\": {},", self.safety_violations);
+        let _ = writeln!(
+            out,
+            "  \"liveness_violations\": {}",
+            self.liveness_violations
+        );
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut latencies: Vec<u64> = (1..=100).collect();
+        let summary = LatencySummary::from_latencies(&mut latencies);
+        assert_eq!(summary.p50_us, 50);
+        assert_eq!(summary.p99_us, 99);
+        assert_eq!(summary.max_us, 100);
+        assert!((summary.mean_us - 50.5).abs() < 1e-9);
+        assert_eq!(
+            LatencySummary::from_latencies(&mut []),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut report = BenchReport {
+            topology: "ring".into(),
+            nodes: 4,
+            ops: 100,
+            reads: 10,
+            seed: 1,
+            value_bytes: 64,
+            hotspot: Some(0.25),
+            drive_seconds: 1.5,
+            drain_seconds: 0.1,
+            throughput_ops_per_sec: 66.7,
+            latency: LatencySummary::default(),
+            wire_bytes_out: 0,
+            wire_bytes_per_update: 0.0,
+            messages_sent: 0,
+            batches_sent: 0,
+            updates_per_batch: 0.0,
+            consistent: true,
+            safety_violations: 0,
+            liveness_violations: 0,
+        };
+        report.absorb_statuses(&[
+            NodeStatus {
+                issued: 50,
+                messages_sent: 100,
+                bytes_out: 5000,
+                batches_sent: 20,
+                ..NodeStatus::default()
+            },
+            NodeStatus {
+                issued: 50,
+                messages_sent: 100,
+                bytes_out: 5000,
+                batches_sent: 30,
+                ..NodeStatus::default()
+            },
+        ]);
+        assert_eq!(report.messages_sent, 200);
+        assert!((report.wire_bytes_per_update - 100.0).abs() < 1e-9);
+        assert!((report.updates_per_batch - 4.0).abs() < 1e-9);
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"hotspot\": 0.250,"));
+        assert!(json.contains("\"consistent\": true,"));
+    }
+}

@@ -1,0 +1,624 @@
+//! The length-prefixed wire protocol.
+//!
+//! Every message is a *frame*: a little-endian `u32` payload length followed
+//! by the payload; the first payload byte is a message tag. Peer frames
+//! carry batched [`Update`]s (varint-encoded via the lower layers'
+//! [`prcc_clock::wire::WireClock`] / [`Update::encode_wire`] codecs); client
+//! frames carry the read/write/ops API.
+//!
+//! Timestamps ship counters only. The index sets are static configuration:
+//! the peer handshake ([`PeerHello`]) carries the full share-graph
+//! assignments, and a node refuses peers whose topology differs from its
+//! own — a configuration mismatch would otherwise corrupt delivery
+//! predicates silently.
+
+use prcc_checker::trace::TraceEvent;
+use prcc_clock::encoding::{read_varint, write_varint};
+use prcc_clock::WireClock;
+use prcc_core::Update;
+use prcc_graph::{RegisterId, ReplicaId, ShareGraph};
+use std::io::{self, Read, Write};
+
+/// Upper bound on accepted frame payloads (default 64 MiB) — protects a
+/// node from a garbage length prefix allocating unbounded memory.
+pub const MAX_FRAME: usize = 64 << 20;
+
+// Message tags.
+const TAG_PEER_HELLO: u8 = 1;
+const TAG_PEER_BATCH: u8 = 2;
+const TAG_WRITE: u8 = 16;
+const TAG_READ: u8 = 17;
+const TAG_STATUS: u8 = 18;
+const TAG_TRACE: u8 = 19;
+const TAG_SHUTDOWN: u8 = 20;
+const TAG_WRITE_ACK: u8 = 32;
+const TAG_READ_RESP: u8 = 33;
+const TAG_STATUS_RESP: u8 = 34;
+const TAG_TRACE_RESP: u8 = 35;
+const TAG_BYE: u8 = 36;
+
+/// Writes one frame; returns the bytes put on the wire (payload + prefix).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<usize> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(payload.len() + 4)
+}
+
+/// Reads one frame. `Ok(None)` signals a clean EOF at a frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match r.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn bad_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+fn get_varint(buf: &[u8], at: &mut usize) -> io::Result<u64> {
+    let rest = buf
+        .get(*at..)
+        .ok_or_else(|| bad_data("truncated payload"))?;
+    let (v, used) = read_varint(rest).ok_or_else(|| bad_data("truncated varint"))?;
+    *at += used;
+    Ok(v)
+}
+
+/// Serializes a share graph as per-replica register assignments.
+pub fn encode_share_graph(g: &ShareGraph, out: &mut Vec<u8>) {
+    let assignments = g.assignments();
+    write_varint(out, assignments.len() as u64);
+    for regs in &assignments {
+        write_varint(out, regs.len() as u64);
+        for r in regs {
+            write_varint(out, u64::from(r.0));
+        }
+    }
+}
+
+/// Decodes a share graph encoded by [`encode_share_graph`].
+pub fn decode_share_graph(buf: &[u8], at: &mut usize) -> io::Result<ShareGraph> {
+    let replicas = get_varint(buf, at)? as usize;
+    if replicas > 1 << 20 {
+        return Err(bad_data("absurd replica count"));
+    }
+    let mut assignments = Vec::with_capacity(replicas);
+    for _ in 0..replicas {
+        let count = get_varint(buf, at)? as usize;
+        let mut regs = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let r = u32::try_from(get_varint(buf, at)?).map_err(|_| bad_data("register id"))?;
+            regs.push(RegisterId(r));
+        }
+        assignments.push(regs);
+    }
+    ShareGraph::from_assignments(assignments).map_err(|e| bad_data(&format!("share graph: {e:?}")))
+}
+
+/// The peer handshake: who is connecting, under which topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerHello {
+    /// The dialing node.
+    pub node: ReplicaId,
+    /// The dialer's share-graph configuration (must match the acceptor's).
+    pub graph: ShareGraph,
+}
+
+/// Encodes a [`PeerHello`] frame payload.
+pub fn encode_peer_hello(hello: &PeerHello) -> Vec<u8> {
+    let mut out = vec![TAG_PEER_HELLO];
+    write_varint(&mut out, hello.node.index() as u64);
+    encode_share_graph(&hello.graph, &mut out);
+    out
+}
+
+/// Decodes a [`PeerHello`] frame payload.
+pub fn decode_peer_hello(payload: &[u8]) -> io::Result<PeerHello> {
+    let mut at = 0;
+    if payload.first() != Some(&TAG_PEER_HELLO) {
+        return Err(bad_data("expected peer hello"));
+    }
+    at += 1;
+    let node = get_varint(payload, &mut at)? as usize;
+    let graph = decode_share_graph(payload, &mut at)?;
+    Ok(PeerHello {
+        node: ReplicaId(node),
+        graph,
+    })
+}
+
+/// Encodes a batch of updates into one peer frame payload. `pad` zero bytes
+/// ride along with each update, simulating larger application values.
+pub fn encode_batch<C: WireClock>(updates: &[Update<C>], pad: usize) -> Vec<u8> {
+    let mut out = vec![TAG_PEER_BATCH];
+    write_varint(&mut out, updates.len() as u64);
+    for u in updates {
+        u.encode_wire(&mut out);
+        write_varint(&mut out, pad as u64);
+        out.resize(out.len() + pad, 0);
+    }
+    out
+}
+
+/// Decodes a peer batch; `make_clock` maps issuer ids to template clocks
+/// (see [`Update::decode_wire`]).
+pub fn decode_batch<C, F>(payload: &[u8], mut make_clock: F) -> io::Result<Vec<Update<C>>>
+where
+    C: WireClock,
+    F: FnMut(ReplicaId) -> Option<C>,
+{
+    let mut at = 0;
+    if payload.first() != Some(&TAG_PEER_BATCH) {
+        return Err(bad_data("expected update batch"));
+    }
+    at += 1;
+    let count = get_varint(payload, &mut at)? as usize;
+    let mut updates = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let u = Update::decode_wire(payload, &mut at, &mut make_clock)
+            .ok_or_else(|| bad_data("malformed update"))?;
+        let pad = get_varint(payload, &mut at)? as usize;
+        if payload.len() - at < pad {
+            return Err(bad_data("truncated pad"));
+        }
+        at += pad;
+        updates.push(u);
+    }
+    if at != payload.len() {
+        return Err(bad_data("trailing bytes in batch"));
+    }
+    Ok(updates)
+}
+
+/// A client-API request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientRequest {
+    /// `write(x, v)` with `pad` extra payload bytes on the wire.
+    Write {
+        /// Target register.
+        register: RegisterId,
+        /// Value to write.
+        value: u64,
+        /// Simulated extra value bytes.
+        pad: usize,
+    },
+    /// `read(x)`.
+    Read {
+        /// Register to read.
+        register: RegisterId,
+    },
+    /// Counters snapshot.
+    Status,
+    /// The node's local event log.
+    Trace,
+    /// Graceful node shutdown.
+    Shutdown,
+}
+
+/// Encodes a client request payload.
+pub fn encode_request(req: &ClientRequest) -> Vec<u8> {
+    match req {
+        ClientRequest::Write {
+            register,
+            value,
+            pad,
+        } => {
+            let mut out = vec![TAG_WRITE];
+            write_varint(&mut out, u64::from(register.0));
+            write_varint(&mut out, *value);
+            write_varint(&mut out, *pad as u64);
+            out.resize(out.len() + pad, 0);
+            out
+        }
+        ClientRequest::Read { register } => {
+            let mut out = vec![TAG_READ];
+            write_varint(&mut out, u64::from(register.0));
+            out
+        }
+        ClientRequest::Status => vec![TAG_STATUS],
+        ClientRequest::Trace => vec![TAG_TRACE],
+        ClientRequest::Shutdown => vec![TAG_SHUTDOWN],
+    }
+}
+
+/// Decodes a client request payload.
+pub fn decode_request(payload: &[u8]) -> io::Result<ClientRequest> {
+    let mut at = 1;
+    match payload.first() {
+        Some(&TAG_WRITE) => {
+            let register = u32::try_from(get_varint(payload, &mut at)?)
+                .map_err(|_| bad_data("register id"))?;
+            let value = get_varint(payload, &mut at)?;
+            let pad = get_varint(payload, &mut at)? as usize;
+            if payload.len() - at < pad {
+                return Err(bad_data("truncated write pad"));
+            }
+            Ok(ClientRequest::Write {
+                register: RegisterId(register),
+                value,
+                pad,
+            })
+        }
+        Some(&TAG_READ) => {
+            let register = u32::try_from(get_varint(payload, &mut at)?)
+                .map_err(|_| bad_data("register id"))?;
+            Ok(ClientRequest::Read {
+                register: RegisterId(register),
+            })
+        }
+        Some(&TAG_STATUS) => Ok(ClientRequest::Status),
+        Some(&TAG_TRACE) => Ok(ClientRequest::Trace),
+        Some(&TAG_SHUTDOWN) => Ok(ClientRequest::Shutdown),
+        _ => Err(bad_data("unknown client request")),
+    }
+}
+
+/// A node's counter snapshot, returned by [`ClientRequest::Status`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// The reporting node.
+    pub node: u64,
+    /// Updates issued by clients of this node.
+    pub issued: u64,
+    /// Update copies handed to peer senders.
+    pub messages_sent: u64,
+    /// Update copies decoded from peers.
+    pub messages_received: u64,
+    /// Remote updates applied.
+    pub applies: u64,
+    /// Updates currently buffered (predicate `J` not yet satisfied).
+    pub pending: u64,
+    /// Duplicate deliveries dropped.
+    pub duplicates_dropped: u64,
+    /// Bytes written to peer sockets (frames included).
+    pub bytes_out: u64,
+    /// Bytes read from peer sockets (frames included).
+    pub bytes_in: u64,
+    /// Peer frames written (each one batch).
+    pub batches_sent: u64,
+}
+
+impl NodeStatus {
+    fn fields(&self) -> [u64; 10] {
+        [
+            self.node,
+            self.issued,
+            self.messages_sent,
+            self.messages_received,
+            self.applies,
+            self.pending,
+            self.duplicates_dropped,
+            self.bytes_out,
+            self.bytes_in,
+            self.batches_sent,
+        ]
+    }
+
+    fn from_fields(f: [u64; 10]) -> Self {
+        NodeStatus {
+            node: f[0],
+            issued: f[1],
+            messages_sent: f[2],
+            messages_received: f[3],
+            applies: f[4],
+            pending: f[5],
+            duplicates_dropped: f[6],
+            bytes_out: f[7],
+            bytes_in: f[8],
+            batches_sent: f[9],
+        }
+    }
+}
+
+/// A client-API response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientResponse {
+    /// Result of a write (`false`: the node does not store the register).
+    WriteAck {
+        /// Whether the write was accepted.
+        ok: bool,
+    },
+    /// Result of a read (`ok = false`: not stored here).
+    ReadResp {
+        /// Whether the node stores the register.
+        ok: bool,
+        /// The value, if any write has reached this node.
+        value: Option<u64>,
+    },
+    /// Counter snapshot.
+    Status(NodeStatus),
+    /// The node's local event log.
+    Trace(Vec<TraceEvent>),
+    /// Shutdown acknowledged.
+    Bye,
+}
+
+/// Encodes a client response payload.
+pub fn encode_response(resp: &ClientResponse) -> Vec<u8> {
+    match resp {
+        ClientResponse::WriteAck { ok } => vec![TAG_WRITE_ACK, u8::from(*ok)],
+        ClientResponse::ReadResp { ok, value } => {
+            let mut out = vec![TAG_READ_RESP, u8::from(*ok), u8::from(value.is_some())];
+            write_varint(&mut out, value.unwrap_or(0));
+            out
+        }
+        ClientResponse::Status(status) => {
+            let mut out = vec![TAG_STATUS_RESP];
+            for v in status.fields() {
+                write_varint(&mut out, v);
+            }
+            out
+        }
+        ClientResponse::Trace(events) => {
+            let mut out = vec![TAG_TRACE_RESP];
+            write_varint(&mut out, events.len() as u64);
+            for event in events {
+                match *event {
+                    TraceEvent::Issue {
+                        replica,
+                        register,
+                        update,
+                    } => {
+                        out.push(0);
+                        write_varint(&mut out, replica.index() as u64);
+                        write_varint(&mut out, u64::from(register.0));
+                        write_varint(&mut out, update);
+                    }
+                    TraceEvent::Apply { replica, update } => {
+                        out.push(1);
+                        write_varint(&mut out, replica.index() as u64);
+                        write_varint(&mut out, update);
+                    }
+                }
+            }
+            out
+        }
+        ClientResponse::Bye => vec![TAG_BYE],
+    }
+}
+
+/// Decodes a client response payload.
+pub fn decode_response(payload: &[u8]) -> io::Result<ClientResponse> {
+    let mut at = 1;
+    match payload.first() {
+        Some(&TAG_WRITE_ACK) => Ok(ClientResponse::WriteAck {
+            ok: payload.get(1) == Some(&1),
+        }),
+        Some(&TAG_READ_RESP) => {
+            let ok = payload.get(1) == Some(&1);
+            let present = payload.get(2) == Some(&1);
+            at = 3;
+            let value = get_varint(payload, &mut at)?;
+            Ok(ClientResponse::ReadResp {
+                ok,
+                value: present.then_some(value),
+            })
+        }
+        Some(&TAG_STATUS_RESP) => {
+            let mut fields = [0u64; 10];
+            for f in &mut fields {
+                *f = get_varint(payload, &mut at)?;
+            }
+            Ok(ClientResponse::Status(NodeStatus::from_fields(fields)))
+        }
+        Some(&TAG_TRACE_RESP) => {
+            let count = get_varint(payload, &mut at)? as usize;
+            let mut events = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                let kind = *payload.get(at).ok_or_else(|| bad_data("event kind"))?;
+                at += 1;
+                let replica = ReplicaId(get_varint(payload, &mut at)? as usize);
+                let event = match kind {
+                    0 => {
+                        let register = u32::try_from(get_varint(payload, &mut at)?)
+                            .map_err(|_| bad_data("register id"))?;
+                        let update = get_varint(payload, &mut at)?;
+                        TraceEvent::Issue {
+                            replica,
+                            register: RegisterId(register),
+                            update,
+                        }
+                    }
+                    1 => TraceEvent::Apply {
+                        replica,
+                        update: get_varint(payload, &mut at)?,
+                    },
+                    _ => return Err(bad_data("unknown event kind")),
+                };
+                events.push(event);
+            }
+            Ok(ClientResponse::Trace(events))
+        }
+        Some(&TAG_BYE) => Ok(ClientResponse::Bye),
+        _ => Err(bad_data("unknown client response")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_checker::UpdateId;
+    use prcc_clock::{EdgeProtocol, Protocol};
+    use prcc_graph::topologies;
+    use prcc_net::VirtualTime;
+
+    #[test]
+    fn frame_round_trip_and_eof() {
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(n, 9);
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn share_graph_round_trip() {
+        for g in [
+            topologies::ring(5),
+            topologies::figure5(),
+            topologies::line(2),
+        ] {
+            let mut out = Vec::new();
+            encode_share_graph(&g, &mut out);
+            let mut at = 0;
+            let back = decode_share_graph(&out, &mut at).unwrap();
+            assert_eq!(at, out.len());
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn hello_round_trip() {
+        let hello = PeerHello {
+            node: ReplicaId(3),
+            graph: topologies::ring(4),
+        };
+        let back = decode_peer_hello(&encode_peer_hello(&hello)).unwrap();
+        assert_eq!(back, hello);
+    }
+
+    #[test]
+    fn batch_round_trip_with_padding() {
+        let g = topologies::ring(4);
+        let p = EdgeProtocol::new(g);
+        let mut updates = Vec::new();
+        for k in 0..3u64 {
+            let i = ReplicaId(k as usize);
+            let mut clock = p.new_clock(i);
+            p.advance(i, &mut clock, RegisterId(k as u32));
+            updates.push(Update {
+                id: UpdateId((u64::from(i.index() as u32) << 40) | k),
+                issuer: i,
+                register: RegisterId(k as u32),
+                value: 1000 + k,
+                clock,
+                issued_at: VirtualTime::ZERO,
+                received_at: VirtualTime::ZERO,
+            });
+        }
+        for pad in [0usize, 128] {
+            let payload = encode_batch(&updates, pad);
+            let back = decode_batch(&payload, |i| Some(p.new_clock(i))).unwrap();
+            assert_eq!(back.len(), 3);
+            for (a, b) in back.iter().zip(&updates) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.value, b.value);
+                assert_eq!(a.clock, b.clock);
+            }
+            if pad > 0 {
+                assert!(payload.len() >= 3 * pad);
+            }
+        }
+    }
+
+    #[test]
+    fn request_and_response_round_trips() {
+        let requests = [
+            ClientRequest::Write {
+                register: RegisterId(7),
+                value: 99,
+                pad: 32,
+            },
+            ClientRequest::Read {
+                register: RegisterId(0),
+            },
+            ClientRequest::Status,
+            ClientRequest::Trace,
+            ClientRequest::Shutdown,
+        ];
+        for req in &requests {
+            assert_eq!(&decode_request(&encode_request(req)).unwrap(), req);
+        }
+        let responses = [
+            ClientResponse::WriteAck { ok: true },
+            ClientResponse::ReadResp {
+                ok: true,
+                value: Some(17),
+            },
+            ClientResponse::ReadResp {
+                ok: false,
+                value: None,
+            },
+            ClientResponse::Status(NodeStatus {
+                node: 2,
+                issued: 10,
+                messages_sent: 20,
+                messages_received: 19,
+                applies: 18,
+                pending: 1,
+                duplicates_dropped: 0,
+                bytes_out: 4096,
+                bytes_in: 4000,
+                batches_sent: 7,
+            }),
+            ClientResponse::Trace(vec![
+                TraceEvent::Issue {
+                    replica: ReplicaId(1),
+                    register: RegisterId(4),
+                    update: 55,
+                },
+                TraceEvent::Apply {
+                    replica: ReplicaId(1),
+                    update: 54,
+                },
+            ]),
+            ClientResponse::Bye,
+        ];
+        for resp in &responses {
+            assert_eq!(&decode_response(&encode_response(resp)).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_responses_error_instead_of_panicking() {
+        // Regression: READ_RESP used to slice past the end of short
+        // payloads. Every truncation of every response must return Err.
+        let responses = [
+            ClientResponse::ReadResp {
+                ok: true,
+                value: Some(17),
+            },
+            ClientResponse::Status(NodeStatus::default()),
+            ClientResponse::Trace(vec![TraceEvent::Apply {
+                replica: ReplicaId(1),
+                update: 54,
+            }]),
+        ];
+        for resp in &responses {
+            let payload = encode_response(resp);
+            for cut in 0..payload.len() {
+                assert!(
+                    decode_response(&payload[..cut]).is_err(),
+                    "truncation at {cut} of {resp:?} must error"
+                );
+            }
+        }
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_response(&[]).is_err());
+    }
+}

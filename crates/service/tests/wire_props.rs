@@ -1,0 +1,142 @@
+//! Property tests: the wire protocol round-trips clocks, updates and
+//! topology configurations over random share graphs.
+
+use prcc_checker::UpdateId;
+use prcc_clock::{CompressedProtocol, EdgeProtocol, Protocol, VectorProtocol, WireClock};
+use prcc_core::Update;
+use prcc_graph::{topologies, RegisterId, ReplicaId, ShareGraph};
+use prcc_net::VirtualTime;
+use prcc_service::wire::{
+    decode_batch, decode_peer_hello, decode_share_graph, encode_batch, encode_peer_hello,
+    encode_share_graph, PeerHello,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn arb_share_graph() -> impl Strategy<Value = ShareGraph> {
+    (2usize..7, 1usize..8, 2usize..4, 0u64..1000).prop_map(|(n, regs, holders, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        topologies::random_connected(n, regs, holders, &mut rng)
+    })
+}
+
+/// Runs `advances` random advances on a clock of replica `i`, producing a
+/// non-trivial counter pattern.
+fn churn_clock<P: Protocol>(p: &P, i: ReplicaId, advances: usize, seed: u64) -> P::Clock {
+    let g = p.share_graph();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let regs: Vec<RegisterId> = g.registers_of(i).iter().collect();
+    let mut clock = p.new_clock(i);
+    if regs.is_empty() {
+        return clock;
+    }
+    for _ in 0..advances {
+        let x = regs[rng.gen_range(0..regs.len())];
+        p.advance(i, &mut clock, x);
+    }
+    clock
+}
+
+fn batch_round_trip<P: Protocol>(p: &P, g: &ShareGraph, seed: u64, pad: usize)
+where
+    P::Clock: WireClock,
+{
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut updates = Vec::new();
+    for k in g.replicas() {
+        let regs: Vec<RegisterId> = g.registers_of(k).iter().collect();
+        if regs.is_empty() {
+            continue;
+        }
+        let x = regs[rng.gen_range(0..regs.len())];
+        updates.push(Update {
+            id: UpdateId(((k.index() as u64) << 40) | rng.gen_range(0u64..1 << 20)),
+            issuer: k,
+            register: x,
+            value: rng.gen_range(0u64..u64::MAX / 2),
+            clock: churn_clock(p, k, 1 + (seed as usize % 9), seed ^ 0x51),
+            issued_at: VirtualTime::ZERO,
+            received_at: VirtualTime::ZERO,
+        });
+    }
+    let payload = encode_batch(&updates, pad);
+    let decoded = decode_batch(&payload, |i| {
+        (i.index() < g.num_replicas()).then(|| p.new_clock(i))
+    })
+    .expect("well-formed batch");
+    assert_eq!(decoded.len(), updates.len());
+    for (a, b) in decoded.iter().zip(&updates) {
+        assert_eq!(
+            (a.id, a.issuer, a.register, a.value),
+            (b.id, b.issuer, b.register, b.value)
+        );
+        assert_eq!(a.clock, b.clock);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Share-graph topology configurations survive the wire byte-exactly.
+    #[test]
+    fn share_graph_round_trips(g in arb_share_graph()) {
+        let mut buf = Vec::new();
+        encode_share_graph(&g, &mut buf);
+        let mut at = 0;
+        let back = decode_share_graph(&buf, &mut at).expect("decode");
+        prop_assert_eq!(at, buf.len());
+        prop_assert_eq!(back, g);
+    }
+
+    /// Peer handshakes round-trip for every node of a random graph.
+    #[test]
+    fn peer_hello_round_trips(g in arb_share_graph()) {
+        for node in g.replicas() {
+            let hello = PeerHello { node, graph: g.clone() };
+            let back = decode_peer_hello(&encode_peer_hello(&hello)).expect("decode");
+            prop_assert_eq!(back, hello);
+        }
+    }
+
+    /// Update batches round-trip for all three clock representations, with
+    /// and without value padding.
+    #[test]
+    fn batches_round_trip_all_protocols(
+        g in arb_share_graph(),
+        seed in 0u64..500,
+        pad in 0usize..96,
+    ) {
+        batch_round_trip(&EdgeProtocol::new(g.clone()), &g, seed, pad);
+        batch_round_trip(&CompressedProtocol::new(g.clone()), &g, seed, pad);
+        batch_round_trip(&VectorProtocol::new(g.clone()), &g, seed, pad);
+    }
+
+    /// Truncating an encoded batch anywhere never yields a successful parse
+    /// of the full batch (framing keeps byte counts exact).
+    #[test]
+    fn truncated_batches_rejected(g in arb_share_graph(), seed in 0u64..100) {
+        let p = EdgeProtocol::new(g.clone());
+        let mut updates = Vec::new();
+        for k in g.replicas().take(2) {
+            let regs: Vec<RegisterId> = g.registers_of(k).iter().collect();
+            prop_assume!(!regs.is_empty());
+            updates.push(Update {
+                id: UpdateId((k.index() as u64) << 40),
+                issuer: k,
+                register: regs[0],
+                value: seed,
+                clock: churn_clock(&p, k, 3, seed),
+                issued_at: VirtualTime::ZERO,
+                received_at: VirtualTime::ZERO,
+            });
+        }
+        let payload = encode_batch(&updates, 8);
+        for cut in 1..payload.len() {
+            prop_assert!(
+                decode_batch::<_, _>(&payload[..cut], |i| Some(p.new_clock(i))).is_err(),
+                "truncation at {} parsed", cut
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Op-stream generation shared by the simulator runner and the networked
+//! load driver (`prcc-load`).
+//!
+//! Keeping the generator in one place means the TCP deployment and the
+//! discrete-event simulator can be driven with *the same* seeded workload,
+//! making their reports comparable.
+
+use prcc_graph::{RegisterId, ReplicaId, ShareGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One write operation: `(issuing replica, register, value)`.
+pub type WriteOp = (ReplicaId, RegisterId, u64);
+
+/// Generates a seeded random write stream over `g`.
+///
+/// Writers are chosen uniformly among replicas that store at least one
+/// register; each writes a uniformly chosen register it stores. With
+/// `hotspot = Some(f)`, fraction `f` of writes instead target register 0
+/// through its first holder (a skewed-contention knob). Values are the op
+/// index, so every write is distinguishable.
+///
+/// The RNG call sequence is stable: for a given `rand` stream this function
+/// yields exactly the ops the pre-refactor `run_workload` issued inline.
+pub fn generate_ops<R: Rng>(
+    g: &ShareGraph,
+    total: usize,
+    hotspot: Option<f64>,
+    rng: &mut R,
+) -> Vec<WriteOp> {
+    let writers: Vec<ReplicaId> = g
+        .replicas()
+        .filter(|&i| !g.registers_of(i).is_empty())
+        .collect();
+    let hot = g.holders(RegisterId(0)).first().copied();
+    let mut ops = Vec::with_capacity(total);
+    for n in 0..total {
+        let (i, x) = match (hotspot, hot) {
+            (Some(f), Some(h)) if rng.gen_bool(f) => (h, RegisterId(0)),
+            _ => {
+                let i = *writers.choose(rng).expect("some writer");
+                let regs: Vec<RegisterId> = g.registers_of(i).iter().collect();
+                (i, *regs.choose(rng).expect("writer stores registers"))
+            }
+        };
+        ops.push((i, x, n as u64));
+    }
+    ops
+}
+
+/// Splits an op stream into per-replica sub-streams (preserving each
+/// replica's issue order) — the shape a per-node client driver consumes.
+pub fn partition_by_replica(g: &ShareGraph, ops: &[WriteOp]) -> Vec<Vec<WriteOp>> {
+    let mut per_node = vec![Vec::new(); g.num_replicas()];
+    for &(i, x, v) in ops {
+        per_node[i.index()].push((i, x, v));
+    }
+    per_node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_graph::topologies;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ops_are_valid_and_deterministic() {
+        let g = topologies::figure5();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let ops = generate_ops(&g, 200, None, &mut rng);
+        assert_eq!(ops.len(), 200);
+        for &(i, x, _) in &ops {
+            assert!(g.stores(i, x), "replica {i} does not store {x}");
+        }
+        let mut rng2 = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(ops, generate_ops(&g, 200, None, &mut rng2));
+    }
+
+    #[test]
+    fn hotspot_skews_towards_register_zero() {
+        let g = topologies::ring(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ops = generate_ops(&g, 400, Some(0.8), &mut rng);
+        let hot = ops.iter().filter(|&&(_, x, _)| x == RegisterId(0)).count();
+        assert!(hot > 200, "hotspot fraction not applied ({hot}/400)");
+    }
+
+    #[test]
+    fn partition_preserves_order_and_membership() {
+        let g = topologies::ring(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ops = generate_ops(&g, 100, None, &mut rng);
+        let parts = partition_by_replica(&g, &ops);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+        for (idx, part) in parts.iter().enumerate() {
+            let values: Vec<u64> = part.iter().map(|&(_, _, v)| v).collect();
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            assert_eq!(values, sorted, "node {idx} order mangled");
+            assert!(part.iter().all(|&(i, _, _)| i == ReplicaId(idx)));
+        }
+    }
+}

@@ -1,12 +1,11 @@
 //! The workload runner.
 
+use crate::ops::generate_ops;
 use crate::report::RunReport;
 use prcc_clock::Protocol;
 use prcc_core::Cluster;
-use prcc_graph::{RegisterId, ReplicaId};
 use prcc_net::DeliveryPolicy;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Parameters of a randomized write workload.
@@ -46,22 +45,10 @@ pub fn run_workload<P: Protocol>(
     let g = protocol.share_graph().clone();
     let mut cluster = Cluster::new(protocol, policy);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    // Replicas that can write at all.
-    let writers: Vec<ReplicaId> = g
-        .replicas()
-        .filter(|&i| !g.registers_of(i).is_empty())
-        .collect();
-    let hot = g.holders(RegisterId(0)).first().copied();
-    for n in 0..cfg.total_writes {
-        let (i, x) = match (cfg.hotspot, hot) {
-            (Some(f), Some(h)) if rng.gen_bool(f) => (h, RegisterId(0)),
-            _ => {
-                let i = *writers.choose(&mut rng).expect("some writer");
-                let regs: Vec<RegisterId> = g.registers_of(i).iter().collect();
-                (i, *regs.choose(&mut rng).expect("writer stores registers"))
-            }
-        };
-        cluster.write(i, x, n as u64).expect("valid write");
+    // The same generator drives the TCP deployment's load binary, so
+    // simulator and service runs of one seed issue identical op streams.
+    for (i, x, v) in generate_ops(&g, cfg.total_writes, cfg.hotspot, &mut rng) {
+        cluster.write(i, x, v).expect("valid write");
         for _ in 0..cfg.interleave {
             cluster.step();
         }
@@ -114,7 +101,7 @@ mod tests {
     use super::*;
     use prcc_baselines::edge_sets;
     use prcc_clock::EdgeProtocol;
-    use prcc_graph::topologies;
+    use prcc_graph::{topologies, RegisterId};
     use prcc_net::UniformDelay;
 
     #[test]

@@ -22,9 +22,7 @@ fn main() {
         "  the hoop {hoop} is minimal under the ORIGINAL definition: {}",
         hoop.is_minimal(&g1)
     );
-    println!(
-        "  ⇒ Hélary–Milani make replica i track x-updates by j and k."
-    );
+    println!("  ⇒ Hélary–Milani make replica i track x-updates by j and k.");
     let gi = TimestampGraph::compute(&g1, r1.i);
     println!(
         "  but no (i, e_jk)- or (i, e_kj)-loop exists: e_jk ∈ E_i = {}, e_kj ∈ E_i = {}",

@@ -26,10 +26,7 @@ fn build(kind: &str, n: usize) -> ShareGraph {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let kind = args.first().map(String::as_str).unwrap_or("figure5");
-    let n: usize = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(6);
+    let n: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(6);
     let want_dot = args.iter().any(|a| a == "--dot");
     let want_why = args.iter().any(|a| a == "--why");
 

@@ -1,0 +1,69 @@
+//! Drive a running `prcc-serve` cluster from a separate process.
+//!
+//! Start the cluster first, then point this example at the *client* ports:
+//!
+//! ```text
+//! cargo run --release --bin prcc-serve -- --nodes 4 --base-port 7451 &
+//! cargo run --release --example tcp_client -- 7452 7454 7456 7458
+//! ```
+//!
+//! The example writes a causal chain through two different nodes, reads it
+//! back from a third, prints every node's counters, and shuts the cluster
+//! down.
+
+use prcc::graph::RegisterId;
+use prcc::service::ServiceClient;
+use std::net::{Ipv4Addr, SocketAddr};
+use std::time::{Duration, Instant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ports: Vec<u16> = std::env::args()
+        .skip(1)
+        .map(|raw| raw.parse())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("usage: tcp_client <client-port>...: {e}"))?;
+    if ports.len() < 2 {
+        return Err("need at least two client ports".into());
+    }
+    let addr = |p: u16| SocketAddr::from((Ipv4Addr::LOCALHOST, p));
+
+    // Ring topology: register i is shared by replicas i and i+1 mod n.
+    let mut c0 = ServiceClient::connect(addr(ports[0]))?;
+    let mut c1 = ServiceClient::connect(addr(ports[1]))?;
+
+    println!(
+        "write register 0 = 41 via node 0: {}",
+        c0.write(RegisterId(0), 41)?
+    );
+    // Wait for propagation to node 1 (the other holder of register 0).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while c1.read(RegisterId(0))? != Some(41) {
+        if Instant::now() > deadline {
+            return Err("register 0 never reached node 1".into());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("node 1 observed register 0 = 41");
+    println!(
+        "write register 1 = 42 via node 1: {}",
+        c1.write(RegisterId(1), 42)?
+    );
+
+    std::thread::sleep(Duration::from_millis(200));
+    for (i, &port) in ports.iter().enumerate() {
+        let status = ServiceClient::connect(addr(port))?.status()?;
+        println!(
+            "node {i}: issued={} sent={} received={} applies={} pending={}",
+            status.issued,
+            status.messages_sent,
+            status.messages_received,
+            status.applies,
+            status.pending
+        );
+    }
+    for &port in &ports {
+        ServiceClient::connect(addr(port))?.shutdown()?;
+    }
+    println!("cluster shut down.");
+    Ok(())
+}

@@ -18,6 +18,9 @@
 //!   (Section 4).
 //! * [`workloads`] — topology/workload generators and the metric runner.
 //! * [`runtime`] — a threaded in-process deployment.
+//! * [`service`] — the networked TCP deployment: wire protocol, replica
+//!   nodes with update batching, client library, and the
+//!   `prcc-serve`/`prcc-load` binaries.
 
 pub use prcc_baselines as baselines;
 pub use prcc_checker as checker;
@@ -28,4 +31,5 @@ pub use prcc_graph as graph;
 pub use prcc_lowerbound as lowerbound;
 pub use prcc_net as net;
 pub use prcc_runtime as runtime;
+pub use prcc_service as service;
 pub use prcc_workloads as workloads;

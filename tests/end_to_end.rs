@@ -131,10 +131,8 @@ fn threaded_runtime_agrees_with_simulator() {
     );
     assert!(report.verdict.is_consistent(), "{:?}", report.verdict);
 
-    let mut cluster = prcc::core::Cluster::new(
-        EdgeProtocol::new(g),
-        Box::new(UniformDelay::new(11, 1, 40)),
-    );
+    let mut cluster =
+        prcc::core::Cluster::new(EdgeProtocol::new(g), Box::new(UniformDelay::new(11, 1, 40)));
     for (i, x, v) in ops {
         cluster.write(i, x, v).unwrap();
         cluster.step();
@@ -173,7 +171,8 @@ fn client_server_with_many_clients() {
         let c = ClientId((round % 5) as usize);
         let rep = ReplicaId((round % 5) as usize);
         let regs: Vec<RegisterId> = g.registers_of(rep).iter().collect();
-        sys.write(c, rep, regs[(round % 2) as usize], round).unwrap();
+        sys.write(c, rep, regs[(round % 2) as usize], round)
+            .unwrap();
         if round % 4 == 0 {
             let other = ReplicaId(((round + 2) % 5) as usize);
             let reg = g.registers_of(other).first().unwrap();
@@ -246,8 +245,12 @@ fn multicast_view_over_partial_replication() {
     )
     .unwrap();
     for round in 0..8u64 {
-        mc.multicast(ReplicaId((round % 4) as usize), GroupId((round % 4) as u32), round)
-            .unwrap();
+        mc.multicast(
+            ReplicaId((round % 4) as usize),
+            GroupId((round % 4) as u32),
+            round,
+        )
+        .unwrap();
         mc.pump();
     }
     assert!(mc.is_causally_consistent());

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests pinning the paper's headline claims.
 
 use prcc::clock::{ClockState, EdgeProtocol, Protocol};
-use prcc::graph::{
-    analysis, edge, hoops, topologies, Edge, RegisterId, ReplicaId, TimestampGraph,
-};
+use prcc::graph::{analysis, edge, hoops, topologies, Edge, RegisterId, ReplicaId, TimestampGraph};
 use prcc::lowerbound::{closed_forms, conflict, families};
 
 /// Section 3 example (Figure 5): `e43 ∈ G_1`, `e34 ∉ G_1`.
@@ -104,11 +102,8 @@ fn full_replication_equals_vector_clock_after_compression() {
     let g = topologies::clique_full(4, 3);
     let p = EdgeProtocol::new(g.clone());
     let raw = p.new_clock(ReplicaId(0)).entries();
-    let compressed = analysis::compression_report(
-        &g,
-        &TimestampGraph::compute(&g, ReplicaId(0)),
-    )
-    .rank_entries;
+    let compressed =
+        analysis::compression_report(&g, &TimestampGraph::compute(&g, ReplicaId(0))).rank_entries;
     assert_eq!(raw, 12);
     assert_eq!(compressed, g.num_replicas());
 }
@@ -120,11 +115,8 @@ fn client_bridges_grow_augmented_graphs() {
     use prcc::graph::AugmentedShareGraph;
     let g = topologies::line(4);
     let no_clients = AugmentedShareGraph::new(g.clone(), vec![]).unwrap();
-    let bridged = AugmentedShareGraph::new(
-        g.clone(),
-        vec![vec![ReplicaId(0), ReplicaId(3)]],
-    )
-    .unwrap();
+    let bridged =
+        AugmentedShareGraph::new(g.clone(), vec![vec![ReplicaId(0), ReplicaId(3)]]).unwrap();
     for i in g.replicas() {
         let plain = no_clients.augmented_timestamp_graph(i).len();
         let aug = bridged.augmented_timestamp_graph(i).len();

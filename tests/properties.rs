@@ -1,11 +1,11 @@
 //! Property-based tests (proptest) over random share graphs, workloads and
 //! schedules.
 
-use proptest::prelude::*;
 use prcc::clock::{CompressedProtocol, EdgeProtocol, Protocol};
 use prcc::graph::{loops, topologies, Edge, RegisterId, ReplicaId, ShareGraph, TimestampGraph};
 use prcc::net::UniformDelay;
 use prcc::workloads::{run_workload, WorkloadConfig};
+use proptest::prelude::*;
 use rand::SeedableRng;
 
 fn arb_share_graph() -> impl Strategy<Value = ShareGraph> {
