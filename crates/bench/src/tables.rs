@@ -229,7 +229,7 @@ fn report_row(name: &str, r: &RunReport, entries: usize, rank: usize) -> Vec<Str
         r.stats.metadata_only_messages,
         format!("{:.1}", r.stats.bytes_per_message()),
         format!("{:.1}", r.stats.mean_pending_stall()),
-        r.consistent
+        r.consistent()
     ]
 }
 
@@ -580,7 +580,7 @@ pub fn e15_protocol_matrix() -> String {
                 format!("{:.1}", r.stats.bytes_per_message()),
                 format!("{:.1}", r.stats.mean_apply_latency()),
                 format!("{:.1}", r.stats.mean_pending_stall()),
-                r.consistent
+                r.consistent()
             ]);
         }
     }
@@ -631,7 +631,7 @@ pub fn e16_scaling() -> String {
             Box::new(UniformDelay::new(5, 1, 30)),
             cfg,
         );
-        assert!(ours.consistent && vector.consistent);
+        assert!(ours.consistent() && vector.consistent());
         rows.push(row![
             n,
             2 * n,

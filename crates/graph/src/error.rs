@@ -28,6 +28,9 @@ pub enum GraphError {
         /// Index of the offending client.
         client: usize,
     },
+    /// A partition map's hosting table is malformed (see
+    /// [`crate::PartitionMap::from_parts`]).
+    PartitionMap(&'static str),
 }
 
 impl fmt::Display for GraphError {
@@ -45,6 +48,7 @@ impl fmt::Display for GraphError {
             GraphError::EmptyClientReplicaSet { client } => {
                 write!(f, "client c{client} has an empty replica set")
             }
+            GraphError::PartitionMap(why) => write!(f, "invalid partition map: {why}"),
         }
     }
 }

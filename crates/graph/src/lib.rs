@@ -20,6 +20,10 @@
 //! * [`augmented`] — the client-server extension: augmented share graphs,
 //!   augmented `(i, e_jk)`-loops and augmented timestamp graphs
 //!   (Definitions 16, 27, 28).
+//! * [`PartitionMap`] — sharding of the register space for deployments: a
+//!   global key universe split into per-partition key ranges, each
+//!   partition an independent share-graph instance whose replica roles are
+//!   placed onto physical nodes.
 //! * [`topologies`] — generators for the share graphs used throughout the
 //!   paper and the experiment suite (rings, trees, cliques, …, plus the
 //!   exact fixtures of Figures 3, 5, 6, 8a, 8b and 13).
@@ -59,6 +63,7 @@ mod error;
 pub mod hoops;
 mod ids;
 pub mod loops;
+mod partition;
 mod share_graph;
 mod timestamp_graph;
 pub mod topologies;
@@ -67,5 +72,6 @@ pub use augmented::{AugmentedShareGraph, ClientId};
 pub use bitset::RegSet;
 pub use error::GraphError;
 pub use ids::{edge, Edge, RegisterId, ReplicaId};
+pub use partition::{PartitionId, PartitionMap};
 pub use share_graph::{ShareGraph, ShareGraphBuilder};
 pub use timestamp_graph::TimestampGraph;

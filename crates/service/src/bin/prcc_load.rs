@@ -1,19 +1,24 @@
-//! `prcc-load` — drive configurable load at a loopback TCP cluster and
-//! report throughput, latency, wire bytes and the post-hoc oracle verdict.
+//! `prcc-load` — drive configurable keyed load at a loopback TCP cluster
+//! and report throughput, latency, wire bytes and the per-partition
+//! post-hoc oracle verdicts.
 //!
 //! ```text
 //! prcc-load --nodes 4 --ops 10000
+//! prcc-load --nodes 4 --partitions 8 --ops 10000 --seed 7
 //! prcc-load --nodes 6 --topology random --hotspot 0.3 --value-bytes 256
 //! ```
 //!
 //! Writes `BENCH_service.json` (schema in `prcc_service::report`) so later
-//! changes can track the performance trajectory.
+//! changes can track the performance trajectory. The `--seed` flag threads
+//! through topology generation and the keyed op generator, so a given
+//! `(seed, flags)` pair replays the identical workload across PRs.
 
 use prcc_clock::EdgeProtocol;
+use prcc_graph::PartitionMap;
 use prcc_service::config::{build_topology, Args};
-use prcc_service::report::{BenchReport, LatencySummary};
+use prcc_service::report::{BenchReport, LatencySummary, PartitionBench, VerdictSummary};
 use prcc_service::{LoopbackCluster, ServiceConfig};
-use prcc_workloads::ops::{generate_ops, partition_by_replica};
+use prcc_workloads::ops::{generate_keyed_ops, route_keyed_ops};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::process::exit;
@@ -31,16 +36,17 @@ fn run() -> Result<(), String> {
     let args = Args::from_env();
     if args.has("--help") {
         println!(
-            "prcc-load: drive load at a loopback prcc cluster\n\n\
+            "prcc-load: drive keyed load at a loopback prcc cluster\n\n\
              \t--nodes N        cluster size (default 4)\n\
              \t--topology T     ring|line|star|clique|figure5|random (default ring)\n\
+             \t--partitions P   shards of the register space (default 1)\n\
              \t--ops N          total operations (default 10000)\n\
              \t--seed S         workload/topology seed (default 1)\n\
-             \t--hotspot F      fraction of writes hitting register 0 (default off)\n\
+             \t--hotspot F      fraction of writes hitting key 0 (default off)\n\
              \t--read-pct F     fraction of ops issued as reads (default 0.0)\n\
              \t--value-bytes B  extra payload bytes per update (default 0)\n\
              \t--rate R         target ops/sec across the cluster, 0 = unlimited (default 0)\n\
-             \t--batch N        max updates per peer frame (default 64)\n\
+             \t--batch N        max updates per peer flush (default 64)\n\
              \t--flush-us U     batch flush interval in microseconds (default 200)\n\
              \t--base-port P    0 = ephemeral ports (default)\n\
              \t--out PATH       report path (default BENCH_service.json)\n\
@@ -50,6 +56,7 @@ fn run() -> Result<(), String> {
     }
     let nodes = args.parse_or("--nodes", 4usize)?;
     let topology = args.value("--topology").unwrap_or("ring").to_string();
+    let partitions = args.parse_or("--partitions", 1u32)?.max(1);
     let ops_total = args.parse_or("--ops", 10_000usize)?;
     let seed = args.parse_or("--seed", 1u64)?;
     let hotspot = match args.value("--hotspot") {
@@ -77,15 +84,18 @@ fn run() -> Result<(), String> {
 
     let graph = build_topology(&topology, nodes, seed)?;
     let n = graph.num_replicas();
-    let protocol = Arc::new(EdgeProtocol::new(graph.clone()));
-    let cluster = LoopbackCluster::launch(protocol, &cfg, base_port)
+    let map = PartitionMap::rotated(graph.clone(), partitions, n)
+        .map_err(|e| format!("partition map: {e}"))?;
+    let protocol = Arc::new(EdgeProtocol::new(graph));
+    let cluster = LoopbackCluster::launch_partitioned(protocol, map.clone(), &cfg, base_port)
         .map_err(|e| format!("launch failed: {e}"))?;
 
-    // One seeded op stream, partitioned into per-node driver scripts — the
-    // same generator the simulator workloads use.
+    // One seeded keyed op stream, routed into per-node driver scripts — the
+    // same generator and per-key holder affinity the simulator harness
+    // (`run_partitioned_workload`) uses.
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let ops = generate_ops(&graph, ops_total, hotspot, &mut rng);
-    let scripts = partition_by_replica(&graph, &ops);
+    let ops = generate_keyed_ops(&map, ops_total, hotspot, &mut rng);
+    let scripts = route_keyed_ops(&map, &ops);
 
     // Per-thread pacing for --rate: each driver holds the cluster-wide
     // interval scaled by its share of the ops.
@@ -109,7 +119,7 @@ fn run() -> Result<(), String> {
                 failures: 0,
             };
             let mut next_at = Instant::now();
-            for (_, register, value) in script {
+            for (partition, register, value) in script {
                 if let Some(interval) = interval {
                     let now = Instant::now();
                     if next_at > now {
@@ -120,9 +130,9 @@ fn run() -> Result<(), String> {
                 let started = Instant::now();
                 let ok = if read_pct > 0.0 && thread_rng.gen_bool(read_pct) {
                     result.reads += 1;
-                    client.read(register).map(|_| true)?
+                    client.read_in(partition, register).map(|_| true)?
                 } else {
-                    client.write_padded(register, value, value_bytes)?
+                    client.write_padded(partition, register, value, value_bytes)?
                 };
                 if !ok {
                     result.failures += 1;
@@ -152,7 +162,7 @@ fn run() -> Result<(), String> {
         return Err(format!("{failures} operations were rejected by their node"));
     }
 
-    // Quiescence, then verification on the collected traces.
+    // Quiescence, then per-partition verification on the collected traces.
     let drain_start = Instant::now();
     let drain_budget = Duration::from_secs(30) + Duration::from_millis(ops_total as u64 / 10);
     let drained = cluster
@@ -163,14 +173,30 @@ fn run() -> Result<(), String> {
         return Err("cluster failed to reach quiescence (liveness bug?)".into());
     }
     let statuses = cluster.statuses().map_err(|e| format!("status: {e}"))?;
-    let verdict = cluster
-        .verify()
-        .map_err(|e| format!("trace collection: {e}"))?
-        .map_err(|e| format!("trace replay: {e}"))?;
+    let partition_verdicts = cluster
+        .verify_partitions()
+        .map_err(|e| format!("trace collection: {e}"))?;
+
+    let mut verdict = VerdictSummary {
+        consistent: true,
+        safety_violations: 0,
+        liveness_violations: 0,
+    };
+    let mut per_partition = vec![PartitionBench::default(); partitions as usize];
+    for (p, result) in partition_verdicts.iter().enumerate() {
+        let v = result
+            .as_ref()
+            .map_err(|e| format!("partition {p} trace replay: {e}"))?;
+        per_partition[p].consistent = v.is_consistent();
+        verdict.consistent &= v.is_consistent();
+        verdict.safety_violations += v.safety.len();
+        verdict.liveness_violations += v.liveness.len();
+    }
 
     let mut report = BenchReport {
         topology,
         nodes: n,
+        partitions: partitions as usize,
         ops: latencies.len(),
         reads,
         seed,
@@ -185,9 +211,8 @@ fn run() -> Result<(), String> {
         messages_sent: 0,
         batches_sent: 0,
         updates_per_batch: 0.0,
-        consistent: verdict.is_consistent(),
-        safety_violations: verdict.safety.len(),
-        liveness_violations: verdict.liveness.len(),
+        verdict,
+        per_partition,
     };
     report.absorb_statuses(&statuses);
 
@@ -196,8 +221,14 @@ fn run() -> Result<(), String> {
 
     if !quiet {
         println!(
-            "prcc-load: {} ops ({} reads) on {} nodes ('{}') in {:.2}s + {:.2}s drain",
-            report.ops, report.reads, report.nodes, report.topology, drive_seconds, drain_seconds
+            "prcc-load: {} ops ({} reads) on {} nodes x {} partitions ('{}') in {:.2}s + {:.2}s drain",
+            report.ops,
+            report.reads,
+            report.nodes,
+            report.partitions,
+            report.topology,
+            drive_seconds,
+            drain_seconds
         );
         println!(
             "  throughput {:.0} ops/s; latency mean {:.0}us p50 {}us p99 {}us",
@@ -212,18 +243,21 @@ fn run() -> Result<(), String> {
         );
         println!(
             "  oracle: {}",
-            if report.consistent {
-                "causally consistent".to_string()
+            if report.verdict.consistent {
+                format!(
+                    "causally consistent ({} partitions verified independently)",
+                    report.partitions
+                )
             } else {
                 format!(
                     "{} safety / {} liveness violations",
-                    report.safety_violations, report.liveness_violations
+                    report.verdict.safety_violations, report.verdict.liveness_violations
                 )
             }
         );
         println!("  report written to {out_path}");
     }
-    if !report.consistent {
+    if !report.verdict.consistent {
         return Err("oracle verdict: NOT causally consistent".into());
     }
     Ok(())

@@ -7,6 +7,7 @@
 //! ```
 
 use prcc_clock::EdgeProtocol;
+use prcc_graph::PartitionMap;
 use prcc_service::config::{build_topology, Args};
 use prcc_service::{LoopbackCluster, ServiceConfig};
 use std::process::exit;
@@ -20,10 +21,11 @@ fn run() -> Result<(), String> {
             "prcc-serve: stand up a loopback prcc cluster\n\n\
              \t--nodes N        cluster size (default 4)\n\
              \t--topology T     ring|line|star|clique|figure5|random (default ring)\n\
+             \t--partitions P   shards of the register space (default 1)\n\
              \t--seed S         topology seed for 'random' (default 0)\n\
              \t--base-port P    first port; node i uses P+2i (peer) and P+2i+1 (client);\n\
              \t                 0 = ephemeral (default)\n\
-             \t--batch N        max updates per peer frame (default 64)\n\
+             \t--batch N        max updates per peer flush (default 64)\n\
              \t--flush-us U     batch flush interval in microseconds (default 200)\n\
              \t--value-bytes B  extra payload bytes per update (default 0)\n\
              \t--duration S     self-terminate after S seconds (default: serve forever)\n\n\
@@ -34,6 +36,7 @@ fn run() -> Result<(), String> {
     let nodes = args.parse_or("--nodes", 4usize)?;
     let duration = args.parse_or("--duration", 0u64)?;
     let topology = args.value("--topology").unwrap_or("ring").to_string();
+    let partitions = args.parse_or("--partitions", 1u32)?.max(1);
     let seed = args.parse_or("--seed", 0u64)?;
     let base_port = args.parse_or("--base-port", 0u16)?;
     let cfg = ServiceConfig {
@@ -44,14 +47,18 @@ fn run() -> Result<(), String> {
     };
 
     let graph = build_topology(&topology, nodes, seed)?;
+    let map = PartitionMap::rotated(graph.clone(), partitions, graph.num_replicas())
+        .map_err(|e| format!("partition map: {e}"))?;
     let protocol = Arc::new(EdgeProtocol::new(graph.clone()));
-    let mut cluster = LoopbackCluster::launch(protocol, &cfg, base_port)
+    let mut cluster = LoopbackCluster::launch_partitioned(protocol, map, &cfg, base_port)
         .map_err(|e| format!("launch failed: {e}"))?;
 
     println!(
-        "prcc-serve: {} nodes on topology '{topology}' ({} registers)",
+        "prcc-serve: {} nodes on topology '{topology}' ({} partitions x {} registers, {} keys)",
         cluster.len(),
-        graph.num_registers()
+        partitions,
+        graph.num_registers(),
+        cluster.map().num_keys()
     );
     for i in 0..cluster.len() {
         let (peer, client) = cluster.addrs(i);

@@ -1,13 +1,12 @@
 //! Standing up and tearing down a loopback cluster.
 
-use crate::client::ServiceClient;
+use crate::client::{RoutedClient, ServiceClient};
 use crate::node::{spawn_node, NodeHandle, NodeSeed, ServiceConfig};
 use crate::wire::NodeStatus;
-use prcc_checker::trace::{verify_trace, TraceError, TraceEvent};
+use prcc_checker::trace::{verify_partitions, TraceError, TraceEvent};
 use prcc_checker::Verdict;
 use prcc_clock::{Protocol, WireClock};
-use prcc_graph::ReplicaId;
-use prcc_graph::ShareGraph;
+use prcc_graph::{PartitionId, PartitionMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
@@ -16,14 +15,13 @@ use std::time::{Duration, Instant};
 /// A full cluster of nodes on 127.0.0.1, one pair of listeners each.
 #[derive(Debug)]
 pub struct LoopbackCluster {
-    graph: ShareGraph,
+    map: PartitionMap,
     nodes: Vec<NodeHandle>,
 }
 
 impl LoopbackCluster {
-    /// Binds listeners for every node (ephemeral ports when `base_port` is
-    /// 0, else `base_port + 2i` / `base_port + 2i + 1`), then spawns the
-    /// nodes with the full peer map.
+    /// Launches the unsharded deployment: one partition, role `i` on node
+    /// `i` ([`PartitionMap::single`]).
     pub fn launch<P>(
         protocol: Arc<P>,
         cfg: &ServiceConfig,
@@ -33,8 +31,24 @@ impl LoopbackCluster {
         P: Protocol + 'static,
         P::Clock: WireClock,
     {
-        let graph = protocol.share_graph().clone();
-        let n = graph.num_replicas();
+        let map = PartitionMap::single(protocol.share_graph().clone());
+        Self::launch_partitioned(protocol, map, cfg, base_port)
+    }
+
+    /// Binds listeners for every node of the partition map (ephemeral ports
+    /// when `base_port` is 0, else `base_port + 2i` / `base_port + 2i + 1`),
+    /// then spawns the nodes with the full peer map.
+    pub fn launch_partitioned<P>(
+        protocol: Arc<P>,
+        map: PartitionMap,
+        cfg: &ServiceConfig,
+        base_port: u16,
+    ) -> io::Result<LoopbackCluster>
+    where
+        P: Protocol + 'static,
+        P::Clock: WireClock,
+    {
+        let n = map.num_nodes();
         let mut peer_listeners = Vec::with_capacity(n);
         let mut client_listeners = Vec::with_capacity(n);
         let mut peer_addrs = Vec::with_capacity(n);
@@ -56,8 +70,9 @@ impl LoopbackCluster {
         {
             nodes.push(spawn_node(
                 Arc::clone(&protocol),
+                map.clone(),
                 NodeSeed {
-                    id: ReplicaId(i),
+                    node: i,
                     peer_listener,
                     client_listener,
                     peer_addrs: peer_addrs.clone(),
@@ -65,12 +80,12 @@ impl LoopbackCluster {
                 cfg.clone(),
             )?);
         }
-        Ok(LoopbackCluster { graph, nodes })
+        Ok(LoopbackCluster { map, nodes })
     }
 
-    /// The cluster's share graph.
-    pub fn graph(&self) -> &ShareGraph {
-        &self.graph
+    /// The cluster's partition map.
+    pub fn map(&self) -> &PartitionMap {
+        &self.map
     }
 
     /// Number of nodes.
@@ -91,6 +106,14 @@ impl LoopbackCluster {
     /// Opens a fresh client to node `i`.
     pub fn client(&self, i: usize) -> io::Result<ServiceClient> {
         ServiceClient::connect(self.nodes[i].client_addr)
+    }
+
+    /// Opens a key-routing client over the whole cluster.
+    pub fn routed_client(&self) -> io::Result<RoutedClient> {
+        RoutedClient::with_map(
+            self.map.clone(),
+            self.nodes.iter().map(|n| n.client_addr).collect(),
+        )
     }
 
     /// Snapshot of every node's counters.
@@ -134,19 +157,61 @@ impl LoopbackCluster {
         }
     }
 
-    /// Collects every node's local event log, in replica order.
-    pub fn collect_traces(&self) -> io::Result<Vec<Vec<TraceEvent>>> {
+    /// Collects every node's local event logs; `result[node][partition]` is
+    /// that node's log for the partition (empty when not hosted).
+    pub fn collect_traces(&self) -> io::Result<Vec<Vec<Vec<TraceEvent>>>> {
         self.nodes
             .iter()
             .map(|node| ServiceClient::connect(node.client_addr)?.trace())
             .collect()
     }
 
-    /// Replays the collected traces through the shared [`prcc_checker`]
-    /// oracle — the post-hoc causal-consistency check.
+    /// Regroups collected traces for the per-partition oracle:
+    /// `result[partition][role]` is the log recorded by the node hosting
+    /// that role.
+    fn traces_by_partition(&self, traces: Vec<Vec<Vec<TraceEvent>>>) -> Vec<Vec<Vec<TraceEvent>>> {
+        let roles = self.map.graph().num_replicas();
+        let mut parts: Vec<Vec<Vec<TraceEvent>>> = self
+            .map
+            .partitions()
+            .map(|_| vec![Vec::new(); roles])
+            .collect();
+        for (node, mut logs) in traces.into_iter().enumerate() {
+            for (p, log) in logs.drain(..).enumerate() {
+                if let Some(role) = self.map.role_on(PartitionId(p as u32), node) {
+                    parts[p][role.index()] = log;
+                }
+            }
+        }
+        parts
+    }
+
+    /// Replays the collected traces partition by partition through the
+    /// shared [`prcc_checker`] oracle — each partition is an independent
+    /// share-graph instance, so verification cost scales with the partition
+    /// size, not the cluster size. Returns one verdict (or replay error)
+    /// per partition.
+    pub fn verify_partitions(&self) -> io::Result<Vec<Result<Verdict, TraceError>>> {
+        let parts = self.traces_by_partition(self.collect_traces()?);
+        Ok(verify_partitions(self.map.graph(), &parts))
+    }
+
+    /// Replays the collected traces and folds all partitions into one
+    /// verdict (any replay error short-circuits) — the post-hoc
+    /// causal-consistency check of the whole deployment.
     pub fn verify(&self) -> io::Result<Result<Verdict, TraceError>> {
-        let traces = self.collect_traces()?;
-        Ok(verify_trace(&self.graph, &traces))
+        let per_partition = self.verify_partitions()?;
+        let mut combined = Verdict::default();
+        for verdict in per_partition {
+            match verdict {
+                Ok(v) => {
+                    combined.safety.extend(v.safety);
+                    combined.liveness.extend(v.liveness);
+                }
+                Err(e) => return Ok(Err(e)),
+            }
+        }
+        Ok(Ok(combined))
     }
 
     /// Gracefully shuts every node down and joins their core threads.

@@ -5,17 +5,20 @@
 //! the algorithm in one process; this crate takes the same generic
 //! [`prcc_clock::Protocol`] replicas across real sockets:
 //!
-//! * [`wire`] — the length-prefixed binary wire protocol: peer handshakes
-//!   (carrying the serialized share-graph configuration), batched update
-//!   frames built on [`prcc_clock::WireClock`] / `Update::encode_wire`, and
-//!   the client read/write API.
-//! * [`node`] — a replica as a TCP node: a core event-loop thread owning
-//!   the [`prcc_core::Replica`], per-peer sender threads with update
-//!   batching (size- and time-bounded), and listeners for peer and client
-//!   traffic.
-//! * [`client`] — [`ServiceClient`], the blocking client library.
+//! * [`wire`] — the length-prefixed binary wire protocol (version 2): a
+//!   versioned peer handshake carrying the serialized
+//!   [`prcc_graph::PartitionMap`], partition-tagged batched update frames
+//!   built on [`prcc_clock::WireClock`] / `Update::encode_wire`, and the
+//!   partition-addressed client read/write API.
+//! * [`node`] — a partition-routing TCP node: a core event-loop thread
+//!   owning one [`prcc_core::Replica`] per hosted partition, per-peer
+//!   sender threads with update batching fanned per (peer, partition), and
+//!   listeners for peer and client traffic.
+//! * [`client`] — [`ServiceClient`] (blocking, single-node) and
+//!   [`RoutedClient`] (key-routed over the whole cluster).
 //! * [`cluster`] — [`LoopbackCluster`]: bind, spawn, drain-to-quiescence,
-//!   trace collection and post-hoc [`prcc_checker`] oracle verification.
+//!   trace collection and post-hoc per-partition [`prcc_checker`] oracle
+//!   verification.
 //! * [`report`] — the `prcc-load` benchmark report (`BENCH_service.json`).
 //! * [`config`] — topology selection shared by the `prcc-serve` /
 //!   `prcc-load` binaries.
@@ -35,8 +38,8 @@ pub mod node;
 pub mod report;
 pub mod wire;
 
-pub use client::ServiceClient;
+pub use client::{RoutedClient, ServiceClient};
 pub use cluster::LoopbackCluster;
 pub use node::{spawn_node, NodeHandle, NodeSeed, ServiceConfig};
-pub use report::{BenchReport, LatencySummary};
-pub use wire::NodeStatus;
+pub use report::{BenchReport, LatencySummary, PartitionBench};
+pub use wire::{NodeStatus, PartitionCounters, WIRE_VERSION};

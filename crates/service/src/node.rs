@@ -1,34 +1,43 @@
-//! A replica as an async-style TCP node.
+//! A partition-routing TCP node.
 //!
-//! Each node runs a small constellation of threads around one *core* thread
-//! that owns the [`Replica`] state machine:
+//! A node no longer *is* a replica: it hosts one replica *role* of every
+//! partition the [`PartitionMap`] places on it, each an independent
+//! [`Replica`] with its own share-graph-derived clock. The threads around
+//! the core are unchanged in shape:
 //!
 //! * the core thread serializes all state access (writes, reads, update
 //!   application, trace/status snapshots) through one channel — replicating
-//!   the run-to-completion event loop an async runtime would provide;
-//! * one *sender* thread per peer dials the peer's update listener, then
-//!   coalesces outgoing updates into batched frames: a batch closes when it
-//!   reaches `batch_max` updates or `flush_interval` elapses after its
-//!   first update, whichever is first;
+//!   the run-to-completion event loop an async runtime would provide — and
+//!   routes every message to the target partition's replica;
+//! * one *sender* thread per peer node dials the peer's update listener,
+//!   then coalesces outgoing updates into batched frames fanned per
+//!   (peer, partition): a batch closes when it reaches `batch_max` updates
+//!   or `flush_interval` elapses after its first update, whichever is
+//!   first, and is emitted as one partition-tagged frame per partition
+//!   present in the batch;
 //! * the peer listener accepts connections and spawns a reader per peer
-//!   that decodes batches and forwards them to the core;
+//!   that decodes partition-tagged batches and forwards them to the core;
 //! * the client listener serves the request/response API of
-//!   [`crate::wire::ClientRequest`].
+//!   [`crate::wire::ClientRequest`], including the [`PartitionMap`] itself
+//!   (`Config`) so clients can route by key.
 //!
-//! Updates carry globally unique wire ids (`issuer << 40 | seq`), which
-//! drive both duplicate suppression in [`Replica::receive`] and the
-//! post-hoc oracle replay over collected traces.
+//! Updates carry globally unique wire ids (`node << 40 | seq`, with `seq`
+//! node-global across partitions), which drive both duplicate suppression
+//! in [`Replica::receive`] and the post-hoc per-partition oracle replay
+//! over collected traces.
 
 use crate::wire::{
     decode_batch, decode_peer_hello, decode_request, encode_batch, encode_peer_hello,
-    encode_response, read_frame, write_frame, ClientRequest, ClientResponse, NodeStatus, PeerHello,
+    encode_response, read_frame, write_frame, ClientRequest, ClientResponse, NodeStatus,
+    PartitionCounters, PeerHello, WIRE_VERSION,
 };
 use prcc_checker::trace::TraceEvent;
 use prcc_checker::UpdateId;
 use prcc_clock::{Protocol, WireClock};
 use prcc_core::{Replica, Update};
-use prcc_graph::{RegisterId, ReplicaId, ShareGraph};
+use prcc_graph::{PartitionId, PartitionMap, RegisterId, ReplicaId};
 use prcc_net::VirtualTime;
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -39,7 +48,8 @@ use std::time::{Duration, Instant};
 /// Tuning knobs of a node deployment.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Maximum updates coalesced into one peer frame.
+    /// Maximum updates coalesced into one peer flush (which may emit
+    /// several frames, one per partition present).
     pub batch_max: usize,
     /// How long a non-full batch may wait for more updates.
     pub flush_interval: Duration,
@@ -64,21 +74,21 @@ impl Default for ServiceConfig {
 /// (binding first solves the ephemeral-port bootstrap), and the peer map.
 #[derive(Debug)]
 pub struct NodeSeed {
-    /// This node's replica id.
-    pub id: ReplicaId,
+    /// This node's index in the partition map.
+    pub node: usize,
     /// Listener for incoming peer update connections.
     pub peer_listener: TcpListener,
     /// Listener for the client API.
     pub client_listener: TcpListener,
-    /// Peer update-listener addresses, indexed by replica.
+    /// Peer update-listener addresses, indexed by node.
     pub peer_addrs: Vec<SocketAddr>,
 }
 
 /// Handle to a spawned node.
 #[derive(Debug)]
 pub struct NodeHandle {
-    /// The node's replica id.
-    pub id: ReplicaId,
+    /// The node's index in the partition map.
+    pub node: usize,
     /// Address of the peer update listener.
     pub peer_addr: SocketAddr,
     /// Address of the client API listener.
@@ -98,17 +108,19 @@ impl NodeHandle {
 
 enum CoreMsg<C> {
     Write {
+        partition: PartitionId,
         register: RegisterId,
         value: u64,
         reply: mpsc::Sender<bool>,
     },
     Read {
+        partition: PartitionId,
         register: RegisterId,
         reply: mpsc::Sender<(bool, Option<u64>)>,
     },
-    Updates(Vec<Update<C>>),
+    Updates(PartitionId, Vec<Update<C>>),
     Status(mpsc::Sender<NodeStatus>),
-    Trace(mpsc::Sender<Vec<TraceEvent>>),
+    Trace(mpsc::Sender<Vec<Vec<TraceEvent>>>),
     Shutdown,
 }
 
@@ -118,27 +130,55 @@ struct SocketCounters {
     batches_sent: AtomicU64,
 }
 
+/// Per-peer outgoing channel: updates tagged with their partition.
+type PeerTx<C> = mpsc::Sender<(PartitionId, Update<C>)>;
+
+/// One hosted partition: the role this node plays in it, the replica state
+/// machine, and the partition-local event log.
+struct PartitionSlot<P: Protocol> {
+    role: ReplicaId,
+    replica: Replica<P>,
+    log: Vec<TraceEvent>,
+    issued: u64,
+}
+
 /// Spawns a node: core thread, peer senders, peer/client listeners.
+///
+/// `protocol` must be configured for the partition map's per-partition
+/// share graph; each hosted partition gets an independent [`Replica`] over
+/// the shared protocol object (clocks are per-replica state, so partitions
+/// do not share counters).
 ///
 /// # Errors
 ///
-/// Fails only on listener introspection; network errors after spawn are
-/// handled per-connection (logged to stderr, connection dropped).
-pub fn spawn_node<P>(protocol: Arc<P>, seed: NodeSeed, cfg: ServiceConfig) -> io::Result<NodeHandle>
+/// Fails on listener introspection or a protocol/map share-graph mismatch;
+/// network errors after spawn are handled per-connection (logged to stderr,
+/// connection dropped).
+pub fn spawn_node<P>(
+    protocol: Arc<P>,
+    map: PartitionMap,
+    seed: NodeSeed,
+    cfg: ServiceConfig,
+) -> io::Result<NodeHandle>
 where
     P: Protocol + 'static,
     P::Clock: WireClock,
 {
     let NodeSeed {
-        id,
+        node,
         peer_listener,
         client_listener,
         peer_addrs,
     } = seed;
+    if protocol.share_graph() != map.graph() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "protocol share graph differs from the partition map's",
+        ));
+    }
     let peer_addr = peer_listener.local_addr()?;
     let client_addr = client_listener.local_addr()?;
-    let graph = protocol.share_graph().clone();
-    let n = graph.num_replicas();
+    let n = map.num_nodes();
     let stop = Arc::new(AtomicBool::new(false));
     let counters = Arc::new(SocketCounters {
         bytes_out: AtomicU64::new(0),
@@ -149,17 +189,17 @@ where
     let (core_tx, core_rx) = mpsc::channel::<CoreMsg<P::Clock>>();
 
     // Per-peer outgoing channels feeding the sender threads.
-    let mut peer_txs: Vec<Option<mpsc::Sender<Update<P::Clock>>>> = Vec::with_capacity(n);
+    let mut peer_txs: Vec<Option<PeerTx<P::Clock>>> = Vec::with_capacity(n);
     for (k, &addr) in peer_addrs.iter().enumerate().take(n) {
-        if k == id.index() {
+        if k == node {
             peer_txs.push(None);
             continue;
         }
-        let (tx, rx) = mpsc::channel::<Update<P::Clock>>();
+        let (tx, rx) = mpsc::channel::<(PartitionId, Update<P::Clock>)>();
         peer_txs.push(Some(tx));
         let hello = PeerHello {
-            node: id,
-            graph: graph.clone(),
+            node,
+            map: map.clone(),
         };
         let cfg = cfg.clone();
         let counters = Arc::clone(&counters);
@@ -170,7 +210,7 @@ where
     {
         let core_tx = core_tx.clone();
         let protocol = Arc::clone(&protocol);
-        let graph = graph.clone();
+        let map = map.clone();
         let stop = Arc::clone(&stop);
         let counters = Arc::clone(&counters);
         thread::spawn(move || {
@@ -181,11 +221,12 @@ where
                 let Ok(stream) = conn else { break };
                 let core_tx = core_tx.clone();
                 let protocol = Arc::clone(&protocol);
-                let graph = graph.clone();
+                let map = map.clone();
                 let counters = Arc::clone(&counters);
                 thread::spawn(move || {
-                    if let Err(e) = peer_reader(stream, &protocol, &graph, &core_tx, &counters) {
-                        eprintln!("prcc-service[{id}]: peer reader: {e}");
+                    if let Err(e) = peer_reader(stream, &protocol, &map, node, &core_tx, &counters)
+                    {
+                        eprintln!("prcc-service[{node}]: peer reader: {e}");
                     }
                 });
             }
@@ -195,6 +236,7 @@ where
     // Client listener: one handler thread per client connection.
     {
         let core_tx = core_tx.clone();
+        let map = map.clone();
         let stop = Arc::clone(&stop);
         let counters = Arc::clone(&counters);
         let addrs = (peer_addr, client_addr);
@@ -205,10 +247,11 @@ where
                 }
                 let Ok(stream) = conn else { break };
                 let core_tx = core_tx.clone();
+                let map = map.clone();
                 let stop = Arc::clone(&stop);
                 let counters = Arc::clone(&counters);
                 thread::spawn(move || {
-                    let _ = client_handler(stream, &core_tx, &stop, &counters, addrs);
+                    let _ = client_handler(stream, &map, &core_tx, &stop, &counters, addrs);
                 });
             }
         });
@@ -216,108 +259,176 @@ where
 
     // The core event loop.
     let core = thread::Builder::new()
-        .name(format!("prcc-core-{}", id.index()))
-        .spawn(move || core_loop(&protocol, id, &core_rx, &peer_txs))?;
+        .name(format!("prcc-core-{node}"))
+        .spawn(move || core_loop(&protocol, &map, node, &core_rx, &peer_txs))?;
 
     Ok(NodeHandle {
-        id,
+        node,
         peer_addr,
         client_addr,
         core: Some(core),
     })
 }
 
-#[allow(clippy::type_complexity)]
 fn core_loop<P>(
     protocol: &Arc<P>,
-    id: ReplicaId,
+    map: &PartitionMap,
+    node: usize,
     core_rx: &mpsc::Receiver<CoreMsg<P::Clock>>,
-    peer_txs: &[Option<mpsc::Sender<Update<P::Clock>>>],
+    peer_txs: &[Option<PeerTx<P::Clock>>],
 ) where
     P: Protocol,
     P::Clock: WireClock,
 {
-    let mut replica: Replica<P> = Replica::new(protocol, id);
-    let mut log: Vec<TraceEvent> = Vec::new();
+    // One independent replica per hosted partition; `None` for partitions
+    // this node plays no role in.
+    let mut partitions: Vec<Option<PartitionSlot<P>>> = map
+        .partitions()
+        .map(|p| {
+            map.role_on(p, node).map(|role| PartitionSlot {
+                role,
+                replica: Replica::new(&**protocol, role),
+                log: Vec::new(),
+                issued: 0,
+            })
+        })
+        .collect();
     let mut seq: u64 = 0;
     let (mut issued, mut sent, mut received) = (0u64, 0u64, 0u64);
 
     while let Ok(msg) = core_rx.recv() {
         match msg {
             CoreMsg::Write {
+                partition,
                 register,
                 value,
                 reply,
-            } => match replica.write(&**protocol, register, value) {
-                Ok(clock) => {
-                    seq += 1;
-                    let wire_id = ((id.index() as u64) << 40) | seq;
-                    log.push(TraceEvent::Issue {
-                        replica: id,
-                        register,
-                        update: wire_id,
-                    });
-                    issued += 1;
-                    let update = Update {
-                        id: UpdateId(wire_id),
-                        issuer: id,
-                        register,
-                        value,
-                        clock,
-                        issued_at: VirtualTime::ZERO,
-                        received_at: VirtualTime::ZERO,
-                    };
-                    for k in protocol.recipients(id, register) {
-                        if let Some(tx) = &peer_txs[k.index()] {
-                            if tx.send(update.clone()).is_ok() {
-                                sent += 1;
+            } => {
+                let Some(slot) = partitions
+                    .get_mut(partition.index())
+                    .and_then(Option::as_mut)
+                else {
+                    let _ = reply.send(false);
+                    continue;
+                };
+                match slot.replica.write(&**protocol, register, value) {
+                    Ok(clock) => {
+                        seq += 1;
+                        let wire_id = ((node as u64) << 40) | seq;
+                        slot.log.push(TraceEvent::Issue {
+                            replica: slot.role,
+                            register,
+                            update: wire_id,
+                        });
+                        slot.issued += 1;
+                        issued += 1;
+                        let update = Update {
+                            id: UpdateId(wire_id),
+                            issuer: slot.role,
+                            register,
+                            value,
+                            clock,
+                            issued_at: VirtualTime::ZERO,
+                            received_at: VirtualTime::ZERO,
+                        };
+                        for role in protocol.recipients(slot.role, register) {
+                            let peer = map.node_of(partition, role);
+                            if let Some(tx) = &peer_txs[peer] {
+                                if tx.send((partition, update.clone())).is_ok() {
+                                    sent += 1;
+                                }
                             }
                         }
+                        let _ = reply.send(true);
                     }
-                    let _ = reply.send(true);
+                    Err(_) => {
+                        let _ = reply.send(false);
+                    }
                 }
-                Err(_) => {
-                    let _ = reply.send(false);
-                }
-            },
-            CoreMsg::Read { register, reply } => {
-                let answer = match replica.read(&**protocol, register) {
-                    Ok(value) => (true, value),
-                    Err(_) => (false, None),
+            }
+            CoreMsg::Read {
+                partition,
+                register,
+                reply,
+            } => {
+                let answer = match partitions
+                    .get(partition.index())
+                    .and_then(Option::as_ref)
+                    .map(|slot| slot.replica.read(&**protocol, register))
+                {
+                    Some(Ok(value)) => (true, value),
+                    Some(Err(_)) | None => (false, None),
                 };
                 let _ = reply.send(answer);
             }
-            CoreMsg::Updates(updates) => {
+            CoreMsg::Updates(partition, updates) => {
+                let Some(slot) = partitions
+                    .get_mut(partition.index())
+                    .and_then(Option::as_mut)
+                else {
+                    // Misrouted frame: the reader already validated the
+                    // partition range, so this is a hosting mismatch.
+                    eprintln!("prcc-service[{node}]: dropped updates for unhosted {partition}");
+                    continue;
+                };
                 for update in updates {
                     received += 1;
-                    replica.receive(update, VirtualTime::ZERO);
+                    slot.replica.receive(update, VirtualTime::ZERO);
                 }
-                for done in replica.drain(&**protocol) {
-                    if protocol.stores_value(id, done.register) {
-                        log.push(TraceEvent::Apply {
-                            replica: id,
+                for done in slot.replica.drain(&**protocol) {
+                    if protocol.stores_value(slot.role, done.register) {
+                        slot.log.push(TraceEvent::Apply {
+                            replica: slot.role,
                             update: done.id.0,
                         });
                     }
                 }
             }
             CoreMsg::Status(reply) => {
+                let per_partition = partitions
+                    .iter()
+                    .map(|slot| match slot {
+                        Some(slot) => PartitionCounters {
+                            issued: slot.issued,
+                            applies: slot.replica.applies(),
+                            pending: slot.replica.pending_len() as u64,
+                        },
+                        None => PartitionCounters::default(),
+                    })
+                    .collect();
                 let _ = reply.send(NodeStatus {
-                    node: id.index() as u64,
+                    node: node as u64,
                     issued,
                     messages_sent: sent,
                     messages_received: received,
-                    applies: replica.applies(),
-                    pending: replica.pending_len() as u64,
-                    duplicates_dropped: replica.dropped_duplicates(),
+                    applies: partitions
+                        .iter()
+                        .flatten()
+                        .map(|s| s.replica.applies())
+                        .sum(),
+                    pending: partitions
+                        .iter()
+                        .flatten()
+                        .map(|s| s.replica.pending_len() as u64)
+                        .sum(),
+                    duplicates_dropped: partitions
+                        .iter()
+                        .flatten()
+                        .map(|s| s.replica.dropped_duplicates())
+                        .sum(),
                     // Socket byte counters are filled in by the handler.
                     bytes_out: 0,
                     bytes_in: 0,
                     batches_sent: 0,
+                    per_partition,
                 });
             }
             CoreMsg::Trace(reply) => {
-                let _ = reply.send(log.clone());
+                let logs = partitions
+                    .iter()
+                    .map(|slot| slot.as_ref().map(|s| s.log.clone()).unwrap_or_default())
+                    .collect();
+                let _ = reply.send(logs);
             }
             CoreMsg::Shutdown => break,
         }
@@ -327,7 +438,7 @@ fn core_loop<P>(
 fn peer_sender<C: WireClock>(
     addr: SocketAddr,
     hello: PeerHello,
-    rx: mpsc::Receiver<Update<C>>,
+    rx: mpsc::Receiver<(PartitionId, Update<C>)>,
     cfg: &ServiceConfig,
     counters: &SocketCounters,
 ) {
@@ -359,7 +470,10 @@ fn peer_sender<C: WireClock>(
     }
 
     // Batching loop: block for the first update, then coalesce until the
-    // batch fills or the flush interval elapses.
+    // batch fills or the flush interval elapses, then fan the batch out as
+    // one partition-tagged frame per partition present (per-partition order
+    // preserved; cross-partition order is irrelevant — partitions are
+    // causally independent).
     while let Ok(first) = rx.recv() {
         let mut batch = vec![first];
         let deadline = Instant::now() + cfg.flush_interval;
@@ -373,15 +487,24 @@ fn peer_sender<C: WireClock>(
                 Err(_) => break,
             }
         }
-        match send(&mut stream, &encode_batch(&batch, cfg.pad_bytes)) {
-            Ok(n) => {
-                counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
-                counters.batches_sent.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(e) => {
-                eprintln!("prcc-service[{}]: send to {addr}: {e}", hello.node);
-                while rx.recv().is_ok() {}
-                return;
+        let mut by_partition: BTreeMap<PartitionId, Vec<Update<C>>> = BTreeMap::new();
+        for (partition, update) in batch {
+            by_partition.entry(partition).or_default().push(update);
+        }
+        for (partition, updates) in &by_partition {
+            match send(
+                &mut stream,
+                &encode_batch(*partition, updates, cfg.pad_bytes),
+            ) {
+                Ok(n) => {
+                    counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                    counters.batches_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    eprintln!("prcc-service[{}]: send to {addr}: {e}", hello.node);
+                    while rx.recv().is_ok() {}
+                    return;
+                }
             }
         }
     }
@@ -390,7 +513,8 @@ fn peer_sender<C: WireClock>(
 fn peer_reader<P>(
     mut stream: TcpStream,
     protocol: &Arc<P>,
-    graph: &ShareGraph,
+    map: &PartitionMap,
+    node: usize,
     core_tx: &mpsc::Sender<CoreMsg<P::Clock>>,
     counters: &SocketCounters,
 ) -> io::Result<()>
@@ -406,19 +530,33 @@ where
         .bytes_in
         .fetch_add(hello_frame.len() as u64 + 4, Ordering::Relaxed);
     let hello = decode_peer_hello(&hello_frame)?;
-    if &hello.graph != graph {
+    if &hello.map != map {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("peer {} runs a different topology", hello.node),
+            format!("peer {} runs a different partition map", hello.node),
         ));
     }
-    let n = graph.num_replicas();
+    let roles = map.graph().num_replicas();
     while let Some(payload) = read_frame(&mut stream)? {
         counters
             .bytes_in
             .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
-        let updates = decode_batch(&payload, |k| (k.index() < n).then(|| protocol.new_clock(k)))?;
-        if core_tx.send(CoreMsg::Updates(updates)).is_err() {
+        let (partition, updates) = decode_batch(&payload, |k| {
+            (k.index() < roles).then(|| protocol.new_clock(k))
+        })?;
+        if partition.0 >= map.num_partitions() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("batch for out-of-range {partition}"),
+            ));
+        }
+        if map.role_on(partition, node).is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("peer {} misrouted {partition} updates here", hello.node),
+            ));
+        }
+        if core_tx.send(CoreMsg::Updates(partition, updates)).is_err() {
             break; // Core shut down.
         }
     }
@@ -427,6 +565,7 @@ where
 
 fn client_handler<C: WireClock>(
     mut stream: TcpStream,
+    map: &PartitionMap,
     core_tx: &mpsc::Sender<CoreMsg<C>>,
     stop: &Arc<AtomicBool>,
     counters: &SocketCounters,
@@ -436,11 +575,15 @@ fn client_handler<C: WireClock>(
     while let Some(payload) = read_frame(&mut stream)? {
         let response = match decode_request(&payload)? {
             ClientRequest::Write {
-                register, value, ..
+                partition,
+                register,
+                value,
+                ..
             } => {
                 let (reply, rx) = mpsc::channel();
                 let ok = core_tx
                     .send(CoreMsg::Write {
+                        partition,
                         register,
                         value,
                         reply,
@@ -449,9 +592,19 @@ fn client_handler<C: WireClock>(
                     && rx.recv().unwrap_or(false);
                 ClientResponse::WriteAck { ok }
             }
-            ClientRequest::Read { register } => {
+            ClientRequest::Read {
+                partition,
+                register,
+            } => {
                 let (reply, rx) = mpsc::channel();
-                let (ok, value) = if core_tx.send(CoreMsg::Read { register, reply }).is_ok() {
+                let (ok, value) = if core_tx
+                    .send(CoreMsg::Read {
+                        partition,
+                        register,
+                        reply,
+                    })
+                    .is_ok()
+                {
                     rx.recv().unwrap_or((false, None))
                 } else {
                     (false, None)
@@ -472,13 +625,17 @@ fn client_handler<C: WireClock>(
             }
             ClientRequest::Trace => {
                 let (reply, rx) = mpsc::channel();
-                let events = if core_tx.send(CoreMsg::Trace(reply)).is_ok() {
+                let logs = if core_tx.send(CoreMsg::Trace(reply)).is_ok() {
                     rx.recv().unwrap_or_default()
                 } else {
                     Vec::new()
                 };
-                ClientResponse::Trace(events)
+                ClientResponse::Trace(logs)
             }
+            ClientRequest::Config => ClientResponse::Config {
+                version: WIRE_VERSION,
+                map: map.clone(),
+            },
             ClientRequest::Shutdown => {
                 stop.store(true, Ordering::SeqCst);
                 // Ack *before* stopping the core: once the core exits, a

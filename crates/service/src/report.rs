@@ -2,40 +2,24 @@
 //!
 //! JSON is written by hand — the hermetic workspace has no serde_json — but
 //! the schema is stable and intended for cross-PR tracking in
-//! `BENCH_service.json`.
+//! `BENCH_service.json`. The percentile and verdict summaries are the
+//! shared structs of [`prcc_workloads::report`], so this schema cannot
+//! drift from the simulator's.
 
 use crate::wire::NodeStatus;
 use std::fmt::Write as _;
 
-/// Latency distribution in microseconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct LatencySummary {
-    /// Mean latency.
-    pub mean_us: f64,
-    /// Median.
-    pub p50_us: u64,
-    /// 99th percentile.
-    pub p99_us: u64,
-    /// Worst observed.
-    pub max_us: u64,
-}
+pub use prcc_workloads::{LatencySummary, VerdictSummary};
 
-impl LatencySummary {
-    /// Summarizes a set of per-op latencies (sorted in place).
-    pub fn from_latencies(latencies: &mut [u64]) -> Self {
-        if latencies.is_empty() {
-            return LatencySummary::default();
-        }
-        latencies.sort_unstable();
-        let total: u64 = latencies.iter().sum();
-        let at = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
-        LatencySummary {
-            mean_us: total as f64 / latencies.len() as f64,
-            p50_us: at(0.50),
-            p99_us: at(0.99),
-            max_us: *latencies.last().expect("non-empty"),
-        }
-    }
+/// Per-partition slice of a load run, aggregated across nodes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionBench {
+    /// Updates issued into this partition.
+    pub issued: u64,
+    /// Remote updates applied in this partition across the cluster.
+    pub applies: u64,
+    /// Whether this partition's replay was causally consistent.
+    pub consistent: bool,
 }
 
 /// Everything `prcc-load` measures in one run.
@@ -43,8 +27,10 @@ impl LatencySummary {
 pub struct BenchReport {
     /// Topology family name.
     pub topology: String,
-    /// Cluster size.
+    /// Cluster size (physical nodes).
     pub nodes: usize,
+    /// Number of partitions sharding the register space.
+    pub partitions: usize,
     /// Ops issued (writes + reads).
     pub ops: usize,
     /// Reads among `ops`.
@@ -69,20 +55,20 @@ pub struct BenchReport {
     pub wire_bytes_per_update: f64,
     /// Update copies sent / received / applied across the cluster.
     pub messages_sent: u64,
-    /// Peer frames written (batches).
+    /// Peer frames written (single-partition batches).
     pub batches_sent: u64,
     /// Mean updates per batch.
     pub updates_per_batch: f64,
-    /// Whether the post-hoc oracle replay found the run causally consistent.
-    pub consistent: bool,
-    /// Safety violations found by replay.
-    pub safety_violations: usize,
-    /// Liveness violations found by replay (at quiescence: should be 0).
-    pub liveness_violations: usize,
+    /// The folded oracle outcome over all partitions.
+    pub verdict: VerdictSummary,
+    /// Per-partition load and verdict breakdown.
+    pub per_partition: Vec<PartitionBench>,
 }
 
 impl BenchReport {
-    /// Folds per-node statuses into the aggregate wire/message fields.
+    /// Folds per-node statuses into the aggregate wire/message fields and
+    /// the per-partition load counters (partition verdicts are set by the
+    /// caller from the per-partition replay).
     pub fn absorb_statuses(&mut self, statuses: &[NodeStatus]) {
         let issued: u64 = statuses.iter().map(|s| s.issued).sum();
         self.messages_sent = statuses.iter().map(|s| s.messages_sent).sum();
@@ -98,6 +84,18 @@ impl BenchReport {
         } else {
             self.messages_sent as f64 / self.batches_sent as f64
         };
+        if self.per_partition.len() < self.partitions {
+            self.per_partition
+                .resize(self.partitions, PartitionBench::default());
+        }
+        for status in statuses {
+            for (p, counters) in status.per_partition.iter().enumerate() {
+                if let Some(slot) = self.per_partition.get_mut(p) {
+                    slot.issued += counters.issued;
+                    slot.applies += counters.applies;
+                }
+            }
+        }
     }
 
     /// Renders the stable JSON document.
@@ -107,6 +105,7 @@ impl BenchReport {
         let _ = writeln!(out, "  \"benchmark\": \"prcc-load\",");
         let _ = writeln!(out, "  \"topology\": \"{}\",", self.topology);
         let _ = writeln!(out, "  \"nodes\": {},", self.nodes);
+        let _ = writeln!(out, "  \"partitions\": {},", self.partitions);
         let _ = writeln!(out, "  \"ops\": {},", self.ops);
         let _ = writeln!(out, "  \"reads\": {},", self.reads);
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
@@ -141,13 +140,34 @@ impl BenchReport {
             "  \"updates_per_batch\": {:.2},",
             self.updates_per_batch
         );
-        let _ = writeln!(out, "  \"consistent\": {},", self.consistent);
-        let _ = writeln!(out, "  \"safety_violations\": {},", self.safety_violations);
+        let _ = writeln!(out, "  \"consistent\": {},", self.verdict.consistent);
         let _ = writeln!(
             out,
-            "  \"liveness_violations\": {}",
-            self.liveness_violations
+            "  \"safety_violations\": {},",
+            self.verdict.safety_violations
         );
+        let _ = writeln!(
+            out,
+            "  \"liveness_violations\": {},",
+            self.verdict.liveness_violations
+        );
+        let _ = writeln!(out, "  \"per_partition\": [");
+        for (p, part) in self.per_partition.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"partition\": {p}, \"issued\": {}, \"applies\": {}, \
+                 \"consistent\": {}}}{}",
+                part.issued,
+                part.applies,
+                part.consistent,
+                if p + 1 < self.per_partition.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        let _ = writeln!(out, "  ]");
         let _ = writeln!(out, "}}");
         out
     }
@@ -156,26 +176,14 @@ impl BenchReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn latency_summary_percentiles() {
-        let mut latencies: Vec<u64> = (1..=100).collect();
-        let summary = LatencySummary::from_latencies(&mut latencies);
-        assert_eq!(summary.p50_us, 50);
-        assert_eq!(summary.p99_us, 99);
-        assert_eq!(summary.max_us, 100);
-        assert!((summary.mean_us - 50.5).abs() < 1e-9);
-        assert_eq!(
-            LatencySummary::from_latencies(&mut []),
-            LatencySummary::default()
-        );
-    }
+    use crate::wire::PartitionCounters;
 
     #[test]
     fn json_is_well_formed_enough() {
         let mut report = BenchReport {
             topology: "ring".into(),
             nodes: 4,
+            partitions: 2,
             ops: 100,
             reads: 10,
             seed: 1,
@@ -190,9 +198,12 @@ mod tests {
             messages_sent: 0,
             batches_sent: 0,
             updates_per_batch: 0.0,
-            consistent: true,
-            safety_violations: 0,
-            liveness_violations: 0,
+            verdict: VerdictSummary {
+                consistent: true,
+                safety_violations: 0,
+                liveness_violations: 0,
+            },
+            per_partition: Vec::new(),
         };
         report.absorb_statuses(&[
             NodeStatus {
@@ -200,6 +211,18 @@ mod tests {
                 messages_sent: 100,
                 bytes_out: 5000,
                 batches_sent: 20,
+                per_partition: vec![
+                    PartitionCounters {
+                        issued: 30,
+                        applies: 60,
+                        pending: 0,
+                    },
+                    PartitionCounters {
+                        issued: 20,
+                        applies: 40,
+                        pending: 0,
+                    },
+                ],
                 ..NodeStatus::default()
             },
             NodeStatus {
@@ -207,17 +230,30 @@ mod tests {
                 messages_sent: 100,
                 bytes_out: 5000,
                 batches_sent: 30,
+                per_partition: vec![
+                    PartitionCounters {
+                        issued: 50,
+                        applies: 10,
+                        pending: 0,
+                    },
+                    PartitionCounters::default(),
+                ],
                 ..NodeStatus::default()
             },
         ]);
         assert_eq!(report.messages_sent, 200);
         assert!((report.wire_bytes_per_update - 100.0).abs() < 1e-9);
         assert!((report.updates_per_batch - 4.0).abs() < 1e-9);
+        assert_eq!(report.per_partition.len(), 2);
+        assert_eq!(report.per_partition[0].issued, 80);
+        assert_eq!(report.per_partition[1].applies, 40);
         let json = report.to_json();
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"hotspot\": 0.250,"));
         assert!(json.contains("\"consistent\": true,"));
+        assert!(json.contains("\"partitions\": 2,"));
+        assert!(json.contains("\"partition\": 1"));
     }
 }

@@ -1,4 +1,4 @@
-//! The length-prefixed wire protocol.
+//! The length-prefixed wire protocol (version 2, partition-aware).
 //!
 //! Every message is a *frame*: a little-endian `u32` payload length followed
 //! by the payload; the first payload byte is a message tag. Peer frames
@@ -6,18 +6,27 @@
 //! [`prcc_clock::wire::WireClock`] / [`Update::encode_wire`] codecs); client
 //! frames carry the read/write/ops API.
 //!
-//! Timestamps ship counters only. The index sets are static configuration:
-//! the peer handshake ([`PeerHello`]) carries the full share-graph
-//! assignments, and a node refuses peers whose topology differs from its
-//! own — a configuration mismatch would otherwise corrupt delivery
-//! predicates silently.
+//! Version 2 shards the register space: every peer batch and every client
+//! read/write is tagged with the [`prcc_graph::PartitionId`] it belongs to,
+//! and the peer handshake ([`PeerHello`]) opens with a protocol version
+//! followed by the full [`PartitionMap`] (hosting table + share-graph
+//! assignments). A node refuses peers that speak a different protocol
+//! version or run a different partition map — either mismatch would
+//! otherwise corrupt delivery predicates or routing silently.
+//!
+//! Timestamps ship counters only; index sets and the partition layout are
+//! static configuration carried once in the handshake.
 
 use prcc_checker::trace::TraceEvent;
 use prcc_clock::encoding::{read_varint, write_varint};
 use prcc_clock::WireClock;
 use prcc_core::Update;
-use prcc_graph::{RegisterId, ReplicaId, ShareGraph};
+use prcc_graph::{PartitionId, PartitionMap, RegisterId, ReplicaId, ShareGraph};
 use std::io::{self, Read, Write};
+
+/// The protocol version spoken by this build. Bumped to 2 when frames
+/// became partition-tagged; v1 peers are refused at the handshake.
+pub const WIRE_VERSION: u64 = 2;
 
 /// Upper bound on accepted frame payloads (default 64 MiB) — protects a
 /// node from a garbage length prefix allocating unbounded memory.
@@ -31,11 +40,13 @@ const TAG_READ: u8 = 17;
 const TAG_STATUS: u8 = 18;
 const TAG_TRACE: u8 = 19;
 const TAG_SHUTDOWN: u8 = 20;
+const TAG_CONFIG: u8 = 21;
 const TAG_WRITE_ACK: u8 = 32;
 const TAG_READ_RESP: u8 = 33;
 const TAG_STATUS_RESP: u8 = 34;
 const TAG_TRACE_RESP: u8 = 35;
 const TAG_BYE: u8 = 36;
+const TAG_CONFIG_RESP: u8 = 37;
 
 /// Writes one frame; returns the bytes put on the wire (payload + prefix).
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<usize> {
@@ -111,42 +122,88 @@ pub fn decode_share_graph(buf: &[u8], at: &mut usize) -> io::Result<ShareGraph> 
     ShareGraph::from_assignments(assignments).map_err(|e| bad_data(&format!("share graph: {e:?}")))
 }
 
-/// The peer handshake: who is connecting, under which topology.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PeerHello {
-    /// The dialing node.
-    pub node: ReplicaId,
-    /// The dialer's share-graph configuration (must match the acceptor's).
-    pub graph: ShareGraph,
+/// Serializes a partition map: the per-partition share graph, the node
+/// count, and the hosting table.
+pub fn encode_partition_map(map: &PartitionMap, out: &mut Vec<u8>) {
+    encode_share_graph(map.graph(), out);
+    write_varint(out, map.num_nodes() as u64);
+    write_varint(out, u64::from(map.num_partitions()));
+    for row in map.hosts() {
+        for &node in row {
+            write_varint(out, node as u64);
+        }
+    }
 }
 
-/// Encodes a [`PeerHello`] frame payload.
+/// Decodes a partition map encoded by [`encode_partition_map`], revalidating
+/// the hosting table.
+pub fn decode_partition_map(buf: &[u8], at: &mut usize) -> io::Result<PartitionMap> {
+    let graph = decode_share_graph(buf, at)?;
+    let nodes = get_varint(buf, at)? as usize;
+    let partitions = get_varint(buf, at)? as usize;
+    if partitions > 1 << 20 {
+        return Err(bad_data("absurd partition count"));
+    }
+    let roles = graph.num_replicas();
+    let mut hosts = Vec::with_capacity(partitions);
+    for _ in 0..partitions {
+        let mut row = Vec::with_capacity(roles);
+        for _ in 0..roles {
+            row.push(get_varint(buf, at)? as usize);
+        }
+        hosts.push(row);
+    }
+    PartitionMap::from_parts(graph, nodes, hosts)
+        .map_err(|e| bad_data(&format!("partition map: {e}")))
+}
+
+/// The peer handshake: protocol version, the dialing node, and the dialer's
+/// full partition map (which must match the acceptor's).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerHello {
+    /// The dialing node's index in the partition map.
+    pub node: usize,
+    /// The dialer's sharding configuration.
+    pub map: PartitionMap,
+}
+
+/// Encodes a [`PeerHello`] frame payload (always at [`WIRE_VERSION`]).
 pub fn encode_peer_hello(hello: &PeerHello) -> Vec<u8> {
     let mut out = vec![TAG_PEER_HELLO];
-    write_varint(&mut out, hello.node.index() as u64);
-    encode_share_graph(&hello.graph, &mut out);
+    write_varint(&mut out, WIRE_VERSION);
+    write_varint(&mut out, hello.node as u64);
+    encode_partition_map(&hello.map, &mut out);
     out
 }
 
-/// Decodes a [`PeerHello`] frame payload.
+/// Decodes a [`PeerHello`] frame payload, refusing other protocol versions.
 pub fn decode_peer_hello(payload: &[u8]) -> io::Result<PeerHello> {
     let mut at = 0;
     if payload.first() != Some(&TAG_PEER_HELLO) {
         return Err(bad_data("expected peer hello"));
     }
     at += 1;
+    let version = get_varint(payload, &mut at)?;
+    if version != WIRE_VERSION {
+        return Err(bad_data(&format!(
+            "wire protocol version mismatch: peer speaks v{version}, this node v{WIRE_VERSION}"
+        )));
+    }
     let node = get_varint(payload, &mut at)? as usize;
-    let graph = decode_share_graph(payload, &mut at)?;
-    Ok(PeerHello {
-        node: ReplicaId(node),
-        graph,
-    })
+    let map = decode_partition_map(payload, &mut at)?;
+    Ok(PeerHello { node, map })
 }
 
-/// Encodes a batch of updates into one peer frame payload. `pad` zero bytes
-/// ride along with each update, simulating larger application values.
-pub fn encode_batch<C: WireClock>(updates: &[Update<C>], pad: usize) -> Vec<u8> {
+/// Encodes a batch of updates of one partition into one peer frame payload.
+/// `pad` zero bytes ride along with each update, simulating larger
+/// application values.
+pub fn encode_batch<C: WireClock>(
+    partition: PartitionId,
+    updates: &[Update<C>],
+    pad: usize,
+) -> Vec<u8> {
     let mut out = vec![TAG_PEER_BATCH];
+    write_varint(&mut out, u64::from(partition.0));
     write_varint(&mut out, updates.len() as u64);
     for u in updates {
         u.encode_wire(&mut out);
@@ -156,9 +213,12 @@ pub fn encode_batch<C: WireClock>(updates: &[Update<C>], pad: usize) -> Vec<u8> 
     out
 }
 
-/// Decodes a peer batch; `make_clock` maps issuer ids to template clocks
-/// (see [`Update::decode_wire`]).
-pub fn decode_batch<C, F>(payload: &[u8], mut make_clock: F) -> io::Result<Vec<Update<C>>>
+/// Decodes a peer batch into its partition tag and updates; `make_clock`
+/// maps issuer roles to template clocks (see [`Update::decode_wire`]).
+pub fn decode_batch<C, F>(
+    payload: &[u8],
+    mut make_clock: F,
+) -> io::Result<(PartitionId, Vec<Update<C>>)>
 where
     C: WireClock,
     F: FnMut(ReplicaId) -> Option<C>,
@@ -168,6 +228,8 @@ where
         return Err(bad_data("expected update batch"));
     }
     at += 1;
+    let partition =
+        u32::try_from(get_varint(payload, &mut at)?).map_err(|_| bad_data("partition id"))?;
     let count = get_varint(payload, &mut at)? as usize;
     let mut updates = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
@@ -183,30 +245,37 @@ where
     if at != payload.len() {
         return Err(bad_data("trailing bytes in batch"));
     }
-    Ok(updates)
+    Ok((PartitionId(partition), updates))
 }
 
 /// A client-API request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientRequest {
-    /// `write(x, v)` with `pad` extra payload bytes on the wire.
+    /// `write(x, v)` in one partition, with `pad` extra payload bytes.
     Write {
-        /// Target register.
+        /// Target partition.
+        partition: PartitionId,
+        /// Target register within the partition.
         register: RegisterId,
         /// Value to write.
         value: u64,
         /// Simulated extra value bytes.
         pad: usize,
     },
-    /// `read(x)`.
+    /// `read(x)` in one partition.
     Read {
+        /// Target partition.
+        partition: PartitionId,
         /// Register to read.
         register: RegisterId,
     },
     /// Counters snapshot.
     Status,
-    /// The node's local event log.
+    /// The node's local event logs, grouped by partition.
     Trace,
+    /// The node's sharding configuration (version + partition map), for
+    /// clients that route by key.
+    Config,
     /// Graceful node shutdown.
     Shutdown,
 }
@@ -215,24 +284,31 @@ pub enum ClientRequest {
 pub fn encode_request(req: &ClientRequest) -> Vec<u8> {
     match req {
         ClientRequest::Write {
+            partition,
             register,
             value,
             pad,
         } => {
             let mut out = vec![TAG_WRITE];
+            write_varint(&mut out, u64::from(partition.0));
             write_varint(&mut out, u64::from(register.0));
             write_varint(&mut out, *value);
             write_varint(&mut out, *pad as u64);
             out.resize(out.len() + pad, 0);
             out
         }
-        ClientRequest::Read { register } => {
+        ClientRequest::Read {
+            partition,
+            register,
+        } => {
             let mut out = vec![TAG_READ];
+            write_varint(&mut out, u64::from(partition.0));
             write_varint(&mut out, u64::from(register.0));
             out
         }
         ClientRequest::Status => vec![TAG_STATUS],
         ClientRequest::Trace => vec![TAG_TRACE],
+        ClientRequest::Config => vec![TAG_CONFIG],
         ClientRequest::Shutdown => vec![TAG_SHUTDOWN],
     }
 }
@@ -242,6 +318,8 @@ pub fn decode_request(payload: &[u8]) -> io::Result<ClientRequest> {
     let mut at = 1;
     match payload.first() {
         Some(&TAG_WRITE) => {
+            let partition = u32::try_from(get_varint(payload, &mut at)?)
+                .map_err(|_| bad_data("partition id"))?;
             let register = u32::try_from(get_varint(payload, &mut at)?)
                 .map_err(|_| bad_data("register id"))?;
             let value = get_varint(payload, &mut at)?;
@@ -250,37 +328,53 @@ pub fn decode_request(payload: &[u8]) -> io::Result<ClientRequest> {
                 return Err(bad_data("truncated write pad"));
             }
             Ok(ClientRequest::Write {
+                partition: PartitionId(partition),
                 register: RegisterId(register),
                 value,
                 pad,
             })
         }
         Some(&TAG_READ) => {
+            let partition = u32::try_from(get_varint(payload, &mut at)?)
+                .map_err(|_| bad_data("partition id"))?;
             let register = u32::try_from(get_varint(payload, &mut at)?)
                 .map_err(|_| bad_data("register id"))?;
             Ok(ClientRequest::Read {
+                partition: PartitionId(partition),
                 register: RegisterId(register),
             })
         }
         Some(&TAG_STATUS) => Ok(ClientRequest::Status),
         Some(&TAG_TRACE) => Ok(ClientRequest::Trace),
+        Some(&TAG_CONFIG) => Ok(ClientRequest::Config),
         Some(&TAG_SHUTDOWN) => Ok(ClientRequest::Shutdown),
         _ => Err(bad_data("unknown client request")),
     }
 }
 
-/// A node's counter snapshot, returned by [`ClientRequest::Status`].
+/// Per-partition slice of a node's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionCounters {
+    /// Updates issued by clients into this partition at this node.
+    pub issued: u64,
+    /// Remote updates applied in this partition at this node.
+    pub applies: u64,
+    /// Updates buffered in this partition's pending set.
+    pub pending: u64,
+}
+
+/// A node's counter snapshot, returned by [`ClientRequest::Status`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NodeStatus {
     /// The reporting node.
     pub node: u64,
-    /// Updates issued by clients of this node.
+    /// Updates issued by clients of this node (all partitions).
     pub issued: u64,
     /// Update copies handed to peer senders.
     pub messages_sent: u64,
     /// Update copies decoded from peers.
     pub messages_received: u64,
-    /// Remote updates applied.
+    /// Remote updates applied (all partitions).
     pub applies: u64,
     /// Updates currently buffered (predicate `J` not yet satisfied).
     pub pending: u64,
@@ -290,8 +384,10 @@ pub struct NodeStatus {
     pub bytes_out: u64,
     /// Bytes read from peer sockets (frames included).
     pub bytes_in: u64,
-    /// Peer frames written (each one batch).
+    /// Peer frames written (each one single-partition batch).
     pub batches_sent: u64,
+    /// Counters broken out per partition, indexed by partition id.
+    pub per_partition: Vec<PartitionCounters>,
 }
 
 impl NodeStatus {
@@ -322,6 +418,7 @@ impl NodeStatus {
             bytes_out: f[7],
             bytes_in: f[8],
             batches_sent: f[9],
+            per_partition: Vec::new(),
         }
     }
 }
@@ -329,22 +426,30 @@ impl NodeStatus {
 /// A client-API response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientResponse {
-    /// Result of a write (`false`: the node does not store the register).
+    /// Result of a write (`false`: the node does not host the register in
+    /// that partition).
     WriteAck {
         /// Whether the write was accepted.
         ok: bool,
     },
-    /// Result of a read (`ok = false`: not stored here).
+    /// Result of a read (`ok = false`: not hosted here).
     ReadResp {
-        /// Whether the node stores the register.
+        /// Whether the node hosts the register in that partition.
         ok: bool,
         /// The value, if any write has reached this node.
         value: Option<u64>,
     },
     /// Counter snapshot.
     Status(NodeStatus),
-    /// The node's local event log.
-    Trace(Vec<TraceEvent>),
+    /// The node's local event logs, indexed by partition id.
+    Trace(Vec<Vec<TraceEvent>>),
+    /// The node's sharding configuration.
+    Config {
+        /// Wire protocol version the node speaks.
+        version: u64,
+        /// The partition map the node is deployed under.
+        map: PartitionMap,
+    },
     /// Shutdown acknowledged.
     Bye,
 }
@@ -363,30 +468,45 @@ pub fn encode_response(resp: &ClientResponse) -> Vec<u8> {
             for v in status.fields() {
                 write_varint(&mut out, v);
             }
+            write_varint(&mut out, status.per_partition.len() as u64);
+            for pc in &status.per_partition {
+                write_varint(&mut out, pc.issued);
+                write_varint(&mut out, pc.applies);
+                write_varint(&mut out, pc.pending);
+            }
             out
         }
-        ClientResponse::Trace(events) => {
+        ClientResponse::Trace(partitions) => {
             let mut out = vec![TAG_TRACE_RESP];
-            write_varint(&mut out, events.len() as u64);
-            for event in events {
-                match *event {
-                    TraceEvent::Issue {
-                        replica,
-                        register,
-                        update,
-                    } => {
-                        out.push(0);
-                        write_varint(&mut out, replica.index() as u64);
-                        write_varint(&mut out, u64::from(register.0));
-                        write_varint(&mut out, update);
-                    }
-                    TraceEvent::Apply { replica, update } => {
-                        out.push(1);
-                        write_varint(&mut out, replica.index() as u64);
-                        write_varint(&mut out, update);
+            write_varint(&mut out, partitions.len() as u64);
+            for events in partitions {
+                write_varint(&mut out, events.len() as u64);
+                for event in events {
+                    match *event {
+                        TraceEvent::Issue {
+                            replica,
+                            register,
+                            update,
+                        } => {
+                            out.push(0);
+                            write_varint(&mut out, replica.index() as u64);
+                            write_varint(&mut out, u64::from(register.0));
+                            write_varint(&mut out, update);
+                        }
+                        TraceEvent::Apply { replica, update } => {
+                            out.push(1);
+                            write_varint(&mut out, replica.index() as u64);
+                            write_varint(&mut out, update);
+                        }
                     }
                 }
             }
+            out
+        }
+        ClientResponse::Config { version, map } => {
+            let mut out = vec![TAG_CONFIG_RESP];
+            write_varint(&mut out, *version);
+            encode_partition_map(map, &mut out);
             out
         }
         ClientResponse::Bye => vec![TAG_BYE],
@@ -415,35 +535,55 @@ pub fn decode_response(payload: &[u8]) -> io::Result<ClientResponse> {
             for f in &mut fields {
                 *f = get_varint(payload, &mut at)?;
             }
-            Ok(ClientResponse::Status(NodeStatus::from_fields(fields)))
+            let mut status = NodeStatus::from_fields(fields);
+            let parts = get_varint(payload, &mut at)? as usize;
+            status.per_partition = Vec::with_capacity(parts.min(1 << 20));
+            for _ in 0..parts {
+                status.per_partition.push(PartitionCounters {
+                    issued: get_varint(payload, &mut at)?,
+                    applies: get_varint(payload, &mut at)?,
+                    pending: get_varint(payload, &mut at)?,
+                });
+            }
+            Ok(ClientResponse::Status(status))
         }
         Some(&TAG_TRACE_RESP) => {
-            let count = get_varint(payload, &mut at)? as usize;
-            let mut events = Vec::with_capacity(count.min(1 << 20));
-            for _ in 0..count {
-                let kind = *payload.get(at).ok_or_else(|| bad_data("event kind"))?;
-                at += 1;
-                let replica = ReplicaId(get_varint(payload, &mut at)? as usize);
-                let event = match kind {
-                    0 => {
-                        let register = u32::try_from(get_varint(payload, &mut at)?)
-                            .map_err(|_| bad_data("register id"))?;
-                        let update = get_varint(payload, &mut at)?;
-                        TraceEvent::Issue {
-                            replica,
-                            register: RegisterId(register),
-                            update,
+            let parts = get_varint(payload, &mut at)? as usize;
+            let mut partitions = Vec::with_capacity(parts.min(1 << 20));
+            for _ in 0..parts {
+                let count = get_varint(payload, &mut at)? as usize;
+                let mut events = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    let kind = *payload.get(at).ok_or_else(|| bad_data("event kind"))?;
+                    at += 1;
+                    let replica = ReplicaId(get_varint(payload, &mut at)? as usize);
+                    let event = match kind {
+                        0 => {
+                            let register = u32::try_from(get_varint(payload, &mut at)?)
+                                .map_err(|_| bad_data("register id"))?;
+                            let update = get_varint(payload, &mut at)?;
+                            TraceEvent::Issue {
+                                replica,
+                                register: RegisterId(register),
+                                update,
+                            }
                         }
-                    }
-                    1 => TraceEvent::Apply {
-                        replica,
-                        update: get_varint(payload, &mut at)?,
-                    },
-                    _ => return Err(bad_data("unknown event kind")),
-                };
-                events.push(event);
+                        1 => TraceEvent::Apply {
+                            replica,
+                            update: get_varint(payload, &mut at)?,
+                        },
+                        _ => return Err(bad_data("unknown event kind")),
+                    };
+                    events.push(event);
+                }
+                partitions.push(events);
             }
-            Ok(ClientResponse::Trace(events))
+            Ok(ClientResponse::Trace(partitions))
+        }
+        Some(&TAG_CONFIG_RESP) => {
+            let version = get_varint(payload, &mut at)?;
+            let map = decode_partition_map(payload, &mut at)?;
+            Ok(ClientResponse::Config { version, map })
         }
         Some(&TAG_BYE) => Ok(ClientResponse::Bye),
         _ => Err(bad_data("unknown client response")),
@@ -493,13 +633,47 @@ mod tests {
     }
 
     #[test]
+    fn partition_map_round_trip() {
+        for map in [
+            PartitionMap::single(topologies::ring(4)),
+            PartitionMap::rotated(topologies::ring(4), 8, 4).unwrap(),
+            PartitionMap::rotated(topologies::line(3), 5, 7).unwrap(),
+        ] {
+            let mut out = Vec::new();
+            encode_partition_map(&map, &mut out);
+            let mut at = 0;
+            let back = decode_partition_map(&out, &mut at).unwrap();
+            assert_eq!(at, out.len());
+            assert_eq!(back, map);
+        }
+    }
+
+    #[test]
     fn hello_round_trip() {
         let hello = PeerHello {
-            node: ReplicaId(3),
-            graph: topologies::ring(4),
+            node: 3,
+            map: PartitionMap::rotated(topologies::ring(4), 6, 4).unwrap(),
         };
         let back = decode_peer_hello(&encode_peer_hello(&hello)).unwrap();
         assert_eq!(back, hello);
+    }
+
+    #[test]
+    fn wrong_version_hello_refused() {
+        let hello = PeerHello {
+            node: 0,
+            map: PartitionMap::single(topologies::ring(4)),
+        };
+        let mut payload = encode_peer_hello(&hello);
+        // The version varint sits right after the tag; WIRE_VERSION = 2 is
+        // one byte, so patch it to a v1 hello.
+        assert_eq!(payload[1], WIRE_VERSION as u8);
+        payload[1] = 1;
+        let err = decode_peer_hello(&payload).unwrap_err();
+        assert!(
+            err.to_string().contains("version mismatch"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]
@@ -522,8 +696,9 @@ mod tests {
             });
         }
         for pad in [0usize, 128] {
-            let payload = encode_batch(&updates, pad);
-            let back = decode_batch(&payload, |i| Some(p.new_clock(i))).unwrap();
+            let payload = encode_batch(PartitionId(5), &updates, pad);
+            let (part, back) = decode_batch(&payload, |i| Some(p.new_clock(i))).unwrap();
+            assert_eq!(part, PartitionId(5));
             assert_eq!(back.len(), 3);
             for (a, b) in back.iter().zip(&updates) {
                 assert_eq!(a.id, b.id);
@@ -540,15 +715,18 @@ mod tests {
     fn request_and_response_round_trips() {
         let requests = [
             ClientRequest::Write {
+                partition: PartitionId(3),
                 register: RegisterId(7),
                 value: 99,
                 pad: 32,
             },
             ClientRequest::Read {
+                partition: PartitionId(0),
                 register: RegisterId(0),
             },
             ClientRequest::Status,
             ClientRequest::Trace,
+            ClientRequest::Config,
             ClientRequest::Shutdown,
         ];
         for req in &requests {
@@ -575,18 +753,41 @@ mod tests {
                 bytes_out: 4096,
                 bytes_in: 4000,
                 batches_sent: 7,
+                per_partition: vec![
+                    PartitionCounters {
+                        issued: 6,
+                        applies: 12,
+                        pending: 1,
+                    },
+                    PartitionCounters {
+                        issued: 4,
+                        applies: 6,
+                        pending: 0,
+                    },
+                ],
             }),
             ClientResponse::Trace(vec![
-                TraceEvent::Issue {
-                    replica: ReplicaId(1),
-                    register: RegisterId(4),
-                    update: 55,
-                },
-                TraceEvent::Apply {
-                    replica: ReplicaId(1),
-                    update: 54,
-                },
+                vec![
+                    TraceEvent::Issue {
+                        replica: ReplicaId(1),
+                        register: RegisterId(4),
+                        update: 55,
+                    },
+                    TraceEvent::Apply {
+                        replica: ReplicaId(1),
+                        update: 54,
+                    },
+                ],
+                vec![],
+                vec![TraceEvent::Apply {
+                    replica: ReplicaId(0),
+                    update: 99,
+                }],
             ]),
+            ClientResponse::Config {
+                version: WIRE_VERSION,
+                map: PartitionMap::rotated(topologies::ring(3), 4, 3).unwrap(),
+            },
             ClientResponse::Bye,
         ];
         for resp in &responses {
@@ -603,11 +804,18 @@ mod tests {
                 ok: true,
                 value: Some(17),
             },
-            ClientResponse::Status(NodeStatus::default()),
-            ClientResponse::Trace(vec![TraceEvent::Apply {
+            ClientResponse::Status(NodeStatus {
+                per_partition: vec![PartitionCounters::default(); 2],
+                ..NodeStatus::default()
+            }),
+            ClientResponse::Trace(vec![vec![TraceEvent::Apply {
                 replica: ReplicaId(1),
                 update: 54,
-            }]),
+            }]]),
+            ClientResponse::Config {
+                version: WIRE_VERSION,
+                map: PartitionMap::single(topologies::line(2)),
+            },
         ];
         for resp in &responses {
             let payload = encode_response(resp);

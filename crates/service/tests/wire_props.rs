@@ -1,14 +1,15 @@
-//! Property tests: the wire protocol round-trips clocks, updates and
-//! topology configurations over random share graphs.
+//! Property tests: the wire protocol round-trips clocks, updates, topology
+//! and sharding configurations over random share graphs, and preserves
+//! partition tags on every frame.
 
 use prcc_checker::UpdateId;
 use prcc_clock::{CompressedProtocol, EdgeProtocol, Protocol, VectorProtocol, WireClock};
 use prcc_core::Update;
-use prcc_graph::{topologies, RegisterId, ReplicaId, ShareGraph};
+use prcc_graph::{topologies, PartitionId, PartitionMap, RegisterId, ReplicaId, ShareGraph};
 use prcc_net::VirtualTime;
 use prcc_service::wire::{
-    decode_batch, decode_peer_hello, decode_share_graph, encode_batch, encode_peer_hello,
-    encode_share_graph, PeerHello,
+    decode_batch, decode_partition_map, decode_peer_hello, decode_share_graph, encode_batch,
+    encode_partition_map, encode_peer_hello, encode_share_graph, PeerHello,
 };
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -18,6 +19,13 @@ fn arb_share_graph() -> impl Strategy<Value = ShareGraph> {
     (2usize..7, 1usize..8, 2usize..4, 0u64..1000).prop_map(|(n, regs, holders, seed)| {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         topologies::random_connected(n, regs, holders, &mut rng)
+    })
+}
+
+fn arb_partition_map() -> impl Strategy<Value = PartitionMap> {
+    (arb_share_graph(), 1u32..9, 0usize..4).prop_map(|(g, partitions, extra_nodes)| {
+        let nodes = g.num_replicas() + extra_nodes;
+        PartitionMap::rotated(g, partitions, nodes).expect("valid rotation")
     })
 }
 
@@ -38,8 +46,13 @@ fn churn_clock<P: Protocol>(p: &P, i: ReplicaId, advances: usize, seed: u64) -> 
     clock
 }
 
-fn batch_round_trip<P: Protocol>(p: &P, g: &ShareGraph, seed: u64, pad: usize)
-where
+fn batch_round_trip<P: Protocol>(
+    p: &P,
+    g: &ShareGraph,
+    partition: PartitionId,
+    seed: u64,
+    pad: usize,
+) where
     P::Clock: WireClock,
 {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -60,11 +73,12 @@ where
             received_at: VirtualTime::ZERO,
         });
     }
-    let payload = encode_batch(&updates, pad);
-    let decoded = decode_batch(&payload, |i| {
+    let payload = encode_batch(partition, &updates, pad);
+    let (tag, decoded) = decode_batch(&payload, |i| {
         (i.index() < g.num_replicas()).then(|| p.new_clock(i))
     })
     .expect("well-formed batch");
+    assert_eq!(tag, partition, "partition tag must survive the wire");
     assert_eq!(decoded.len(), updates.len());
     for (a, b) in decoded.iter().zip(&updates) {
         assert_eq!(
@@ -89,27 +103,41 @@ proptest! {
         prop_assert_eq!(back, g);
     }
 
-    /// Peer handshakes round-trip for every node of a random graph.
+    /// Partition maps — graph, node count and hosting table — survive the
+    /// wire byte-exactly, including maps with idle nodes.
     #[test]
-    fn peer_hello_round_trips(g in arb_share_graph()) {
-        for node in g.replicas() {
-            let hello = PeerHello { node, graph: g.clone() };
+    fn partition_map_round_trips(map in arb_partition_map()) {
+        let mut buf = Vec::new();
+        encode_partition_map(&map, &mut buf);
+        let mut at = 0;
+        let back = decode_partition_map(&buf, &mut at).expect("decode");
+        prop_assert_eq!(at, buf.len());
+        prop_assert_eq!(back, map);
+    }
+
+    /// Peer handshakes round-trip for every node of a random sharding.
+    #[test]
+    fn peer_hello_round_trips(map in arb_partition_map()) {
+        for node in 0..map.num_nodes() {
+            let hello = PeerHello { node, map: map.clone() };
             let back = decode_peer_hello(&encode_peer_hello(&hello)).expect("decode");
             prop_assert_eq!(back, hello);
         }
     }
 
-    /// Update batches round-trip for all three clock representations, with
-    /// and without value padding.
+    /// Update batches round-trip for all three clock representations and
+    /// any partition tag, with and without value padding.
     #[test]
     fn batches_round_trip_all_protocols(
         g in arb_share_graph(),
+        partition in 0u32..1000,
         seed in 0u64..500,
         pad in 0usize..96,
     ) {
-        batch_round_trip(&EdgeProtocol::new(g.clone()), &g, seed, pad);
-        batch_round_trip(&CompressedProtocol::new(g.clone()), &g, seed, pad);
-        batch_round_trip(&VectorProtocol::new(g.clone()), &g, seed, pad);
+        let partition = PartitionId(partition);
+        batch_round_trip(&EdgeProtocol::new(g.clone()), &g, partition, seed, pad);
+        batch_round_trip(&CompressedProtocol::new(g.clone()), &g, partition, seed, pad);
+        batch_round_trip(&VectorProtocol::new(g.clone()), &g, partition, seed, pad);
     }
 
     /// Truncating an encoded batch anywhere never yields a successful parse
@@ -131,12 +159,29 @@ proptest! {
                 received_at: VirtualTime::ZERO,
             });
         }
-        let payload = encode_batch(&updates, 8);
+        let payload = encode_batch(PartitionId(3), &updates, 8);
         for cut in 1..payload.len() {
             prop_assert!(
                 decode_batch::<_, _>(&payload[..cut], |i| Some(p.new_clock(i))).is_err(),
                 "truncation at {} parsed", cut
             );
         }
+    }
+
+    /// A hello whose version varint is patched to any other value is
+    /// refused with a version-mismatch error — the refusal behavior
+    /// misconfigured deployments rely on.
+    #[test]
+    fn foreign_version_hellos_refused(map in arb_partition_map(), version in 0u8..64) {
+        prop_assume!(u64::from(version) != prcc_service::WIRE_VERSION);
+        let mut payload = encode_peer_hello(&PeerHello { node: 0, map });
+        // WIRE_VERSION < 128 encodes as one varint byte right after the tag,
+        // and so does any `version in 0..64`.
+        payload[1] = version;
+        let err = decode_peer_hello(&payload).unwrap_err();
+        prop_assert!(
+            err.to_string().contains("version mismatch"),
+            "unexpected refusal: {}", err
+        );
     }
 }

@@ -14,5 +14,5 @@ pub mod ops;
 mod report;
 mod runner;
 
-pub use report::RunReport;
-pub use runner::{run_workload, violation_rate, WorkloadConfig};
+pub use report::{LatencySummary, RunReport, VerdictSummary};
+pub use runner::{run_partitioned_workload, run_workload, violation_rate, WorkloadConfig};

@@ -1,7 +1,67 @@
-//! Run reports.
+//! Run reports, and the measurement summaries shared by every harness.
+//!
+//! This is the one home for the small summary structs that both the
+//! discrete-event simulator ([`RunReport`]) and the networked load driver
+//! (`prcc_service::BenchReport`) embed: [`LatencySummary`] for percentile
+//! distributions and [`VerdictSummary`] for oracle outcomes. Keeping them
+//! here means the two report schemas cannot drift apart.
 
+use prcc_checker::Verdict;
 use prcc_core::ClusterStats;
 use serde::{Deserialize, Serialize};
+
+/// Latency distribution in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of per-op latencies (sorted in place).
+    pub fn from_latencies(latencies: &mut [u64]) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        latencies.sort_unstable();
+        let total: u64 = latencies.iter().sum();
+        let at = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+        LatencySummary {
+            mean_us: total as f64 / latencies.len() as f64,
+            p50_us: at(0.50),
+            p99_us: at(0.99),
+            max_us: *latencies.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Outcome of an oracle check, reduced to what reports track.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictSummary {
+    /// Whether the run was causally consistent.
+    pub consistent: bool,
+    /// Number of safety violations observed.
+    pub safety_violations: usize,
+    /// Number of liveness violations at quiescence.
+    pub liveness_violations: usize,
+}
+
+impl VerdictSummary {
+    /// Reduces a full oracle verdict to its counts.
+    pub fn from_verdict(v: &Verdict) -> Self {
+        VerdictSummary {
+            consistent: v.is_consistent(),
+            safety_violations: v.safety.len(),
+            liveness_violations: v.liveness.len(),
+        }
+    }
+}
 
 /// Everything an experiment table needs from one run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -10,12 +70,8 @@ pub struct RunReport {
     pub protocol: String,
     /// Workload seed.
     pub seed: u64,
-    /// Whether the run was causally consistent.
-    pub consistent: bool,
-    /// Number of safety violations observed.
-    pub safety_violations: usize,
-    /// Number of liveness violations at quiescence.
-    pub liveness_violations: usize,
+    /// The oracle outcome.
+    pub verdict: VerdictSummary,
     /// Cluster statistics (traffic, latency, metadata).
     pub stats: ClusterStats,
     /// Virtual duration of the run in ticks.
@@ -32,6 +88,11 @@ impl RunReport {
             self.stats.applies as f64 * 1000.0 / self.duration_ticks as f64
         }
     }
+
+    /// Whether the run was causally consistent.
+    pub fn consistent(&self) -> bool {
+        self.verdict.consistent
+    }
 }
 
 #[cfg(test)]
@@ -43,9 +104,10 @@ mod tests {
         let r = RunReport {
             protocol: "x".into(),
             seed: 0,
-            consistent: true,
-            safety_violations: 0,
-            liveness_violations: 0,
+            verdict: VerdictSummary {
+                consistent: true,
+                ..VerdictSummary::default()
+            },
             stats: ClusterStats {
                 applies: 50,
                 ..Default::default()
@@ -53,10 +115,33 @@ mod tests {
             duration_ticks: 1000,
         };
         assert_eq!(r.throughput(), 50.0);
+        assert!(r.consistent());
         let zero = RunReport {
             duration_ticks: 0,
             ..r
         };
         assert_eq!(zero.throughput(), 0.0);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut latencies: Vec<u64> = (1..=100).collect();
+        let summary = LatencySummary::from_latencies(&mut latencies);
+        assert_eq!(summary.p50_us, 50);
+        assert_eq!(summary.p99_us, 99);
+        assert_eq!(summary.max_us, 100);
+        assert!((summary.mean_us - 50.5).abs() < 1e-9);
+        assert_eq!(
+            LatencySummary::from_latencies(&mut []),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn verdict_summary_reduces_counts() {
+        let v = Verdict::default();
+        let s = VerdictSummary::from_verdict(&v);
+        assert!(s.consistent);
+        assert_eq!((s.safety_violations, s.liveness_violations), (0, 0));
     }
 }

@@ -18,9 +18,10 @@
 //!   (Section 4).
 //! * [`workloads`] — topology/workload generators and the metric runner.
 //! * [`runtime`] — a threaded in-process deployment.
-//! * [`service`] — the networked TCP deployment: wire protocol, replica
-//!   nodes with update batching, client library, and the
-//!   `prcc-serve`/`prcc-load` binaries.
+//! * [`service`] — the networked TCP deployment: partition-tagged wire
+//!   protocol, partition-routing nodes with update batching, single-node
+//!   and key-routed client libraries, and the `prcc-serve`/`prcc-load`
+//!   binaries.
 
 pub use prcc_baselines as baselines;
 pub use prcc_checker as checker;

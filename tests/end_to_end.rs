@@ -47,7 +47,7 @@ fn edge_protocol_consistent_everywhere() {
                 Box::new(UniformDelay::new(seed + 13, 1, 50)),
                 cfg(seed),
             );
-            assert!(r.consistent, "{name} seed {seed}: {r:?}");
+            assert!(r.consistent(), "{name} seed {seed}: {r:?}");
         }
     }
 }
@@ -60,7 +60,7 @@ fn compressed_protocol_consistent_everywhere() {
             Box::new(UniformDelay::new(31, 1, 50)),
             cfg(5),
         );
-        assert!(r.consistent, "{name}: {r:?}");
+        assert!(r.consistent(), "{name}: {r:?}");
     }
 }
 
@@ -72,25 +72,25 @@ fn safe_baselines_consistent_everywhere() {
             Box::new(UniformDelay::new(17, 1, 50)),
             cfg(2),
         );
-        assert!(naive.consistent, "all-edges on {name}");
+        assert!(naive.consistent(), "all-edges on {name}");
         let hoop = run_workload(
             edge_sets::hoop_protocol(&g, false),
             Box::new(UniformDelay::new(19, 1, 50)),
             cfg(3),
         );
-        assert!(hoop.consistent, "hoop-original on {name}");
+        assert!(hoop.consistent(), "hoop-original on {name}");
         let vector = run_workload(
             VectorProtocol::new(g.clone()),
             Box::new(UniformDelay::new(23, 1, 50)),
             cfg(4),
         );
-        assert!(vector.consistent, "vector on {name}");
+        assert!(vector.consistent(), "vector on {name}");
         let dummies = run_workload(
             DummyProtocol::full_emulation(g.clone()),
             Box::new(UniformDelay::new(29, 1, 50)),
             cfg(6),
         );
-        assert!(dummies.consistent, "full-emulation on {name}");
+        assert!(dummies.consistent(), "full-emulation on {name}");
     }
 }
 

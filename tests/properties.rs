@@ -66,8 +66,8 @@ proptest! {
             Box::new(UniformDelay::new(seed + 1, 1, 60)),
             WorkloadConfig { total_writes: 60, seed, interleave, hotspot: None },
         );
-        prop_assert!(r.consistent, "{r:?}");
-        prop_assert_eq!(r.liveness_violations, 0);
+        prop_assert!(r.consistent(), "{r:?}");
+        prop_assert_eq!(r.verdict.liveness_violations, 0);
     }
 
     /// The register-level compressed protocol reaches the same final store
@@ -89,7 +89,7 @@ proptest! {
             Box::new(UniformDelay::new(seed + 7, 1, 40)),
             cfg,
         );
-        prop_assert!(a.consistent && b.consistent);
+        prop_assert!(a.consistent() && b.consistent());
         prop_assert_eq!(a.stats.updates_issued, b.stats.updates_issued);
         prop_assert_eq!(a.stats.messages_sent, b.stats.messages_sent);
     }
