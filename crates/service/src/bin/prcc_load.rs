@@ -50,6 +50,9 @@ fn run() -> Result<(), String> {
              \t--flush-us U     batch flush interval in microseconds (default 200)\n\
              \t--base-port P    0 = ephemeral ports (default)\n\
              \t--out PATH       report path (default BENCH_service.json)\n\
+             \t--max-frames-per-flush F  fail if mean frames per sender flush\n\
+             \t                 reaches F (regression guard for multi-partition\n\
+             \t                 frame packing; 0 = off, default)\n\
              \t--quiet          suppress the human-readable summary"
         );
         return Ok(());
@@ -74,6 +77,7 @@ fn run() -> Result<(), String> {
         .value("--out")
         .unwrap_or("BENCH_service.json")
         .to_string();
+    let max_frames_per_flush = args.parse_or("--max-frames-per-flush", 0f64)?;
     let quiet = args.has("--quiet");
     let cfg = ServiceConfig {
         batch_max: args.parse_or("--batch", 64usize)?.max(1),
@@ -173,6 +177,12 @@ fn run() -> Result<(), String> {
         return Err("cluster failed to reach quiescence (liveness bug?)".into());
     }
     let statuses = cluster.statuses().map_err(|e| format!("status: {e}"))?;
+    let misrouted: u64 = statuses.iter().map(|s| s.dropped_misrouted).sum();
+    if misrouted > 0 {
+        return Err(format!(
+            "{misrouted} updates were misrouted to non-hosting nodes and dropped"
+        ));
+    }
     let partition_verdicts = cluster
         .verify_partitions()
         .map_err(|e| format!("trace collection: {e}"))?;
@@ -210,7 +220,10 @@ fn run() -> Result<(), String> {
         wire_bytes_per_update: 0.0,
         messages_sent: 0,
         batches_sent: 0,
+        frames_sent: 0,
+        flushes: 0,
         updates_per_batch: 0.0,
+        frames_per_flush: 0.0,
         verdict,
         per_partition,
     };
@@ -238,8 +251,14 @@ fn run() -> Result<(), String> {
             report.latency.p99_us
         );
         println!(
-            "  wire: {} bytes out, {:.1} bytes/update, {:.2} updates/batch",
-            report.wire_bytes_out, report.wire_bytes_per_update, report.updates_per_batch
+            "  wire: {} bytes out, {:.1} bytes/update, {:.2} updates/batch, \
+             {:.2} frames/flush ({} frames for {} batches)",
+            report.wire_bytes_out,
+            report.wire_bytes_per_update,
+            report.updates_per_batch,
+            report.frames_per_flush,
+            report.frames_sent,
+            report.batches_sent
         );
         println!(
             "  oracle: {}",
@@ -259,6 +278,23 @@ fn run() -> Result<(), String> {
     }
     if !report.verdict.consistent {
         return Err("oracle verdict: NOT causally consistent".into());
+    }
+    if max_frames_per_flush > 0.0 {
+        // A gate that trusts a broken counter is no gate: updates moved, so
+        // flushes and frames must both have been accounted.
+        if report.messages_sent > 0 && (report.flushes == 0 || report.frames_sent == 0) {
+            return Err(format!(
+                "frame accounting broken: {} updates sent but {} flushes / {} frames counted",
+                report.messages_sent, report.flushes, report.frames_sent
+            ));
+        }
+        if report.frames_per_flush >= max_frames_per_flush {
+            return Err(format!(
+                "frame packing regressed: {:.2} frames per flush (limit {max_frames_per_flush}) — \
+                 multi-partition flushes are being split into per-partition frames again",
+                report.frames_per_flush
+            ));
+        }
     }
     Ok(())
 }

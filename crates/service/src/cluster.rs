@@ -124,6 +124,13 @@ impl LoopbackCluster {
             .collect()
     }
 
+    /// Cluster-wide count of updates dropped because a peer routed them to
+    /// a node not hosting their partition. Always zero under a correct
+    /// routing layer; the partitioned test suite asserts exactly that.
+    pub fn misrouted_drops(&self) -> io::Result<u64> {
+        Ok(self.statuses()?.iter().map(|s| s.dropped_misrouted).sum())
+    }
+
     /// Polls until the cluster is quiescent: every pending buffer empty,
     /// every sent update received, and the counters stable across two
     /// consecutive polls. Returns `false` on timeout.

@@ -5,14 +5,16 @@
 //! the algorithm in one process; this crate takes the same generic
 //! [`prcc_clock::Protocol`] replicas across real sockets:
 //!
-//! * [`wire`] — the length-prefixed binary wire protocol (version 2): a
+//! * [`wire`] — the length-prefixed binary wire protocol (version 3): a
 //!   versioned peer handshake carrying the serialized
-//!   [`prcc_graph::PartitionMap`], partition-tagged batched update frames
+//!   [`prcc_graph::PartitionMap`], multi-partition flush frames (one frame
+//!   per flush, a `(partition, updates[])` section per partition present)
 //!   built on [`prcc_clock::WireClock`] / `Update::encode_wire`, and the
 //!   partition-addressed client read/write API.
 //! * [`node`] — a partition-routing TCP node: a core event-loop thread
 //!   owning one [`prcc_core::Replica`] per hosted partition, per-peer
-//!   sender threads with update batching fanned per (peer, partition), and
+//!   sender threads that batch updates and pack each flush into a single
+//!   multi-partition frame (reconnecting with backoff on link loss), and
 //!   listeners for peer and client traffic.
 //! * [`client`] — [`ServiceClient`] (blocking, single-node) and
 //!   [`RoutedClient`] (key-routed over the whole cluster).

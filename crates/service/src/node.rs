@@ -9,14 +9,17 @@
 //!   application, trace/status snapshots) through one channel — replicating
 //!   the run-to-completion event loop an async runtime would provide — and
 //!   routes every message to the target partition's replica;
-//! * one *sender* thread per peer node dials the peer's update listener,
-//!   then coalesces outgoing updates into batched frames fanned per
-//!   (peer, partition): a batch closes when it reaches `batch_max` updates
-//!   or `flush_interval` elapses after its first update, whichever is
-//!   first, and is emitted as one partition-tagged frame per partition
-//!   present in the batch;
+//! * one *sender* thread per peer node dials the peer's update listener
+//!   (redialing with bounded backoff and a fresh handshake if the link
+//!   later drops), then coalesces outgoing updates: a batch closes when it
+//!   reaches `batch_max` updates or `flush_interval` elapses after its
+//!   first update, whichever is first, and the whole flush is emitted as
+//!   *one* wire-v3 multi-partition frame carrying a section per partition
+//!   present (per-partition order preserved) — so framing cost is per
+//!   flush, not per partition;
 //! * the peer listener accepts connections and spawns a reader per peer
-//!   that decodes partition-tagged batches and forwards them to the core;
+//!   that decodes multi-partition flush frames (and the legacy v2
+//!   single-partition framing) and fans their sections to the core;
 //! * the client listener serves the request/response API of
 //!   [`crate::wire::ClientRequest`], including the [`PartitionMap`] itself
 //!   (`Config`) so clients can route by key.
@@ -27,7 +30,7 @@
 //! over collected traces.
 
 use crate::wire::{
-    decode_batch, decode_peer_hello, decode_request, encode_batch, encode_peer_hello,
+    decode_peer_batches, decode_peer_hello, decode_request, encode_multi_batch, encode_peer_hello,
     encode_response, read_frame, write_frame, ClientRequest, ClientResponse, NodeStatus,
     PartitionCounters, PeerHello, WIRE_VERSION,
 };
@@ -37,19 +40,23 @@ use prcc_clock::{Protocol, WireClock};
 use prcc_core::{Replica, Update};
 use prcc_graph::{PartitionId, PartitionMap, RegisterId, ReplicaId};
 use prcc_net::VirtualTime;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// How many times a sender reconnects (full dial-with-backoff windows) for
+/// one frame before stranding the peer link.
+const RECONNECT_ATTEMPTS: usize = 5;
 
 /// Tuning knobs of a node deployment.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Maximum updates coalesced into one peer flush (which may emit
-    /// several frames, one per partition present).
+    /// Maximum updates coalesced into one peer flush (emitted as a single
+    /// multi-partition frame).
     pub batch_max: usize,
     /// How long a non-full batch may wait for more updates.
     pub flush_interval: Duration,
@@ -127,11 +134,23 @@ enum CoreMsg<C> {
 struct SocketCounters {
     bytes_out: AtomicU64,
     bytes_in: AtomicU64,
+    /// Per-partition update runs shipped (sections across all frames).
     batches_sent: AtomicU64,
+    /// Peer update frames written.
+    frames_sent: AtomicU64,
+    /// Sender flush cycles.
+    flushes: AtomicU64,
 }
 
 /// Per-peer outgoing channel: updates tagged with their partition.
 type PeerTx<C> = mpsc::Sender<(PartitionId, Update<C>)>;
+
+/// The live inbound connection per dialing peer, keyed by its node index.
+/// A peer's sender runs exactly one connection at a time, so a redial
+/// *replaces* the old one: the acceptor shuts the stale socket down, which
+/// unblocks (and ends) its reader thread instead of leaking it on a
+/// half-open link.
+type PeerConnections = Arc<Mutex<HashMap<usize, TcpStream>>>;
 
 /// One hosted partition: the role this node plays in it, the replica state
 /// machine, and the partition-local event log.
@@ -184,6 +203,8 @@ where
         bytes_out: AtomicU64::new(0),
         bytes_in: AtomicU64::new(0),
         batches_sent: AtomicU64::new(0),
+        frames_sent: AtomicU64::new(0),
+        flushes: AtomicU64::new(0),
     });
 
     let (core_tx, core_rx) = mpsc::channel::<CoreMsg<P::Clock>>();
@@ -206,13 +227,15 @@ where
         thread::spawn(move || peer_sender(addr, hello, rx, &cfg, &counters));
     }
 
-    // Peer listener: one reader thread per inbound peer connection.
+    // Peer listener: one reader thread per inbound peer connection, with a
+    // registry so a peer's redial evicts its previous reader.
     {
         let core_tx = core_tx.clone();
         let protocol = Arc::clone(&protocol);
         let map = map.clone();
         let stop = Arc::clone(&stop);
         let counters = Arc::clone(&counters);
+        let connections: PeerConnections = Arc::new(Mutex::new(HashMap::new()));
         thread::spawn(move || {
             for conn in peer_listener.incoming() {
                 if stop.load(Ordering::SeqCst) {
@@ -223,9 +246,17 @@ where
                 let protocol = Arc::clone(&protocol);
                 let map = map.clone();
                 let counters = Arc::clone(&counters);
+                let connections = Arc::clone(&connections);
                 thread::spawn(move || {
-                    if let Err(e) = peer_reader(stream, &protocol, &map, node, &core_tx, &counters)
-                    {
+                    if let Err(e) = peer_reader(
+                        stream,
+                        &protocol,
+                        &map,
+                        node,
+                        &core_tx,
+                        &counters,
+                        &connections,
+                    ) {
                         eprintln!("prcc-service[{node}]: peer reader: {e}");
                     }
                 });
@@ -295,6 +326,7 @@ fn core_loop<P>(
         .collect();
     let mut seq: u64 = 0;
     let (mut issued, mut sent, mut received) = (0u64, 0u64, 0u64);
+    let mut dropped_misrouted: u64 = 0;
 
     while let Ok(msg) = core_rx.recv() {
         match msg {
@@ -366,9 +398,13 @@ fn core_loop<P>(
                     .get_mut(partition.index())
                     .and_then(Option::as_mut)
                 else {
-                    // Misrouted frame: the reader already validated the
+                    // Misrouted section: the reader already validated the
                     // partition range, so this is a hosting mismatch.
-                    eprintln!("prcc-service[{node}]: dropped updates for unhosted {partition}");
+                    dropped_misrouted += updates.len() as u64;
+                    eprintln!(
+                        "prcc-service[{node}]: dropped {} updates for unhosted {partition}",
+                        updates.len()
+                    );
                     continue;
                 };
                 for update in updates {
@@ -416,10 +452,13 @@ fn core_loop<P>(
                         .flatten()
                         .map(|s| s.replica.dropped_duplicates())
                         .sum(),
-                    // Socket byte counters are filled in by the handler.
+                    dropped_misrouted,
+                    // Socket byte/frame counters are filled in by the handler.
                     bytes_out: 0,
                     bytes_in: 0,
                     batches_sent: 0,
+                    frames_sent: 0,
+                    flushes: 0,
                     per_partition,
                 });
             }
@@ -435,6 +474,41 @@ fn core_loop<P>(
     }
 }
 
+/// Dials `addr` with retry and exponential backoff (peers come up — and
+/// after a link loss, come back — in arbitrary order), then performs the
+/// versioned handshake. `None` once `connect_timeout` elapses without a
+/// connected, hello-acknowledging stream.
+fn dial_peer(
+    addr: SocketAddr,
+    hello: &PeerHello,
+    cfg: &ServiceConfig,
+    counters: &SocketCounters,
+) -> Option<TcpStream> {
+    let deadline = Instant::now() + cfg.connect_timeout;
+    let mut backoff = Duration::from_millis(5);
+    loop {
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let _ = stream.set_nodelay(true);
+            // The handshake opens every connection, including redials: the
+            // acceptor spawns a fresh reader that expects it.
+            if let Ok(n) = write_frame(&mut stream, &encode_peer_hello(hello)) {
+                counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                return Some(stream);
+            }
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            eprintln!(
+                "prcc-service[{}]: peer {addr} unreachable for {:?}, giving up",
+                hello.node, cfg.connect_timeout
+            );
+            return None;
+        }
+        thread::sleep(backoff.min(deadline - now));
+        backoff = (backoff * 2).min(Duration::from_millis(100));
+    }
+}
+
 fn peer_sender<C: WireClock>(
     addr: SocketAddr,
     hello: PeerHello,
@@ -442,38 +516,19 @@ fn peer_sender<C: WireClock>(
     cfg: &ServiceConfig,
     counters: &SocketCounters,
 ) {
-    // Dial with retry: peers come up in arbitrary order.
-    let deadline = Instant::now() + cfg.connect_timeout;
-    let mut stream = loop {
-        match TcpStream::connect(addr) {
-            Ok(stream) => break stream,
-            Err(e) => {
-                if Instant::now() >= deadline {
-                    eprintln!("prcc-service[{}]: dial {addr}: {e}", hello.node);
-                    // Drain so the core never blocks on a dead peer.
-                    while rx.recv().is_ok() {}
-                    return;
-                }
-                thread::sleep(Duration::from_millis(5));
-            }
-        }
-    };
-    let _ = stream.set_nodelay(true);
-    let send = |stream: &mut TcpStream, payload: &[u8]| -> io::Result<usize> {
-        write_frame(stream, payload)
-    };
-    if let Ok(n) = send(&mut stream, &encode_peer_hello(&hello)) {
-        counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
-    } else {
+    let Some(mut stream) = dial_peer(addr, &hello, cfg, counters) else {
+        // Drain so the core never blocks on a dead peer.
         while rx.recv().is_ok() {}
         return;
-    }
+    };
 
     // Batching loop: block for the first update, then coalesce until the
-    // batch fills or the flush interval elapses, then fan the batch out as
-    // one partition-tagged frame per partition present (per-partition order
-    // preserved; cross-partition order is irrelevant — partitions are
-    // causally independent).
+    // batch fills or the flush interval elapses, then emit the whole flush
+    // as ONE multi-partition frame — a `(partition, updates)` section per
+    // partition present, in first-seen order with per-partition update
+    // order preserved (cross-partition order is irrelevant — partitions are
+    // causally independent). One flush = one frame, whatever the partition
+    // count: framing overhead no longer scales with sharding.
     while let Ok(first) = rx.recv() {
         let mut batch = vec![first];
         let deadline = Instant::now() + cfg.flush_interval;
@@ -487,25 +542,60 @@ fn peer_sender<C: WireClock>(
                 Err(_) => break,
             }
         }
-        let mut by_partition: BTreeMap<PartitionId, Vec<Update<C>>> = BTreeMap::new();
+        let mut sections: Vec<(PartitionId, Vec<Update<C>>)> = Vec::new();
         for (partition, update) in batch {
-            by_partition.entry(partition).or_default().push(update);
+            // Linear scan: a flush touches at most a handful of partitions.
+            match sections.iter_mut().find(|(p, _)| *p == partition) {
+                Some((_, updates)) => updates.push(update),
+                None => sections.push((partition, vec![update])),
+            }
         }
-        for (partition, updates) in &by_partition {
-            match send(
-                &mut stream,
-                &encode_batch(*partition, updates, cfg.pad_bytes),
-            ) {
+        // `flushes` counts drain cycles at the moment a flush exists —
+        // deliberately NOT at the same site as `frames_sent`, which counts
+        // successful frame writes below. Keeping the two sites apart is
+        // what makes `frames_per_flush` a binding regression signal: a
+        // sender that goes back to one frame per partition (and counts its
+        // frames honestly) shows a ratio near the partition count, and a
+        // sender that stops counting frames shows 0, both of which the
+        // `prcc-load --max-frames-per-flush` gate rejects.
+        counters.flushes.fetch_add(1, Ordering::Relaxed);
+        let payload = encode_multi_batch(&sections, cfg.pad_bytes);
+        // Send, reconnecting (bounded) on a dead link: the frame that hit
+        // the error is retried on the fresh connection after a new
+        // handshake, so a transient link loss delays updates instead of
+        // stranding every future flush for this peer.
+        let mut delivered = false;
+        for attempt in 0..=RECONNECT_ATTEMPTS {
+            match write_frame(&mut stream, &payload) {
                 Ok(n) => {
                     counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
-                    counters.batches_sent.fetch_add(1, Ordering::Relaxed);
+                    counters
+                        .batches_sent
+                        .fetch_add(sections.len() as u64, Ordering::Relaxed);
+                    counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    delivered = true;
+                    break;
+                }
+                Err(e) if attempt < RECONNECT_ATTEMPTS => {
+                    eprintln!(
+                        "prcc-service[{}]: send to {addr}: {e}; reconnecting ({}/{})",
+                        hello.node,
+                        attempt + 1,
+                        RECONNECT_ATTEMPTS
+                    );
+                    match dial_peer(addr, &hello, cfg, counters) {
+                        Some(fresh) => stream = fresh,
+                        None => break,
+                    }
                 }
                 Err(e) => {
                     eprintln!("prcc-service[{}]: send to {addr}: {e}", hello.node);
-                    while rx.recv().is_ok() {}
-                    return;
                 }
             }
+        }
+        if !delivered {
+            while rx.recv().is_ok() {}
+            return;
         }
     }
 }
@@ -517,6 +607,7 @@ fn peer_reader<P>(
     node: usize,
     core_tx: &mpsc::Sender<CoreMsg<P::Clock>>,
     counters: &SocketCounters,
+    connections: &PeerConnections,
 ) -> io::Result<()>
 where
     P: Protocol,
@@ -536,28 +627,48 @@ where
             format!("peer {} runs a different partition map", hello.node),
         ));
     }
+    // Register this connection as the peer's live one; shut any previous
+    // connection down so the reader blocked on it wakes up and exits (a
+    // sender reconnecting after a half-open link loss would otherwise
+    // accumulate one stuck reader thread per redial). Registering only
+    // after the handshake means a garbage connection cannot evict a
+    // healthy peer link.
+    let replaced = {
+        let mut live = connections.lock().unwrap_or_else(|e| e.into_inner());
+        stream
+            .try_clone()
+            .ok()
+            .and_then(|clone| live.insert(hello.node, clone))
+    };
+    if let Some(stale) = replaced {
+        let _ = stale.shutdown(Shutdown::Both);
+    }
     let roles = map.graph().num_replicas();
     while let Some(payload) = read_frame(&mut stream)? {
         counters
             .bytes_in
             .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
-        let (partition, updates) = decode_batch(&payload, |k| {
+        // One frame, many `(partition, updates)` sections: validate each
+        // section, then fan them to the core as independent deliveries.
+        let sections = decode_peer_batches(&payload, |k| {
             (k.index() < roles).then(|| protocol.new_clock(k))
         })?;
-        if partition.0 >= map.num_partitions() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("batch for out-of-range {partition}"),
-            ));
-        }
-        if map.role_on(partition, node).is_none() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("peer {} misrouted {partition} updates here", hello.node),
-            ));
-        }
-        if core_tx.send(CoreMsg::Updates(partition, updates)).is_err() {
-            break; // Core shut down.
+        for (partition, updates) in sections {
+            if partition.0 >= map.num_partitions() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("batch for out-of-range {partition}"),
+                ));
+            }
+            if map.role_on(partition, node).is_none() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("peer {} misrouted {partition} updates here", hello.node),
+                ));
+            }
+            if core_tx.send(CoreMsg::Updates(partition, updates)).is_err() {
+                return Ok(()); // Core shut down.
+            }
         }
     }
     Ok(())
@@ -621,6 +732,8 @@ fn client_handler<C: WireClock>(
                 status.bytes_out = counters.bytes_out.load(Ordering::Relaxed);
                 status.bytes_in = counters.bytes_in.load(Ordering::Relaxed);
                 status.batches_sent = counters.batches_sent.load(Ordering::Relaxed);
+                status.frames_sent = counters.frames_sent.load(Ordering::Relaxed);
+                status.flushes = counters.flushes.load(Ordering::Relaxed);
                 ClientResponse::Status(status)
             }
             ClientRequest::Trace => {

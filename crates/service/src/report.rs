@@ -55,10 +55,20 @@ pub struct BenchReport {
     pub wire_bytes_per_update: f64,
     /// Update copies sent / received / applied across the cluster.
     pub messages_sent: u64,
-    /// Peer frames written (single-partition batches).
+    /// Per-partition update runs shipped to peers (sections, the v2 "batch"
+    /// unit — comparable across wire versions).
     pub batches_sent: u64,
+    /// Peer update frames written; with v3 multi-partition framing, one per
+    /// flush regardless of how many partitions the flush touched.
+    pub frames_sent: u64,
+    /// Sender flush cycles across the cluster.
+    pub flushes: u64,
     /// Mean updates per batch.
     pub updates_per_batch: f64,
+    /// Mean frames per flush — 1.0 under v3 packing; ~partitions-present
+    /// under the old one-frame-per-partition framing this report guards
+    /// against regressing to.
+    pub frames_per_flush: f64,
     /// The folded oracle outcome over all partitions.
     pub verdict: VerdictSummary,
     /// Per-partition load and verdict breakdown.
@@ -74,6 +84,8 @@ impl BenchReport {
         self.messages_sent = statuses.iter().map(|s| s.messages_sent).sum();
         self.wire_bytes_out = statuses.iter().map(|s| s.bytes_out).sum();
         self.batches_sent = statuses.iter().map(|s| s.batches_sent).sum();
+        self.frames_sent = statuses.iter().map(|s| s.frames_sent).sum();
+        self.flushes = statuses.iter().map(|s| s.flushes).sum();
         self.wire_bytes_per_update = if issued == 0 {
             0.0
         } else {
@@ -83,6 +95,11 @@ impl BenchReport {
             0.0
         } else {
             self.messages_sent as f64 / self.batches_sent as f64
+        };
+        self.frames_per_flush = if self.flushes == 0 {
+            0.0
+        } else {
+            self.frames_sent as f64 / self.flushes as f64
         };
         if self.per_partition.len() < self.partitions {
             self.per_partition
@@ -135,11 +152,14 @@ impl BenchReport {
         );
         let _ = writeln!(out, "  \"messages_sent\": {},", self.messages_sent);
         let _ = writeln!(out, "  \"batches_sent\": {},", self.batches_sent);
+        let _ = writeln!(out, "  \"frames_sent\": {},", self.frames_sent);
+        let _ = writeln!(out, "  \"flushes\": {},", self.flushes);
         let _ = writeln!(
             out,
             "  \"updates_per_batch\": {:.2},",
             self.updates_per_batch
         );
+        let _ = writeln!(out, "  \"frames_per_flush\": {:.2},", self.frames_per_flush);
         let _ = writeln!(out, "  \"consistent\": {},", self.verdict.consistent);
         let _ = writeln!(
             out,
@@ -197,7 +217,10 @@ mod tests {
             wire_bytes_per_update: 0.0,
             messages_sent: 0,
             batches_sent: 0,
+            frames_sent: 0,
+            flushes: 0,
             updates_per_batch: 0.0,
+            frames_per_flush: 0.0,
             verdict: VerdictSummary {
                 consistent: true,
                 safety_violations: 0,
@@ -211,6 +234,8 @@ mod tests {
                 messages_sent: 100,
                 bytes_out: 5000,
                 batches_sent: 20,
+                frames_sent: 8,
+                flushes: 8,
                 per_partition: vec![
                     PartitionCounters {
                         issued: 30,
@@ -230,6 +255,8 @@ mod tests {
                 messages_sent: 100,
                 bytes_out: 5000,
                 batches_sent: 30,
+                frames_sent: 12,
+                flushes: 12,
                 per_partition: vec![
                     PartitionCounters {
                         issued: 50,
@@ -244,6 +271,9 @@ mod tests {
         assert_eq!(report.messages_sent, 200);
         assert!((report.wire_bytes_per_update - 100.0).abs() < 1e-9);
         assert!((report.updates_per_batch - 4.0).abs() < 1e-9);
+        assert_eq!(report.frames_sent, 20);
+        assert_eq!(report.flushes, 20);
+        assert!((report.frames_per_flush - 1.0).abs() < 1e-9);
         assert_eq!(report.per_partition.len(), 2);
         assert_eq!(report.per_partition[0].issued, 80);
         assert_eq!(report.per_partition[1].applies, 40);
@@ -251,6 +281,8 @@ mod tests {
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"frames_sent\": 20,"));
+        assert!(json.contains("\"frames_per_flush\": 1.00,"));
         assert!(json.contains("\"hotspot\": 0.250,"));
         assert!(json.contains("\"consistent\": true,"));
         assert!(json.contains("\"partitions\": 2,"));

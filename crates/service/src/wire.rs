@@ -1,4 +1,4 @@
-//! The length-prefixed wire protocol (version 2, partition-aware).
+//! The length-prefixed wire protocol (version 3, partition-aware).
 //!
 //! Every message is a *frame*: a little-endian `u32` payload length followed
 //! by the payload; the first payload byte is a message tag. Peer frames
@@ -6,13 +6,22 @@
 //! [`prcc_clock::wire::WireClock`] / [`Update::encode_wire`] codecs); client
 //! frames carry the read/write/ops API.
 //!
-//! Version 2 shards the register space: every peer batch and every client
+//! Version 2 sharded the register space: every peer batch and every client
 //! read/write is tagged with the [`prcc_graph::PartitionId`] it belongs to,
 //! and the peer handshake ([`PeerHello`]) opens with a protocol version
 //! followed by the full [`PartitionMap`] (hosting table + share-graph
 //! assignments). A node refuses peers that speak a different protocol
 //! version or run a different partition map — either mismatch would
 //! otherwise corrupt delivery predicates or routing silently.
+//!
+//! Version 3 packs multi-partition flushes: a peer flush touching many
+//! partitions ships as one [`encode_multi_batch`] frame carrying
+//! `(partition, updates[])` sections in per-partition order, instead of one
+//! v2 single-partition frame per partition. Readers still *decode* the v2
+//! single-partition batch tag ([`decode_peer_batches`] dispatches on the
+//! tag), but the versioned handshake refuses v2 peers outright — a
+//! mixed-version cluster fails loudly at connection time rather than
+//! half-working.
 //!
 //! Timestamps ship counters only; index sets and the partition layout are
 //! static configuration carried once in the handshake.
@@ -25,8 +34,10 @@ use prcc_graph::{PartitionId, PartitionMap, RegisterId, ReplicaId, ShareGraph};
 use std::io::{self, Read, Write};
 
 /// The protocol version spoken by this build. Bumped to 2 when frames
-/// became partition-tagged; v1 peers are refused at the handshake.
-pub const WIRE_VERSION: u64 = 2;
+/// became partition-tagged, to 3 when peer flushes became single
+/// multi-partition frames; peers at any other version are refused at the
+/// handshake.
+pub const WIRE_VERSION: u64 = 3;
 
 /// Upper bound on accepted frame payloads (default 64 MiB) — protects a
 /// node from a garbage length prefix allocating unbounded memory.
@@ -35,6 +46,7 @@ pub const MAX_FRAME: usize = 64 << 20;
 // Message tags.
 const TAG_PEER_HELLO: u8 = 1;
 const TAG_PEER_BATCH: u8 = 2;
+const TAG_MULTI_BATCH: u8 = 3;
 const TAG_WRITE: u8 = 16;
 const TAG_READ: u8 = 17;
 const TAG_STATUS: u8 = 18;
@@ -58,13 +70,26 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<usize> {
     Ok(payload.len() + 4)
 }
 
-/// Reads one frame. `Ok(None)` signals a clean EOF at a frame boundary.
+/// Reads one frame. `Ok(None)` signals a clean EOF at a frame boundary —
+/// zero bytes read. A connection dying *inside* the 4-byte length prefix is
+/// a truncated frame and errors, so a half-written prefix is never
+/// misreported as a graceful shutdown.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     let mut prefix = [0u8; 4];
-    match r.read_exact(&mut prefix) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("connection closed after {got} bytes of a frame length prefix"),
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_le_bytes(prefix) as usize;
     if len > MAX_FRAME {
@@ -194,7 +219,9 @@ pub fn decode_peer_hello(payload: &[u8]) -> io::Result<PeerHello> {
     Ok(PeerHello { node, map })
 }
 
-/// Encodes a batch of updates of one partition into one peer frame payload.
+/// Encodes a batch of updates of one partition into one peer frame payload
+/// (the v2 single-partition framing, kept for compatibility decoding and
+/// tests — v3 senders emit [`encode_multi_batch`] frames).
 /// `pad` zero bytes ride along with each update, simulating larger
 /// application values.
 pub fn encode_batch<C: WireClock>(
@@ -205,11 +232,7 @@ pub fn encode_batch<C: WireClock>(
     let mut out = vec![TAG_PEER_BATCH];
     write_varint(&mut out, u64::from(partition.0));
     write_varint(&mut out, updates.len() as u64);
-    for u in updates {
-        u.encode_wire(&mut out);
-        write_varint(&mut out, pad as u64);
-        out.resize(out.len() + pad, 0);
-    }
+    encode_updates(updates, pad, &mut out);
     out
 }
 
@@ -231,21 +254,125 @@ where
     let partition =
         u32::try_from(get_varint(payload, &mut at)?).map_err(|_| bad_data("partition id"))?;
     let count = get_varint(payload, &mut at)? as usize;
-    let mut updates = Vec::with_capacity(count.min(1 << 16));
-    for _ in 0..count {
-        let u = Update::decode_wire(payload, &mut at, &mut make_clock)
-            .ok_or_else(|| bad_data("malformed update"))?;
-        let pad = get_varint(payload, &mut at)? as usize;
-        if payload.len() - at < pad {
-            return Err(bad_data("truncated pad"));
-        }
-        at += pad;
-        updates.push(u);
-    }
+    let updates = decode_updates(payload, &mut at, count, &mut make_clock)?;
     if at != payload.len() {
         return Err(bad_data("trailing bytes in batch"));
     }
     Ok((PartitionId(partition), updates))
+}
+
+fn encode_updates<C: WireClock>(updates: &[Update<C>], pad: usize, out: &mut Vec<u8>) {
+    for u in updates {
+        u.encode_wire(out);
+        write_varint(out, pad as u64);
+        out.resize(out.len() + pad, 0);
+    }
+}
+
+fn decode_updates<C, F>(
+    payload: &[u8],
+    at: &mut usize,
+    count: usize,
+    make_clock: &mut F,
+) -> io::Result<Vec<Update<C>>>
+where
+    C: WireClock,
+    F: FnMut(ReplicaId) -> Option<C>,
+{
+    let mut updates = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let u = Update::decode_wire(payload, at, &mut *make_clock)
+            .ok_or_else(|| bad_data("malformed update"))?;
+        let pad = get_varint(payload, at)? as usize;
+        if payload.len() - *at < pad {
+            return Err(bad_data("truncated pad"));
+        }
+        *at += pad;
+        updates.push(u);
+    }
+    Ok(updates)
+}
+
+/// Encodes one whole peer flush — updates of *every* partition present — as
+/// a single v3 frame payload: a section count followed by `(partition,
+/// updates[])` sections. Empty sections are skipped (the decoder rejects
+/// them), section order and per-partition update order are preserved, and
+/// `pad` zero bytes ride along with each update as in [`encode_batch`].
+pub fn encode_multi_batch<C: WireClock>(
+    sections: &[(PartitionId, Vec<Update<C>>)],
+    pad: usize,
+) -> Vec<u8> {
+    let mut out = vec![TAG_MULTI_BATCH];
+    let live = sections.iter().filter(|(_, updates)| !updates.is_empty());
+    write_varint(&mut out, live.clone().count() as u64);
+    for (partition, updates) in live {
+        write_varint(&mut out, u64::from(partition.0));
+        write_varint(&mut out, updates.len() as u64);
+        encode_updates(updates, pad, &mut out);
+    }
+    out
+}
+
+/// Decodes a v3 multi-partition flush frame into its `(partition,
+/// updates[])` sections, in wire order. Frames with no sections or with an
+/// empty section are malformed — a well-formed sender never produces them,
+/// so they indicate corruption.
+pub fn decode_multi_batch<C, F>(
+    payload: &[u8],
+    mut make_clock: F,
+) -> io::Result<Vec<(PartitionId, Vec<Update<C>>)>>
+where
+    C: WireClock,
+    F: FnMut(ReplicaId) -> Option<C>,
+{
+    let mut at = 0;
+    if payload.first() != Some(&TAG_MULTI_BATCH) {
+        return Err(bad_data("expected multi-partition batch"));
+    }
+    at += 1;
+    let count = get_varint(payload, &mut at)? as usize;
+    if count == 0 {
+        return Err(bad_data("multi-batch with no sections"));
+    }
+    if count > 1 << 20 {
+        return Err(bad_data("absurd section count"));
+    }
+    let mut sections = Vec::with_capacity(count.min(1 << 10));
+    for _ in 0..count {
+        let partition =
+            u32::try_from(get_varint(payload, &mut at)?).map_err(|_| bad_data("partition id"))?;
+        let updates = get_varint(payload, &mut at)? as usize;
+        if updates == 0 {
+            return Err(bad_data("empty multi-batch section"));
+        }
+        let updates = decode_updates(payload, &mut at, updates, &mut make_clock)?;
+        sections.push((PartitionId(partition), updates));
+    }
+    if at != payload.len() {
+        return Err(bad_data("trailing bytes in multi-batch"));
+    }
+    Ok(sections)
+}
+
+/// Decodes any peer update frame — the v3 multi-partition framing or the
+/// legacy v2 single-partition batch — into a uniform section list. The v2
+/// arm exists for compatibility tooling and tests; live v2 *peers* never
+/// get this far, the versioned [`PeerHello`] refuses them first.
+pub fn decode_peer_batches<C, F>(
+    payload: &[u8],
+    make_clock: F,
+) -> io::Result<Vec<(PartitionId, Vec<Update<C>>)>>
+where
+    C: WireClock,
+    F: FnMut(ReplicaId) -> Option<C>,
+{
+    match payload.first() {
+        Some(&TAG_MULTI_BATCH) => decode_multi_batch(payload, make_clock),
+        Some(&TAG_PEER_BATCH) => {
+            decode_batch(payload, make_clock).map(|(partition, updates)| vec![(partition, updates)])
+        }
+        _ => Err(bad_data("unknown peer frame tag")),
+    }
 }
 
 /// A client-API request.
@@ -380,18 +507,32 @@ pub struct NodeStatus {
     pub pending: u64,
     /// Duplicate deliveries dropped.
     pub duplicates_dropped: u64,
+    /// Updates dropped because a peer routed them to a partition this node
+    /// does not host (nonzero only under a routing bug).
+    pub dropped_misrouted: u64,
     /// Bytes written to peer sockets (frames included).
     pub bytes_out: u64,
     /// Bytes read from peer sockets (frames included).
     pub bytes_in: u64,
-    /// Peer frames written (each one single-partition batch).
+    /// Per-partition update runs shipped to peers (one run per partition
+    /// present in a flush — the v2 "batch" unit, kept so `updates_per_batch`
+    /// stays comparable across versions).
     pub batches_sent: u64,
+    /// Peer update frames written. With v3 multi-partition framing every
+    /// flush is one frame, so `frames_sent <= batches_sent`; the gap is the
+    /// framing overhead v3 amortizes away.
+    pub frames_sent: u64,
+    /// Sender flush cycles, counted when a drained batch exists — before
+    /// (and independently of) the frame write succeeding, so
+    /// frames-per-flush stays an honest ratio of two separately
+    /// instrumented events.
+    pub flushes: u64,
     /// Counters broken out per partition, indexed by partition id.
     pub per_partition: Vec<PartitionCounters>,
 }
 
 impl NodeStatus {
-    fn fields(&self) -> [u64; 10] {
+    fn fields(&self) -> [u64; 13] {
         [
             self.node,
             self.issued,
@@ -400,13 +541,16 @@ impl NodeStatus {
             self.applies,
             self.pending,
             self.duplicates_dropped,
+            self.dropped_misrouted,
             self.bytes_out,
             self.bytes_in,
             self.batches_sent,
+            self.frames_sent,
+            self.flushes,
         ]
     }
 
-    fn from_fields(f: [u64; 10]) -> Self {
+    fn from_fields(f: [u64; 13]) -> Self {
         NodeStatus {
             node: f[0],
             issued: f[1],
@@ -415,9 +559,12 @@ impl NodeStatus {
             applies: f[4],
             pending: f[5],
             duplicates_dropped: f[6],
-            bytes_out: f[7],
-            bytes_in: f[8],
-            batches_sent: f[9],
+            dropped_misrouted: f[7],
+            bytes_out: f[8],
+            bytes_in: f[9],
+            batches_sent: f[10],
+            frames_sent: f[11],
+            flushes: f[12],
             per_partition: Vec::new(),
         }
     }
@@ -464,7 +611,12 @@ pub fn encode_response(resp: &ClientResponse) -> Vec<u8> {
             out
         }
         ClientResponse::Status(status) => {
+            // The status field set changes across wire versions (v3 added
+            // frames_sent/flushes/dropped_misrouted), so the payload opens
+            // with the version: a client built against another version
+            // fails loudly instead of misparsing shifted varints.
             let mut out = vec![TAG_STATUS_RESP];
+            write_varint(&mut out, WIRE_VERSION);
             for v in status.fields() {
                 write_varint(&mut out, v);
             }
@@ -531,7 +683,14 @@ pub fn decode_response(payload: &[u8]) -> io::Result<ClientResponse> {
             })
         }
         Some(&TAG_STATUS_RESP) => {
-            let mut fields = [0u64; 10];
+            let version = get_varint(payload, &mut at)?;
+            if version != WIRE_VERSION {
+                return Err(bad_data(&format!(
+                    "status response version mismatch: node speaks v{version}, \
+                     this client v{WIRE_VERSION}"
+                )));
+            }
+            let mut fields = [0u64; 13];
             for f in &mut fields {
                 *f = get_varint(payload, &mut at)?;
             }
@@ -609,6 +768,23 @@ mod tests {
     }
 
     #[test]
+    fn truncated_length_prefix_is_an_error_not_a_clean_eof() {
+        // A peer dying 1-3 bytes into the length prefix must surface as an
+        // error; only a close at a frame boundary (0 bytes) is clean.
+        for cut in 1..4usize {
+            let mut cursor = io::Cursor::new(7u32.to_le_bytes()[..cut].to_vec());
+            let err = read_frame(&mut cursor).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+            assert!(
+                err.to_string().contains("length prefix"),
+                "unexpected error at {cut}: {err}"
+            );
+        }
+        let mut empty = io::Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut empty).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
     fn oversized_frame_rejected() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
@@ -665,36 +841,47 @@ mod tests {
             map: PartitionMap::single(topologies::ring(4)),
         };
         let mut payload = encode_peer_hello(&hello);
-        // The version varint sits right after the tag; WIRE_VERSION = 2 is
-        // one byte, so patch it to a v1 hello.
+        // The version varint sits right after the tag; WIRE_VERSION = 3 is
+        // one byte, so patch it to a v1 or v2 hello.
         assert_eq!(payload[1], WIRE_VERSION as u8);
-        payload[1] = 1;
-        let err = decode_peer_hello(&payload).unwrap_err();
-        assert!(
-            err.to_string().contains("version mismatch"),
-            "unexpected error: {err}"
-        );
+        for old in [1u8, 2] {
+            payload[1] = old;
+            let err = decode_peer_hello(&payload).unwrap_err();
+            assert!(
+                err.to_string().contains("version mismatch"),
+                "unexpected error for v{old}: {err}"
+            );
+        }
+    }
+
+    fn sample_updates(
+        p: &EdgeProtocol,
+        count: u64,
+        tag: u64,
+    ) -> Vec<Update<prcc_clock::EdgeClock>> {
+        let mut updates = Vec::new();
+        for k in 0..count {
+            let i = ReplicaId(k as usize % 4);
+            let mut clock = p.new_clock(i);
+            p.advance(i, &mut clock, RegisterId(i.index() as u32));
+            updates.push(Update {
+                id: UpdateId((u64::from(i.index() as u32) << 40) | (tag << 20) | k),
+                issuer: i,
+                register: RegisterId(i.index() as u32),
+                value: 1000 * (tag + 1) + k,
+                clock,
+                issued_at: VirtualTime::ZERO,
+                received_at: VirtualTime::ZERO,
+            });
+        }
+        updates
     }
 
     #[test]
     fn batch_round_trip_with_padding() {
         let g = topologies::ring(4);
         let p = EdgeProtocol::new(g);
-        let mut updates = Vec::new();
-        for k in 0..3u64 {
-            let i = ReplicaId(k as usize);
-            let mut clock = p.new_clock(i);
-            p.advance(i, &mut clock, RegisterId(k as u32));
-            updates.push(Update {
-                id: UpdateId((u64::from(i.index() as u32) << 40) | k),
-                issuer: i,
-                register: RegisterId(k as u32),
-                value: 1000 + k,
-                clock,
-                issued_at: VirtualTime::ZERO,
-                received_at: VirtualTime::ZERO,
-            });
-        }
+        let updates = sample_updates(&p, 3, 0);
         for pad in [0usize, 128] {
             let payload = encode_batch(PartitionId(5), &updates, pad);
             let (part, back) = decode_batch(&payload, |i| Some(p.new_clock(i))).unwrap();
@@ -709,6 +896,70 @@ mod tests {
                 assert!(payload.len() >= 3 * pad);
             }
         }
+    }
+
+    #[test]
+    fn multi_batch_round_trip_preserves_sections() {
+        let g = topologies::ring(4);
+        let p = EdgeProtocol::new(g);
+        // Deliberately unsorted partition order: the wire must preserve it.
+        let sections = vec![
+            (PartitionId(6), sample_updates(&p, 3, 0)),
+            (PartitionId(1), sample_updates(&p, 1, 1)),
+            (PartitionId(4), sample_updates(&p, 5, 2)),
+        ];
+        for pad in [0usize, 64] {
+            let payload = encode_multi_batch(&sections, pad);
+            let back = decode_multi_batch(&payload, |i| Some(p.new_clock(i))).unwrap();
+            assert_eq!(back.len(), 3);
+            for ((bp, bu), (sp, su)) in back.iter().zip(&sections) {
+                assert_eq!(bp, sp);
+                assert_eq!(bu.len(), su.len());
+                for (a, b) in bu.iter().zip(su) {
+                    assert_eq!((a.id, a.value), (b.id, b.value));
+                    assert_eq!(a.clock, b.clock);
+                }
+            }
+            // The dispatcher takes both framings to the same section shape.
+            let via_dispatch = decode_peer_batches(&payload, |i| Some(p.new_clock(i))).unwrap();
+            assert_eq!(via_dispatch.len(), 3);
+            let v2 = encode_batch(PartitionId(6), &sections[0].1, pad);
+            let legacy = decode_peer_batches(&v2, |i| Some(p.new_clock(i))).unwrap();
+            assert_eq!(legacy.len(), 1);
+            assert_eq!(legacy[0].0, PartitionId(6));
+            assert_eq!(legacy[0].1.len(), 3);
+        }
+    }
+
+    #[test]
+    fn multi_batch_rejects_empty_frames_and_sections() {
+        let g = topologies::ring(4);
+        let p = EdgeProtocol::new(g);
+        // Empty input sections are skipped by the encoder...
+        let sections = vec![
+            (PartitionId(0), Vec::new()),
+            (PartitionId(2), sample_updates(&p, 2, 0)),
+            (PartitionId(3), Vec::new()),
+        ];
+        let payload = encode_multi_batch(&sections, 0);
+        let back = decode_multi_batch(&payload, |i| Some(p.new_clock(i))).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].0, PartitionId(2));
+        // ...an all-empty flush encodes to a zero-section frame, which the
+        // decoder refuses...
+        let empty = encode_multi_batch::<prcc_clock::EdgeClock>(&[], 0);
+        let err = decode_multi_batch(&empty, |i| Some(p.new_clock(i))).unwrap_err();
+        assert!(err.to_string().contains("no sections"), "{err}");
+        // ...and a hand-crafted zero-update section is refused too.
+        let mut crafted = vec![TAG_MULTI_BATCH];
+        write_varint(&mut crafted, 1); // one section
+        write_varint(&mut crafted, 5); // partition 5
+        write_varint(&mut crafted, 0); // zero updates
+        let err = decode_multi_batch(&crafted, |i| Some(p.new_clock(i))).unwrap_err();
+        assert!(
+            err.to_string().contains("empty multi-batch section"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -750,9 +1001,12 @@ mod tests {
                 applies: 18,
                 pending: 1,
                 duplicates_dropped: 0,
+                dropped_misrouted: 3,
                 bytes_out: 4096,
                 bytes_in: 4000,
                 batches_sent: 7,
+                frames_sent: 4,
+                flushes: 4,
                 per_partition: vec![
                     PartitionCounters {
                         issued: 6,
@@ -793,6 +1047,21 @@ mod tests {
         for resp in &responses {
             assert_eq!(&decode_response(&encode_response(resp)).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn foreign_version_status_responses_refused() {
+        // Status payloads are version-stamped: the field set grew in v3,
+        // and a cross-version client must get a loud mismatch, not counters
+        // parsed out of shifted varints.
+        let mut payload = encode_response(&ClientResponse::Status(NodeStatus::default()));
+        assert_eq!(payload[1], WIRE_VERSION as u8);
+        payload[1] = 2;
+        let err = decode_response(&payload).unwrap_err();
+        assert!(
+            err.to_string().contains("status response version mismatch"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

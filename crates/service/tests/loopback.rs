@@ -210,9 +210,13 @@ fn batching_reduces_frames() {
     assert_eq!(statuses[0].messages_sent, 200);
     assert!(
         statuses[0].batches_sent < 200,
-        "no batching happened: {} frames for 200 updates",
+        "no batching happened: {} batches for 200 updates",
         statuses[0].batches_sent
     );
+    // v3 framing: one frame per flush; unsharded, sections == flushes too.
+    assert!(statuses[0].frames_sent > 0);
+    assert_eq!(statuses[0].frames_sent, statuses[0].flushes);
+    assert_eq!(statuses[0].frames_sent, statuses[0].batches_sent);
     let verdict = cluster.verify().expect("traces").expect("replayable");
     assert!(verdict.is_consistent());
     cluster.shutdown().expect("shutdown");

@@ -79,8 +79,77 @@ fn sharded_keyed_workload_is_consistent_per_partition() {
         "load not spread: {per_partition_issued:?}"
     );
 
+    // Routing is airtight: nothing was dropped as misrouted anywhere, and
+    // every delivered update went through the v3 single-frame flush path
+    // (frames never exceed per-partition batch sections).
+    for status in &statuses {
+        assert_eq!(
+            status.dropped_misrouted, 0,
+            "node {} dropped misrouted updates",
+            status.node
+        );
+        assert!(
+            status.frames_sent <= status.batches_sent,
+            "node {}: {} frames for {} batches",
+            status.node,
+            status.frames_sent,
+            status.batches_sent
+        );
+    }
+    assert_eq!(cluster.misrouted_drops().expect("statuses"), 0);
+
     let verdicts = cluster.verify_partitions().expect("traces");
     assert_eq!(verdicts.len(), 8);
+    for (p, verdict) in verdicts.iter().enumerate() {
+        let v = verdict.as_ref().expect("replayable");
+        assert!(v.is_consistent(), "partition {p}: {v:?}");
+    }
+    cluster.shutdown().expect("shutdown");
+}
+
+/// The v3 frame-packing tentpole, observed end to end: with a long flush
+/// interval and a key stream sweeping every partition, each sender flush
+/// coalesces updates of *several* partitions — which must ship as one
+/// frame each (strictly fewer frames than per-partition batch sections,
+/// and nowhere near batches x partitions).
+#[test]
+fn flushes_pack_multiple_partitions_into_one_frame() {
+    let graph = topologies::ring(4);
+    let map = PartitionMap::rotated(graph.clone(), 8, 4).expect("valid map");
+    let protocol = Arc::new(EdgeProtocol::new(graph));
+    let cfg = ServiceConfig {
+        batch_max: 64,
+        // Long enough that one flush window sees writes to many partitions
+        // from the sweeping client below.
+        flush_interval: Duration::from_millis(5),
+        ..ServiceConfig::default()
+    };
+    let cluster = LoopbackCluster::launch_partitioned(protocol, map, &cfg, 0).expect("launch");
+
+    let mut routed = cluster.routed_client().expect("routed client");
+    let keys = cluster.map().num_keys();
+    for round in 0..6u64 {
+        for key in 0..keys {
+            routed.write_key(key, round * keys + key).expect("write");
+        }
+    }
+    assert!(cluster.drain(DRAIN).expect("drain io"), "no quiescence");
+
+    let statuses = cluster.statuses().expect("statuses");
+    let frames: u64 = statuses.iter().map(|s| s.frames_sent).sum();
+    let batches: u64 = statuses.iter().map(|s| s.batches_sent).sum();
+    let flushes: u64 = statuses.iter().map(|s| s.flushes).sum();
+    assert!(frames > 0, "no peer frames at all");
+    assert_eq!(
+        frames, flushes,
+        "v3 invariant broken: every flush is exactly one frame"
+    );
+    assert!(
+        batches > frames,
+        "no multi-partition flush was packed: {batches} batch sections in {frames} frames"
+    );
+
+    let verdicts = cluster.verify_partitions().expect("traces");
     for (p, verdict) in verdicts.iter().enumerate() {
         let v = verdict.as_ref().expect("replayable");
         assert!(v.is_consistent(), "partition {p}: {v:?}");

@@ -8,8 +8,9 @@ use prcc_core::Update;
 use prcc_graph::{topologies, PartitionId, PartitionMap, RegisterId, ReplicaId, ShareGraph};
 use prcc_net::VirtualTime;
 use prcc_service::wire::{
-    decode_batch, decode_partition_map, decode_peer_hello, decode_share_graph, encode_batch,
-    encode_partition_map, encode_peer_hello, encode_share_graph, PeerHello,
+    decode_batch, decode_multi_batch, decode_partition_map, decode_peer_batches, decode_peer_hello,
+    decode_share_graph, encode_batch, encode_multi_batch, encode_partition_map, encode_peer_hello,
+    encode_share_graph, PeerHello,
 };
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -46,15 +47,8 @@ fn churn_clock<P: Protocol>(p: &P, i: ReplicaId, advances: usize, seed: u64) -> 
     clock
 }
 
-fn batch_round_trip<P: Protocol>(
-    p: &P,
-    g: &ShareGraph,
-    partition: PartitionId,
-    seed: u64,
-    pad: usize,
-) where
-    P::Clock: WireClock,
-{
+/// One random update per replica with a non-empty register set.
+fn build_updates<P: Protocol>(p: &P, g: &ShareGraph, seed: u64) -> Vec<Update<P::Clock>> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut updates = Vec::new();
     for k in g.replicas() {
@@ -73,6 +67,19 @@ fn batch_round_trip<P: Protocol>(
             received_at: VirtualTime::ZERO,
         });
     }
+    updates
+}
+
+fn batch_round_trip<P: Protocol>(
+    p: &P,
+    g: &ShareGraph,
+    partition: PartitionId,
+    seed: u64,
+    pad: usize,
+) where
+    P::Clock: WireClock,
+{
+    let updates = build_updates(p, g, seed);
     let payload = encode_batch(partition, &updates, pad);
     let (tag, decoded) = decode_batch(&payload, |i| {
         (i.index() < g.num_replicas()).then(|| p.new_clock(i))
@@ -166,6 +173,113 @@ proptest! {
                 "truncation at {} parsed", cut
             );
         }
+    }
+
+    /// A whole flush — sections for several partitions — survives the wire
+    /// as one frame: section order, partition tags, update contents and
+    /// per-section update order all intact, for every clock representation.
+    #[test]
+    fn multi_batches_round_trip(
+        g in arb_share_graph(),
+        parts in proptest::collection::vec(0u32..1000, 1..6),
+        seed in 0u64..500,
+        pad in 0usize..64,
+    ) {
+        let p = EdgeProtocol::new(g.clone());
+        let sections: Vec<(PartitionId, Vec<Update<_>>)> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, &part)| (PartitionId(part), build_updates(&p, &g, seed ^ (i as u64) << 16)))
+            .collect();
+        prop_assume!(sections.iter().all(|(_, u)| !u.is_empty()));
+        let payload = encode_multi_batch(&sections, pad);
+        let back = decode_multi_batch(&payload, |i| {
+            (i.index() < g.num_replicas()).then(|| p.new_clock(i))
+        }).expect("well-formed multi-batch");
+        prop_assert_eq!(back.len(), sections.len());
+        for ((bp, bu), (sp, su)) in back.iter().zip(&sections) {
+            prop_assert_eq!(bp, sp, "section partition tag must survive in order");
+            prop_assert_eq!(bu.len(), su.len());
+            for (a, b) in bu.iter().zip(su) {
+                prop_assert_eq!(
+                    (a.id, a.issuer, a.register, a.value),
+                    (b.id, b.issuer, b.register, b.value)
+                );
+                prop_assert_eq!(&a.clock, &b.clock);
+            }
+        }
+        // The reader-side dispatcher accepts both framings.
+        let dispatched = decode_peer_batches(&payload, |i| {
+            (i.index() < g.num_replicas()).then(|| p.new_clock(i))
+        }).expect("dispatch");
+        prop_assert_eq!(dispatched.len(), sections.len());
+    }
+
+    /// Empty sections never reach the wire: the encoder drops them, and a
+    /// flush of only-empty sections produces a frame the decoder refuses.
+    #[test]
+    fn multi_batch_empty_sections_dropped_or_rejected(
+        g in arb_share_graph(),
+        parts in proptest::collection::vec((0u32..1000, any::<bool>()), 1..6),
+        seed in 0u64..200,
+    ) {
+        let p = EdgeProtocol::new(g.clone());
+        let sections: Vec<(PartitionId, Vec<Update<_>>)> = parts
+            .iter()
+            .map(|&(part, live)| {
+                let updates = if live { build_updates(&p, &g, seed) } else { Vec::new() };
+                (PartitionId(part), updates)
+            })
+            .collect();
+        let live: Vec<&(PartitionId, Vec<Update<_>>)> =
+            sections.iter().filter(|(_, u)| !u.is_empty()).collect();
+        let payload = encode_multi_batch(&sections, 0);
+        let result = decode_multi_batch(&payload, |i| {
+            (i.index() < g.num_replicas()).then(|| p.new_clock(i))
+        });
+        if live.is_empty() {
+            let err = result.expect_err("zero-section frame must be refused");
+            prop_assert!(err.to_string().contains("no sections"), "{}", err);
+        } else {
+            let back = result.expect("decode");
+            prop_assert_eq!(back.len(), live.len());
+            for ((bp, bu), (sp, su)) in back.iter().zip(&live) {
+                prop_assert_eq!(bp, sp);
+                prop_assert_eq!(bu.len(), su.len());
+            }
+        }
+    }
+
+    /// Truncating an encoded multi-batch anywhere never parses.
+    #[test]
+    fn truncated_multi_batches_rejected(g in arb_share_graph(), seed in 0u64..100) {
+        let p = EdgeProtocol::new(g.clone());
+        let updates = build_updates(&p, &g, seed);
+        prop_assume!(!updates.is_empty());
+        let sections = vec![
+            (PartitionId(9), updates.clone()),
+            (PartitionId(2), updates),
+        ];
+        let payload = encode_multi_batch(&sections, 4);
+        for cut in 0..payload.len() {
+            prop_assert!(
+                decode_multi_batch::<_, _>(&payload[..cut], |i| Some(p.new_clock(i))).is_err(),
+                "truncation at {} parsed", cut
+            );
+        }
+    }
+
+    /// The concrete v2-vs-v3 upgrade scenario: a peer still speaking wire
+    /// v2 is refused by a v3 node at the handshake with an error naming
+    /// both versions — mixed-version clusters fail loudly, not silently.
+    #[test]
+    fn v2_hellos_refused_by_v3(map in arb_partition_map()) {
+        let mut payload = encode_peer_hello(&PeerHello { node: 0, map });
+        prop_assert_eq!(u64::from(payload[1]), prcc_service::WIRE_VERSION);
+        payload[1] = 2; // a v2 peer's hello differs exactly here
+        let err = decode_peer_hello(&payload).unwrap_err();
+        prop_assert!(err.to_string().contains("peer speaks v2"), "{}", err);
+        prop_assert!(err.to_string().contains("this node v3"), "{}", err);
     }
 
     /// A hello whose version varint is patched to any other value is

@@ -25,13 +25,22 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Summarizes a set of per-op latencies (sorted in place).
+    ///
+    /// Percentiles are ceil-based nearest-rank: `P(q)` is the smallest
+    /// sample with at least a `q` fraction of the distribution at or below
+    /// it. (The earlier truncating rank biased p50/p99 low for sample
+    /// counts that don't divide evenly — e.g. p99 of 3 samples picked the
+    /// middle one.)
     pub fn from_latencies(latencies: &mut [u64]) -> Self {
         if latencies.is_empty() {
             return LatencySummary::default();
         }
         latencies.sort_unstable();
         let total: u64 = latencies.iter().sum();
-        let at = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+        let at = |q: f64| {
+            let rank = (latencies.len() as f64 * q).ceil() as usize;
+            latencies[rank.clamp(1, latencies.len()) - 1]
+        };
         LatencySummary {
             mean_us: total as f64 / latencies.len() as f64,
             p50_us: at(0.50),
@@ -135,6 +144,28 @@ mod tests {
             LatencySummary::from_latencies(&mut []),
             LatencySummary::default()
         );
+    }
+
+    #[test]
+    fn latency_summary_percentiles_non_round_counts() {
+        // One sample: every percentile is that sample.
+        let one = LatencySummary::from_latencies(&mut [7]);
+        assert_eq!((one.p50_us, one.p99_us, one.max_us), (7, 7, 7));
+
+        // Three samples: the truncating rank used to report p99 = 2 (the
+        // median!); ceil-based nearest-rank reports the top sample.
+        let three = LatencySummary::from_latencies(&mut [1, 2, 3]);
+        assert_eq!(three.p50_us, 2);
+        assert_eq!(three.p99_us, 3);
+        assert_eq!(three.max_us, 3);
+
+        // 101 samples: p50 is the 51st order statistic (ceil(50.5)), p99
+        // the 100th (ceil(99.99)).
+        let mut odd: Vec<u64> = (1..=101).collect();
+        let summary = LatencySummary::from_latencies(&mut odd);
+        assert_eq!(summary.p50_us, 51);
+        assert_eq!(summary.p99_us, 100);
+        assert_eq!(summary.max_us, 101);
     }
 
     #[test]
