@@ -41,6 +41,24 @@ pub fn read_varint(buf: &[u8]) -> Option<(u64, usize)> {
     None
 }
 
+/// Reads a LEB128 varint at `buf[*at..]`, advancing `at` — the cursor
+/// shape every hand-rolled codec in the workspace uses (wire frames, WAL
+/// records, snapshots), with truncation mapped to
+/// [`std::io::ErrorKind::InvalidData`].
+///
+/// # Errors
+///
+/// `InvalidData` when `at` is out of range or the varint is truncated or
+/// over-long.
+pub fn read_varint_at(buf: &[u8], at: &mut usize) -> std::io::Result<u64> {
+    let invalid =
+        |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let rest = buf.get(*at..).ok_or_else(|| invalid("truncated payload"))?;
+    let (v, used) = read_varint(rest).ok_or_else(|| invalid("truncated varint"))?;
+    *at += used;
+    Ok(v)
+}
+
 /// Encodes a counter slice: varint count followed by varint counters.
 pub fn encode_counters(counters: &[u64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(counters.len() + 1);

@@ -17,6 +17,8 @@ pub enum CoreError {
     },
     /// Replica id out of range.
     UnknownReplica(ReplicaId),
+    /// A restored replica state does not fit the protocol configuration.
+    InvalidState(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -26,6 +28,9 @@ impl fmt::Display for CoreError {
                 write!(f, "replica {replica} does not store register {register}")
             }
             CoreError::UnknownReplica(r) => write!(f, "unknown replica {r}"),
+            CoreError::InvalidState(reason) => {
+                write!(f, "invalid restored replica state: {reason}")
+            }
         }
     }
 }

@@ -33,6 +33,6 @@ pub use cluster::Cluster;
 pub use epoch::EpochedCluster;
 pub use error::CoreError;
 pub use multicast::CausalMulticast;
-pub use replica::Replica;
+pub use replica::{Replica, ReplicaState};
 pub use stats::ClusterStats;
 pub use update::Update;

@@ -6,7 +6,14 @@
 //! prcc-load --nodes 4 --ops 10000
 //! prcc-load --nodes 4 --partitions 8 --ops 10000 --seed 7
 //! prcc-load --nodes 6 --topology random --hotspot 0.3 --value-bytes 256
+//! prcc-load --nodes 4 --partitions 8 --data-dir /tmp/prcc --crash-restart
 //! ```
+//!
+//! With `--data-dir` every node runs its write-ahead log + snapshot layer;
+//! `--crash-restart` additionally kills one node mid-drive (at
+//! `--crash-at` progress) and restarts it from its data dir, with the
+//! drivers riding through the outage by redialing — the post-hoc oracle
+//! then verifies the *complete* trace, recovery included.
 //!
 //! Writes `BENCH_service.json` (schema in `prcc_service::report`) so later
 //! changes can track the performance trajectory. The `--seed` flag threads
@@ -22,6 +29,7 @@ use prcc_workloads::ops::{generate_keyed_ops, route_keyed_ops};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::process::exit;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -30,6 +38,18 @@ struct DriverResult {
     latencies_us: Vec<u64>,
     reads: usize,
     failures: usize,
+}
+
+/// Removes an auto-created scratch data dir on every exit path of `run`,
+/// error returns included.
+struct ScratchDir(Option<std::path::PathBuf>);
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.0 {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -50,6 +70,12 @@ fn run() -> Result<(), String> {
              \t--flush-us U     batch flush interval in microseconds (default 200)\n\
              \t--base-port P    0 = ephemeral ports (default)\n\
              \t--out PATH       report path (default BENCH_service.json)\n\
+             \t--data-dir PATH  enable durability: per-node WAL + snapshots under PATH\n\
+             \t--snapshot-every N  WAL records between snapshots (default 4096)\n\
+             \t--crash-restart  kill one node mid-drive and restart it from its\n\
+             \t                 data dir (a temp dir is used if --data-dir is unset)\n\
+             \t--crash-at F     progress fraction at which the crash fires (default 0.5)\n\
+             \t--crash-node N   which node to crash (default 1)\n\
              \t--max-frames-per-flush F  fail if mean frames per sender flush\n\
              \t                 reaches F (regression guard for multi-partition\n\
              \t                 frame packing; 0 = off, default)\n\
@@ -79,19 +105,42 @@ fn run() -> Result<(), String> {
         .to_string();
     let max_frames_per_flush = args.parse_or("--max-frames-per-flush", 0f64)?;
     let quiet = args.has("--quiet");
+    let crash_restart = args.has("--crash-restart");
+    let crash_at = args.parse_or("--crash-at", 0.5f64)?.clamp(0.0, 1.0);
+    let crash_node = args.parse_or("--crash-node", 1usize)?;
+    let data_dir = match args.value("--data-dir") {
+        Some(path) => Some(std::path::PathBuf::from(path)),
+        None if crash_restart => {
+            // A crash test without durability would lose state by design;
+            // give it a scratch dir so the scenario is meaningful.
+            Some(std::env::temp_dir().join(format!("prcc-load-data-{}", std::process::id())))
+        }
+        None => None,
+    };
+    let _scratch = ScratchDir(
+        (crash_restart && args.value("--data-dir").is_none())
+            .then(|| data_dir.clone())
+            .flatten(),
+    );
     let cfg = ServiceConfig {
         batch_max: args.parse_or("--batch", 64usize)?.max(1),
         flush_interval: Duration::from_micros(args.parse_or("--flush-us", 200u64)?),
         pad_bytes: value_bytes,
+        data_dir: data_dir.clone(),
+        snapshot_every: args.parse_or("--snapshot-every", 4096u64)?,
         ..ServiceConfig::default()
     };
-
     let graph = build_topology(&topology, nodes, seed)?;
     let n = graph.num_replicas();
+    if crash_restart && crash_node >= n {
+        return Err(format!(
+            "--crash-node {crash_node} out of range for {n} nodes"
+        ));
+    }
     let map = PartitionMap::rotated(graph.clone(), partitions, n)
         .map_err(|e| format!("partition map: {e}"))?;
     let protocol = Arc::new(EdgeProtocol::new(graph));
-    let cluster = LoopbackCluster::launch_partitioned(protocol, map.clone(), &cfg, base_port)
+    let mut cluster = LoopbackCluster::launch_partitioned(protocol, map.clone(), &cfg, base_port)
         .map_err(|e| format!("launch failed: {e}"))?;
 
     // One seeded keyed op stream, routed into per-node driver scripts — the
@@ -102,10 +151,13 @@ fn run() -> Result<(), String> {
     let scripts = route_keyed_ops(&map, &ops);
 
     // Per-thread pacing for --rate: each driver holds the cluster-wide
-    // interval scaled by its share of the ops.
+    // interval scaled by its share of the ops. The shared progress counter
+    // triggers the crash injection at the requested point of the run.
     let drive_start = Instant::now();
+    let progress = Arc::new(AtomicUsize::new(0));
     let mut drivers = Vec::with_capacity(n);
     for (node, script) in scripts.into_iter().enumerate() {
+        let addr = cluster.addrs(node).1;
         let mut client = cluster
             .client(node)
             .map_err(|e| format!("connect node {node}: {e}"))?;
@@ -116,6 +168,7 @@ fn run() -> Result<(), String> {
             None
         };
         let mut thread_rng = ChaCha8Rng::seed_from_u64(seed ^ ((node as u64 + 1) << 32));
+        let progress = Arc::clone(&progress);
         drivers.push(thread::spawn(move || -> std::io::Result<DriverResult> {
             let mut result = DriverResult {
                 latencies_us: Vec::with_capacity(script.len()),
@@ -132,11 +185,40 @@ fn run() -> Result<(), String> {
                     next_at += interval;
                 }
                 let started = Instant::now();
-                let ok = if read_pct > 0.0 && thread_rng.gen_bool(read_pct) {
+                let is_read = read_pct > 0.0 && thread_rng.gen_bool(read_pct);
+                if is_read {
                     result.reads += 1;
-                    client.read_in(partition, register).map(|_| true)?
-                } else {
-                    client.write_padded(partition, register, value, value_bytes)?
+                }
+                let attempt = |client: &mut prcc_service::ServiceClient| {
+                    if is_read {
+                        client.read_in(partition, register).map(|_| true)
+                    } else {
+                        client.write_padded(partition, register, value, value_bytes)
+                    }
+                };
+                let ok = match attempt(&mut client) {
+                    Ok(ok) => ok,
+                    Err(e) if crash_restart => {
+                        // The node may be mid crash/restart: ride through
+                        // the outage by redialing until the op lands. A
+                        // write whose ack was lost in the crash may commit
+                        // twice — two distinct updates, which is exactly
+                        // what a real retrying client produces.
+                        let deadline = Instant::now() + Duration::from_secs(30);
+                        loop {
+                            thread::sleep(Duration::from_millis(25));
+                            if let Ok(mut fresh) = prcc_service::ServiceClient::connect(addr) {
+                                if let Ok(ok) = attempt(&mut fresh) {
+                                    client = fresh;
+                                    break ok;
+                                }
+                            }
+                            if Instant::now() >= deadline {
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Err(e) => return Err(e),
                 };
                 if !ok {
                     result.failures += 1;
@@ -144,9 +226,27 @@ fn run() -> Result<(), String> {
                 result
                     .latencies_us
                     .push(started.elapsed().as_micros() as u64);
+                progress.fetch_add(1, Ordering::Relaxed);
             }
             Ok(result)
         }));
+    }
+
+    // The fault injector: once the drive crosses the crash point, kill the
+    // target node mid-stream and bring it back on the same data dir.
+    let mut crash_restarts = 0u64;
+    if crash_restart {
+        let target = ((ops_total as f64) * crash_at).round() as usize;
+        let stall = Instant::now() + Duration::from_secs(120);
+        while progress.load(Ordering::Relaxed) < target && Instant::now() < stall {
+            thread::sleep(Duration::from_millis(5));
+        }
+        cluster.crash_node(crash_node);
+        thread::sleep(Duration::from_millis(150));
+        cluster
+            .restart_node(crash_node)
+            .map_err(|e| format!("restarting node {crash_node}: {e}"))?;
+        crash_restarts = 1;
     }
 
     let mut latencies = Vec::with_capacity(ops_total);
@@ -224,6 +324,11 @@ fn run() -> Result<(), String> {
         flushes: 0,
         updates_per_batch: 0.0,
         frames_per_flush: 0.0,
+        durable: data_dir.is_some(),
+        crash_restarts,
+        resent: 0,
+        wal_appends: 0,
+        snapshots_written: 0,
         verdict,
         per_partition,
     };
@@ -260,6 +365,13 @@ fn run() -> Result<(), String> {
             report.frames_sent,
             report.batches_sent
         );
+        if report.durable {
+            println!(
+                "  durability: {} WAL appends, {} snapshots, {} updates resent, \
+                 {} crash/restart cycles",
+                report.wal_appends, report.snapshots_written, report.resent, report.crash_restarts
+            );
+        }
         println!(
             "  oracle: {}",
             if report.verdict.consistent {

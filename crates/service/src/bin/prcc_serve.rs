@@ -28,6 +28,9 @@ fn run() -> Result<(), String> {
              \t--batch N        max updates per peer flush (default 64)\n\
              \t--flush-us U     batch flush interval in microseconds (default 200)\n\
              \t--value-bytes B  extra payload bytes per update (default 0)\n\
+             \t--data-dir PATH  enable durability: per-node WAL + snapshots under PATH\n\
+             \t                 (nodes recover their state from it on restart)\n\
+             \t--snapshot-every N  WAL records between snapshots (default 4096)\n\
              \t--duration S     self-terminate after S seconds (default: serve forever)\n\n\
              The process serves until a client sends Shutdown to every node."
         );
@@ -43,6 +46,8 @@ fn run() -> Result<(), String> {
         batch_max: args.parse_or("--batch", 64usize)?.max(1),
         flush_interval: Duration::from_micros(args.parse_or("--flush-us", 200u64)?),
         pad_bytes: args.parse_or("--value-bytes", 0usize)?,
+        data_dir: args.value("--data-dir").map(std::path::PathBuf::from),
+        snapshot_every: args.parse_or("--snapshot-every", 4096u64)?,
         ..ServiceConfig::default()
     };
 

@@ -13,10 +13,28 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A full cluster of nodes on 127.0.0.1, one pair of listeners each.
-#[derive(Debug)]
+///
+/// The harness supports fault injection: [`LoopbackCluster::crash_node`]
+/// kills a node without a graceful drain, and
+/// [`LoopbackCluster::restart_node`] respawns it on the *same* listener
+/// addresses (peers reconnect through the sender backoff path) and — when
+/// the deployment has a data dir — the same on-disk state, which the node
+/// recovers from its snapshot + WAL.
 pub struct LoopbackCluster {
     map: PartitionMap,
     nodes: Vec<NodeHandle>,
+    peer_addrs: Vec<SocketAddr>,
+    durable: bool,
+    spawner: Arc<dyn Fn(NodeSeed) -> io::Result<NodeHandle> + Send + Sync>,
+}
+
+impl std::fmt::Debug for LoopbackCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackCluster")
+            .field("map", &self.map)
+            .field("nodes", &self.nodes)
+            .finish()
+    }
 }
 
 impl LoopbackCluster {
@@ -64,23 +82,33 @@ impl LoopbackCluster {
             peer_listeners.push(peer);
             client_listeners.push(client);
         }
+        // The spawner closure lets restart_node respawn any node with the
+        // exact launch configuration without the cluster being generic
+        // over the protocol type.
+        let spawner: Arc<dyn Fn(NodeSeed) -> io::Result<NodeHandle> + Send + Sync> = {
+            let protocol = Arc::clone(&protocol);
+            let map = map.clone();
+            let cfg = cfg.clone();
+            Arc::new(move |seed| spawn_node(Arc::clone(&protocol), map.clone(), seed, cfg.clone()))
+        };
         let mut nodes = Vec::with_capacity(n);
         for (i, (peer_listener, client_listener)) in
             peer_listeners.into_iter().zip(client_listeners).enumerate()
         {
-            nodes.push(spawn_node(
-                Arc::clone(&protocol),
-                map.clone(),
-                NodeSeed {
-                    node: i,
-                    peer_listener,
-                    client_listener,
-                    peer_addrs: peer_addrs.clone(),
-                },
-                cfg.clone(),
-            )?);
+            nodes.push(spawner(NodeSeed {
+                node: i,
+                peer_listener,
+                client_listener,
+                peer_addrs: peer_addrs.clone(),
+            })?);
         }
-        Ok(LoopbackCluster { map, nodes })
+        Ok(LoopbackCluster {
+            map,
+            nodes,
+            peer_addrs,
+            durable: cfg.data_dir.is_some(),
+            spawner,
+        })
     }
 
     /// The cluster's partition map.
@@ -131,9 +159,55 @@ impl LoopbackCluster {
         Ok(self.statuses()?.iter().map(|s| s.dropped_misrouted).sum())
     }
 
+    /// Fault injection: kills node `i` without a graceful shutdown — no
+    /// drain, no final snapshot, every connection severed mid-stream.
+    /// Clients of the node see their connections drop; peers see the link
+    /// die and fall into the reconnect backoff path.
+    pub fn crash_node(&mut self, i: usize) {
+        self.nodes[i].crash();
+    }
+
+    /// Respawns a crashed node on its original listener addresses. With a
+    /// data dir configured the node recovers its snapshot + WAL first, so
+    /// it rejoins with its pre-crash clock, store and event log; peers'
+    /// senders reconnect (backoff) and resend their unacked windows from
+    /// the offset the recovered node acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// Refused outright when the deployment has no data dir: a blank
+    /// respawn would reissue wire ids its peers' dedup sets already hold,
+    /// so its new writes would be silently dropped cluster-wide. Also
+    /// fails on rebinding the listeners (the OS may briefly hold the
+    /// port) or the respawn itself (e.g. an unrecoverable data dir).
+    pub fn restart_node(&mut self, i: usize) -> io::Result<()> {
+        if !self.durable {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "restarting a node without a data dir would reuse wire ids \
+                 its peers have already seen; launch the cluster with \
+                 ServiceConfig::data_dir to use crash/restart",
+            ));
+        }
+        let (peer_addr, client_addr) = (self.nodes[i].peer_addr, self.nodes[i].client_addr);
+        let peer_listener = bind_with_retry(peer_addr)?;
+        let client_listener = bind_with_retry(client_addr)?;
+        self.nodes[i] = (self.spawner)(NodeSeed {
+            node: i,
+            peer_listener,
+            client_listener,
+            peer_addrs: self.peer_addrs.clone(),
+        })?;
+        Ok(())
+    }
+
     /// Polls until the cluster is quiescent: every pending buffer empty,
-    /// every sent update received, and the counters stable across two
-    /// consecutive polls. Returns `false` on timeout.
+    /// every sent update copy received at least once — resend duplicates
+    /// are *excluded* (`received - duplicates_dropped`), so a surplus of
+    /// retransmissions cannot mask a genuinely undelivered update parked
+    /// in an unacked sender window — and the counters stable across two
+    /// consecutive polls. Returns `false` on timeout. Every node must be
+    /// up (restart crashed nodes first).
     pub fn drain(&self, timeout: Duration) -> io::Result<bool> {
         // One persistent client per node: the poll loop runs every 10ms and
         // per-call connections would churn thousands of sockets per drain.
@@ -151,8 +225,9 @@ impl LoopbackCluster {
                 .collect::<io::Result<Vec<_>>>()?;
             let sent: u64 = statuses.iter().map(|s| s.messages_sent).sum();
             let received: u64 = statuses.iter().map(|s| s.messages_received).sum();
+            let duplicates: u64 = statuses.iter().map(|s| s.duplicates_dropped).sum();
             let pending: u64 = statuses.iter().map(|s| s.pending).sum();
-            let settled = pending == 0 && sent == received;
+            let settled = pending == 0 && received.saturating_sub(duplicates) >= sent;
             if settled && previous.as_ref() == Some(&statuses) {
                 return Ok(true);
             }
@@ -237,6 +312,20 @@ impl LoopbackCluster {
     pub fn join(&mut self) {
         for node in &mut self.nodes {
             node.join();
+        }
+    }
+}
+
+/// Rebinds a listener on an exact address a crashed node just vacated,
+/// retrying briefly: the old socket is closed by the crash switch, but the
+/// OS may take a moment to release the port to a fresh `bind`.
+fn bind_with_retry(addr: SocketAddr) -> io::Result<TcpListener> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
         }
     }
 }

@@ -5,22 +5,30 @@
 //! the algorithm in one process; this crate takes the same generic
 //! [`prcc_clock::Protocol`] replicas across real sockets:
 //!
-//! * [`wire`] — the length-prefixed binary wire protocol (version 3): a
+//! * [`wire`] — the length-prefixed binary wire protocol (version 4): a
 //!   versioned peer handshake carrying the serialized
-//!   [`prcc_graph::PartitionMap`], multi-partition flush frames (one frame
-//!   per flush, a `(partition, updates[])` section per partition present)
-//!   built on [`prcc_clock::WireClock`] / `Update::encode_wire`, and the
+//!   [`prcc_graph::PartitionMap`] and answered with the link's
+//!   acknowledged resume offset, multi-partition flush frames (one frame
+//!   per flush, a `(partition, [(link seq, update)])` section per
+//!   partition present) built on [`prcc_clock::WireClock`] /
+//!   `Update::encode_wire`, streamed acknowledgement frames, and the
 //!   partition-addressed client read/write API.
 //! * [`node`] — a partition-routing TCP node: a core event-loop thread
 //!   owning one [`prcc_core::Replica`] per hosted partition, per-peer
 //!   sender threads that batch updates and pack each flush into a single
-//!   multi-partition frame (reconnecting with backoff on link loss), and
-//!   listeners for peer and client traffic.
+//!   multi-partition frame (reconnecting with backoff on link loss and
+//!   resending the unacked window), and listeners for peer and client
+//!   traffic. With a data dir configured the core appends every
+//!   state-mutating input to a `prcc-storage` write-ahead log before
+//!   applying it, snapshots periodically, and recovers snapshot + log on
+//!   boot — deterministically rebuilding clocks, stores, event logs and
+//!   resend windows after a crash.
 //! * [`client`] — [`ServiceClient`] (blocking, single-node) and
 //!   [`RoutedClient`] (key-routed over the whole cluster).
 //! * [`cluster`] — [`LoopbackCluster`]: bind, spawn, drain-to-quiescence,
-//!   trace collection and post-hoc per-partition [`prcc_checker`] oracle
-//!   verification.
+//!   trace collection, post-hoc per-partition [`prcc_checker`] oracle
+//!   verification, and crash/restart fault injection
+//!   (`crash_node`/`restart_node`).
 //! * [`report`] — the `prcc-load` benchmark report (`BENCH_service.json`).
 //! * [`config`] — topology selection shared by the `prcc-serve` /
 //!   `prcc-load` binaries.

@@ -1,37 +1,58 @@
-//! A partition-routing TCP node.
+//! A partition-routing TCP node with optional durability.
 //!
 //! A node no longer *is* a replica: it hosts one replica *role* of every
 //! partition the [`PartitionMap`] places on it, each an independent
 //! [`Replica`] with its own share-graph-derived clock. The threads around
-//! the core are unchanged in shape:
+//! the core:
 //!
 //! * the core thread serializes all state access (writes, reads, update
-//!   application, trace/status snapshots) through one channel — replicating
-//!   the run-to-completion event loop an async runtime would provide — and
-//!   routes every message to the target partition's replica;
+//!   application, trace/status snapshots, link bookkeeping) through one
+//!   channel — replicating the run-to-completion event loop an async
+//!   runtime would provide — and routes every message to the target
+//!   partition's replica;
 //! * one *sender* thread per peer node dials the peer's update listener
 //!   (redialing with bounded backoff and a fresh handshake if the link
 //!   later drops), then coalesces outgoing updates: a batch closes when it
 //!   reaches `batch_max` updates or `flush_interval` elapses after its
 //!   first update, whichever is first, and the whole flush is emitted as
-//!   *one* wire-v3 multi-partition frame carrying a section per partition
-//!   present (per-partition order preserved) — so framing cost is per
-//!   flush, not per partition;
+//!   *one* multi-partition frame carrying a section per partition present;
 //! * the peer listener accepts connections and spawns a reader per peer
-//!   that decodes multi-partition flush frames (and the legacy v2
-//!   single-partition framing) and fans their sections to the core;
+//!   that answers the handshake with the acknowledged resume offset,
+//!   decodes multi-partition flush frames, fans their sections to the
+//!   core, and streams acknowledgement frames back to the sender;
 //! * the client listener serves the request/response API of
 //!   [`crate::wire::ClientRequest`], including the [`PartitionMap`] itself
 //!   (`Config`) so clients can route by key.
 //!
+//! # Durability (wire v4 + `prcc-storage`)
+//!
+//! With a data dir configured, the core appends every state-mutating input
+//! to a checksummed write-ahead log *before* applying it: client writes as
+//! [`WalRecord::Issue`], decoded peer flush frames as
+//! [`WalRecord::Receipt`]. Because the core loop is deterministic, replaying
+//! snapshot + log on boot rebuilds the exact pre-crash state — clocks,
+//! stores, pending buffers, dedup sets, event logs, *and* the per-peer
+//! outbound windows below. Periodic snapshots fold the log prefix and
+//! truncate it.
+//!
+//! Peer links are acknowledged: the core assigns every outbound update a
+//! per-link sequence number and parks it in that link's *window*; the
+//! receiver acks the highest sequence it has durably received (at the
+//! handshake and periodically in-stream), which prunes the window. After
+//! any reconnect — link loss or node restart — the sender resends the
+//! window suffix past the peer's acknowledged offset, so updates buffered
+//! into a dying socket are retransmitted instead of lost; the receiver's
+//! dedup set absorbs the overlap.
+//!
 //! Updates carry globally unique wire ids (`node << 40 | seq`, with `seq`
-//! node-global across partitions), which drive both duplicate suppression
-//! in [`Replica::receive`] and the post-hoc per-partition oracle replay
-//! over collected traces.
+//! node-global across partitions and recovered on restart), which drive
+//! duplicate suppression in [`Replica::receive`] and the post-hoc
+//! per-partition oracle replay over collected traces.
 
 use crate::wire::{
-    decode_peer_batches, decode_peer_hello, decode_request, encode_multi_batch, encode_peer_hello,
-    encode_response, read_frame, write_frame, ClientRequest, ClientResponse, NodeStatus,
+    decode_hello_ack, decode_peer_ack, decode_peer_batches, decode_peer_hello, decode_request,
+    encode_hello_ack, encode_multi_batch, encode_peer_ack, encode_peer_hello, encode_response,
+    read_frame, write_frame, ClientRequest, ClientResponse, FlushSections, NodeStatus,
     PartitionCounters, PeerHello, WIRE_VERSION,
 };
 use prcc_checker::trace::TraceEvent;
@@ -40,17 +61,28 @@ use prcc_clock::{Protocol, WireClock};
 use prcc_core::{Replica, Update};
 use prcc_graph::{PartitionId, PartitionMap, RegisterId, ReplicaId};
 use prcc_net::VirtualTime;
-use std::collections::HashMap;
+use prcc_storage::{
+    decode_record, decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, NodeSnapshot,
+    PartitionSnapshot, PeerSnapshot, Wal, WalRecord,
+};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// How many times a sender reconnects (full dial-with-backoff windows) for
-/// one frame before stranding the peer link.
-const RECONNECT_ATTEMPTS: usize = 5;
+/// Low 40 bits of a wire id: the node-global issue sequence (the issuing
+/// node's index sits above them).
+const WIRE_SEQ_MASK: u64 = (1 << 40) - 1;
+
+/// How long an idle sender waits between checks of the stop flag (it
+/// cannot block forever on its channel: its own relink handle keeps the
+/// channel alive).
+const SENDER_IDLE_POLL: Duration = Duration::from_millis(200);
 
 /// Tuning knobs of a node deployment.
 #[derive(Debug, Clone)]
@@ -64,6 +96,17 @@ pub struct ServiceConfig {
     pub pad_bytes: usize,
     /// How long senders keep retrying a peer dial before giving up.
     pub connect_timeout: Duration,
+    /// Directory for write-ahead logs and snapshots (`None` = in-memory
+    /// node, the pre-durability behavior). Each node uses
+    /// `<data_dir>/node-<i>/`.
+    pub data_dir: Option<PathBuf>,
+    /// WAL records between snapshots (snapshots truncate the log);
+    /// 0 = never snapshot. Ignored without a data dir.
+    pub snapshot_every: u64,
+    /// Peer flush frames between streamed acknowledgements per link;
+    /// 0 = acknowledge only at the handshake (useful for deterministic
+    /// snapshot tests — windows then never shrink mid-run).
+    pub ack_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +116,9 @@ impl Default for ServiceConfig {
             flush_interval: Duration::from_micros(200),
             pad_bytes: 0,
             connect_timeout: Duration::from_secs(10),
+            data_dir: None,
+            snapshot_every: 4096,
+            ack_every: 16,
         }
     }
 }
@@ -92,7 +138,6 @@ pub struct NodeSeed {
 }
 
 /// Handle to a spawned node.
-#[derive(Debug)]
 pub struct NodeHandle {
     /// The node's index in the partition map.
     pub node: usize,
@@ -101,16 +146,47 @@ pub struct NodeHandle {
     /// Address of the client API listener.
     pub client_addr: SocketAddr,
     core: Option<thread::JoinHandle<()>>,
+    kill: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeHandle")
+            .field("node", &self.node)
+            .field("peer_addr", &self.peer_addr)
+            .field("client_addr", &self.client_addr)
+            .finish()
+    }
 }
 
 impl NodeHandle {
     /// Blocks until the node's core thread exits (a client sent
-    /// [`ClientRequest::Shutdown`]).
+    /// [`ClientRequest::Shutdown`], or the node was crashed).
     pub fn join(&mut self) {
         if let Some(handle) = self.core.take() {
             let _ = handle.join();
         }
     }
+
+    /// Kills the node *without* graceful shutdown — fault injection for
+    /// the recovery tests and `prcc-load --crash-restart`. The core stops
+    /// mid-stream (no final snapshot, no drain), every peer connection is
+    /// severed, and in-flight client requests see their connections drop.
+    /// A node with a data dir can then be respawned on the same directory
+    /// and recover from its snapshot + WAL.
+    pub fn crash(&mut self) {
+        (self.kill)();
+        self.join();
+    }
+}
+
+/// Commands a sender thread receives: a sequenced outbound update from the
+/// core, or a nudge from an ack-reader that connection `generation` died
+/// (so the sender redials even when no new traffic would surface the
+/// failure).
+enum SenderCmd<C> {
+    Update(u64, PartitionId, Update<C>),
+    Relink(u64),
 }
 
 enum CoreMsg<C> {
@@ -125,9 +201,35 @@ enum CoreMsg<C> {
         register: RegisterId,
         reply: mpsc::Sender<(bool, Option<u64>)>,
     },
-    Updates(PartitionId, Vec<Update<C>>),
+    /// One decoded peer flush frame: sender node, its sections, and the
+    /// channel acknowledgements for this connection travel on.
+    Updates {
+        peer: usize,
+        sections: FlushSections<C>,
+        ack: mpsc::Sender<u64>,
+    },
+    /// A peer's inbound handshake: reply with the acknowledged resume
+    /// offset for that link.
+    PeerJoin {
+        peer: usize,
+        reply: mpsc::Sender<u64>,
+    },
+    /// A sender (re)connected and the peer acknowledged `acked`: prune the
+    /// link's window to it and hand back what must be resent.
+    PeerResume {
+        peer: usize,
+        acked: u64,
+        reply: mpsc::Sender<Vec<(u64, PartitionId, Update<C>)>>,
+    },
+    /// A streamed acknowledgement from a peer arrived.
+    PeerAcked {
+        peer: usize,
+        seq: u64,
+    },
     Status(mpsc::Sender<NodeStatus>),
     Trace(mpsc::Sender<Vec<Vec<TraceEvent>>>),
+    /// Fault injection: stop immediately, no final snapshot.
+    Crash,
     Shutdown,
 }
 
@@ -140,17 +242,26 @@ struct SocketCounters {
     frames_sent: AtomicU64,
     /// Sender flush cycles.
     flushes: AtomicU64,
+    /// Update copies resent from the window after a reconnect.
+    resent: AtomicU64,
 }
 
-/// Per-peer outgoing channel: updates tagged with their partition.
-type PeerTx<C> = mpsc::Sender<(PartitionId, Update<C>)>;
+/// Per-peer outgoing channel feeding the sender thread.
+type PeerTx<C> = mpsc::Sender<SenderCmd<C>>;
 
-/// The live inbound connection per dialing peer, keyed by its node index.
-/// A peer's sender runs exactly one connection at a time, so a redial
-/// *replaces* the old one: the acceptor shuts the stale socket down, which
-/// unblocks (and ends) its reader thread instead of leaking it on a
-/// half-open link.
-type PeerConnections = Arc<Mutex<HashMap<usize, TcpStream>>>;
+/// The live inbound connection per dialing peer, keyed by its node index
+/// and tagged with a process-unique registration token. A peer's sender
+/// runs exactly one connection at a time, so a redial *replaces* the old
+/// one: the acceptor shuts the stale socket down, which unblocks (and
+/// ends) its reader thread instead of leaking it on a half-open link. The
+/// crash switch severs everything registered here, and every reader
+/// deregisters its own entry (matched by token) on exit — a registered
+/// clone must never keep a readerless socket open, or the peer would keep
+/// writing into a black hole without ever seeing the connection die.
+type PeerConnections = Arc<Mutex<HashMap<usize, (u64, TcpStream)>>>;
+
+/// Process-unique tokens for [`PeerConnections`] registrations.
+static REGISTRATION_TOKEN: AtomicU64 = AtomicU64::new(0);
 
 /// One hosted partition: the role this node plays in it, the replica state
 /// machine, and the partition-local event log.
@@ -161,7 +272,542 @@ struct PartitionSlot<P: Protocol> {
     issued: u64,
 }
 
-/// Spawns a node: core thread, peer senders, peer/client listeners.
+/// One peer link's state, owned by the core (so it is snapshot-able and
+/// deterministically rebuilt by WAL replay).
+struct PeerLink<C> {
+    /// Next outbound sequence to assign (starts at 1).
+    next_seq: u64,
+    /// Outbound updates not yet acknowledged by the peer, in sequence
+    /// order. Entries enter when enqueued to the sender and leave when an
+    /// acknowledgement covers them.
+    window: VecDeque<(u64, PartitionId, Update<C>)>,
+    /// Highest sequence received *from* this peer — what this node
+    /// acknowledges back.
+    recv_high: u64,
+    /// Flush frames received since the last streamed acknowledgement.
+    frames_since_ack: u64,
+}
+
+impl<C> PeerLink<C> {
+    fn new() -> Self {
+        PeerLink {
+            next_seq: 1,
+            window: VecDeque::new(),
+            recv_high: 0,
+            frames_since_ack: 0,
+        }
+    }
+}
+
+/// The core's full logical state: everything the WAL + snapshot must be
+/// able to rebuild. Kept separate from the I/O threads so the live event
+/// loop and boot-time replay run the exact same transition functions.
+struct Core<P: Protocol> {
+    node: usize,
+    partitions: Vec<Option<PartitionSlot<P>>>,
+    links: Vec<PeerLink<P::Clock>>,
+    /// Node-global wire-id sequence (low 40 bits of issued update ids).
+    seq: u64,
+    issued: u64,
+    sent: u64,
+    received: u64,
+    dropped_misrouted: u64,
+}
+
+impl<P: Protocol> Core<P> {
+    fn new(protocol: &P, map: &PartitionMap, node: usize) -> Self {
+        let partitions = map
+            .partitions()
+            .map(|p| {
+                map.role_on(p, node).map(|role| PartitionSlot {
+                    role,
+                    replica: Replica::new(protocol, role),
+                    log: Vec::new(),
+                    issued: 0,
+                })
+            })
+            .collect();
+        Core {
+            node,
+            partitions,
+            links: (0..map.num_nodes()).map(|_| PeerLink::new()).collect(),
+            seq: 0,
+            issued: 0,
+            sent: 0,
+            received: 0,
+            dropped_misrouted: 0,
+        }
+    }
+
+    /// Whether a client write to `(partition, register)` can be accepted
+    /// here — checked *before* the WAL append so rejected writes never
+    /// enter the durable history.
+    fn can_write(&self, protocol: &P, partition: PartitionId, register: RegisterId) -> bool {
+        self.partitions
+            .get(partition.index())
+            .and_then(Option::as_ref)
+            .is_some_and(|slot| protocol.share_graph().stores(slot.role, register))
+    }
+
+    fn next_wire_id(&mut self) -> u64 {
+        self.seq += 1;
+        ((self.node as u64) << 40) | self.seq
+    }
+
+    /// Applies an accepted client write: advances the replica, records the
+    /// trace event, and parks a copy in every recipient peer's window.
+    /// Returns the `(peer, seq, partition, update)` copies for the live
+    /// path to enqueue to sender threads (replay discards them — senders
+    /// pull the windows on their first handshake instead).
+    ///
+    /// Shared by the live write path and WAL replay; determinism of this
+    /// function (and `apply_sections`) is what makes snapshot + log replay
+    /// reproduce the pre-crash state exactly.
+    #[allow(clippy::type_complexity)]
+    fn apply_write(
+        &mut self,
+        protocol: &P,
+        map: &PartitionMap,
+        partition: PartitionId,
+        register: RegisterId,
+        value: u64,
+        wire_id: u64,
+    ) -> Option<Vec<(usize, u64, PartitionId, Update<P::Clock>)>> {
+        self.seq = self.seq.max(wire_id & WIRE_SEQ_MASK);
+        let node = self.node;
+        let slot = self
+            .partitions
+            .get_mut(partition.index())
+            .and_then(Option::as_mut)?;
+        let clock = slot.replica.write(protocol, register, value).ok()?;
+        slot.log.push(TraceEvent::Issue {
+            replica: slot.role,
+            register,
+            update: wire_id,
+        });
+        slot.issued += 1;
+        self.issued += 1;
+        let update = Update {
+            id: UpdateId(wire_id),
+            issuer: slot.role,
+            register,
+            value,
+            clock,
+            issued_at: VirtualTime::ZERO,
+            received_at: VirtualTime::ZERO,
+        };
+        let role = slot.role;
+        let mut sends = Vec::new();
+        for recipient in protocol.recipients(role, register) {
+            let peer = map.node_of(partition, recipient);
+            if peer == node {
+                continue;
+            }
+            let link = &mut self.links[peer];
+            let seq = link.next_seq;
+            link.next_seq += 1;
+            link.window.push_back((seq, partition, update.clone()));
+            self.sent += 1;
+            sends.push((peer, seq, partition, update.clone()));
+        }
+        Some(sends)
+    }
+
+    /// Applies one peer flush frame's sections: tracks the link's receive
+    /// high-water mark, feeds the replicas, and records apply events.
+    /// Shared by the live path and WAL replay.
+    ///
+    /// The high-water mark advances **contiguously only**: acknowledging
+    /// sequence `s` promises every sequence `<= s` is durable, so a gap —
+    /// which can only mean an earlier frame was dropped (e.g. its WAL
+    /// append failed) — must hold the acknowledgement line rather than be
+    /// skipped over, or the sender would prune updates this node never
+    /// kept. Sections regroup a flush by partition, so seqs within one
+    /// frame may arrive locally reordered; they are collected and folded
+    /// in order after the frame is applied.
+    fn apply_sections(&mut self, protocol: &P, peer: usize, sections: FlushSections<P::Clock>) {
+        let node = self.node;
+        let mut seqs: Vec<u64> = Vec::new();
+        for (partition, updates) in sections {
+            let Some(slot) = self
+                .partitions
+                .get_mut(partition.index())
+                .and_then(Option::as_mut)
+            else {
+                // Misrouted section: the reader already validated the
+                // partition range, so this is a hosting mismatch.
+                self.dropped_misrouted += updates.len() as u64;
+                eprintln!(
+                    "prcc-service[{node}]: dropped {} updates for unhosted {partition}",
+                    updates.len()
+                );
+                continue;
+            };
+            for (seq, update) in updates {
+                if seq > 0 {
+                    seqs.push(seq);
+                }
+                self.received += 1;
+                slot.replica.receive(update, VirtualTime::ZERO);
+            }
+            for done in slot.replica.drain(protocol) {
+                if protocol.stores_value(slot.role, done.register) {
+                    slot.log.push(TraceEvent::Apply {
+                        replica: slot.role,
+                        update: done.id.0,
+                    });
+                }
+            }
+        }
+        let link = &mut self.links[peer];
+        seqs.sort_unstable();
+        for seq in seqs {
+            if seq == link.recv_high + 1 {
+                link.recv_high = seq;
+            }
+        }
+    }
+
+    /// Prunes a link's window: the peer has acknowledged everything up to
+    /// and including `acked`.
+    fn prune(&mut self, peer: usize, acked: u64) {
+        if let Some(link) = self.links.get_mut(peer) {
+            while link.window.front().is_some_and(|(seq, _, _)| *seq <= acked) {
+                link.window.pop_front();
+            }
+        }
+    }
+
+    /// Handshake resume: prune to the peer's acknowledged offset and hand
+    /// back the remaining window for retransmission.
+    fn resume(&mut self, peer: usize, acked: u64) -> Vec<(u64, PartitionId, Update<P::Clock>)> {
+        self.prune(peer, acked);
+        self.links
+            .get(peer)
+            .map(|link| link.window.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn status(&self) -> NodeStatus {
+        let per_partition = self
+            .partitions
+            .iter()
+            .map(|slot| match slot {
+                Some(slot) => PartitionCounters {
+                    issued: slot.issued,
+                    applies: slot.replica.applies(),
+                    pending: slot.replica.pending_len() as u64,
+                },
+                None => PartitionCounters::default(),
+            })
+            .collect();
+        NodeStatus {
+            node: self.node as u64,
+            issued: self.issued,
+            messages_sent: self.sent,
+            messages_received: self.received,
+            applies: self
+                .partitions
+                .iter()
+                .flatten()
+                .map(|s| s.replica.applies())
+                .sum(),
+            pending: self
+                .partitions
+                .iter()
+                .flatten()
+                .map(|s| s.replica.pending_len() as u64)
+                .sum(),
+            duplicates_dropped: self
+                .partitions
+                .iter()
+                .flatten()
+                .map(|s| s.replica.dropped_duplicates())
+                .sum(),
+            dropped_misrouted: self.dropped_misrouted,
+            // Socket byte/frame counters are filled in by the handler, WAL
+            // counters by the core loop.
+            bytes_out: 0,
+            bytes_in: 0,
+            batches_sent: 0,
+            frames_sent: 0,
+            flushes: 0,
+            resent: 0,
+            wal_appends: 0,
+            snapshots_written: 0,
+            per_partition,
+        }
+    }
+
+    fn traces(&self) -> Vec<Vec<TraceEvent>> {
+        self.partitions
+            .iter()
+            .map(|slot| slot.as_ref().map(|s| s.log.clone()).unwrap_or_default())
+            .collect()
+    }
+
+    /// Folds the core into a snapshot covering WAL records `..= wal_high`.
+    fn to_snapshot(&self, wal_high: u64) -> NodeSnapshot<P::Clock>
+    where
+        P::Clock: WireClock,
+    {
+        NodeSnapshot {
+            wal_high,
+            seq: self.seq,
+            issued: self.issued,
+            sent: self.sent,
+            received: self.received,
+            dropped_misrouted: self.dropped_misrouted,
+            partitions: self
+                .partitions
+                .iter()
+                .map(|slot| {
+                    slot.as_ref().map(|slot| PartitionSnapshot {
+                        state: slot.replica.export_state(),
+                        issued: slot.issued,
+                        log: slot.log.clone(),
+                    })
+                })
+                .collect(),
+            peers: self
+                .links
+                .iter()
+                .map(|link| PeerSnapshot {
+                    next_seq: link.next_seq,
+                    recv_high: link.recv_high,
+                    window: link.window.iter().cloned().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a core from a snapshot, validating it against the current
+    /// deployment configuration.
+    fn from_snapshot(
+        protocol: &P,
+        map: &PartitionMap,
+        node: usize,
+        snap: NodeSnapshot<P::Clock>,
+    ) -> io::Result<Self> {
+        let bad =
+            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {what}"));
+        if snap.partitions.len() != map.num_partitions() as usize {
+            return Err(bad("partition count differs from the map"));
+        }
+        if snap.peers.len() != map.num_nodes() {
+            return Err(bad("peer count differs from the map"));
+        }
+        let mut partitions = Vec::with_capacity(snap.partitions.len());
+        for (p, slot) in snap.partitions.into_iter().enumerate() {
+            let expected = map.role_on(PartitionId(p as u32), node);
+            match (slot, expected) {
+                (None, None) => partitions.push(None),
+                (Some(part), Some(role)) => {
+                    if part.state.id != role {
+                        return Err(bad("partition role differs from the map"));
+                    }
+                    let replica = Replica::from_state(protocol, part.state)
+                        .map_err(|e| bad(&format!("replica state: {e}")))?;
+                    partitions.push(Some(PartitionSlot {
+                        role,
+                        replica,
+                        log: part.log,
+                        issued: part.issued,
+                    }));
+                }
+                _ => return Err(bad("hosted partitions differ from the map")),
+            }
+        }
+        Ok(Core {
+            node,
+            partitions,
+            links: snap
+                .peers
+                .into_iter()
+                .map(|peer| PeerLink {
+                    next_seq: peer.next_seq,
+                    window: peer.window.into(),
+                    recv_high: peer.recv_high,
+                    frames_since_ack: 0,
+                })
+                .collect(),
+            seq: snap.seq,
+            issued: snap.issued,
+            sent: snap.sent,
+            received: snap.received,
+            dropped_misrouted: snap.dropped_misrouted,
+        })
+    }
+}
+
+/// The durability sidecar of a core: the open WAL, record indexing, and
+/// snapshot policy.
+struct Durable {
+    wal: Wal,
+    snapshot_path: PathBuf,
+    /// Index the next appended record gets (monotonic across truncations).
+    next_index: u64,
+    snapshot_every: u64,
+    records_since_snapshot: u64,
+    wal_appends: u64,
+    snapshots_written: u64,
+}
+
+impl Durable {
+    fn append_payload(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.wal.append(payload)?;
+        self.next_index += 1;
+        self.records_since_snapshot += 1;
+        self.wal_appends += 1;
+        Ok(())
+    }
+
+    fn append<C: WireClock>(&mut self, record: &WalRecord<C>) -> io::Result<()> {
+        let payload = prcc_storage::encode_record(self.next_index, record);
+        self.append_payload(&payload)
+    }
+
+    fn append_receipt<C: WireClock>(
+        &mut self,
+        peer: u64,
+        sections: &FlushSections<C>,
+    ) -> io::Result<()> {
+        let payload = prcc_storage::encode_receipt_record(self.next_index, peer, sections);
+        self.append_payload(&payload)
+    }
+}
+
+/// Writes a snapshot of `core` and truncates the WAL. Called periodically
+/// (every `snapshot_every` records) and on graceful shutdown.
+fn write_snapshot_now<P>(core: &Core<P>, durable: &mut Durable) -> io::Result<()>
+where
+    P: Protocol,
+    P::Clock: WireClock,
+{
+    let snap = core.to_snapshot(durable.next_index - 1);
+    write_snapshot(&durable.snapshot_path, &encode_snapshot(&snap))?;
+    durable.wal.reset()?;
+    durable.records_since_snapshot = 0;
+    durable.snapshots_written += 1;
+    Ok(())
+}
+
+fn maybe_snapshot<P>(core: &Core<P>, durable: &mut Option<Durable>)
+where
+    P: Protocol,
+    P::Clock: WireClock,
+{
+    let Some(d) = durable.as_mut() else { return };
+    if d.snapshot_every == 0 || d.records_since_snapshot < d.snapshot_every {
+        return;
+    }
+    if let Err(e) = write_snapshot_now(core, d) {
+        eprintln!("prcc-service[{}]: snapshot failed: {e}", core.node);
+    }
+}
+
+/// Boots a durable core: loads the snapshot (if any), replays the WAL
+/// suffix past it through the same transition functions the live loop
+/// uses, and returns the recovered core plus the open log.
+fn recover<P>(
+    protocol: &P,
+    map: &PartitionMap,
+    node: usize,
+    dir: &std::path::Path,
+    snapshot_every: u64,
+) -> io::Result<(Core<P>, Durable)>
+where
+    P: Protocol,
+    P::Clock: WireClock,
+{
+    let node_dir = dir.join(format!("node-{node}"));
+    std::fs::create_dir_all(&node_dir)?;
+    let snapshot_path = node_dir.join("snapshot.bin");
+    let wal_path = node_dir.join("wal.bin");
+    let roles = map.graph().num_replicas();
+    let (mut core, mut high) = match read_snapshot(&snapshot_path)? {
+        Some(payload) => {
+            let snap = decode_snapshot(&payload, |k| {
+                (k.index() < roles).then(|| protocol.new_clock(k))
+            })?;
+            let high = snap.wal_high;
+            (Core::from_snapshot(protocol, map, node, snap)?, high)
+        }
+        None => (Core::new(protocol, map, node), 0),
+    };
+    let (wal, recovery) = Wal::open(&wal_path)?;
+    if recovery.torn_bytes > 0 {
+        eprintln!(
+            "prcc-service[{node}]: WAL recovery dropped a {}-byte torn tail",
+            recovery.torn_bytes
+        );
+    }
+    let corrupt = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+    for payload in &recovery.records {
+        let (index, record) = decode_record(payload, |k| {
+            (k.index() < roles).then(|| protocol.new_clock(k))
+        })?;
+        if index <= high {
+            // Already folded into the snapshot (a crash landed between
+            // snapshot write and log truncation), or a duplicate.
+            continue;
+        }
+        if index != high + 1 {
+            // Legitimate operation can never produce a gap: appends are
+            // consecutive and truncation only ever removes a snapshotted
+            // prefix. A gap means the snapshot and log do not belong
+            // together (stale snapshot restored from a backup, mixed-up
+            // data dirs) — booting would silently drop acknowledged
+            // records, so refuse instead.
+            return Err(corrupt(format!(
+                "WAL record {index} follows {high}: snapshot and log disagree"
+            )));
+        }
+        high = index;
+        match record {
+            WalRecord::Issue {
+                partition,
+                register,
+                value,
+                wire_id,
+            } => {
+                if !core.can_write(protocol, partition, register) {
+                    return Err(corrupt(format!(
+                        "WAL record {index}: issue for unhosted {partition}/{register}"
+                    )));
+                }
+                core.apply_write(protocol, map, partition, register, value, wire_id)
+                    .ok_or_else(|| {
+                        corrupt(format!("WAL record {index}: issue failed to replay"))
+                    })?;
+            }
+            WalRecord::Receipt { peer, sections } => {
+                let peer = usize::try_from(peer)
+                    .ok()
+                    .filter(|&p| p < map.num_nodes())
+                    .ok_or_else(|| corrupt(format!("WAL record {index}: peer out of range")))?;
+                core.apply_sections(protocol, peer, sections);
+            }
+        }
+    }
+    Ok((
+        core,
+        Durable {
+            wal,
+            snapshot_path,
+            next_index: high + 1,
+            snapshot_every,
+            records_since_snapshot: 0,
+            wal_appends: 0,
+            snapshots_written: 0,
+        },
+    ))
+}
+
+/// Spawns a node: core thread, peer senders, peer/client listeners. With
+/// `cfg.data_dir` set, the node first recovers its state from
+/// `<data_dir>/node-<i>/` (snapshot + WAL replay) and appends every
+/// subsequent state-mutating input before applying it.
 ///
 /// `protocol` must be configured for the partition map's per-partition
 /// share graph; each hosted partition gets an independent [`Replica`] over
@@ -170,9 +816,11 @@ struct PartitionSlot<P: Protocol> {
 ///
 /// # Errors
 ///
-/// Fails on listener introspection or a protocol/map share-graph mismatch;
-/// network errors after spawn are handled per-connection (logged to stderr,
-/// connection dropped).
+/// Fails on listener introspection, a protocol/map share-graph mismatch,
+/// or an unrecoverable data dir (I/O failure, corrupted snapshot, or a
+/// checksum-corrupted WAL record — a torn WAL tail recovers silently);
+/// network errors after spawn are handled per-connection (logged to
+/// stderr, connection dropped).
 pub fn spawn_node<P>(
     protocol: Arc<P>,
     map: PartitionMap,
@@ -205,7 +853,18 @@ where
         batches_sent: AtomicU64::new(0),
         frames_sent: AtomicU64::new(0),
         flushes: AtomicU64::new(0),
+        resent: AtomicU64::new(0),
     });
+
+    // Recover durable state before any thread starts: senders must see the
+    // rebuilt windows on their first handshake.
+    let (core, durable) = match &cfg.data_dir {
+        Some(dir) => {
+            let (core, durable) = recover(&*protocol, &map, node, dir, cfg.snapshot_every)?;
+            (core, Some(durable))
+        }
+        None => (Core::new(&*protocol, &map, node), None),
+    };
 
     let (core_tx, core_rx) = mpsc::channel::<CoreMsg<P::Clock>>();
 
@@ -216,7 +875,8 @@ where
             peer_txs.push(None);
             continue;
         }
-        let (tx, rx) = mpsc::channel::<(PartitionId, Update<P::Clock>)>();
+        let (tx, rx) = mpsc::channel::<SenderCmd<P::Clock>>();
+        let relink_tx = tx.clone();
         peer_txs.push(Some(tx));
         let hello = PeerHello {
             node,
@@ -224,29 +884,50 @@ where
         };
         let cfg = cfg.clone();
         let counters = Arc::clone(&counters);
-        thread::spawn(move || peer_sender(addr, hello, rx, &cfg, &counters));
+        let core_tx = core_tx.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            peer_sender(
+                k, addr, hello, &rx, &relink_tx, &cfg, &counters, &core_tx, &stop,
+            );
+        });
     }
 
-    // Peer listener: one reader thread per inbound peer connection, with a
-    // registry so a peer's redial evicts its previous reader.
+    // Registry of live inbound peer connections, shared by the peer
+    // listener (redial eviction) and the crash switch (severing).
+    let connections: PeerConnections = Arc::new(Mutex::new(HashMap::new()));
+
+    // Peer listener: one reader thread per inbound peer connection.
     {
         let core_tx = core_tx.clone();
         let protocol = Arc::clone(&protocol);
         let map = map.clone();
         let stop = Arc::clone(&stop);
         let counters = Arc::clone(&counters);
-        let connections: PeerConnections = Arc::new(Mutex::new(HashMap::new()));
+        let connections = Arc::clone(&connections);
         thread::spawn(move || {
             for conn in peer_listener.incoming() {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = conn else { break };
+                let stream = match conn {
+                    Ok(stream) => stream,
+                    Err(e) => {
+                        // Transient accept failures (ECONNABORTED under
+                        // redial churn, EMFILE spikes) must not kill the
+                        // listener for good — forever-redialing senders
+                        // would mask the outage silently.
+                        eprintln!("prcc-service[{node}]: peer accept: {e}");
+                        thread::sleep(Duration::from_millis(10));
+                        continue;
+                    }
+                };
                 let core_tx = core_tx.clone();
                 let protocol = Arc::clone(&protocol);
                 let map = map.clone();
                 let counters = Arc::clone(&counters);
                 let connections = Arc::clone(&connections);
+                let stop = Arc::clone(&stop);
                 thread::spawn(move || {
                     if let Err(e) = peer_reader(
                         stream,
@@ -256,6 +937,7 @@ where
                         &core_tx,
                         &counters,
                         &connections,
+                        &stop,
                     ) {
                         eprintln!("prcc-service[{node}]: peer reader: {e}");
                     }
@@ -276,7 +958,14 @@ where
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = conn else { break };
+                let stream = match conn {
+                    Ok(stream) => stream,
+                    Err(e) => {
+                        eprintln!("prcc-service[{node}]: client accept: {e}");
+                        thread::sleep(Duration::from_millis(10));
+                        continue;
+                    }
+                };
                 let core_tx = core_tx.clone();
                 let map = map.clone();
                 let stop = Arc::clone(&stop);
@@ -288,46 +977,65 @@ where
         });
     }
 
-    // The core event loop.
-    let core = thread::Builder::new()
+    // The crash switch: stop everything without a graceful drain.
+    let kill: Arc<dyn Fn() + Send + Sync> = {
+        let stop = Arc::clone(&stop);
+        let core_tx = core_tx.clone();
+        let connections = Arc::clone(&connections);
+        Arc::new(move || {
+            stop.store(true, Ordering::SeqCst);
+            let _ = core_tx.send(CoreMsg::Crash);
+            let severed: Vec<TcpStream> = {
+                let mut live = connections.lock().unwrap_or_else(|e| e.into_inner());
+                live.drain().map(|(_, (_, stream))| stream).collect()
+            };
+            for stream in severed {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            // Unblock the accept loops so their threads observe `stop`.
+            let _ = TcpStream::connect(peer_addr);
+            let _ = TcpStream::connect(client_addr);
+        })
+    };
+
+    // The core event loop. It holds the crash switch so a fail-stop (WAL
+    // append failure) tears the whole node down — listeners, registered
+    // connections — instead of leaving a half-alive shell whose bound
+    // ports and accept loops would mask the outage.
+    let ack_every = cfg.ack_every;
+    let core_kill = Arc::clone(&kill);
+    let core_thread = thread::Builder::new()
         .name(format!("prcc-core-{node}"))
-        .spawn(move || core_loop(&protocol, &map, node, &core_rx, &peer_txs))?;
+        .spawn(move || {
+            core_loop(
+                &protocol, &map, node, &core_rx, &peer_txs, core, durable, ack_every, &core_kill,
+            )
+        })?;
 
     Ok(NodeHandle {
         node,
         peer_addr,
         client_addr,
-        core: Some(core),
+        core: Some(core_thread),
+        kill,
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn core_loop<P>(
     protocol: &Arc<P>,
     map: &PartitionMap,
     node: usize,
     core_rx: &mpsc::Receiver<CoreMsg<P::Clock>>,
     peer_txs: &[Option<PeerTx<P::Clock>>],
+    mut core: Core<P>,
+    mut durable: Option<Durable>,
+    ack_every: u64,
+    kill: &Arc<dyn Fn() + Send + Sync>,
 ) where
     P: Protocol,
     P::Clock: WireClock,
 {
-    // One independent replica per hosted partition; `None` for partitions
-    // this node plays no role in.
-    let mut partitions: Vec<Option<PartitionSlot<P>>> = map
-        .partitions()
-        .map(|p| {
-            map.role_on(p, node).map(|role| PartitionSlot {
-                role,
-                replica: Replica::new(&**protocol, role),
-                log: Vec::new(),
-                issued: 0,
-            })
-        })
-        .collect();
-    let mut seq: u64 = 0;
-    let (mut issued, mut sent, mut received) = (0u64, 0u64, 0u64);
-    let mut dropped_misrouted: u64 = 0;
-
     while let Ok(msg) = core_rx.recv() {
         match msg {
             CoreMsg::Write {
@@ -336,54 +1044,51 @@ fn core_loop<P>(
                 value,
                 reply,
             } => {
-                let Some(slot) = partitions
-                    .get_mut(partition.index())
-                    .and_then(Option::as_mut)
-                else {
+                if !core.can_write(&**protocol, partition, register) {
                     let _ = reply.send(false);
                     continue;
-                };
-                match slot.replica.write(&**protocol, register, value) {
-                    Ok(clock) => {
-                        seq += 1;
-                        let wire_id = ((node as u64) << 40) | seq;
-                        slot.log.push(TraceEvent::Issue {
-                            replica: slot.role,
-                            register,
-                            update: wire_id,
-                        });
-                        slot.issued += 1;
-                        issued += 1;
-                        let update = Update {
-                            id: UpdateId(wire_id),
-                            issuer: slot.role,
-                            register,
-                            value,
-                            clock,
-                            issued_at: VirtualTime::ZERO,
-                            received_at: VirtualTime::ZERO,
-                        };
-                        for role in protocol.recipients(slot.role, register) {
-                            let peer = map.node_of(partition, role);
-                            if let Some(tx) = &peer_txs[peer] {
-                                if tx.send((partition, update.clone())).is_ok() {
-                                    sent += 1;
-                                }
-                            }
-                        }
-                        let _ = reply.send(true);
-                    }
-                    Err(_) => {
+                }
+                let wire_id = core.next_wire_id();
+                if let Some(d) = durable.as_mut() {
+                    let record = WalRecord::<P::Clock>::Issue {
+                        partition,
+                        register,
+                        value,
+                        wire_id,
+                    };
+                    if let Err(e) = d.append(&record) {
+                        // Fail-stop: a failed append may have left partial
+                        // bytes in the log, and any further append would
+                        // bury that tear mid-file — turning recoverable
+                        // torn-tail damage into unrecoverable corruption.
+                        // Stop here; a restart recovers the valid prefix.
+                        eprintln!(
+                            "prcc-service[{node}]: WAL append failed, stopping (restart \
+                             recovers the log): {e}"
+                        );
                         let _ = reply.send(false);
+                        kill();
+                        break;
                     }
                 }
+                let sends = core
+                    .apply_write(&**protocol, map, partition, register, value, wire_id)
+                    .expect("write validated before append");
+                for (peer, seq, p, update) in sends {
+                    if let Some(tx) = &peer_txs[peer] {
+                        let _ = tx.send(SenderCmd::Update(seq, p, update));
+                    }
+                }
+                let _ = reply.send(true);
+                maybe_snapshot(&core, &mut durable);
             }
             CoreMsg::Read {
                 partition,
                 register,
                 reply,
             } => {
-                let answer = match partitions
+                let answer = match core
+                    .partitions
                     .get(partition.index())
                     .and_then(Option::as_ref)
                     .map(|slot| slot.replica.read(&**protocol, register))
@@ -393,113 +1098,118 @@ fn core_loop<P>(
                 };
                 let _ = reply.send(answer);
             }
-            CoreMsg::Updates(partition, updates) => {
-                let Some(slot) = partitions
-                    .get_mut(partition.index())
-                    .and_then(Option::as_mut)
-                else {
-                    // Misrouted section: the reader already validated the
-                    // partition range, so this is a hosting mismatch.
-                    dropped_misrouted += updates.len() as u64;
-                    eprintln!(
-                        "prcc-service[{node}]: dropped {} updates for unhosted {partition}",
-                        updates.len()
-                    );
+            CoreMsg::Updates {
+                peer,
+                sections,
+                ack,
+            } => {
+                if peer >= core.links.len() {
                     continue;
-                };
-                for update in updates {
-                    received += 1;
-                    slot.replica.receive(update, VirtualTime::ZERO);
                 }
-                for done in slot.replica.drain(&**protocol) {
-                    if protocol.stores_value(slot.role, done.register) {
-                        slot.log.push(TraceEvent::Apply {
-                            replica: slot.role,
-                            update: done.id.0,
-                        });
+                if let Some(d) = durable.as_mut() {
+                    // Append-before-apply: the frame becomes durable, then
+                    // visible. Append failure is fail-stop (see the Write
+                    // arm): the frame is dropped *unacknowledged* and the
+                    // node goes down, so the peer's window retransmits it
+                    // to the restarted node — a node that limped on would
+                    // instead bury the torn log tail under later appends
+                    // and silently stop acknowledging this link (the
+                    // receive high-water mark only advances contiguously).
+                    if let Err(e) = d.append_receipt(peer as u64, &sections) {
+                        eprintln!(
+                            "prcc-service[{node}]: WAL append failed, stopping (frame \
+                             unacked, the peer resends after restart): {e}"
+                        );
+                        kill();
+                        break;
                     }
                 }
+                core.apply_sections(&**protocol, peer, sections);
+                let link = &mut core.links[peer];
+                link.frames_since_ack += 1;
+                if ack_every > 0 && link.frames_since_ack >= ack_every {
+                    link.frames_since_ack = 0;
+                    let _ = ack.send(link.recv_high);
+                }
+                maybe_snapshot(&core, &mut durable);
+            }
+            CoreMsg::PeerJoin { peer, reply } => {
+                let acked = core.links.get(peer).map_or(0, |link| link.recv_high);
+                let _ = reply.send(acked);
+            }
+            CoreMsg::PeerResume { peer, acked, reply } => {
+                let _ = reply.send(core.resume(peer, acked));
+            }
+            CoreMsg::PeerAcked { peer, seq } => {
+                core.prune(peer, seq);
             }
             CoreMsg::Status(reply) => {
-                let per_partition = partitions
-                    .iter()
-                    .map(|slot| match slot {
-                        Some(slot) => PartitionCounters {
-                            issued: slot.issued,
-                            applies: slot.replica.applies(),
-                            pending: slot.replica.pending_len() as u64,
-                        },
-                        None => PartitionCounters::default(),
-                    })
-                    .collect();
-                let _ = reply.send(NodeStatus {
-                    node: node as u64,
-                    issued,
-                    messages_sent: sent,
-                    messages_received: received,
-                    applies: partitions
-                        .iter()
-                        .flatten()
-                        .map(|s| s.replica.applies())
-                        .sum(),
-                    pending: partitions
-                        .iter()
-                        .flatten()
-                        .map(|s| s.replica.pending_len() as u64)
-                        .sum(),
-                    duplicates_dropped: partitions
-                        .iter()
-                        .flatten()
-                        .map(|s| s.replica.dropped_duplicates())
-                        .sum(),
-                    dropped_misrouted,
-                    // Socket byte/frame counters are filled in by the handler.
-                    bytes_out: 0,
-                    bytes_in: 0,
-                    batches_sent: 0,
-                    frames_sent: 0,
-                    flushes: 0,
-                    per_partition,
-                });
+                let mut status = core.status();
+                if let Some(d) = &durable {
+                    status.wal_appends = d.wal_appends;
+                    status.snapshots_written = d.snapshots_written;
+                }
+                let _ = reply.send(status);
             }
             CoreMsg::Trace(reply) => {
-                let logs = partitions
-                    .iter()
-                    .map(|slot| slot.as_ref().map(|s| s.log.clone()).unwrap_or_default())
-                    .collect();
-                let _ = reply.send(logs);
+                let _ = reply.send(core.traces());
             }
-            CoreMsg::Shutdown => break,
+            CoreMsg::Crash => break,
+            CoreMsg::Shutdown => {
+                // A final snapshot makes restart-after-shutdown instant and
+                // keeps the WAL short; failure is non-fatal (the WAL alone
+                // still recovers everything).
+                if let Some(d) = durable.as_mut() {
+                    if let Err(e) = write_snapshot_now(&core, d) {
+                        eprintln!("prcc-service[{node}]: final snapshot failed: {e}");
+                    }
+                }
+                break;
+            }
         }
     }
 }
 
 /// Dials `addr` with retry and exponential backoff (peers come up — and
-/// after a link loss, come back — in arbitrary order), then performs the
-/// versioned handshake. `None` once `connect_timeout` elapses without a
-/// connected, hello-acknowledging stream.
+/// after a link loss or crash-restart, come back — in arbitrary order),
+/// performs the versioned handshake, and reads the peer's hello-ack.
+/// Returns the connected stream plus the peer's acknowledged link offset;
+/// `None` once `connect_timeout` elapses without a completed handshake, or
+/// when the node is stopping.
 fn dial_peer(
     addr: SocketAddr,
     hello: &PeerHello,
     cfg: &ServiceConfig,
     counters: &SocketCounters,
-) -> Option<TcpStream> {
+    stop: &AtomicBool,
+) -> Option<(TcpStream, u64)> {
     let deadline = Instant::now() + cfg.connect_timeout;
     let mut backoff = Duration::from_millis(5);
     loop {
+        if stop.load(Ordering::SeqCst) {
+            return None;
+        }
         if let Ok(mut stream) = TcpStream::connect(addr) {
             let _ = stream.set_nodelay(true);
             // The handshake opens every connection, including redials: the
-            // acceptor spawns a fresh reader that expects it.
+            // acceptor spawns a fresh reader that expects it and answers
+            // with the link's acknowledged resume offset.
             if let Ok(n) = write_frame(&mut stream, &encode_peer_hello(hello)) {
                 counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
-                return Some(stream);
+                if let Ok(Some(payload)) = read_frame(&mut stream) {
+                    counters
+                        .bytes_in
+                        .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
+                    if let Ok(acked) = decode_hello_ack(&payload) {
+                        return Some((stream, acked));
+                    }
+                }
             }
         }
         let now = Instant::now();
         if now >= deadline {
             eprintln!(
-                "prcc-service[{}]: peer {addr} unreachable for {:?}, giving up",
+                "prcc-service[{}]: peer {addr} unreachable for {:?}, backing off",
                 hello.node, cfg.connect_timeout
             );
             return None;
@@ -509,105 +1219,245 @@ fn dial_peer(
     }
 }
 
+/// Groups a run of `(seq, partition, update)` entries into multi-batch
+/// sections, preserving first-seen section order and per-partition update
+/// order (cross-partition order is irrelevant — partitions are causally
+/// independent).
+fn pack_sections<C>(
+    entries: impl IntoIterator<Item = (u64, PartitionId, Update<C>)>,
+) -> FlushSections<C> {
+    let mut sections: FlushSections<C> = Vec::new();
+    for (seq, partition, update) in entries {
+        // Linear scan: a flush touches at most a handful of partitions.
+        match sections.iter_mut().find(|(p, _)| *p == partition) {
+            Some((_, updates)) => updates.push((seq, update)),
+            None => sections.push((partition, vec![(seq, update)])),
+        }
+    }
+    sections
+}
+
+/// Writes one flush frame, maintaining the flush/frame/batch counters.
+fn send_flush<C: WireClock>(
+    stream: &mut TcpStream,
+    sections: &FlushSections<C>,
+    pad: usize,
+    counters: &SocketCounters,
+) -> io::Result<()> {
+    // `flushes` counts drain cycles at the moment a flush exists —
+    // deliberately NOT at the same site as `frames_sent`, which counts
+    // successful frame writes. Keeping the two sites apart is what makes
+    // `frames_per_flush` a binding regression signal for the prcc-load
+    // `--max-frames-per-flush` gate.
+    counters.flushes.fetch_add(1, Ordering::Relaxed);
+    let payload = encode_multi_batch(sections, pad);
+    let n = write_frame(stream, &payload)?;
+    counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+    counters
+        .batches_sent
+        .fetch_add(sections.len() as u64, Ordering::Relaxed);
+    counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
 fn peer_sender<C: WireClock>(
+    peer: usize,
     addr: SocketAddr,
     hello: PeerHello,
-    rx: mpsc::Receiver<(PartitionId, Update<C>)>,
+    rx: &mpsc::Receiver<SenderCmd<C>>,
+    relink_tx: &PeerTx<C>,
     cfg: &ServiceConfig,
-    counters: &SocketCounters,
+    counters: &Arc<SocketCounters>,
+    core_tx: &mpsc::Sender<CoreMsg<C>>,
+    stop: &Arc<AtomicBool>,
 ) {
-    let Some(mut stream) = dial_peer(addr, &hello, cfg, counters) else {
-        // Drain so the core never blocks on a dead peer.
-        while rx.recv().is_ok() {}
-        return;
-    };
+    // Each successful dial is a new connection generation; stale relink
+    // nudges from a previous connection's ack-reader are ignored.
+    let mut generation: u64 = 0;
+    'link: loop {
+        let Some((mut stream, acked)) = dial_peer(addr, &hello, cfg, counters, stop) else {
+            // Peer unreachable for a whole dial window (or this node is
+            // stopping). Discard the queued channel backlog — every entry
+            // is also parked in the core's window, which the resume on
+            // the next successful dial retransmits — and try again: a
+            // peer down longer than one connect_timeout (e.g. a slow
+            // crash-restart) must not strand the link forever.
+            loop {
+                match rx.try_recv() {
+                    Ok(_) => {}
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => return,
+                }
+            }
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue 'link;
+        };
+        generation += 1;
 
-    // Batching loop: block for the first update, then coalesce until the
-    // batch fills or the flush interval elapses, then emit the whole flush
-    // as ONE multi-partition frame — a `(partition, updates)` section per
-    // partition present, in first-seen order with per-partition update
-    // order preserved (cross-partition order is irrelevant — partitions are
-    // causally independent). One flush = one frame, whatever the partition
-    // count: framing overhead no longer scales with sharding.
-    while let Ok(first) = rx.recv() {
-        let mut batch = vec![first];
-        let deadline = Instant::now() + cfg.flush_interval;
-        while batch.len() < cfg.batch_max {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            match rx.recv_timeout(deadline - now) {
-                Ok(update) => batch.push(update),
-                Err(_) => break,
+        // Resume: fetch the unacked window past the peer's offset and
+        // retransmit it before any fresh traffic. Everything the peer did
+        // not acknowledge — including frames that were buffered into a
+        // dying socket on the previous connection — goes again; the
+        // receiver's dedup set absorbs any overlap.
+        let (reply, reply_rx) = mpsc::channel();
+        if core_tx
+            .send(CoreMsg::PeerResume { peer, acked, reply })
+            .is_err()
+        {
+            return;
+        }
+        let Ok(window) = reply_rx.recv() else { return };
+
+        // An ack-reader per connection: forwards streamed acks to the core
+        // and nudges this sender to redial when the connection dies.
+        if let Ok(ack_stream) = stream.try_clone() {
+            let core_tx = core_tx.clone();
+            let relink_tx = relink_tx.clone();
+            let counters = Arc::clone(counters);
+            let this_generation = generation;
+            thread::spawn(move || {
+                peer_ack_reader(
+                    ack_stream,
+                    peer,
+                    this_generation,
+                    &core_tx,
+                    &relink_tx,
+                    &counters,
+                );
+            });
+        }
+
+        // Everything up to the window's tail is covered by this resume:
+        // entries still sitting in the channel at or below `covered` are
+        // duplicates of what the resume just sent and are skipped below.
+        let mut covered = window.last().map_or(acked, |(seq, _, _)| *seq);
+        // A window shipped on the very first connection of a fresh link
+        // (generation 1, nothing acked) is a first transmission — writes
+        // merely raced the dial — not a retransmission; everything else
+        // (reconnects, and restarts where the peer remembers the link) is.
+        let resent = if generation > 1 || acked > 0 {
+            window.len() as u64
+        } else {
+            0
+        };
+        for chunk in window.chunks(cfg.batch_max.max(1)) {
+            let sections = pack_sections(chunk.iter().cloned());
+            if let Err(e) = send_flush(&mut stream, &sections, cfg.pad_bytes, counters) {
+                eprintln!(
+                    "prcc-service[{}]: resend to {addr}: {e}; reconnecting",
+                    hello.node
+                );
+                continue 'link;
             }
         }
-        let mut sections: Vec<(PartitionId, Vec<Update<C>>)> = Vec::new();
-        for (partition, update) in batch {
-            // Linear scan: a flush touches at most a handful of partitions.
-            match sections.iter_mut().find(|(p, _)| *p == partition) {
-                Some((_, updates)) => updates.push(update),
-                None => sections.push((partition, vec![update])),
-            }
-        }
-        // `flushes` counts drain cycles at the moment a flush exists —
-        // deliberately NOT at the same site as `frames_sent`, which counts
-        // successful frame writes below. Keeping the two sites apart is
-        // what makes `frames_per_flush` a binding regression signal: a
-        // sender that goes back to one frame per partition (and counts its
-        // frames honestly) shows a ratio near the partition count, and a
-        // sender that stops counting frames shows 0, both of which the
-        // `prcc-load --max-frames-per-flush` gate rejects.
-        counters.flushes.fetch_add(1, Ordering::Relaxed);
-        let payload = encode_multi_batch(&sections, cfg.pad_bytes);
-        // Send, reconnecting (bounded) on a dead link: the frame that hit
-        // the error is retried on the fresh connection after a new
-        // handshake, so a transient link loss delays updates instead of
-        // stranding every future flush for this peer.
-        let mut delivered = false;
-        for attempt in 0..=RECONNECT_ATTEMPTS {
-            match write_frame(&mut stream, &payload) {
-                Ok(n) => {
-                    counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
-                    counters
-                        .batches_sent
-                        .fetch_add(sections.len() as u64, Ordering::Relaxed);
-                    counters.frames_sent.fetch_add(1, Ordering::Relaxed);
-                    delivered = true;
+        counters.resent.fetch_add(resent, Ordering::Relaxed);
+
+        // Batching loop: block for the first update, then coalesce until
+        // the batch fills or the flush interval elapses, then emit the
+        // whole flush as ONE multi-partition frame. On a dead link the
+        // batch is simply dropped locally and the loop redials: every
+        // update still sits in the core's window and is retransmitted by
+        // the resume above.
+        loop {
+            let first = match rx.recv_timeout(SENDER_IDLE_POLL) {
+                Ok(SenderCmd::Update(seq, partition, update)) => (seq, partition, update),
+                Ok(SenderCmd::Relink(at)) => {
+                    if at == generation {
+                        continue 'link;
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            };
+            let mut batch = vec![first];
+            let deadline = Instant::now() + cfg.flush_interval;
+            let mut relink = false;
+            while batch.len() < cfg.batch_max {
+                let now = Instant::now();
+                if now >= deadline {
                     break;
                 }
-                Err(e) if attempt < RECONNECT_ATTEMPTS => {
-                    eprintln!(
-                        "prcc-service[{}]: send to {addr}: {e}; reconnecting ({}/{})",
-                        hello.node,
-                        attempt + 1,
-                        RECONNECT_ATTEMPTS
-                    );
-                    match dial_peer(addr, &hello, cfg, counters) {
-                        Some(fresh) => stream = fresh,
-                        None => break,
+                match rx.recv_timeout(deadline - now) {
+                    Ok(SenderCmd::Update(seq, partition, update)) => {
+                        batch.push((seq, partition, update));
                     }
-                }
-                Err(e) => {
-                    eprintln!("prcc-service[{}]: send to {addr}: {e}", hello.node);
+                    Ok(SenderCmd::Relink(at)) => {
+                        if at == generation {
+                            relink = true;
+                            break;
+                        }
+                    }
+                    Err(_) => break,
                 }
             }
-        }
-        if !delivered {
-            while rx.recv().is_ok() {}
-            return;
+            if relink {
+                continue 'link;
+            }
+            // Drop entries the resume already transmitted on this
+            // connection (they were in both the window and the channel).
+            batch.retain(|(seq, _, _)| *seq > covered);
+            let Some(&(last, _, _)) = batch.last() else {
+                continue;
+            };
+            covered = last;
+            let sections = pack_sections(batch);
+            if let Err(e) = send_flush(&mut stream, &sections, cfg.pad_bytes, counters) {
+                eprintln!(
+                    "prcc-service[{}]: send to {addr}: {e}; reconnecting",
+                    hello.node
+                );
+                continue 'link;
+            }
         }
     }
 }
 
+/// Reads streamed acknowledgement frames off (a clone of) a sender's
+/// connection, forwarding them to the core for window pruning. When the
+/// connection dies — even with no outbound traffic pending — it nudges the
+/// sender to redial, so undelivered window entries are retransmitted
+/// promptly instead of waiting for the next write to fail.
+fn peer_ack_reader<C>(
+    mut stream: TcpStream,
+    peer: usize,
+    generation: u64,
+    core_tx: &mpsc::Sender<CoreMsg<C>>,
+    relink_tx: &PeerTx<C>,
+    counters: &SocketCounters,
+) {
+    while let Ok(Some(payload)) = read_frame(&mut stream) {
+        counters
+            .bytes_in
+            .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
+        let Ok(seq) = decode_peer_ack(&payload) else {
+            break;
+        };
+        if core_tx.send(CoreMsg::PeerAcked { peer, seq }).is_err() {
+            return;
+        }
+    }
+    let _ = relink_tx.send(SenderCmd::Relink(generation));
+}
+
+#[allow(clippy::too_many_arguments)]
 fn peer_reader<P>(
     mut stream: TcpStream,
     protocol: &Arc<P>,
     map: &PartitionMap,
     node: usize,
     core_tx: &mpsc::Sender<CoreMsg<P::Clock>>,
-    counters: &SocketCounters,
+    counters: &Arc<SocketCounters>,
     connections: &PeerConnections,
+    stop: &Arc<AtomicBool>,
 ) -> io::Result<()>
 where
     P: Protocol,
@@ -627,48 +1477,166 @@ where
             format!("peer {} runs a different partition map", hello.node),
         ));
     }
+    if hello.node >= map.num_nodes() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer index {} out of range", hello.node),
+        ));
+    }
+    // Answer with the acknowledged resume offset for this link: the sender
+    // retransmits its unacked window right after it.
+    let acked = {
+        let (reply, reply_rx) = mpsc::channel();
+        if core_tx
+            .send(CoreMsg::PeerJoin {
+                peer: hello.node,
+                reply,
+            })
+            .is_err()
+        {
+            return Ok(()); // Core shut down.
+        }
+        let Ok(acked) = reply_rx.recv() else {
+            return Ok(());
+        };
+        acked
+    };
+    let n = write_frame(&mut stream, &encode_hello_ack(acked))?;
+    counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+
     // Register this connection as the peer's live one; shut any previous
     // connection down so the reader blocked on it wakes up and exits (a
     // sender reconnecting after a half-open link loss would otherwise
     // accumulate one stuck reader thread per redial). Registering only
     // after the handshake means a garbage connection cannot evict a
     // healthy peer link.
+    let token = REGISTRATION_TOKEN.fetch_add(1, Ordering::Relaxed);
     let replaced = {
         let mut live = connections.lock().unwrap_or_else(|e| e.into_inner());
         stream
             .try_clone()
             .ok()
-            .and_then(|clone| live.insert(hello.node, clone))
+            .and_then(|clone| live.insert(hello.node, (token, clone)))
     };
-    if let Some(stale) = replaced {
+    if let Some((_, stale)) = replaced {
         let _ = stale.shutdown(Shutdown::Both);
     }
+    // Close the race with the crash switch: its sweep severs everything
+    // registered before it ran, and anything registered after observes
+    // `stop` (set before the sweep) right here and severs itself. Without
+    // this check a handshake completed against the dying core — whose
+    // queued replies can still land after the sweep — would leave a live,
+    // never-severed connection the peer keeps writing into.
+    if stop.load(Ordering::SeqCst) {
+        deregister(connections, hello.node, token);
+        let _ = stream.shutdown(Shutdown::Both);
+        return Ok(());
+    }
+
+    // Acknowledgements are written by a dedicated thread on a clone of the
+    // stream, so the reader keeps draining frames while acks go out (the
+    // core decides when one is due and sends the high-water mark here).
+    let (ack_tx, ack_rx) = mpsc::channel::<u64>();
+    if let Ok(mut ack_stream) = stream.try_clone() {
+        let counters = Arc::clone(counters);
+        thread::spawn(move || {
+            while let Ok(mut seq) = ack_rx.recv() {
+                // Coalesce queued acks: only the newest high-water matters.
+                while let Ok(later) = ack_rx.try_recv() {
+                    seq = later;
+                }
+                match write_frame(&mut ack_stream, &encode_peer_ack(seq)) {
+                    Ok(n) => {
+                        counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+    }
+
+    // Pump frames until the connection or the core dies, then deregister
+    // this connection on EVERY exit path: the registered clone must not
+    // outlive the reader, or the peer's socket would stay open — and its
+    // sender writing happily — with nobody consuming the frames.
+    let result = pump_peer_frames(
+        &mut stream,
+        protocol,
+        map,
+        node,
+        &hello,
+        core_tx,
+        counters,
+        ack_tx,
+    );
+    deregister(connections, hello.node, token);
+    let _ = stream.shutdown(Shutdown::Both);
+    result
+}
+
+/// Removes a peer's registry entry if it still belongs to this reader
+/// (matched by registration token — a newer connection must not be evicted
+/// by its predecessor's cleanup).
+fn deregister(connections: &PeerConnections, peer: usize, token: u64) {
+    let mut live = connections.lock().unwrap_or_else(|e| e.into_inner());
+    if live.get(&peer).is_some_and(|(t, _)| *t == token) {
+        if let Some((_, clone)) = live.remove(&peer) {
+            let _ = clone.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// The post-handshake frame loop of a peer reader: decode each flush
+/// frame, validate its sections, and hand it to the core as one delivery.
+#[allow(clippy::too_many_arguments)]
+fn pump_peer_frames<P>(
+    stream: &mut TcpStream,
+    protocol: &Arc<P>,
+    map: &PartitionMap,
+    node: usize,
+    hello: &PeerHello,
+    core_tx: &mpsc::Sender<CoreMsg<P::Clock>>,
+    counters: &Arc<SocketCounters>,
+    ack_tx: mpsc::Sender<u64>,
+) -> io::Result<()>
+where
+    P: Protocol,
+    P::Clock: WireClock,
+{
     let roles = map.graph().num_replicas();
-    while let Some(payload) = read_frame(&mut stream)? {
+    while let Some(payload) = read_frame(stream)? {
         counters
             .bytes_in
             .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
-        // One frame, many `(partition, updates)` sections: validate each
-        // section, then fan them to the core as independent deliveries.
+        // One frame, many `(partition, [(seq, update)])` sections: validate
+        // each section, then hand the whole frame to the core as one
+        // delivery (and one WAL receipt record).
         let sections = decode_peer_batches(&payload, |k| {
             (k.index() < roles).then(|| protocol.new_clock(k))
         })?;
-        for (partition, updates) in sections {
+        for (partition, _) in &sections {
             if partition.0 >= map.num_partitions() {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("batch for out-of-range {partition}"),
                 ));
             }
-            if map.role_on(partition, node).is_none() {
+            if map.role_on(*partition, node).is_none() {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("peer {} misrouted {partition} updates here", hello.node),
                 ));
             }
-            if core_tx.send(CoreMsg::Updates(partition, updates)).is_err() {
-                return Ok(()); // Core shut down.
-            }
+        }
+        if core_tx
+            .send(CoreMsg::Updates {
+                peer: hello.node,
+                sections,
+                ack: ack_tx.clone(),
+            })
+            .is_err()
+        {
+            return Ok(()); // Core shut down.
         }
     }
     Ok(())
@@ -682,6 +1650,7 @@ fn client_handler<C: WireClock>(
     counters: &SocketCounters,
     listeners: (SocketAddr, SocketAddr),
 ) -> io::Result<()> {
+    let dead_core = || io::Error::new(io::ErrorKind::BrokenPipe, "node core is gone");
     let _ = stream.set_nodelay(true);
     while let Some(payload) = read_frame(&mut stream)? {
         let response = match decode_request(&payload)? {
@@ -692,15 +1661,15 @@ fn client_handler<C: WireClock>(
                 ..
             } => {
                 let (reply, rx) = mpsc::channel();
-                let ok = core_tx
+                core_tx
                     .send(CoreMsg::Write {
                         partition,
                         register,
                         value,
                         reply,
                     })
-                    .is_ok()
-                    && rx.recv().unwrap_or(false);
+                    .map_err(|_| dead_core())?;
+                let ok = rx.recv().map_err(|_| dead_core())?;
                 ClientResponse::WriteAck { ok }
             }
             ClientRequest::Read {
@@ -708,41 +1677,36 @@ fn client_handler<C: WireClock>(
                 register,
             } => {
                 let (reply, rx) = mpsc::channel();
-                let (ok, value) = if core_tx
+                core_tx
                     .send(CoreMsg::Read {
                         partition,
                         register,
                         reply,
                     })
-                    .is_ok()
-                {
-                    rx.recv().unwrap_or((false, None))
-                } else {
-                    (false, None)
-                };
+                    .map_err(|_| dead_core())?;
+                let (ok, value) = rx.recv().map_err(|_| dead_core())?;
                 ClientResponse::ReadResp { ok, value }
             }
             ClientRequest::Status => {
                 let (reply, rx) = mpsc::channel();
-                let mut status = if core_tx.send(CoreMsg::Status(reply)).is_ok() {
-                    rx.recv().unwrap_or_default()
-                } else {
-                    NodeStatus::default()
-                };
+                core_tx
+                    .send(CoreMsg::Status(reply))
+                    .map_err(|_| dead_core())?;
+                let mut status = rx.recv().map_err(|_| dead_core())?;
                 status.bytes_out = counters.bytes_out.load(Ordering::Relaxed);
                 status.bytes_in = counters.bytes_in.load(Ordering::Relaxed);
                 status.batches_sent = counters.batches_sent.load(Ordering::Relaxed);
                 status.frames_sent = counters.frames_sent.load(Ordering::Relaxed);
                 status.flushes = counters.flushes.load(Ordering::Relaxed);
+                status.resent = counters.resent.load(Ordering::Relaxed);
                 ClientResponse::Status(status)
             }
             ClientRequest::Trace => {
                 let (reply, rx) = mpsc::channel();
-                let logs = if core_tx.send(CoreMsg::Trace(reply)).is_ok() {
-                    rx.recv().unwrap_or_default()
-                } else {
-                    Vec::new()
-                };
+                core_tx
+                    .send(CoreMsg::Trace(reply))
+                    .map_err(|_| dead_core())?;
+                let logs = rx.recv().map_err(|_| dead_core())?;
                 ClientResponse::Trace(logs)
             }
             ClientRequest::Config => ClientResponse::Config {

@@ -69,6 +69,18 @@ pub struct BenchReport {
     /// under the old one-frame-per-partition framing this report guards
     /// against regressing to.
     pub frames_per_flush: f64,
+    /// Whether the run persisted node state (a `--data-dir` was set).
+    pub durable: bool,
+    /// Crash/restart cycles injected during the drive phase
+    /// (`--crash-restart`).
+    pub crash_restarts: u64,
+    /// Update copies resent from durable windows after reconnects.
+    pub resent: u64,
+    /// WAL records appended across the cluster (post-restart processes
+    /// count from zero, like the socket counters).
+    pub wal_appends: u64,
+    /// Snapshots written across the cluster.
+    pub snapshots_written: u64,
     /// The folded oracle outcome over all partitions.
     pub verdict: VerdictSummary,
     /// Per-partition load and verdict breakdown.
@@ -86,6 +98,9 @@ impl BenchReport {
         self.batches_sent = statuses.iter().map(|s| s.batches_sent).sum();
         self.frames_sent = statuses.iter().map(|s| s.frames_sent).sum();
         self.flushes = statuses.iter().map(|s| s.flushes).sum();
+        self.resent = statuses.iter().map(|s| s.resent).sum();
+        self.wal_appends = statuses.iter().map(|s| s.wal_appends).sum();
+        self.snapshots_written = statuses.iter().map(|s| s.snapshots_written).sum();
         self.wire_bytes_per_update = if issued == 0 {
             0.0
         } else {
@@ -160,6 +175,11 @@ impl BenchReport {
             self.updates_per_batch
         );
         let _ = writeln!(out, "  \"frames_per_flush\": {:.2},", self.frames_per_flush);
+        let _ = writeln!(out, "  \"durable\": {},", self.durable);
+        let _ = writeln!(out, "  \"crash_restarts\": {},", self.crash_restarts);
+        let _ = writeln!(out, "  \"resent\": {},", self.resent);
+        let _ = writeln!(out, "  \"wal_appends\": {},", self.wal_appends);
+        let _ = writeln!(out, "  \"snapshots_written\": {},", self.snapshots_written);
         let _ = writeln!(out, "  \"consistent\": {},", self.verdict.consistent);
         let _ = writeln!(
             out,
@@ -221,6 +241,11 @@ mod tests {
             flushes: 0,
             updates_per_batch: 0.0,
             frames_per_flush: 0.0,
+            durable: true,
+            crash_restarts: 1,
+            resent: 0,
+            wal_appends: 0,
+            snapshots_written: 0,
             verdict: VerdictSummary {
                 consistent: true,
                 safety_violations: 0,
@@ -236,6 +261,9 @@ mod tests {
                 batches_sent: 20,
                 frames_sent: 8,
                 flushes: 8,
+                resent: 3,
+                wal_appends: 70,
+                snapshots_written: 1,
                 per_partition: vec![
                     PartitionCounters {
                         issued: 30,
@@ -273,6 +301,9 @@ mod tests {
         assert!((report.updates_per_batch - 4.0).abs() < 1e-9);
         assert_eq!(report.frames_sent, 20);
         assert_eq!(report.flushes, 20);
+        assert_eq!(report.resent, 3);
+        assert_eq!(report.wal_appends, 70);
+        assert_eq!(report.snapshots_written, 1);
         assert!((report.frames_per_flush - 1.0).abs() < 1e-9);
         assert_eq!(report.per_partition.len(), 2);
         assert_eq!(report.per_partition[0].issued, 80);
@@ -283,6 +314,9 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"frames_sent\": 20,"));
         assert!(json.contains("\"frames_per_flush\": 1.00,"));
+        assert!(json.contains("\"durable\": true,"));
+        assert!(json.contains("\"crash_restarts\": 1,"));
+        assert!(json.contains("\"wal_appends\": 70,"));
         assert!(json.contains("\"hotspot\": 0.250,"));
         assert!(json.contains("\"consistent\": true,"));
         assert!(json.contains("\"partitions\": 2,"));

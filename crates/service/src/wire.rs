@@ -1,4 +1,5 @@
-//! The length-prefixed wire protocol (version 3, partition-aware).
+//! The length-prefixed wire protocol (version 4, partition-aware and
+//! acknowledged).
 //!
 //! Every message is a *frame*: a little-endian `u32` payload length followed
 //! by the payload; the first payload byte is a message tag. Peer frames
@@ -23,11 +24,20 @@
 //! mixed-version cluster fails loudly at connection time rather than
 //! half-working.
 //!
+//! Version 4 makes peer links acknowledged, closing the loss window where
+//! frames buffered into a dying socket vanished silently: every update in
+//! a multi-batch section carries its per-link sequence number, the
+//! acceptor answers each [`PeerHello`] with a [`encode_hello_ack`] frame
+//! naming the highest link sequence it has durably received from that
+//! peer (the sender resumes — resends from its durable window — right
+//! after it), and the receiver streams [`encode_peer_ack`] frames back on
+//! the same socket so the sender can prune its window.
+//!
 //! Timestamps ship counters only; index sets and the partition layout are
 //! static configuration carried once in the handshake.
 
 use prcc_checker::trace::TraceEvent;
-use prcc_clock::encoding::{read_varint, write_varint};
+use prcc_clock::encoding::{read_varint_at as get_varint, write_varint};
 use prcc_clock::WireClock;
 use prcc_core::Update;
 use prcc_graph::{PartitionId, PartitionMap, RegisterId, ReplicaId, ShareGraph};
@@ -35,9 +45,10 @@ use std::io::{self, Read, Write};
 
 /// The protocol version spoken by this build. Bumped to 2 when frames
 /// became partition-tagged, to 3 when peer flushes became single
-/// multi-partition frames; peers at any other version are refused at the
-/// handshake.
-pub const WIRE_VERSION: u64 = 3;
+/// multi-partition frames, to 4 when peer links became acknowledged
+/// (sequenced updates, hello-acks, streamed acks); peers at any other
+/// version are refused at the handshake.
+pub const WIRE_VERSION: u64 = 4;
 
 /// Upper bound on accepted frame payloads (default 64 MiB) — protects a
 /// node from a garbage length prefix allocating unbounded memory.
@@ -47,6 +58,8 @@ pub const MAX_FRAME: usize = 64 << 20;
 const TAG_PEER_HELLO: u8 = 1;
 const TAG_PEER_BATCH: u8 = 2;
 const TAG_MULTI_BATCH: u8 = 3;
+const TAG_HELLO_ACK: u8 = 4;
+const TAG_PEER_ACK: u8 = 5;
 const TAG_WRITE: u8 = 16;
 const TAG_READ: u8 = 17;
 const TAG_STATUS: u8 = 18;
@@ -105,15 +118,6 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
 
 fn bad_data(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.to_string())
-}
-
-fn get_varint(buf: &[u8], at: &mut usize) -> io::Result<u64> {
-    let rest = buf
-        .get(*at..)
-        .ok_or_else(|| bad_data("truncated payload"))?;
-    let (v, used) = read_varint(rest).ok_or_else(|| bad_data("truncated varint"))?;
-    *at += used;
-    Ok(v)
 }
 
 /// Serializes a share graph as per-replica register assignments.
@@ -219,6 +223,49 @@ pub fn decode_peer_hello(payload: &[u8]) -> io::Result<PeerHello> {
     Ok(PeerHello { node, map })
 }
 
+/// Encodes the acceptor's answer to a [`PeerHello`]: the highest link
+/// sequence it has durably received from the dialing peer (0 = nothing),
+/// which is where the dialer resumes its update stream.
+pub fn encode_hello_ack(acked: u64) -> Vec<u8> {
+    let mut out = vec![TAG_HELLO_ACK];
+    write_varint(&mut out, acked);
+    out
+}
+
+/// Decodes a hello-ack frame payload into the acknowledged link sequence.
+pub fn decode_hello_ack(payload: &[u8]) -> io::Result<u64> {
+    let mut at = 1;
+    if payload.first() != Some(&TAG_HELLO_ACK) {
+        return Err(bad_data("expected hello ack"));
+    }
+    let acked = get_varint(payload, &mut at)?;
+    if at != payload.len() {
+        return Err(bad_data("trailing bytes in hello ack"));
+    }
+    Ok(acked)
+}
+
+/// Encodes a streamed acknowledgement: the receiver has durably received
+/// every update of this link up to and including sequence `seq`.
+pub fn encode_peer_ack(seq: u64) -> Vec<u8> {
+    let mut out = vec![TAG_PEER_ACK];
+    write_varint(&mut out, seq);
+    out
+}
+
+/// Decodes a streamed acknowledgement frame payload.
+pub fn decode_peer_ack(payload: &[u8]) -> io::Result<u64> {
+    let mut at = 1;
+    if payload.first() != Some(&TAG_PEER_ACK) {
+        return Err(bad_data("expected peer ack"));
+    }
+    let seq = get_varint(payload, &mut at)?;
+    if at != payload.len() {
+        return Err(bad_data("trailing bytes in peer ack"));
+    }
+    Ok(seq)
+}
+
 /// Encodes a batch of updates of one partition into one peer frame payload
 /// (the v2 single-partition framing, kept for compatibility decoding and
 /// tests — v3 senders emit [`encode_multi_batch`] frames).
@@ -269,6 +316,40 @@ fn encode_updates<C: WireClock>(updates: &[Update<C>], pad: usize, out: &mut Vec
     }
 }
 
+fn encode_seq_updates<C: WireClock>(updates: &[(u64, Update<C>)], pad: usize, out: &mut Vec<u8>) {
+    for (seq, u) in updates {
+        write_varint(out, *seq);
+        u.encode_wire(out);
+        write_varint(out, pad as u64);
+        out.resize(out.len() + pad, 0);
+    }
+}
+
+fn decode_seq_updates<C, F>(
+    payload: &[u8],
+    at: &mut usize,
+    count: usize,
+    make_clock: &mut F,
+) -> io::Result<Vec<(u64, Update<C>)>>
+where
+    C: WireClock,
+    F: FnMut(ReplicaId) -> Option<C>,
+{
+    let mut updates = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let seq = get_varint(payload, at)?;
+        let u = Update::decode_wire(payload, at, &mut *make_clock)
+            .ok_or_else(|| bad_data("malformed update"))?;
+        let pad = get_varint(payload, at)? as usize;
+        if payload.len() - *at < pad {
+            return Err(bad_data("truncated pad"));
+        }
+        *at += pad;
+        updates.push((seq, u));
+    }
+    Ok(updates)
+}
+
 fn decode_updates<C, F>(
     payload: &[u8],
     at: &mut usize,
@@ -293,34 +374,35 @@ where
     Ok(updates)
 }
 
+/// The sections of one peer flush frame: per partition present, its
+/// updates in order, each tagged with the per-link sequence number driving
+/// acknowledgement and resend (0 = unsequenced legacy traffic).
+pub type FlushSections<C> = Vec<(PartitionId, Vec<(u64, Update<C>)>)>;
+
 /// Encodes one whole peer flush — updates of *every* partition present — as
-/// a single v3 frame payload: a section count followed by `(partition,
-/// updates[])` sections. Empty sections are skipped (the decoder rejects
-/// them), section order and per-partition update order are preserved, and
-/// `pad` zero bytes ride along with each update as in [`encode_batch`].
-pub fn encode_multi_batch<C: WireClock>(
-    sections: &[(PartitionId, Vec<Update<C>>)],
-    pad: usize,
-) -> Vec<u8> {
+/// a single frame payload: a section count followed by `(partition,
+/// [(link seq, update)])` sections. Empty sections are skipped (the
+/// decoder rejects them), section order and per-partition update order are
+/// preserved, and `pad` zero bytes ride along with each update as in
+/// [`encode_batch`]. Since v4 every update carries the per-link sequence
+/// number driving acknowledgement and resend.
+pub fn encode_multi_batch<C: WireClock>(sections: &FlushSections<C>, pad: usize) -> Vec<u8> {
     let mut out = vec![TAG_MULTI_BATCH];
     let live = sections.iter().filter(|(_, updates)| !updates.is_empty());
     write_varint(&mut out, live.clone().count() as u64);
     for (partition, updates) in live {
         write_varint(&mut out, u64::from(partition.0));
         write_varint(&mut out, updates.len() as u64);
-        encode_updates(updates, pad, &mut out);
+        encode_seq_updates(updates, pad, &mut out);
     }
     out
 }
 
-/// Decodes a v3 multi-partition flush frame into its `(partition,
-/// updates[])` sections, in wire order. Frames with no sections or with an
-/// empty section are malformed — a well-formed sender never produces them,
-/// so they indicate corruption.
-pub fn decode_multi_batch<C, F>(
-    payload: &[u8],
-    mut make_clock: F,
-) -> io::Result<Vec<(PartitionId, Vec<Update<C>>)>>
+/// Decodes a multi-partition flush frame into its `(partition,
+/// [(link seq, update)])` sections, in wire order. Frames with no sections
+/// or with an empty section are malformed — a well-formed sender never
+/// produces them, so they indicate corruption.
+pub fn decode_multi_batch<C, F>(payload: &[u8], mut make_clock: F) -> io::Result<FlushSections<C>>
 where
     C: WireClock,
     F: FnMut(ReplicaId) -> Option<C>,
@@ -345,7 +427,7 @@ where
         if updates == 0 {
             return Err(bad_data("empty multi-batch section"));
         }
-        let updates = decode_updates(payload, &mut at, updates, &mut make_clock)?;
+        let updates = decode_seq_updates(payload, &mut at, updates, &mut make_clock)?;
         sections.push((PartitionId(partition), updates));
     }
     if at != payload.len() {
@@ -354,23 +436,21 @@ where
     Ok(sections)
 }
 
-/// Decodes any peer update frame — the v3 multi-partition framing or the
+/// Decodes any peer update frame — the v4 multi-partition framing or the
 /// legacy v2 single-partition batch — into a uniform section list. The v2
-/// arm exists for compatibility tooling and tests; live v2 *peers* never
-/// get this far, the versioned [`PeerHello`] refuses them first.
-pub fn decode_peer_batches<C, F>(
-    payload: &[u8],
-    make_clock: F,
-) -> io::Result<Vec<(PartitionId, Vec<Update<C>>)>>
+/// arm exists for compatibility tooling and tests (its updates carry no
+/// link sequence, reported as 0 = unsequenced); live v2 *peers* never get
+/// this far, the versioned [`PeerHello`] refuses them first.
+pub fn decode_peer_batches<C, F>(payload: &[u8], make_clock: F) -> io::Result<FlushSections<C>>
 where
     C: WireClock,
     F: FnMut(ReplicaId) -> Option<C>,
 {
     match payload.first() {
         Some(&TAG_MULTI_BATCH) => decode_multi_batch(payload, make_clock),
-        Some(&TAG_PEER_BATCH) => {
-            decode_batch(payload, make_clock).map(|(partition, updates)| vec![(partition, updates)])
-        }
+        Some(&TAG_PEER_BATCH) => decode_batch(payload, make_clock).map(|(partition, updates)| {
+            vec![(partition, updates.into_iter().map(|u| (0, u)).collect())]
+        }),
         _ => Err(bad_data("unknown peer frame tag")),
     }
 }
@@ -527,12 +607,20 @@ pub struct NodeStatus {
     /// frames-per-flush stays an honest ratio of two separately
     /// instrumented events.
     pub flushes: u64,
+    /// Update copies resent from the durable window after a reconnect
+    /// (zero on a healthy link).
+    pub resent: u64,
+    /// WAL records appended since this process started (0 when running
+    /// without a data dir).
+    pub wal_appends: u64,
+    /// Snapshots written since this process started.
+    pub snapshots_written: u64,
     /// Counters broken out per partition, indexed by partition id.
     pub per_partition: Vec<PartitionCounters>,
 }
 
 impl NodeStatus {
-    fn fields(&self) -> [u64; 13] {
+    fn fields(&self) -> [u64; 16] {
         [
             self.node,
             self.issued,
@@ -547,10 +635,13 @@ impl NodeStatus {
             self.batches_sent,
             self.frames_sent,
             self.flushes,
+            self.resent,
+            self.wal_appends,
+            self.snapshots_written,
         ]
     }
 
-    fn from_fields(f: [u64; 13]) -> Self {
+    fn from_fields(f: [u64; 16]) -> Self {
         NodeStatus {
             node: f[0],
             issued: f[1],
@@ -565,6 +656,9 @@ impl NodeStatus {
             batches_sent: f[10],
             frames_sent: f[11],
             flushes: f[12],
+            resent: f[13],
+            wal_appends: f[14],
+            snapshots_written: f[15],
             per_partition: Vec::new(),
         }
     }
@@ -612,7 +706,8 @@ pub fn encode_response(resp: &ClientResponse) -> Vec<u8> {
         }
         ClientResponse::Status(status) => {
             // The status field set changes across wire versions (v3 added
-            // frames_sent/flushes/dropped_misrouted), so the payload opens
+            // frames_sent/flushes/dropped_misrouted, v4 added
+            // resent/wal_appends/snapshots_written), so the payload opens
             // with the version: a client built against another version
             // fails loudly instead of misparsing shifted varints.
             let mut out = vec![TAG_STATUS_RESP];
@@ -690,7 +785,7 @@ pub fn decode_response(payload: &[u8]) -> io::Result<ClientResponse> {
                      this client v{WIRE_VERSION}"
                 )));
             }
-            let mut fields = [0u64; 13];
+            let mut fields = [0u64; 16];
             for f in &mut fields {
                 *f = get_varint(payload, &mut at)?;
             }
@@ -841,10 +936,10 @@ mod tests {
             map: PartitionMap::single(topologies::ring(4)),
         };
         let mut payload = encode_peer_hello(&hello);
-        // The version varint sits right after the tag; WIRE_VERSION = 3 is
-        // one byte, so patch it to a v1 or v2 hello.
+        // The version varint sits right after the tag; WIRE_VERSION = 4 is
+        // one byte, so patch it to any older hello.
         assert_eq!(payload[1], WIRE_VERSION as u8);
-        for old in [1u8, 2] {
+        for old in [1u8, 2, 3] {
             payload[1] = old;
             let err = decode_peer_hello(&payload).unwrap_err();
             assert!(
@@ -898,15 +993,24 @@ mod tests {
         }
     }
 
+    /// Tags updates with consecutive link sequence numbers from `base`.
+    fn with_seqs<C>(base: u64, updates: Vec<Update<C>>) -> Vec<(u64, Update<C>)> {
+        updates
+            .into_iter()
+            .enumerate()
+            .map(|(k, u)| (base + k as u64, u))
+            .collect()
+    }
+
     #[test]
-    fn multi_batch_round_trip_preserves_sections() {
+    fn multi_batch_round_trip_preserves_sections_and_seqs() {
         let g = topologies::ring(4);
         let p = EdgeProtocol::new(g);
         // Deliberately unsorted partition order: the wire must preserve it.
         let sections = vec![
-            (PartitionId(6), sample_updates(&p, 3, 0)),
-            (PartitionId(1), sample_updates(&p, 1, 1)),
-            (PartitionId(4), sample_updates(&p, 5, 2)),
+            (PartitionId(6), with_seqs(10, sample_updates(&p, 3, 0))),
+            (PartitionId(1), with_seqs(2, sample_updates(&p, 1, 1))),
+            (PartitionId(4), with_seqs(90, sample_updates(&p, 5, 2))),
         ];
         for pad in [0usize, 64] {
             let payload = encode_multi_batch(&sections, pad);
@@ -915,19 +1019,38 @@ mod tests {
             for ((bp, bu), (sp, su)) in back.iter().zip(&sections) {
                 assert_eq!(bp, sp);
                 assert_eq!(bu.len(), su.len());
-                for (a, b) in bu.iter().zip(su) {
+                for ((aseq, a), (bseq, b)) in bu.iter().zip(su) {
+                    assert_eq!(aseq, bseq, "link seq must survive the wire");
                     assert_eq!((a.id, a.value), (b.id, b.value));
                     assert_eq!(a.clock, b.clock);
                 }
             }
-            // The dispatcher takes both framings to the same section shape.
+            // The dispatcher takes both framings to the same section shape;
+            // legacy v2 batches come back with seq 0 (unsequenced).
             let via_dispatch = decode_peer_batches(&payload, |i| Some(p.new_clock(i))).unwrap();
             assert_eq!(via_dispatch.len(), 3);
-            let v2 = encode_batch(PartitionId(6), &sections[0].1, pad);
+            let plain: Vec<_> = sections[0].1.iter().map(|(_, u)| u.clone()).collect();
+            let v2 = encode_batch(PartitionId(6), &plain, pad);
             let legacy = decode_peer_batches(&v2, |i| Some(p.new_clock(i))).unwrap();
             assert_eq!(legacy.len(), 1);
             assert_eq!(legacy[0].0, PartitionId(6));
             assert_eq!(legacy[0].1.len(), 3);
+            assert!(legacy[0].1.iter().all(|(seq, _)| *seq == 0));
+        }
+    }
+
+    #[test]
+    fn hello_ack_and_peer_ack_round_trip() {
+        for seq in [0u64, 1, 63, 64, 300, u64::MAX / 3] {
+            assert_eq!(decode_hello_ack(&encode_hello_ack(seq)).unwrap(), seq);
+            assert_eq!(decode_peer_ack(&encode_peer_ack(seq)).unwrap(), seq);
+        }
+        // Tags are not interchangeable, and truncations error.
+        assert!(decode_hello_ack(&encode_peer_ack(5)).is_err());
+        assert!(decode_peer_ack(&encode_hello_ack(5)).is_err());
+        let payload = encode_hello_ack(1 << 40);
+        for cut in 0..payload.len() {
+            assert!(decode_hello_ack(&payload[..cut]).is_err(), "cut at {cut}");
         }
     }
 
@@ -938,7 +1061,7 @@ mod tests {
         // Empty input sections are skipped by the encoder...
         let sections = vec![
             (PartitionId(0), Vec::new()),
-            (PartitionId(2), sample_updates(&p, 2, 0)),
+            (PartitionId(2), with_seqs(1, sample_updates(&p, 2, 0))),
             (PartitionId(3), Vec::new()),
         ];
         let payload = encode_multi_batch(&sections, 0);
@@ -947,7 +1070,7 @@ mod tests {
         assert_eq!(back[0].0, PartitionId(2));
         // ...an all-empty flush encodes to a zero-section frame, which the
         // decoder refuses...
-        let empty = encode_multi_batch::<prcc_clock::EdgeClock>(&[], 0);
+        let empty = encode_multi_batch::<prcc_clock::EdgeClock>(&Vec::new(), 0);
         let err = decode_multi_batch(&empty, |i| Some(p.new_clock(i))).unwrap_err();
         assert!(err.to_string().contains("no sections"), "{err}");
         // ...and a hand-crafted zero-update section is refused too.
@@ -1007,6 +1130,9 @@ mod tests {
                 batches_sent: 7,
                 frames_sent: 4,
                 flushes: 4,
+                resent: 2,
+                wal_appends: 29,
+                snapshots_written: 1,
                 per_partition: vec![
                     PartitionCounters {
                         issued: 6,

@@ -1,19 +1,25 @@
-//! Peer-link resilience: a sender whose outbound connection dies after the
-//! handshake must reconnect (with backoff), re-send its `PeerHello`, and
-//! resume shipping update frames — instead of silently stranding every
-//! future update for that peer.
+//! Peer-link resilience under the v4 acknowledged-link protocol.
 //!
-//! The test stands up ONE real node and plays its peer by hand: a plain
-//! `TcpListener` accepts the sender's connection, decodes the handshake and
-//! a first update frame, then drops the socket to kill the link. The node
-//! keeps taking client writes; the listener must then see a second
-//! connection opening with a fresh handshake followed by update frames.
+//! Each test stands up ONE real node and plays its peer by hand: a plain
+//! `TcpListener` accepts the sender's connection, answers the handshake
+//! with a chosen hello-ack (the acknowledged resume offset), reads update
+//! frames, then drops the socket to kill the link. The node must redial
+//! (with backoff), re-handshake, and resend its unacked window from
+//! whatever offset the fake peer acknowledges:
+//!
+//! * acked offset > 0 → already-acknowledged updates are *not* resent;
+//! * acked offset 0 → everything comes again, including updates that were
+//!   delivered on (or buffered into) the dying connection — closing the
+//!   PR 3 gap where frames written into a dead socket were silently lost.
 
 use prcc_clock::{EdgeProtocol, Protocol};
 use prcc_graph::{topologies, PartitionMap, RegisterId};
 use prcc_service::node::{spawn_node, NodeSeed, ServiceConfig};
-use prcc_service::wire::{decode_peer_batches, decode_peer_hello, read_frame, PeerHello};
+use prcc_service::wire::{
+    decode_peer_batches, decode_peer_hello, encode_hello_ack, read_frame, write_frame, PeerHello,
+};
 use prcc_service::ServiceClient;
+use std::collections::BTreeSet;
 use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -25,19 +31,42 @@ fn read_hello(conn: &mut TcpStream) -> PeerHello {
     decode_peer_hello(&frame).expect("well-formed hello")
 }
 
-#[test]
-fn sender_reconnects_and_resumes_after_link_loss() {
+/// Completes the acceptor side of the v4 handshake: read the hello, answer
+/// with the given acknowledged offset.
+fn accept_handshake(conn: &mut TcpStream, acked: u64) -> PeerHello {
+    let hello = read_hello(conn);
+    write_frame(conn, &encode_hello_ack(acked)).expect("write hello ack");
+    hello
+}
+
+/// `(seq, value)` pairs of every update in one decoded flush frame.
+fn frame_updates(payload: &[u8], protocol: &EdgeProtocol) -> Vec<(u64, u64)> {
+    decode_peer_batches(payload, |i| Some(protocol.new_clock(i)))
+        .expect("well-formed flush frame")
+        .into_iter()
+        .flat_map(|(_, updates)| updates.into_iter().map(|(seq, u)| (seq, u.value)))
+        .collect()
+}
+
+struct OneNodeRig {
+    node: prcc_service::NodeHandle,
+    client: ServiceClient,
+    fake_peer: TcpListener,
+    protocol: Arc<EdgeProtocol>,
+    map: PartitionMap,
+}
+
+/// Spawns node 0 of a 2-node line; the test holds node 1's peer listener.
+fn rig() -> OneNodeRig {
     let graph = topologies::line(2);
     let map = PartitionMap::single(graph.clone());
     let protocol = Arc::new(EdgeProtocol::new(graph));
-
-    // Node 0 is real; "node 1" is this test holding its peer listener.
     let peer0 = TcpListener::bind("127.0.0.1:0").expect("bind peer0");
     let client0 = TcpListener::bind("127.0.0.1:0").expect("bind client0");
-    let fake_peer1 = TcpListener::bind("127.0.0.1:0").expect("bind fake peer");
+    let fake_peer = TcpListener::bind("127.0.0.1:0").expect("bind fake peer");
     let peer_addrs = vec![
         peer0.local_addr().expect("addr"),
-        fake_peer1.local_addr().expect("addr"),
+        fake_peer.local_addr().expect("addr"),
     ];
     let cfg = ServiceConfig {
         batch_max: 8,
@@ -45,7 +74,7 @@ fn sender_reconnects_and_resumes_after_link_loss() {
         connect_timeout: Duration::from_secs(10),
         ..ServiceConfig::default()
     };
-    let mut node = spawn_node(
+    let node = spawn_node(
         Arc::clone(&protocol),
         map.clone(),
         NodeSeed {
@@ -57,44 +86,54 @@ fn sender_reconnects_and_resumes_after_link_loss() {
         cfg,
     )
     .expect("spawn node 0");
-    let mut client = ServiceClient::connect(node.client_addr).expect("client");
+    let client = ServiceClient::connect(node.client_addr).expect("client");
+    OneNodeRig {
+        node,
+        client,
+        fake_peer,
+        protocol,
+        map,
+    }
+}
 
-    // Phase 1: the sender dials immediately; take its handshake and one
-    // update frame, then kill the link.
-    let (mut conn, _) = fake_peer1.accept().expect("first accept");
-    let hello = read_hello(&mut conn);
+/// A sender whose connection dies must reconnect, re-handshake, and resume
+/// *after* the peer's acknowledged offset: updates the peer acknowledged
+/// in its hello-ack are not retransmitted, everything later is.
+#[test]
+fn sender_reconnects_and_resumes_after_acked_offset() {
+    let mut rig = rig();
+
+    // Phase 1: take the handshake (acking nothing yet) and one update
+    // frame, remember its link seq, then kill the link.
+    let (mut conn, _) = rig.fake_peer.accept().expect("first accept");
+    let hello = accept_handshake(&mut conn, 0);
     assert_eq!(hello.node, 0);
-    assert_eq!(hello.map, map);
-    assert!(client.write(RegisterId(0), 1).expect("write 1"));
+    assert_eq!(hello.map, rig.map);
+    assert!(rig.client.write(RegisterId(0), 1).expect("write 1"));
     let payload = read_frame(&mut conn)
         .expect("frame io")
         .expect("update frame");
-    let sections = decode_peer_batches(&payload, |i| Some(protocol.new_clock(i)))
-        .expect("well-formed flush frame");
-    assert_eq!(sections.len(), 1);
-    assert_eq!(sections[0].1[0].value, 1);
+    let first = frame_updates(&payload, &rig.protocol);
+    assert_eq!(first, vec![(1, 1)], "first update must carry link seq 1");
     drop(conn);
 
-    // Phase 2: the listener survives, so the sender must redial. Collect
-    // the re-handshake and the first post-reconnect flush on a side thread
-    // while the main thread keeps writing (the dead socket only surfaces an
-    // error on a later send, so a single write is not enough to trigger
-    // reconnection).
+    // Phase 2: the listener survives, so the sender must redial (its
+    // ack-reader sees the dead socket even without new traffic). This
+    // time acknowledge seq 1 in the handshake: the resend must start
+    // after it. Collect everything on a side thread while the main
+    // thread keeps writing.
     let (observed_tx, observed_rx) = mpsc::channel();
-    let reader_protocol = Arc::clone(&protocol);
+    let reader_protocol = Arc::clone(&rig.protocol);
+    let fake_peer = rig.fake_peer;
     thread::spawn(move || {
-        let (mut conn, _) = fake_peer1.accept().expect("reconnect accept");
+        let (mut conn, _) = fake_peer.accept().expect("reconnect accept");
         let hello = read_hello(&mut conn);
+        write_frame(&mut conn, &encode_hello_ack(1)).expect("write hello ack");
         let payload = read_frame(&mut conn)
             .expect("frame io")
             .expect("post-reconnect update frame");
-        let sections = decode_peer_batches(&payload, |i| Some(reader_protocol.new_clock(i)))
-            .expect("well-formed flush frame");
-        let values: Vec<u64> = sections
-            .iter()
-            .flat_map(|(_, updates)| updates.iter().map(|u| u.value))
-            .collect();
-        let _ = observed_tx.send((hello, values));
+        let updates = frame_updates(&payload, &reader_protocol);
+        let _ = observed_tx.send((hello, updates));
         // Keep draining so later flushes don't error the sender again.
         while let Ok(Some(_)) = read_frame(&mut conn) {}
     });
@@ -106,7 +145,7 @@ fn sender_reconnects_and_resumes_after_link_loss() {
             Instant::now() < deadline,
             "sender never reconnected after link loss"
         );
-        assert!(client.write(RegisterId(0), next_value).expect("write"));
+        assert!(rig.client.write(RegisterId(0), next_value).expect("write"));
         next_value += 1;
         match observed_rx.recv_timeout(Duration::from_millis(20)) {
             Ok(observed) => break observed,
@@ -114,19 +153,85 @@ fn sender_reconnects_and_resumes_after_link_loss() {
             Err(mpsc::RecvTimeoutError::Disconnected) => panic!("observer died"),
         }
     };
-    let (hello, values) = observed;
+    let (hello, updates) = observed;
     assert_eq!(hello.node, 0, "reconnect must re-handshake");
-    assert_eq!(hello.map, map, "re-handshake must carry the partition map");
-    assert!(!values.is_empty(), "no updates flowed after the reconnect");
-    // The frame whose send hit the dead socket is retried on the fresh
-    // connection, so the first post-reconnect flush carries updates issued
-    // *before* the sender noticed the loss — values strictly greater than
-    // the one delivered on the first connection.
+    assert_eq!(
+        hello.map, rig.map,
+        "re-handshake must carry the partition map"
+    );
+    assert!(!updates.is_empty(), "no updates flowed after the reconnect");
+    // Seq 1 was acknowledged in the hello-ack, so it must NOT come again;
+    // everything else (unacked) does.
     assert!(
-        values.iter().all(|&v| v > 1),
-        "stale or duplicated updates after reconnect: {values:?}"
+        updates.iter().all(|&(seq, value)| seq > 1 && value > 1),
+        "acknowledged update was retransmitted: {updates:?}"
     );
 
-    client.shutdown().expect("shutdown");
-    node.join();
+    rig.client.shutdown().expect("shutdown");
+    rig.node.join();
+}
+
+/// The PR 3 gap, closed: updates whose frames were buffered into a dying
+/// socket (delivered or not — the sender cannot tell) are retransmitted
+/// from the durable window after the reconnect. With nothing ever
+/// acknowledged, the fake peer must eventually see EVERY update on the
+/// second connection alone.
+#[test]
+fn no_update_loss_when_link_dies_mid_flush() {
+    let mut rig = rig();
+
+    // Phase 1: handshake, then a burst of writes; read only the FIRST
+    // frame and kill the socket while later frames are (potentially) still
+    // being flushed into it — those are exactly the frames the old
+    // retry-one-frame logic lost.
+    let (mut conn, _) = rig.fake_peer.accept().expect("first accept");
+    accept_handshake(&mut conn, 0);
+    for value in 1..=5u64 {
+        assert!(rig.client.write(RegisterId(0), value).expect("write"));
+    }
+    let payload = read_frame(&mut conn)
+        .expect("frame io")
+        .expect("first update frame");
+    let delivered = frame_updates(&payload, &rig.protocol);
+    assert!(!delivered.is_empty());
+    drop(conn);
+
+    // More writes while the link is down: they join the unacked window.
+    for value in 6..=8u64 {
+        assert!(rig.client.write(RegisterId(0), value).expect("write"));
+    }
+
+    // Phase 2: accept the redial, acknowledge NOTHING — the resend must
+    // cover the entire window, first-connection deliveries included.
+    let (mut conn, _) = rig.fake_peer.accept().expect("reconnect accept");
+    accept_handshake(&mut conn, 0);
+    let mut seen_values = BTreeSet::new();
+    let mut seen_seqs = BTreeSet::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while seen_values.len() < 8 {
+        assert!(
+            Instant::now() < deadline,
+            "updates lost across the mid-flush link death: got {seen_values:?}"
+        );
+        let payload = read_frame(&mut conn)
+            .expect("frame io")
+            .expect("update frame");
+        for (seq, value) in frame_updates(&payload, &rig.protocol) {
+            seen_seqs.insert(seq);
+            seen_values.insert(value);
+        }
+    }
+    assert_eq!(
+        seen_values.into_iter().collect::<Vec<_>>(),
+        (1..=8).collect::<Vec<_>>(),
+        "every written value must arrive on the post-loss connection"
+    );
+    assert_eq!(
+        seen_seqs.into_iter().collect::<Vec<_>>(),
+        (1..=8).collect::<Vec<_>>(),
+        "link seqs must be contiguous from the acknowledged offset"
+    );
+
+    rig.client.shutdown().expect("shutdown");
+    rig.node.join();
 }

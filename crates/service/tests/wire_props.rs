@@ -176,20 +176,29 @@ proptest! {
     }
 
     /// A whole flush — sections for several partitions — survives the wire
-    /// as one frame: section order, partition tags, update contents and
-    /// per-section update order all intact, for every clock representation.
+    /// as one frame: section order, partition tags, per-update link seqs,
+    /// update contents and per-section update order all intact, for every
+    /// clock representation.
     #[test]
     fn multi_batches_round_trip(
         g in arb_share_graph(),
         parts in proptest::collection::vec(0u32..1000, 1..6),
         seed in 0u64..500,
         pad in 0usize..64,
+        seq_base in 0u64..1 << 50,
     ) {
         let p = EdgeProtocol::new(g.clone());
-        let sections: Vec<(PartitionId, Vec<Update<_>>)> = parts
+        let sections: Vec<(PartitionId, Vec<(u64, Update<_>)>)> = parts
             .iter()
             .enumerate()
-            .map(|(i, &part)| (PartitionId(part), build_updates(&p, &g, seed ^ (i as u64) << 16)))
+            .map(|(i, &part)| {
+                let updates = build_updates(&p, &g, seed ^ (i as u64) << 16)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, u)| (seq_base + ((i as u64) << 20) + k as u64, u))
+                    .collect();
+                (PartitionId(part), updates)
+            })
             .collect();
         prop_assume!(sections.iter().all(|(_, u)| !u.is_empty()));
         let payload = encode_multi_batch(&sections, pad);
@@ -200,7 +209,8 @@ proptest! {
         for ((bp, bu), (sp, su)) in back.iter().zip(&sections) {
             prop_assert_eq!(bp, sp, "section partition tag must survive in order");
             prop_assert_eq!(bu.len(), su.len());
-            for (a, b) in bu.iter().zip(su) {
+            for ((aseq, a), (bseq, b)) in bu.iter().zip(su) {
+                prop_assert_eq!(aseq, bseq, "link seq must survive the wire");
                 prop_assert_eq!(
                     (a.id, a.issuer, a.register, a.value),
                     (b.id, b.issuer, b.register, b.value)
@@ -224,14 +234,22 @@ proptest! {
         seed in 0u64..200,
     ) {
         let p = EdgeProtocol::new(g.clone());
-        let sections: Vec<(PartitionId, Vec<Update<_>>)> = parts
+        let sections: Vec<(PartitionId, Vec<(u64, Update<_>)>)> = parts
             .iter()
             .map(|&(part, live)| {
-                let updates = if live { build_updates(&p, &g, seed) } else { Vec::new() };
+                let updates = if live {
+                    build_updates(&p, &g, seed)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(k, u)| (1 + k as u64, u))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 (PartitionId(part), updates)
             })
             .collect();
-        let live: Vec<&(PartitionId, Vec<Update<_>>)> =
+        let live: Vec<&(PartitionId, Vec<(u64, Update<_>)>)> =
             sections.iter().filter(|(_, u)| !u.is_empty()).collect();
         let payload = encode_multi_batch(&sections, 0);
         let result = decode_multi_batch(&payload, |i| {
@@ -254,7 +272,11 @@ proptest! {
     #[test]
     fn truncated_multi_batches_rejected(g in arb_share_graph(), seed in 0u64..100) {
         let p = EdgeProtocol::new(g.clone());
-        let updates = build_updates(&p, &g, seed);
+        let updates: Vec<(u64, Update<_>)> = build_updates(&p, &g, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(k, u)| (1 + k as u64, u))
+            .collect();
         prop_assume!(!updates.is_empty());
         let sections = vec![
             (PartitionId(9), updates.clone()),
@@ -269,17 +291,23 @@ proptest! {
         }
     }
 
-    /// The concrete v2-vs-v3 upgrade scenario: a peer still speaking wire
-    /// v2 is refused by a v3 node at the handshake with an error naming
-    /// both versions — mixed-version clusters fail loudly, not silently.
+    /// The concrete upgrade scenario: a peer still speaking an older wire
+    /// version (v2 partition tagging, v3 unacknowledged frame packing) is
+    /// refused by a v4 node at the handshake with an error naming both
+    /// versions — mixed-version clusters fail loudly, not silently.
     #[test]
-    fn v2_hellos_refused_by_v3(map in arb_partition_map()) {
+    fn stale_version_hellos_refused_by_v4(map in arb_partition_map()) {
         let mut payload = encode_peer_hello(&PeerHello { node: 0, map });
         prop_assert_eq!(u64::from(payload[1]), prcc_service::WIRE_VERSION);
-        payload[1] = 2; // a v2 peer's hello differs exactly here
-        let err = decode_peer_hello(&payload).unwrap_err();
-        prop_assert!(err.to_string().contains("peer speaks v2"), "{}", err);
-        prop_assert!(err.to_string().contains("this node v3"), "{}", err);
+        for old in [2u8, 3] {
+            payload[1] = old; // an old peer's hello differs exactly here
+            let err = decode_peer_hello(&payload).unwrap_err();
+            prop_assert!(
+                err.to_string().contains(&format!("peer speaks v{old}")),
+                "{}", err
+            );
+            prop_assert!(err.to_string().contains("this node v4"), "{}", err);
+        }
     }
 
     /// A hello whose version varint is patched to any other value is

@@ -1,0 +1,174 @@
+//! The logical records a node appends to its WAL.
+//!
+//! A node's durable history is the sequence of its state-mutating inputs,
+//! each stamped with a monotonically increasing *record index* (so replay
+//! after a snapshot can skip records the snapshot already folded in, even
+//! when a crash lands between snapshot write and log truncation):
+//!
+//! * [`WalRecord::Issue`] — a client write accepted locally (step 2 of the
+//!   prototype). Replaying it re-runs `Replica::write`, which
+//!   deterministically re-advances the clock and regenerates the outbound
+//!   update (and therefore the per-peer resend windows).
+//! * [`WalRecord::Receipt`] — one decoded peer flush frame: the sending
+//!   node plus its `(partition, [(link seq, update)])` sections, exactly
+//!   as handed to the core. Replaying it re-runs receive/drain, which
+//!   reproduces the pending buffer, the dedup set, the apply log and the
+//!   per-peer acknowledgement high-water marks.
+//!
+//! Updates reuse the wire codecs ([`Update::encode_wire`] over
+//! [`prcc_clock::WireClock`] counters), so the durable format and the wire
+//! format cannot drift apart.
+
+use prcc_clock::encoding::{read_varint_at as get_varint, write_varint};
+use prcc_clock::WireClock;
+use prcc_core::Update;
+use prcc_graph::{PartitionId, RegisterId, ReplicaId};
+use std::io;
+
+const KIND_ISSUE: u8 = 1;
+const KIND_RECEIPT: u8 = 2;
+
+/// The sections of one received peer flush frame: per partition present,
+/// its updates in order, each tagged with its per-link sequence number
+/// (the service crate's wire-level `FlushSections` shape).
+pub type ReceiptSections<C> = Vec<(PartitionId, Vec<(u64, Update<C>)>)>;
+
+/// One durable state-mutating input of a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord<C> {
+    /// A locally accepted client write.
+    Issue {
+        /// The partition written.
+        partition: PartitionId,
+        /// The register written.
+        register: RegisterId,
+        /// The written value.
+        value: u64,
+        /// The globally unique wire id assigned to the resulting update
+        /// (`node << 40 | node-global sequence`); replay restores the
+        /// sequence counter from it.
+        wire_id: u64,
+    },
+    /// One peer flush frame as delivered to the core.
+    Receipt {
+        /// The sending node's index.
+        peer: u64,
+        /// The frame's `(partition, [(link seq, update)])` sections, in
+        /// wire order.
+        sections: ReceiptSections<C>,
+    },
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("WAL record: {what}"))
+}
+
+/// Encodes a record (with its index) into a WAL payload.
+pub fn encode_record<C: WireClock>(index: u64, record: &WalRecord<C>) -> Vec<u8> {
+    match record {
+        WalRecord::Issue {
+            partition,
+            register,
+            value,
+            wire_id,
+        } => {
+            let mut out = Vec::new();
+            write_varint(&mut out, index);
+            out.push(KIND_ISSUE);
+            write_varint(&mut out, u64::from(partition.0));
+            write_varint(&mut out, u64::from(register.0));
+            write_varint(&mut out, *value);
+            write_varint(&mut out, *wire_id);
+            out
+        }
+        WalRecord::Receipt { peer, sections } => encode_receipt_record(index, *peer, sections),
+    }
+}
+
+/// Encodes a [`WalRecord::Receipt`] payload from borrowed sections, so the
+/// append-before-apply path can log a frame and then apply the very same
+/// sections without moving them through the enum.
+pub fn encode_receipt_record<C: WireClock>(
+    index: u64,
+    peer: u64,
+    sections: &ReceiptSections<C>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, index);
+    out.push(KIND_RECEIPT);
+    write_varint(&mut out, peer);
+    write_varint(&mut out, sections.len() as u64);
+    for (partition, updates) in sections {
+        write_varint(&mut out, u64::from(partition.0));
+        write_varint(&mut out, updates.len() as u64);
+        for (seq, update) in updates {
+            write_varint(&mut out, *seq);
+            update.encode_wire(&mut out);
+        }
+    }
+    out
+}
+
+/// Decodes a WAL payload back into `(index, record)`; `make_clock` maps
+/// issuer roles to template clocks exactly as on the wire path.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on any malformed input, including
+/// trailing bytes (records are exact).
+pub fn decode_record<C, F>(payload: &[u8], mut make_clock: F) -> io::Result<(u64, WalRecord<C>)>
+where
+    C: WireClock,
+    F: FnMut(ReplicaId) -> Option<C>,
+{
+    let mut at = 0;
+    let index = get_varint(payload, &mut at)?;
+    let kind = *payload.get(at).ok_or_else(|| bad("missing record kind"))?;
+    at += 1;
+    let record = match kind {
+        KIND_ISSUE => {
+            let partition = u32::try_from(get_varint(payload, &mut at)?)
+                .map_err(|_| bad("partition id out of range"))?;
+            let register = u32::try_from(get_varint(payload, &mut at)?)
+                .map_err(|_| bad("register id out of range"))?;
+            let value = get_varint(payload, &mut at)?;
+            let wire_id = get_varint(payload, &mut at)?;
+            WalRecord::Issue {
+                partition: PartitionId(partition),
+                register: RegisterId(register),
+                value,
+                wire_id,
+            }
+        }
+        KIND_RECEIPT => {
+            let peer = get_varint(payload, &mut at)?;
+            let count = get_varint(payload, &mut at)? as usize;
+            if count > 1 << 20 {
+                return Err(bad("absurd section count"));
+            }
+            let mut sections = Vec::with_capacity(count.min(1 << 10));
+            for _ in 0..count {
+                let partition = u32::try_from(get_varint(payload, &mut at)?)
+                    .map_err(|_| bad("partition id out of range"))?;
+                let updates = get_varint(payload, &mut at)? as usize;
+                if updates > 1 << 24 {
+                    return Err(bad("absurd update count"));
+                }
+                let mut decoded = Vec::with_capacity(updates.min(1 << 16));
+                for _ in 0..updates {
+                    let seq = get_varint(payload, &mut at)?;
+                    let update = Update::decode_wire(payload, &mut at, &mut make_clock)
+                        .ok_or_else(|| bad("malformed update"))?;
+                    decoded.push((seq, update));
+                }
+                sections.push((PartitionId(partition), decoded));
+            }
+            WalRecord::Receipt { peer, sections }
+        }
+        other => return Err(bad(&format!("unknown record kind {other}"))),
+    };
+    if at != payload.len() {
+        return Err(bad("trailing bytes"));
+    }
+    Ok((index, record))
+}

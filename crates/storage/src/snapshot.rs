@@ -1,0 +1,377 @@
+//! Per-node snapshots: the fold of a WAL prefix, enabling log truncation.
+//!
+//! A [`NodeSnapshot`] captures everything the WAL replay would otherwise
+//! rebuild — per-partition replica state (store, clock, pending buffer,
+//! dedup set, counters) plus the node's event logs, the node-global wire-id
+//! sequence, and the per-peer link state (outbound resend windows with
+//! their sequence counters, inbound acknowledgement high-water marks). The
+//! `wal_high` field records the index of the last WAL record folded in, so
+//! a crash between snapshot write and log truncation is harmless: replay
+//! simply skips records at or below it.
+//!
+//! The encoding is **deterministic**: every collection is serialized in its
+//! stored order and the dedup set is kept sorted, so two nodes that
+//! processed the same inputs produce byte-identical snapshots — which the
+//! recovery test suite asserts outright.
+//!
+//! On disk a snapshot is `"PRCCSNP1" | u32 crc32(payload) | payload`,
+//! written to a temporary file and atomically renamed into place, so a
+//! crash mid-write leaves the previous snapshot intact.
+
+use crate::crc32::crc32;
+use prcc_checker::trace::TraceEvent;
+use prcc_checker::UpdateId;
+use prcc_clock::encoding::{read_varint_at as get_varint, write_varint};
+use prcc_clock::WireClock;
+use prcc_core::{ReplicaState, Update};
+use prcc_graph::{PartitionId, RegisterId, ReplicaId};
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// The 8-byte magic opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PRCCSNP1";
+
+/// One hosted partition's durable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSnapshot<C> {
+    /// The replica state machine (role id, store, clock, pending, dedup
+    /// set, counters).
+    pub state: ReplicaState<C>,
+    /// Client writes issued into this partition at this node.
+    pub issued: u64,
+    /// The partition-local event log (issues and applies, in processing
+    /// order) — the trace the post-hoc oracle replays.
+    pub log: Vec<TraceEvent>,
+}
+
+/// One peer link's durable state, as seen from this node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerSnapshot<C> {
+    /// Next outbound link sequence number to assign (starts at 1).
+    pub next_seq: u64,
+    /// Highest link sequence received *from* this peer (what this node
+    /// acknowledges).
+    pub recv_high: u64,
+    /// Outbound updates sent (or queued) but not yet acknowledged by the
+    /// peer, in sequence order — the resend window.
+    pub window: Vec<(u64, PartitionId, Update<C>)>,
+}
+
+/// Everything a node needs to restart without its WAL prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSnapshot<C> {
+    /// Index of the last WAL record folded into this snapshot (0 when the
+    /// node had appended nothing).
+    pub wal_high: u64,
+    /// The node-global wire-id sequence counter.
+    pub seq: u64,
+    /// Client writes accepted (all partitions).
+    pub issued: u64,
+    /// Update copies enqueued to peers (window pushes).
+    pub sent: u64,
+    /// Update copies received from peers (duplicates included).
+    pub received: u64,
+    /// Updates dropped for targeting an unhosted partition.
+    pub dropped_misrouted: u64,
+    /// Per-partition state, indexed by partition id; `None` for
+    /// partitions this node does not host.
+    pub partitions: Vec<Option<PartitionSnapshot<C>>>,
+    /// Per-peer link state, indexed by node id (the self entry is idle).
+    pub peers: Vec<PeerSnapshot<C>>,
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {what}"))
+}
+
+fn encode_trace_event(event: &TraceEvent, out: &mut Vec<u8>) {
+    match *event {
+        TraceEvent::Issue {
+            replica,
+            register,
+            update,
+        } => {
+            out.push(0);
+            write_varint(out, replica.index() as u64);
+            write_varint(out, u64::from(register.0));
+            write_varint(out, update);
+        }
+        TraceEvent::Apply { replica, update } => {
+            out.push(1);
+            write_varint(out, replica.index() as u64);
+            write_varint(out, update);
+        }
+    }
+}
+
+fn decode_trace_event(buf: &[u8], at: &mut usize) -> io::Result<TraceEvent> {
+    let kind = *buf.get(*at).ok_or_else(|| bad("missing event kind"))?;
+    *at += 1;
+    let replica = ReplicaId(get_varint(buf, at)? as usize);
+    match kind {
+        0 => {
+            let register =
+                u32::try_from(get_varint(buf, at)?).map_err(|_| bad("register id out of range"))?;
+            let update = get_varint(buf, at)?;
+            Ok(TraceEvent::Issue {
+                replica,
+                register: RegisterId(register),
+                update,
+            })
+        }
+        1 => Ok(TraceEvent::Apply {
+            replica,
+            update: get_varint(buf, at)?,
+        }),
+        other => Err(bad(&format!("unknown event kind {other}"))),
+    }
+}
+
+/// Serializes a snapshot into its payload bytes (checksum and magic are
+/// added by [`write_snapshot`]).
+pub fn encode_snapshot<C: WireClock>(snap: &NodeSnapshot<C>) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, snap.wal_high);
+    write_varint(&mut out, snap.seq);
+    write_varint(&mut out, snap.issued);
+    write_varint(&mut out, snap.sent);
+    write_varint(&mut out, snap.received);
+    write_varint(&mut out, snap.dropped_misrouted);
+    write_varint(&mut out, snap.partitions.len() as u64);
+    for slot in &snap.partitions {
+        match slot {
+            None => out.push(0),
+            Some(part) => {
+                out.push(1);
+                write_varint(&mut out, part.state.id.index() as u64);
+                write_varint(&mut out, part.issued);
+                write_varint(&mut out, part.state.store.len() as u64);
+                for entry in &part.state.store {
+                    match entry {
+                        None => out.push(0),
+                        Some(v) => {
+                            out.push(1);
+                            write_varint(&mut out, *v);
+                        }
+                    }
+                }
+                part.state.clock.encode_wire(&mut out);
+                write_varint(&mut out, part.state.pending.len() as u64);
+                for update in &part.state.pending {
+                    update.encode_wire(&mut out);
+                }
+                write_varint(&mut out, part.state.applies);
+                write_varint(&mut out, part.state.buffered_applies);
+                write_varint(&mut out, part.state.max_pending as u64);
+                write_varint(&mut out, part.state.dropped_duplicates);
+                write_varint(&mut out, part.state.seen.len() as u64);
+                for id in &part.state.seen {
+                    write_varint(&mut out, id.0);
+                }
+                write_varint(&mut out, part.log.len() as u64);
+                for event in &part.log {
+                    encode_trace_event(event, &mut out);
+                }
+            }
+        }
+    }
+    write_varint(&mut out, snap.peers.len() as u64);
+    for peer in &snap.peers {
+        write_varint(&mut out, peer.next_seq);
+        write_varint(&mut out, peer.recv_high);
+        write_varint(&mut out, peer.window.len() as u64);
+        for (seq, partition, update) in &peer.window {
+            write_varint(&mut out, *seq);
+            write_varint(&mut out, u64::from(partition.0));
+            update.encode_wire(&mut out);
+        }
+    }
+    out
+}
+
+/// Decodes a snapshot payload. `make_clock` maps a replica role to a
+/// template clock (for both slot clocks and update timestamps).
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on malformed input or trailing bytes.
+pub fn decode_snapshot<C, F>(payload: &[u8], mut make_clock: F) -> io::Result<NodeSnapshot<C>>
+where
+    C: WireClock,
+    F: FnMut(ReplicaId) -> Option<C>,
+{
+    let mut at = 0;
+    let wal_high = get_varint(payload, &mut at)?;
+    let seq = get_varint(payload, &mut at)?;
+    let issued = get_varint(payload, &mut at)?;
+    let sent = get_varint(payload, &mut at)?;
+    let received = get_varint(payload, &mut at)?;
+    let dropped_misrouted = get_varint(payload, &mut at)?;
+    let parts = get_varint(payload, &mut at)? as usize;
+    if parts > 1 << 20 {
+        return Err(bad("absurd partition count"));
+    }
+    let mut partitions = Vec::with_capacity(parts.min(1 << 10));
+    for _ in 0..parts {
+        let present = *payload.get(at).ok_or_else(|| bad("missing slot flag"))?;
+        at += 1;
+        if present == 0 {
+            partitions.push(None);
+            continue;
+        }
+        let role = ReplicaId(get_varint(payload, &mut at)? as usize);
+        let part_issued = get_varint(payload, &mut at)?;
+        let store_len = get_varint(payload, &mut at)? as usize;
+        if store_len > 1 << 24 {
+            return Err(bad("absurd store size"));
+        }
+        let mut store = Vec::with_capacity(store_len.min(1 << 16));
+        for _ in 0..store_len {
+            let flag = *payload.get(at).ok_or_else(|| bad("missing store flag"))?;
+            at += 1;
+            store.push(if flag == 0 {
+                None
+            } else {
+                Some(get_varint(payload, &mut at)?)
+            });
+        }
+        let mut clock = make_clock(role).ok_or_else(|| bad("role out of range"))?;
+        if !clock.decode_wire(payload, &mut at) {
+            return Err(bad("malformed slot clock"));
+        }
+        let pending_len = get_varint(payload, &mut at)? as usize;
+        if pending_len > 1 << 24 {
+            return Err(bad("absurd pending size"));
+        }
+        let mut pending = Vec::with_capacity(pending_len.min(1 << 16));
+        for _ in 0..pending_len {
+            pending.push(
+                Update::decode_wire(payload, &mut at, &mut make_clock)
+                    .ok_or_else(|| bad("malformed pending update"))?,
+            );
+        }
+        let applies = get_varint(payload, &mut at)?;
+        let buffered_applies = get_varint(payload, &mut at)?;
+        let max_pending = get_varint(payload, &mut at)? as usize;
+        let dropped_duplicates = get_varint(payload, &mut at)?;
+        let seen_len = get_varint(payload, &mut at)? as usize;
+        if seen_len > 1 << 28 {
+            return Err(bad("absurd dedup set size"));
+        }
+        let mut seen = Vec::with_capacity(seen_len.min(1 << 16));
+        for _ in 0..seen_len {
+            seen.push(UpdateId(get_varint(payload, &mut at)?));
+        }
+        let log_len = get_varint(payload, &mut at)? as usize;
+        if log_len > 1 << 28 {
+            return Err(bad("absurd log size"));
+        }
+        let mut log = Vec::with_capacity(log_len.min(1 << 16));
+        for _ in 0..log_len {
+            log.push(decode_trace_event(payload, &mut at)?);
+        }
+        partitions.push(Some(PartitionSnapshot {
+            state: ReplicaState {
+                id: role,
+                store,
+                clock,
+                pending,
+                applies,
+                buffered_applies,
+                max_pending,
+                seen,
+                dropped_duplicates,
+            },
+            issued: part_issued,
+            log,
+        }));
+    }
+    let peer_count = get_varint(payload, &mut at)? as usize;
+    if peer_count > 1 << 20 {
+        return Err(bad("absurd peer count"));
+    }
+    let mut peers = Vec::with_capacity(peer_count.min(1 << 10));
+    for _ in 0..peer_count {
+        let next_seq = get_varint(payload, &mut at)?;
+        let recv_high = get_varint(payload, &mut at)?;
+        let window_len = get_varint(payload, &mut at)? as usize;
+        if window_len > 1 << 24 {
+            return Err(bad("absurd window size"));
+        }
+        let mut window = Vec::with_capacity(window_len.min(1 << 16));
+        for _ in 0..window_len {
+            let seq = get_varint(payload, &mut at)?;
+            let partition = u32::try_from(get_varint(payload, &mut at)?)
+                .map_err(|_| bad("partition id out of range"))?;
+            let update = Update::decode_wire(payload, &mut at, &mut make_clock)
+                .ok_or_else(|| bad("malformed window update"))?;
+            window.push((seq, PartitionId(partition), update));
+        }
+        peers.push(PeerSnapshot {
+            next_seq,
+            recv_high,
+            window,
+        });
+    }
+    if at != payload.len() {
+        return Err(bad("trailing bytes"));
+    }
+    Ok(NodeSnapshot {
+        wal_high,
+        seq,
+        issued,
+        sent,
+        received,
+        dropped_misrouted,
+        partitions,
+        peers,
+    })
+}
+
+/// Atomically writes snapshot payload bytes to `path` (magic and checksum
+/// added): the bytes land in `<path>.tmp` first and are renamed over the
+/// previous snapshot, so a crash mid-write never destroys the old one.
+///
+/// # Errors
+///
+/// I/O errors from the write or rename.
+pub fn write_snapshot(path: &Path, payload: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(SNAPSHOT_MAGIC)?;
+        file.write_all(&crc32(payload).to_le_bytes())?;
+        file.write_all(payload)?;
+        file.flush()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Reads snapshot payload bytes from `path`; `Ok(None)` when no snapshot
+/// exists yet.
+///
+/// # Errors
+///
+/// I/O errors; a wrong magic or checksum mismatch is
+/// [`io::ErrorKind::InvalidData`] — a damaged snapshot must stop recovery
+/// loudly rather than boot a half-restored node.
+pub fn read_snapshot(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < 12 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(bad("bad file magic (not a prcc snapshot)"));
+    }
+    let stored = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let payload = &bytes[12..];
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(bad(&format!(
+            "checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"
+        )));
+    }
+    Ok(Some(payload.to_vec()))
+}

@@ -1,0 +1,315 @@
+//! The write-ahead log file: length-prefixed, CRC-checksummed records.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! "PRCCWAL1"                                  8-byte file magic
+//! [u32 len][u32 crc32(payload)][payload] ...  records, back to back
+//! ```
+//!
+//! Both fixed-width fields are little-endian. The log distinguishes two
+//! failure shapes on open:
+//!
+//! * **Torn tail** — the file ends inside a record (mid length prefix,
+//!   mid checksum, or with fewer than `len` payload bytes): the crash
+//!   interrupted an append. Recovery keeps the longest valid prefix and
+//!   truncates the tail, because every complete earlier record was
+//!   acknowledged only after its own append returned.
+//! * **Corruption** — a record is *complete* but its checksum does not
+//!   match, or its length field is absurd: the file was damaged after the
+//!   fact. That is not recoverable by truncation (later records may be
+//!   fine — silently dropping them would un-acknowledge durable state), so
+//!   open fails with a descriptive [`std::io::ErrorKind::InvalidData`]
+//!   error naming the offset.
+//!
+//! Appends `write(2)` the whole record and flush before returning, so a
+//! process crash after an acknowledged append never loses the record (the
+//! page cache holds it); syncing through power loss is a deployment knob
+//! this layer deliberately leaves out.
+
+use crate::crc32::crc32;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The 8-byte magic opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"PRCCWAL1";
+
+/// Upper bound on one record's payload (64 MiB): a complete record
+/// claiming more is reported as corruption, not allocated.
+pub const MAX_WAL_RECORD: usize = 64 << 20;
+
+/// What [`Wal::open`] found in an existing file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// The payloads of every valid record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of torn tail discarded (0 for a cleanly closed log).
+    pub torn_bytes: u64,
+}
+
+/// Outcome of scanning an in-memory WAL image ([`scan_wal`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// The payloads of every complete, checksum-valid record.
+    pub records: Vec<Vec<u8>>,
+    /// Length of the valid prefix in bytes (magic included); anything
+    /// beyond it is a torn tail.
+    pub valid_len: usize,
+}
+
+fn corrupt(offset: usize, what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("WAL corrupted at byte {offset}: {what}"),
+    )
+}
+
+/// Scans a WAL image, returning every complete checksum-valid record and
+/// the byte length of that valid prefix. A file ending mid-record (torn
+/// tail, including a partial magic on a file shorter than 8 bytes) is
+/// normal crash damage and simply ends the scan; a *complete* record whose
+/// checksum mismatches — or whose length field is absurd while enough
+/// bytes follow — is corruption and errors.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] for a wrong magic or a corrupted record,
+/// with the offending byte offset in the message.
+pub fn scan_wal(bytes: &[u8]) -> io::Result<WalScan> {
+    if bytes.len() < WAL_MAGIC.len() {
+        // Torn before the header finished: an empty log.
+        return Ok(WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+        });
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(corrupt(0, "bad file magic (not a prcc WAL)"));
+    }
+    let mut records = Vec::new();
+    let mut at = WAL_MAGIC.len();
+    loop {
+        let rest = &bytes[at..];
+        if rest.len() < 8 {
+            break; // torn inside the length/checksum header
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len > MAX_WAL_RECORD {
+            // Checked BEFORE the incomplete-record test: a corrupted
+            // length field usually claims an absurd size, and classifying
+            // it as a torn tail would silently truncate every valid
+            // record behind it. (A corrupted-but-plausible length either
+            // lands inside the file — caught by the checksum below — or
+            // swallows the tail, which is indistinguishable from a torn
+            // final append and recovers as one.)
+            return Err(corrupt(at, "record length exceeds MAX_WAL_RECORD"));
+        }
+        if rest.len() - 8 < len {
+            // Fewer payload bytes than claimed: a crash mid-append.
+            break;
+        }
+        let payload = &rest[8..8 + len];
+        let actual = crc32(payload);
+        if actual != crc {
+            return Err(corrupt(
+                at,
+                &format!("record checksum mismatch (stored {crc:#010x}, computed {actual:#010x})"),
+            ));
+        }
+        records.push(payload.to_vec());
+        at += 8 + len;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: at,
+    })
+}
+
+/// An open write-ahead log, positioned for appends.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, validates every
+    /// record, truncates any torn tail, and returns the surviving record
+    /// payloads alongside the append handle.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a wrong magic, or a checksum-corrupted record (see the
+    /// module docs for the torn-vs-corrupt distinction).
+    pub fn open(path: &Path) -> io::Result<(Wal, WalRecovery)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let scan = scan_wal(&bytes)?;
+        let torn_bytes = (bytes.len() - scan.valid_len) as u64;
+        if scan.valid_len == 0 {
+            // Fresh (or torn-before-header) file: start over with a magic.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(WAL_MAGIC)?;
+            file.flush()?;
+        } else if torn_bytes > 0 {
+            file.set_len(scan.valid_len as u64)?;
+            file.seek(SeekFrom::End(0))?;
+        } else {
+            file.seek(SeekFrom::End(0))?;
+        }
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+            },
+            WalRecovery {
+                records: scan.records,
+                torn_bytes,
+            },
+        ))
+    }
+
+    /// Appends one record and flushes it to the OS. Returns the bytes the
+    /// record occupies on disk (header included).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; a payload larger than [`MAX_WAL_RECORD`] is refused.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<usize> {
+        if payload.len() > MAX_WAL_RECORD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "WAL record exceeds MAX_WAL_RECORD",
+            ));
+        }
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(payload).to_le_bytes());
+        framed.extend_from_slice(payload);
+        self.file.write_all(&framed)?;
+        self.file.flush()?;
+        Ok(framed.len())
+    }
+
+    /// Drops every record (after a snapshot has captured their effects):
+    /// the file is truncated back to just the magic.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the truncate/seek.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(WAL_MAGIC.len() as u64)?;
+        self.file.seek(SeekFrom::End(0))?;
+        Ok(())
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("prcc-wal-unit-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join("wal.bin")
+    }
+
+    #[test]
+    fn append_reopen_round_trip() {
+        let path = temp_path("round-trip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut wal, rec) = Wal::open(&path).expect("open fresh");
+            assert!(rec.records.is_empty());
+            wal.append(b"alpha").expect("append");
+            wal.append(b"").expect("empty record is legal");
+            wal.append(&[7u8; 300]).expect("append");
+        }
+        let (_, rec) = Wal::open(&path).expect("reopen");
+        assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(rec.records.len(), 3);
+        assert_eq!(rec.records[0], b"alpha");
+        assert_eq!(rec.records[1], b"");
+        assert_eq!(rec.records[2], vec![7u8; 300]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncated_and_appendable() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(&path).expect("open");
+            wal.append(b"keep me").expect("append");
+            wal.append(b"torn away").expect("append");
+        }
+        let full = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &full[..full.len() - 3]).expect("tear");
+        let (mut wal, rec) = Wal::open(&path).expect("recover");
+        assert_eq!(rec.records, vec![b"keep me".to_vec()]);
+        assert_eq!(rec.torn_bytes, 8 + 9 - 3);
+        wal.append(b"after recovery").expect("append over the tear");
+        let (_, rec) = Wal::open(&path).expect("reopen");
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[1], b"after recovery");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_checksum_is_a_descriptive_error() {
+        let path = temp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(&path).expect("open");
+            wal.append(b"soon to be flipped").expect("append");
+        }
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write corruption");
+        let err = Wal::open(&path).expect_err("corruption must refuse to open");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("checksum mismatch"),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_refused() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTAPRCC log").expect("write");
+        let err = Wal::open(&path).expect_err("bad magic");
+        assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_drops_records() {
+        let path = temp_path("reset");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).expect("open");
+        wal.append(b"old").expect("append");
+        wal.reset().expect("reset");
+        wal.append(b"new").expect("append");
+        drop(wal);
+        let (_, rec) = Wal::open(&path).expect("reopen");
+        assert_eq!(rec.records, vec![b"new".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+}
