@@ -1,0 +1,812 @@
+//! Checkpointed (incremental) trace verification.
+//!
+//! [`super::trace::verify_trace`] replays *complete* per-replica event logs,
+//! so a long-running node would have to retain its entire history for the
+//! oracle — exactly the O(history) growth the bounded-memory work removes.
+//! This module lets a trace prefix be **verified, summarized, and
+//! discarded**: a [`TraceCheckpoint`] captures everything later replays
+//! need about a sealed log prefix, and
+//! [`verify_trace_checkpointed`] stitches per-replica checkpoints and live
+//! log suffixes back into one verdict.
+//!
+//! # What a checkpoint records
+//!
+//! Per replica, about its sealed (verified-and-discarded) prefix:
+//!
+//! * event / issue / apply counts and an order-sensitive digest — the
+//!   "verified-prefix digest" that identifies which prefix was sealed;
+//! * `last_issue` — the highest wire id among the replica's own sealed
+//!   issues (wire ids are assigned monotonically per issuer, so this is an
+//!   exact membership bound: a wire id at or below it *was* sealed);
+//! * `applied_high[j]` — per issuer `j`, the highest wire id this replica
+//!   applied inside its sealed prefix (the "clock state": a causally
+//!   consistent replica applies each issuer's updates in issue order, so
+//!   this is an exact per-issuer applied frontier);
+//! * `frontier[x]` — per register, the wire id of the replica's last
+//!   sealed local write.
+//!
+//! # Why stitching is equivalent to full replay
+//!
+//! The seal rule (enforced by the producer, e.g. the service node) is:
+//! **an issue may be sealed only once every remote recipient has durably
+//! acknowledged it; applies may seal freely.** Under that rule:
+//!
+//! * a dependency of a live update that lies in some sealed prefix was, by
+//!   the seal rule, applied at every holder before anything live — so
+//!   skipping its (already verified) safety re-check loses nothing;
+//! * an apply of a *live* issue that a replica sealed is re-seeded into
+//!   the fresh oracle via `applied_high` ([`crate::Oracle::seed_applied`]),
+//!   restoring both the replica's causal closure and the liveness
+//!   bookkeeping exactly;
+//! * an apply of a *sealed* issue that is still live in some log (a
+//!   "straggler" — the issuer compacted first) is recognized exactly via
+//!   `last_issue` and checked for per-issuer causal order against
+//!   `applied_high`; its full dependency check already happened when the
+//!   issue's other applies were verified, before the seal.
+//!
+//! The only fidelity ceded is the full dependency re-check of straggler
+//! applies (they are counted, so a caller can see how much of the verdict
+//! rests on sealed history). On quiescent traces with no compaction the
+//! function degenerates to — and is tested equivalent with —
+//! [`super::trace::verify_trace`].
+
+use crate::trace::{TraceError, TraceEvent};
+use crate::{Oracle, Verdict};
+use prcc_graph::{ReplicaId, ShareGraph};
+use std::collections::{HashMap, HashSet};
+
+/// FNV-1a step, used for the order-sensitive sealed-prefix digest.
+fn fnv1a(mut hash: u64, bytes: &[u64]) -> u64 {
+    for &word in bytes {
+        for shift in [0u32, 16, 32, 48] {
+            hash ^= u64::from((word >> shift) as u16);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
+/// The FNV-1a offset basis — the digest of an empty sealed prefix.
+const DIGEST_SEED: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Summary of one replica's sealed (verified and discarded) log prefix.
+///
+/// Produced by [`TraceCheckpoint::absorb`]; consumed by
+/// [`verify_trace_checkpointed`]. All wire ids must be nonzero (0 is the
+/// "nothing sealed" sentinel throughout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCheckpoint {
+    /// Events sealed from this replica's log.
+    pub events: u64,
+    /// Issue events among them.
+    pub issues: u64,
+    /// Apply events among them.
+    pub applies: u64,
+    /// Highest wire id among this replica's own sealed issues (0 = none).
+    /// Issues are logged in increasing wire-id order, so this bounds sealed
+    /// issue membership exactly.
+    pub last_issue: u64,
+    /// Per issuer role: highest wire id applied (or self-issued) inside the
+    /// sealed prefix (0 = none).
+    pub applied_high: Vec<u64>,
+    /// Per register: wire id of the last sealed local write (0 = none).
+    pub frontier: Vec<u64>,
+    /// Order-sensitive FNV-1a digest over the sealed events, chained across
+    /// successive seals.
+    pub digest: u64,
+}
+
+impl TraceCheckpoint {
+    /// An empty checkpoint (nothing sealed) for a system of `roles`
+    /// replicas and `registers` registers.
+    pub fn new(roles: usize, registers: usize) -> Self {
+        TraceCheckpoint {
+            events: 0,
+            issues: 0,
+            applies: 0,
+            last_issue: 0,
+            applied_high: vec![0; roles],
+            frontier: vec![0; registers],
+            digest: DIGEST_SEED,
+        }
+    }
+
+    /// True when no events have been sealed.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Folds a log prefix into the checkpoint. `issuer_of` maps a wire id
+    /// to the role that issued it (used to maintain `applied_high` for
+    /// apply events; unresolvable ids are skipped there but still counted
+    /// and digested).
+    ///
+    /// The caller is responsible for the seal rule (see the module docs)
+    /// and for discarding `events` from its live log afterwards.
+    pub fn absorb<F>(&mut self, events: &[TraceEvent], issuer_of: F)
+    where
+        F: Fn(u64) -> Option<ReplicaId>,
+    {
+        for event in events {
+            self.events += 1;
+            match *event {
+                TraceEvent::Issue {
+                    replica,
+                    register,
+                    update,
+                } => {
+                    self.issues += 1;
+                    self.last_issue = self.last_issue.max(update);
+                    if let Some(slot) = self.frontier.get_mut(register.index()) {
+                        *slot = update;
+                    }
+                    // The issuer applies its own update at issue time
+                    // (step 2 of the prototype), so its applied frontier
+                    // advances too.
+                    if let Some(high) = self.applied_high.get_mut(replica.index()) {
+                        *high = (*high).max(update);
+                    }
+                    self.digest = fnv1a(
+                        self.digest,
+                        &[0, replica.index() as u64, u64::from(register.0), update],
+                    );
+                }
+                TraceEvent::Apply { replica, update } => {
+                    self.applies += 1;
+                    if let Some(issuer) = issuer_of(update) {
+                        if let Some(high) = self.applied_high.get_mut(issuer.index()) {
+                            *high = (*high).max(update);
+                        }
+                    }
+                    self.digest = fnv1a(self.digest, &[1, replica.index() as u64, update]);
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a stitched (checkpoint + live suffix) verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointedVerdict {
+    /// The causal-consistency verdict over the live events (sealed history
+    /// was verified before it was sealed).
+    pub verdict: Verdict,
+    /// Total events covered by the checkpoints (all replicas).
+    pub sealed_events: u64,
+    /// Live applies of sealed issues — recognized via `last_issue`, held to
+    /// per-issuer causal order, but exempt from the full dependency check
+    /// (that ran before the issuer sealed).
+    pub straggler_applies: u64,
+}
+
+impl CheckpointedVerdict {
+    /// True when no safety or liveness violation was found.
+    pub fn is_consistent(&self) -> bool {
+        self.verdict.is_consistent()
+    }
+}
+
+/// Replays per-replica live log suffixes against their sealed-prefix
+/// checkpoints and returns the stitched verdict.
+///
+/// `parts[i]` is replica `i`'s `(checkpoint, live log)` pair; pass
+/// [`TraceCheckpoint::new`] (empty) for replicas that never sealed —
+/// with all-empty checkpoints this is exactly
+/// [`super::trace::verify_trace`]. `issuer_of` maps a wire id to its
+/// issuing role (the service derives it from the id's node bits and the
+/// partition map); it is consulted for sealed ids only.
+///
+/// # Errors
+///
+/// The same structural [`TraceError`]s as `verify_trace`, evaluated
+/// against the stitched view: a live issue reusing a sealed wire id is a
+/// [`TraceError::DuplicateIssue`], an apply matching neither a live issue
+/// nor any replica's sealed range is an [`TraceError::UnknownUpdate`].
+pub fn verify_trace_checkpointed<F>(
+    g: &ShareGraph,
+    parts: &[(TraceCheckpoint, Vec<TraceEvent>)],
+    issuer_of: F,
+) -> Result<CheckpointedVerdict, TraceError>
+where
+    F: Fn(u64) -> Option<ReplicaId>,
+{
+    let checkpoints: Vec<&TraceCheckpoint> = parts.iter().map(|(c, _)| c).collect();
+    let logs: Vec<&Vec<TraceEvent>> = parts.iter().map(|(_, l)| l).collect();
+    let roles = g.num_replicas();
+
+    // Pre-scan live issues: duplicates among the live events, and reuse of
+    // a wire id the same replica already sealed (per-replica issue ids are
+    // monotone, so `last_issue` bounds sealed membership exactly).
+    let mut issued_ids = HashSet::new();
+    for (log, checkpoint) in logs.iter().zip(&checkpoints) {
+        for event in *log {
+            if let TraceEvent::Issue { update, .. } = event {
+                if !issued_ids.insert(*update)
+                    || (checkpoint.issues > 0 && *update <= checkpoint.last_issue)
+                {
+                    return Err(TraceError::DuplicateIssue { update: *update });
+                }
+            }
+        }
+    }
+
+    // Classify applies: live (verified by the oracle), sealed-straggler
+    // (issuer sealed the issue first), or unknown (structural error).
+    let sealed_issuer = |update: u64| -> Option<ReplicaId> {
+        if issued_ids.contains(&update) {
+            return None;
+        }
+        match issuer_of(update) {
+            Some(j) => (checkpoints
+                .get(j.index())
+                .is_some_and(|c| c.issues > 0 && update <= c.last_issue))
+            .then_some(j),
+            // Unresolvable issuer: accept any replica whose sealed issue
+            // range covers the id (conservative, used by checker-side
+            // callers without a wire-id scheme).
+            None => checkpoints
+                .iter()
+                .enumerate()
+                .find(|(_, c)| c.issues > 0 && update <= c.last_issue)
+                .map(|(j, _)| ReplicaId(j)),
+        }
+    };
+    for log in &logs {
+        for event in *log {
+            if let TraceEvent::Apply { replica, update } = event {
+                if !issued_ids.contains(update) && sealed_issuer(*update).is_none() {
+                    return Err(TraceError::UnknownUpdate {
+                        replica: *replica,
+                        update: *update,
+                    });
+                }
+            }
+        }
+    }
+
+    // A replica whose sealed prefix applied still-live issues must not
+    // process any live event before those issues are scheduled and seeded
+    // into its closure (its sealed applies all precede its whole live
+    // log). `required[i]` counts the live issues replica i still waits
+    // for; the count only reaches zero in an order consistent with real
+    // time, because sealed-apply-of-live-issue pairs follow issue order.
+    let mut required = vec![0usize; logs.len()];
+    for log in &logs {
+        for event in *log {
+            if let TraceEvent::Issue {
+                replica,
+                register,
+                update,
+            } = event
+            {
+                for (k, checkpoint) in checkpoints.iter().enumerate() {
+                    if k < roles
+                        && checkpoint
+                            .applied_high
+                            .get(replica.index())
+                            .is_some_and(|&high| *update <= high)
+                        && g.stores(ReplicaId(k), *register)
+                    {
+                        required[k] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut oracle = Oracle::new(g);
+    let mut verdict = Verdict::default();
+    let mut ids = HashMap::new();
+    let mut heads = vec![0usize; logs.len()];
+    let mut straggler_applies = 0u64;
+    // Per (replica, issuer): highest wire id applied so far, seeded from
+    // the sealed frontier — the per-issuer causal-order check stragglers
+    // are held to.
+    let mut last_applied: Vec<Vec<u64>> = checkpoints
+        .iter()
+        .map(|c| {
+            let mut row = c.applied_high.clone();
+            row.resize(roles, 0);
+            row
+        })
+        .collect();
+    let remaining =
+        |heads: &[usize]| -> usize { logs.iter().zip(heads).map(|(log, &h)| log.len() - h).sum() };
+
+    loop {
+        let mut progressed = false;
+        for (i, (log, head)) in logs.iter().zip(heads.iter_mut()).enumerate() {
+            if required[i] > 0 {
+                continue; // Gated until its sealed applies are seeded.
+            }
+            while let Some(event) = log.get(*head) {
+                match *event {
+                    TraceEvent::Issue {
+                        replica,
+                        register,
+                        update,
+                    } => {
+                        let oracle_id = oracle.on_issue(replica, register);
+                        ids.insert(update, oracle_id);
+                        // Seed every replica whose sealed prefix recorded
+                        // an apply of this (still live) issue.
+                        for (k, checkpoint) in checkpoints.iter().enumerate() {
+                            if k < roles
+                                && checkpoint
+                                    .applied_high
+                                    .get(replica.index())
+                                    .is_some_and(|&high| update <= high)
+                                && g.stores(ReplicaId(k), register)
+                            {
+                                oracle.seed_applied(ReplicaId(k), oracle_id);
+                                last_applied[k][replica.index()] =
+                                    last_applied[k][replica.index()].max(update);
+                                required[k] -= 1;
+                            }
+                        }
+                    }
+                    TraceEvent::Apply { replica, update } => {
+                        if let Some(&oracle_id) = ids.get(&update) {
+                            if !g.stores(replica, oracle.register(oracle_id)) {
+                                return Err(TraceError::ApplyAtNonHolder { replica, update });
+                            }
+                            if let Err(violation) = oracle.on_apply(replica, oracle_id) {
+                                verdict.safety.push(violation);
+                            }
+                            let issuer = oracle.issuer(oracle_id).index();
+                            last_applied[i][issuer] = last_applied[i][issuer].max(update);
+                        } else if issued_ids.contains(&update) {
+                            // Issue not yet scheduled; try another log.
+                            break;
+                        } else {
+                            // Straggler: the issuer sealed this issue. Its
+                            // dependency check ran before the seal; hold it
+                            // to per-issuer causal order against the
+                            // replica's applied frontier.
+                            let issuer = sealed_issuer(update)
+                                .expect("classified in the pre-scan")
+                                .index();
+                            straggler_applies += 1;
+                            if update <= last_applied[i][issuer] {
+                                verdict.safety.push(crate::SafetyViolation {
+                                    replica,
+                                    applied: crate::UpdateId(update),
+                                    missing: crate::UpdateId(last_applied[i][issuer]),
+                                });
+                            } else {
+                                last_applied[i][issuer] = update;
+                            }
+                        }
+                    }
+                }
+                *head += 1;
+                progressed = true;
+            }
+        }
+        if remaining(&heads) == 0 && required.iter().all(|&r| r == 0) {
+            break;
+        }
+        if !progressed {
+            return Err(TraceError::NoConsistentOrder {
+                remaining: remaining(&heads).max(1),
+            });
+        }
+    }
+
+    verdict.liveness = oracle.check_liveness();
+    Ok(CheckpointedVerdict {
+        verdict,
+        sealed_events: checkpoints.iter().map(|c| c.events).sum(),
+        straggler_applies,
+    })
+}
+
+/// Per-partition stitched verification:
+/// `parts[p]` holds partition `p`'s per-role `(checkpoint, live log)`
+/// pairs. Each partition is an independent instance of `g`; see
+/// [`super::trace::verify_partitions`] for the sharding rationale.
+///
+/// `issuer_of(p, wire_id)` maps a wire id to its issuing role *within
+/// partition `p`*.
+pub fn verify_partitions_checkpointed<F>(
+    g: &ShareGraph,
+    parts: &[Vec<(TraceCheckpoint, Vec<TraceEvent>)>],
+    issuer_of: F,
+) -> Vec<Result<CheckpointedVerdict, TraceError>>
+where
+    F: Fn(usize, u64) -> Option<ReplicaId>,
+{
+    parts
+        .iter()
+        .enumerate()
+        .map(|(p, pairs)| verify_trace_checkpointed(g, pairs, |w| issuer_of(p, w)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::verify_trace;
+    use prcc_graph::{topologies, RegisterId};
+
+    /// Wire ids in these tests mimic the service: `replica << 40 | seq`,
+    /// monotone per issuer, never zero.
+    fn wire(replica: usize, seq: u64) -> u64 {
+        ((replica as u64) << 40) | seq
+    }
+
+    fn issuer_of(w: u64) -> Option<ReplicaId> {
+        Some(ReplicaId((w >> 40) as usize))
+    }
+
+    fn issue(replica: usize, register: u32, update: u64) -> TraceEvent {
+        TraceEvent::Issue {
+            replica: ReplicaId(replica),
+            register: RegisterId(register),
+            update,
+        }
+    }
+
+    fn apply(replica: usize, update: u64) -> TraceEvent {
+        TraceEvent::Apply {
+            replica: ReplicaId(replica),
+            update,
+        }
+    }
+
+    /// Pairs each log with an empty checkpoint (nothing sealed).
+    fn with_empty(
+        g: &ShareGraph,
+        logs: &[Vec<TraceEvent>],
+    ) -> Vec<(TraceCheckpoint, Vec<TraceEvent>)> {
+        logs.iter()
+            .map(|log| {
+                (
+                    TraceCheckpoint::new(g.num_replicas(), g.num_registers()),
+                    log.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Seals `cut[i]` events off each log into fresh checkpoints and
+    /// returns `(checkpoint, remaining suffix)` pairs.
+    fn seal(
+        g: &ShareGraph,
+        logs: &[Vec<TraceEvent>],
+        cut: &[usize],
+    ) -> Vec<(TraceCheckpoint, Vec<TraceEvent>)> {
+        logs.iter()
+            .zip(cut)
+            .map(|(log, &k)| {
+                let mut checkpoint = TraceCheckpoint::new(g.num_replicas(), g.num_registers());
+                checkpoint.absorb(&log[..k], issuer_of);
+                (checkpoint, log[k..].to_vec())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_checkpoints_match_plain_verification() {
+        let g = topologies::clique_full(3, 1);
+        let logs = vec![
+            vec![issue(0, 0, wire(0, 1)), apply(0, wire(1, 1))],
+            vec![apply(1, wire(0, 1)), issue(1, 0, wire(1, 1))],
+            vec![apply(2, wire(0, 1)), apply(2, wire(1, 1))],
+        ];
+        let full = verify_trace(&g, &logs).unwrap();
+        let stitched = verify_trace_checkpointed(&g, &with_empty(&g, &logs), issuer_of).unwrap();
+        assert_eq!(stitched.verdict, full);
+        assert_eq!(stitched.sealed_events, 0);
+        assert_eq!(stitched.straggler_applies, 0);
+    }
+
+    #[test]
+    fn straggler_applies_of_sealed_issues_are_recognized() {
+        // Replica 0 sealed its issue of u=(0,1); replica 1's apply is still
+        // live. The stitched verdict must stay consistent and count it.
+        let g = topologies::line(2);
+        let full_logs = vec![vec![issue(0, 0, wire(0, 1))], vec![apply(1, wire(0, 1))]];
+        let parts = seal(&g, &full_logs, &[1, 0]);
+        assert_eq!(parts[0].0.issues, 1);
+        assert_eq!(parts[0].0.last_issue, wire(0, 1));
+        let stitched = verify_trace_checkpointed(&g, &parts, issuer_of).unwrap();
+        assert!(stitched.is_consistent(), "{stitched:?}");
+        assert_eq!(stitched.straggler_applies, 1);
+        assert_eq!(stitched.sealed_events, 1);
+    }
+
+    #[test]
+    fn sealed_apply_of_live_issue_seeds_the_oracle() {
+        // Replica 1 sealed its apply of u, but replica 0's issue of u is
+        // live. Without seeding, liveness would flag u unapplied at 1 and
+        // the later causal chain would misfire.
+        let g = topologies::clique_full(3, 1);
+        let full_logs = vec![
+            vec![issue(0, 0, wire(0, 1)), apply(0, wire(1, 1))],
+            vec![apply(1, wire(0, 1)), issue(1, 0, wire(1, 1))],
+            vec![apply(2, wire(0, 1)), apply(2, wire(1, 1))],
+        ];
+        // Seal only replica 1's apply of u (prefix length 1).
+        let parts = seal(&g, &full_logs, &[0, 1, 0]);
+        assert_eq!(parts[1].0.applied_high[0], wire(0, 1));
+        let stitched = verify_trace_checkpointed(&g, &parts, issuer_of).unwrap();
+        assert!(stitched.is_consistent(), "{stitched:?}");
+        assert_eq!(stitched.straggler_applies, 0);
+    }
+
+    #[test]
+    fn straggler_reorder_against_sealed_frontier_is_flagged() {
+        // Replica 0 sealed issues u1 < u2; replica 1 applies them out of
+        // order (u2 then u1) in its live log. Even without the sealed
+        // pasts, the per-issuer frontier catches the inversion.
+        let g = topologies::line(2);
+        let full_logs = vec![
+            vec![issue(0, 0, wire(0, 1)), issue(0, 0, wire(0, 2))],
+            vec![apply(1, wire(0, 2)), apply(1, wire(0, 1))],
+        ];
+        let parts = seal(&g, &full_logs, &[2, 0]);
+        let stitched = verify_trace_checkpointed(&g, &parts, issuer_of).unwrap();
+        assert_eq!(stitched.verdict.safety.len(), 1);
+        assert_eq!(stitched.verdict.safety[0].replica, ReplicaId(1));
+        assert_eq!(stitched.straggler_applies, 2);
+    }
+
+    #[test]
+    fn sealed_issue_with_live_reissue_is_a_duplicate() {
+        let g = topologies::line(2);
+        let full_logs = vec![vec![issue(0, 0, wire(0, 1))], vec![apply(1, wire(0, 1))]];
+        // The live log re-issues the sealed wire id.
+        let live = [vec![issue(0, 0, wire(0, 1))], vec![]];
+        let parts: Vec<_> = seal(&g, &full_logs, &[1, 0])
+            .into_iter()
+            .zip(live)
+            .map(|((checkpoint, _), log)| (checkpoint, log))
+            .collect();
+        assert_eq!(
+            verify_trace_checkpointed(&g, &parts, issuer_of),
+            Err(TraceError::DuplicateIssue { update: wire(0, 1) })
+        );
+    }
+
+    #[test]
+    fn unknown_apply_still_errors() {
+        let g = topologies::line(2);
+        let logs = vec![vec![], vec![apply(1, wire(0, 9))]];
+        assert_eq!(
+            verify_trace_checkpointed(&g, &with_empty(&g, &logs), issuer_of),
+            Err(TraceError::UnknownUpdate {
+                replica: ReplicaId(1),
+                update: wire(0, 9)
+            })
+        );
+    }
+
+    #[test]
+    fn dropped_apply_of_live_issue_is_a_liveness_violation() {
+        // The issue stays live (unsealed), its apply never happened
+        // anywhere: stitching must still flag the loss.
+        let g = topologies::line(2);
+        let logs = vec![vec![issue(0, 0, wire(0, 1))], vec![]];
+        let stitched = verify_trace_checkpointed(&g, &with_empty(&g, &logs), issuer_of).unwrap();
+        assert_eq!(stitched.verdict.liveness.len(), 1);
+        assert_eq!(stitched.verdict.liveness[0].replica, ReplicaId(1));
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_and_chained() {
+        let g = topologies::line(2);
+        let a = [issue(0, 0, wire(0, 1)), issue(0, 0, wire(0, 2))];
+        let b = [issue(0, 0, wire(0, 2)), issue(0, 0, wire(0, 1))];
+        let mut ca = TraceCheckpoint::new(2, g.num_registers());
+        let mut cb = TraceCheckpoint::new(2, g.num_registers());
+        ca.absorb(&a, issuer_of);
+        cb.absorb(&b, issuer_of);
+        assert_ne!(ca.digest, cb.digest);
+        // Absorbing in two rounds chains to the same digest as one round.
+        let mut cc = TraceCheckpoint::new(2, g.num_registers());
+        cc.absorb(&a[..1], issuer_of);
+        cc.absorb(&a[1..], issuer_of);
+        assert_eq!(cc.digest, ca.digest);
+        assert_eq!(cc.events, 2);
+    }
+
+    /// Generates a random *valid* quiescent execution over `g` using the
+    /// oracle itself as ground truth, returning per-replica logs.
+    fn random_execution(g: &ShareGraph, steps: usize, seed: u64) -> Vec<Vec<TraceEvent>> {
+        // Tiny deterministic LCG so the test does not depend on rand.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move |bound: usize| -> usize {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % bound.max(1)
+        };
+        let mut oracle = Oracle::new(g);
+        let mut logs: Vec<Vec<TraceEvent>> = vec![Vec::new(); g.num_replicas()];
+        let mut seqs = vec![0u64; g.num_replicas()];
+        let mut updates: Vec<(crate::UpdateId, u64)> = Vec::new(); // (oracle id, wire id)
+        for _ in 0..steps {
+            let mut deliverable: Vec<(ReplicaId, crate::UpdateId, u64)> = Vec::new();
+            for &(oid, w) in &updates {
+                for i in g.replicas() {
+                    if g.stores(i, oracle.register(oid))
+                        && !oracle.is_applied(i, oid)
+                        && oracle.causal_past(oid).iter().all(|&dep| {
+                            !g.stores(i, oracle.register(dep)) || oracle.is_applied(i, dep)
+                        })
+                    {
+                        deliverable.push((i, oid, w));
+                    }
+                }
+            }
+            // Bias toward applies so chains build up.
+            if !deliverable.is_empty() && next(3) != 0 {
+                let (i, oid, w) = deliverable[next(deliverable.len())];
+                oracle.on_apply(i, oid).expect("generator preserves safety");
+                logs[i.index()].push(TraceEvent::Apply {
+                    replica: i,
+                    update: w,
+                });
+            } else {
+                let i = ReplicaId(next(g.num_replicas()));
+                let regs: Vec<RegisterId> = g.registers_of(i).iter().collect();
+                if regs.is_empty() {
+                    continue;
+                }
+                let x = regs[next(regs.len())];
+                seqs[i.index()] += 1;
+                let w = wire(i.index(), seqs[i.index()]);
+                let oid = oracle.on_issue(i, x);
+                updates.push((oid, w));
+                logs[i.index()].push(TraceEvent::Issue {
+                    replica: i,
+                    register: x,
+                    update: w,
+                });
+            }
+        }
+        // Drain to quiescence: deliver everything still owed, in causal
+        // order, so the trace has no liveness gaps.
+        loop {
+            let mut advanced = false;
+            for &(oid, w) in &updates {
+                for i in g.replicas() {
+                    if g.stores(i, oracle.register(oid))
+                        && !oracle.is_applied(i, oid)
+                        && oracle.causal_past(oid).iter().all(|&dep| {
+                            !g.stores(i, oracle.register(dep)) || oracle.is_applied(i, dep)
+                        })
+                    {
+                        oracle.on_apply(i, oid).expect("causal delivery");
+                        logs[i.index()].push(TraceEvent::Apply {
+                            replica: i,
+                            update: w,
+                        });
+                        advanced = true;
+                    }
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        assert!(oracle.check_liveness().is_empty(), "generator quiesces");
+        logs
+    }
+
+    /// The headline equivalence property: on randomized valid executions,
+    /// the stitched verdict equals full replay for checkpoints placed at
+    /// **every** per-replica prefix length (sampled jointly, swept
+    /// exhaustively per replica).
+    #[test]
+    fn checkpointed_verification_equals_full_replay_at_every_prefix() {
+        for (g, steps, seed) in [
+            (topologies::clique_full(3, 2), 40, 7),
+            (topologies::ring(4), 60, 11),
+            (topologies::line(3), 30, 23),
+        ] {
+            let logs = random_execution(&g, steps, seed);
+            let full = verify_trace(&g, &logs).unwrap();
+            assert!(full.is_consistent(), "generator produced a violation");
+
+            // Exhaustive per-replica sweep: cut one replica's log at every
+            // prefix length, others untouched.
+            for i in 0..logs.len() {
+                for k in 0..=logs[i].len() {
+                    let mut cut = vec![0; logs.len()];
+                    cut[i] = k;
+                    let parts = seal(&g, &logs, &cut);
+                    let stitched = verify_trace_checkpointed(&g, &parts, issuer_of)
+                        .unwrap_or_else(|e| panic!("replica {i} cut {k}: {e}"));
+                    assert!(
+                        stitched.is_consistent(),
+                        "replica {i} cut {k}: {:?}",
+                        stitched.verdict
+                    );
+                }
+            }
+
+            // Joint random cuts.
+            let mut state = seed | 1;
+            for round in 0..25 {
+                let cut: Vec<usize> = logs
+                    .iter()
+                    .map(|log| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 33) as usize) % (log.len() + 1)
+                    })
+                    .collect();
+                let parts = seal(&g, &logs, &cut);
+                let stitched = verify_trace_checkpointed(&g, &parts, issuer_of)
+                    .unwrap_or_else(|e| panic!("round {round} cut {cut:?}: {e}"));
+                assert!(
+                    stitched.is_consistent(),
+                    "round {round} cut {cut:?}: {:?}",
+                    stitched.verdict
+                );
+                let sealed: u64 = cut.iter().map(|&k| k as u64).sum();
+                assert_eq!(stitched.sealed_events, sealed);
+            }
+        }
+    }
+
+    /// Violations among live events are reported identically with and
+    /// without a sealed prefix in front of them.
+    #[test]
+    fn live_violations_survive_a_sealed_prefix() {
+        let g = topologies::clique_full(3, 1);
+        // Prefix: u1 fully propagated. Suffix: replica 2 applies u3 (which
+        // causally follows u2) before u2 — one safety violation.
+        let logs = vec![
+            vec![
+                issue(0, 0, wire(0, 1)),
+                issue(0, 0, wire(0, 2)),
+                apply(0, wire(1, 1)),
+            ],
+            vec![
+                apply(1, wire(0, 1)),
+                apply(1, wire(0, 2)),
+                issue(1, 0, wire(1, 1)),
+            ],
+            vec![
+                apply(2, wire(0, 1)),
+                apply(2, wire(1, 1)),
+                apply(2, wire(0, 2)),
+            ],
+        ];
+        let full = verify_trace(&g, &logs).unwrap();
+        assert_eq!(full.safety.len(), 1);
+        // Seal the fully-propagated u1 everywhere (complete cut).
+        let parts = seal(&g, &logs, &[1, 1, 1]);
+        let stitched = verify_trace_checkpointed(&g, &parts, issuer_of).unwrap();
+        assert_eq!(stitched.verdict.safety.len(), 1);
+        assert_eq!(stitched.verdict.safety[0].replica, ReplicaId(2));
+        assert!(stitched.verdict.liveness.is_empty());
+    }
+
+    #[test]
+    fn partitions_stitch_independently() {
+        let g = topologies::line(2);
+        let cp = || TraceCheckpoint::new(2, g.num_registers());
+        let mut sealed = cp();
+        sealed.absorb(&[issue(0, 0, wire(0, 1))], issuer_of);
+        let parts = vec![
+            // Partition 0: sealed issue + live straggler apply.
+            vec![(sealed, vec![]), (cp(), vec![apply(1, wire(0, 1))])],
+            // Partition 1: fully live.
+            vec![
+                (cp(), vec![issue(0, 0, wire(0, 7))]),
+                (cp(), vec![apply(1, wire(0, 7))]),
+            ],
+        ];
+        let verdicts = verify_partitions_checkpointed(&g, &parts, |_, w| issuer_of(w));
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts[0].as_ref().unwrap().is_consistent());
+        assert_eq!(verdicts[0].as_ref().unwrap().straggler_applies, 1);
+        assert!(verdicts[1].as_ref().unwrap().is_consistent());
+        assert_eq!(verdicts[1].as_ref().unwrap().straggler_applies, 0);
+    }
+}

@@ -19,11 +19,15 @@
 #![warn(missing_docs)]
 
 mod bitset;
+pub mod checkpoint;
 mod oracle;
 mod report;
 pub mod trace;
 
 pub use bitset::DynBitSet;
+pub use checkpoint::{
+    verify_partitions_checkpointed, verify_trace_checkpointed, CheckpointedVerdict, TraceCheckpoint,
+};
 pub use oracle::{Oracle, UpdateId};
 pub use report::{LivenessViolation, SafetyViolation, Verdict};
 pub use trace::{verify_trace, TraceError, TraceEvent};

@@ -184,6 +184,33 @@ impl Oracle {
         }
     }
 
+    /// Marks `u` as applied at replica `i` *without* running the safety
+    /// check, merging `u` and its past into `i`'s closure.
+    ///
+    /// This exists for checkpointed trace replay: when a verified trace
+    /// prefix has been summarized and discarded, a replica's summary may
+    /// record that it applied a still-live update inside that sealed prefix
+    /// (its apply event is gone, but its effect on the replica's causal
+    /// past is not). Seeding restores exactly that effect — the apply
+    /// itself was already checked before it was sealed, so re-checking
+    /// against a fresh oracle would misfire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is unknown or `i` does not store its register.
+    pub fn seed_applied(&mut self, i: ReplicaId, u: UpdateId) {
+        let meta = &self.updates[u.index()];
+        assert!(
+            self.g.stores(i, meta.register),
+            "replica {i} does not store {} (update {u})",
+            meta.register
+        );
+        self.applied[i.index()].insert(u.0);
+        self.closure[i.index()].insert(u.0);
+        let past = self.updates[u.index()].past.clone();
+        self.closure[i.index()].union_with(&past);
+    }
+
     /// The exact happened-before test: `a ↪ b`.
     pub fn happened_before(&self, a: UpdateId, b: UpdateId) -> bool {
         self.updates[b.index()].past.contains(a.0)

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod dedup;
 pub mod epoch;
 mod error;
 pub mod multicast;
@@ -30,6 +31,7 @@ mod stats;
 mod update;
 
 pub use cluster::Cluster;
+pub use dedup::SeqWatermark;
 pub use epoch::EpochedCluster;
 pub use error::CoreError;
 pub use multicast::CausalMulticast;

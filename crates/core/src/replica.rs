@@ -9,9 +9,10 @@ use prcc_net::VirtualTime;
 /// A plain-data export of a replica's full mutable state, used by the
 /// durability layer to snapshot and restore replicas across restarts.
 ///
-/// `seen` is kept sorted ascending so exports are deterministic: two
-/// replicas that processed the same inputs export byte-identical state
-/// once serialized.
+/// Every field is O(live state): since duplicate suppression moved to the
+/// transport layer ([`crate::SeqWatermark`]), the export no longer carries
+/// the historical dedup set, so its size is bounded by the register count
+/// plus the pending buffer — not by how long the replica has been running.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplicaState<C> {
     /// The replica's id.
@@ -28,11 +29,6 @@ pub struct ReplicaState<C> {
     pub buffered_applies: u64,
     /// High-water mark of the pending buffer.
     pub max_pending: usize,
-    /// Ids of every update received (pending or applied), sorted
-    /// ascending.
-    pub seen: Vec<prcc_checker::UpdateId>,
-    /// Duplicate deliveries dropped.
-    pub dropped_duplicates: u64,
 }
 
 /// Replica state: local register copies, the timestamp `τ_i`, and the
@@ -57,13 +53,6 @@ pub struct Replica<P: Protocol> {
     buffered_applies: u64,
     /// High-water mark of the pending buffer.
     max_pending: usize,
-    /// Updates already received (pending or applied), for at-least-once
-    /// channel tolerance. Keyed by the globally unique update id, which
-    /// stands in for the `(issuer, per-issuer sequence)` pair a real wire
-    /// format would carry.
-    seen: std::collections::HashSet<prcc_checker::UpdateId>,
-    /// Duplicate deliveries dropped.
-    dropped_duplicates: u64,
 }
 
 impl<P: Protocol> Replica<P> {
@@ -77,8 +66,6 @@ impl<P: Protocol> Replica<P> {
             applies: 0,
             buffered_applies: 0,
             max_pending: 0,
-            seen: std::collections::HashSet::new(),
-            dropped_duplicates: 0,
         }
     }
 
@@ -121,20 +108,19 @@ impl<P: Protocol> Replica<P> {
         Ok(self.clock.clone())
     }
 
-    /// Step 3: enqueue a received update into `pending`. Duplicate
-    /// deliveries (at-least-once channels) are dropped — without
-    /// deduplication a reapplied duplicate could never satisfy the
+    /// Step 3: enqueue a received update into `pending`.
+    ///
+    /// The caller (the transport layer) must deliver every update copy **at
+    /// most once**: a re-delivered duplicate could never satisfy the
     /// equality clause of predicate `J` and would pin the pending buffer
-    /// forever. Returns false if the update was a duplicate.
-    pub fn receive(&mut self, mut update: Update<P::Clock>, now: VirtualTime) -> bool {
-        if !self.seen.insert(update.id) {
-            self.dropped_duplicates += 1;
-            return false;
-        }
+    /// forever. At-least-once channels therefore deduplicate *before* this
+    /// call, using their per-link sequence numbers and a
+    /// [`crate::SeqWatermark`] — which is exact in O(reordering window)
+    /// memory, where the replica-level id set this replaces was O(history).
+    pub fn receive(&mut self, mut update: Update<P::Clock>, now: VirtualTime) {
         update.received_at = now;
         self.pending.push(update);
         self.max_pending = self.max_pending.max(self.pending.len());
-        true
     }
 
     /// Step 4: repeatedly scan `pending`, applying every update whose
@@ -194,21 +180,13 @@ impl<P: Protocol> Replica<P> {
         self.buffered_applies
     }
 
-    /// Duplicate deliveries dropped by this replica.
-    pub fn dropped_duplicates(&self) -> u64 {
-        self.dropped_duplicates
-    }
-
     /// Direct store access for assertions (any register index).
     pub fn peek(&self, x: RegisterId) -> Option<u64> {
         self.store[x.index()]
     }
 
-    /// Exports the replica's full mutable state for snapshotting. The
-    /// dedup set is sorted, so the export is deterministic.
+    /// Exports the replica's full mutable state for snapshotting.
     pub fn export_state(&self) -> ReplicaState<P::Clock> {
-        let mut seen: Vec<prcc_checker::UpdateId> = self.seen.iter().copied().collect();
-        seen.sort_unstable_by_key(|id| id.0);
         ReplicaState {
             id: self.id,
             store: self.store.clone(),
@@ -217,8 +195,6 @@ impl<P: Protocol> Replica<P> {
             applies: self.applies,
             buffered_applies: self.buffered_applies,
             max_pending: self.max_pending,
-            seen,
-            dropped_duplicates: self.dropped_duplicates,
         }
     }
 
@@ -244,8 +220,6 @@ impl<P: Protocol> Replica<P> {
             applies: state.applies,
             buffered_applies: state.buffered_applies,
             max_pending: state.max_pending,
-            seen: state.seen.into_iter().collect(),
-            dropped_duplicates: state.dropped_duplicates,
         })
     }
 }
@@ -337,7 +311,7 @@ mod tests {
         let t1 = sender.write(&p, RegisterId(0), 1).unwrap();
         let t2 = sender.write(&p, RegisterId(0), 2).unwrap();
         // Deliver out of order so the restored state carries a non-empty
-        // pending buffer and a non-trivial dedup set.
+        // pending buffer.
         receiver.receive(
             update::<EdgeProtocol>(1, ReplicaId(0), RegisterId(0), 2, t2),
             VirtualTime(5),
@@ -345,7 +319,6 @@ mod tests {
         assert!(receiver.drain(&p).is_empty());
         let state = receiver.export_state();
         assert_eq!(state.pending.len(), 1);
-        assert!(state.seen.windows(2).all(|w| w[0].0 < w[1].0));
         let mut restored = Replica::from_state(&p, state.clone()).expect("restore");
         assert_eq!(restored.export_state(), state);
         // The restored replica picks up exactly where the original left

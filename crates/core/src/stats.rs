@@ -25,6 +25,9 @@ pub struct ClusterStats {
     /// Sum over applies of (apply time − receive time), in ticks — time
     /// spent blocked in `pending` (false/true dependency stalls).
     pub total_pending_stall: u64,
+    /// Duplicate deliveries suppressed by the per-link watermarks
+    /// (at-least-once channel tolerance).
+    pub duplicates_dropped: u64,
     /// Per-replica timestamp entries (static metadata size).
     pub timestamp_entries: Vec<usize>,
 }

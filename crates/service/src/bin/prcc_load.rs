@@ -72,6 +72,14 @@ fn run() -> Result<(), String> {
              \t--out PATH       report path (default BENCH_service.json)\n\
              \t--data-dir PATH  enable durability: per-node WAL + snapshots under PATH\n\
              \t--snapshot-every N  WAL records between snapshots (default 4096)\n\
+             \t--fsync          group-commit every WAL append (power-loss durability)\n\
+             \t--fsync-every N  group-commit cadence: fdatasync every N appends (0 = off)\n\
+             \t--compact-at N   live trace events per partition before the core seals\n\
+             \t                 the acked prefix into its checkpoint (default 1024)\n\
+             \t--max-snapshot-bytes N  fail if any node's last snapshot exceeds N bytes\n\
+             \t                 (regression guard for O(live state) snapshots; 0 = off)\n\
+             \t--max-snapshot-growth F fail if any node's last/first snapshot size\n\
+             \t                 ratio reaches F (flat-snapshot guard; 0 = off)\n\
              \t--crash-restart  kill one node mid-drive and restart it from its\n\
              \t                 data dir (a temp dir is used if --data-dir is unset)\n\
              \t--crash-at F     progress fraction at which the crash fires (default 0.5)\n\
@@ -104,6 +112,13 @@ fn run() -> Result<(), String> {
         .unwrap_or("BENCH_service.json")
         .to_string();
     let max_frames_per_flush = args.parse_or("--max-frames-per-flush", 0f64)?;
+    let max_snapshot_bytes = args.parse_or("--max-snapshot-bytes", 0u64)?;
+    let max_snapshot_growth = args.parse_or("--max-snapshot-growth", 0f64)?;
+    let fsync_every = if args.has("--fsync") && args.value("--fsync-every").is_none() {
+        1
+    } else {
+        args.parse_or("--fsync-every", 0u64)?
+    };
     let quiet = args.has("--quiet");
     let crash_restart = args.has("--crash-restart");
     let crash_at = args.parse_or("--crash-at", 0.5f64)?.clamp(0.0, 1.0);
@@ -128,6 +143,8 @@ fn run() -> Result<(), String> {
         pad_bytes: value_bytes,
         data_dir: data_dir.clone(),
         snapshot_every: args.parse_or("--snapshot-every", 4096u64)?,
+        fsync_every,
+        trace_compact_at: args.parse_or("--compact-at", 1024usize)?,
         ..ServiceConfig::default()
     };
     let graph = build_topology(&topology, nodes, seed)?;
@@ -283,6 +300,17 @@ fn run() -> Result<(), String> {
             "{misrouted} updates were misrouted to non-hosting nodes and dropped"
         ));
     }
+    let evicted: u64 = statuses.iter().map(|s| s.window_evicted).sum();
+    if evicted > 0 {
+        // Evicted entries were given up on — the stitched verdict cannot
+        // vouch for updates the cluster stopped trying to deliver, so the
+        // run must not be reported as clean.
+        return Err(format!(
+            "{evicted} resend-window entries were evicted by the window cap \
+             (a peer was stranded past --window-cap); the run gave up on \
+             delivering them"
+        ));
+    }
     let partition_verdicts = cluster
         .verify_partitions()
         .map_err(|e| format!("trace collection: {e}"))?;
@@ -329,6 +357,14 @@ fn run() -> Result<(), String> {
         resent: 0,
         wal_appends: 0,
         snapshots_written: 0,
+        fsync_every,
+        wal_bytes: 0,
+        snapshot_bytes: 0,
+        snapshot_growth: 0.0,
+        trace_events: 0,
+        sealed_events: 0,
+        max_window: 0,
+        window_evicted: 0,
         verdict,
         per_partition,
     };
@@ -368,8 +404,22 @@ fn run() -> Result<(), String> {
         if report.durable {
             println!(
                 "  durability: {} WAL appends, {} snapshots, {} updates resent, \
-                 {} crash/restart cycles",
-                report.wal_appends, report.snapshots_written, report.resent, report.crash_restarts
+                 {} crash/restart cycles, fsync every {}",
+                report.wal_appends,
+                report.snapshots_written,
+                report.resent,
+                report.crash_restarts,
+                report.fsync_every
+            );
+            println!(
+                "  memory: {} WAL bytes, last snapshot {} bytes (growth x{:.2}), \
+                 {} live + {} sealed trace events, max window {}",
+                report.wal_bytes,
+                report.snapshot_bytes,
+                report.snapshot_growth,
+                report.trace_events,
+                report.sealed_events,
+                report.max_window
             );
         }
         println!(
@@ -405,6 +455,47 @@ fn run() -> Result<(), String> {
                 "frame packing regressed: {:.2} frames per flush (limit {max_frames_per_flush}) — \
                  multi-partition flushes are being split into per-partition frames again",
                 report.frames_per_flush
+            ));
+        }
+    }
+    if max_snapshot_bytes > 0 && report.snapshot_bytes > max_snapshot_bytes {
+        return Err(format!(
+            "snapshot size regressed: {} bytes (limit {max_snapshot_bytes}) — \
+             snapshots are growing with history instead of live state",
+            report.snapshot_bytes
+        ));
+    }
+    if max_snapshot_growth > 0.0 {
+        // snapshot_growth is only computed from nodes that wrote two or
+        // more snapshots — the cluster-wide sum is not enough (four nodes
+        // with one snapshot each would gate nothing).
+        if report.snapshot_growth <= 0.0 {
+            return Err(format!(
+                "snapshot growth gate needs some node with at least two snapshots \
+                 ({} written cluster-wide) — lower --snapshot-every or raise --ops",
+                report.snapshots_written
+            ));
+        }
+        // Snapshots embed the unacked resend windows, which wobble by a
+        // few hundred bytes with ack timing — so the ratio gate carries a
+        // small absolute allowance. The regression it exists to catch
+        // (snapshots growing with history) is tens to hundreds of
+        // kilobytes at smoke scale, far beyond it.
+        const GROWTH_ALLOWANCE_BYTES: f64 = 4096.0;
+        let regressed = statuses.iter().any(|s| {
+            s.snapshots_written > 1
+                && s.first_snapshot_bytes > 0
+                && s.snapshot_bytes as f64
+                    >= (max_snapshot_growth * s.first_snapshot_bytes as f64)
+                        .max(s.first_snapshot_bytes as f64 + GROWTH_ALLOWANCE_BYTES)
+        });
+        if regressed {
+            return Err(format!(
+                "snapshot growth regressed: last/first ratio {:.2} (limit \
+                 {max_snapshot_growth} plus a {GROWTH_ALLOWANCE_BYTES:.0}-byte \
+                 noise allowance) — trace compaction is no longer keeping \
+                 snapshots flat",
+                report.snapshot_growth
             ));
         }
     }

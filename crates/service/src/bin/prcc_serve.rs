@@ -31,6 +31,10 @@ fn run() -> Result<(), String> {
              \t--data-dir PATH  enable durability: per-node WAL + snapshots under PATH\n\
              \t                 (nodes recover their state from it on restart)\n\
              \t--snapshot-every N  WAL records between snapshots (default 4096)\n\
+             \t--fsync          group-commit every WAL append (power-loss durability)\n\
+             \t--fsync-every N  group-commit cadence: fdatasync every N appends (0 = off)\n\
+             \t--compact-at N   live trace events per partition before checkpointed\n\
+             \t                 compaction seals the acked prefix (default 1024)\n\
              \t--duration S     self-terminate after S seconds (default: serve forever)\n\n\
              The process serves until a client sends Shutdown to every node."
         );
@@ -48,6 +52,12 @@ fn run() -> Result<(), String> {
         pad_bytes: args.parse_or("--value-bytes", 0usize)?,
         data_dir: args.value("--data-dir").map(std::path::PathBuf::from),
         snapshot_every: args.parse_or("--snapshot-every", 4096u64)?,
+        fsync_every: if args.has("--fsync") && args.value("--fsync-every").is_none() {
+            1
+        } else {
+            args.parse_or("--fsync-every", 0u64)?
+        },
+        trace_compact_at: args.parse_or("--compact-at", 1024usize)?,
         ..ServiceConfig::default()
     };
 

@@ -12,6 +12,7 @@ use crate::wire::{
     NodeStatus, WIRE_VERSION,
 };
 use prcc_checker::trace::TraceEvent;
+use prcc_checker::TraceCheckpoint;
 use prcc_graph::{PartitionId, PartitionMap, RegisterId};
 use prcc_workloads::ops::key_affinity;
 use std::io;
@@ -104,8 +105,10 @@ impl ServiceClient {
         }
     }
 
-    /// Fetches the node's local event logs, indexed by partition.
-    pub fn trace(&mut self) -> io::Result<Vec<Vec<TraceEvent>>> {
+    /// Fetches the node's local event logs, indexed by partition: per
+    /// partition, the sealed-prefix checkpoint summary plus the live
+    /// suffix (a compacting node no longer retains full history).
+    pub fn trace(&mut self) -> io::Result<Vec<(TraceCheckpoint, Vec<TraceEvent>)>> {
         match self.round_trip(&ClientRequest::Trace)? {
             ClientResponse::Trace(logs) => Ok(logs),
             _ => Err(protocol_error("unexpected response to trace")),

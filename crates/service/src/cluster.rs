@@ -3,8 +3,8 @@
 use crate::client::{RoutedClient, ServiceClient};
 use crate::node::{spawn_node, NodeHandle, NodeSeed, ServiceConfig};
 use crate::wire::NodeStatus;
-use prcc_checker::trace::{verify_partitions, TraceError, TraceEvent};
-use prcc_checker::Verdict;
+use prcc_checker::trace::{TraceError, TraceEvent};
+use prcc_checker::{verify_partitions_checkpointed, TraceCheckpoint, Verdict};
 use prcc_clock::{Protocol, WireClock};
 use prcc_graph::{PartitionId, PartitionMap};
 use std::io;
@@ -239,9 +239,13 @@ impl LoopbackCluster {
         }
     }
 
-    /// Collects every node's local event logs; `result[node][partition]` is
-    /// that node's log for the partition (empty when not hosted).
-    pub fn collect_traces(&self) -> io::Result<Vec<Vec<Vec<TraceEvent>>>> {
+    /// Collects every node's local event logs;
+    /// `result[node][partition]` is that node's `(checkpoint, live
+    /// suffix)` pair for the partition (empty when not hosted — a
+    /// compacting node ships its sealed-prefix summary instead of full
+    /// history).
+    #[allow(clippy::type_complexity)]
+    pub fn collect_traces(&self) -> io::Result<Vec<Vec<(TraceCheckpoint, Vec<TraceEvent>)>>> {
         self.nodes
             .iter()
             .map(|node| ServiceClient::connect(node.client_addr)?.trace())
@@ -249,33 +253,48 @@ impl LoopbackCluster {
     }
 
     /// Regroups collected traces for the per-partition oracle:
-    /// `result[partition][role]` is the log recorded by the node hosting
-    /// that role.
-    fn traces_by_partition(&self, traces: Vec<Vec<Vec<TraceEvent>>>) -> Vec<Vec<Vec<TraceEvent>>> {
+    /// `result[partition][role]` is the `(checkpoint, live log)` pair
+    /// recorded by the node hosting that role.
+    #[allow(clippy::type_complexity)]
+    fn traces_by_partition(
+        &self,
+        traces: Vec<Vec<(TraceCheckpoint, Vec<TraceEvent>)>>,
+    ) -> Vec<Vec<(TraceCheckpoint, Vec<TraceEvent>)>> {
         let roles = self.map.graph().num_replicas();
-        let mut parts: Vec<Vec<Vec<TraceEvent>>> = self
+        let registers = self.map.graph().num_registers();
+        let mut parts: Vec<Vec<(TraceCheckpoint, Vec<TraceEvent>)>> = self
             .map
             .partitions()
-            .map(|_| vec![Vec::new(); roles])
+            .map(|_| vec![(TraceCheckpoint::new(roles, registers), Vec::new()); roles])
             .collect();
         for (node, mut logs) in traces.into_iter().enumerate() {
-            for (p, log) in logs.drain(..).enumerate() {
+            for (p, pair) in logs.drain(..).enumerate() {
                 if let Some(role) = self.map.role_on(PartitionId(p as u32), node) {
-                    parts[p][role.index()] = log;
+                    parts[p][role.index()] = pair;
                 }
             }
         }
         parts
     }
 
-    /// Replays the collected traces partition by partition through the
-    /// shared [`prcc_checker`] oracle — each partition is an independent
-    /// share-graph instance, so verification cost scales with the partition
-    /// size, not the cluster size. Returns one verdict (or replay error)
-    /// per partition.
+    /// Stitches the collected checkpoint summaries and live trace suffixes
+    /// partition by partition through the shared [`prcc_checker`] oracle —
+    /// each partition is an independent share-graph instance, so
+    /// verification cost scales with the partition size, not the cluster
+    /// size (and, with compaction, with *live* state, not run length).
+    /// Returns one verdict (or replay error) per partition.
     pub fn verify_partitions(&self) -> io::Result<Vec<Result<Verdict, TraceError>>> {
         let parts = self.traces_by_partition(self.collect_traces()?);
-        Ok(verify_partitions(self.map.graph(), &parts))
+        let map = &self.map;
+        let verdicts = verify_partitions_checkpointed(self.map.graph(), &parts, |p, wire| {
+            // Wire ids encode the issuing node above bit 40; the map
+            // resolves its role within the partition.
+            map.role_on(PartitionId(p as u32), (wire >> 40) as usize)
+        });
+        Ok(verdicts
+            .into_iter()
+            .map(|result| result.map(|stitched| stitched.verdict))
+            .collect())
     }
 
     /// Replays the collected traces and folds all partitions into one

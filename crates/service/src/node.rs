@@ -56,9 +56,9 @@ use crate::wire::{
     PartitionCounters, PeerHello, WIRE_VERSION,
 };
 use prcc_checker::trace::TraceEvent;
-use prcc_checker::UpdateId;
+use prcc_checker::{TraceCheckpoint, UpdateId};
 use prcc_clock::{Protocol, WireClock};
-use prcc_core::{Replica, Update};
+use prcc_core::{Replica, SeqWatermark, Update};
 use prcc_graph::{PartitionId, PartitionMap, RegisterId, ReplicaId};
 use prcc_net::VirtualTime;
 use prcc_storage::{
@@ -107,6 +107,25 @@ pub struct ServiceConfig {
     /// 0 = acknowledge only at the handshake (useful for deterministic
     /// snapshot tests — windows then never shrink mid-run).
     pub ack_every: u64,
+    /// Group commit: `fdatasync` the WAL every N appends (and sync
+    /// snapshots before rename), for power-loss durability; 0 = never
+    /// sync (a process crash still loses nothing). Ignored without a
+    /// data dir.
+    pub fsync_every: u64,
+    /// Live trace events per partition above which the core seals the
+    /// fully-acknowledged log prefix into its checkpoint summary and
+    /// discards it; 0 = compact only when a snapshot is written. Keeps
+    /// in-memory trace logs (and therefore snapshots) O(live state).
+    pub trace_compact_at: usize,
+    /// Hard cap on a per-peer resend window: a peer stranded past this
+    /// many unacknowledged updates has its oldest entries evicted (counted
+    /// in `NodeStatus::window_evicted`) instead of growing without bound.
+    /// Eviction gives up on delivering those updates to that peer — its
+    /// receive watermark will hold a permanent gap, so the link cannot
+    /// heal by resend; restoring the peer takes a full state transfer
+    /// (today: operator-driven, from a surviving holder's data) — a
+    /// bounded node cannot replay unbounded absence.
+    pub window_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -119,6 +138,9 @@ impl Default for ServiceConfig {
             data_dir: None,
             snapshot_every: 4096,
             ack_every: 16,
+            fsync_every: 0,
+            trace_compact_at: 1024,
+            window_cap: 1 << 16,
         }
     }
 }
@@ -227,7 +249,7 @@ enum CoreMsg<C> {
         seq: u64,
     },
     Status(mpsc::Sender<NodeStatus>),
-    Trace(mpsc::Sender<Vec<Vec<TraceEvent>>>),
+    Trace(mpsc::Sender<Vec<(TraceCheckpoint, Vec<TraceEvent>)>>),
     /// Fault injection: stop immediately, no final snapshot.
     Crash,
     Shutdown,
@@ -264,12 +286,23 @@ type PeerConnections = Arc<Mutex<HashMap<usize, (u64, TcpStream)>>>;
 static REGISTRATION_TOKEN: AtomicU64 = AtomicU64::new(0);
 
 /// One hosted partition: the role this node plays in it, the replica state
-/// machine, and the partition-local event log.
+/// machine, the sealed-prefix checkpoint summary, and the live tail of the
+/// partition-local event log.
 struct PartitionSlot<P: Protocol> {
     role: ReplicaId,
     replica: Replica<P>,
+    /// Summary of the sealed (fully acknowledged, verified-by-construction)
+    /// trace prefix — what the post-hoc oracle stitches under `log`.
+    checkpoint: TraceCheckpoint,
+    /// The live trace suffix; bounded by the compaction threshold plus the
+    /// unacknowledged in-flight tail.
     log: Vec<TraceEvent>,
     issued: u64,
+    /// Own issues not yet acknowledged by every remote recipient:
+    /// `(wire id, remaining (peer, link seq) pairs)`, ascending by wire
+    /// id. An issue may be sealed out of the trace log only once it has
+    /// left this queue — the seal rule the stitched oracle relies on.
+    unacked: VecDeque<(u64, Vec<(usize, u64)>)>,
 }
 
 /// One peer link's state, owned by the core (so it is snapshot-able and
@@ -279,11 +312,20 @@ struct PeerLink<C> {
     next_seq: u64,
     /// Outbound updates not yet acknowledged by the peer, in sequence
     /// order. Entries enter when enqueued to the sender and leave when an
-    /// acknowledgement covers them.
+    /// acknowledgement covers them (or the window cap evicts them).
     window: VecDeque<(u64, PartitionId, Update<C>)>,
-    /// Highest sequence received *from* this peer — what this node
-    /// acknowledges back.
-    recv_high: u64,
+    /// Highest outbound sequence the peer has acknowledged.
+    acked_high: u64,
+    /// Highest outbound sequence evicted by the window cap (0 = none).
+    /// Evicted sequences can never be acknowledged — the update copy is
+    /// gone — so they are treated as abandoned rather than allowed to
+    /// block trace sealing forever; `window_evicted` is the loud record
+    /// that delivery to this peer was given up on.
+    evicted_high: u64,
+    /// Inbound receive watermark: contiguous high-water (the offset this
+    /// node acknowledges back) plus the out-of-order residue — also the
+    /// exact per-link duplicate filter.
+    recv: SeqWatermark,
     /// Flush frames received since the last streamed acknowledgement.
     frames_since_ack: u64,
 }
@@ -293,7 +335,9 @@ impl<C> PeerLink<C> {
         PeerLink {
             next_seq: 1,
             window: VecDeque::new(),
-            recv_high: 0,
+            acked_high: 0,
+            evicted_high: 0,
+            recv: SeqWatermark::new(),
             frames_since_ack: 0,
         }
     }
@@ -312,18 +356,30 @@ struct Core<P: Protocol> {
     sent: u64,
     received: u64,
     dropped_misrouted: u64,
+    /// Duplicate deliveries suppressed by the link watermarks.
+    duplicates_dropped: u64,
+    /// Hard cap on any one resend window (config).
+    window_cap: usize,
+    /// Largest window observed.
+    max_window: u64,
+    /// Entries evicted by the cap.
+    window_evicted: u64,
 }
 
 impl<P: Protocol> Core<P> {
-    fn new(protocol: &P, map: &PartitionMap, node: usize) -> Self {
+    fn new(protocol: &P, map: &PartitionMap, node: usize, window_cap: usize) -> Self {
+        let roles = map.graph().num_replicas();
+        let registers = map.graph().num_registers();
         let partitions = map
             .partitions()
             .map(|p| {
                 map.role_on(p, node).map(|role| PartitionSlot {
                     role,
                     replica: Replica::new(protocol, role),
+                    checkpoint: TraceCheckpoint::new(roles, registers),
                     log: Vec::new(),
                     issued: 0,
+                    unacked: VecDeque::new(),
                 })
             })
             .collect();
@@ -336,6 +392,10 @@ impl<P: Protocol> Core<P> {
             sent: 0,
             received: 0,
             dropped_misrouted: 0,
+            duplicates_dropped: 0,
+            window_cap: window_cap.max(1),
+            max_window: 0,
+            window_evicted: 0,
         }
     }
 
@@ -398,6 +458,7 @@ impl<P: Protocol> Core<P> {
         };
         let role = slot.role;
         let mut sends = Vec::new();
+        let mut pairs = Vec::new();
         for recipient in protocol.recipients(role, register) {
             let peer = map.node_of(partition, recipient);
             if peer == node {
@@ -407,27 +468,50 @@ impl<P: Protocol> Core<P> {
             let seq = link.next_seq;
             link.next_seq += 1;
             link.window.push_back((seq, partition, update.clone()));
+            // Cap the window: a peer stranded past `window_cap` must not
+            // grow this node without bound. Evicted entries cannot be
+            // resent — the eviction counter is the loud signal that the
+            // peer needs a fresh data dir when it returns.
+            while link.window.len() > self.window_cap {
+                if let Some((evicted, _, _)) = link.window.pop_front() {
+                    link.evicted_high = link.evicted_high.max(evicted);
+                }
+                self.window_evicted += 1;
+            }
+            self.max_window = self.max_window.max(link.window.len() as u64);
             self.sent += 1;
+            pairs.push((peer, seq));
             sends.push((peer, seq, partition, update.clone()));
+        }
+        if !pairs.is_empty() {
+            // Track until every recipient acks: only then may the issue's
+            // trace event be sealed out of the live log.
+            let slot = self.partitions[partition.index()]
+                .as_mut()
+                .expect("slot checked above");
+            slot.unacked.push_back((wire_id, pairs));
         }
         Some(sends)
     }
 
-    /// Applies one peer flush frame's sections: tracks the link's receive
-    /// high-water mark, feeds the replicas, and records apply events.
+    /// Applies one peer flush frame's sections: dedups against the link's
+    /// receive watermark, feeds the replicas, and records apply events.
     /// Shared by the live path and WAL replay.
     ///
-    /// The high-water mark advances **contiguously only**: acknowledging
-    /// sequence `s` promises every sequence `<= s` is durable, so a gap —
-    /// which can only mean an earlier frame was dropped (e.g. its WAL
-    /// append failed) — must hold the acknowledgement line rather than be
-    /// skipped over, or the sender would prune updates this node never
-    /// kept. Sections regroup a flush by partition, so seqs within one
-    /// frame may arrive locally reordered; they are collected and folded
-    /// in order after the frame is applied.
+    /// The watermark's contiguous high-water is the acknowledgement line:
+    /// acknowledging sequence `s` promises every sequence `<= s` is
+    /// durable, so a gap — which can only mean an earlier frame was
+    /// dropped (e.g. its WAL append failed) — holds the line (out-of-order
+    /// arrivals wait in the watermark's residue) rather than being skipped
+    /// over, or the sender would prune updates this node never kept.
+    ///
+    /// The same watermark is the duplicate filter: resend overlap after a
+    /// reconnect is dropped *here*, at the link, in O(reordering window)
+    /// memory — the per-replica id set that used to absorb it grew with
+    /// history. Unsequenced updates (`seq == 0`, legacy v2 test traffic)
+    /// bypass the filter and must be exactly-once.
     fn apply_sections(&mut self, protocol: &P, peer: usize, sections: FlushSections<P::Clock>) {
         let node = self.node;
-        let mut seqs: Vec<u64> = Vec::new();
         for (partition, updates) in sections {
             let Some(slot) = self
                 .partitions
@@ -444,10 +528,11 @@ impl<P: Protocol> Core<P> {
                 continue;
             };
             for (seq, update) in updates {
-                if seq > 0 {
-                    seqs.push(seq);
-                }
                 self.received += 1;
+                if seq > 0 && !self.links[peer].recv.observe(seq) {
+                    self.duplicates_dropped += 1;
+                    continue;
+                }
                 slot.replica.receive(update, VirtualTime::ZERO);
             }
             for done in slot.replica.drain(protocol) {
@@ -459,21 +544,96 @@ impl<P: Protocol> Core<P> {
                 }
             }
         }
-        let link = &mut self.links[peer];
-        seqs.sort_unstable();
-        for seq in seqs {
-            if seq == link.recv_high + 1 {
-                link.recv_high = seq;
-            }
-        }
     }
 
     /// Prunes a link's window: the peer has acknowledged everything up to
     /// and including `acked`.
     fn prune(&mut self, peer: usize, acked: u64) {
         if let Some(link) = self.links.get_mut(peer) {
+            link.acked_high = link.acked_high.max(acked);
             while link.window.front().is_some_and(|(seq, _, _)| *seq <= acked) {
                 link.window.pop_front();
+            }
+        }
+    }
+
+    /// Plans a trace compaction: for every hosted partition whose live log
+    /// holds at least `min_events` entries, the longest log prefix whose
+    /// issues have all been acknowledged by every remote recipient.
+    /// Applies may always seal; an unacknowledged issue blocks itself and
+    /// everything after it (the stitched oracle's liveness guarantee rests
+    /// on sealed issues being durable at all their recipients).
+    ///
+    /// Consumes fully-acknowledged entries off the `unacked` queues (an
+    /// un-logged mutation: which entries are acked is derived state, only
+    /// the resulting seal lengths are logged and replayed).
+    fn plan_seal(&mut self, min_events: usize) -> Vec<(PartitionId, u64)> {
+        let mut seals = Vec::new();
+        for (p, slot) in self.partitions.iter_mut().enumerate() {
+            let Some(slot) = slot.as_mut() else { continue };
+            if slot.log.len() < min_events.max(1) {
+                continue;
+            }
+            while let Some((_, pairs)) = slot.unacked.front_mut() {
+                // A pair stops blocking once acknowledged — or once its
+                // window entry was evicted by the cap (it can never be
+                // acknowledged then; `window_evicted` records the loss).
+                pairs.retain(|&(peer, seq)| {
+                    self.links
+                        .get(peer)
+                        .is_none_or(|link| seq > link.acked_high && seq > link.evicted_high)
+                });
+                if pairs.is_empty() {
+                    slot.unacked.pop_front();
+                } else {
+                    break;
+                }
+            }
+            // Entries sit in wire-id order, so the first still-unacked
+            // issue bounds the sealable prefix.
+            let blocked = slot.unacked.front().map(|&(wire, _)| wire);
+            let sealable = slot
+                .log
+                .iter()
+                .take_while(|event| match event {
+                    TraceEvent::Issue { update, .. } => blocked.is_none_or(|b| *update < b),
+                    TraceEvent::Apply { .. } => true,
+                })
+                .count();
+            if sealable > 0 {
+                seals.push((PartitionId(p as u32), sealable as u64));
+            }
+        }
+        seals
+    }
+
+    /// Applies a (planned or replayed) trace compaction: absorbs each
+    /// partition's prefix into its checkpoint summary and discards it.
+    /// Shared by the live path and WAL replay of [`WalRecord::Checkpoint`]
+    /// records, so recovered checkpoint + suffix pairs match the pre-crash
+    /// state exactly.
+    fn apply_seal(&mut self, map: &PartitionMap, seals: &[(PartitionId, u64)]) {
+        for &(partition, events) in seals {
+            let Some(slot) = self
+                .partitions
+                .get_mut(partition.index())
+                .and_then(Option::as_mut)
+            else {
+                continue;
+            };
+            let events = (events as usize).min(slot.log.len());
+            slot.checkpoint.absorb(&slot.log[..events], |w| {
+                map.role_on(partition, (w >> 40) as usize)
+            });
+            slot.log.drain(..events);
+            // Drop queue entries the seal covered (replay reaches here
+            // with post-snapshot ack state, where they may still linger).
+            while slot
+                .unacked
+                .front()
+                .is_some_and(|&(wire, _)| wire <= slot.checkpoint.last_issue)
+            {
+                slot.unacked.pop_front();
             }
         }
     }
@@ -518,13 +678,22 @@ impl<P: Protocol> Core<P> {
                 .flatten()
                 .map(|s| s.replica.pending_len() as u64)
                 .sum(),
-            duplicates_dropped: self
+            duplicates_dropped: self.duplicates_dropped,
+            dropped_misrouted: self.dropped_misrouted,
+            trace_events: self
                 .partitions
                 .iter()
                 .flatten()
-                .map(|s| s.replica.dropped_duplicates())
+                .map(|s| s.log.len() as u64)
                 .sum(),
-            dropped_misrouted: self.dropped_misrouted,
+            sealed_events: self
+                .partitions
+                .iter()
+                .flatten()
+                .map(|s| s.checkpoint.events)
+                .sum(),
+            max_window: self.max_window,
+            window_evicted: self.window_evicted,
             // Socket byte/frame counters are filled in by the handler, WAL
             // counters by the core loop.
             bytes_out: 0,
@@ -535,14 +704,22 @@ impl<P: Protocol> Core<P> {
             resent: 0,
             wal_appends: 0,
             snapshots_written: 0,
+            wal_bytes: 0,
+            snapshot_bytes: 0,
+            first_snapshot_bytes: 0,
             per_partition,
         }
     }
 
-    fn traces(&self) -> Vec<Vec<TraceEvent>> {
+    fn traces(&self) -> Vec<(TraceCheckpoint, Vec<TraceEvent>)> {
         self.partitions
             .iter()
-            .map(|slot| slot.as_ref().map(|s| s.log.clone()).unwrap_or_default())
+            .map(|slot| match slot.as_ref() {
+                Some(s) => (s.checkpoint.clone(), s.log.clone()),
+                // Unhosted: an empty placeholder (the collector regroups
+                // by hosted role and never reads these).
+                None => (TraceCheckpoint::new(0, 0), Vec::new()),
+            })
             .collect()
     }
 
@@ -558,6 +735,7 @@ impl<P: Protocol> Core<P> {
             sent: self.sent,
             received: self.received,
             dropped_misrouted: self.dropped_misrouted,
+            duplicates_dropped: self.duplicates_dropped,
             partitions: self
                 .partitions
                 .iter()
@@ -565,6 +743,7 @@ impl<P: Protocol> Core<P> {
                     slot.as_ref().map(|slot| PartitionSnapshot {
                         state: slot.replica.export_state(),
                         issued: slot.issued,
+                        checkpoint: slot.checkpoint.clone(),
                         log: slot.log.clone(),
                     })
                 })
@@ -574,7 +753,9 @@ impl<P: Protocol> Core<P> {
                 .iter()
                 .map(|link| PeerSnapshot {
                     next_seq: link.next_seq,
-                    recv_high: link.recv_high,
+                    acked_high: link.acked_high,
+                    recv_high: link.recv.high(),
+                    recv_residue: link.recv.residue().collect(),
                     window: link.window.iter().cloned().collect(),
                 })
                 .collect(),
@@ -587,6 +768,7 @@ impl<P: Protocol> Core<P> {
         protocol: &P,
         map: &PartitionMap,
         node: usize,
+        window_cap: usize,
         snap: NodeSnapshot<P::Clock>,
     ) -> io::Result<Self> {
         let bad =
@@ -611,14 +793,16 @@ impl<P: Protocol> Core<P> {
                     partitions.push(Some(PartitionSlot {
                         role,
                         replica,
+                        checkpoint: part.checkpoint,
                         log: part.log,
                         issued: part.issued,
+                        unacked: VecDeque::new(),
                     }));
                 }
                 _ => return Err(bad("hosted partitions differ from the map")),
             }
         }
-        Ok(Core {
+        let mut core = Core {
             node,
             partitions,
             links: snap
@@ -627,7 +811,9 @@ impl<P: Protocol> Core<P> {
                 .map(|peer| PeerLink {
                     next_seq: peer.next_seq,
                     window: peer.window.into(),
-                    recv_high: peer.recv_high,
+                    acked_high: peer.acked_high,
+                    evicted_high: 0,
+                    recv: SeqWatermark::from_parts(peer.recv_high, peer.recv_residue),
                     frames_since_ack: 0,
                 })
                 .collect(),
@@ -636,7 +822,50 @@ impl<P: Protocol> Core<P> {
             sent: snap.sent,
             received: snap.received,
             dropped_misrouted: snap.dropped_misrouted,
-        })
+            duplicates_dropped: snap.duplicates_dropped,
+            window_cap: window_cap.max(1),
+            max_window: 0,
+            window_evicted: 0,
+        };
+        core.rebuild_unacked();
+        Ok(core)
+    }
+
+    /// Rebuilds the per-partition unacknowledged-issue queues from the
+    /// resend windows (the windows are the source of truth: an issue is
+    /// fully acknowledged exactly when no window still parks a copy).
+    /// Only this node's own issues gate trace sealing, so forwarded
+    /// partitions' entries resolve through the wire id's node bits.
+    fn rebuild_unacked(&mut self) {
+        let own = (self.node as u64) << 40;
+        let mut by_wire: HashMap<u64, (PartitionId, Vec<(usize, u64)>)> = HashMap::new();
+        for (peer, link) in self.links.iter().enumerate() {
+            for &(seq, partition, ref update) in &link.window {
+                if update.id.0 & !WIRE_SEQ_MASK != own {
+                    continue; // Not issued here (cannot happen today).
+                }
+                by_wire
+                    .entry(update.id.0)
+                    .or_insert_with(|| (partition, Vec::new()))
+                    .1
+                    .push((peer, seq));
+            }
+        }
+        let mut wires: Vec<u64> = by_wire.keys().copied().collect();
+        wires.sort_unstable();
+        for slot in self.partitions.iter_mut().flatten() {
+            slot.unacked.clear();
+        }
+        for wire in wires {
+            let (partition, pairs) = by_wire.remove(&wire).expect("collected above");
+            if let Some(slot) = self
+                .partitions
+                .get_mut(partition.index())
+                .and_then(Option::as_mut)
+            {
+                slot.unacked.push_back((wire, pairs));
+            }
+        }
     }
 }
 
@@ -649,8 +878,16 @@ struct Durable {
     next_index: u64,
     snapshot_every: u64,
     records_since_snapshot: u64,
+    /// Sync snapshots through to disk before renaming (paired with the
+    /// WAL's group commit).
+    fsync: bool,
     wal_appends: u64,
     snapshots_written: u64,
+    /// Payload size of the most recent snapshot, and of the first one this
+    /// process wrote — the flat-snapshot regression gate's numerator and
+    /// baseline.
+    snapshot_bytes: u64,
+    first_snapshot_bytes: u64,
 }
 
 impl Durable {
@@ -677,44 +914,129 @@ impl Durable {
     }
 }
 
-/// Writes a snapshot of `core` and truncates the WAL. Called periodically
-/// (every `snapshot_every` records) and on graceful shutdown.
-fn write_snapshot_now<P>(core: &Core<P>, durable: &mut Durable) -> io::Result<()>
+/// Syncs the WAL before an acknowledgement leaves the node, when group
+/// commit is enabled (without it, acks only promise process-crash
+/// durability, which the flushed page cache already provides). Returns
+/// false on a sync failure — the ack must not be sent over records the
+/// disk may not hold, and a failing disk is fail-stop like every other
+/// WAL error.
+fn sync_before_ack(durable: &mut Option<Durable>, node: usize) -> bool {
+    let Some(d) = durable.as_mut().filter(|d| d.fsync) else {
+        return true;
+    };
+    if let Err(e) = d.wal.sync() {
+        eprintln!("prcc-service[{node}]: WAL sync before ack failed, stopping: {e}");
+        return false;
+    }
+    true
+}
+
+/// Seals every fully-acknowledged trace prefix of at least `min_events`
+/// live events, logging the decision as a [`WalRecord::Checkpoint`]
+/// through the same append-before-apply path as the state-mutating inputs
+/// (so replay reproduces the identical seal points). Returns false on a
+/// WAL append failure — fail-stop, like every other append site.
+fn compact_traces<P>(
+    core: &mut Core<P>,
+    durable: &mut Option<Durable>,
+    map: &PartitionMap,
+    min_events: usize,
+) -> bool
 where
     P: Protocol,
     P::Clock: WireClock,
 {
-    let snap = core.to_snapshot(durable.next_index - 1);
-    write_snapshot(&durable.snapshot_path, &encode_snapshot(&snap))?;
-    durable.wal.reset()?;
-    durable.records_since_snapshot = 0;
-    durable.snapshots_written += 1;
+    let seals = core.plan_seal(min_events);
+    if seals.is_empty() {
+        return true;
+    }
+    if let Some(d) = durable.as_mut() {
+        let record = WalRecord::<P::Clock>::Checkpoint {
+            seals: seals.clone(),
+        };
+        if let Err(e) = d.append(&record) {
+            eprintln!(
+                "prcc-service[{}]: WAL append failed, stopping (restart recovers \
+                 the log): {e}",
+                core.node
+            );
+            return false;
+        }
+    }
+    core.apply_seal(map, &seals);
+    true
+}
+
+/// Writes a snapshot of the (already compacted) core and truncates the
+/// WAL. The caller runs [`compact_traces`] first — its WAL-append failure
+/// is fail-stop, while a failure *here* (snapshot write, log reset) is
+/// recoverable: the WAL still holds everything.
+fn snapshot_state<P>(core: &Core<P>, d: &mut Durable) -> io::Result<()>
+where
+    P: Protocol,
+    P::Clock: WireClock,
+{
+    let snap = core.to_snapshot(d.next_index - 1);
+    let payload = encode_snapshot(&snap);
+    write_snapshot(&d.snapshot_path, &payload, d.fsync)?;
+    d.wal.reset()?;
+    d.records_since_snapshot = 0;
+    d.snapshots_written += 1;
+    d.snapshot_bytes = payload.len() as u64;
+    if d.first_snapshot_bytes == 0 {
+        d.first_snapshot_bytes = payload.len() as u64;
+    }
     Ok(())
 }
 
-fn maybe_snapshot<P>(core: &Core<P>, durable: &mut Option<Durable>)
+/// Snapshots when due (every `snapshot_every` records): compacts trace
+/// logs through the WAL'd checkpoint path, then folds the core into a
+/// snapshot and truncates the log — so snapshot size is O(live state),
+/// flat over the run length.
+///
+/// Returns false when the node must fail-stop: a failed *checkpoint
+/// append* may have torn the log tail, and any later append would bury
+/// the tear mid-file (the same invariant as every other append site). A
+/// failed snapshot *write* is merely logged — the WAL alone still
+/// recovers everything.
+fn maybe_snapshot<P>(core: &mut Core<P>, durable: &mut Option<Durable>, map: &PartitionMap) -> bool
 where
     P: Protocol,
     P::Clock: WireClock,
 {
-    let Some(d) = durable.as_mut() else { return };
-    if d.snapshot_every == 0 || d.records_since_snapshot < d.snapshot_every {
-        return;
+    let due = durable
+        .as_ref()
+        .is_some_and(|d| d.snapshot_every > 0 && d.records_since_snapshot >= d.snapshot_every);
+    if !due {
+        return true;
     }
-    if let Err(e) = write_snapshot_now(core, d) {
+    if !compact_traces(core, durable, map, 1) {
+        return false;
+    }
+    let d = durable.as_mut().expect("due implies a data dir");
+    if let Err(e) = snapshot_state(core, d) {
         eprintln!("prcc-service[{}]: snapshot failed: {e}", core.node);
     }
+    true
 }
 
-/// Boots a durable core: loads the snapshot (if any), replays the WAL
-/// suffix past it through the same transition functions the live loop
-/// uses, and returns the recovered core plus the open log.
+/// Boots a durable core: loads the snapshot (if any — v2, or a legacy v1
+/// file converted on read), replays the WAL suffix past it through the
+/// same transition functions the live loop uses, and returns the
+/// recovered core plus the open log.
+///
+/// Replay never reconstructs sealed trace prefixes: the snapshot carries
+/// their [`TraceCheckpoint`] summaries, records at or below the
+/// snapshot's fold point are skipped outright, and
+/// [`WalRecord::Checkpoint`] records in the suffix re-apply the exact
+/// recorded seal points — so a recovered node's checkpoint + live-suffix
+/// pair matches its pre-crash state byte for byte.
 fn recover<P>(
     protocol: &P,
     map: &PartitionMap,
     node: usize,
     dir: &std::path::Path,
-    snapshot_every: u64,
+    cfg: &ServiceConfig,
 ) -> io::Result<(Core<P>, Durable)>
 where
     P: Protocol,
@@ -726,16 +1048,20 @@ where
     let wal_path = node_dir.join("wal.bin");
     let roles = map.graph().num_replicas();
     let (mut core, mut high) = match read_snapshot(&snapshot_path)? {
-        Some(payload) => {
-            let snap = decode_snapshot(&payload, |k| {
+        Some((version, payload)) => {
+            let snap = decode_snapshot(version, &payload, roles, |k| {
                 (k.index() < roles).then(|| protocol.new_clock(k))
             })?;
             let high = snap.wal_high;
-            (Core::from_snapshot(protocol, map, node, snap)?, high)
+            (
+                Core::from_snapshot(protocol, map, node, cfg.window_cap, snap)?,
+                high,
+            )
         }
-        None => (Core::new(protocol, map, node), 0),
+        None => (Core::new(protocol, map, node, cfg.window_cap), 0),
     };
-    let (wal, recovery) = Wal::open(&wal_path)?;
+    let (mut wal, recovery) = Wal::open(&wal_path)?;
+    wal.set_fsync_every(cfg.fsync_every);
     if recovery.torn_bytes > 0 {
         eprintln!(
             "prcc-service[{node}]: WAL recovery dropped a {}-byte torn tail",
@@ -788,6 +1114,9 @@ where
                     .ok_or_else(|| corrupt(format!("WAL record {index}: peer out of range")))?;
                 core.apply_sections(protocol, peer, sections);
             }
+            WalRecord::Checkpoint { seals } => {
+                core.apply_seal(map, &seals);
+            }
         }
     }
     Ok((
@@ -796,10 +1125,13 @@ where
             wal,
             snapshot_path,
             next_index: high + 1,
-            snapshot_every,
+            snapshot_every: cfg.snapshot_every,
             records_since_snapshot: 0,
+            fsync: cfg.fsync_every > 0,
             wal_appends: 0,
             snapshots_written: 0,
+            snapshot_bytes: 0,
+            first_snapshot_bytes: 0,
         },
     ))
 }
@@ -860,10 +1192,10 @@ where
     // rebuilt windows on their first handshake.
     let (core, durable) = match &cfg.data_dir {
         Some(dir) => {
-            let (core, durable) = recover(&*protocol, &map, node, dir, cfg.snapshot_every)?;
+            let (core, durable) = recover(&*protocol, &map, node, dir, &cfg)?;
             (core, Some(durable))
         }
-        None => (Core::new(&*protocol, &map, node), None),
+        None => (Core::new(&*protocol, &map, node, cfg.window_cap), None),
     };
 
     let (core_tx, core_rx) = mpsc::channel::<CoreMsg<P::Clock>>();
@@ -1003,12 +1335,22 @@ where
     // connections — instead of leaving a half-alive shell whose bound
     // ports and accept loops would mask the outage.
     let ack_every = cfg.ack_every;
+    let trace_compact_at = cfg.trace_compact_at;
     let core_kill = Arc::clone(&kill);
     let core_thread = thread::Builder::new()
         .name(format!("prcc-core-{node}"))
         .spawn(move || {
             core_loop(
-                &protocol, &map, node, &core_rx, &peer_txs, core, durable, ack_every, &core_kill,
+                &protocol,
+                &map,
+                node,
+                &core_rx,
+                &peer_txs,
+                core,
+                durable,
+                ack_every,
+                trace_compact_at,
+                &core_kill,
             )
         })?;
 
@@ -1031,6 +1373,7 @@ fn core_loop<P>(
     mut core: Core<P>,
     mut durable: Option<Durable>,
     ack_every: u64,
+    trace_compact_at: usize,
     kill: &Arc<dyn Fn() + Send + Sync>,
 ) where
     P: Protocol,
@@ -1080,7 +1423,16 @@ fn core_loop<P>(
                     }
                 }
                 let _ = reply.send(true);
-                maybe_snapshot(&core, &mut durable);
+                if trace_compact_at > 0
+                    && !compact_traces(&mut core, &mut durable, map, trace_compact_at)
+                {
+                    kill();
+                    break;
+                }
+                if !maybe_snapshot(&mut core, &mut durable, map) {
+                    kill();
+                    break;
+                }
             }
             CoreMsg::Read {
                 partition,
@@ -1129,12 +1481,40 @@ fn core_loop<P>(
                 link.frames_since_ack += 1;
                 if ack_every > 0 && link.frames_since_ack >= ack_every {
                     link.frames_since_ack = 0;
-                    let _ = ack.send(link.recv_high);
+                    // Acknowledge the watermark's contiguous line only:
+                    // residue above a gap stays unacknowledged until the
+                    // gap fills.
+                    let acked = link.recv.high();
+                    // An ack makes the peer prune its resend window, so
+                    // with group commit the promise must be synced first:
+                    // an ack covering records still in the page cache
+                    // would turn a power cut into permanent update loss.
+                    if !sync_before_ack(&mut durable, node) {
+                        kill();
+                        break;
+                    }
+                    let _ = ack.send(acked);
                 }
-                maybe_snapshot(&core, &mut durable);
+                if trace_compact_at > 0
+                    && !compact_traces(&mut core, &mut durable, map, trace_compact_at)
+                {
+                    kill();
+                    break;
+                }
+                if !maybe_snapshot(&mut core, &mut durable, map) {
+                    kill();
+                    break;
+                }
             }
             CoreMsg::PeerJoin { peer, reply } => {
-                let acked = core.links.get(peer).map_or(0, |link| link.recv_high);
+                let acked = core.links.get(peer).map_or(0, |link| link.recv.high());
+                // The hello-ack is an acknowledgement too (the dialer
+                // prunes and resumes past it) — same sync-before-promise
+                // rule as the streamed acks.
+                if !sync_before_ack(&mut durable, node) {
+                    kill();
+                    break;
+                }
                 let _ = reply.send(acked);
             }
             CoreMsg::PeerResume { peer, acked, reply } => {
@@ -1148,6 +1528,9 @@ fn core_loop<P>(
                 if let Some(d) = &durable {
                     status.wal_appends = d.wal_appends;
                     status.snapshots_written = d.snapshots_written;
+                    status.wal_bytes = d.wal.bytes();
+                    status.snapshot_bytes = d.snapshot_bytes;
+                    status.first_snapshot_bytes = d.first_snapshot_bytes;
                 }
                 let _ = reply.send(status);
             }
@@ -1158,9 +1541,11 @@ fn core_loop<P>(
             CoreMsg::Shutdown => {
                 // A final snapshot makes restart-after-shutdown instant and
                 // keeps the WAL short; failure is non-fatal (the WAL alone
-                // still recovers everything).
-                if let Some(d) = durable.as_mut() {
-                    if let Err(e) = write_snapshot_now(&core, d) {
+                // still recovers everything, and the node is stopping
+                // anyway — no later append can bury a torn tail).
+                if durable.is_some() && compact_traces(&mut core, &mut durable, map, 1) {
+                    let d = durable.as_mut().expect("checked above");
+                    if let Err(e) = snapshot_state(&core, d) {
                         eprintln!("prcc-service[{node}]: final snapshot failed: {e}");
                     }
                 }

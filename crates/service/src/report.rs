@@ -81,6 +81,29 @@ pub struct BenchReport {
     pub wal_appends: u64,
     /// Snapshots written across the cluster.
     pub snapshots_written: u64,
+    /// Group-commit cadence the run used (0 = no fsync).
+    pub fsync_every: u64,
+    /// Total WAL bytes on disk at the end of the run (bounded by the
+    /// snapshot cadence — snapshots truncate the logs).
+    pub wal_bytes: u64,
+    /// Largest most-recent-snapshot payload across nodes, in bytes. With
+    /// checkpointed trace compaction this is O(live state).
+    pub snapshot_bytes: u64,
+    /// Worst last-to-first snapshot size ratio across nodes (1.0 = flat;
+    /// the pre-compaction codec grew linearly with ops). 0 when no node
+    /// wrote two snapshots.
+    pub snapshot_growth: f64,
+    /// Live (uncompacted) trace events across the cluster at the end of
+    /// the run.
+    pub trace_events: u64,
+    /// Trace events sealed into checkpoint summaries and discarded.
+    pub sealed_events: u64,
+    /// Largest per-peer resend window observed anywhere.
+    pub max_window: u64,
+    /// Resend-window entries evicted by the per-peer cap. Nonzero means
+    /// the cluster *gave up* delivering some updates to a stranded peer —
+    /// the load harness refuses to report such a run as clean.
+    pub window_evicted: u64,
     /// The folded oracle outcome over all partitions.
     pub verdict: VerdictSummary,
     /// Per-partition load and verdict breakdown.
@@ -101,6 +124,17 @@ impl BenchReport {
         self.resent = statuses.iter().map(|s| s.resent).sum();
         self.wal_appends = statuses.iter().map(|s| s.wal_appends).sum();
         self.snapshots_written = statuses.iter().map(|s| s.snapshots_written).sum();
+        self.wal_bytes = statuses.iter().map(|s| s.wal_bytes).sum();
+        self.snapshot_bytes = statuses.iter().map(|s| s.snapshot_bytes).max().unwrap_or(0);
+        self.snapshot_growth = statuses
+            .iter()
+            .filter(|s| s.first_snapshot_bytes > 0 && s.snapshots_written > 1)
+            .map(|s| s.snapshot_bytes as f64 / s.first_snapshot_bytes as f64)
+            .fold(0.0f64, f64::max);
+        self.trace_events = statuses.iter().map(|s| s.trace_events).sum();
+        self.sealed_events = statuses.iter().map(|s| s.sealed_events).sum();
+        self.max_window = statuses.iter().map(|s| s.max_window).max().unwrap_or(0);
+        self.window_evicted = statuses.iter().map(|s| s.window_evicted).sum();
         self.wire_bytes_per_update = if issued == 0 {
             0.0
         } else {
@@ -180,6 +214,14 @@ impl BenchReport {
         let _ = writeln!(out, "  \"resent\": {},", self.resent);
         let _ = writeln!(out, "  \"wal_appends\": {},", self.wal_appends);
         let _ = writeln!(out, "  \"snapshots_written\": {},", self.snapshots_written);
+        let _ = writeln!(out, "  \"fsync_every\": {},", self.fsync_every);
+        let _ = writeln!(out, "  \"wal_bytes\": {},", self.wal_bytes);
+        let _ = writeln!(out, "  \"snapshot_bytes\": {},", self.snapshot_bytes);
+        let _ = writeln!(out, "  \"snapshot_growth\": {:.2},", self.snapshot_growth);
+        let _ = writeln!(out, "  \"trace_events\": {},", self.trace_events);
+        let _ = writeln!(out, "  \"sealed_events\": {},", self.sealed_events);
+        let _ = writeln!(out, "  \"max_window\": {},", self.max_window);
+        let _ = writeln!(out, "  \"window_evicted\": {},", self.window_evicted);
         let _ = writeln!(out, "  \"consistent\": {},", self.verdict.consistent);
         let _ = writeln!(
             out,
@@ -246,6 +288,14 @@ mod tests {
             resent: 0,
             wal_appends: 0,
             snapshots_written: 0,
+            fsync_every: 0,
+            wal_bytes: 0,
+            snapshot_bytes: 0,
+            snapshot_growth: 0.0,
+            trace_events: 0,
+            sealed_events: 0,
+            max_window: 0,
+            window_evicted: 0,
             verdict: VerdictSummary {
                 consistent: true,
                 safety_violations: 0,
@@ -263,7 +313,13 @@ mod tests {
                 flushes: 8,
                 resent: 3,
                 wal_appends: 70,
-                snapshots_written: 1,
+                snapshots_written: 2,
+                wal_bytes: 4096,
+                snapshot_bytes: 1000,
+                first_snapshot_bytes: 800,
+                trace_events: 40,
+                sealed_events: 600,
+                max_window: 9,
                 per_partition: vec![
                     PartitionCounters {
                         issued: 30,
@@ -303,7 +359,13 @@ mod tests {
         assert_eq!(report.flushes, 20);
         assert_eq!(report.resent, 3);
         assert_eq!(report.wal_appends, 70);
-        assert_eq!(report.snapshots_written, 1);
+        assert_eq!(report.snapshots_written, 2);
+        assert_eq!(report.wal_bytes, 4096);
+        assert_eq!(report.snapshot_bytes, 1000);
+        assert!((report.snapshot_growth - 1.25).abs() < 1e-9);
+        assert_eq!(report.trace_events, 40);
+        assert_eq!(report.sealed_events, 600);
+        assert_eq!(report.max_window, 9);
         assert!((report.frames_per_flush - 1.0).abs() < 1e-9);
         assert_eq!(report.per_partition.len(), 2);
         assert_eq!(report.per_partition[0].issued, 80);

@@ -1,5 +1,5 @@
-//! The length-prefixed wire protocol (version 4, partition-aware and
-//! acknowledged).
+//! The length-prefixed wire protocol (version 5, partition-aware,
+//! acknowledged, and bounded-memory aware).
 //!
 //! Every message is a *frame*: a little-endian `u32` payload length followed
 //! by the payload; the first payload byte is a message tag. Peer frames
@@ -33,22 +33,32 @@
 //! after it), and the receiver streams [`encode_peer_ack`] frames back on
 //! the same socket so the sender can prune its window.
 //!
+//! Version 5 is the bounded-memory protocol: nodes compact their trace
+//! logs into [`prcc_checker::TraceCheckpoint`] summaries, so the `Trace`
+//! response ships `(checkpoint, live suffix)` per partition instead of the
+//! full history, and the status payload grew the memory-boundedness gauges
+//! (`wal_bytes`, `snapshot_bytes`, `trace_events`, resend-window peaks).
+//!
 //! Timestamps ship counters only; index sets and the partition layout are
 //! static configuration carried once in the handshake.
 
 use prcc_checker::trace::TraceEvent;
+use prcc_checker::TraceCheckpoint;
 use prcc_clock::encoding::{read_varint_at as get_varint, write_varint};
 use prcc_clock::WireClock;
 use prcc_core::Update;
 use prcc_graph::{PartitionId, PartitionMap, RegisterId, ReplicaId, ShareGraph};
+use prcc_storage::{decode_trace_checkpoint, encode_trace_checkpoint};
 use std::io::{self, Read, Write};
 
 /// The protocol version spoken by this build. Bumped to 2 when frames
 /// became partition-tagged, to 3 when peer flushes became single
 /// multi-partition frames, to 4 when peer links became acknowledged
-/// (sequenced updates, hello-acks, streamed acks); peers at any other
-/// version are refused at the handshake.
-pub const WIRE_VERSION: u64 = 4;
+/// (sequenced updates, hello-acks, streamed acks), to 5 when trace
+/// responses became checkpointed and the status payload grew the
+/// memory-boundedness gauges; peers at any other version are refused at
+/// the handshake.
+pub const WIRE_VERSION: u64 = 5;
 
 /// Upper bound on accepted frame payloads (default 64 MiB) — protects a
 /// node from a garbage length prefix allocating unbounded memory.
@@ -615,12 +625,31 @@ pub struct NodeStatus {
     pub wal_appends: u64,
     /// Snapshots written since this process started.
     pub snapshots_written: u64,
+    /// Current WAL size in bytes (0 without a data dir). Bounded by the
+    /// snapshot cadence: every snapshot truncates the log.
+    pub wal_bytes: u64,
+    /// Payload size of the most recent snapshot in bytes. With
+    /// checkpointed trace compaction this stays O(live state) — flat over
+    /// the run length, which the load harness gates on.
+    pub snapshot_bytes: u64,
+    /// Payload size of the first snapshot this process wrote (the baseline
+    /// for the flat-snapshot regression gate).
+    pub first_snapshot_bytes: u64,
+    /// Live (uncompacted) trace events across hosted partitions.
+    pub trace_events: u64,
+    /// Trace events sealed into checkpoint summaries and discarded.
+    pub sealed_events: u64,
+    /// Largest per-peer resend window observed since this process started.
+    pub max_window: u64,
+    /// Window entries evicted by the per-peer cap (nonzero only when a
+    /// peer was stranded past `window_cap` unacknowledged updates).
+    pub window_evicted: u64,
     /// Counters broken out per partition, indexed by partition id.
     pub per_partition: Vec<PartitionCounters>,
 }
 
 impl NodeStatus {
-    fn fields(&self) -> [u64; 16] {
+    fn fields(&self) -> [u64; 23] {
         [
             self.node,
             self.issued,
@@ -638,10 +667,17 @@ impl NodeStatus {
             self.resent,
             self.wal_appends,
             self.snapshots_written,
+            self.wal_bytes,
+            self.snapshot_bytes,
+            self.first_snapshot_bytes,
+            self.trace_events,
+            self.sealed_events,
+            self.max_window,
+            self.window_evicted,
         ]
     }
 
-    fn from_fields(f: [u64; 16]) -> Self {
+    fn from_fields(f: [u64; 23]) -> Self {
         NodeStatus {
             node: f[0],
             issued: f[1],
@@ -659,6 +695,13 @@ impl NodeStatus {
             resent: f[13],
             wal_appends: f[14],
             snapshots_written: f[15],
+            wal_bytes: f[16],
+            snapshot_bytes: f[17],
+            first_snapshot_bytes: f[18],
+            trace_events: f[19],
+            sealed_events: f[20],
+            max_window: f[21],
+            window_evicted: f[22],
             per_partition: Vec::new(),
         }
     }
@@ -682,8 +725,10 @@ pub enum ClientResponse {
     },
     /// Counter snapshot.
     Status(NodeStatus),
-    /// The node's local event logs, indexed by partition id.
-    Trace(Vec<Vec<TraceEvent>>),
+    /// The node's local event logs, indexed by partition id: per
+    /// partition, the sealed-prefix checkpoint summary plus the live
+    /// suffix (v5 — a compacting node no longer retains full history).
+    Trace(Vec<(TraceCheckpoint, Vec<TraceEvent>)>),
     /// The node's sharding configuration.
     Config {
         /// Wire protocol version the node speaks.
@@ -726,7 +771,8 @@ pub fn encode_response(resp: &ClientResponse) -> Vec<u8> {
         ClientResponse::Trace(partitions) => {
             let mut out = vec![TAG_TRACE_RESP];
             write_varint(&mut out, partitions.len() as u64);
-            for events in partitions {
+            for (checkpoint, events) in partitions {
+                encode_trace_checkpoint(checkpoint, &mut out);
                 write_varint(&mut out, events.len() as u64);
                 for event in events {
                     match *event {
@@ -785,7 +831,7 @@ pub fn decode_response(payload: &[u8]) -> io::Result<ClientResponse> {
                      this client v{WIRE_VERSION}"
                 )));
             }
-            let mut fields = [0u64; 16];
+            let mut fields = [0u64; 23];
             for f in &mut fields {
                 *f = get_varint(payload, &mut at)?;
             }
@@ -805,6 +851,7 @@ pub fn decode_response(payload: &[u8]) -> io::Result<ClientResponse> {
             let parts = get_varint(payload, &mut at)? as usize;
             let mut partitions = Vec::with_capacity(parts.min(1 << 20));
             for _ in 0..parts {
+                let checkpoint = decode_trace_checkpoint(payload, &mut at)?;
                 let count = get_varint(payload, &mut at)? as usize;
                 let mut events = Vec::with_capacity(count.min(1 << 20));
                 for _ in 0..count {
@@ -830,7 +877,7 @@ pub fn decode_response(payload: &[u8]) -> io::Result<ClientResponse> {
                     };
                     events.push(event);
                 }
-                partitions.push(events);
+                partitions.push((checkpoint, events));
             }
             Ok(ClientResponse::Trace(partitions))
         }
@@ -936,10 +983,10 @@ mod tests {
             map: PartitionMap::single(topologies::ring(4)),
         };
         let mut payload = encode_peer_hello(&hello);
-        // The version varint sits right after the tag; WIRE_VERSION = 4 is
+        // The version varint sits right after the tag; WIRE_VERSION = 5 is
         // one byte, so patch it to any older hello.
         assert_eq!(payload[1], WIRE_VERSION as u8);
-        for old in [1u8, 2, 3] {
+        for old in [1u8, 2, 3, 4] {
             payload[1] = old;
             let err = decode_peer_hello(&payload).unwrap_err();
             assert!(
@@ -991,6 +1038,26 @@ mod tests {
                 assert!(payload.len() >= 3 * pad);
             }
         }
+    }
+
+    /// A non-empty checkpoint summary for trace-response round trips.
+    fn sealed_checkpoint() -> TraceCheckpoint {
+        let mut checkpoint = TraceCheckpoint::new(2, 3);
+        checkpoint.absorb(
+            &[
+                TraceEvent::Issue {
+                    replica: ReplicaId(0),
+                    register: RegisterId(1),
+                    update: 7,
+                },
+                TraceEvent::Apply {
+                    replica: ReplicaId(0),
+                    update: (1 << 40) | 3,
+                },
+            ],
+            |w| Some(ReplicaId((w >> 40) as usize % 2)),
+        );
+        checkpoint
     }
 
     /// Tags updates with consecutive link sequence numbers from `base`.
@@ -1133,6 +1200,13 @@ mod tests {
                 resent: 2,
                 wal_appends: 29,
                 snapshots_written: 1,
+                wal_bytes: 8192,
+                snapshot_bytes: 900,
+                first_snapshot_bytes: 850,
+                trace_events: 120,
+                sealed_events: 4000,
+                max_window: 64,
+                window_evicted: 0,
                 per_partition: vec![
                     PartitionCounters {
                         issued: 6,
@@ -1147,22 +1221,28 @@ mod tests {
                 ],
             }),
             ClientResponse::Trace(vec![
-                vec![
-                    TraceEvent::Issue {
-                        replica: ReplicaId(1),
-                        register: RegisterId(4),
-                        update: 55,
-                    },
-                    TraceEvent::Apply {
-                        replica: ReplicaId(1),
-                        update: 54,
-                    },
-                ],
-                vec![],
-                vec![TraceEvent::Apply {
-                    replica: ReplicaId(0),
-                    update: 99,
-                }],
+                (
+                    sealed_checkpoint(),
+                    vec![
+                        TraceEvent::Issue {
+                            replica: ReplicaId(1),
+                            register: RegisterId(4),
+                            update: 55,
+                        },
+                        TraceEvent::Apply {
+                            replica: ReplicaId(1),
+                            update: 54,
+                        },
+                    ],
+                ),
+                (TraceCheckpoint::new(2, 3), vec![]),
+                (
+                    TraceCheckpoint::new(2, 3),
+                    vec![TraceEvent::Apply {
+                        replica: ReplicaId(0),
+                        update: 99,
+                    }],
+                ),
             ]),
             ClientResponse::Config {
                 version: WIRE_VERSION,
@@ -1203,10 +1283,13 @@ mod tests {
                 per_partition: vec![PartitionCounters::default(); 2],
                 ..NodeStatus::default()
             }),
-            ClientResponse::Trace(vec![vec![TraceEvent::Apply {
-                replica: ReplicaId(1),
-                update: 54,
-            }]]),
+            ClientResponse::Trace(vec![(
+                sealed_checkpoint(),
+                vec![TraceEvent::Apply {
+                    replica: ReplicaId(1),
+                    update: 54,
+                }],
+            )]),
             ClientResponse::Config {
                 version: WIRE_VERSION,
                 map: PartitionMap::single(topologies::line(2)),

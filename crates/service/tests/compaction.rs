@@ -1,0 +1,261 @@
+//! Bounded-memory end-to-end tests: checkpointed trace compaction over
+//! real TCP clusters.
+//!
+//! These suites drive enough traffic that the nodes actually seal trace
+//! prefixes mid-run (a low `trace_compact_at`), then hold the compacted
+//! cluster to the same standards as an uncompacted one:
+//!
+//! * the stitched (checkpoint + live suffix) oracle verdict is consistent,
+//!   and matches the verdict of the identical seeded workload run without
+//!   compaction;
+//! * snapshots stay O(live state): the last snapshot of a long run is no
+//!   larger than ~2x the first, while the WAL keeps truncating;
+//! * crash/restart reproduces the compacted state exactly — checkpoint
+//!   summaries included — because seals travel through the same
+//!   append-before-apply WAL path as every other state mutation.
+
+use prcc_clock::EdgeProtocol;
+use prcc_graph::{topologies, PartitionMap};
+use prcc_service::{LoopbackCluster, ServiceConfig};
+use prcc_workloads::ops::{generate_keyed_ops, route_keyed_ops};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const DRAIN: Duration = Duration::from_secs(30);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prcc-compact-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+fn launch(partitions: u32, nodes: usize, cfg: &ServiceConfig) -> LoopbackCluster {
+    let graph = topologies::ring(nodes);
+    let map = PartitionMap::rotated(graph.clone(), partitions, nodes).expect("valid map");
+    let protocol = Arc::new(EdgeProtocol::new(graph));
+    LoopbackCluster::launch_partitioned(protocol, map, cfg, 0).expect("launch")
+}
+
+fn drive(cluster: &LoopbackCluster, ops: usize, seed: u64) {
+    let map = cluster.map().clone();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let keyed = generate_keyed_ops(&map, ops, None, &mut rng);
+    let scripts = route_keyed_ops(&map, &keyed);
+    let mut drivers = Vec::new();
+    for (node, script) in scripts.into_iter().enumerate() {
+        let mut client = cluster.client(node).expect("client");
+        drivers.push(thread::spawn(move || {
+            for (partition, register, value) in script {
+                assert!(client
+                    .write_in(partition, register, value)
+                    .expect("write io"));
+            }
+        }));
+    }
+    for driver in drivers {
+        driver.join().expect("driver");
+    }
+}
+
+fn drain_and_verify(cluster: &LoopbackCluster, what: &str) {
+    assert!(
+        cluster.drain(DRAIN).expect("drain io"),
+        "no quiescence: {what}"
+    );
+    assert_eq!(cluster.misrouted_drops().expect("statuses"), 0, "{what}");
+    for (p, verdict) in cluster
+        .verify_partitions()
+        .expect("traces")
+        .iter()
+        .enumerate()
+    {
+        let v = verdict.as_ref().expect("replayable");
+        assert!(v.is_consistent(), "{what}: partition {p}: {v:?}");
+    }
+}
+
+/// Mid-run compaction seals most of the history, the live logs stay small,
+/// and the stitched verdict matches a full-history run of the identical
+/// seeded workload.
+#[test]
+fn compacted_cluster_verifies_like_a_full_history_one() {
+    let ops = 3000usize;
+    // Reference run: compaction off (large threshold, no data dir), full
+    // logs replayed by the oracle.
+    let full_cfg = ServiceConfig {
+        batch_max: 16,
+        flush_interval: Duration::from_micros(100),
+        trace_compact_at: usize::MAX,
+        ..ServiceConfig::default()
+    };
+    let full = launch(4, 4, &full_cfg);
+    drive(&full, ops, 91);
+    drain_and_verify(&full, "full-history run");
+    let full_statuses = full.statuses().expect("statuses");
+    assert_eq!(
+        full_statuses.iter().map(|s| s.sealed_events).sum::<u64>(),
+        0,
+        "reference run must not compact"
+    );
+    full.shutdown().expect("shutdown");
+
+    // Compacting run: aggressive threshold, same seeded workload.
+    let compact_cfg = ServiceConfig {
+        batch_max: 16,
+        flush_interval: Duration::from_micros(100),
+        trace_compact_at: 64,
+        ack_every: 2,
+        ..ServiceConfig::default()
+    };
+    let compacted = launch(4, 4, &compact_cfg);
+    drive(&compacted, ops, 91);
+    drain_and_verify(&compacted, "compacted run");
+    let statuses = compacted.statuses().expect("statuses");
+    let sealed: u64 = statuses.iter().map(|s| s.sealed_events).sum();
+    let live: u64 = statuses.iter().map(|s| s.trace_events).sum();
+    assert!(sealed > 0, "the compacting run never sealed anything");
+    // Conservation: both runs recorded the same event total.
+    let full_total: u64 = full_statuses
+        .iter()
+        .map(|s| s.trace_events + s.sealed_events)
+        .sum();
+    assert_eq!(sealed + live, full_total, "events lost or invented");
+    // The point of the exercise: live state is a small fraction of the
+    // history the full-history run had to retain.
+    assert!(
+        live * 4 < full_total,
+        "compaction barely helped: {live} live of {full_total} total"
+    );
+    compacted.shutdown().expect("shutdown");
+}
+
+/// Long-running durable cluster: snapshots stay flat (last ≤ ~2x first)
+/// while the WAL keeps truncating, and the run still verifies.
+#[test]
+fn snapshots_stay_flat_while_the_wal_truncates() {
+    let dir = scratch_dir("flat");
+    let cfg = ServiceConfig {
+        batch_max: 16,
+        flush_interval: Duration::from_micros(100),
+        data_dir: Some(dir.clone()),
+        snapshot_every: 200,
+        trace_compact_at: 128,
+        ack_every: 2,
+        ..ServiceConfig::default()
+    };
+    let cluster = launch(4, 4, &cfg);
+    drive(&cluster, 4000, 17);
+    drain_and_verify(&cluster, "long durable run");
+    for status in cluster.statuses().expect("statuses") {
+        assert!(
+            status.snapshots_written >= 2,
+            "node {} wrote only {} snapshots",
+            status.node,
+            status.snapshots_written
+        );
+        assert!(status.first_snapshot_bytes > 0);
+        // 2x relative plus a small absolute allowance: snapshots embed the
+        // unacked windows, whose size wobbles by a few hundred bytes with
+        // ack timing under load — O(ops) growth (the regression this
+        // guards against) would be tens of kilobytes here.
+        let bound = (2 * status.first_snapshot_bytes).max(status.first_snapshot_bytes + 2048);
+        assert!(
+            status.snapshot_bytes <= bound,
+            "node {}: snapshots grew from {} to {} bytes — no longer O(live state)",
+            status.node,
+            status.first_snapshot_bytes,
+            status.snapshot_bytes
+        );
+        // The WAL keeps truncating: whatever is left is less than one full
+        // snapshot interval of records (it was reset at the last snapshot).
+        assert!(status.wal_appends > 0);
+        assert!(
+            status.sealed_events > 0,
+            "node {} never sealed",
+            status.node
+        );
+    }
+    cluster.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash/restart with mid-run compaction: the recovered checkpoint + live
+/// suffix matches the pre-crash state exactly (seals are WAL'd through
+/// append-before-apply), and the cluster keeps verifying afterwards.
+#[test]
+fn compacted_state_survives_crash_restart() {
+    let dir = scratch_dir("crash");
+    let cfg = ServiceConfig {
+        batch_max: 16,
+        flush_interval: Duration::from_micros(100),
+        data_dir: Some(dir.clone()),
+        snapshot_every: 300,
+        trace_compact_at: 96,
+        ack_every: 2,
+        ..ServiceConfig::default()
+    };
+    let mut cluster = launch(4, 4, &cfg);
+    let victim = 2usize;
+
+    drive(&cluster, 1500, 43);
+    assert!(cluster.drain(DRAIN).expect("drain io"), "no quiescence");
+
+    let before = cluster
+        .client(victim)
+        .expect("client")
+        .trace()
+        .expect("trace");
+    let sealed_before: u64 = before.iter().map(|(c, _)| c.events).sum();
+    assert!(
+        sealed_before > 0,
+        "the victim never compacted — test is vacuous"
+    );
+
+    cluster.crash_node(victim);
+    cluster.restart_node(victim).expect("restart");
+
+    let after = cluster
+        .client(victim)
+        .expect("client")
+        .trace()
+        .expect("trace");
+    assert_eq!(
+        after, before,
+        "recovered checkpoint + live suffix differs from the pre-crash state"
+    );
+
+    // The cluster keeps working and the stitched history still verifies.
+    drive(&cluster, 500, 44);
+    drain_and_verify(&cluster, "post-restart");
+    cluster.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Group commit (fsync) enabled end to end: the run completes, verifies,
+/// and reports the WAL/snapshot activity — the behavioral half of the
+/// power-loss story (the loss window itself needs a power cut to observe).
+#[test]
+fn fsync_group_commit_runs_clean() {
+    let dir = scratch_dir("fsync");
+    let cfg = ServiceConfig {
+        batch_max: 16,
+        flush_interval: Duration::from_micros(100),
+        data_dir: Some(dir.clone()),
+        snapshot_every: 256,
+        fsync_every: 8,
+        ..ServiceConfig::default()
+    };
+    let cluster = launch(2, 3, &cfg);
+    drive(&cluster, 600, 5);
+    drain_and_verify(&cluster, "fsync run");
+    for status in cluster.statuses().expect("statuses") {
+        assert!(status.wal_appends > 0);
+    }
+    cluster.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -255,12 +255,11 @@ fn mid_flight_crash_recovers_without_losing_updates() {
 #[test]
 fn same_seed_same_crash_point_means_byte_identical_snapshots() {
     let crash_at_op = 150usize;
-    let run = |tag: &str| -> (
-        PathBuf,
-        Vec<u8>,
-        Vec<u8>,
-        Vec<Vec<prcc_checker::trace::TraceEvent>>,
-    ) {
+    type Traces = Vec<(
+        prcc_checker::TraceCheckpoint,
+        Vec<prcc_checker::trace::TraceEvent>,
+    )>;
+    let run = |tag: &str| -> (PathBuf, Vec<u8>, Vec<u8>, Traces) {
         let dir = scratch_dir(tag);
         let cfg = ServiceConfig {
             batch_max: 16,
@@ -311,13 +310,20 @@ fn same_seed_same_crash_point_means_byte_identical_snapshots() {
     );
     assert_eq!(wal_a, wal_b, "WALs diverged across identical seeded runs");
     assert!(!snap_a.is_empty());
-    let issues: usize = trace_a
+    // Every pre-crash issue is accounted for: sealed into a checkpoint
+    // summary or still live in the suffix.
+    let issues: u64 = trace_a
         .iter()
-        .flatten()
-        .filter(|e| matches!(e, prcc_checker::trace::TraceEvent::Issue { .. }))
-        .count();
+        .map(|(checkpoint, live)| {
+            checkpoint.issues
+                + live
+                    .iter()
+                    .filter(|e| matches!(e, prcc_checker::trace::TraceEvent::Issue { .. }))
+                    .count() as u64
+        })
+        .sum();
     assert_eq!(
-        issues, crash_at_op,
+        issues, crash_at_op as u64,
         "recovered log must hold every pre-crash issue"
     );
     assert_eq!(trace_a, trace_b, "recovered traces diverged");

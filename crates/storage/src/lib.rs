@@ -40,7 +40,8 @@ pub mod wal;
 pub use crc32::crc32;
 pub use record::{decode_record, encode_receipt_record, encode_record, ReceiptSections, WalRecord};
 pub use snapshot::{
-    decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, NodeSnapshot,
-    PartitionSnapshot, PeerSnapshot,
+    decode_snapshot, decode_trace_checkpoint, encode_snapshot, encode_trace_checkpoint,
+    read_snapshot, write_snapshot, NodeSnapshot, PartitionSnapshot, PeerSnapshot, SNAPSHOT_MAGIC,
+    SNAPSHOT_MAGIC_V1,
 };
 pub use wal::{scan_wal, Wal, WalRecovery, WalScan, MAX_WAL_RECORD, WAL_MAGIC};

@@ -27,6 +27,7 @@ use std::io;
 
 const KIND_ISSUE: u8 = 1;
 const KIND_RECEIPT: u8 = 2;
+const KIND_CHECKPOINT: u8 = 3;
 
 /// The sections of one received peer flush frame: per partition present,
 /// its updates in order, each tagged with its per-link sequence number
@@ -57,6 +58,20 @@ pub enum WalRecord<C> {
         /// wire order.
         sections: ReceiptSections<C>,
     },
+    /// A trace-compaction decision: for each named partition, the first
+    /// `events` entries of its live trace log were sealed into the
+    /// partition's checkpoint summary and discarded.
+    ///
+    /// Logged through the same append-before-apply path as the
+    /// state-mutating inputs, so replay reproduces the exact same seal
+    /// points — the recovered checkpoint + live-suffix pair is
+    /// byte-identical to the pre-crash one even when the node compacted
+    /// between snapshots.
+    Checkpoint {
+        /// `(partition, sealed event count)` pairs, ascending by
+        /// partition.
+        seals: Vec<(PartitionId, u64)>,
+    },
 }
 
 fn bad(what: &str) -> io::Error {
@@ -82,6 +97,17 @@ pub fn encode_record<C: WireClock>(index: u64, record: &WalRecord<C>) -> Vec<u8>
             out
         }
         WalRecord::Receipt { peer, sections } => encode_receipt_record(index, *peer, sections),
+        WalRecord::Checkpoint { seals } => {
+            let mut out = Vec::new();
+            write_varint(&mut out, index);
+            out.push(KIND_CHECKPOINT);
+            write_varint(&mut out, seals.len() as u64);
+            for (partition, events) in seals {
+                write_varint(&mut out, u64::from(partition.0));
+                write_varint(&mut out, *events);
+            }
+            out
+        }
     }
 }
 
@@ -164,6 +190,19 @@ where
                 sections.push((PartitionId(partition), decoded));
             }
             WalRecord::Receipt { peer, sections }
+        }
+        KIND_CHECKPOINT => {
+            let count = get_varint(payload, &mut at)? as usize;
+            if count > 1 << 20 {
+                return Err(bad("absurd seal count"));
+            }
+            let mut seals = Vec::with_capacity(count.min(1 << 10));
+            for _ in 0..count {
+                let partition = u32::try_from(get_varint(payload, &mut at)?)
+                    .map_err(|_| bad("partition id out of range"))?;
+                seals.push((PartitionId(partition), get_varint(payload, &mut at)?));
+            }
+            WalRecord::Checkpoint { seals }
         }
         other => return Err(bad(&format!("unknown record kind {other}"))),
     };

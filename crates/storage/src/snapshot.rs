@@ -2,25 +2,43 @@
 //!
 //! A [`NodeSnapshot`] captures everything the WAL replay would otherwise
 //! rebuild — per-partition replica state (store, clock, pending buffer,
-//! dedup set, counters) plus the node's event logs, the node-global wire-id
-//! sequence, and the per-peer link state (outbound resend windows with
-//! their sequence counters, inbound acknowledgement high-water marks). The
-//! `wal_high` field records the index of the last WAL record folded in, so
-//! a crash between snapshot write and log truncation is harmless: replay
-//! simply skips records at or below it.
+//! counters), the node-global wire-id sequence, and the per-peer link state
+//! (outbound resend windows with their sequence counters, inbound receive
+//! watermarks and outbound acknowledgement high-waters). The `wal_high`
+//! field records the index of the last WAL record folded in, so a crash
+//! between snapshot write and log truncation is harmless: replay simply
+//! skips records at or below it.
 //!
-//! The encoding is **deterministic**: every collection is serialized in its
-//! stored order and the dedup set is kept sorted, so two nodes that
-//! processed the same inputs produce byte-identical snapshots — which the
-//! recovery test suite asserts outright.
+//! # Codec v2: O(live state), not O(history)
 //!
-//! On disk a snapshot is `"PRCCSNP1" | u32 crc32(payload) | payload`,
-//! written to a temporary file and atomically renamed into place, so a
-//! crash mid-write leaves the previous snapshot intact.
+//! Version 1 of this codec (magic `PRCCSNP1`) serialized two structures
+//! that grew with total history and were rewritten into **every**
+//! snapshot: the per-replica dedup set (every update id ever received) and
+//! the full per-partition trace log. Version 2 (magic `PRCCSNP2`) replaces
+//! them with their bounded equivalents:
+//!
+//! * duplicate suppression is per-link [`prcc_core::SeqWatermark`] state —
+//!   a contiguous receive high-water plus a small out-of-order residue;
+//! * trace logs are a [`TraceCheckpoint`] summary of the sealed
+//!   (verified-and-discarded) prefix plus only the live suffix.
+//!
+//! v1 snapshots remain **readable** (the legacy path converts them:
+//! dedup sets are dropped in favor of the recorded receive high-waters,
+//! full logs become the live suffix of an empty checkpoint), so a node can
+//! restart across the format change; writes always emit v2.
+//!
+//! The encoding is **deterministic**: every collection is serialized in
+//! its stored order, so two nodes that processed the same inputs produce
+//! byte-identical snapshots — which the recovery test suite asserts
+//! outright.
+//!
+//! On disk a snapshot is `magic | u32 crc32(payload) | payload`, written
+//! to a temporary file and atomically renamed into place, so a crash
+//! mid-write leaves the previous snapshot intact.
 
 use crate::crc32::crc32;
 use prcc_checker::trace::TraceEvent;
-use prcc_checker::UpdateId;
+use prcc_checker::{TraceCheckpoint, UpdateId};
 use prcc_clock::encoding::{read_varint_at as get_varint, write_varint};
 use prcc_clock::WireClock;
 use prcc_core::{ReplicaState, Update};
@@ -29,19 +47,25 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
 
-/// The 8-byte magic opening every snapshot file.
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PRCCSNP1";
+/// The 8-byte magic opening every v2 snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PRCCSNP2";
+
+/// The v1 magic, still accepted by [`read_snapshot`] for the legacy
+/// decode path.
+pub const SNAPSHOT_MAGIC_V1: &[u8; 8] = b"PRCCSNP1";
 
 /// One hosted partition's durable state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionSnapshot<C> {
-    /// The replica state machine (role id, store, clock, pending, dedup
-    /// set, counters).
+    /// The replica state machine (role id, store, clock, pending,
+    /// counters).
     pub state: ReplicaState<C>,
     /// Client writes issued into this partition at this node.
     pub issued: u64,
-    /// The partition-local event log (issues and applies, in processing
-    /// order) — the trace the post-hoc oracle replays.
+    /// Summary of the sealed (verified and discarded) trace prefix.
+    pub checkpoint: TraceCheckpoint,
+    /// The live trace suffix (issues and applies after the checkpoint, in
+    /// processing order) — what the post-hoc oracle still replays.
     pub log: Vec<TraceEvent>,
 }
 
@@ -50,11 +74,18 @@ pub struct PartitionSnapshot<C> {
 pub struct PeerSnapshot<C> {
     /// Next outbound link sequence number to assign (starts at 1).
     pub next_seq: u64,
-    /// Highest link sequence received *from* this peer (what this node
-    /// acknowledges).
+    /// Highest outbound sequence the peer has acknowledged (prunes the
+    /// window and gates trace sealing).
+    pub acked_high: u64,
+    /// Contiguous receive high-water: every inbound sequence at or below
+    /// it has been durably received (what this node acknowledges).
     pub recv_high: u64,
+    /// Out-of-order inbound sequences above `recv_high`, ascending — the
+    /// receive watermark's residue.
+    pub recv_residue: Vec<u64>,
     /// Outbound updates sent (or queued) but not yet acknowledged by the
-    /// peer, in sequence order — the resend window.
+    /// peer, in sequence order — the resend window. Bounded by the ack
+    /// cadence (and the service's window cap), not by history.
     pub window: Vec<(u64, PartitionId, Update<C>)>,
 }
 
@@ -74,6 +105,8 @@ pub struct NodeSnapshot<C> {
     pub received: u64,
     /// Updates dropped for targeting an unhosted partition.
     pub dropped_misrouted: u64,
+    /// Duplicate deliveries suppressed by the link watermarks.
+    pub duplicates_dropped: u64,
     /// Per-partition state, indexed by partition id; `None` for
     /// partitions this node does not host.
     pub partitions: Vec<Option<PartitionSnapshot<C>>>,
@@ -128,7 +161,63 @@ fn decode_trace_event(buf: &[u8], at: &mut usize) -> io::Result<TraceEvent> {
     }
 }
 
-/// Serializes a snapshot into its payload bytes (checksum and magic are
+/// Serializes a trace checkpoint (shared by the snapshot codec and the
+/// service wire's `Trace` response).
+pub fn encode_trace_checkpoint(checkpoint: &TraceCheckpoint, out: &mut Vec<u8>) {
+    write_varint(out, checkpoint.events);
+    write_varint(out, checkpoint.issues);
+    write_varint(out, checkpoint.applies);
+    write_varint(out, checkpoint.last_issue);
+    write_varint(out, checkpoint.applied_high.len() as u64);
+    for &high in &checkpoint.applied_high {
+        write_varint(out, high);
+    }
+    write_varint(out, checkpoint.frontier.len() as u64);
+    for &wire in &checkpoint.frontier {
+        write_varint(out, wire);
+    }
+    write_varint(out, checkpoint.digest);
+}
+
+/// Decodes a trace checkpoint encoded by [`encode_trace_checkpoint`].
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on malformed input.
+pub fn decode_trace_checkpoint(buf: &[u8], at: &mut usize) -> io::Result<TraceCheckpoint> {
+    let events = get_varint(buf, at)?;
+    let issues = get_varint(buf, at)?;
+    let applies = get_varint(buf, at)?;
+    let last_issue = get_varint(buf, at)?;
+    let roles = get_varint(buf, at)? as usize;
+    if roles > 1 << 20 {
+        return Err(bad("absurd role count"));
+    }
+    let mut applied_high = Vec::with_capacity(roles.min(1 << 10));
+    for _ in 0..roles {
+        applied_high.push(get_varint(buf, at)?);
+    }
+    let registers = get_varint(buf, at)? as usize;
+    if registers > 1 << 24 {
+        return Err(bad("absurd register count"));
+    }
+    let mut frontier = Vec::with_capacity(registers.min(1 << 16));
+    for _ in 0..registers {
+        frontier.push(get_varint(buf, at)?);
+    }
+    let digest = get_varint(buf, at)?;
+    Ok(TraceCheckpoint {
+        events,
+        issues,
+        applies,
+        last_issue,
+        applied_high,
+        frontier,
+        digest,
+    })
+}
+
+/// Serializes a snapshot into its v2 payload bytes (checksum and magic are
 /// added by [`write_snapshot`]).
 pub fn encode_snapshot<C: WireClock>(snap: &NodeSnapshot<C>) -> Vec<u8> {
     let mut out = Vec::new();
@@ -138,6 +227,7 @@ pub fn encode_snapshot<C: WireClock>(snap: &NodeSnapshot<C>) -> Vec<u8> {
     write_varint(&mut out, snap.sent);
     write_varint(&mut out, snap.received);
     write_varint(&mut out, snap.dropped_misrouted);
+    write_varint(&mut out, snap.duplicates_dropped);
     write_varint(&mut out, snap.partitions.len() as u64);
     for slot in &snap.partitions {
         match slot {
@@ -164,11 +254,7 @@ pub fn encode_snapshot<C: WireClock>(snap: &NodeSnapshot<C>) -> Vec<u8> {
                 write_varint(&mut out, part.state.applies);
                 write_varint(&mut out, part.state.buffered_applies);
                 write_varint(&mut out, part.state.max_pending as u64);
-                write_varint(&mut out, part.state.dropped_duplicates);
-                write_varint(&mut out, part.state.seen.len() as u64);
-                for id in &part.state.seen {
-                    write_varint(&mut out, id.0);
-                }
+                encode_trace_checkpoint(&part.checkpoint, &mut out);
                 write_varint(&mut out, part.log.len() as u64);
                 for event in &part.log {
                     encode_trace_event(event, &mut out);
@@ -179,7 +265,12 @@ pub fn encode_snapshot<C: WireClock>(snap: &NodeSnapshot<C>) -> Vec<u8> {
     write_varint(&mut out, snap.peers.len() as u64);
     for peer in &snap.peers {
         write_varint(&mut out, peer.next_seq);
+        write_varint(&mut out, peer.acked_high);
         write_varint(&mut out, peer.recv_high);
+        write_varint(&mut out, peer.recv_residue.len() as u64);
+        for &seq in &peer.recv_residue {
+            write_varint(&mut out, seq);
+        }
         write_varint(&mut out, peer.window.len() as u64);
         for (seq, partition, update) in &peer.window {
             write_varint(&mut out, *seq);
@@ -190,17 +281,114 @@ pub fn encode_snapshot<C: WireClock>(snap: &NodeSnapshot<C>) -> Vec<u8> {
     out
 }
 
-/// Decodes a snapshot payload. `make_clock` maps a replica role to a
-/// template clock (for both slot clocks and update timestamps).
-///
-/// # Errors
-///
-/// [`io::ErrorKind::InvalidData`] on malformed input or trailing bytes.
-pub fn decode_snapshot<C, F>(payload: &[u8], mut make_clock: F) -> io::Result<NodeSnapshot<C>>
+fn decode_store(payload: &[u8], at: &mut usize) -> io::Result<Vec<Option<u64>>> {
+    let store_len = get_varint(payload, at)? as usize;
+    if store_len > 1 << 24 {
+        return Err(bad("absurd store size"));
+    }
+    let mut store = Vec::with_capacity(store_len.min(1 << 16));
+    for _ in 0..store_len {
+        let flag = *payload.get(*at).ok_or_else(|| bad("missing store flag"))?;
+        *at += 1;
+        store.push(if flag == 0 {
+            None
+        } else {
+            Some(get_varint(payload, at)?)
+        });
+    }
+    Ok(store)
+}
+
+fn decode_pending<C, F>(
+    payload: &[u8],
+    at: &mut usize,
+    make_clock: &mut F,
+) -> io::Result<Vec<Update<C>>>
 where
     C: WireClock,
     F: FnMut(ReplicaId) -> Option<C>,
 {
+    let pending_len = get_varint(payload, at)? as usize;
+    if pending_len > 1 << 24 {
+        return Err(bad("absurd pending size"));
+    }
+    let mut pending = Vec::with_capacity(pending_len.min(1 << 16));
+    for _ in 0..pending_len {
+        pending.push(
+            Update::decode_wire(payload, at, &mut *make_clock)
+                .ok_or_else(|| bad("malformed pending update"))?,
+        );
+    }
+    Ok(pending)
+}
+
+fn decode_log(payload: &[u8], at: &mut usize) -> io::Result<Vec<TraceEvent>> {
+    let log_len = get_varint(payload, at)? as usize;
+    if log_len > 1 << 28 {
+        return Err(bad("absurd log size"));
+    }
+    let mut log = Vec::with_capacity(log_len.min(1 << 16));
+    for _ in 0..log_len {
+        log.push(decode_trace_event(payload, at)?);
+    }
+    Ok(log)
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_window<C, F>(
+    payload: &[u8],
+    at: &mut usize,
+    make_clock: &mut F,
+) -> io::Result<Vec<(u64, PartitionId, Update<C>)>>
+where
+    C: WireClock,
+    F: FnMut(ReplicaId) -> Option<C>,
+{
+    let window_len = get_varint(payload, at)? as usize;
+    if window_len > 1 << 24 {
+        return Err(bad("absurd window size"));
+    }
+    let mut window = Vec::with_capacity(window_len.min(1 << 16));
+    for _ in 0..window_len {
+        let seq = get_varint(payload, at)?;
+        let partition = u32::try_from(get_varint(payload, at)?)
+            .map_err(|_| bad("partition id out of range"))?;
+        let update = Update::decode_wire(payload, at, &mut *make_clock)
+            .ok_or_else(|| bad("malformed window update"))?;
+        window.push((seq, PartitionId(partition), update));
+    }
+    Ok(window)
+}
+
+/// Decodes a snapshot payload of the given `version` (1 or 2, from
+/// [`read_snapshot`]). `make_clock` maps a replica role to a template
+/// clock; `roles` is the share graph's replica count (sizes the empty
+/// checkpoints synthesized for legacy v1 payloads).
+///
+/// A v1 payload is converted on the fly: its historical dedup sets are
+/// dropped (the recorded receive high-waters carry the exact same
+/// duplicate-suppression information at the link level), its full trace
+/// logs become the live suffix over an empty checkpoint, and its
+/// acknowledged offsets are recovered from the window fronts (everything
+/// before a window was acknowledged, or it would still be parked there).
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on malformed input, an unknown version,
+/// or trailing bytes.
+pub fn decode_snapshot<C, F>(
+    version: u32,
+    payload: &[u8],
+    roles: usize,
+    mut make_clock: F,
+) -> io::Result<NodeSnapshot<C>>
+where
+    C: WireClock,
+    F: FnMut(ReplicaId) -> Option<C>,
+{
+    if version != 1 && version != 2 {
+        return Err(bad(&format!("unknown codec version {version}")));
+    }
     let mut at = 0;
     let wal_high = get_varint(payload, &mut at)?;
     let seq = get_varint(payload, &mut at)?;
@@ -208,6 +396,11 @@ where
     let sent = get_varint(payload, &mut at)?;
     let received = get_varint(payload, &mut at)?;
     let dropped_misrouted = get_varint(payload, &mut at)?;
+    let mut duplicates_dropped = if version >= 2 {
+        get_varint(payload, &mut at)?
+    } else {
+        0
+    };
     let parts = get_varint(payload, &mut at)? as usize;
     if parts > 1 << 20 {
         return Err(bad("absurd partition count"));
@@ -222,55 +415,32 @@ where
         }
         let role = ReplicaId(get_varint(payload, &mut at)? as usize);
         let part_issued = get_varint(payload, &mut at)?;
-        let store_len = get_varint(payload, &mut at)? as usize;
-        if store_len > 1 << 24 {
-            return Err(bad("absurd store size"));
-        }
-        let mut store = Vec::with_capacity(store_len.min(1 << 16));
-        for _ in 0..store_len {
-            let flag = *payload.get(at).ok_or_else(|| bad("missing store flag"))?;
-            at += 1;
-            store.push(if flag == 0 {
-                None
-            } else {
-                Some(get_varint(payload, &mut at)?)
-            });
-        }
+        let store = decode_store(payload, &mut at)?;
         let mut clock = make_clock(role).ok_or_else(|| bad("role out of range"))?;
         if !clock.decode_wire(payload, &mut at) {
             return Err(bad("malformed slot clock"));
         }
-        let pending_len = get_varint(payload, &mut at)? as usize;
-        if pending_len > 1 << 24 {
-            return Err(bad("absurd pending size"));
-        }
-        let mut pending = Vec::with_capacity(pending_len.min(1 << 16));
-        for _ in 0..pending_len {
-            pending.push(
-                Update::decode_wire(payload, &mut at, &mut make_clock)
-                    .ok_or_else(|| bad("malformed pending update"))?,
-            );
-        }
+        let pending = decode_pending(payload, &mut at, &mut make_clock)?;
         let applies = get_varint(payload, &mut at)?;
         let buffered_applies = get_varint(payload, &mut at)?;
         let max_pending = get_varint(payload, &mut at)? as usize;
-        let dropped_duplicates = get_varint(payload, &mut at)?;
-        let seen_len = get_varint(payload, &mut at)? as usize;
-        if seen_len > 1 << 28 {
-            return Err(bad("absurd dedup set size"));
-        }
-        let mut seen = Vec::with_capacity(seen_len.min(1 << 16));
-        for _ in 0..seen_len {
-            seen.push(UpdateId(get_varint(payload, &mut at)?));
-        }
-        let log_len = get_varint(payload, &mut at)? as usize;
-        if log_len > 1 << 28 {
-            return Err(bad("absurd log size"));
-        }
-        let mut log = Vec::with_capacity(log_len.min(1 << 16));
-        for _ in 0..log_len {
-            log.push(decode_trace_event(payload, &mut at)?);
-        }
+        let checkpoint = if version >= 2 {
+            decode_trace_checkpoint(payload, &mut at)?
+        } else {
+            // v1: historical dedup set — parse and discard (the link
+            // watermarks supersede it), then synthesize an empty
+            // checkpoint (the full log below becomes the live suffix).
+            duplicates_dropped += get_varint(payload, &mut at)?;
+            let seen_len = get_varint(payload, &mut at)? as usize;
+            if seen_len > 1 << 28 {
+                return Err(bad("absurd dedup set size"));
+            }
+            for _ in 0..seen_len {
+                let _ = UpdateId(get_varint(payload, &mut at)?);
+            }
+            TraceCheckpoint::new(roles, store.len())
+        };
+        let log = decode_log(payload, &mut at)?;
         partitions.push(Some(PartitionSnapshot {
             state: ReplicaState {
                 id: role,
@@ -280,10 +450,9 @@ where
                 applies,
                 buffered_applies,
                 max_pending,
-                seen,
-                dropped_duplicates,
             },
             issued: part_issued,
+            checkpoint,
             log,
         }));
     }
@@ -294,23 +463,39 @@ where
     let mut peers = Vec::with_capacity(peer_count.min(1 << 10));
     for _ in 0..peer_count {
         let next_seq = get_varint(payload, &mut at)?;
-        let recv_high = get_varint(payload, &mut at)?;
-        let window_len = get_varint(payload, &mut at)? as usize;
-        if window_len > 1 << 24 {
-            return Err(bad("absurd window size"));
-        }
-        let mut window = Vec::with_capacity(window_len.min(1 << 16));
-        for _ in 0..window_len {
-            let seq = get_varint(payload, &mut at)?;
-            let partition = u32::try_from(get_varint(payload, &mut at)?)
-                .map_err(|_| bad("partition id out of range"))?;
-            let update = Update::decode_wire(payload, &mut at, &mut make_clock)
-                .ok_or_else(|| bad("malformed window update"))?;
-            window.push((seq, PartitionId(partition), update));
-        }
+        let (acked_high, recv_high, recv_residue) = if version >= 2 {
+            let acked_high = get_varint(payload, &mut at)?;
+            let recv_high = get_varint(payload, &mut at)?;
+            let residue_len = get_varint(payload, &mut at)? as usize;
+            if residue_len > 1 << 24 {
+                return Err(bad("absurd residue size"));
+            }
+            let mut residue = Vec::with_capacity(residue_len.min(1 << 16));
+            for _ in 0..residue_len {
+                residue.push(get_varint(payload, &mut at)?);
+            }
+            (acked_high, recv_high, residue)
+        } else {
+            (0, get_varint(payload, &mut at)?, Vec::new())
+        };
+        let window = decode_window(payload, &mut at, &mut make_clock)?;
+        let acked_high = if version >= 2 {
+            acked_high
+        } else {
+            // v1 recorded no acknowledged offset, but the window implies
+            // it: every sequence before the window's front was pruned by
+            // an acknowledgement.
+            window
+                .first()
+                .map_or(next_seq.saturating_sub(1), |(seq, _, _)| {
+                    seq.saturating_sub(1)
+                })
+        };
         peers.push(PeerSnapshot {
             next_seq,
+            acked_high,
             recv_high,
+            recv_residue,
             window,
         });
     }
@@ -324,19 +509,25 @@ where
         sent,
         received,
         dropped_misrouted,
+        duplicates_dropped,
         partitions,
         peers,
     })
 }
 
-/// Atomically writes snapshot payload bytes to `path` (magic and checksum
-/// added): the bytes land in `<path>.tmp` first and are renamed over the
-/// previous snapshot, so a crash mid-write never destroys the old one.
+/// Atomically writes snapshot payload bytes to `path` (v2 magic and
+/// checksum added): the bytes land in `<path>.tmp` first and are renamed
+/// over the previous snapshot, so a crash mid-write never destroys the old
+/// one. With `sync`, the temporary file is fsynced before the rename *and
+/// the parent directory is fsynced after it* — without the directory sync
+/// the rename itself could be lost to a power cut, leaving the old
+/// snapshot paired with a WAL that was truncated for the new one (paired
+/// with the WAL's group commit, which syncs its truncation too).
 ///
 /// # Errors
 ///
-/// I/O errors from the write or rename.
-pub fn write_snapshot(path: &Path, payload: &[u8]) -> io::Result<()> {
+/// I/O errors from the write, rename, or directory sync.
+pub fn write_snapshot(path: &Path, payload: &[u8], sync: bool) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut file = fs::File::create(&tmp)?;
@@ -344,27 +535,44 @@ pub fn write_snapshot(path: &Path, payload: &[u8]) -> io::Result<()> {
         file.write_all(&crc32(payload).to_le_bytes())?;
         file.write_all(payload)?;
         file.flush()?;
+        if sync {
+            file.sync_data()?;
+        }
     }
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path)?;
+    if sync {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::File::open(parent)?.sync_all()?;
+        }
+    }
+    Ok(())
 }
 
-/// Reads snapshot payload bytes from `path`; `Ok(None)` when no snapshot
-/// exists yet.
+/// Reads snapshot payload bytes from `path`, returning the codec version
+/// (1 for legacy `PRCCSNP1` files, 2 for current ones) alongside them;
+/// `Ok(None)` when no snapshot exists yet.
 ///
 /// # Errors
 ///
 /// I/O errors; a wrong magic or checksum mismatch is
 /// [`io::ErrorKind::InvalidData`] — a damaged snapshot must stop recovery
 /// loudly rather than boot a half-restored node.
-pub fn read_snapshot(path: &Path) -> io::Result<Option<Vec<u8>>> {
+pub fn read_snapshot(path: &Path) -> io::Result<Option<(u32, Vec<u8>)>> {
     let bytes = match fs::read(path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
     };
-    if bytes.len() < 12 || &bytes[..8] != SNAPSHOT_MAGIC {
-        return Err(bad("bad file magic (not a prcc snapshot)"));
+    if bytes.len() < 12 {
+        return Err(bad("file too short for a prcc snapshot"));
     }
+    let version = if &bytes[..8] == SNAPSHOT_MAGIC {
+        2
+    } else if &bytes[..8] == SNAPSHOT_MAGIC_V1 {
+        1
+    } else {
+        return Err(bad("bad file magic (not a prcc snapshot)"));
+    };
     let stored = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
     let payload = &bytes[12..];
     let actual = crc32(payload);
@@ -373,5 +581,139 @@ pub fn read_snapshot(path: &Path) -> io::Result<Option<Vec<u8>>> {
             "checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"
         )));
     }
-    Ok(Some(payload.to_vec()))
+    Ok(Some((version, payload.to_vec())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_clock::{EdgeProtocol, Protocol};
+    use prcc_graph::topologies;
+    use prcc_net::VirtualTime;
+
+    /// Hand-encodes a v1 payload (the retired codec) so the legacy read
+    /// path stays covered even though nothing writes v1 anymore.
+    fn encode_v1_payload(g: &prcc_graph::ShareGraph, p: &EdgeProtocol) -> Vec<u8> {
+        let role = ReplicaId(0);
+        let mut clock = p.new_clock(role);
+        p.advance(role, &mut clock, RegisterId(0));
+        let pending = Update {
+            id: UpdateId((1u64 << 40) | 9),
+            issuer: ReplicaId(1),
+            register: RegisterId(0),
+            value: 77,
+            clock: p.new_clock(ReplicaId(1)),
+            issued_at: VirtualTime::ZERO,
+            received_at: VirtualTime::ZERO,
+        };
+        let window_update = Update {
+            id: UpdateId(3),
+            issuer: role,
+            register: RegisterId(0),
+            value: 5,
+            clock: clock.clone(),
+            issued_at: VirtualTime::ZERO,
+            received_at: VirtualTime::ZERO,
+        };
+        let mut out = Vec::new();
+        write_varint(&mut out, 12); // wal_high
+        write_varint(&mut out, 40); // seq
+        write_varint(&mut out, 7); // issued
+        write_varint(&mut out, 9); // sent
+        write_varint(&mut out, 8); // received
+        write_varint(&mut out, 0); // dropped_misrouted
+        write_varint(&mut out, 2); // partitions
+        out.push(0); // partition 0 unhosted
+        out.push(1); // partition 1 hosted
+        write_varint(&mut out, role.index() as u64);
+        write_varint(&mut out, 7); // part issued
+        write_varint(&mut out, g.num_registers() as u64);
+        for i in 0..g.num_registers() {
+            if i == 0 {
+                out.push(1);
+                write_varint(&mut out, 41);
+            } else {
+                out.push(0);
+            }
+        }
+        clock.encode_wire(&mut out);
+        write_varint(&mut out, 1); // pending len
+        pending.encode_wire(&mut out);
+        write_varint(&mut out, 4); // applies
+        write_varint(&mut out, 1); // buffered_applies
+        write_varint(&mut out, 3); // max_pending
+        write_varint(&mut out, 2); // dropped_duplicates (v1, per replica)
+        write_varint(&mut out, 3); // seen len (v1 dedup set)
+        for id in [3u64, 5, (1 << 40) | 9] {
+            write_varint(&mut out, id);
+        }
+        write_varint(&mut out, 2); // log len
+        out.push(0); // Issue
+        write_varint(&mut out, role.index() as u64);
+        write_varint(&mut out, 0);
+        write_varint(&mut out, 3);
+        out.push(1); // Apply
+        write_varint(&mut out, role.index() as u64);
+        write_varint(&mut out, (1 << 40) | 7);
+        write_varint(&mut out, 2); // peers
+        write_varint(&mut out, 9); // peer 0 next_seq
+        write_varint(&mut out, 4); // recv_high
+        write_varint(&mut out, 1); // window len
+        write_varint(&mut out, 6); // entry seq (so acked_high converts to 5)
+        write_varint(&mut out, 1); // entry partition
+        window_update.encode_wire(&mut out);
+        write_varint(&mut out, 1); // peer 1 next_seq
+        write_varint(&mut out, 0); // recv_high
+        write_varint(&mut out, 0); // window len
+        out
+    }
+
+    #[test]
+    fn legacy_v1_payloads_convert_to_bounded_state() {
+        let g = topologies::line(2);
+        let p = EdgeProtocol::new(g.clone());
+        let payload = encode_v1_payload(&g, &p);
+        let snap = decode_snapshot::<prcc_clock::EdgeClock, _>(1, &payload, 2, |k| {
+            (k.index() < 2).then(|| p.new_clock(k))
+        })
+        .expect("legacy decode");
+        assert_eq!(snap.wal_high, 12);
+        // The v1 per-replica duplicate counter folds into the node total.
+        assert_eq!(snap.duplicates_dropped, 2);
+        let part = snap.partitions[1].as_ref().expect("hosted");
+        // The historical dedup set is gone; the full log became the live
+        // suffix over an empty checkpoint.
+        assert!(part.checkpoint.is_empty());
+        assert_eq!(part.log.len(), 2);
+        assert_eq!(part.state.pending.len(), 1);
+        // Acked offsets are recovered from the window fronts.
+        assert_eq!(snap.peers[0].acked_high, 5);
+        assert_eq!(snap.peers[0].recv_high, 4);
+        assert_eq!(snap.peers[1].acked_high, 0);
+        // Converted snapshots re-encode as v2 and round-trip.
+        let v2 = encode_snapshot(&snap);
+        let back = decode_snapshot::<prcc_clock::EdgeClock, _>(2, &v2, 2, |k| {
+            (k.index() < 2).then(|| p.new_clock(k))
+        })
+        .expect("v2 decode");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn legacy_file_magic_is_recognized() {
+        let g = topologies::line(2);
+        let p = EdgeProtocol::new(g.clone());
+        let payload = encode_v1_payload(&g, &p);
+        let dir = std::env::temp_dir().join(format!("prcc-snap-v1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("snapshot.bin");
+        let mut bytes = SNAPSHOT_MAGIC_V1.to_vec();
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, &bytes).expect("write v1 file");
+        let (version, read) = read_snapshot(&path).expect("read").expect("present");
+        assert_eq!(version, 1);
+        assert_eq!(read, payload);
+        std::fs::remove_file(&path).ok();
+    }
 }

@@ -67,7 +67,13 @@ fn build_records(
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA5A5);
     (0..count)
         .map(|i| {
-            if i % 3 == 2 {
+            if i % 4 == 3 {
+                WalRecord::Checkpoint {
+                    seals: (0..1 + rng.gen_range(0u32..3))
+                        .map(|p| (PartitionId(p), rng.gen_range(1u64..500)))
+                        .collect(),
+                }
+            } else if i % 3 == 2 {
                 WalRecord::Issue {
                     partition: PartitionId(rng.gen_range(0..16)),
                     register: RegisterId(rng.gen_range(0..g.num_registers() as u32)),
@@ -104,6 +110,9 @@ fn scratch(tag: &str, case: u64) -> PathBuf {
 
 fn assert_records_eq(a: &WalRecord<prcc_clock::EdgeClock>, b: &WalRecord<prcc_clock::EdgeClock>) {
     match (a, b) {
+        (WalRecord::Checkpoint { seals: sa }, WalRecord::Checkpoint { seals: sb }) => {
+            assert_eq!(sa, sb);
+        }
         (
             WalRecord::Issue {
                 partition: pa,
@@ -290,12 +299,14 @@ proptest! {
         }
     }
 
-    /// Node snapshots — replica state, logs, link windows — survive the
-    /// codec and the checksummed file store byte-exactly; corrupting the
-    /// stored file is refused.
+    /// Node snapshots — replica state, checkpoint summaries, live log
+    /// suffixes, link watermarks and windows — survive the codec and the
+    /// checksummed file store byte-exactly; corrupting the stored file is
+    /// refused.
     #[test]
     fn snapshots_round_trip_and_reject_corruption(g in arb_share_graph(), seed in 0u64..200) {
         use prcc_checker::trace::TraceEvent;
+        use prcc_checker::TraceCheckpoint;
         let p = EdgeProtocol::new(g.clone());
         let updates = build_updates(&p, &g, seed);
         prop_assume!(!updates.is_empty());
@@ -310,14 +321,17 @@ proptest! {
             applies: seed,
             buffered_applies: seed / 2,
             max_pending: 7,
-            seen: {
-                let mut ids: Vec<UpdateId> = updates.iter().map(|u| u.id).collect();
-                ids.sort_unstable_by_key(|id| id.0);
-                ids.dedup();
-                ids
-            },
-            dropped_duplicates: 1,
         };
+        // A non-trivial sealed-prefix summary (the v2 replacement for the
+        // O(history) full log).
+        let mut checkpoint = TraceCheckpoint::new(g.num_replicas(), g.num_registers());
+        checkpoint.absorb(
+            &[
+                TraceEvent::Issue { replica: role, register: updates[0].register, update: 3 },
+                TraceEvent::Apply { replica: role, update: (1 << 40) | 2 },
+            ],
+            |w| Some(prcc_graph::ReplicaId((w >> 40) as usize % g.num_replicas())),
+        );
         let snap = NodeSnapshot {
             wal_high: 1 + seed,
             seq: 99,
@@ -325,11 +339,13 @@ proptest! {
             sent: 30,
             received: 28,
             dropped_misrouted: 0,
+            duplicates_dropped: 3,
             partitions: vec![
                 None,
                 Some(PartitionSnapshot {
                     state,
                     issued: 12,
+                    checkpoint,
                     log: vec![
                         TraceEvent::Issue { replica: role, register: updates[0].register, update: 5 },
                         TraceEvent::Apply { replica: role, update: 6 },
@@ -337,16 +353,28 @@ proptest! {
                 }),
             ],
             peers: vec![
-                PeerSnapshot { next_seq: 9, recv_high: 4, window: updates
-                    .iter()
-                    .enumerate()
-                    .map(|(k, u)| (5 + k as u64, PartitionId(1), u.clone()))
-                    .collect() },
-                PeerSnapshot { next_seq: 1, recv_high: 0, window: Vec::new() },
+                PeerSnapshot {
+                    next_seq: 9,
+                    acked_high: 4,
+                    recv_high: 4,
+                    recv_residue: vec![6, 9],
+                    window: updates
+                        .iter()
+                        .enumerate()
+                        .map(|(k, u)| (5 + k as u64, PartitionId(1), u.clone()))
+                        .collect(),
+                },
+                PeerSnapshot {
+                    next_seq: 1,
+                    acked_high: 0,
+                    recv_high: 0,
+                    recv_residue: Vec::new(),
+                    window: Vec::new(),
+                },
             ],
         };
         let payload = encode_snapshot(&snap);
-        let back = decode_snapshot(&payload, |k| {
+        let back = decode_snapshot(2, &payload, g.num_replicas(), |k| {
             (k.index() < g.num_replicas()).then(|| p.new_clock(k))
         }).expect("decode");
         prop_assert_eq!(&back, &snap);
@@ -354,8 +382,9 @@ proptest! {
         prop_assert_eq!(encode_snapshot(&back), payload.clone());
 
         let path = scratch("snap", seed);
-        write_snapshot(&path, &payload).expect("write");
-        let read = read_snapshot(&path).expect("read").expect("present");
+        write_snapshot(&path, &payload, seed % 2 == 0).expect("write");
+        let (version, read) = read_snapshot(&path).expect("read").expect("present");
+        prop_assert_eq!(version, 2);
         prop_assert_eq!(read, payload.clone());
         let mut bytes = std::fs::read(&path).expect("raw");
         let last = bytes.len() - 1;
