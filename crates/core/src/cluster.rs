@@ -9,6 +9,7 @@ use prcc_checker::{Oracle, UpdateId, Verdict};
 use prcc_clock::{ClockState, Protocol};
 use prcc_graph::{RegisterId, ReplicaId};
 use prcc_net::{DeliveryPolicy, Network};
+use prcc_telemetry::Histogram;
 
 /// A complete peer-to-peer system (Figure 1a): `R` replicas over a
 /// simulated asynchronous network, verified online by the oracle.
@@ -48,6 +49,11 @@ pub struct Cluster<P: Protocol> {
     oracle: Oracle,
     verdict: Verdict,
     stats: ClusterStats,
+    /// Distribution of (apply − issue) ticks; replaces the old running-sum
+    /// counter so tables can report tails, not just means.
+    apply_hist: Histogram,
+    /// Distribution of (apply − receive) ticks spent blocked in `pending`.
+    stall_hist: Histogram,
 }
 
 impl<P: Protocol> Cluster<P> {
@@ -73,6 +79,8 @@ impl<P: Protocol> Cluster<P> {
             oracle,
             verdict: Verdict::default(),
             stats,
+            apply_hist: Histogram::new(),
+            stall_hist: Histogram::new(),
         }
     }
 
@@ -169,8 +177,8 @@ impl<P: Protocol> Cluster<P> {
                 }
             }
             self.stats.applies += 1;
-            self.stats.total_apply_latency += now.since(u.issued_at);
-            self.stats.total_pending_stall += now.since(u.received_at);
+            self.apply_hist.record(now.since(u.issued_at));
+            self.stall_hist.record(now.since(u.received_at));
         }
         self.stats.max_pending = self
             .stats
@@ -207,10 +215,15 @@ impl<P: Protocol> Cluster<P> {
     }
 
     /// Aggregate statistics; buffered-apply counters are folded in from the
-    /// replicas.
+    /// replicas, and the latency totals and percentile summaries from the
+    /// apply/stall histograms.
     pub fn stats(&self) -> ClusterStats {
         let mut s = self.stats.clone();
         s.buffered_applies = self.replicas.iter().map(|r| r.buffered_applies()).sum();
+        s.total_apply_latency = self.apply_hist.sum();
+        s.total_pending_stall = self.stall_hist.sum();
+        s.apply_latency = self.apply_hist.summary();
+        s.pending_stall = self.stall_hist.summary();
         s
     }
 

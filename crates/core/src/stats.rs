@@ -1,5 +1,6 @@
 //! Aggregate run statistics.
 
+use prcc_telemetry::HistSummary;
 use serde::{Deserialize, Serialize};
 
 /// Summary of a cluster run: traffic, metadata and latency figures used by
@@ -20,11 +21,20 @@ pub struct ClusterStats {
     pub buffered_applies: u64,
     /// Largest pending buffer observed at any replica.
     pub max_pending: usize,
-    /// Sum over applies of (apply time − issue time), in ticks.
+    /// Sum over applies of (apply time − issue time), in ticks. Derived
+    /// from [`ClusterStats::apply_latency`]'s histogram; kept as a field so
+    /// the experiment tables stay schema-stable.
     pub total_apply_latency: u64,
     /// Sum over applies of (apply time − receive time), in ticks — time
-    /// spent blocked in `pending` (false/true dependency stalls).
+    /// spent blocked in `pending` (false/true dependency stalls). Derived
+    /// from [`ClusterStats::pending_stall`]'s histogram.
     pub total_pending_stall: u64,
+    /// Distribution of (apply time − issue time) over applies, in ticks —
+    /// the simulator's visibility latency.
+    pub apply_latency: HistSummary,
+    /// Distribution of (apply time − receive time) over applies, in ticks —
+    /// the paper's false-dependency stall, now with tails, not just a mean.
+    pub pending_stall: HistSummary,
     /// Duplicate deliveries suppressed by the per-link watermarks
     /// (at-least-once channel tolerance).
     pub duplicates_dropped: u64,

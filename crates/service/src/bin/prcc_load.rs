@@ -87,6 +87,11 @@ fn run() -> Result<(), String> {
              \t--max-frames-per-flush F  fail if mean frames per sender flush\n\
              \t                 reaches F (regression guard for multi-partition\n\
              \t                 frame packing; 0 = off, default)\n\
+             \t--sample-every N sample 1-in-N update lifecycles for the stage\n\
+             \t                 histograms (1 = every update, default 16)\n\
+             \t--metrics-mid-run  request a live metrics frame from node 0\n\
+             \t                 mid-drive and fail unless it decodes and\n\
+             \t                 carries the pending_stall_us histogram\n\
              \t--quiet          suppress the human-readable summary"
         );
         return Ok(());
@@ -120,6 +125,8 @@ fn run() -> Result<(), String> {
         args.parse_or("--fsync-every", 0u64)?
     };
     let quiet = args.has("--quiet");
+    let sample_every = args.parse_or("--sample-every", 16u64)?;
+    let metrics_mid_run = args.has("--metrics-mid-run");
     let crash_restart = args.has("--crash-restart");
     let crash_at = args.parse_or("--crash-at", 0.5f64)?.clamp(0.0, 1.0);
     let crash_node = args.parse_or("--crash-node", 1usize)?;
@@ -145,6 +152,7 @@ fn run() -> Result<(), String> {
         snapshot_every: args.parse_or("--snapshot-every", 4096u64)?,
         fsync_every,
         trace_compact_at: args.parse_or("--compact-at", 1024usize)?,
+        sample_every,
         ..ServiceConfig::default()
     };
     let graph = build_topology(&topology, nodes, seed)?;
@@ -249,6 +257,33 @@ fn run() -> Result<(), String> {
         }));
     }
 
+    // The mid-run metrics probe: once a quarter of the ops are in, scrape
+    // node 0's live metrics over the client wire — the point is to prove
+    // the v6 Metrics frame round-trips *while the hot path is hot*, not
+    // from a quiesced cluster.
+    let mid_probe = metrics_mid_run.then(|| {
+        let addr = cluster.addrs(0).1;
+        let progress = Arc::clone(&progress);
+        let target = (ops_total / 4).max(1);
+        thread::spawn(move || -> Result<(), String> {
+            let stall = Instant::now() + Duration::from_secs(120);
+            while progress.load(Ordering::Relaxed) < target && Instant::now() < stall {
+                thread::sleep(Duration::from_millis(2));
+            }
+            let mut client = prcc_service::ServiceClient::connect(addr)
+                .map_err(|e| format!("mid-run metrics dial: {e}"))?;
+            let snap = client
+                .metrics()
+                .map_err(|e| format!("mid-run metrics request: {e}"))?;
+            let stall_p99 = snap
+                .hist_summary("pending_stall_us")
+                .ok_or("mid-run metrics frame decoded but has no pending_stall_us histogram")?
+                .p99_us;
+            let _ = stall_p99; // presence is the assertion; the value is workload-dependent
+            Ok(())
+        })
+    });
+
     // The fault injector: once the drive crosses the crash point, kill the
     // target node mid-stream and bring it back on the same data dir.
     let mut crash_restarts = 0u64;
@@ -279,6 +314,12 @@ fn run() -> Result<(), String> {
         failures += result.failures;
     }
     let drive_seconds = drive_start.elapsed().as_secs_f64();
+    if let Some(probe) = mid_probe {
+        probe
+            .join()
+            .map_err(|_| "metrics probe thread panicked".to_string())
+            .and_then(|r| r)?;
+    }
     if failures > 0 {
         return Err(format!("{failures} operations were rejected by their node"));
     }
@@ -300,7 +341,13 @@ fn run() -> Result<(), String> {
             "{misrouted} updates were misrouted to non-hosting nodes and dropped"
         ));
     }
-    let evicted: u64 = statuses.iter().map(|s| s.window_evicted).sum();
+    // The eviction gate reads the metrics path, not NodeStatus: it proves
+    // the registry's core_* gauges are wired end to end at the same time
+    // as it guards delivery.
+    let metrics = cluster.metrics().map_err(|e| format!("metrics: {e}"))?;
+    let evicted = metrics
+        .gauge("core_window_evicted")
+        .ok_or("metrics snapshot is missing the core_window_evicted gauge")?;
     if evicted > 0 {
         // Evicted entries were given up on — the stitched verdict cannot
         // vouch for updates the cluster stopped trying to deliver, so the
@@ -365,10 +412,16 @@ fn run() -> Result<(), String> {
         sealed_events: 0,
         max_window: 0,
         window_evicted: 0,
+        sample_every,
+        visibility: prcc_telemetry::HistSummary::default(),
+        pending_stall: prcc_telemetry::HistSummary::default(),
+        wal_append: prcc_telemetry::HistSummary::default(),
+        send: prcc_telemetry::HistSummary::default(),
         verdict,
         per_partition,
     };
     report.absorb_statuses(&statuses);
+    report.absorb_metrics(&metrics);
 
     std::fs::write(&out_path, report.to_json()).map_err(|e| format!("writing {out_path}: {e}"))?;
     cluster.shutdown().map_err(|e| format!("shutdown: {e}"))?;
@@ -390,6 +443,17 @@ fn run() -> Result<(), String> {
             report.latency.mean_us,
             report.latency.p50_us,
             report.latency.p99_us
+        );
+        println!(
+            "  stages (1-in-{} sampled): visibility p50 {}us p99 {}us ({} samples); \
+             pending stall p99 {}us; wal append p99 {}us; send p99 {}us",
+            report.sample_every,
+            report.visibility.p50_us,
+            report.visibility.p99_us,
+            report.visibility.count,
+            report.pending_stall.p99_us,
+            report.wal_append.p99_us,
+            report.send.p99_us
         );
         println!(
             "  wire: {} bytes out, {:.1} bytes/update, {:.2} updates/batch, \

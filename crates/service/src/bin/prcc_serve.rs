@@ -35,6 +35,11 @@ fn run() -> Result<(), String> {
              \t--fsync-every N  group-commit cadence: fdatasync every N appends (0 = off)\n\
              \t--compact-at N   live trace events per partition before checkpointed\n\
              \t                 compaction seals the acked prefix (default 1024)\n\
+             \t--sample-every N sample 1-in-N update lifecycles for the stage\n\
+             \t                 histograms (1 = every update, default 16)\n\
+             \t--metrics-every S  every S seconds, scrape all nodes over the\n\
+             \t                 client wire, merge, and print the text metrics\n\
+             \t                 exposition to stderr (0 = off, default)\n\
              \t--duration S     self-terminate after S seconds (default: serve forever)\n\n\
              The process serves until a client sends Shutdown to every node."
         );
@@ -58,8 +63,10 @@ fn run() -> Result<(), String> {
             args.parse_or("--fsync-every", 0u64)?
         },
         trace_compact_at: args.parse_or("--compact-at", 1024usize)?,
+        sample_every: args.parse_or("--sample-every", 16u64)?,
         ..ServiceConfig::default()
     };
+    let metrics_every = args.parse_or("--metrics-every", 0u64)?;
 
     let graph = build_topology(&topology, nodes, seed)?;
     let map = PartitionMap::rotated(graph.clone(), partitions, graph.num_replicas())
@@ -78,6 +85,36 @@ fn run() -> Result<(), String> {
     for i in 0..cluster.len() {
         let (peer, client) = cluster.addrs(i);
         println!("  node {i}: peers at {peer}, clients at {client}");
+    }
+    if metrics_every > 0 {
+        // Scrape over the public client wire — the same path any external
+        // monitor would use — rather than reaching into the process. The
+        // thread is detached: once the nodes shut down every dial fails and
+        // the scraper just idles until process exit.
+        let addrs: Vec<_> = (0..cluster.len()).map(|i| cluster.addrs(i).1).collect();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_secs(metrics_every));
+            let mut merged: Option<prcc_telemetry::MetricsSnapshot> = None;
+            let mut scraped = 0usize;
+            for addr in &addrs {
+                let Ok(mut client) = prcc_service::ServiceClient::connect(*addr) else {
+                    continue;
+                };
+                let Ok(snap) = client.metrics() else { continue };
+                scraped += 1;
+                match merged.as_mut() {
+                    Some(m) => m.merge(&snap),
+                    None => merged = Some(snap),
+                }
+            }
+            if let Some(m) = merged {
+                eprintln!(
+                    "# prcc metrics ({scraped}/{} nodes)\n{}",
+                    addrs.len(),
+                    m.render_text()
+                );
+            }
+        });
     }
     if duration > 0 {
         println!("serving for {duration}s.");

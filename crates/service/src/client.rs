@@ -14,6 +14,7 @@ use crate::wire::{
 use prcc_checker::trace::TraceEvent;
 use prcc_checker::TraceCheckpoint;
 use prcc_graph::{PartitionId, PartitionMap, RegisterId};
+use prcc_telemetry::MetricsSnapshot;
 use prcc_workloads::ops::key_affinity;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
@@ -112,6 +113,17 @@ impl ServiceClient {
         match self.round_trip(&ClientRequest::Trace)? {
             ClientResponse::Trace(logs) => Ok(logs),
             _ => Err(protocol_error("unexpected response to trace")),
+        }
+    }
+
+    /// Fetches the node's live metrics snapshot: the `net_*` / `core_*` /
+    /// `wal_*` counters and gauges plus the update-lifecycle stage
+    /// histograms. The response frame is version-stamped, so a node
+    /// speaking a different wire protocol is refused at decode.
+    pub fn metrics(&mut self) -> io::Result<MetricsSnapshot> {
+        match self.round_trip(&ClientRequest::Metrics)? {
+            ClientResponse::Metrics(snapshot) => Ok(snapshot),
+            _ => Err(protocol_error("unexpected response to metrics")),
         }
     }
 

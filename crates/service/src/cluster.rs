@@ -7,6 +7,7 @@ use prcc_checker::trace::{TraceError, TraceEvent};
 use prcc_checker::{verify_partitions_checkpointed, TraceCheckpoint, Verdict};
 use prcc_clock::{Protocol, WireClock};
 use prcc_graph::{PartitionId, PartitionMap};
+use prcc_telemetry::MetricsSnapshot;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
@@ -157,6 +158,27 @@ impl LoopbackCluster {
     /// routing layer; the partitioned test suite asserts exactly that.
     pub fn misrouted_drops(&self) -> io::Result<u64> {
         Ok(self.statuses()?.iter().map(|s| s.dropped_misrouted).sum())
+    }
+
+    /// Scrapes every node's live metrics snapshot (wire-v6 `Metrics`
+    /// request), unmerged.
+    pub fn metrics_per_node(&self) -> io::Result<Vec<MetricsSnapshot>> {
+        self.nodes
+            .iter()
+            .map(|node| ServiceClient::connect(node.client_addr)?.metrics())
+            .collect()
+    }
+
+    /// Scrapes and merges the whole cluster's metrics into one snapshot:
+    /// counters and gauges sum, histograms merge bucket-wise — so the
+    /// cluster-wide percentiles are computed over the union of samples,
+    /// not averaged across nodes.
+    pub fn metrics(&self) -> io::Result<MetricsSnapshot> {
+        let mut merged = MetricsSnapshot::default();
+        for snap in self.metrics_per_node()? {
+            merged.merge(&snap);
+        }
+        Ok(merged)
     }
 
     /// Fault injection: kills node `i` without a graceful shutdown — no

@@ -5,14 +5,16 @@
 //! the algorithm in one process; this crate takes the same generic
 //! [`prcc_clock::Protocol`] replicas across real sockets:
 //!
-//! * [`wire`] — the length-prefixed binary wire protocol (version 4): a
+//! * [`wire`] — the length-prefixed binary wire protocol (version 6): a
 //!   versioned peer handshake carrying the serialized
 //!   [`prcc_graph::PartitionMap`] and answered with the link's
 //!   acknowledged resume offset, multi-partition flush frames (one frame
 //!   per flush, a `(partition, [(link seq, update)])` section per
 //!   partition present) built on [`prcc_clock::WireClock`] /
-//!   `Update::encode_wire`, streamed acknowledgement frames, and the
-//!   partition-addressed client read/write API.
+//!   `Update::encode_wire` and carrying per-update origin issue stamps,
+//!   streamed acknowledgement frames, the partition-addressed client
+//!   read/write API, and a version-stamped `Metrics` request returning
+//!   the node's live [`prcc_telemetry::MetricsSnapshot`].
 //! * [`node`] — a partition-routing TCP node: a core event-loop thread
 //!   owning one [`prcc_core::Replica`] per hosted partition, per-peer
 //!   sender threads that batch updates and pack each flush into a single
@@ -29,7 +31,10 @@
 //!   trace collection, post-hoc per-partition [`prcc_checker`] oracle
 //!   verification, and crash/restart fault injection
 //!   (`crash_node`/`restart_node`).
-//! * [`report`] — the `prcc-load` benchmark report (`BENCH_service.json`).
+//! * [`report`] — the `prcc-load` benchmark report (`BENCH_service.json`),
+//!   including the server-side update-lifecycle stage histograms
+//!   (visibility latency, pending stall, WAL append, first send) absorbed
+//!   from the cluster's merged metrics snapshot.
 //! * [`config`] — topology selection shared by the `prcc-serve` /
 //!   `prcc-load` binaries.
 //!
@@ -53,3 +58,5 @@ pub use cluster::LoopbackCluster;
 pub use node::{spawn_node, NodeHandle, NodeSeed, ServiceConfig};
 pub use report::{BenchReport, LatencySummary, PartitionBench};
 pub use wire::{NodeStatus, PartitionCounters, WIRE_VERSION};
+
+pub use prcc_telemetry::MetricsSnapshot;

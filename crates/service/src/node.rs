@@ -48,6 +48,23 @@
 //! node-global across partitions and recovered on restart), which drive
 //! duplicate suppression in [`Replica::receive`] and the post-hoc
 //! per-partition oracle replay over collected traces.
+//!
+//! # Telemetry (wire v6 + `prcc-telemetry`)
+//!
+//! Every node owns a [`Registry`]: the socket-level counters live there as
+//! `net_*` handles shared by the I/O threads, the core mirrors its logical
+//! state into `core_*`/`wal_*`/`trace_*` gauges when asked, and the
+//! update-lifecycle stage histograms (`wal_append_us`, `send_us`,
+//! `wire_us`, `pending_stall_us`, `visibility_us`, `ack_us`, `seal_us`,
+//! `wal_fsync_us`) record wall-clock stage latencies for 1-in-N sampled
+//! updates. Sampling is decided once, at the origin: a sampled write
+//! carries its issue stamp in `issued_at` over the live v6 wire, and every
+//! downstream stage keys off that stamp being non-zero — so the unsampled
+//! hot path pays no clock reads, and WAL replay (whose durable codecs
+//! deliberately drop the stamps, keeping recovery byte-deterministic)
+//! records nothing through the very same code paths. The core also keeps a
+//! [`FlightRecorder`] ring of recent structured events, dumped to
+//! `<node_dir>/flight.log` when the node fail-stops or is crash-injected.
 
 use crate::wire::{
     decode_hello_ack, decode_peer_ack, decode_peer_batches, decode_peer_hello, decode_request,
@@ -64,6 +81,9 @@ use prcc_net::VirtualTime;
 use prcc_storage::{
     decode_record, decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, NodeSnapshot,
     PartitionSnapshot, PeerSnapshot, Wal, WalRecord,
+};
+use prcc_telemetry::{
+    wall_us, Counter, FlightRecorder, MetricsSnapshot, Registry, Sampler, SharedHistogram,
 };
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -126,6 +146,15 @@ pub struct ServiceConfig {
     /// (today: operator-driven, from a surviving holder's data) — a
     /// bounded node cannot replay unbounded absence.
     pub window_cap: usize,
+    /// Update-lifecycle tracing period: 1 in `sample_every` issued updates
+    /// carries a wall-clock issue stamp across the wire, feeding the
+    /// per-stage latency histograms at every node it touches. 0 disables
+    /// tracing entirely, 1 stamps every update. The unsampled hot path
+    /// pays no clock reads.
+    pub sample_every: u64,
+    /// Flight-recorder capacity: how many recent core events the in-memory
+    /// ring retains for the crash dump. 0 disables the recorder.
+    pub flight_events: usize,
 }
 
 impl Default for ServiceConfig {
@@ -141,6 +170,8 @@ impl Default for ServiceConfig {
             fsync_every: 0,
             trace_compact_at: 1024,
             window_cap: 1 << 16,
+            sample_every: 16,
+            flight_events: 1024,
         }
     }
 }
@@ -250,22 +281,46 @@ enum CoreMsg<C> {
     },
     Status(mpsc::Sender<NodeStatus>),
     Trace(mpsc::Sender<Vec<(TraceCheckpoint, Vec<TraceEvent>)>>),
+    /// A live metrics scrape: mirror core state into the registry's gauges
+    /// and reply with the frozen snapshot.
+    Metrics(mpsc::Sender<MetricsSnapshot>),
     /// Fault injection: stop immediately, no final snapshot.
     Crash,
     Shutdown,
 }
 
-struct SocketCounters {
-    bytes_out: AtomicU64,
-    bytes_in: AtomicU64,
+/// Registry-backed handles for the socket-level metrics, shared by every
+/// I/O thread (senders, readers, client handlers). Replaces the old
+/// ad-hoc atomic-counter struct: the same values now travel in the v6
+/// `Metrics` snapshot under their `net_*` names, and `send_us` times the
+/// issue→first-socket-write stage for sampled updates.
+struct NetMetrics {
+    bytes_out: Counter,
+    bytes_in: Counter,
     /// Per-partition update runs shipped (sections across all frames).
-    batches_sent: AtomicU64,
+    batches_sent: Counter,
     /// Peer update frames written.
-    frames_sent: AtomicU64,
+    frames_sent: Counter,
     /// Sender flush cycles.
-    flushes: AtomicU64,
+    flushes: Counter,
     /// Update copies resent from the window after a reconnect.
-    resent: AtomicU64,
+    resent: Counter,
+    /// Issue → first socket write, sampled updates only.
+    send_us: Arc<SharedHistogram>,
+}
+
+impl NetMetrics {
+    fn new(registry: &Registry) -> Self {
+        NetMetrics {
+            bytes_out: registry.counter("net_bytes_out"),
+            bytes_in: registry.counter("net_bytes_in"),
+            batches_sent: registry.counter("net_batches_sent"),
+            frames_sent: registry.counter("net_frames_sent"),
+            flushes: registry.counter("net_flushes"),
+            resent: registry.counter("net_resent"),
+            send_us: registry.histogram("send_us"),
+        }
+    }
 }
 
 /// Per-peer outgoing channel feeding the sender thread.
@@ -343,6 +398,62 @@ impl<C> PeerLink<C> {
     }
 }
 
+/// The core thread's telemetry: the metric registry, pre-fetched handles
+/// for the lifecycle-stage histograms, the sampling decision, the flight
+/// recorder, and the live stamp side-tables.
+///
+/// Deliberately NOT part of the snapshot/WAL state: every value here is
+/// wall-clock-derived, and the recovery suite proves durable bytes are
+/// identical across same-seed runs. Stamps therefore ride only the live
+/// v6 wire (`issued_at`), never the durable codecs — a recovered core
+/// starts with an empty side-table and records nothing during replay,
+/// through the same code paths the live loop uses.
+struct CoreTelemetry {
+    registry: Arc<Registry>,
+    sampler: Sampler,
+    flight: FlightRecorder,
+    /// Write stamp → WAL append completed (origin only).
+    wal_append_us: Arc<SharedHistogram>,
+    /// Issue at origin → frame decoded at a recipient.
+    wire_us: Arc<SharedHistogram>,
+    /// Issue at origin → applied at a recipient: the end-to-end update
+    /// visibility latency the paper's protocol trades against metadata.
+    visibility_us: Arc<SharedHistogram>,
+    /// Received → applied at a recipient: time buffered behind the
+    /// deliverability predicate — the false-dependency cost made visible.
+    pending_stall_us: Arc<SharedHistogram>,
+    /// Issue at origin → the recipient's acknowledgement pruned the copy
+    /// from the resend window.
+    ack_us: Arc<SharedHistogram>,
+    /// Issue at origin → the issue's trace event sealed into the
+    /// checkpoint (every remote recipient acknowledged it).
+    seal_us: Arc<SharedHistogram>,
+    /// Sampled received-but-unapplied copies: wire id → receive stamp.
+    /// Bounded by the pending buffers (entries leave at apply).
+    stall_stamps: HashMap<u64, u64>,
+    /// This node's own sampled issues: wire id → issue stamp, consumed
+    /// when the issue seals. Bounded by the unsealed trace tail.
+    seal_stamps: HashMap<u64, u64>,
+}
+
+impl CoreTelemetry {
+    fn new(registry: Arc<Registry>, cfg: &ServiceConfig) -> Self {
+        CoreTelemetry {
+            sampler: Sampler::new(cfg.sample_every),
+            flight: FlightRecorder::new(cfg.flight_events),
+            wal_append_us: registry.histogram("wal_append_us"),
+            wire_us: registry.histogram("wire_us"),
+            visibility_us: registry.histogram("visibility_us"),
+            pending_stall_us: registry.histogram("pending_stall_us"),
+            ack_us: registry.histogram("ack_us"),
+            seal_us: registry.histogram("seal_us"),
+            stall_stamps: HashMap::new(),
+            seal_stamps: HashMap::new(),
+            registry,
+        }
+    }
+}
+
 /// The core's full logical state: everything the WAL + snapshot must be
 /// able to rebuild. Kept separate from the I/O threads so the live event
 /// loop and boot-time replay run the exact same transition functions.
@@ -364,10 +475,19 @@ struct Core<P: Protocol> {
     max_window: u64,
     /// Entries evicted by the cap.
     window_evicted: u64,
+    /// Stage histograms, sampling, and the flight recorder (live-only
+    /// state — excluded from snapshots and rebuilt empty on recovery).
+    tel: CoreTelemetry,
 }
 
 impl<P: Protocol> Core<P> {
-    fn new(protocol: &P, map: &PartitionMap, node: usize, window_cap: usize) -> Self {
+    fn new(
+        protocol: &P,
+        map: &PartitionMap,
+        node: usize,
+        window_cap: usize,
+        tel: CoreTelemetry,
+    ) -> Self {
         let roles = map.graph().num_replicas();
         let registers = map.graph().num_registers();
         let partitions = map
@@ -396,6 +516,7 @@ impl<P: Protocol> Core<P> {
             window_cap: window_cap.max(1),
             max_window: 0,
             window_evicted: 0,
+            tel,
         }
     }
 
@@ -420,10 +541,15 @@ impl<P: Protocol> Core<P> {
     /// path to enqueue to sender threads (replay discards them — senders
     /// pull the windows on their first handshake instead).
     ///
+    /// `stamp_us` is the wall-clock issue stamp of a *sampled* live write
+    /// (0 = unsampled, and always 0 on replay). It rides `issued_at` over
+    /// the live wire only: the durable codecs drop it, so it never
+    /// perturbs the deterministic replica/trace/window state below.
+    ///
     /// Shared by the live write path and WAL replay; determinism of this
     /// function (and `apply_sections`) is what makes snapshot + log replay
     /// reproduce the pre-crash state exactly.
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn apply_write(
         &mut self,
         protocol: &P,
@@ -432,6 +558,7 @@ impl<P: Protocol> Core<P> {
         register: RegisterId,
         value: u64,
         wire_id: u64,
+        stamp_us: u64,
     ) -> Option<Vec<(usize, u64, PartitionId, Update<P::Clock>)>> {
         self.seq = self.seq.max(wire_id & WIRE_SEQ_MASK);
         let node = self.node;
@@ -453,9 +580,12 @@ impl<P: Protocol> Core<P> {
             register,
             value,
             clock,
-            issued_at: VirtualTime::ZERO,
+            issued_at: VirtualTime(stamp_us),
             received_at: VirtualTime::ZERO,
         };
+        if stamp_us != 0 {
+            self.tel.seal_stamps.insert(wire_id, stamp_us);
+        }
         let role = slot.role;
         let mut sends = Vec::new();
         let mut pairs = Vec::new();
@@ -527,15 +657,44 @@ impl<P: Protocol> Core<P> {
                 );
                 continue;
             };
+            // Stage stamps: at most one clock read for the receive sweep
+            // and one for the apply sweep, taken lazily only when the
+            // frame actually carries sampled updates (replayed frames
+            // never do — the durable codec dropped their stamps).
+            let mut recv_now = 0u64;
             for (seq, update) in updates {
                 self.received += 1;
                 if seq > 0 && !self.links[peer].recv.observe(seq) {
                     self.duplicates_dropped += 1;
                     continue;
                 }
+                let stamp = update.issued_at.0;
+                if stamp != 0 {
+                    if recv_now == 0 {
+                        recv_now = wall_us();
+                    }
+                    self.tel.wire_us.record(recv_now.saturating_sub(stamp));
+                    self.tel.stall_stamps.insert(update.id.0, recv_now);
+                }
+                // The replica's own `received_at` stays at virtual zero:
+                // pending-buffer state is snapshotted, and real time in it
+                // would break byte-identical recovery. Stall accounting
+                // lives in the side-table above instead.
                 slot.replica.receive(update, VirtualTime::ZERO);
             }
+            let mut apply_now = 0u64;
             for done in slot.replica.drain(protocol) {
+                if let Some(recv_us) = self.tel.stall_stamps.remove(&done.id.0) {
+                    if apply_now == 0 {
+                        apply_now = wall_us();
+                    }
+                    self.tel
+                        .pending_stall_us
+                        .record(apply_now.saturating_sub(recv_us));
+                    self.tel
+                        .visibility_us
+                        .record(apply_now.saturating_sub(done.issued_at.0));
+                }
                 if protocol.stores_value(slot.role, done.register) {
                     slot.log.push(TraceEvent::Apply {
                         replica: slot.role,
@@ -547,12 +706,23 @@ impl<P: Protocol> Core<P> {
     }
 
     /// Prunes a link's window: the peer has acknowledged everything up to
-    /// and including `acked`.
+    /// and including `acked`. Sampled copies leaving the window record the
+    /// acknowledgement-stage latency (issue → this prune); entries
+    /// restored from a snapshot lost their stamps in the durable codec and
+    /// record nothing.
     fn prune(&mut self, peer: usize, acked: u64) {
         if let Some(link) = self.links.get_mut(peer) {
             link.acked_high = link.acked_high.max(acked);
+            let mut now = 0u64;
             while link.window.front().is_some_and(|(seq, _, _)| *seq <= acked) {
-                link.window.pop_front();
+                let (_, _, update) = link.window.pop_front().expect("front checked");
+                let stamp = update.issued_at.0;
+                if stamp != 0 {
+                    if now == 0 {
+                        now = wall_us();
+                    }
+                    self.tel.ack_us.record(now.saturating_sub(stamp));
+                }
             }
         }
     }
@@ -622,6 +792,20 @@ impl<P: Protocol> Core<P> {
                 continue;
             };
             let events = (events as usize).min(slot.log.len());
+            // Seal-stage latency for sampled own issues leaving the live
+            // log. Replay reaches here with an empty side-table, so
+            // recorded seals replay silently.
+            let mut now = 0u64;
+            for event in &slot.log[..events] {
+                if let TraceEvent::Issue { update, .. } = event {
+                    if let Some(stamp) = self.tel.seal_stamps.remove(update) {
+                        if now == 0 {
+                            now = wall_us();
+                        }
+                        self.tel.seal_us.record(now.saturating_sub(stamp));
+                    }
+                }
+            }
             slot.checkpoint.absorb(&slot.log[..events], |w| {
                 map.role_on(partition, (w >> 40) as usize)
             });
@@ -711,6 +895,54 @@ impl<P: Protocol> Core<P> {
         }
     }
 
+    /// Mirrors the core's logical state (and the durability sidecar's
+    /// counters) into the registry's gauges, so a metrics snapshot taken
+    /// right after reflects this instant. Cold path: runs only per scrape.
+    fn mirror_gauges(&self, durable: &Option<Durable>) {
+        let r = &self.tel.registry;
+        r.gauge("core_issued").set(self.issued);
+        r.gauge("core_applies").set(
+            self.partitions
+                .iter()
+                .flatten()
+                .map(|s| s.replica.applies())
+                .sum(),
+        );
+        r.gauge("core_pending").set(
+            self.partitions
+                .iter()
+                .flatten()
+                .map(|s| s.replica.pending_len() as u64)
+                .sum(),
+        );
+        r.gauge("core_duplicates_dropped")
+            .set(self.duplicates_dropped);
+        r.gauge("core_dropped_misrouted")
+            .set(self.dropped_misrouted);
+        r.gauge("core_max_window").set(self.max_window);
+        r.gauge("core_window_evicted").set(self.window_evicted);
+        r.gauge("trace_events_live").set(
+            self.partitions
+                .iter()
+                .flatten()
+                .map(|s| s.log.len() as u64)
+                .sum(),
+        );
+        r.gauge("trace_events_sealed").set(
+            self.partitions
+                .iter()
+                .flatten()
+                .map(|s| s.checkpoint.events)
+                .sum(),
+        );
+        if let Some(d) = durable {
+            r.gauge("wal_appends").set(d.wal_appends);
+            r.gauge("wal_bytes").set(d.wal.bytes());
+            r.gauge("snapshots_written").set(d.snapshots_written);
+            r.gauge("snapshot_bytes").set(d.snapshot_bytes);
+        }
+    }
+
     fn traces(&self) -> Vec<(TraceCheckpoint, Vec<TraceEvent>)> {
         self.partitions
             .iter()
@@ -770,6 +1002,7 @@ impl<P: Protocol> Core<P> {
         node: usize,
         window_cap: usize,
         snap: NodeSnapshot<P::Clock>,
+        tel: CoreTelemetry,
     ) -> io::Result<Self> {
         let bad =
             |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {what}"));
@@ -826,6 +1059,7 @@ impl<P: Protocol> Core<P> {
             window_cap: window_cap.max(1),
             max_window: 0,
             window_evicted: 0,
+            tel,
         };
         core.rebuild_unacked();
         Ok(core)
@@ -962,8 +1196,16 @@ where
             );
             return false;
         }
+        core.tel
+            .flight
+            .record("wal_append", &[("index", d.next_index - 1)]);
     }
+    let sealed: u64 = seals.iter().map(|&(_, n)| n).sum();
     core.apply_seal(map, &seals);
+    core.tel.flight.record(
+        "seal",
+        &[("partitions", seals.len() as u64), ("events", sealed)],
+    );
     true
 }
 
@@ -971,7 +1213,7 @@ where
 /// WAL. The caller runs [`compact_traces`] first — its WAL-append failure
 /// is fail-stop, while a failure *here* (snapshot write, log reset) is
 /// recoverable: the WAL still holds everything.
-fn snapshot_state<P>(core: &Core<P>, d: &mut Durable) -> io::Result<()>
+fn snapshot_state<P>(core: &Core<P>, d: &mut Durable) -> io::Result<u64>
 where
     P: Protocol,
     P::Clock: WireClock,
@@ -986,7 +1228,9 @@ where
     if d.first_snapshot_bytes == 0 {
         d.first_snapshot_bytes = payload.len() as u64;
     }
-    Ok(())
+    // Payload size for the caller's flight-recorder event (this function
+    // only borrows the core immutably).
+    Ok(payload.len() as u64)
 }
 
 /// Snapshots when due (every `snapshot_every` records): compacts trace
@@ -1014,8 +1258,14 @@ where
         return false;
     }
     let d = durable.as_mut().expect("due implies a data dir");
-    if let Err(e) = snapshot_state(core, d) {
-        eprintln!("prcc-service[{}]: snapshot failed: {e}", core.node);
+    match snapshot_state(core, d) {
+        Ok(bytes) => {
+            let wal_high = d.next_index - 1;
+            core.tel
+                .flight
+                .record("snapshot", &[("bytes", bytes), ("wal_high", wal_high)]);
+        }
+        Err(e) => eprintln!("prcc-service[{}]: snapshot failed: {e}", core.node),
     }
     true
 }
@@ -1037,6 +1287,7 @@ fn recover<P>(
     node: usize,
     dir: &std::path::Path,
     cfg: &ServiceConfig,
+    tel: CoreTelemetry,
 ) -> io::Result<(Core<P>, Durable)>
 where
     P: Protocol,
@@ -1054,11 +1305,11 @@ where
             })?;
             let high = snap.wal_high;
             (
-                Core::from_snapshot(protocol, map, node, cfg.window_cap, snap)?,
+                Core::from_snapshot(protocol, map, node, cfg.window_cap, snap, tel)?,
                 high,
             )
         }
-        None => (Core::new(protocol, map, node, cfg.window_cap), 0),
+        None => (Core::new(protocol, map, node, cfg.window_cap, tel), 0),
     };
     let (mut wal, recovery) = Wal::open(&wal_path)?;
     wal.set_fsync_every(cfg.fsync_every);
@@ -1102,7 +1353,7 @@ where
                         "WAL record {index}: issue for unhosted {partition}/{register}"
                     )));
                 }
-                core.apply_write(protocol, map, partition, register, value, wire_id)
+                core.apply_write(protocol, map, partition, register, value, wire_id, 0)
                     .ok_or_else(|| {
                         corrupt(format!("WAL record {index}: issue failed to replay"))
                     })?;
@@ -1179,23 +1430,21 @@ where
     let client_addr = client_listener.local_addr()?;
     let n = map.num_nodes();
     let stop = Arc::new(AtomicBool::new(false));
-    let counters = Arc::new(SocketCounters {
-        bytes_out: AtomicU64::new(0),
-        bytes_in: AtomicU64::new(0),
-        batches_sent: AtomicU64::new(0),
-        frames_sent: AtomicU64::new(0),
-        flushes: AtomicU64::new(0),
-        resent: AtomicU64::new(0),
-    });
+    let registry = Arc::new(Registry::new());
+    let counters = Arc::new(NetMetrics::new(&registry));
+    let tel = CoreTelemetry::new(Arc::clone(&registry), &cfg);
 
     // Recover durable state before any thread starts: senders must see the
     // rebuilt windows on their first handshake.
     let (core, durable) = match &cfg.data_dir {
         Some(dir) => {
-            let (core, durable) = recover(&*protocol, &map, node, dir, &cfg)?;
+            let (core, mut durable) = recover(&*protocol, &map, node, dir, &cfg, tel)?;
+            durable
+                .wal
+                .set_fsync_hist(registry.histogram("wal_fsync_us"));
             (core, Some(durable))
         }
-        None => (Core::new(&*protocol, &map, node, cfg.window_cap), None),
+        None => (Core::new(&*protocol, &map, node, cfg.window_cap, tel), None),
     };
 
     let (core_tx, core_rx) = mpsc::channel::<CoreMsg<P::Clock>>();
@@ -1379,6 +1628,9 @@ fn core_loop<P>(
     P: Protocol,
     P::Clock: WireClock,
 {
+    // Whether to dump the flight recorder on exit: set by every fail-stop
+    // and crash-injection path, left unset by graceful shutdown.
+    let mut dump = false;
     while let Ok(msg) = core_rx.recv() {
         match msg {
             CoreMsg::Write {
@@ -1392,6 +1644,9 @@ fn core_loop<P>(
                     continue;
                 }
                 let wire_id = core.next_wire_id();
+                // Origin sampling decision: a non-zero stamp makes this
+                // write a traced one, at every stage and node it touches.
+                let stamp_us = if core.tel.sampler.hit() { wall_us() } else { 0 };
                 if let Some(d) = durable.as_mut() {
                     let record = WalRecord::<P::Clock>::Issue {
                         partition,
@@ -1410,13 +1665,42 @@ fn core_loop<P>(
                              recovers the log): {e}"
                         );
                         let _ = reply.send(false);
+                        core.tel
+                            .flight
+                            .record("fail_stop_wal_append", &[("wire_id", wire_id)]);
+                        dump = true;
                         kill();
                         break;
                     }
+                    core.tel.flight.record(
+                        "wal_append",
+                        &[("index", d.next_index - 1), ("wire_id", wire_id)],
+                    );
+                    if stamp_us != 0 {
+                        core.tel
+                            .wal_append_us
+                            .record(wall_us().saturating_sub(stamp_us));
+                    }
                 }
                 let sends = core
-                    .apply_write(&**protocol, map, partition, register, value, wire_id)
+                    .apply_write(
+                        &**protocol,
+                        map,
+                        partition,
+                        register,
+                        value,
+                        wire_id,
+                        stamp_us,
+                    )
                     .expect("write validated before append");
+                core.tel.flight.record(
+                    "write",
+                    &[
+                        ("wire_id", wire_id),
+                        ("partition", u64::from(partition.0)),
+                        ("register", u64::from(register.0)),
+                    ],
+                );
                 for (peer, seq, p, update) in sends {
                     if let Some(tx) = &peer_txs[peer] {
                         let _ = tx.send(SenderCmd::Update(seq, p, update));
@@ -1426,10 +1710,14 @@ fn core_loop<P>(
                 if trace_compact_at > 0
                     && !compact_traces(&mut core, &mut durable, map, trace_compact_at)
                 {
+                    core.tel.flight.record("fail_stop_checkpoint", &[]);
+                    dump = true;
                     kill();
                     break;
                 }
                 if !maybe_snapshot(&mut core, &mut durable, map) {
+                    core.tel.flight.record("fail_stop_checkpoint", &[]);
+                    dump = true;
                     kill();
                     break;
                 }
@@ -1458,7 +1746,12 @@ fn core_loop<P>(
                 if peer >= core.links.len() {
                     continue;
                 }
+                let n_updates: u64 = sections.iter().map(|(_, us)| us.len() as u64).sum();
                 if let Some(d) = durable.as_mut() {
+                    // Frame-level sampling for the receipt append: the
+                    // issue-keyed stamps measure origin-side appends, this
+                    // measures the recipient's.
+                    let t0 = if core.tel.sampler.hit() { wall_us() } else { 0 };
                     // Append-before-apply: the frame becomes durable, then
                     // visible. Append failure is fail-stop (see the Write
                     // arm): the frame is dropped *unacknowledged* and the
@@ -1472,10 +1765,24 @@ fn core_loop<P>(
                             "prcc-service[{node}]: WAL append failed, stopping (frame \
                              unacked, the peer resends after restart): {e}"
                         );
+                        core.tel
+                            .flight
+                            .record("fail_stop_wal_append", &[("peer", peer as u64)]);
+                        dump = true;
                         kill();
                         break;
                     }
+                    core.tel
+                        .flight
+                        .record("wal_append", &[("index", d.next_index - 1)]);
+                    if t0 != 0 {
+                        core.tel.wal_append_us.record(wall_us().saturating_sub(t0));
+                    }
                 }
+                core.tel.flight.record(
+                    "recv_frame",
+                    &[("peer", peer as u64), ("updates", n_updates)],
+                );
                 core.apply_sections(&**protocol, peer, sections);
                 let link = &mut core.links[peer];
                 link.frames_since_ack += 1;
@@ -1490,6 +1797,8 @@ fn core_loop<P>(
                     // an ack covering records still in the page cache
                     // would turn a power cut into permanent update loss.
                     if !sync_before_ack(&mut durable, node) {
+                        core.tel.flight.record("fail_stop_sync", &[]);
+                        dump = true;
                         kill();
                         break;
                     }
@@ -1498,10 +1807,14 @@ fn core_loop<P>(
                 if trace_compact_at > 0
                     && !compact_traces(&mut core, &mut durable, map, trace_compact_at)
                 {
+                    core.tel.flight.record("fail_stop_checkpoint", &[]);
+                    dump = true;
                     kill();
                     break;
                 }
                 if !maybe_snapshot(&mut core, &mut durable, map) {
+                    core.tel.flight.record("fail_stop_checkpoint", &[]);
+                    dump = true;
                     kill();
                     break;
                 }
@@ -1512,13 +1825,27 @@ fn core_loop<P>(
                 // prunes and resumes past it) — same sync-before-promise
                 // rule as the streamed acks.
                 if !sync_before_ack(&mut durable, node) {
+                    core.tel.flight.record("fail_stop_sync", &[]);
+                    dump = true;
                     kill();
                     break;
                 }
+                core.tel
+                    .flight
+                    .record("peer_join", &[("peer", peer as u64), ("acked", acked)]);
                 let _ = reply.send(acked);
             }
             CoreMsg::PeerResume { peer, acked, reply } => {
-                let _ = reply.send(core.resume(peer, acked));
+                let window = core.resume(peer, acked);
+                core.tel.flight.record(
+                    "peer_resume",
+                    &[
+                        ("peer", peer as u64),
+                        ("acked", acked),
+                        ("window", window.len() as u64),
+                    ],
+                );
+                let _ = reply.send(window);
             }
             CoreMsg::PeerAcked { peer, seq } => {
                 core.prune(peer, seq);
@@ -1537,7 +1864,18 @@ fn core_loop<P>(
             CoreMsg::Trace(reply) => {
                 let _ = reply.send(core.traces());
             }
-            CoreMsg::Crash => break,
+            CoreMsg::Metrics(reply) => {
+                // Gauges mirror authoritative core state at scrape time;
+                // counters and histograms are already live in the
+                // registry the I/O threads share.
+                core.mirror_gauges(&durable);
+                let _ = reply.send(core.tel.registry.snapshot());
+            }
+            CoreMsg::Crash => {
+                core.tel.flight.record("crash", &[]);
+                dump = true;
+                break;
+            }
             CoreMsg::Shutdown => {
                 // A final snapshot makes restart-after-shutdown instant and
                 // keeps the WAL short; failure is non-fatal (the WAL alone
@@ -1553,6 +1891,17 @@ fn core_loop<P>(
             }
         }
     }
+    // The flight dump is the crash's black box: written only on fail-stop
+    // or injected crash, next to the node's WAL, so a post-mortem can line
+    // the last recorded events up against the recovered log.
+    if dump {
+        if let Some(dir) = durable.as_ref().and_then(|d| d.snapshot_path.parent()) {
+            let path = dir.join("flight.log");
+            if let Err(e) = core.tel.flight.dump_to(&path) {
+                eprintln!("prcc-service[{node}]: flight dump failed: {e}");
+            }
+        }
+    }
 }
 
 /// Dials `addr` with retry and exponential backoff (peers come up — and
@@ -1565,7 +1914,7 @@ fn dial_peer(
     addr: SocketAddr,
     hello: &PeerHello,
     cfg: &ServiceConfig,
-    counters: &SocketCounters,
+    counters: &NetMetrics,
     stop: &AtomicBool,
 ) -> Option<(TcpStream, u64)> {
     let deadline = Instant::now() + cfg.connect_timeout;
@@ -1580,11 +1929,9 @@ fn dial_peer(
             // acceptor spawns a fresh reader that expects it and answers
             // with the link's acknowledged resume offset.
             if let Ok(n) = write_frame(&mut stream, &encode_peer_hello(hello)) {
-                counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                counters.bytes_out.add(n as u64);
                 if let Ok(Some(payload)) = read_frame(&mut stream) {
-                    counters
-                        .bytes_in
-                        .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
+                    counters.bytes_in.add(payload.len() as u64 + 4);
                     if let Ok(acked) = decode_hello_ack(&payload) {
                         return Some((stream, acked));
                     }
@@ -1627,21 +1974,19 @@ fn send_flush<C: WireClock>(
     stream: &mut TcpStream,
     sections: &FlushSections<C>,
     pad: usize,
-    counters: &SocketCounters,
+    counters: &NetMetrics,
 ) -> io::Result<()> {
     // `flushes` counts drain cycles at the moment a flush exists —
     // deliberately NOT at the same site as `frames_sent`, which counts
     // successful frame writes. Keeping the two sites apart is what makes
     // `frames_per_flush` a binding regression signal for the prcc-load
     // `--max-frames-per-flush` gate.
-    counters.flushes.fetch_add(1, Ordering::Relaxed);
+    counters.flushes.add(1);
     let payload = encode_multi_batch(sections, pad);
     let n = write_frame(stream, &payload)?;
-    counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
-    counters
-        .batches_sent
-        .fetch_add(sections.len() as u64, Ordering::Relaxed);
-    counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+    counters.bytes_out.add(n as u64);
+    counters.batches_sent.add(sections.len() as u64);
+    counters.frames_sent.add(1);
     Ok(())
 }
 
@@ -1653,7 +1998,7 @@ fn peer_sender<C: WireClock>(
     rx: &mpsc::Receiver<SenderCmd<C>>,
     relink_tx: &PeerTx<C>,
     cfg: &ServiceConfig,
-    counters: &Arc<SocketCounters>,
+    counters: &Arc<NetMetrics>,
     core_tx: &mpsc::Sender<CoreMsg<C>>,
     stop: &Arc<AtomicBool>,
 ) {
@@ -1738,7 +2083,7 @@ fn peer_sender<C: WireClock>(
                 continue 'link;
             }
         }
-        counters.resent.fetch_add(resent, Ordering::Relaxed);
+        counters.resent.add(resent);
 
         // Batching loop: block for the first update, then coalesce until
         // the batch fills or the flush interval elapses, then emit the
@@ -1802,6 +2147,22 @@ fn peer_sender<C: WireClock>(
                 );
                 continue 'link;
             }
+            // Send-stage latency (issue → first socket write) for sampled
+            // updates: one clock read per flush, taken lazily, and only on
+            // this first-transmission path — window resends above would
+            // double-count the same stamps.
+            let mut now = 0u64;
+            for (_, updates) in &sections {
+                for (_, update) in updates {
+                    let stamp = update.issued_at.0;
+                    if stamp != 0 {
+                        if now == 0 {
+                            now = wall_us();
+                        }
+                        counters.send_us.record(now.saturating_sub(stamp));
+                    }
+                }
+            }
         }
     }
 }
@@ -1817,12 +2178,10 @@ fn peer_ack_reader<C>(
     generation: u64,
     core_tx: &mpsc::Sender<CoreMsg<C>>,
     relink_tx: &PeerTx<C>,
-    counters: &SocketCounters,
+    counters: &NetMetrics,
 ) {
     while let Ok(Some(payload)) = read_frame(&mut stream) {
-        counters
-            .bytes_in
-            .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
+        counters.bytes_in.add(payload.len() as u64 + 4);
         let Ok(seq) = decode_peer_ack(&payload) else {
             break;
         };
@@ -1840,7 +2199,7 @@ fn peer_reader<P>(
     map: &PartitionMap,
     node: usize,
     core_tx: &mpsc::Sender<CoreMsg<P::Clock>>,
-    counters: &Arc<SocketCounters>,
+    counters: &Arc<NetMetrics>,
     connections: &PeerConnections,
     stop: &Arc<AtomicBool>,
 ) -> io::Result<()>
@@ -1852,9 +2211,7 @@ where
     let Some(hello_frame) = read_frame(&mut stream)? else {
         return Ok(());
     };
-    counters
-        .bytes_in
-        .fetch_add(hello_frame.len() as u64 + 4, Ordering::Relaxed);
+    counters.bytes_in.add(hello_frame.len() as u64 + 4);
     let hello = decode_peer_hello(&hello_frame)?;
     if &hello.map != map {
         return Err(io::Error::new(
@@ -1887,7 +2244,7 @@ where
         acked
     };
     let n = write_frame(&mut stream, &encode_hello_ack(acked))?;
-    counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+    counters.bytes_out.add(n as u64);
 
     // Register this connection as the peer's live one; shut any previous
     // connection down so the reader blocked on it wakes up and exits (a
@@ -1932,7 +2289,7 @@ where
                 }
                 match write_frame(&mut ack_stream, &encode_peer_ack(seq)) {
                     Ok(n) => {
-                        counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                        counters.bytes_out.add(n as u64);
                     }
                     Err(_) => break,
                 }
@@ -1981,7 +2338,7 @@ fn pump_peer_frames<P>(
     node: usize,
     hello: &PeerHello,
     core_tx: &mpsc::Sender<CoreMsg<P::Clock>>,
-    counters: &Arc<SocketCounters>,
+    counters: &Arc<NetMetrics>,
     ack_tx: mpsc::Sender<u64>,
 ) -> io::Result<()>
 where
@@ -1990,9 +2347,7 @@ where
 {
     let roles = map.graph().num_replicas();
     while let Some(payload) = read_frame(stream)? {
-        counters
-            .bytes_in
-            .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
+        counters.bytes_in.add(payload.len() as u64 + 4);
         // One frame, many `(partition, [(seq, update)])` sections: validate
         // each section, then hand the whole frame to the core as one
         // delivery (and one WAL receipt record).
@@ -2032,7 +2387,7 @@ fn client_handler<C: WireClock>(
     map: &PartitionMap,
     core_tx: &mpsc::Sender<CoreMsg<C>>,
     stop: &Arc<AtomicBool>,
-    counters: &SocketCounters,
+    counters: &NetMetrics,
     listeners: (SocketAddr, SocketAddr),
 ) -> io::Result<()> {
     let dead_core = || io::Error::new(io::ErrorKind::BrokenPipe, "node core is gone");
@@ -2078,12 +2433,12 @@ fn client_handler<C: WireClock>(
                     .send(CoreMsg::Status(reply))
                     .map_err(|_| dead_core())?;
                 let mut status = rx.recv().map_err(|_| dead_core())?;
-                status.bytes_out = counters.bytes_out.load(Ordering::Relaxed);
-                status.bytes_in = counters.bytes_in.load(Ordering::Relaxed);
-                status.batches_sent = counters.batches_sent.load(Ordering::Relaxed);
-                status.frames_sent = counters.frames_sent.load(Ordering::Relaxed);
-                status.flushes = counters.flushes.load(Ordering::Relaxed);
-                status.resent = counters.resent.load(Ordering::Relaxed);
+                status.bytes_out = counters.bytes_out.get();
+                status.bytes_in = counters.bytes_in.get();
+                status.batches_sent = counters.batches_sent.get();
+                status.frames_sent = counters.frames_sent.get();
+                status.flushes = counters.flushes.get();
+                status.resent = counters.resent.get();
                 ClientResponse::Status(status)
             }
             ClientRequest::Trace => {
@@ -2093,6 +2448,14 @@ fn client_handler<C: WireClock>(
                     .map_err(|_| dead_core())?;
                 let logs = rx.recv().map_err(|_| dead_core())?;
                 ClientResponse::Trace(logs)
+            }
+            ClientRequest::Metrics => {
+                let (reply, rx) = mpsc::channel();
+                core_tx
+                    .send(CoreMsg::Metrics(reply))
+                    .map_err(|_| dead_core())?;
+                let snapshot = rx.recv().map_err(|_| dead_core())?;
+                ClientResponse::Metrics(snapshot)
             }
             ClientRequest::Config => ClientResponse::Config {
                 version: WIRE_VERSION,

@@ -7,6 +7,7 @@
 //! drift from the simulator's.
 
 use crate::wire::NodeStatus;
+use prcc_telemetry::{HistSummary, MetricsSnapshot};
 use std::fmt::Write as _;
 
 pub use prcc_workloads::{LatencySummary, VerdictSummary};
@@ -104,6 +105,21 @@ pub struct BenchReport {
     /// the cluster *gave up* delivering some updates to a stranded peer —
     /// the load harness refuses to report such a run as clean.
     pub window_evicted: u64,
+    /// Update-lifecycle sampling period the run used (0 = tracing off; the
+    /// stage summaries below are then empty).
+    pub sample_every: u64,
+    /// Server-side issue→apply-at-recipient latency, merged across nodes
+    /// (bucket-wise histogram merge, so the percentiles are over the union
+    /// of samples — not averages of per-node percentiles).
+    pub visibility: HistSummary,
+    /// Server-side receive→apply stall: time sampled updates spent parked
+    /// behind the deliverability predicate — the paper's false-dependency
+    /// cost, measured.
+    pub pending_stall: HistSummary,
+    /// Origin-side WAL append latency for sampled writes.
+    pub wal_append: HistSummary,
+    /// Issue→first-socket-write latency for sampled updates.
+    pub send: HistSummary,
     /// The folded oracle outcome over all partitions.
     pub verdict: VerdictSummary,
     /// Per-partition load and verdict breakdown.
@@ -164,6 +180,16 @@ impl BenchReport {
         }
     }
 
+    /// Folds the cluster-merged metrics snapshot into the server-side
+    /// stage summaries. Missing histograms (tracing off, old node) leave
+    /// the summaries at their zero default.
+    pub fn absorb_metrics(&mut self, metrics: &MetricsSnapshot) {
+        self.visibility = metrics.hist_summary("visibility_us").unwrap_or_default();
+        self.pending_stall = metrics.hist_summary("pending_stall_us").unwrap_or_default();
+        self.wal_append = metrics.hist_summary("wal_append_us").unwrap_or_default();
+        self.send = metrics.hist_summary("send_us").unwrap_or_default();
+    }
+
     /// Renders the stable JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -192,7 +218,17 @@ impl BenchReport {
         let _ = writeln!(out, "  \"latency_mean_us\": {:.1},", self.latency.mean_us);
         let _ = writeln!(out, "  \"latency_p50_us\": {},", self.latency.p50_us);
         let _ = writeln!(out, "  \"latency_p99_us\": {},", self.latency.p99_us);
+        let _ = writeln!(out, "  \"latency_p999_us\": {},", self.latency.p999_us);
         let _ = writeln!(out, "  \"latency_max_us\": {},", self.latency.max_us);
+        let _ = writeln!(out, "  \"sample_every\": {},", self.sample_every);
+        let _ = writeln!(out, "  \"visibility_us\": {},", hist_json(&self.visibility));
+        let _ = writeln!(
+            out,
+            "  \"pending_stall_us\": {},",
+            hist_json(&self.pending_stall)
+        );
+        let _ = writeln!(out, "  \"wal_append_us\": {},", hist_json(&self.wal_append));
+        let _ = writeln!(out, "  \"send_us\": {},", hist_json(&self.send));
         let _ = writeln!(out, "  \"wire_bytes_out\": {},", self.wire_bytes_out);
         let _ = writeln!(
             out,
@@ -255,6 +291,16 @@ impl BenchReport {
     }
 }
 
+/// One stage summary as an inline JSON object (same shape for every stage,
+/// so downstream tooling can index them uniformly).
+fn hist_json(s: &HistSummary) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \
+         \"p99_us\": {}, \"p999_us\": {}, \"max_us\": {}}}",
+        s.count, s.mean_us, s.p50_us, s.p90_us, s.p99_us, s.p999_us, s.max_us
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +342,11 @@ mod tests {
             sealed_events: 0,
             max_window: 0,
             window_evicted: 0,
+            sample_every: 16,
+            visibility: HistSummary::default(),
+            pending_stall: HistSummary::default(),
+            wal_append: HistSummary::default(),
+            send: HistSummary::default(),
             verdict: VerdictSummary {
                 consistent: true,
                 safety_violations: 0,
@@ -370,10 +421,31 @@ mod tests {
         assert_eq!(report.per_partition.len(), 2);
         assert_eq!(report.per_partition[0].issued, 80);
         assert_eq!(report.per_partition[1].applies, 40);
+        // Server-side stage summaries come from the merged metrics frame.
+        let mut hist = prcc_telemetry::Histogram::new();
+        for v in [100u64, 200, 50_000] {
+            hist.record(v);
+        }
+        report.absorb_metrics(&MetricsSnapshot {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: vec![
+                ("pending_stall_us".into(), hist.clone()),
+                ("visibility_us".into(), hist),
+            ],
+        });
+        assert_eq!(report.visibility.count, 3);
+        assert_eq!(report.pending_stall.count, 3);
+        assert_eq!(report.wal_append, HistSummary::default());
         let json = report.to_json();
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"latency_p999_us\": 0,"));
+        assert!(json.contains("\"sample_every\": 16,"));
+        assert!(json.contains("\"visibility_us\": {\"count\": 3,"));
+        assert!(json.contains("\"pending_stall_us\": {\"count\": 3,"));
+        assert!(json.contains("\"send_us\": {\"count\": 0,"));
         assert!(json.contains("\"frames_sent\": 20,"));
         assert!(json.contains("\"frames_per_flush\": 1.00,"));
         assert!(json.contains("\"durable\": true,"));

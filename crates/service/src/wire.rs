@@ -1,5 +1,5 @@
-//! The length-prefixed wire protocol (version 5, partition-aware,
-//! acknowledged, and bounded-memory aware).
+//! The length-prefixed wire protocol (version 6, partition-aware,
+//! acknowledged, bounded-memory aware, and observable).
 //!
 //! Every message is a *frame*: a little-endian `u32` payload length followed
 //! by the payload; the first payload byte is a message tag. Peer frames
@@ -39,8 +39,18 @@
 //! full history, and the status payload grew the memory-boundedness gauges
 //! (`wal_bytes`, `snapshot_bytes`, `trace_events`, resend-window peaks).
 //!
-//! Timestamps ship counters only; index sets and the partition layout are
-//! static configuration carried once in the handshake.
+//! Version 6 makes live clusters inspectable: each update in a
+//! multi-partition flush carries its origin's wall-clock *issue stamp*
+//! (micros since epoch, varint; 0 = not sampled for lifecycle tracing), so
+//! recipients can measure visibility latency and pending-stall without any
+//! cross-node coordination, and the client API grew a `Metrics`
+//! request/response pair shipping a [`prcc_telemetry::MetricsSnapshot`]
+//! (counters, gauges, and mergeable latency histograms). Issue stamps ride
+//! the live wire only — WAL records and snapshots still use the stamp-free
+//! [`Update::encode_wire`] codec, keeping durable bytes deterministic.
+//!
+//! Causal timestamps ship counters only; index sets and the partition
+//! layout are static configuration carried once in the handshake.
 
 use prcc_checker::trace::TraceEvent;
 use prcc_checker::TraceCheckpoint;
@@ -48,7 +58,9 @@ use prcc_clock::encoding::{read_varint_at as get_varint, write_varint};
 use prcc_clock::WireClock;
 use prcc_core::Update;
 use prcc_graph::{PartitionId, PartitionMap, RegisterId, ReplicaId, ShareGraph};
+use prcc_net::VirtualTime;
 use prcc_storage::{decode_trace_checkpoint, encode_trace_checkpoint};
+use prcc_telemetry::MetricsSnapshot;
 use std::io::{self, Read, Write};
 
 /// The protocol version spoken by this build. Bumped to 2 when frames
@@ -56,9 +68,10 @@ use std::io::{self, Read, Write};
 /// multi-partition frames, to 4 when peer links became acknowledged
 /// (sequenced updates, hello-acks, streamed acks), to 5 when trace
 /// responses became checkpointed and the status payload grew the
-/// memory-boundedness gauges; peers at any other version are refused at
-/// the handshake.
-pub const WIRE_VERSION: u64 = 5;
+/// memory-boundedness gauges, to 6 when flush sections gained per-update
+/// issue stamps and the client API gained `Metrics`; peers at any other
+/// version are refused at the handshake.
+pub const WIRE_VERSION: u64 = 6;
 
 /// Upper bound on accepted frame payloads (default 64 MiB) — protects a
 /// node from a garbage length prefix allocating unbounded memory.
@@ -76,12 +89,14 @@ const TAG_STATUS: u8 = 18;
 const TAG_TRACE: u8 = 19;
 const TAG_SHUTDOWN: u8 = 20;
 const TAG_CONFIG: u8 = 21;
+const TAG_METRICS: u8 = 22;
 const TAG_WRITE_ACK: u8 = 32;
 const TAG_READ_RESP: u8 = 33;
 const TAG_STATUS_RESP: u8 = 34;
 const TAG_TRACE_RESP: u8 = 35;
 const TAG_BYE: u8 = 36;
 const TAG_CONFIG_RESP: u8 = 37;
+const TAG_METRICS_RESP: u8 = 38;
 
 /// Writes one frame; returns the bytes put on the wire (payload + prefix).
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<usize> {
@@ -329,6 +344,13 @@ fn encode_updates<C: WireClock>(updates: &[Update<C>], pad: usize, out: &mut Vec
 fn encode_seq_updates<C: WireClock>(updates: &[(u64, Update<C>)], pad: usize, out: &mut Vec<u8>) {
     for (seq, u) in updates {
         write_varint(out, *seq);
+        // v6: the origin's wall-clock issue stamp (micros since epoch)
+        // rides next to the sequence so recipients can derive visibility
+        // latency locally. 0 = the update was not sampled for tracing.
+        // `Update::encode_wire` deliberately omits it — the same codec
+        // writes WAL receipts and snapshots, which must stay free of
+        // wall-clock bytes.
+        write_varint(out, u.issued_at.0);
         u.encode_wire(out);
         write_varint(out, pad as u64);
         out.resize(out.len() + pad, 0);
@@ -348,8 +370,10 @@ where
     let mut updates = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
         let seq = get_varint(payload, at)?;
-        let u = Update::decode_wire(payload, at, &mut *make_clock)
+        let stamp = get_varint(payload, at)?;
+        let mut u = Update::decode_wire(payload, at, &mut *make_clock)
             .ok_or_else(|| bad_data("malformed update"))?;
+        u.issued_at = VirtualTime(stamp);
         let pad = get_varint(payload, at)? as usize;
         if payload.len() - *at < pad {
             return Err(bad_data("truncated pad"));
@@ -493,6 +517,9 @@ pub enum ClientRequest {
     /// The node's sharding configuration (version + partition map), for
     /// clients that route by key.
     Config,
+    /// The node's live metric snapshot: counters, gauges, and per-stage
+    /// latency histograms (v6).
+    Metrics,
     /// Graceful node shutdown.
     Shutdown,
 }
@@ -526,6 +553,7 @@ pub fn encode_request(req: &ClientRequest) -> Vec<u8> {
         ClientRequest::Status => vec![TAG_STATUS],
         ClientRequest::Trace => vec![TAG_TRACE],
         ClientRequest::Config => vec![TAG_CONFIG],
+        ClientRequest::Metrics => vec![TAG_METRICS],
         ClientRequest::Shutdown => vec![TAG_SHUTDOWN],
     }
 }
@@ -564,6 +592,7 @@ pub fn decode_request(payload: &[u8]) -> io::Result<ClientRequest> {
         Some(&TAG_STATUS) => Ok(ClientRequest::Status),
         Some(&TAG_TRACE) => Ok(ClientRequest::Trace),
         Some(&TAG_CONFIG) => Ok(ClientRequest::Config),
+        Some(&TAG_METRICS) => Ok(ClientRequest::Metrics),
         Some(&TAG_SHUTDOWN) => Ok(ClientRequest::Shutdown),
         _ => Err(bad_data("unknown client request")),
     }
@@ -736,6 +765,9 @@ pub enum ClientResponse {
         /// The partition map the node is deployed under.
         map: PartitionMap,
     },
+    /// Live metric snapshot (v6): counters, gauges, and per-stage latency
+    /// histograms, mergeable across nodes.
+    Metrics(MetricsSnapshot),
     /// Shutdown acknowledged.
     Bye,
 }
@@ -800,6 +832,15 @@ pub fn encode_response(resp: &ClientResponse) -> Vec<u8> {
             let mut out = vec![TAG_CONFIG_RESP];
             write_varint(&mut out, *version);
             encode_partition_map(map, &mut out);
+            out
+        }
+        ClientResponse::Metrics(snapshot) => {
+            // Version-stamped like Status: metric names and histogram
+            // bucketing are a per-version contract, so a cross-version
+            // scrape fails loudly instead of merging incompatible data.
+            let mut out = vec![TAG_METRICS_RESP];
+            write_varint(&mut out, WIRE_VERSION);
+            snapshot.encode(&mut out);
             out
         }
         ClientResponse::Bye => vec![TAG_BYE],
@@ -885,6 +926,20 @@ pub fn decode_response(payload: &[u8]) -> io::Result<ClientResponse> {
             let version = get_varint(payload, &mut at)?;
             let map = decode_partition_map(payload, &mut at)?;
             Ok(ClientResponse::Config { version, map })
+        }
+        Some(&TAG_METRICS_RESP) => {
+            let version = get_varint(payload, &mut at)?;
+            if version != WIRE_VERSION {
+                return Err(bad_data(&format!(
+                    "metrics response version mismatch: node speaks v{version}, \
+                     this client v{WIRE_VERSION}"
+                )));
+            }
+            let snapshot = MetricsSnapshot::decode(payload, &mut at)?;
+            if at != payload.len() {
+                return Err(bad_data("trailing bytes in metrics response"));
+            }
+            Ok(ClientResponse::Metrics(snapshot))
         }
         Some(&TAG_BYE) => Ok(ClientResponse::Bye),
         _ => Err(bad_data("unknown client response")),
@@ -983,10 +1038,12 @@ mod tests {
             map: PartitionMap::single(topologies::ring(4)),
         };
         let mut payload = encode_peer_hello(&hello);
-        // The version varint sits right after the tag; WIRE_VERSION = 5 is
-        // one byte, so patch it to any older hello.
+        // The version varint sits right after the tag; WIRE_VERSION = 6 is
+        // one byte, so patch it to any older hello — including a v5 peer,
+        // which predates flush-section issue stamps and would misparse
+        // every multi-batch frame.
         assert_eq!(payload[1], WIRE_VERSION as u8);
-        for old in [1u8, 2, 3, 4] {
+        for old in [1u8, 2, 3, 4, 5] {
             payload[1] = old;
             let err = decode_peer_hello(&payload).unwrap_err();
             assert!(
@@ -1060,12 +1117,19 @@ mod tests {
         checkpoint
     }
 
-    /// Tags updates with consecutive link sequence numbers from `base`.
+    /// Tags updates with consecutive link sequence numbers from `base`,
+    /// and stamps every other one with a v6 issue stamp (odd ones stay 0 =
+    /// unsampled) so round-trips cover both sampled and unsampled updates.
     fn with_seqs<C>(base: u64, updates: Vec<Update<C>>) -> Vec<(u64, Update<C>)> {
         updates
             .into_iter()
             .enumerate()
-            .map(|(k, u)| (base + k as u64, u))
+            .map(|(k, mut u)| {
+                if k % 2 == 0 {
+                    u.issued_at = VirtualTime(1_700_000_000_000_000 + base + k as u64);
+                }
+                (base + k as u64, u)
+            })
             .collect()
     }
 
@@ -1090,6 +1154,10 @@ mod tests {
                     assert_eq!(aseq, bseq, "link seq must survive the wire");
                     assert_eq!((a.id, a.value), (b.id, b.value));
                     assert_eq!(a.clock, b.clock);
+                    assert_eq!(
+                        a.issued_at, b.issued_at,
+                        "v6 issue stamp must survive the wire"
+                    );
                 }
             }
             // The dispatcher takes both framings to the same section shape;
@@ -1103,6 +1171,11 @@ mod tests {
             assert_eq!(legacy[0].0, PartitionId(6));
             assert_eq!(legacy[0].1.len(), 3);
             assert!(legacy[0].1.iter().all(|(seq, _)| *seq == 0));
+            // Legacy v2 batches carry no issue stamps: unsampled on arrival.
+            assert!(legacy[0]
+                .1
+                .iter()
+                .all(|(_, u)| u.issued_at == VirtualTime::ZERO));
         }
     }
 
@@ -1168,6 +1241,7 @@ mod tests {
             ClientRequest::Status,
             ClientRequest::Trace,
             ClientRequest::Config,
+            ClientRequest::Metrics,
             ClientRequest::Shutdown,
         ];
         for req in &requests {
@@ -1248,11 +1322,41 @@ mod tests {
                 version: WIRE_VERSION,
                 map: PartitionMap::rotated(topologies::ring(3), 4, 3).unwrap(),
             },
+            ClientResponse::Metrics(sample_metrics()),
             ClientResponse::Bye,
         ];
         for resp in &responses {
             assert_eq!(&decode_response(&encode_response(resp)).unwrap(), resp);
         }
+    }
+
+    /// A metrics snapshot with every section populated and a histogram
+    /// spanning exact and log-bucketed ranges.
+    fn sample_metrics() -> prcc_telemetry::MetricsSnapshot {
+        let registry = prcc_telemetry::Registry::new();
+        registry.counter("net_bytes_out").add(123_456);
+        registry.counter("net_flushes").add(9);
+        registry.gauge("core_pending").set(3);
+        let h = registry.histogram("visibility_us");
+        for v in [2u64, 14, 900, 88_000, 1 << 34] {
+            h.record(v);
+        }
+        registry.snapshot()
+    }
+
+    #[test]
+    fn metrics_responses_are_version_stamped() {
+        // Like Status: a scrape from a node speaking another version must
+        // fail loudly — metric names and bucket layout are per-version.
+        let mut payload = encode_response(&ClientResponse::Metrics(sample_metrics()));
+        assert_eq!(payload[1], WIRE_VERSION as u8);
+        payload[1] = 5;
+        let err = decode_response(&payload).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("metrics response version mismatch"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]
@@ -1294,6 +1398,7 @@ mod tests {
                 version: WIRE_VERSION,
                 map: PartitionMap::single(topologies::line(2)),
             },
+            ClientResponse::Metrics(sample_metrics()),
         ];
         for resp in &responses {
             let payload = encode_response(resp);

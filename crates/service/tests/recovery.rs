@@ -331,6 +331,94 @@ fn same_seed_same_crash_point_means_byte_identical_snapshots() {
     let _ = std::fs::remove_dir_all(&dir_b);
 }
 
+/// The crash's black box: killing a node mid-traffic leaves a
+/// `flight.log` next to its WAL whose final `wal_append` events line up
+/// exactly with the last records actually recovered from `wal.bin` — the
+/// recorder is telling the truth about what the node was doing in its
+/// final moments, not a plausible approximation of it.
+#[test]
+fn crash_dump_flight_recorder_matches_final_wal_records() {
+    let dir = scratch_dir("flight-dump");
+    // A snapshot interval past the op count: the WAL then retains every
+    // record since boot and the comparison is exact, not truncation-aware.
+    let cfg = durable_cfg(dir.clone(), 1 << 20);
+    let mut cluster = launch(4, 4, &cfg);
+    let victim = 1usize;
+
+    drive(&cluster, 300, 41);
+    drain_or_dump(&cluster, "quiescence");
+    cluster.crash_node(victim);
+
+    // The dump is written by the core thread on its way out; crash_node
+    // severs sockets before the thread exits, so wait for the file.
+    let node_dir = dir.join(format!("node-{victim}"));
+    let flight_path = node_dir.join("flight.log");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !flight_path.exists() && std::time::Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+    let dump = std::fs::read_to_string(&flight_path).expect("flight.log written on crash");
+    assert!(
+        dump.starts_with("flight recorder:"),
+        "unexpected dump header:\n{dump}"
+    );
+    assert!(
+        dump.lines().last().is_some_and(|l| l.ends_with(" crash")),
+        "the injected crash must be the dump's final event:\n{dump}"
+    );
+
+    // The indices the WAL actually retained (each record payload leads
+    // with its varint index)...
+    let wal_bytes = std::fs::read(node_dir.join("wal.bin")).expect("wal exists");
+    let scan = prcc_storage::scan_wal(&wal_bytes).expect("valid wal");
+    let wal_indices: Vec<u64> = scan
+        .records
+        .iter()
+        .map(|payload| prcc_clock::encoding::read_varint_at(payload, &mut 0).expect("record index"))
+        .collect();
+    assert!(!wal_indices.is_empty(), "victim never appended to its WAL");
+
+    // ...versus the indices the recorder saw being appended.
+    let dumped: Vec<u64> = dump
+        .lines()
+        .filter_map(|line| {
+            let (_, rest) = line.split_once(' ')?;
+            let fields = rest.strip_prefix("wal_append ")?;
+            fields
+                .split_whitespace()
+                .find_map(|f| f.strip_prefix("index="))?
+                .parse()
+                .ok()
+        })
+        .collect();
+    assert!(!dumped.is_empty(), "no wal_append events in dump:\n{dump}");
+
+    // The ring may have evicted old events and the oldest WAL records
+    // predate any bounded recorder — but the tails must agree exactly:
+    // same final append, and the recorder's recent appends are precisely
+    // the corresponding suffix of the recovered log.
+    assert_eq!(
+        dumped.last(),
+        wal_indices.last(),
+        "last recorded append disagrees with the last durable record"
+    );
+    let tail = &wal_indices[wal_indices.len().saturating_sub(dumped.len())..];
+    assert_eq!(
+        &dumped[dumped.len() - tail.len()..],
+        tail,
+        "recorded append indices diverge from the recovered WAL"
+    );
+
+    // The dump is a black box, not state: the node still restarts from the
+    // same directory and the complete history still verifies.
+    cluster.restart_node(victim).expect("restart");
+    drive(&cluster, 100, 42);
+    drain_or_dump(&cluster, "post-restart quiescence");
+    assert_all_partitions_consistent(&cluster);
+    cluster.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Crash-at-boot edge: a node that crashed before ever taking traffic
 /// restarts from an empty data dir without complaint, and a second crash
 /// immediately after restart (double fault) still recovers.

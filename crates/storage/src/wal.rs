@@ -30,9 +30,11 @@
 //! most N−1 records (which recovery handles as an ordinary torn tail).
 
 use crate::crc32::crc32;
+use prcc_telemetry::SharedHistogram;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// The 8-byte magic opening every WAL file.
 pub const WAL_MAGIC: &[u8; 8] = b"PRCCWAL1";
@@ -140,6 +142,10 @@ pub struct Wal {
     /// Group commit: fdatasync every Nth append (0 = never sync).
     fsync_every: u64,
     appends_since_sync: u64,
+    /// Optional telemetry: duration of each `fdatasync`, in micros. Syncs
+    /// are rare (group commit) and slow (device flush), so unlike the
+    /// per-record append path this is timed unconditionally when wired.
+    fsync_hist: Option<Arc<SharedHistogram>>,
 }
 
 impl Wal {
@@ -185,6 +191,7 @@ impl Wal {
                 bytes: size,
                 fsync_every: 0,
                 appends_since_sync: 0,
+                fsync_hist: None,
             },
             WalRecovery {
                 records: scan.records,
@@ -204,6 +211,26 @@ impl Wal {
         self.appends_since_sync = 0;
     }
 
+    /// Wires a histogram that will receive the duration, in microseconds,
+    /// of every subsequent `fdatasync` this log performs (group commits,
+    /// explicit [`Wal::sync`] calls, and truncation syncs alike).
+    pub fn set_fsync_hist(&mut self, hist: Arc<SharedHistogram>) {
+        self.fsync_hist = Some(hist);
+    }
+
+    /// `sync_data` with optional duration telemetry.
+    fn timed_sync(&mut self) -> io::Result<()> {
+        match &self.fsync_hist {
+            None => self.file.sync_data(),
+            Some(hist) => {
+                let t0 = prcc_telemetry::wall_us();
+                self.file.sync_data()?;
+                hist.record(prcc_telemetry::wall_us().saturating_sub(t0));
+                Ok(())
+            }
+        }
+    }
+
     /// Forces an `fdatasync` now and restarts the group-commit countdown.
     /// Call before externally *acknowledging* appended records (a peer
     /// prunes its resend window on an ack, so an ack covering unsynced
@@ -213,7 +240,7 @@ impl Wal {
     ///
     /// I/O errors from the sync.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()?;
+        self.timed_sync()?;
         self.appends_since_sync = 0;
         Ok(())
     }
@@ -247,7 +274,7 @@ impl Wal {
             self.appends_since_sync += 1;
             if self.appends_since_sync >= self.fsync_every {
                 self.appends_since_sync = 0;
-                self.file.sync_data()?;
+                self.timed_sync()?;
             }
         }
         Ok(framed.len())
@@ -270,7 +297,7 @@ impl Wal {
         self.file.seek(SeekFrom::End(0))?;
         self.bytes = WAL_MAGIC.len() as u64;
         if self.fsync_every > 0 {
-            self.file.sync_data()?;
+            self.timed_sync()?;
         }
         self.appends_since_sync = 0;
         Ok(())
@@ -309,6 +336,24 @@ mod tests {
         assert_eq!(rec.records[0], b"alpha");
         assert_eq!(rec.records[1], b"");
         assert_eq!(rec.records[2], vec![7u8; 300]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_hist_sees_every_sync() {
+        let path = temp_path("fsync-hist");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).expect("open fresh");
+        let hist = Arc::new(SharedHistogram::default());
+        wal.set_fsync_hist(Arc::clone(&hist));
+        wal.set_fsync_every(2);
+        wal.append(b"a").expect("append"); // no sync yet
+        assert_eq!(hist.read().count(), 0);
+        wal.append(b"b").expect("append"); // group commit syncs
+        assert_eq!(hist.read().count(), 1);
+        wal.sync().expect("explicit sync");
+        wal.reset().expect("truncate syncs under group commit");
+        assert_eq!(hist.read().count(), 3);
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,66 @@
+//! Deterministic 1-in-N sampling for lifecycle tracing.
+//!
+//! Lifecycle stamps cost a clock read per stage, so the hot path gates them
+//! behind a [`Sampler`]: the *origin* node decides once per issued update
+//! whether it is traced, and every downstream stage keys off the presence of
+//! the stamp (a zero issue-stamp means "not sampled"). Systematic 1-in-N
+//! sampling — rather than random — keeps the overhead exactly bounded and
+//! the sample count predictable for a given op count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Picks every `N`th event. `every = 0` disables sampling entirely,
+/// `every = 1` samples everything.
+#[derive(Debug)]
+pub struct Sampler {
+    every: u64,
+    n: AtomicU64,
+}
+
+impl Sampler {
+    /// A sampler selecting one event in `every`.
+    pub fn new(every: u64) -> Self {
+        Sampler {
+            every,
+            n: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured period (0 = off).
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Whether this event is selected. Counts events even when they miss,
+    /// so the selection rate is exactly `1/every`.
+    #[inline]
+    pub fn hit(&self) -> bool {
+        match self.every {
+            0 => false,
+            1 => true,
+            n => self.n.fetch_add(1, Ordering::Relaxed).is_multiple_of(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_rates() {
+        let off = Sampler::new(0);
+        assert!((0..100).all(|_| !off.hit()));
+
+        let all = Sampler::new(1);
+        assert!((0..100).all(|_| all.hit()));
+
+        let fourth = Sampler::new(4);
+        let hits = (0..100).filter(|_| fourth.hit()).count();
+        assert_eq!(hits, 25);
+        // First event of a period is the sampled one.
+        let s = Sampler::new(3);
+        let pattern: Vec<bool> = (0..6).map(|_| s.hit()).collect();
+        assert_eq!(pattern, vec![true, false, false, true, false, false]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests pitting the bucketed [`Histogram`] against exact
+//! sorted-vector percentiles, and merge against single-stream recording.
+//!
+//! The histogram's contract is relative, not absolute: any reported
+//! percentile is the upper bound of the bucket holding the exact
+//! nearest-rank sample, so it never under-reports and overshoots by at most
+//! 12.5% (exactly 0 for values below 16, and exactly the true max at
+//! q = 1.0). These tests state that contract against `exact_percentile` —
+//! the same ceil-based nearest-rank rule the client-side latency summaries
+//! use — over arbitrary sample sets spanning the full value range.
+
+use prcc_telemetry::{exact_percentile, Histogram};
+use proptest::prelude::*;
+
+/// Sample vectors mixing tiny exact values, mid-range latencies, and
+/// outliers far into the large-bucket range.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        (0u64..4, any::<u64>()).prop_map(|(kind, raw)| match kind {
+            0 => raw % 16,
+            1 => 16 + raw % 100_000,
+            2 => raw >> 20,
+            _ => u64::MAX,
+        }),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bucketed percentiles bracket the exact ones: never below the true
+    /// nearest-rank sample, never more than 12.5% above it, and q = 1.0 is
+    /// the exact maximum.
+    #[test]
+    fn percentiles_bracket_exact_values(samples in arb_samples(), qi in 0usize..7) {
+        let q = [0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0][qi];
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = exact_percentile(&sorted, q);
+        let bucketed = h.percentile(q);
+        prop_assert!(bucketed >= exact, "q={q}: bucketed {bucketed} < exact {exact}");
+        // Upper bound: one bucket's width above, and clamped to the max.
+        let slack = exact / 8 + 1;
+        prop_assert!(
+            bucketed <= exact.saturating_add(slack).min(h.max()),
+            "q={q}: bucketed {bucketed} > exact {exact} + slack {slack}"
+        );
+        prop_assert_eq!(h.percentile(1.0), *sorted.last().expect("non-empty"));
+        prop_assert_eq!(h.max(), *sorted.last().expect("non-empty"));
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Merging partitions of a stream is indistinguishable from recording
+    /// the whole stream, regardless of how the stream is split.
+    #[test]
+    fn merge_is_exact_for_any_partition(samples in arb_samples(), split_seed in 0u64..1000) {
+        let mut whole = Histogram::new();
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            parts[((split_seed >> (i % 32)) as usize + i) % 3].record(v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(&merged, &whole);
+        // And the merged histogram round-trips the wire codec.
+        let mut buf = Vec::new();
+        merged.encode(&mut buf);
+        let mut at = 0;
+        let back = Histogram::decode(&buf, &mut at).expect("decode");
+        prop_assert_eq!(at, buf.len());
+        prop_assert_eq!(back, whole);
+    }
+}

@@ -8,6 +8,7 @@
 
 use prcc_checker::Verdict;
 use prcc_core::ClusterStats;
+use prcc_telemetry::exact_percentile;
 use serde::{Deserialize, Serialize};
 
 /// Latency distribution in microseconds.
@@ -19,6 +20,9 @@ pub struct LatencySummary {
     pub p50_us: u64,
     /// 99th percentile.
     pub p99_us: u64,
+    /// 99.9th percentile — where per-op client latencies hide fsync and
+    /// pending-stall spikes that p99 averages away.
+    pub p999_us: u64,
     /// Worst observed.
     pub max_us: u64,
 }
@@ -26,25 +30,22 @@ pub struct LatencySummary {
 impl LatencySummary {
     /// Summarizes a set of per-op latencies (sorted in place).
     ///
-    /// Percentiles are ceil-based nearest-rank: `P(q)` is the smallest
-    /// sample with at least a `q` fraction of the distribution at or below
-    /// it. (The earlier truncating rank biased p50/p99 low for sample
-    /// counts that don't divide evenly — e.g. p99 of 3 samples picked the
-    /// middle one.)
+    /// Percentiles are [`prcc_telemetry::exact_percentile`] — ceil-based
+    /// nearest-rank: `P(q)` is the smallest sample with at least a `q`
+    /// fraction of the distribution at or below it. One shared definition
+    /// keeps these client-side summaries comparable to the server-side
+    /// histogram percentiles reported next to them.
     pub fn from_latencies(latencies: &mut [u64]) -> Self {
         if latencies.is_empty() {
             return LatencySummary::default();
         }
         latencies.sort_unstable();
         let total: u64 = latencies.iter().sum();
-        let at = |q: f64| {
-            let rank = (latencies.len() as f64 * q).ceil() as usize;
-            latencies[rank.clamp(1, latencies.len()) - 1]
-        };
         LatencySummary {
             mean_us: total as f64 / latencies.len() as f64,
-            p50_us: at(0.50),
-            p99_us: at(0.99),
+            p50_us: exact_percentile(latencies, 0.50),
+            p99_us: exact_percentile(latencies, 0.99),
+            p999_us: exact_percentile(latencies, 0.999),
             max_us: *latencies.last().expect("non-empty"),
         }
     }
@@ -138,6 +139,7 @@ mod tests {
         let summary = LatencySummary::from_latencies(&mut latencies);
         assert_eq!(summary.p50_us, 50);
         assert_eq!(summary.p99_us, 99);
+        assert_eq!(summary.p999_us, 100);
         assert_eq!(summary.max_us, 100);
         assert!((summary.mean_us - 50.5).abs() < 1e-9);
         assert_eq!(
@@ -150,7 +152,10 @@ mod tests {
     fn latency_summary_percentiles_non_round_counts() {
         // One sample: every percentile is that sample.
         let one = LatencySummary::from_latencies(&mut [7]);
-        assert_eq!((one.p50_us, one.p99_us, one.max_us), (7, 7, 7));
+        assert_eq!(
+            (one.p50_us, one.p99_us, one.p999_us, one.max_us),
+            (7, 7, 7, 7)
+        );
 
         // Three samples: the truncating rank used to report p99 = 2 (the
         // median!); ceil-based nearest-rank reports the top sample.
@@ -160,11 +165,12 @@ mod tests {
         assert_eq!(three.max_us, 3);
 
         // 101 samples: p50 is the 51st order statistic (ceil(50.5)), p99
-        // the 100th (ceil(99.99)).
+        // the 100th (ceil(99.99)), p999 the 101st (ceil(100.899)).
         let mut odd: Vec<u64> = (1..=101).collect();
         let summary = LatencySummary::from_latencies(&mut odd);
         assert_eq!(summary.p50_us, 51);
         assert_eq!(summary.p99_us, 100);
+        assert_eq!(summary.p999_us, 101);
         assert_eq!(summary.max_us, 101);
     }
 

@@ -22,6 +22,9 @@
 //!   protocol, partition-routing nodes with update batching, single-node
 //!   and key-routed client libraries, and the `prcc-serve`/`prcc-load`
 //!   binaries.
+//! * [`telemetry`] — sharded metric registry (counters, gauges,
+//!   mergeable log-bucketed histograms), update-lifecycle stage timing,
+//!   and the crash flight recorder.
 
 pub use prcc_baselines as baselines;
 pub use prcc_checker as checker;
@@ -33,4 +36,5 @@ pub use prcc_lowerbound as lowerbound;
 pub use prcc_net as net;
 pub use prcc_runtime as runtime;
 pub use prcc_service as service;
+pub use prcc_telemetry as telemetry;
 pub use prcc_workloads as workloads;
