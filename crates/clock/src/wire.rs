@@ -38,6 +38,15 @@ pub trait WireClock: ClockState {
         }
     }
 
+    /// Exact byte count [`WireClock::encode_wire`] will append — a sizing
+    /// hint so in-place frame builders can reserve (or lease) right-sized
+    /// buffers instead of growing mid-encode. (Distinct from
+    /// [`crate::traits::ClockState::encoded_len`], the abstract metadata
+    /// measure the paper's comparisons are plotted over.)
+    fn wire_encoded_len(&self) -> usize {
+        encoding::counters_len(self.counter_values())
+    }
+
     /// Decodes counters produced by [`WireClock::encode_wire`] from the
     /// front of `buf` into `self`, advancing `offset`.
     ///
@@ -85,6 +94,7 @@ mod tests {
         }
         let mut buf = Vec::new();
         c.encode_wire(&mut buf);
+        assert_eq!(buf.len(), c.wire_encoded_len(), "sizing hint must be exact");
         let mut out = p.new_clock(i);
         let mut offset = 0;
         assert!(out.decode_wire(&buf, &mut offset));

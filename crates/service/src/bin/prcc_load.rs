@@ -87,6 +87,15 @@ fn run() -> Result<(), String> {
              \t--max-frames-per-flush F  fail if mean frames per sender flush\n\
              \t                 reaches F (regression guard for multi-partition\n\
              \t                 frame packing; 0 = off, default)\n\
+             \t--max-wal-writes-per-op F fail if WAL write syscalls per op reach F\n\
+             \t                 (regression guard for per-sweep group commit;\n\
+             \t                 requires --data-dir; 0 = off, default)\n\
+             \t--max-pool-miss-rate F  fail if the buffer-pool miss fraction\n\
+             \t                 reaches F (regression guard for the zero-copy\n\
+             \t                 hot path; 0 = off, default)\n\
+             \t--clients N      total client connections across the cluster\n\
+             \t                 (default: one per node); each node's script is\n\
+             \t                 striped across its share of the connections\n\
              \t--sample-every N sample 1-in-N update lifecycles for the stage\n\
              \t                 histograms (1 = every update, default 16)\n\
              \t--metrics-mid-run  request a live metrics frame from node 0\n\
@@ -117,6 +126,9 @@ fn run() -> Result<(), String> {
         .unwrap_or("BENCH_service.json")
         .to_string();
     let max_frames_per_flush = args.parse_or("--max-frames-per-flush", 0f64)?;
+    let max_wal_writes_per_op = args.parse_or("--max-wal-writes-per-op", 0f64)?;
+    let max_pool_miss_rate = args.parse_or("--max-pool-miss-rate", 0f64)?;
+    let clients = args.parse_or("--clients", 0usize)?;
     let max_snapshot_bytes = args.parse_or("--max-snapshot-bytes", 0u64)?;
     let max_snapshot_growth = args.parse_or("--max-snapshot-growth", 0f64)?;
     let fsync_every = if args.has("--fsync") && args.value("--fsync-every").is_none() {
@@ -180,81 +192,94 @@ fn run() -> Result<(), String> {
     // triggers the crash injection at the requested point of the run.
     let drive_start = Instant::now();
     let progress = Arc::new(AtomicUsize::new(0));
-    let mut drivers = Vec::with_capacity(n);
+    // --clients stripes each node's script across that many connections
+    // cluster-wide (ceil-divided per node); the default keeps the historic
+    // one-connection-per-node shape so seeded runs stay comparable.
+    let per_node_clients = if clients == 0 { 1 } else { clients.div_ceil(n) };
+    let mut drivers = Vec::with_capacity(n * per_node_clients);
     for (node, script) in scripts.into_iter().enumerate() {
         let addr = cluster.addrs(node).1;
-        let mut client = cluster
-            .client(node)
-            .map_err(|e| format!("connect node {node}: {e}"))?;
-        let share = script.len() as f64 / ops_total.max(1) as f64;
-        let interval = if rate > 0.0 && !script.is_empty() {
-            Some(Duration::from_secs_f64(1.0 / (rate * share)))
-        } else {
-            None
-        };
-        let mut thread_rng = ChaCha8Rng::seed_from_u64(seed ^ ((node as u64 + 1) << 32));
-        let progress = Arc::clone(&progress);
-        drivers.push(thread::spawn(move || -> std::io::Result<DriverResult> {
-            let mut result = DriverResult {
-                latencies_us: Vec::with_capacity(script.len()),
-                reads: 0,
-                failures: 0,
+        for lane in 0..per_node_clients {
+            let script: Vec<_> = script
+                .iter()
+                .copied()
+                .skip(lane)
+                .step_by(per_node_clients)
+                .collect();
+            let mut client = cluster
+                .client(node)
+                .map_err(|e| format!("connect node {node}: {e}"))?;
+            let share = script.len() as f64 / ops_total.max(1) as f64;
+            let interval = if rate > 0.0 && !script.is_empty() {
+                Some(Duration::from_secs_f64(1.0 / (rate * share)))
+            } else {
+                None
             };
-            let mut next_at = Instant::now();
-            for (partition, register, value) in script {
-                if let Some(interval) = interval {
-                    let now = Instant::now();
-                    if next_at > now {
-                        thread::sleep(next_at - now);
-                    }
-                    next_at += interval;
-                }
-                let started = Instant::now();
-                let is_read = read_pct > 0.0 && thread_rng.gen_bool(read_pct);
-                if is_read {
-                    result.reads += 1;
-                }
-                let attempt = |client: &mut prcc_service::ServiceClient| {
-                    if is_read {
-                        client.read_in(partition, register).map(|_| true)
-                    } else {
-                        client.write_padded(partition, register, value, value_bytes)
-                    }
+            let mut thread_rng =
+                ChaCha8Rng::seed_from_u64(seed ^ ((node as u64 + 1) << 32) ^ ((lane as u64) << 16));
+            let progress = Arc::clone(&progress);
+            drivers.push(thread::spawn(move || -> std::io::Result<DriverResult> {
+                let mut result = DriverResult {
+                    latencies_us: Vec::with_capacity(script.len()),
+                    reads: 0,
+                    failures: 0,
                 };
-                let ok = match attempt(&mut client) {
-                    Ok(ok) => ok,
-                    Err(e) if crash_restart => {
-                        // The node may be mid crash/restart: ride through
-                        // the outage by redialing until the op lands. A
-                        // write whose ack was lost in the crash may commit
-                        // twice — two distinct updates, which is exactly
-                        // what a real retrying client produces.
-                        let deadline = Instant::now() + Duration::from_secs(30);
-                        loop {
-                            thread::sleep(Duration::from_millis(25));
-                            if let Ok(mut fresh) = prcc_service::ServiceClient::connect(addr) {
-                                if let Ok(ok) = attempt(&mut fresh) {
-                                    client = fresh;
-                                    break ok;
+                let mut next_at = Instant::now();
+                for (partition, register, value) in script {
+                    if let Some(interval) = interval {
+                        let now = Instant::now();
+                        if next_at > now {
+                            thread::sleep(next_at - now);
+                        }
+                        next_at += interval;
+                    }
+                    let started = Instant::now();
+                    let is_read = read_pct > 0.0 && thread_rng.gen_bool(read_pct);
+                    if is_read {
+                        result.reads += 1;
+                    }
+                    let attempt = |client: &mut prcc_service::ServiceClient| {
+                        if is_read {
+                            client.read_in(partition, register).map(|_| true)
+                        } else {
+                            client.write_padded(partition, register, value, value_bytes)
+                        }
+                    };
+                    let ok = match attempt(&mut client) {
+                        Ok(ok) => ok,
+                        Err(e) if crash_restart => {
+                            // The node may be mid crash/restart: ride through
+                            // the outage by redialing until the op lands. A
+                            // write whose ack was lost in the crash may commit
+                            // twice — two distinct updates, which is exactly
+                            // what a real retrying client produces.
+                            let deadline = Instant::now() + Duration::from_secs(30);
+                            loop {
+                                thread::sleep(Duration::from_millis(25));
+                                if let Ok(mut fresh) = prcc_service::ServiceClient::connect(addr) {
+                                    if let Ok(ok) = attempt(&mut fresh) {
+                                        client = fresh;
+                                        break ok;
+                                    }
+                                }
+                                if Instant::now() >= deadline {
+                                    return Err(e);
                                 }
                             }
-                            if Instant::now() >= deadline {
-                                return Err(e);
-                            }
                         }
+                        Err(e) => return Err(e),
+                    };
+                    if !ok {
+                        result.failures += 1;
                     }
-                    Err(e) => return Err(e),
-                };
-                if !ok {
-                    result.failures += 1;
+                    result
+                        .latencies_us
+                        .push(started.elapsed().as_micros() as u64);
+                    progress.fetch_add(1, Ordering::Relaxed);
                 }
-                result
-                    .latencies_us
-                    .push(started.elapsed().as_micros() as u64);
-                progress.fetch_add(1, Ordering::Relaxed);
-            }
-            Ok(result)
-        }));
+                Ok(result)
+            }));
+        }
     }
 
     // The mid-run metrics probe: once a quarter of the ops are in, scrape
@@ -403,6 +428,10 @@ fn run() -> Result<(), String> {
         crash_restarts,
         resent: 0,
         wal_appends: 0,
+        wal_writes: 0,
+        pool_hits: 0,
+        pool_misses: 0,
+        pool_outstanding: 0,
         snapshots_written: 0,
         fsync_every,
         wal_bytes: 0,
@@ -465,11 +494,29 @@ fn run() -> Result<(), String> {
             report.frames_sent,
             report.batches_sent
         );
+        let pool_total = report.pool_hits + report.pool_misses;
+        println!(
+            "  pool: {} hits / {} misses ({:.1}% hit), {} leases outstanding",
+            report.pool_hits,
+            report.pool_misses,
+            if pool_total == 0 {
+                0.0
+            } else {
+                100.0 * report.pool_hits as f64 / pool_total as f64
+            },
+            report.pool_outstanding
+        );
         if report.durable {
             println!(
-                "  durability: {} WAL appends, {} snapshots, {} updates resent, \
-                 {} crash/restart cycles, fsync every {}",
+                "  durability: {} WAL appends in {} writes ({:.2} appends/write), \
+                 {} snapshots, {} updates resent, {} crash/restart cycles, fsync every {}",
                 report.wal_appends,
+                report.wal_writes,
+                if report.wal_writes == 0 {
+                    0.0
+                } else {
+                    report.wal_appends as f64 / report.wal_writes as f64
+                },
                 report.snapshots_written,
                 report.resent,
                 report.crash_restarts,
@@ -519,6 +566,48 @@ fn run() -> Result<(), String> {
                 "frame packing regressed: {:.2} frames per flush (limit {max_frames_per_flush}) — \
                  multi-partition flushes are being split into per-partition frames again",
                 report.frames_per_flush
+            ));
+        }
+    }
+    if max_wal_writes_per_op > 0.0 {
+        // Same principle as the frame gate: a records-moved run with zero
+        // write syscalls counted means the accounting broke, not that the
+        // path got infinitely fast.
+        if report.wal_appends > 0 && report.wal_writes == 0 {
+            return Err(format!(
+                "WAL write accounting broken: {} appends but 0 write syscalls counted",
+                report.wal_appends
+            ));
+        }
+        if report.wal_writes > report.wal_appends {
+            return Err(format!(
+                "WAL write accounting broken: {} write syscalls for {} appends \
+                 (group commit can only coalesce)",
+                report.wal_writes, report.wal_appends
+            ));
+        }
+        let per_op = report.wal_writes as f64 / report.ops.max(1) as f64;
+        if per_op >= max_wal_writes_per_op {
+            return Err(format!(
+                "WAL group commit regressed: {per_op:.3} write syscalls per op \
+                 (limit {max_wal_writes_per_op}) — sweeps are no longer \
+                 coalescing their appends into one write",
+            ));
+        }
+    }
+    if max_pool_miss_rate > 0.0 {
+        let pool_total = report.pool_hits + report.pool_misses;
+        if pool_total == 0 {
+            return Err("pool gate needs pool traffic: zero leases were counted — \
+                 the hot path is no longer pooling its buffers"
+                .into());
+        }
+        let miss_rate = report.pool_misses as f64 / pool_total as f64;
+        if miss_rate >= max_pool_miss_rate {
+            return Err(format!(
+                "buffer pool regressed: miss rate {miss_rate:.3} \
+                 (limit {max_pool_miss_rate}) over {pool_total} leases — \
+                 the steady state is allocating again",
             ));
         }
     }

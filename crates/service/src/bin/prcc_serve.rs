@@ -39,7 +39,9 @@ fn run() -> Result<(), String> {
              \t                 histograms (1 = every update, default 16)\n\
              \t--metrics-every S  every S seconds, scrape all nodes over the\n\
              \t                 client wire, merge, and print the text metrics\n\
-             \t                 exposition to stderr (0 = off, default)\n\
+             \t                 exposition to stderr (0 = off, default); includes\n\
+             \t                 the hot-path pool_hits/pool_misses/pool_outstanding\n\
+             \t                 and wal_writes series\n\
              \t--duration S     self-terminate after S seconds (default: serve forever)\n\n\
              The process serves until a client sends Shutdown to every node."
         );

@@ -8,24 +8,28 @@
 //! lazily.
 
 use crate::wire::{
-    decode_response, encode_request, read_frame, write_frame, ClientRequest, ClientResponse,
-    NodeStatus, WIRE_VERSION,
+    append_frame, decode_response, encode_request_into, read_frame_into, ClientRequest,
+    ClientResponse, NodeStatus, WIRE_VERSION,
 };
 use prcc_checker::trace::TraceEvent;
 use prcc_checker::TraceCheckpoint;
 use prcc_graph::{PartitionId, PartitionMap, RegisterId};
 use prcc_telemetry::MetricsSnapshot;
 use prcc_workloads::ops::key_affinity;
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
 
 /// A connection to one node's client API.
 ///
 /// One request is in flight at a time (simple request/response framing);
-/// open several clients for pipelined load.
+/// open several clients for pipelined load. Request and response buffers
+/// are owned by the connection and reused, so a warmed-up client issues
+/// its round trips allocation-free.
 #[derive(Debug)]
 pub struct ServiceClient {
     stream: TcpStream,
+    wbuf: Vec<u8>,
+    rbuf: Vec<u8>,
 }
 
 fn protocol_error(what: &str) -> io::Error {
@@ -37,14 +41,21 @@ impl ServiceClient {
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(ServiceClient { stream })
+        Ok(ServiceClient {
+            stream,
+            wbuf: Vec::new(),
+            rbuf: Vec::new(),
+        })
     }
 
     fn round_trip(&mut self, req: &ClientRequest) -> io::Result<ClientResponse> {
-        write_frame(&mut self.stream, &encode_request(req))?;
-        let payload = read_frame(&mut self.stream)?
+        self.wbuf.clear();
+        append_frame(&mut self.wbuf, |out| encode_request_into(req, out))?;
+        self.stream.write_all(&self.wbuf)?;
+        self.stream.flush()?;
+        read_frame_into(&mut self.stream, &mut self.rbuf)?
             .ok_or_else(|| protocol_error("connection closed mid-request"))?;
-        decode_response(&payload)
+        decode_response(&self.rbuf)
     }
 
     /// Issues `write(x, v)` in partition `p`, shipping `pad` extra payload

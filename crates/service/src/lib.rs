@@ -25,6 +25,10 @@
 //!   applying it, snapshots periodically, and recovers snapshot + log on
 //!   boot — deterministically rebuilding clocks, stores, event logs and
 //!   resend windows after a crash.
+//! * [`bufpool`] — the size-classed reusable buffer pool behind the
+//!   zero-copy hot path: pooled frame reads and in-place flush encodes
+//!   lease buffers instead of allocating, with hit/miss/outstanding
+//!   telemetry in the node's metric registry.
 //! * [`client`] — [`ServiceClient`] (blocking, single-node) and
 //!   [`RoutedClient`] (key-routed over the whole cluster).
 //! * [`cluster`] — [`LoopbackCluster`]: bind, spawn, drain-to-quiescence,
@@ -46,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bufpool;
 pub mod client;
 pub mod cluster;
 pub mod config;
@@ -53,6 +58,7 @@ pub mod node;
 pub mod report;
 pub mod wire;
 
+pub use bufpool::{BufPool, Lease};
 pub use client::{RoutedClient, ServiceClient};
 pub use cluster::LoopbackCluster;
 pub use node::{spawn_node, NodeHandle, NodeSeed, ServiceConfig};

@@ -80,6 +80,16 @@ pub struct BenchReport {
     /// WAL records appended across the cluster (post-restart processes
     /// count from zero, like the socket counters).
     pub wal_appends: u64,
+    /// WAL write syscalls across the cluster. Per-sweep group commit makes
+    /// this < `wal_appends` under load; `wal_writes == wal_appends` means
+    /// no coalescing happened.
+    pub wal_writes: u64,
+    /// Buffer-pool leases served from a shelf across the cluster.
+    pub pool_hits: u64,
+    /// Buffer-pool leases that had to allocate (cold shelf or oversized).
+    pub pool_misses: u64,
+    /// Pooled buffers out on lease at the end of the run, cluster-wide.
+    pub pool_outstanding: u64,
     /// Snapshots written across the cluster.
     pub snapshots_written: u64,
     /// Group-commit cadence the run used (0 = no fsync).
@@ -188,6 +198,12 @@ impl BenchReport {
         self.pending_stall = metrics.hist_summary("pending_stall_us").unwrap_or_default();
         self.wal_append = metrics.hist_summary("wal_append_us").unwrap_or_default();
         self.send = metrics.hist_summary("send_us").unwrap_or_default();
+        // The hot-path counters ride the metrics frame rather than the
+        // fixed-shape v6 status frame (gauges sum across nodes on merge).
+        self.wal_writes = metrics.gauge("wal_writes").unwrap_or(0);
+        self.pool_hits = metrics.counter("pool_hits").unwrap_or(0);
+        self.pool_misses = metrics.counter("pool_misses").unwrap_or(0);
+        self.pool_outstanding = metrics.gauge("pool_outstanding").unwrap_or(0);
     }
 
     /// Renders the stable JSON document.
@@ -249,6 +265,10 @@ impl BenchReport {
         let _ = writeln!(out, "  \"crash_restarts\": {},", self.crash_restarts);
         let _ = writeln!(out, "  \"resent\": {},", self.resent);
         let _ = writeln!(out, "  \"wal_appends\": {},", self.wal_appends);
+        let _ = writeln!(out, "  \"wal_writes\": {},", self.wal_writes);
+        let _ = writeln!(out, "  \"pool_hits\": {},", self.pool_hits);
+        let _ = writeln!(out, "  \"pool_misses\": {},", self.pool_misses);
+        let _ = writeln!(out, "  \"pool_outstanding\": {},", self.pool_outstanding);
         let _ = writeln!(out, "  \"snapshots_written\": {},", self.snapshots_written);
         let _ = writeln!(out, "  \"fsync_every\": {},", self.fsync_every);
         let _ = writeln!(out, "  \"wal_bytes\": {},", self.wal_bytes);
@@ -333,6 +353,10 @@ mod tests {
             crash_restarts: 1,
             resent: 0,
             wal_appends: 0,
+            wal_writes: 0,
+            pool_hits: 0,
+            pool_misses: 0,
+            pool_outstanding: 0,
             snapshots_written: 0,
             fsync_every: 0,
             wal_bytes: 0,
@@ -427,8 +451,8 @@ mod tests {
             hist.record(v);
         }
         report.absorb_metrics(&MetricsSnapshot {
-            counters: Vec::new(),
-            gauges: Vec::new(),
+            counters: vec![("pool_hits".into(), 900), ("pool_misses".into(), 100)],
+            gauges: vec![("pool_outstanding".into(), 7), ("wal_writes".into(), 45)],
             hists: vec![
                 ("pending_stall_us".into(), hist.clone()),
                 ("visibility_us".into(), hist),
@@ -437,6 +461,10 @@ mod tests {
         assert_eq!(report.visibility.count, 3);
         assert_eq!(report.pending_stall.count, 3);
         assert_eq!(report.wal_append, HistSummary::default());
+        assert_eq!(report.wal_writes, 45);
+        assert_eq!(report.pool_hits, 900);
+        assert_eq!(report.pool_misses, 100);
+        assert_eq!(report.pool_outstanding, 7);
         let json = report.to_json();
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));
@@ -451,6 +479,10 @@ mod tests {
         assert!(json.contains("\"durable\": true,"));
         assert!(json.contains("\"crash_restarts\": 1,"));
         assert!(json.contains("\"wal_appends\": 70,"));
+        assert!(json.contains("\"wal_writes\": 45,"));
+        assert!(json.contains("\"pool_hits\": 900,"));
+        assert!(json.contains("\"pool_misses\": 100,"));
+        assert!(json.contains("\"pool_outstanding\": 7,"));
         assert!(json.contains("\"hotspot\": 0.250,"));
         assert!(json.contains("\"consistent\": true,"));
         assert!(json.contains("\"partitions\": 2,"));

@@ -52,6 +52,7 @@
 //! Causal timestamps ship counters only; index sets and the partition
 //! layout are static configuration carried once in the handshake.
 
+use crate::bufpool::{BufPool, Lease};
 use prcc_checker::trace::TraceEvent;
 use prcc_checker::TraceCheckpoint;
 use prcc_clock::encoding::{read_varint_at as get_varint, write_varint};
@@ -73,9 +74,10 @@ use std::io::{self, Read, Write};
 /// version are refused at the handshake.
 pub const WIRE_VERSION: u64 = 6;
 
-/// Upper bound on accepted frame payloads (default 64 MiB) — protects a
-/// node from a garbage length prefix allocating unbounded memory.
-pub const MAX_FRAME: usize = 64 << 20;
+/// Upper bound on accepted frame payloads (64 MiB) — a garbage or hostile
+/// length prefix is refused with a descriptive error *before* any
+/// allocation or pool lease happens.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
 // Message tags.
 const TAG_PEER_HELLO: u8 = 1;
@@ -108,11 +110,12 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<usize> {
     Ok(payload.len() + 4)
 }
 
-/// Reads one frame. `Ok(None)` signals a clean EOF at a frame boundary —
-/// zero bytes read. A connection dying *inside* the 4-byte length prefix is
-/// a truncated frame and errors, so a half-written prefix is never
-/// misreported as a graceful shutdown.
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+/// Reads a frame's 4-byte length prefix. `Ok(None)` signals a clean EOF at
+/// a frame boundary — zero bytes read. A connection dying *inside* the
+/// prefix is a truncated frame and errors, so a half-written prefix is
+/// never misreported as a graceful shutdown; a length above
+/// [`MAX_FRAME_BYTES`] is refused here, before any buffer is sized.
+fn read_frame_len<R: Read>(r: &mut R) -> io::Result<Option<usize>> {
     let mut prefix = [0u8; 4];
     let mut got = 0;
     while got < prefix.len() {
@@ -130,15 +133,76 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
         }
     }
     let len = u32::from_le_bytes(prefix) as usize;
-    if len > MAX_FRAME {
+    if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds MAX_FRAME"),
+            format!("frame of {len} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"),
         ));
     }
+    Ok(Some(len))
+}
+
+/// Reads one frame into a fresh allocation. `Ok(None)` is a clean EOF at a
+/// frame boundary (see [`read_frame_len`] for the truncation and
+/// [`MAX_FRAME_BYTES`] rules). The hot paths use [`read_frame_pooled`] /
+/// [`read_frame_into`] instead; this stays the simple owned-buffer entry
+/// point for handshakes, tools and tests.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let Some(len) = read_frame_len(r)? else {
+        return Ok(None);
+    };
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// Reads one frame into a caller-owned buffer (cleared and refilled),
+/// returning the payload length — the reuse-a-scratch-`Vec` variant of
+/// [`read_frame`] for connections that read many frames back to back.
+pub fn read_frame_into<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<Option<usize>> {
+    let Some(len) = read_frame_len(r)? else {
+        return Ok(None);
+    };
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf.as_mut_slice())?;
+    Ok(Some(len))
+}
+
+/// Reads one frame into a pooled buffer: the length prefix is read first
+/// and only then is a right-sized [`Lease`] taken, so a connection idling
+/// between frames holds **zero** buffers — the property that keeps RSS
+/// bounded under hundreds of mostly-idle client connections. Same EOF,
+/// truncation and [`MAX_FRAME_BYTES`] semantics as [`read_frame`].
+pub fn read_frame_pooled<R: Read>(r: &mut R, pool: &BufPool) -> io::Result<Option<Lease>> {
+    let Some(len) = read_frame_len(r)? else {
+        return Ok(None);
+    };
+    let mut lease = pool.lease(len);
+    lease.resize(len, 0);
+    r.read_exact(lease.as_mut_slice())?;
+    Ok(Some(lease))
+}
+
+/// Appends one frame to `out` in place: reserves the 4-byte length slot,
+/// lets `body` encode the payload directly after it, then backpatches the
+/// slot with the measured payload length. Returns the bytes appended
+/// (payload + prefix, matching [`write_frame`]'s accounting); an
+/// over-`u32` payload truncates `out` back to where it started and errors.
+pub fn append_frame<F: FnOnce(&mut Vec<u8>)>(out: &mut Vec<u8>, body: F) -> io::Result<usize> {
+    let slot = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    body(out);
+    let payload_len = out.len() - slot - 4;
+    let Ok(len) = u32::try_from(payload_len) else {
+        out.truncate(slot);
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
+    };
+    out[slot..slot + 4].copy_from_slice(&len.to_le_bytes());
+    Ok(payload_len + 4)
 }
 
 fn bad_data(what: &str) -> io::Error {
@@ -252,9 +316,15 @@ pub fn decode_peer_hello(payload: &[u8]) -> io::Result<PeerHello> {
 /// sequence it has durably received from the dialing peer (0 = nothing),
 /// which is where the dialer resumes its update stream.
 pub fn encode_hello_ack(acked: u64) -> Vec<u8> {
-    let mut out = vec![TAG_HELLO_ACK];
-    write_varint(&mut out, acked);
+    let mut out = Vec::new();
+    encode_hello_ack_into(acked, &mut out);
     out
+}
+
+/// The append-into variant of [`encode_hello_ack`].
+pub fn encode_hello_ack_into(acked: u64, out: &mut Vec<u8>) {
+    out.push(TAG_HELLO_ACK);
+    write_varint(out, acked);
 }
 
 /// Decodes a hello-ack frame payload into the acknowledged link sequence.
@@ -273,9 +343,16 @@ pub fn decode_hello_ack(payload: &[u8]) -> io::Result<u64> {
 /// Encodes a streamed acknowledgement: the receiver has durably received
 /// every update of this link up to and including sequence `seq`.
 pub fn encode_peer_ack(seq: u64) -> Vec<u8> {
-    let mut out = vec![TAG_PEER_ACK];
-    write_varint(&mut out, seq);
+    let mut out = Vec::new();
+    encode_peer_ack_into(seq, &mut out);
     out
+}
+
+/// The append-into variant of [`encode_peer_ack`] — the ack writer thread
+/// re-encodes into one leased buffer instead of allocating per ack.
+pub fn encode_peer_ack_into(seq: u64, out: &mut Vec<u8>) {
+    out.push(TAG_PEER_ACK);
+    write_varint(out, seq);
 }
 
 /// Decodes a streamed acknowledgement frame payload.
@@ -420,6 +497,12 @@ pub type FlushSections<C> = Vec<(PartitionId, Vec<(u64, Update<C>)>)>;
 /// preserved, and `pad` zero bytes ride along with each update as in
 /// [`encode_batch`]. Since v4 every update carries the per-link sequence
 /// number driving acknowledgement and resend.
+///
+/// This copy-assemble form is kept as the *reference implementation*: the
+/// hot path encodes with [`encode_multi_batch_into`] straight into a
+/// leased frame buffer, and a property test holds the two byte-for-byte
+/// equal on arbitrary sections — the guarantee that v6 peers and existing
+/// WAL/snapshot files interoperate with the in-place encoder unchanged.
 pub fn encode_multi_batch<C: WireClock>(sections: &FlushSections<C>, pad: usize) -> Vec<u8> {
     let mut out = vec![TAG_MULTI_BATCH];
     let live = sections.iter().filter(|(_, updates)| !updates.is_empty());
@@ -430,6 +513,25 @@ pub fn encode_multi_batch<C: WireClock>(sections: &FlushSections<C>, pad: usize)
         encode_seq_updates(updates, pad, &mut out);
     }
     out
+}
+
+/// The in-place variant of [`encode_multi_batch`]: appends the identical
+/// payload bytes to `out` (typically a leased frame buffer with the length
+/// slot already reserved by [`append_frame`]) without assembling an owned
+/// `Vec` first.
+pub fn encode_multi_batch_into<C: WireClock>(
+    sections: &FlushSections<C>,
+    pad: usize,
+    out: &mut Vec<u8>,
+) {
+    out.push(TAG_MULTI_BATCH);
+    let live = sections.iter().filter(|(_, updates)| !updates.is_empty());
+    write_varint(out, live.clone().count() as u64);
+    for (partition, updates) in live {
+        write_varint(out, u64::from(partition.0));
+        write_varint(out, updates.len() as u64);
+        encode_seq_updates(updates, pad, out);
+    }
 }
 
 /// Decodes a multi-partition flush frame into its `(partition,
@@ -526,6 +628,15 @@ pub enum ClientRequest {
 
 /// Encodes a client request payload.
 pub fn encode_request(req: &ClientRequest) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_request_into(req, &mut out);
+    out
+}
+
+/// The append-into variant of [`encode_request`] — [`crate::ServiceClient`]
+/// re-encodes every request into one reusable buffer instead of allocating
+/// per round trip.
+pub fn encode_request_into(req: &ClientRequest, out: &mut Vec<u8>) {
     match req {
         ClientRequest::Write {
             partition,
@@ -533,28 +644,26 @@ pub fn encode_request(req: &ClientRequest) -> Vec<u8> {
             value,
             pad,
         } => {
-            let mut out = vec![TAG_WRITE];
-            write_varint(&mut out, u64::from(partition.0));
-            write_varint(&mut out, u64::from(register.0));
-            write_varint(&mut out, *value);
-            write_varint(&mut out, *pad as u64);
+            out.push(TAG_WRITE);
+            write_varint(out, u64::from(partition.0));
+            write_varint(out, u64::from(register.0));
+            write_varint(out, *value);
+            write_varint(out, *pad as u64);
             out.resize(out.len() + pad, 0);
-            out
         }
         ClientRequest::Read {
             partition,
             register,
         } => {
-            let mut out = vec![TAG_READ];
-            write_varint(&mut out, u64::from(partition.0));
-            write_varint(&mut out, u64::from(register.0));
-            out
+            out.push(TAG_READ);
+            write_varint(out, u64::from(partition.0));
+            write_varint(out, u64::from(register.0));
         }
-        ClientRequest::Status => vec![TAG_STATUS],
-        ClientRequest::Trace => vec![TAG_TRACE],
-        ClientRequest::Config => vec![TAG_CONFIG],
-        ClientRequest::Metrics => vec![TAG_METRICS],
-        ClientRequest::Shutdown => vec![TAG_SHUTDOWN],
+        ClientRequest::Status => out.push(TAG_STATUS),
+        ClientRequest::Trace => out.push(TAG_TRACE),
+        ClientRequest::Config => out.push(TAG_CONFIG),
+        ClientRequest::Metrics => out.push(TAG_METRICS),
+        ClientRequest::Shutdown => out.push(TAG_SHUTDOWN),
     }
 }
 
@@ -774,12 +883,19 @@ pub enum ClientResponse {
 
 /// Encodes a client response payload.
 pub fn encode_response(resp: &ClientResponse) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_response_into(resp, &mut out);
+    out
+}
+
+/// The append-into variant of [`encode_response`] — client handlers encode
+/// each response straight into a leased frame buffer.
+pub fn encode_response_into(resp: &ClientResponse, out: &mut Vec<u8>) {
     match resp {
-        ClientResponse::WriteAck { ok } => vec![TAG_WRITE_ACK, u8::from(*ok)],
+        ClientResponse::WriteAck { ok } => out.extend_from_slice(&[TAG_WRITE_ACK, u8::from(*ok)]),
         ClientResponse::ReadResp { ok, value } => {
-            let mut out = vec![TAG_READ_RESP, u8::from(*ok), u8::from(value.is_some())];
-            write_varint(&mut out, value.unwrap_or(0));
-            out
+            out.extend_from_slice(&[TAG_READ_RESP, u8::from(*ok), u8::from(value.is_some())]);
+            write_varint(out, value.unwrap_or(0));
         }
         ClientResponse::Status(status) => {
             // The status field set changes across wire versions (v3 added
@@ -787,25 +903,24 @@ pub fn encode_response(resp: &ClientResponse) -> Vec<u8> {
             // resent/wal_appends/snapshots_written), so the payload opens
             // with the version: a client built against another version
             // fails loudly instead of misparsing shifted varints.
-            let mut out = vec![TAG_STATUS_RESP];
-            write_varint(&mut out, WIRE_VERSION);
+            out.push(TAG_STATUS_RESP);
+            write_varint(out, WIRE_VERSION);
             for v in status.fields() {
-                write_varint(&mut out, v);
+                write_varint(out, v);
             }
-            write_varint(&mut out, status.per_partition.len() as u64);
+            write_varint(out, status.per_partition.len() as u64);
             for pc in &status.per_partition {
-                write_varint(&mut out, pc.issued);
-                write_varint(&mut out, pc.applies);
-                write_varint(&mut out, pc.pending);
+                write_varint(out, pc.issued);
+                write_varint(out, pc.applies);
+                write_varint(out, pc.pending);
             }
-            out
         }
         ClientResponse::Trace(partitions) => {
-            let mut out = vec![TAG_TRACE_RESP];
-            write_varint(&mut out, partitions.len() as u64);
+            out.push(TAG_TRACE_RESP);
+            write_varint(out, partitions.len() as u64);
             for (checkpoint, events) in partitions {
-                encode_trace_checkpoint(checkpoint, &mut out);
-                write_varint(&mut out, events.len() as u64);
+                encode_trace_checkpoint(checkpoint, out);
+                write_varint(out, events.len() as u64);
                 for event in events {
                     match *event {
                         TraceEvent::Issue {
@@ -814,36 +929,33 @@ pub fn encode_response(resp: &ClientResponse) -> Vec<u8> {
                             update,
                         } => {
                             out.push(0);
-                            write_varint(&mut out, replica.index() as u64);
-                            write_varint(&mut out, u64::from(register.0));
-                            write_varint(&mut out, update);
+                            write_varint(out, replica.index() as u64);
+                            write_varint(out, u64::from(register.0));
+                            write_varint(out, update);
                         }
                         TraceEvent::Apply { replica, update } => {
                             out.push(1);
-                            write_varint(&mut out, replica.index() as u64);
-                            write_varint(&mut out, update);
+                            write_varint(out, replica.index() as u64);
+                            write_varint(out, update);
                         }
                     }
                 }
             }
-            out
         }
         ClientResponse::Config { version, map } => {
-            let mut out = vec![TAG_CONFIG_RESP];
-            write_varint(&mut out, *version);
-            encode_partition_map(map, &mut out);
-            out
+            out.push(TAG_CONFIG_RESP);
+            write_varint(out, *version);
+            encode_partition_map(map, out);
         }
         ClientResponse::Metrics(snapshot) => {
             // Version-stamped like Status: metric names and histogram
             // bucketing are a per-version contract, so a cross-version
             // scrape fails loudly instead of merging incompatible data.
-            let mut out = vec![TAG_METRICS_RESP];
-            write_varint(&mut out, WIRE_VERSION);
-            snapshot.encode(&mut out);
-            out
+            out.push(TAG_METRICS_RESP);
+            write_varint(out, WIRE_VERSION);
+            snapshot.encode(out);
         }
-        ClientResponse::Bye => vec![TAG_BYE],
+        ClientResponse::Bye => out.push(TAG_BYE),
     }
 }
 
@@ -983,10 +1095,86 @@ mod tests {
 
     #[test]
     fn oversized_frame_rejected() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
-        let mut cursor = io::Cursor::new(buf);
-        assert!(read_frame(&mut cursor).is_err());
+        // A hostile/corrupt length prefix must be refused with a
+        // descriptive error — by every reader variant, before any
+        // allocation or pool lease is attempted.
+        let huge = (u32::MAX).to_le_bytes();
+        let err = read_frame(&mut io::Cursor::new(huge)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("exceeds MAX_FRAME_BYTES"),
+            "undescriptive error: {err}"
+        );
+        let mut scratch = Vec::new();
+        assert!(read_frame_into(&mut io::Cursor::new(huge), &mut scratch).is_err());
+        let pool = BufPool::new(&prcc_telemetry::Registry::new());
+        assert!(read_frame_pooled(&mut io::Cursor::new(huge), &pool).is_err());
+        assert_eq!(pool.outstanding(), 0, "no lease taken for a refused prefix");
+        // The largest acceptable prefix is exactly MAX_FRAME_BYTES; one
+        // past it is refused (the boundary, with a short body so the
+        // accept case fails on EOF, not the bound).
+        let over = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
+        let err = read_frame(&mut io::Cursor::new(over)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let at = (MAX_FRAME_BYTES as u32).to_le_bytes();
+        let err = read_frame(&mut io::Cursor::new(at)).unwrap_err();
+        assert_eq!(
+            err.kind(),
+            io::ErrorKind::UnexpectedEof,
+            "bound itself accepted"
+        );
+    }
+
+    #[test]
+    fn pooled_and_into_reads_match_the_allocating_reader() {
+        // Property: for arbitrary frame sequences, read_frame_pooled and
+        // read_frame_into return byte-identical payloads to read_frame,
+        // frame by frame, including the clean-EOF boundary.
+        let pool = BufPool::new(&prcc_telemetry::Registry::new());
+        let mut wire = Vec::new();
+        let mut payloads: Vec<Vec<u8>> = Vec::new();
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        for k in 0..40usize {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let len = (seed % 5000) as usize * (k % 3); // mix of empty and sized
+            let body: Vec<u8> = (0..len).map(|i| (seed as usize + i) as u8).collect();
+            write_frame(&mut wire, &body).unwrap();
+            payloads.push(body);
+        }
+        let mut a = io::Cursor::new(wire.clone());
+        let mut b = io::Cursor::new(wire.clone());
+        let mut c = io::Cursor::new(wire);
+        let mut scratch = Vec::new();
+        for expect in &payloads {
+            let plain = read_frame(&mut a).unwrap().unwrap();
+            let pooled = read_frame_pooled(&mut b, &pool).unwrap().unwrap();
+            let n = read_frame_into(&mut c, &mut scratch).unwrap().unwrap();
+            assert_eq!(&plain, expect);
+            assert_eq!(&*pooled, expect, "pooled read must equal allocating read");
+            assert_eq!(&scratch[..n], &expect[..]);
+        }
+        assert!(read_frame(&mut a).unwrap().is_none());
+        assert!(read_frame_pooled(&mut b, &pool).unwrap().is_none());
+        assert!(read_frame_into(&mut c, &mut scratch).unwrap().is_none());
+        assert_eq!(pool.outstanding(), 0, "all leases returned");
+    }
+
+    #[test]
+    fn append_frame_backpatches_the_length_slot() {
+        // In-place framing must produce the same bytes as write_frame, and
+        // stack correctly after existing content.
+        let mut framed = b"prior".to_vec();
+        let n = append_frame(&mut framed, |out| out.extend_from_slice(b"payload")).unwrap();
+        assert_eq!(n, 11);
+        let mut reference = b"prior".to_vec();
+        write_frame(&mut reference, b"payload").unwrap();
+        assert_eq!(framed, reference);
+        // An empty payload frames as just the zero prefix.
+        let mut empty = Vec::new();
+        assert_eq!(append_frame(&mut empty, |_| {}).unwrap(), 4);
+        assert_eq!(empty, vec![0, 0, 0, 0]);
     }
 
     #[test]
@@ -1177,6 +1365,69 @@ mod tests {
                 .iter()
                 .all(|(_, u)| u.issued_at == VirtualTime::ZERO));
         }
+    }
+
+    #[test]
+    fn in_place_multi_batch_is_byte_identical_to_the_reference_encoder() {
+        // Property: on arbitrary sections (empty, skipped-empty, unsorted
+        // partitions, mixed sampled/unsampled stamps, varied pads) the
+        // in-place encoder appends exactly the bytes the copy-assemble
+        // reference produces — the interop guarantee for v6 peers.
+        let g = topologies::ring(4);
+        let p = EdgeProtocol::new(g);
+        let cases: Vec<FlushSections<prcc_clock::EdgeClock>> = vec![
+            Vec::new(),
+            vec![(PartitionId(0), Vec::new())],
+            vec![(PartitionId(3), with_seqs(1, sample_updates(&p, 1, 0)))],
+            vec![
+                (PartitionId(6), with_seqs(10, sample_updates(&p, 3, 0))),
+                (PartitionId(0), Vec::new()),
+                (PartitionId(1), with_seqs(2, sample_updates(&p, 1, 1))),
+                (PartitionId(4), with_seqs(90, sample_updates(&p, 7, 2))),
+            ],
+        ];
+        for sections in &cases {
+            for pad in [0usize, 1, 64, 1000] {
+                let reference = encode_multi_batch(sections, pad);
+                let mut in_place = b"preexisting".to_vec();
+                encode_multi_batch_into(sections, pad, &mut in_place);
+                assert_eq!(
+                    &in_place[b"preexisting".len()..],
+                    &reference[..],
+                    "in-place encode diverged (sections={}, pad={pad})",
+                    sections.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_client_and_ack_encoders_match_their_owned_forms() {
+        // The owned encoders delegate to the _into forms, so equality is
+        // structural — this pins the delegation (and the append-after-
+        // existing-content property) against regressions.
+        let mut out = vec![0xAB];
+        encode_hello_ack_into(12345, &mut out);
+        assert_eq!(&out[1..], &encode_hello_ack(12345)[..]);
+        let mut out = vec![0xAB];
+        encode_peer_ack_into(98765, &mut out);
+        assert_eq!(&out[1..], &encode_peer_ack(98765)[..]);
+        let req = ClientRequest::Write {
+            partition: PartitionId(3),
+            register: RegisterId(7),
+            value: 99,
+            pad: 32,
+        };
+        let mut out = vec![0xAB];
+        encode_request_into(&req, &mut out);
+        assert_eq!(&out[1..], &encode_request(&req)[..]);
+        let resp = ClientResponse::ReadResp {
+            ok: true,
+            value: Some(17),
+        };
+        let mut out = vec![0xAB];
+        encode_response_into(&resp, &mut out);
+        assert_eq!(&out[1..], &encode_response(&resp)[..]);
     }
 
     #[test]

@@ -38,10 +38,15 @@ pub mod snapshot;
 pub mod wal;
 
 pub use crc32::crc32;
-pub use record::{decode_record, encode_receipt_record, encode_record, ReceiptSections, WalRecord};
+pub use record::{
+    decode_record, encode_receipt_record, encode_receipt_record_into, encode_record,
+    encode_record_into, ReceiptSections, WalRecord,
+};
 pub use snapshot::{
     decode_snapshot, decode_trace_checkpoint, encode_snapshot, encode_trace_checkpoint,
     read_snapshot, write_snapshot, NodeSnapshot, PartitionSnapshot, PeerSnapshot, SNAPSHOT_MAGIC,
     SNAPSHOT_MAGIC_V1,
 };
-pub use wal::{scan_wal, Wal, WalRecovery, WalScan, MAX_WAL_RECORD, WAL_MAGIC};
+pub use wal::{
+    scan_wal, scan_wal_spans, Wal, WalRecovery, WalScan, WalScanSpans, MAX_WAL_RECORD, WAL_MAGIC,
+};

@@ -28,6 +28,7 @@ use std::io;
 const KIND_ISSUE: u8 = 1;
 const KIND_RECEIPT: u8 = 2;
 const KIND_CHECKPOINT: u8 = 3;
+const KIND_DIGEST: u8 = 4;
 
 /// The sections of one received peer flush frame: per partition present,
 /// its updates in order, each tagged with its per-link sequence number
@@ -72,6 +73,22 @@ pub enum WalRecord<C> {
         /// partition.
         seals: Vec<(PartitionId, u64)>,
     },
+    /// A post-snapshot digest seal: the chained checkpoint digest and
+    /// sealed event count of every hosted partition, as the snapshot that
+    /// immediately precedes this record captured them. Appended right
+    /// after the snapshot truncates the log, so it is the first record
+    /// replay processes; recovery compares it against the checkpoints
+    /// decoded *from the snapshot file* and refuses to boot on a
+    /// mismatch — a tampered or bit-rotted snapshot digest would
+    /// otherwise seed the audit trail with a false value that only
+    /// surfaces, unattributably, in a later cross-node stitch. Replay of
+    /// a log whose snapshot pre-dates this record kind simply never sees
+    /// one, so existing data directories boot unchanged.
+    Digest {
+        /// `(partition, sealed events, chained FNV-1a digest)` triples,
+        /// ascending by partition.
+        partitions: Vec<(PartitionId, u64, u64)>,
+    },
 }
 
 fn bad(what: &str) -> io::Error {
@@ -80,6 +97,15 @@ fn bad(what: &str) -> io::Error {
 
 /// Encodes a record (with its index) into a WAL payload.
 pub fn encode_record<C: WireClock>(index: u64, record: &WalRecord<C>) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_record_into(index, record, &mut out);
+    out
+}
+
+/// Appends a record's WAL payload to `out` in place — the staging entry
+/// point for sweep-scoped group commit, where every record of a sweep
+/// encodes into one flat buffer instead of an owned `Vec` each.
+pub fn encode_record_into<C: WireClock>(index: u64, record: &WalRecord<C>, out: &mut Vec<u8>) {
     match record {
         WalRecord::Issue {
             partition,
@@ -87,26 +113,34 @@ pub fn encode_record<C: WireClock>(index: u64, record: &WalRecord<C>) -> Vec<u8>
             value,
             wire_id,
         } => {
-            let mut out = Vec::new();
-            write_varint(&mut out, index);
+            write_varint(out, index);
             out.push(KIND_ISSUE);
-            write_varint(&mut out, u64::from(partition.0));
-            write_varint(&mut out, u64::from(register.0));
-            write_varint(&mut out, *value);
-            write_varint(&mut out, *wire_id);
-            out
+            write_varint(out, u64::from(partition.0));
+            write_varint(out, u64::from(register.0));
+            write_varint(out, *value);
+            write_varint(out, *wire_id);
         }
-        WalRecord::Receipt { peer, sections } => encode_receipt_record(index, *peer, sections),
+        WalRecord::Receipt { peer, sections } => {
+            encode_receipt_record_into(index, *peer, sections, out);
+        }
         WalRecord::Checkpoint { seals } => {
-            let mut out = Vec::new();
-            write_varint(&mut out, index);
+            write_varint(out, index);
             out.push(KIND_CHECKPOINT);
-            write_varint(&mut out, seals.len() as u64);
+            write_varint(out, seals.len() as u64);
             for (partition, events) in seals {
-                write_varint(&mut out, u64::from(partition.0));
-                write_varint(&mut out, *events);
+                write_varint(out, u64::from(partition.0));
+                write_varint(out, *events);
             }
-            out
+        }
+        WalRecord::Digest { partitions } => {
+            write_varint(out, index);
+            out.push(KIND_DIGEST);
+            write_varint(out, partitions.len() as u64);
+            for (partition, events, digest) in partitions {
+                write_varint(out, u64::from(partition.0));
+                write_varint(out, *events);
+                write_varint(out, *digest);
+            }
         }
     }
 }
@@ -120,19 +154,29 @@ pub fn encode_receipt_record<C: WireClock>(
     sections: &ReceiptSections<C>,
 ) -> Vec<u8> {
     let mut out = Vec::new();
-    write_varint(&mut out, index);
+    encode_receipt_record_into(index, peer, sections, &mut out);
+    out
+}
+
+/// The append-into variant of [`encode_receipt_record`].
+pub fn encode_receipt_record_into<C: WireClock>(
+    index: u64,
+    peer: u64,
+    sections: &ReceiptSections<C>,
+    out: &mut Vec<u8>,
+) {
+    write_varint(out, index);
     out.push(KIND_RECEIPT);
-    write_varint(&mut out, peer);
-    write_varint(&mut out, sections.len() as u64);
+    write_varint(out, peer);
+    write_varint(out, sections.len() as u64);
     for (partition, updates) in sections {
-        write_varint(&mut out, u64::from(partition.0));
-        write_varint(&mut out, updates.len() as u64);
+        write_varint(out, u64::from(partition.0));
+        write_varint(out, updates.len() as u64);
         for (seq, update) in updates {
-            write_varint(&mut out, *seq);
-            update.encode_wire(&mut out);
+            write_varint(out, *seq);
+            update.encode_wire(out);
         }
     }
-    out
 }
 
 /// Decodes a WAL payload back into `(index, record)`; `make_clock` maps
@@ -203,6 +247,21 @@ where
                 seals.push((PartitionId(partition), get_varint(payload, &mut at)?));
             }
             WalRecord::Checkpoint { seals }
+        }
+        KIND_DIGEST => {
+            let count = get_varint(payload, &mut at)? as usize;
+            if count > 1 << 20 {
+                return Err(bad("absurd digest count"));
+            }
+            let mut partitions = Vec::with_capacity(count.min(1 << 10));
+            for _ in 0..count {
+                let partition = u32::try_from(get_varint(payload, &mut at)?)
+                    .map_err(|_| bad("partition id out of range"))?;
+                let events = get_varint(payload, &mut at)?;
+                let digest = get_varint(payload, &mut at)?;
+                partitions.push((PartitionId(partition), events, digest));
+            }
+            WalRecord::Digest { partitions }
         }
         other => return Err(bad(&format!("unknown record kind {other}"))),
     };
