@@ -3,49 +3,328 @@
 //! Wraps `std::sync` locks behind parking_lot's panic-free, non-poisoning
 //! API (`lock()` returns the guard directly; a panic while holding the lock
 //! does not poison it for later users).
+//!
+//! This shim is also the workspace's *only* sanctioned locking primitive
+//! (enforced by `prcc-lint` rule `lock-hygiene`), which makes it the one
+//! place a runtime lock-order detector can see every acquisition in the
+//! process. With the detector compiled in — any `debug_assertions` build,
+//! or a release build with the `lock-order` cargo feature — every `Mutex`
+//! and `RwLock` carries a process-unique lock id plus an optional static
+//! *site* name ([`Mutex::named`] / [`RwLock::named`]); each blocking
+//! acquisition records `held -> acquiring` edges into a global acquisition
+//! graph and panics the moment an edge closes a cycle, naming both lock
+//! sites involved. A whole `cargo test` run therefore doubles as a
+//! deadlock-regression harness: an AB/BA inversion anywhere in the suite
+//! fails deterministically, even if the interleaving that would actually
+//! deadlock never fires. Release builds without the feature compile the
+//! detector out entirely — guards are zero-cost newtypes over the std
+//! guards.
+//!
+//! `try_lock`/`try_read`/`try_write` acquisitions are tracked as *held*
+//! (later blocking acquisitions order against them) but record no edges of
+//! their own: a non-blocking acquisition can never be the waiting half of a
+//! deadlock.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
 use std::sync::PoisonError;
 
-/// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// The lock-order detector. Compiled (and running) in `debug_assertions`
+/// builds and under the `lock-order` feature; a stub otherwise.
+pub mod lock_order {
+    /// Whether the lock-order detector is compiled into this build.
+    pub const fn enabled() -> bool {
+        cfg!(any(debug_assertions, feature = "lock-order"))
+    }
+
+    #[cfg(any(debug_assertions, feature = "lock-order"))]
+    pub(crate) mod imp {
+        use std::cell::RefCell;
+        use std::collections::{HashMap, HashSet};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+        /// Process-unique lock-instance ids (0 is never assigned).
+        static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+        pub(crate) fn new_lock_id() -> u64 {
+            NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed)
+        }
+
+        /// The global acquisition graph: `edges[u]` holds every lock id
+        /// ever acquired (blocking) while `u` was held, `names` the site
+        /// labels. Guarded by a *std* mutex — the detector must not recurse
+        /// into itself.
+        struct Graph {
+            edges: HashMap<u64, HashSet<u64>>,
+            names: HashMap<u64, &'static str>,
+        }
+
+        fn graph() -> &'static StdMutex<Graph> {
+            static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+            GRAPH.get_or_init(|| {
+                StdMutex::new(Graph {
+                    edges: HashMap::new(),
+                    names: HashMap::new(),
+                })
+            })
+        }
+
+        thread_local! {
+            /// Lock ids this thread currently holds, in acquisition order.
+            static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+        }
+
+        pub(crate) fn register(id: u64, site: &'static str) {
+            let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+            g.names.insert(id, site);
+        }
+
+        fn site_of(g: &Graph, id: u64) -> String {
+            match g.names.get(&id) {
+                Some(name) => format!("`{name}` (lock #{id})"),
+                None => format!("unnamed lock #{id}"),
+            }
+        }
+
+        /// Depth-first reachability over the edge map.
+        fn reaches(edges: &HashMap<u64, HashSet<u64>>, from: u64, to: u64) -> bool {
+            let mut stack = vec![from];
+            let mut seen = HashSet::new();
+            while let Some(u) = stack.pop() {
+                if u == to {
+                    return true;
+                }
+                if !seen.insert(u) {
+                    continue;
+                }
+                if let Some(next) = edges.get(&u) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+            false
+        }
+
+        /// A held-set entry; popped when the guard drops (including during
+        /// unwinding, so a panicking holder leaves no stale entry behind).
+        pub(crate) struct Acquired(u64);
+
+        impl Drop for Acquired {
+            fn drop(&mut self) {
+                let id = self.0;
+                HELD.with(|h| {
+                    let mut held = h.borrow_mut();
+                    if let Some(pos) = held.iter().rposition(|&x| x == id) {
+                        held.remove(pos);
+                    }
+                });
+            }
+        }
+
+        /// Records a *blocking* acquisition of `id`: adds one edge per held
+        /// lock and panics — naming both sites — if any new edge closes a
+        /// cycle in the acquisition graph. Returns the held-set token.
+        pub(crate) fn acquire(id: u64) -> Acquired {
+            let inversion: Option<String> = HELD.with(|h| {
+                let held = h.borrow();
+                if held.is_empty() {
+                    return None;
+                }
+                let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+                for &u in held.iter() {
+                    if u == id {
+                        // Re-acquiring a lock this thread already holds
+                        // (shared RwLock reads): no ordering information.
+                        continue;
+                    }
+                    if g.edges.entry(u).or_default().insert(id) && reaches(&g.edges, id, u) {
+                        return Some(format!(
+                            "lock-order inversion: acquiring {} while holding {} \
+                             contradicts the already-established acquisition order \
+                             (the graph holds a path from the former back to the \
+                             latter); a schedule acquiring them concurrently in \
+                             both orders deadlocks",
+                            site_of(&g, id),
+                            site_of(&g, u),
+                        ));
+                    }
+                }
+                None
+            });
+            // Panic only after the graph guard above is released.
+            if let Some(msg) = inversion {
+                panic!("{msg}");
+            }
+            HELD.with(|h| h.borrow_mut().push(id));
+            Acquired(id)
+        }
+
+        /// Records a *non-blocking* acquisition: held-set only, no edges
+        /// (a `try_` acquisition never waits, so it cannot deadlock).
+        pub(crate) fn acquire_try(id: u64) -> Acquired {
+            HELD.with(|h| h.borrow_mut().push(id));
+            Acquired(id)
+        }
+    }
+}
+
+#[cfg(any(debug_assertions, feature = "lock-order"))]
+use lock_order::imp as det;
+
+/// The per-lock detector state: a process-unique id, assigned at
+/// construction. Compiled out entirely when the detector is off.
+#[cfg(any(debug_assertions, feature = "lock-order"))]
+#[derive(Debug)]
+struct LockId(u64);
+
+#[cfg(any(debug_assertions, feature = "lock-order"))]
+impl LockId {
+    fn new(site: Option<&'static str>) -> Self {
+        let id = det::new_lock_id();
+        if let Some(site) = site {
+            det::register(id, site);
+        }
+        LockId(id)
+    }
+}
+
+// The unit stand-in is "never read" by design — it exists so the lock
+// structs have the same shape whether or not the detector is compiled.
+#[cfg(not(any(debug_assertions, feature = "lock-order")))]
+#[derive(Debug)]
+#[allow(dead_code)]
+struct LockId;
+
+#[cfg(not(any(debug_assertions, feature = "lock-order")))]
+impl LockId {
+    fn new(_site: Option<&'static str>) -> Self {
+        LockId
+    }
+}
+
+macro_rules! guard_struct {
+    ($(#[$doc:meta])* $name:ident, $std:ident) => {
+        $(#[$doc])*
+        pub struct $name<'a, T: ?Sized> {
+            inner: std::sync::$std<'a, T>,
+            #[cfg(any(debug_assertions, feature = "lock-order"))]
+            _held: det::Acquired,
+        }
+
+        impl<T: ?Sized> std::ops::Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        impl<T: ?Sized + fmt::Debug> fmt::Debug for $name<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(&**self, f)
+            }
+        }
+    };
+}
+
+guard_struct!(
+    /// Guard returned by [`Mutex::lock`]; releases the lock on drop.
+    MutexGuard,
+    MutexGuard
+);
+guard_struct!(
+    /// Shared guard returned by [`RwLock::read`].
+    RwLockReadGuard,
+    RwLockReadGuard
+);
+guard_struct!(
+    /// Exclusive guard returned by [`RwLock::write`].
+    RwLockWriteGuard,
+    RwLockWriteGuard
+);
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 /// A mutex whose `lock` never fails, mirroring `parking_lot::Mutex`.
-#[derive(Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    // Read only when the lock-order detector is compiled in.
+    #[allow(dead_code)]
+    id: LockId,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
 
 impl<T> Mutex<T> {
     /// Creates the mutex holding `value`.
     pub fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            id: LockId::new(None),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates the mutex with a static *site* name for lock-order
+    /// diagnostics: an inversion panic names this site. With the detector
+    /// compiled out this is identical to [`Mutex::new`].
+    pub fn named(value: T, site: &'static str) -> Self {
+        Mutex {
+            id: LockId::new(Some(site)),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, ignoring poisoning (parking_lot semantics).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(any(debug_assertions, feature = "lock-order"))]
+        let held = det::acquire(self.id.0);
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(any(debug_assertions, feature = "lock-order"))]
+            _held: held,
+        }
     }
 
     /// Tries to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(guard) => Some(guard),
-            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner,
+            #[cfg(any(debug_assertions, feature = "lock-order"))]
+            _held: det::acquire_try(self.id.0),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -54,6 +333,112 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
         match self.try_lock() {
             Some(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
             None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// A reader-writer lock mirroring `parking_lot::RwLock`: `read`/`write`
+/// return guards directly and poisoning is ignored.
+pub struct RwLock<T: ?Sized> {
+    // Read only when the lock-order detector is compiled in.
+    #[allow(dead_code)]
+    id: LockId,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T> RwLock<T> {
+    /// Creates the lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: LockId::new(None),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates the lock with a static site name for lock-order diagnostics.
+    pub fn named(value: T, site: &'static str) -> Self {
+        RwLock {
+            id: LockId::new(Some(site)),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(any(debug_assertions, feature = "lock-order"))]
+        let held = det::acquire(self.id.0);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(any(debug_assertions, feature = "lock-order"))]
+            _held: held,
+        }
+    }
+
+    /// Acquires the exclusive write guard, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(any(debug_assertions, feature = "lock-order"))]
+        let held = det::acquire(self.id.0);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(any(debug_assertions, feature = "lock-order"))]
+            _held: held,
+        }
+    }
+
+    /// Tries to acquire a read guard without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let inner = match self.inner.try_read() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockReadGuard {
+            inner,
+            #[cfg(any(debug_assertions, feature = "lock-order"))]
+            _held: det::acquire_try(self.id.0),
+        })
+    }
+
+    /// Tries to acquire the write guard without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let inner = match self.inner.try_write() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockWriteGuard {
+            inner,
+            #[cfg(any(debug_assertions, feature = "lock-order"))]
+            _held: det::acquire_try(self.id.0),
+        })
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(guard) => f.debug_tuple("RwLock").field(&&*guard).finish(),
+            None => f.write_str("RwLock(<locked>)"),
         }
     }
 }
@@ -101,5 +486,75 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 1, "no poisoning surfaced");
+    }
+
+    #[test]
+    fn rwlock_survives_panic_in_write_holder() {
+        let l = Arc::new(RwLock::new(7));
+        let l2 = Arc::clone(&l);
+        let _ = thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*l.read(), 7, "no poisoning surfaced");
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+    }
+
+    #[test]
+    fn try_lock_contention() {
+        let m = Mutex::new(0u32);
+        let held = m.lock();
+        assert!(
+            m.try_lock().is_none(),
+            "try_lock must not acquire a held mutex"
+        );
+        drop(held);
+        let mut guard = m.try_lock().expect("released mutex must try_lock");
+        *guard = 3;
+        drop(guard);
+        assert_eq!(*m.lock(), 3);
+    }
+
+    #[test]
+    fn try_lock_contention_across_threads() {
+        let m = Arc::new(Mutex::new(()));
+        let (hold_tx, hold_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let holder = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                let _guard = m.lock();
+                hold_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            })
+        };
+        hold_rx.recv().unwrap();
+        assert!(m.try_lock().is_none(), "held in another thread");
+        release_tx.send(()).unwrap();
+        holder.join().unwrap();
+        assert!(m.try_lock().is_some(), "free after the holder exits");
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = RwLock::new(1u32);
+        let r1 = l.read();
+        let r2 = l.try_read().expect("readers share");
+        assert_eq!((*r1, *r2), (1, 1));
+        assert!(l.try_write().is_none(), "writer excluded by readers");
+        drop((r1, r2));
+        *l.try_write().expect("free lock must try_write") = 2;
+        assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn named_locks_behave_like_anonymous_ones() {
+        let m = Mutex::named(41, "tests.named");
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 42);
+        let l = RwLock::named(1, "tests.named_rw");
+        assert_eq!(*l.read(), 1);
     }
 }

@@ -1,0 +1,175 @@
+//! Lock-order detector regression tests.
+//!
+//! These run whenever the detector is compiled in: every `debug_assertions`
+//! build (a plain `cargo test`) and release builds with `--features
+//! lock-order`. In a release build without the feature the detector is
+//! compiled out and the inversion tests are skipped — `enabled()` reports
+//! which regime the binary is in.
+
+use parking_lot::{lock_order, Mutex, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+
+/// Runs `f` and returns the panic message it died with, if any.
+fn panic_message(f: impl FnOnce()) -> Option<String> {
+    let result = catch_unwind(AssertUnwindSafe(f));
+    result.err().map(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".to_string())
+    })
+}
+
+#[test]
+fn ab_ba_inversion_panics_naming_both_sites() {
+    if !lock_order::enabled() {
+        return;
+    }
+    let a = Mutex::named(0u32, "inversion.a");
+    let b = Mutex::named(0u32, "inversion.b");
+    // Establish A -> B.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    // The inverted acquisition must panic deterministically — no concurrent
+    // schedule required, the graph already knows the established order.
+    let msg = panic_message(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    })
+    .expect("BA after AB must panic");
+    assert!(
+        msg.contains("inversion.a") && msg.contains("inversion.b"),
+        "panic must name both lock sites, got: {msg}"
+    );
+}
+
+#[test]
+fn consistent_order_never_panics() {
+    if !lock_order::enabled() {
+        return;
+    }
+    let a = Arc::new(Mutex::named(0u64, "consistent.a"));
+    let b = Arc::new(Mutex::named(0u64, "consistent.b"));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                for _ in 0..200 {
+                    let mut ga = a.lock();
+                    let mut gb = b.lock();
+                    *ga += 1;
+                    *gb += 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join()
+            .expect("a consistent A-then-B order must never trip");
+    }
+    assert_eq!(*a.lock(), 800);
+    assert_eq!(*b.lock(), 800);
+}
+
+#[test]
+fn three_lock_cycle_is_caught_at_the_closing_edge() {
+    if !lock_order::enabled() {
+        return;
+    }
+    let a = Mutex::named(0u32, "cycle3.a");
+    let b = Mutex::named(0u32, "cycle3.b");
+    let c = Mutex::named(0u32, "cycle3.c");
+    // A -> B and B -> C are fine individually...
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _gc = c.lock();
+    }
+    // ...but C -> A closes the cycle through the transitive path.
+    let msg = panic_message(|| {
+        let _gc = c.lock();
+        let _ga = a.lock();
+    })
+    .expect("closing a 3-cycle must panic");
+    assert!(
+        msg.contains("cycle3.c") && msg.contains("cycle3.a"),
+        "panic names the closing edge's two sites, got: {msg}"
+    );
+}
+
+#[test]
+fn rwlock_inversion_against_mutex_is_caught() {
+    if !lock_order::enabled() {
+        return;
+    }
+    let m = Mutex::named(0u32, "mixed.mutex");
+    let rw = RwLock::named(0u32, "mixed.rwlock");
+    {
+        let _gm = m.lock();
+        let _gr = rw.read();
+    }
+    let msg = panic_message(|| {
+        let _gw = rw.write();
+        let _gm = m.lock();
+    })
+    .expect("rwlock/mutex inversion must panic");
+    assert!(
+        msg.contains("mixed.mutex") && msg.contains("mixed.rwlock"),
+        "panic must name both sites, got: {msg}"
+    );
+}
+
+#[test]
+fn guard_drop_during_unwind_clears_the_held_set() {
+    if !lock_order::enabled() {
+        return;
+    }
+    let a = Mutex::named(0u32, "unwind.a");
+    let b = Mutex::named(0u32, "unwind.b");
+    let msg = panic_message(|| {
+        let _ga = a.lock();
+        panic!("holder dies");
+    });
+    assert_eq!(msg.as_deref(), Some("holder dies"));
+    // Had the unwind leaked `a` in this thread's held set, this acquisition
+    // would record a phantom a -> b edge; the reverse order below would
+    // then falsely trip. Both must stay silent.
+    {
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+    {
+        let _ga = a.lock();
+    }
+}
+
+#[test]
+fn try_lock_does_not_establish_ordering() {
+    if !lock_order::enabled() {
+        return;
+    }
+    let a = Mutex::named(0u32, "trylock.a");
+    let b = Mutex::named(0u32, "trylock.b");
+    // try_lock cannot block, so holding B via try_lock and then taking A
+    // after an established A -> B order is not a deadlock schedule.
+    {
+        let _ga = a.lock();
+        let _gb = b.try_lock().expect("uncontended");
+    }
+    {
+        let _gb = b.try_lock().expect("uncontended");
+        let _ga = a.lock();
+    }
+}

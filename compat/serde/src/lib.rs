@@ -11,6 +11,8 @@
 //! `prcc_service::wire` (length-prefixed frames), which together form the
 //! real, tested serialization path used by the TCP deployment.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.

@@ -5,6 +5,8 @@
 //! empty token stream. The `serde` attribute is registered so field/container
 //! attributes would not break compilation if ever added.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; see the `serde` shim crate for rationale.

@@ -1,0 +1,54 @@
+//! `prcc-lint` — run the workspace invariant linter.
+//!
+//! ```text
+//! prcc-lint [--root <dir>]
+//! ```
+//!
+//! Walks every `.rs` file under the root (default: the current
+//! directory), prints one `file:line: [rule] message` diagnostic per
+//! violation, and exits 1 when any fired — the CI gate shape.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("prcc-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: prcc-lint [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("prcc-lint: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let files = prcc_analyzer::collect_rs_files(&root).len();
+    let diagnostics = prcc_analyzer::lint_root(&root);
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        println!("prcc-lint: clean ({files} files)");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "prcc-lint: {} violation(s) across {files} files",
+            diagnostics.len()
+        );
+        ExitCode::FAILURE
+    }
+}

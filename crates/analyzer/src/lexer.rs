@@ -1,0 +1,385 @@
+//! A minimal Rust lexer: just enough to tell code from comments, strings
+//! and lifetimes, so the rules in [`crate::rules`] can pattern-match on
+//! identifier/punctuation token sequences without false hits inside
+//! string literals or doc comments.
+//!
+//! Not a full lexer — numeric literal edge cases (exponent signs) and
+//! exotic raw identifiers are tokenized approximately — but every
+//! construct the rules care about (`.unwrap()`, `std::sync::Mutex`,
+//! `vec![`, `#![forbid(unsafe_code)]`) comes out as a clean token run,
+//! and `// lint: …` directives are extracted with their line numbers.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `let`, `Mutex`, `_`).
+    Ident,
+    /// One punctuation character (`.`, `(`, `;`, `!`, …).
+    Punct,
+    /// A string/char/byte/numeric literal (text not preserved verbatim).
+    Literal,
+    /// A lifetime (`'a`, `'static`), label included.
+    Lifetime,
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Coarse classification driving rule matching.
+    pub kind: TokKind,
+    /// Source text (empty for literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A `// lint: …` marker extracted from a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `// lint: hot-path` — opens an allocation-free fence.
+    HotPathStart,
+    /// `// lint: end-hot-path` — closes it.
+    HotPathEnd,
+    /// `// lint: allow(<rule>) <reason>` — suppresses `rule` on this
+    /// line and the next.
+    Allow {
+        /// Which rule to suppress (`unwrap`, `alloc`, …).
+        rule: String,
+        /// Mandatory justification text.
+        reason: String,
+    },
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Well-formed directives with the line they appear on.
+    pub directives: Vec<(u32, Directive)>,
+    /// Comments that start with `lint:` but don't parse — a typoed
+    /// directive silently doing nothing would be worse than an error.
+    pub bad_directives: Vec<(u32, String)>,
+}
+
+/// Lexes `src` into tokens and lint directives.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let is_ident_start = |c: char| c.is_ascii_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            // Line comment: scan to end of line, then look for a directive.
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[start..j].iter().collect();
+            parse_directive(text.trim(), line, &mut out);
+            i = j;
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            // Block comment, nested as in Rust.
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            i = skip_string(&chars, i, &mut line);
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+            });
+        } else if c == '\'' {
+            // Lifetime or char literal. A lone `'x` followed by a
+            // non-quote is a lifetime/label; anything else is a char.
+            if i + 1 < n && is_ident_start(chars[i + 1]) && chars[i + 1] != '\\' {
+                let mut j = i + 1;
+                while j < n && is_ident(chars[j]) {
+                    j += 1;
+                }
+                if j < n && chars[j] == '\'' && j == i + 2 {
+                    // 'a' — a one-character char literal.
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j + 1;
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: chars[i + 1..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+            } else {
+                // Escaped or non-ident char literal: scan to the closing
+                // quote, honoring backslash escapes.
+                let mut j = i + 1;
+                while j < n && chars[j] != '\'' {
+                    j += if chars[j] == '\\' { 2 } else { 1 };
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                i = (j + 1).min(n);
+            }
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident(chars[i]) {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            // Raw/byte string prefixes swallow the quoted body.
+            let next = chars.get(i).copied();
+            match (word.as_str(), next) {
+                ("r" | "br" | "rb", Some('"' | '#')) => {
+                    i = skip_raw_string(&chars, i, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                }
+                ("b", Some('"')) => {
+                    i = skip_string(&chars, i, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                }
+                _ => out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: word,
+                    line,
+                }),
+            }
+        } else if c.is_ascii_digit() {
+            // Numbers: digits, `_`, alnum suffixes/radix letters, and a
+            // decimal point when followed by another digit (so `1.max(2)`
+            // still lexes the method call).
+            i += 1;
+            while i < n
+                && (is_ident(chars[i])
+                    || (chars[i] == '.' && i + 1 < n && chars[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+            });
+        } else {
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` string starting at the quote (index `at` points at the
+/// opening `"` or the prefix just before it). Returns the index past the
+/// closing quote.
+fn skip_string(chars: &[char], at: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    let mut i = at;
+    // Step onto the opening quote if we were handed a prefix position.
+    while i < n && chars[i] != '"' {
+        i += 1;
+    }
+    i += 1;
+    while i < n {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Consumes a raw string body starting at the hashes/quote after an
+/// `r`/`br` prefix. Returns the index past the closing delimiter.
+fn skip_raw_string(chars: &[char], at: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    let mut i = at;
+    let mut hashes = 0usize;
+    while i < n && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < n && chars[i] == '"' {
+        i += 1;
+    }
+    while i < n {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if chars[i] == '"'
+            && chars[i + 1..].iter().take_while(|&&c| c == '#').count() >= hashes
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    n
+}
+
+/// Parses one comment body; pushes a directive or a bad-directive report
+/// when the comment claims to be one.
+fn parse_directive(text: &str, line: u32, out: &mut Lexed) {
+    let Some(rest) = text.strip_prefix("lint:") else {
+        return;
+    };
+    let rest = rest.trim();
+    if rest == "hot-path" {
+        out.directives.push((line, Directive::HotPathStart));
+    } else if rest == "end-hot-path" {
+        out.directives.push((line, Directive::HotPathEnd));
+    } else if let Some(after) = rest.strip_prefix("allow(") {
+        match after.split_once(')') {
+            Some((rule, reason)) if !rule.trim().is_empty() => {
+                let reason = reason.trim();
+                if reason.is_empty() {
+                    out.bad_directives
+                        .push((line, format!("allow({}) needs a reason", rule.trim())));
+                } else {
+                    out.directives.push((
+                        line,
+                        Directive::Allow {
+                            rule: rule.trim().to_string(),
+                            reason: reason.to_string(),
+                        },
+                    ));
+                }
+            }
+            _ => out
+                .bad_directives
+                .push((line, format!("malformed allow directive: {rest}"))),
+        }
+    } else {
+        out.bad_directives
+            .push((line, format!("unknown lint directive: {rest}")));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // this unwrap() is a comment
+            /* so is /* this nested */ unwrap() */
+            let s = "call .unwrap() here";
+            let r = r#"and "unwrap" here"#;
+            real.unwrap();
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|w| *w == "unwrap").count(),
+            1,
+            "only the real call tokenizes: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_string()));
+        let toks = lex("let c = 'x'; let l: &'static str = s;");
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+    }
+
+    #[test]
+    fn directives_parse_with_lines() {
+        let src = "fn a() {}\n// lint: hot-path\nfn b() {}\n// lint: allow(unwrap) cap checked\n// lint: end-hot-path\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.directives[0], (2, Directive::HotPathStart));
+        assert_eq!(
+            lexed.directives[1],
+            (
+                4,
+                Directive::Allow {
+                    rule: "unwrap".into(),
+                    reason: "cap checked".into()
+                }
+            )
+        );
+        assert_eq!(lexed.directives[2], (5, Directive::HotPathEnd));
+    }
+
+    #[test]
+    fn typoed_directives_are_reported_not_ignored() {
+        let lexed = lex("// lint: hotpath\n// lint: allow(unwrap)\n");
+        assert_eq!(lexed.directives.len(), 0);
+        assert_eq!(lexed.bad_directives.len(), 2);
+    }
+
+    #[test]
+    fn byte_and_raw_strings_are_single_literals() {
+        let lexed = lex(r###"let x = b"ab\"cd"; let y = r##"no "# end"##; done"###);
+        assert!(lexed.tokens.iter().any(|t| t.text == "done"));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "ab"));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "end"));
+    }
+
+    #[test]
+    fn method_calls_on_numbers_survive() {
+        let ids = idents("let m = 1.max(2); let f = 1.5; let h = 0xFF_u32;");
+        assert!(ids.contains(&"max".to_string()));
+    }
+}

@@ -1,0 +1,546 @@
+//! The five workspace invariants, checked over one file's token stream.
+//!
+//! Each rule guards a property the test suite can't see directly:
+//!
+//! 1. **wal-discard** — a `Wal::append` / `append_batch` / `stage_payload`
+//!    result must reach a fail-stop decision; discarding it (`let _ =`,
+//!    `.ok()`, a bare statement) silently breaks append-before-apply.
+//! 2. **hot-path-alloc** — regions fenced by `// lint: hot-path` /
+//!    `// lint: end-hot-path` must not allocate: no `Vec::new`/`vec!`/
+//!    `format!`/`.clone()`/`.to_vec()` and no owned (non-`_into`) wire
+//!    encoders. `Vec::with_capacity` is allowed (bounded, up-front).
+//! 3. **unwrap** — non-test service/storage code must not `unwrap()` or
+//!    `expect()` without a `// lint: allow(unwrap) <reason>` annotation:
+//!    replica nodes fail stop on *checked* invariants, not on accidents.
+//! 4. **std-lock** — `std::sync::Mutex`/`RwLock` are forbidden outside
+//!    `compat/`: the `parking_lot` shim adds lock-order detection, and a
+//!    raw std lock would dodge it.
+//! 5. **forbid-unsafe** — every crate root carries
+//!    `#![forbid(unsafe_code)]`.
+//!
+//! Rules 1–4 accept per-line `// lint: allow(<rule>) <reason>` escapes
+//! (the annotation covers its own line and the next).
+
+use crate::lexer::{lex, Directive, TokKind, Token};
+use std::collections::{HashMap, HashSet};
+
+/// One finding: `file` is filled in by the walker, not here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// 1-based source line.
+    pub line: u32,
+    /// Stable rule id (`wal-discard`, `unwrap`, …).
+    pub rule: &'static str,
+    /// Human-readable explanation with the fix direction.
+    pub message: String,
+}
+
+/// Rule 1: WAL append results must reach a fail-stop decision.
+pub const RULE_WAL_DISCARD: &str = "wal-discard";
+/// Rule 2: no allocation inside `// lint: hot-path` fences.
+pub const RULE_HOT_PATH: &str = "hot-path-alloc";
+/// Rule 3: no unannotated `unwrap`/`expect` in service/storage.
+pub const RULE_UNWRAP: &str = "unwrap";
+/// Rule 4: no `std::sync` locks outside `compat/`.
+pub const RULE_STD_LOCK: &str = "std-lock";
+/// Rule 5: crate roots must carry `#![forbid(unsafe_code)]`.
+pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+/// Meta rule: malformed or unbalanced `// lint:` directives.
+pub const RULE_DIRECTIVE: &str = "directive";
+
+/// The allow-annotation rule names users may write.
+const ALLOWED_RULES: [&str; 4] = ["unwrap", "alloc", "std-lock", "wal-discard"];
+
+/// WAL mutation methods whose results must not be discarded.
+const WAL_METHODS: [&str; 3] = ["append", "append_batch", "stage_payload"];
+
+/// Owned encoders with an `_into` sibling; calling the owned form inside
+/// a hot-path fence defeats the pooled-buffer design.
+const OWNED_ENCODERS: [&str; 7] = [
+    "encode_hello_ack",
+    "encode_peer_ack",
+    "encode_batch",
+    "encode_multi_batch",
+    "encode_request",
+    "encode_response",
+    "encode_peer_hello",
+];
+
+/// Checks one file. `rel` is the workspace-relative path with `/`
+/// separators (it drives rule scoping); `is_crate_root` enables rule 5.
+pub fn check_file(rel: &str, src: &str, is_crate_root: bool) -> Vec<Finding> {
+    let lexed = lex(src);
+    let mut findings = Vec::new();
+
+    for (line, why) in &lexed.bad_directives {
+        findings.push(Finding {
+            line: *line,
+            rule: RULE_DIRECTIVE,
+            message: why.clone(),
+        });
+    }
+
+    let allows = allow_map(&lexed.directives, &mut findings);
+    let fences = fence_spans(&lexed.directives, &mut findings);
+    let toks = &lexed.tokens;
+    let test_skip = test_spans(toks);
+    let in_tests = |i: usize| test_skip.iter().any(|&(a, b)| i >= a && i < b);
+    let allowed = |line: u32, rule: &str| allows.get(&line).is_some_and(|set| set.contains(rule));
+    let in_fence = |line: u32| fences.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let compat = rel.starts_with("compat/");
+    let test_dir = rel
+        .split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples");
+    let service_storage = rel.contains("crates/service/src") || rel.contains("crates/storage/src");
+
+    if is_crate_root && !has_forbid_unsafe(toks) {
+        findings.push(Finding {
+            line: 1,
+            rule: RULE_FORBID_UNSAFE,
+            message: "crate root is missing #![forbid(unsafe_code)]".into(),
+        });
+    }
+
+    for i in 0..toks.len() {
+        if in_tests(i) || test_dir {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].text == ".";
+        let next_paren = toks.get(i + 1).is_some_and(|t| t.text == "(");
+        let next_bang = toks.get(i + 1).is_some_and(|t| t.text == "!");
+
+        // Rule 3: panic hygiene in service/storage.
+        if service_storage
+            && prev_dot
+            && next_paren
+            && matches!(t.text.as_str(), "unwrap" | "expect")
+            && !allowed(t.line, "unwrap")
+        {
+            findings.push(Finding {
+                line: t.line,
+                rule: RULE_UNWRAP,
+                message: format!(
+                    ".{}() in service/storage code: return the error (fail stop) \
+                     or annotate `// lint: allow(unwrap) <why it cannot fire>`",
+                    t.text
+                ),
+            });
+        }
+
+        // Rule 1: WAL results must reach a fail-stop decision.
+        if service_storage
+            && prev_dot
+            && next_paren
+            && WAL_METHODS.contains(&t.text.as_str())
+            && !allowed(t.line, "wal-discard")
+        {
+            if let Some(message) = wal_discard(toks, i) {
+                findings.push(Finding {
+                    line: t.line,
+                    rule: RULE_WAL_DISCARD,
+                    message,
+                });
+            }
+        }
+
+        // Rule 4: std locks outside compat/.
+        if !compat && t.text == "std" && path_is(toks, i + 1, &[":", ":", "sync"]) {
+            for hit in std_lock_idents(toks, i) {
+                if !allowed(toks[hit].line, "std-lock") {
+                    findings.push(Finding {
+                        line: toks[hit].line,
+                        rule: RULE_STD_LOCK,
+                        message: format!(
+                            "std::sync::{} bypasses the compat/parking_lot shim \
+                             (and its lock-order detector)",
+                            toks[hit].text
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rule 2: allocations inside hot-path fences.
+        if in_fence(t.line) && !allowed(t.line, "alloc") {
+            let offense = if matches!(t.text.as_str(), "vec" | "format") && next_bang {
+                Some(format!("{}! allocates", t.text))
+            } else if matches!(t.text.as_str(), "Vec" | "String" | "Box")
+                && path_is(toks, i + 1, &[":", ":", "new"])
+            {
+                Some(format!("{}::new() allocates per call", t.text))
+            } else if prev_dot
+                && next_paren
+                && matches!(
+                    t.text.as_str(),
+                    "clone" | "to_vec" | "to_string" | "to_owned"
+                )
+            {
+                Some(format!(".{}() copies into a fresh allocation", t.text))
+            } else if next_paren
+                && OWNED_ENCODERS.contains(&t.text.as_str())
+                && !prev_is(toks, i, "fn")
+                && !prev_dot
+            {
+                Some(format!(
+                    "{} returns an owned Vec; use {}_into with a pooled buffer",
+                    t.text, t.text
+                ))
+            } else {
+                None
+            };
+            if let Some(what) = offense {
+                findings.push(Finding {
+                    line: t.line,
+                    rule: RULE_HOT_PATH,
+                    message: format!(
+                        "{what} inside a `// lint: hot-path` fence \
+                         (annotate `// lint: allow(alloc) <reason>` if deliberate)"
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Builds line → allowed-rule-set from `allow` directives; an annotation
+/// covers its own line (trailing comment) and the next (its own line).
+fn allow_map(
+    directives: &[(u32, Directive)],
+    findings: &mut Vec<Finding>,
+) -> HashMap<u32, HashSet<String>> {
+    let mut map: HashMap<u32, HashSet<String>> = HashMap::new();
+    for (line, d) in directives {
+        if let Directive::Allow { rule, .. } = d {
+            if !ALLOWED_RULES.contains(&rule.as_str()) {
+                findings.push(Finding {
+                    line: *line,
+                    rule: RULE_DIRECTIVE,
+                    message: format!(
+                        "unknown rule in allow({rule}); known: {}",
+                        ALLOWED_RULES.join(", ")
+                    ),
+                });
+                continue;
+            }
+            map.entry(*line).or_default().insert(rule.clone());
+            map.entry(*line + 1).or_default().insert(rule.clone());
+        }
+    }
+    map
+}
+
+/// Pairs hot-path fence markers into inclusive line spans; unbalanced
+/// markers are findings (a fence that never closes would silently fence
+/// the rest of the file — or nothing).
+fn fence_spans(directives: &[(u32, Directive)], findings: &mut Vec<Finding>) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut open: Option<u32> = None;
+    for (line, d) in directives {
+        match d {
+            Directive::HotPathStart => {
+                if let Some(at) = open {
+                    findings.push(Finding {
+                        line: *line,
+                        rule: RULE_DIRECTIVE,
+                        message: format!(
+                            "hot-path fence opened again (previous open at line {at})"
+                        ),
+                    });
+                } else {
+                    open = Some(*line);
+                }
+            }
+            Directive::HotPathEnd => match open.take() {
+                Some(at) => spans.push((at, *line)),
+                None => findings.push(Finding {
+                    line: *line,
+                    rule: RULE_DIRECTIVE,
+                    message: "end-hot-path without an open fence".into(),
+                }),
+            },
+            Directive::Allow { .. } => {}
+        }
+    }
+    if let Some(at) = open {
+        findings.push(Finding {
+            line: at,
+            rule: RULE_DIRECTIVE,
+            message: "hot-path fence never closed".into(),
+        });
+    }
+    spans
+}
+
+/// True when `tokens[at..]` spell exactly `expected` (text match).
+fn path_is(tokens: &[Token], at: usize, expected: &[&str]) -> bool {
+    expected
+        .iter()
+        .enumerate()
+        .all(|(k, want)| tokens.get(at + k).is_some_and(|t| t.text == *want))
+}
+
+fn prev_is(tokens: &[Token], at: usize, want: &str) -> bool {
+    at > 0 && tokens[at - 1].text == want
+}
+
+/// Finds `#![forbid(unsafe_code)]` anywhere in the token stream.
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    (0..tokens.len()).any(|i| {
+        path_is(
+            tokens,
+            i,
+            &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"],
+        )
+    })
+}
+
+/// Token-index spans `[start, end)` of `#[cfg(test)] mod … { … }` blocks.
+fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if path_is(tokens, i, &["#", "[", "cfg", "(", "test", ")", "]"]) {
+            let start = i;
+            let mut j = i + 7;
+            // Skip further attributes, visibility and the mod header up to
+            // the opening brace, then swallow the balanced block.
+            while j < tokens.len() && tokens[j].text != "{" && tokens[j].text != ";" {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].text == "{" {
+                let mut depth = 0i32;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            spans.push((start, j));
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Decides whether the WAL call whose method name sits at token `at` has
+/// its result discarded. Returns the violation message, or `None` when
+/// the result is bound, propagated or consumed.
+fn wal_discard(tokens: &[Token], at: usize) -> Option<String> {
+    // Walk over the balanced argument list.
+    let mut j = at + 1; // the `(`
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let method = &tokens[at].text;
+    // `.ok()` directly on the call swallows the error.
+    if path_is(tokens, j, &[".", "ok", "(", ")"]) {
+        return Some(format!(
+            ".{method}(…).ok() swallows a WAL failure the node must fail stop on"
+        ));
+    }
+    // Anything other than a bare `;` consumes or propagates the value
+    // (`?`, a chained `.expect`, `}` tail position, `,` argument, …).
+    if tokens.get(j).is_none_or(|t| t.text != ";") {
+        return None;
+    }
+    // Statement ends right after the call: find how it began.
+    let mut s = at;
+    while s > 0 && !matches!(tokens[s - 1].text.as_str(), ";" | "{" | "}") {
+        s -= 1;
+    }
+    let mut first = &tokens[s].text;
+    if first == "let" && tokens.get(s + 1).is_some_and(|t| t.text == "mut") {
+        first = &tokens[s + 1].text; // fall through to the binding name
+    }
+    if first == "let" {
+        let bind = &tokens[s + 1].text;
+        if bind.starts_with('_') {
+            return Some(format!(
+                "let {bind} = …{method}(…) discards the WAL result; \
+                 handle the error (fail stop) or propagate it"
+            ));
+        }
+        return None; // a real binding: the caller is handling it
+    }
+    if matches!(
+        first.as_str(),
+        "return" | "if" | "while" | "match" | "=" | "=>"
+    ) {
+        return None;
+    }
+    Some(format!(
+        "bare `….{method}(…);` statement ignores the WAL result; \
+         handle the error (fail stop) or propagate it"
+    ))
+}
+
+/// Identifier token indices of `Mutex`/`RwLock` reachable from the
+/// `std :: sync` path starting at `at`, within the same statement.
+fn std_lock_idents(tokens: &[Token], at: usize) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut j = at;
+    while j < tokens.len() && tokens[j].text != ";" {
+        if tokens[j].kind == TokKind::Ident && matches!(tokens[j].text.as_str(), "Mutex" | "RwLock")
+        {
+            hits.push(j);
+        }
+        j += 1;
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SVC: &str = "crates/service/src/x.rs";
+
+    fn rules_hit(rel: &str, src: &str) -> Vec<&'static str> {
+        check_file(rel, src, false)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn wal_discard_patterns() {
+        assert_eq!(
+            rules_hit(SVC, "fn f() { let _ = wal.append(p); }"),
+            [RULE_WAL_DISCARD]
+        );
+        assert_eq!(
+            rules_hit(SVC, "fn f() { wal.append_batch(&refs).ok(); }"),
+            [RULE_WAL_DISCARD]
+        );
+        assert_eq!(
+            rules_hit(SVC, "fn f() { d.stage_payload(|i, o| enc(i, o)); }"),
+            [RULE_WAL_DISCARD]
+        );
+        assert!(rules_hit(
+            SVC,
+            "fn f() -> io::Result<()> { let n = wal.append(p)?; use_it(n); Ok(()) }"
+        )
+        .is_empty());
+        assert!(rules_hit(
+            SVC,
+            "fn f() -> io::Result<usize> { self.append_batch(&[payload]) }"
+        )
+        .is_empty());
+        assert!(rules_hit(
+            SVC,
+            "fn f() { let result = self.wal.append_batch(&payloads); result.expect(\"x\"); }"
+        )
+        .iter()
+        .all(|r| *r == RULE_UNWRAP));
+    }
+
+    #[test]
+    fn unwrap_needs_annotation_in_service_code() {
+        assert_eq!(rules_hit(SVC, "fn f() { x.unwrap(); }"), [RULE_UNWRAP]);
+        assert_eq!(rules_hit(SVC, "fn f() { x.expect(\"y\"); }"), [RULE_UNWRAP]);
+        assert!(rules_hit(
+            SVC,
+            "fn f() {\n // lint: allow(unwrap) checked above\n x.unwrap();\n}"
+        )
+        .is_empty());
+        assert!(rules_hit(SVC, "fn f() { x.unwrap_or(0); }").is_empty());
+        assert!(
+            rules_hit("crates/core/src/x.rs", "fn f() { x.unwrap(); }").is_empty(),
+            "rule scoped to service/storage"
+        );
+        assert!(rules_hit(SVC, "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}").is_empty());
+    }
+
+    #[test]
+    fn std_locks_flagged_outside_compat() {
+        assert_eq!(
+            rules_hit("crates/net/src/x.rs", "use std::sync::{Arc, Mutex};"),
+            [RULE_STD_LOCK]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/net/src/x.rs",
+                "fn f() { let l = std::sync::RwLock::new(0); }"
+            ),
+            [RULE_STD_LOCK]
+        );
+        assert!(rules_hit("compat/parking_lot/src/lib.rs", "use std::sync::Mutex;").is_empty());
+        assert!(rules_hit("crates/net/src/x.rs", "use std::sync::{Arc, mpsc};").is_empty());
+    }
+
+    #[test]
+    fn hot_path_fences_forbid_allocation() {
+        let src = "// lint: hot-path\nfn f() { let v = Vec::new(); }\n// lint: end-hot-path\n";
+        assert_eq!(rules_hit(SVC, src), [RULE_HOT_PATH]);
+        let ok = "// lint: hot-path\nfn f() { let v: Vec<u8> = Vec::with_capacity(8); }\n// lint: end-hot-path\n";
+        assert!(rules_hit(SVC, ok).is_empty());
+        let owned = "// lint: hot-path\nfn f(o: &mut Vec<u8>) { let b = encode_response(&r); }\n// lint: end-hot-path\n";
+        assert_eq!(rules_hit(SVC, owned), [RULE_HOT_PATH]);
+        let into = "// lint: hot-path\nfn f(o: &mut Vec<u8>) { encode_response_into(&r, o); }\n// lint: end-hot-path\n";
+        assert!(rules_hit(SVC, into).is_empty());
+        let outside =
+            "fn g() { let v = vec![1]; }\n// lint: hot-path\nfn f() {}\n// lint: end-hot-path\n";
+        assert!(rules_hit(SVC, outside).is_empty());
+    }
+
+    #[test]
+    fn crate_root_needs_forbid_unsafe() {
+        assert_eq!(
+            check_file("crates/x/src/lib.rs", "pub fn f() {}", true)[0].rule,
+            RULE_FORBID_UNSAFE
+        );
+        assert!(check_file(
+            "crates/x/src/lib.rs",
+            "//! docs\n\n#![forbid(unsafe_code)]\npub fn f() {}",
+            true
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unbalanced_fences_and_unknown_allows_are_findings() {
+        assert_eq!(
+            rules_hit(SVC, "// lint: hot-path\nfn f() {}\n"),
+            [RULE_DIRECTIVE]
+        );
+        assert_eq!(
+            rules_hit(SVC, "fn f() {}\n// lint: end-hot-path\n"),
+            [RULE_DIRECTIVE]
+        );
+        assert_eq!(
+            rules_hit(SVC, "// lint: allow(nonsense) because\nfn f() {}\n"),
+            [RULE_DIRECTIVE]
+        );
+    }
+}

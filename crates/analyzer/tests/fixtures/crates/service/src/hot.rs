@@ -1,0 +1,34 @@
+//! Fixture hot path: every forbidden allocating construct inside one
+//! fence (rule 2), plus the escapes that must stay silent.
+
+// lint: hot-path
+pub fn leaky(data: &[u8], out: &mut Vec<u8>) {
+    let v: Vec<u8> = Vec::new();
+    let copy = data.to_vec();
+    let owned = copy.clone();
+    let framed = encode_response(&owned);
+    let msg = format!("{} bytes", framed.len());
+    out.extend_from_slice(msg.as_bytes());
+    drop(v);
+}
+
+pub fn frugal(data: &[u8], out: &mut Vec<u8>) {
+    let mut scratch: Vec<u8> = Vec::with_capacity(data.len());
+    scratch.extend_from_slice(data);
+    encode_response_into(&scratch, out);
+    // lint: allow(alloc) fixture: the annotation must suppress rule 2
+    let _blessed = data.to_vec();
+}
+// lint: end-hot-path
+
+pub fn unfenced(data: &[u8]) -> Vec<u8> {
+    data.to_vec()
+}
+
+fn encode_response(data: &[u8]) -> Vec<u8> {
+    data.to_vec()
+}
+
+fn encode_response_into(data: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(data);
+}

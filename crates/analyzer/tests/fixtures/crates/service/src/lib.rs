@@ -1,0 +1,26 @@
+//! Fixture crate root: missing `#![forbid(unsafe_code)]` (rule 5 fires
+//! at line 1), holding a std lock (rule 4) and a naked unwrap (rule 3).
+
+use std::sync::Mutex;
+
+pub struct Holder {
+    slot: Mutex<Option<u32>>,
+}
+
+pub fn naked(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn annotated(x: Option<u32>) -> u32 {
+    // lint: allow(unwrap) fixture: the annotation must suppress rule 3
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -3,6 +3,8 @@
 //! Regenerates the paper's figures and quantitative claims (E01–E15; see
 //! DESIGN.md for the index and EXPERIMENTS.md for recorded outputs).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {

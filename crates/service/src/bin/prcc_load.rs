@@ -20,6 +20,8 @@
 //! through topology generation and the keyed op generator, so a given
 //! `(seed, flags)` pair replays the identical workload across PRs.
 
+#![forbid(unsafe_code)]
+
 use prcc_clock::EdgeProtocol;
 use prcc_graph::PartitionMap;
 use prcc_service::config::{build_topology, Args};

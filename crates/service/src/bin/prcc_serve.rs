@@ -6,6 +6,8 @@
 //! prcc-serve --nodes 4 --topology ring --base-port 7400
 //! ```
 
+#![forbid(unsafe_code)]
+
 use prcc_clock::EdgeProtocol;
 use prcc_graph::PartitionMap;
 use prcc_service::config::{build_topology, Args};

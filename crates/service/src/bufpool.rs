@@ -24,10 +24,11 @@
 //! reason: a burst may allocate, but the pool's idle footprint stays
 //! `SHELF_DEPTH × Σ class sizes` at worst.
 
+use parking_lot::Mutex;
 use prcc_telemetry::{Counter, Gauge, Registry};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Smallest shelf class, in bytes.
 const MIN_CLASS: usize = 256;
@@ -88,7 +89,7 @@ impl PoolInner {
             }
             class -= 1;
         }
-        let mut shelf = self.shelves[class].lock().expect("pool shelf poisoned");
+        let mut shelf = self.shelves[class].lock();
         if shelf.len() < SHELF_DEPTH {
             shelf.push(buf);
         }
@@ -113,7 +114,7 @@ impl BufPool {
     pub fn new(registry: &Registry) -> Self {
         BufPool {
             inner: Arc::new(PoolInner {
-                shelves: std::array::from_fn(|_| Mutex::new(Vec::new())),
+                shelves: std::array::from_fn(|_| Mutex::named(Vec::new(), "service.pool_shelf")),
                 hits: registry.counter("pool_hits"),
                 misses: registry.counter("pool_misses"),
                 outstanding_now: AtomicU64::new(0),
@@ -128,10 +129,7 @@ impl BufPool {
         let inner = &self.inner;
         let buf = match PoolInner::class_for(cap) {
             Some(class) => {
-                let shelved = inner.shelves[class]
-                    .lock()
-                    .expect("pool shelf poisoned")
-                    .pop();
+                let shelved = inner.shelves[class].lock().pop();
                 match shelved {
                     Some(mut buf) => {
                         inner.hits.inc();

@@ -232,6 +232,7 @@ impl RoutedClient {
         if self.clients[node].is_none() {
             self.clients[node] = Some(ServiceClient::connect(self.client_addrs[node])?);
         }
+        // lint: allow(unwrap) the None arm above just filled the slot
         Ok(self.clients[node].as_mut().expect("just connected"))
     }
 

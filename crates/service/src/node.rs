@@ -74,6 +74,7 @@ use crate::wire::{
     ClientRequest, ClientResponse, FlushSections, NodeStatus, PartitionCounters, PeerHello,
     WIRE_VERSION,
 };
+use parking_lot::Mutex;
 use prcc_checker::trace::TraceEvent;
 use prcc_checker::{TraceCheckpoint, UpdateId};
 use prcc_clock::{Protocol, WireClock};
@@ -93,7 +94,7 @@ use std::io::{self, IoSlice, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -636,6 +637,7 @@ impl<P: Protocol> Core<P> {
             // trace event be sealed out of the live log.
             let slot = self.partitions[partition.index()]
                 .as_mut()
+                // lint: allow(unwrap) hosting checked at the top of issue()
                 .expect("slot checked above");
             slot.unacked.push_back((wire_id, pairs));
         }
@@ -733,6 +735,7 @@ impl<P: Protocol> Core<P> {
             link.acked_high = link.acked_high.max(acked);
             let mut now = 0u64;
             while link.window.front().is_some_and(|(seq, _, _)| *seq <= acked) {
+                // lint: allow(unwrap) loop condition just saw a front entry
                 let (_, _, update) = link.window.pop_front().expect("front checked");
                 let stamp = update.issued_at.0;
                 if stamp != 0 {
@@ -1110,6 +1113,7 @@ impl<P: Protocol> Core<P> {
             slot.unacked.clear();
         }
         for wire in wires {
+            // lint: allow(unwrap) key came from by_wire's own key set
             let (partition, pairs) = by_wire.remove(&wire).expect("collected above");
             if let Some(slot) = self
                 .partitions
@@ -1328,6 +1332,7 @@ where
         return true;
     }
     compact_traces(core, durable, map, 1);
+    // lint: allow(unwrap) `due` above required durable to be Some
     let d = durable.as_mut().expect("due implies a data dir");
     if let Err(e) = d.commit() {
         eprintln!(
@@ -1592,7 +1597,8 @@ where
 
     // Registry of live inbound peer connections, shared by the peer
     // listener (redial eviction) and the crash switch (severing).
-    let connections: PeerConnections = Arc::new(Mutex::new(HashMap::new()));
+    let connections: PeerConnections =
+        Arc::new(Mutex::named(HashMap::new(), "service.peer_connections"));
 
     // Peer listener: one reader thread per inbound peer connection.
     {
@@ -1688,7 +1694,7 @@ where
             stop.store(true, Ordering::SeqCst);
             let _ = core_tx.send(CoreMsg::Crash);
             let severed: Vec<TcpStream> = {
-                let mut live = connections.lock().unwrap_or_else(|e| e.into_inner());
+                let mut live = connections.lock();
                 live.drain().map(|(_, (_, stream))| stream).collect()
             };
             for stream in severed {
@@ -1791,6 +1797,7 @@ fn core_loop<P>(
     // Sweep-lived scratch, reused across sweeps.
     let mut deferred: Vec<Deferred<P::Clock>> = Vec::new();
     let mut wal_stamps: Vec<u64> = Vec::new();
+    // lint: hot-path
     'run: while let Ok(first) = core_rx.recv() {
         let mut swept = 0usize;
         let mut shutdown = false;
@@ -1839,6 +1846,7 @@ fn core_loop<P>(
                                 wire_id,
                                 stamp_us,
                             )
+                            // lint: allow(unwrap) can_write gated this branch
                             .expect("write validated before stage");
                         core.tel.flight.record(
                             "write",
@@ -1970,6 +1978,7 @@ fn core_loop<P>(
                         status.snapshot_bytes = d.snapshot_bytes;
                         status.first_snapshot_bytes = d.first_snapshot_bytes;
                     }
+                    // lint: allow(alloc) status scrape is the cold admin path
                     deferred.push(Deferred::Status(reply, Box::new(status)));
                 }
                 CoreMsg::Trace(reply) => {
@@ -2080,6 +2089,7 @@ fn core_loop<P>(
             // no later append can bury a torn tail).
             if durable.is_some() {
                 compact_traces(&mut core, &mut durable, map, 1);
+                // lint: allow(unwrap) `durable.is_some()` gated this branch
                 let d = durable.as_mut().expect("checked above");
                 if let Err(e) = d.commit() {
                     eprintln!("prcc-service[{node}]: final WAL append failed: {e}");
@@ -2099,6 +2109,7 @@ fn core_loop<P>(
             break;
         }
     }
+    // lint: end-hot-path
     // The flight dump is the crash's black box: written only on fail-stop
     // or injected crash, next to the node's WAL, so a post-mortem can line
     // the last recorded events up against the recovered log.
@@ -2181,6 +2192,7 @@ fn pack_sections<C>(
 /// writes (a partial write resumes mid-frame) and `Interrupted`. Returns
 /// the total bytes written. Each syscall carries at most [`MAX_IOV`]
 /// slices.
+// lint: hot-path
 fn write_frames_vectored(stream: &mut TcpStream, frames: &[Lease]) -> io::Result<usize> {
     let mut total = 0usize;
     let mut frame_idx = 0usize;
@@ -2236,9 +2248,11 @@ fn send_entries<C: WireClock>(
     if entries.is_empty() {
         return Ok(());
     }
-    let mut frames: Vec<Lease> = Vec::new();
+    let chunks = entries.len().div_ceil(cfg.batch_max.max(1));
+    let mut frames: Vec<Lease> = Vec::with_capacity(chunks);
     let mut batches = 0u64;
     for chunk in entries.chunks(cfg.batch_max.max(1)) {
+        // lint: allow(alloc) sections regroup one bounded chunk per flush
         let sections = pack_sections(chunk.iter().cloned());
         // `flushes` counts drain cycles at the moment a flush exists —
         // deliberately NOT at the same site as `frames_sent`, which counts
@@ -2259,6 +2273,7 @@ fn send_entries<C: WireClock>(
     counters.frames_sent.add(frames.len() as u64);
     Ok(())
 }
+// lint: end-hot-path
 
 #[allow(clippy::too_many_arguments)]
 fn peer_sender<C: WireClock>(
@@ -2360,6 +2375,7 @@ fn peer_sender<C: WireClock>(
         // one vectored write. On a dead link the batch is simply dropped
         // locally and the loop redials: every update still sits in the
         // core's window and is retransmitted by the resume above.
+        // lint: hot-path
         loop {
             let first = match rx.recv_timeout(SENDER_IDLE_POLL) {
                 Ok(SenderCmd::Update(seq, partition, update)) => (seq, partition, update),
@@ -2377,7 +2393,8 @@ fn peer_sender<C: WireClock>(
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => return,
             };
-            let mut batch = vec![first];
+            let mut batch = Vec::with_capacity(cfg.batch_max.max(1));
+            batch.push(first);
             let deadline = Instant::now() + cfg.flush_interval;
             let mut relink = false;
             while batch.len() < cfg.batch_max {
@@ -2447,6 +2464,7 @@ fn peer_sender<C: WireClock>(
                 }
             }
         }
+        // lint: end-hot-path
     }
 }
 
@@ -2538,7 +2556,7 @@ where
     // healthy peer link.
     let token = REGISTRATION_TOKEN.fetch_add(1, Ordering::Relaxed);
     let replaced = {
-        let mut live = connections.lock().unwrap_or_else(|e| e.into_inner());
+        let mut live = connections.lock();
         stream
             .try_clone()
             .ok()
@@ -2616,7 +2634,7 @@ where
 /// (matched by registration token — a newer connection must not be evicted
 /// by its predecessor's cleanup).
 fn deregister(connections: &PeerConnections, peer: usize, token: u64) {
-    let mut live = connections.lock().unwrap_or_else(|e| e.into_inner());
+    let mut live = connections.lock();
     if live.get(&peer).is_some_and(|(t, _)| *t == token) {
         if let Some((_, clone)) = live.remove(&peer) {
             let _ = clone.shutdown(Shutdown::Both);
@@ -2645,6 +2663,7 @@ where
     let roles = map.graph().num_replicas();
     // Pooled reads: each frame lands in a leased buffer sized by its
     // length prefix, returned to the pool as soon as it is decoded.
+    // lint: hot-path
     while let Some(payload) = read_frame_pooled(stream, pool)? {
         counters.bytes_in.add(payload.len() as u64 + 4);
         // One frame, many `(partition, [(seq, update)])` sections: validate
@@ -2657,12 +2676,14 @@ where
             if partition.0 >= map.num_partitions() {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
+                    // lint: allow(alloc) protocol-violation error, cold
                     format!("batch for out-of-range {partition}"),
                 ));
             }
             if map.role_on(*partition, node).is_none() {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
+                    // lint: allow(alloc) protocol-violation error, cold
                     format!("peer {} misrouted {partition} updates here", hello.node),
                 ));
             }
@@ -2671,6 +2692,7 @@ where
             .send(CoreMsg::Updates {
                 peer: hello.node,
                 sections,
+                // lint: allow(alloc) channel-handle refcount bump, not a buffer
                 ack: ack_tx.clone(),
             })
             .is_err()
@@ -2678,6 +2700,7 @@ where
             return Ok(()); // Core shut down.
         }
     }
+    // lint: end-hot-path
     Ok(())
 }
 

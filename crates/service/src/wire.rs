@@ -156,6 +156,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+// lint: hot-path
 /// Reads one frame into a caller-owned buffer (cleared and refilled),
 /// returning the payload length — the reuse-a-scratch-`Vec` variant of
 /// [`read_frame`] for connections that read many frames back to back.
@@ -204,6 +205,7 @@ pub fn append_frame<F: FnOnce(&mut Vec<u8>)>(out: &mut Vec<u8>, body: F) -> io::
     out[slot..slot + 4].copy_from_slice(&len.to_le_bytes());
     Ok(payload_len + 4)
 }
+// lint: end-hot-path
 
 fn bad_data(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.to_string())
@@ -322,10 +324,12 @@ pub fn encode_hello_ack(acked: u64) -> Vec<u8> {
 }
 
 /// The append-into variant of [`encode_hello_ack`].
+// lint: hot-path
 pub fn encode_hello_ack_into(acked: u64, out: &mut Vec<u8>) {
     out.push(TAG_HELLO_ACK);
     write_varint(out, acked);
 }
+// lint: end-hot-path
 
 /// Decodes a hello-ack frame payload into the acknowledged link sequence.
 pub fn decode_hello_ack(payload: &[u8]) -> io::Result<u64> {
@@ -350,10 +354,12 @@ pub fn encode_peer_ack(seq: u64) -> Vec<u8> {
 
 /// The append-into variant of [`encode_peer_ack`] — the ack writer thread
 /// re-encodes into one leased buffer instead of allocating per ack.
+// lint: hot-path
 pub fn encode_peer_ack_into(seq: u64, out: &mut Vec<u8>) {
     out.push(TAG_PEER_ACK);
     write_varint(out, seq);
 }
+// lint: end-hot-path
 
 /// Decodes a streamed acknowledgement frame payload.
 pub fn decode_peer_ack(payload: &[u8]) -> io::Result<u64> {
@@ -410,6 +416,7 @@ where
     Ok((PartitionId(partition), updates))
 }
 
+// lint: hot-path
 fn encode_updates<C: WireClock>(updates: &[Update<C>], pad: usize, out: &mut Vec<u8>) {
     for u in updates {
         u.encode_wire(out);
@@ -433,6 +440,7 @@ fn encode_seq_updates<C: WireClock>(updates: &[(u64, Update<C>)], pad: usize, ou
         out.resize(out.len() + pad, 0);
     }
 }
+// lint: end-hot-path
 
 fn decode_seq_updates<C, F>(
     payload: &[u8],
@@ -519,6 +527,7 @@ pub fn encode_multi_batch<C: WireClock>(sections: &FlushSections<C>, pad: usize)
 /// payload bytes to `out` (typically a leased frame buffer with the length
 /// slot already reserved by [`append_frame`]) without assembling an owned
 /// `Vec` first.
+// lint: hot-path
 pub fn encode_multi_batch_into<C: WireClock>(
     sections: &FlushSections<C>,
     pad: usize,
@@ -526,6 +535,7 @@ pub fn encode_multi_batch_into<C: WireClock>(
 ) {
     out.push(TAG_MULTI_BATCH);
     let live = sections.iter().filter(|(_, updates)| !updates.is_empty());
+    // lint: allow(alloc) clones the filter iterator (two pointers), no buffer
     write_varint(out, live.clone().count() as u64);
     for (partition, updates) in live {
         write_varint(out, u64::from(partition.0));
@@ -533,6 +543,7 @@ pub fn encode_multi_batch_into<C: WireClock>(
         encode_seq_updates(updates, pad, out);
     }
 }
+// lint: end-hot-path
 
 /// Decodes a multi-partition flush frame into its `(partition,
 /// [(link seq, update)])` sections, in wire order. Frames with no sections
@@ -636,6 +647,7 @@ pub fn encode_request(req: &ClientRequest) -> Vec<u8> {
 /// The append-into variant of [`encode_request`] — [`crate::ServiceClient`]
 /// re-encodes every request into one reusable buffer instead of allocating
 /// per round trip.
+// lint: hot-path
 pub fn encode_request_into(req: &ClientRequest, out: &mut Vec<u8>) {
     match req {
         ClientRequest::Write {
@@ -666,6 +678,7 @@ pub fn encode_request_into(req: &ClientRequest, out: &mut Vec<u8>) {
         ClientRequest::Shutdown => out.push(TAG_SHUTDOWN),
     }
 }
+// lint: end-hot-path
 
 /// Decodes a client request payload.
 pub fn decode_request(payload: &[u8]) -> io::Result<ClientRequest> {
@@ -890,6 +903,7 @@ pub fn encode_response(resp: &ClientResponse) -> Vec<u8> {
 
 /// The append-into variant of [`encode_response`] — client handlers encode
 /// each response straight into a leased frame buffer.
+// lint: hot-path
 pub fn encode_response_into(resp: &ClientResponse, out: &mut Vec<u8>) {
     match resp {
         ClientResponse::WriteAck { ok } => out.extend_from_slice(&[TAG_WRITE_ACK, u8::from(*ok)]),
@@ -958,6 +972,7 @@ pub fn encode_response_into(resp: &ClientResponse, out: &mut Vec<u8>) {
         ClientResponse::Bye => out.push(TAG_BYE),
     }
 }
+// lint: end-hot-path
 
 /// Decodes a client response payload.
 pub fn decode_response(payload: &[u8]) -> io::Result<ClientResponse> {

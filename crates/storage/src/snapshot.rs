@@ -573,6 +573,7 @@ pub fn read_snapshot(path: &Path) -> io::Result<Option<(u32, Vec<u8>)>> {
     } else {
         return Err(bad("bad file magic (not a prcc snapshot)"));
     };
+    // lint: allow(unwrap) infallible: a 4-byte slice into a 4-byte array
     let stored = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
     let payload = &bytes[12..];
     let actual = crc32(payload);

@@ -135,7 +135,9 @@ pub fn scan_wal_spans(bytes: &[u8]) -> io::Result<WalScanSpans> {
         if rest.len() < 8 {
             break; // torn inside the length/checksum header
         }
+        // lint: allow(unwrap) infallible: 4-byte slices into 4-byte arrays
         let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        // lint: allow(unwrap) infallible: 4-byte slices into 4-byte arrays
         let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
         if len > MAX_WAL_RECORD {
             // Checked BEFORE the incomplete-record test: a corrupted

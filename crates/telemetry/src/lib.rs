@@ -28,6 +28,8 @@
 //! WAL records and snapshots never contain wall-clock bytes, which is what
 //! keeps seeded recovery runs byte-identical.
 
+#![forbid(unsafe_code)]
+
 mod flight;
 mod hist;
 mod registry;

@@ -15,11 +15,12 @@
 //! the v6 `Metrics` frame.
 
 use crate::hist::{HistSummary, Histogram};
+use parking_lot::Mutex;
 use prcc_clock::encoding::{read_varint_at, write_varint};
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Monotonically increasing event count. Clone = another handle to the same
 /// underlying atomic.
@@ -85,7 +86,7 @@ impl Default for SharedHistogram {
     fn default() -> Self {
         SharedHistogram {
             shards: (0..HIST_SHARDS)
-                .map(|_| Mutex::new(Histogram::new()))
+                .map(|_| Mutex::named(Histogram::new(), "telemetry.hist_shard"))
                 .collect(),
         }
     }
@@ -96,17 +97,14 @@ impl SharedHistogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let shard = THREAD_SHARD.with(|s| *s) % self.shards.len();
-        self.shards[shard]
-            .lock()
-            .expect("histogram shard poisoned")
-            .record(v);
+        self.shards[shard].lock().record(v);
     }
 
     /// Merges all shards into one [`Histogram`].
     pub fn read(&self) -> Histogram {
         let mut out = Histogram::new();
         for shard in &self.shards {
-            out.merge(&shard.lock().expect("histogram shard poisoned"));
+            out.merge(&shard.lock());
         }
         out
     }
@@ -121,9 +119,16 @@ struct Inner {
 
 /// A node's metric namespace. Registration (name lookup) takes a mutex and
 /// is meant for startup; the returned handles are what the hot path keeps.
-#[derive(Default)]
 pub struct Registry {
     inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            inner: Mutex::named(Inner::default(), "telemetry.registry"),
+        }
+    }
 }
 
 impl Registry {
@@ -135,26 +140,26 @@ impl Registry {
     /// Returns the counter registered under `name`, creating it on first
     /// use. Handles are cheap to clone and lock-free to update.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock();
         inner.counters.entry(name.to_string()).or_default().clone()
     }
 
     /// Returns the gauge registered under `name`, creating it on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock();
         inner.gauges.entry(name.to_string()).or_default().clone()
     }
 
     /// Returns the histogram registered under `name`, creating it on first
     /// use.
     pub fn histogram(&self, name: &str) -> Arc<SharedHistogram> {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock();
         inner.hists.entry(name.to_string()).or_default().clone()
     }
 
     /// Freezes every metric into a plain, mergeable, encodable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = self.inner.lock();
         MetricsSnapshot {
             counters: inner
                 .counters

@@ -26,6 +26,8 @@
 //!   mergeable log-bucketed histograms), update-lifecycle stage timing,
 //!   and the crash flight recorder.
 
+#![forbid(unsafe_code)]
+
 pub use prcc_baselines as baselines;
 pub use prcc_checker as checker;
 pub use prcc_clientserver as clientserver;
