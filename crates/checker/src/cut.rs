@@ -1,0 +1,332 @@
+//! Online consistent-cut audit: marker-style global snapshots checked
+//! for causal-cut closure, without stopping traffic.
+//!
+//! The post-hoc oracle needs every node's full (or checkpointed) trace
+//! and a quiescent cluster. A *consistent-cut* audit is the online
+//! complement: a marker token is injected at one node, floods the peer
+//! links in channel order (Chandy–Lamport style), and each node records
+//! a [`CutSnapshot`] of its per-partition frontiers the moment it first
+//! sees the token. The snapshots form a global cut; this module checks
+//! that the cut is **causally closed**.
+//!
+//! # The closure invariant
+//!
+//! Wire ids are assigned monotonically per issuer, and a causally
+//! consistent replica applies each issuer's updates in issue order — so
+//! a replica's per-issuer applied frontier is a complete description of
+//! which of that issuer's updates it has applied. The cut is closed iff
+//! for every partition, every replica `r` in the cut, and every issuer
+//! role `j`:
+//!
+//! ```text
+//! applied_r[j] ≤ issued_j          (from j's own snapshot)
+//! ```
+//!
+//! i.e. no replica has applied an update its issuer had not yet issued
+//! when the issuer passed the cut line. An update issued *before* the
+//! cut and applied *after* it is merely in flight (fine); an update
+//! applied *before* the cut whose issue the cut missed would make the
+//! "global state" one that never existed — that is what markers keeping
+//! their channel position prevents, and what this check detects if the
+//! marker discipline (or the protocol) is broken.
+//!
+//! A cut is only *conclusive* when every role of every observed
+//! partition reported a snapshot for the token; a node crash or a
+//! severed link mid-audit loses markers, and the verdict is then
+//! [`CutVerdict::Incomplete`] — the auditor retries with a fresh token
+//! rather than trusting a partial cut.
+
+use std::collections::HashMap;
+
+/// One partition's frontier state inside a node's cut snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionCut {
+    /// The partition this slice describes.
+    pub partition: u32,
+    /// The reporting node's replica role within the partition.
+    pub role: usize,
+    /// Highest wire id this replica has issued itself (0 = none).
+    pub issued_high: u64,
+    /// Per issuer role: highest wire id applied here (own issues
+    /// included), length = the partition's replication factor.
+    pub applied: Vec<u64>,
+    /// Updates buffered awaiting dependencies at snapshot time.
+    pub pending: u64,
+}
+
+/// One node's snapshot of every partition it hosts, taken at its first
+/// sight of a cut token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutSnapshot {
+    /// The reporting node.
+    pub node: u64,
+    /// The cut token the snapshot belongs to.
+    pub token: u64,
+    /// Per hosted partition, the frontier state at the cut line.
+    pub partitions: Vec<PartitionCut>,
+}
+
+/// Verdict of a consistent-cut closure check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CutVerdict {
+    /// Every observed partition's cut is causally closed.
+    Closed {
+        /// Distinct partitions covered by the cut.
+        partitions: usize,
+        /// Individual `applied ≤ issued` comparisons performed.
+        checks: u64,
+    },
+    /// A replica applied an update beyond its issuer's snapshot — the
+    /// cut is not a consistent global state.
+    Violated {
+        /// Partition the violation is in.
+        partition: u32,
+        /// Role whose applied frontier overran the issuer.
+        observer_role: usize,
+        /// The issuer role overrun.
+        issuer_role: usize,
+        /// The observer's applied frontier for the issuer.
+        applied: u64,
+        /// The issuer's own issued frontier at its snapshot.
+        issued: u64,
+    },
+    /// The cut cannot be judged: a role is missing (marker lost to a
+    /// crash or sever), duplicated, or tokens are mixed. Retry with a
+    /// fresh token.
+    Incomplete {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl CutVerdict {
+    /// True when the cut was conclusively closed.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, CutVerdict::Closed { .. })
+    }
+
+    /// True when the audit must be retried (not a protocol violation).
+    pub fn is_incomplete(&self) -> bool {
+        matches!(self, CutVerdict::Incomplete { .. })
+    }
+}
+
+/// Checks a set of per-node snapshots for causal-cut closure.
+///
+/// Completeness requirement: within each partition that any snapshot
+/// mentions, every role `0..replication_factor` (the length of the
+/// `applied` vectors) must be reported exactly once, all under the same
+/// token. Anything else yields [`CutVerdict::Incomplete`].
+pub fn verify_cut_closure(snapshots: &[CutSnapshot]) -> CutVerdict {
+    if snapshots.is_empty() {
+        return CutVerdict::Incomplete {
+            reason: "no snapshots".into(),
+        };
+    }
+    let token = snapshots[0].token;
+    if let Some(s) = snapshots.iter().find(|s| s.token != token) {
+        return CutVerdict::Incomplete {
+            reason: format!(
+                "mixed tokens: node {} reported {}, expected {token}",
+                s.node, s.token
+            ),
+        };
+    }
+    // partition -> role -> (issued_high, applied)
+    let mut by_partition: HashMap<u32, HashMap<usize, (u64, &[u64])>> = HashMap::new();
+    let mut roles_of: HashMap<u32, usize> = HashMap::new();
+    for snap in snapshots {
+        for pc in &snap.partitions {
+            let roles = roles_of.entry(pc.partition).or_insert(pc.applied.len());
+            if *roles != pc.applied.len() || pc.role >= *roles {
+                return CutVerdict::Incomplete {
+                    reason: format!(
+                        "partition {} role {} inconsistent with replication factor {}",
+                        pc.partition, pc.role, roles
+                    ),
+                };
+            }
+            let slot = by_partition.entry(pc.partition).or_default();
+            if slot
+                .insert(pc.role, (pc.issued_high, pc.applied.as_slice()))
+                .is_some()
+            {
+                return CutVerdict::Incomplete {
+                    reason: format!("partition {} role {} reported twice", pc.partition, pc.role),
+                };
+            }
+        }
+    }
+    let mut checks = 0u64;
+    let mut partitions: Vec<_> = by_partition.iter().collect();
+    partitions.sort_by_key(|(p, _)| **p);
+    for (&partition, slots) in partitions {
+        let roles = roles_of[&partition];
+        for role in 0..roles {
+            if !slots.contains_key(&role) {
+                return CutVerdict::Incomplete {
+                    reason: format!("partition {partition} missing role {role}"),
+                };
+            }
+        }
+        for (&observer_role, &(_, applied)) in slots.iter() {
+            for (issuer_role, &applied_high) in applied.iter().enumerate() {
+                if applied_high == 0 {
+                    continue;
+                }
+                let &(issued, _) = &slots[&issuer_role];
+                checks += 1;
+                if applied_high > issued {
+                    return CutVerdict::Violated {
+                        partition,
+                        observer_role,
+                        issuer_role,
+                        applied: applied_high,
+                        issued,
+                    };
+                }
+            }
+        }
+    }
+    CutVerdict::Closed {
+        partitions: by_partition.len(),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(node: u64, token: u64, partitions: Vec<PartitionCut>) -> CutSnapshot {
+        CutSnapshot {
+            node,
+            token,
+            partitions,
+        }
+    }
+
+    fn pc(partition: u32, role: usize, issued: u64, applied: Vec<u64>) -> PartitionCut {
+        PartitionCut {
+            partition,
+            role,
+            issued_high: issued,
+            applied,
+            pending: 0,
+        }
+    }
+
+    /// Wire ids mimic the service's `(node << 40) | seq` layout.
+    fn wid(node: u64, seq: u64) -> u64 {
+        (node << 40) | seq
+    }
+
+    #[test]
+    fn closed_cut_passes() {
+        let v = verify_cut_closure(&[
+            snap(0, 7, vec![pc(0, 0, wid(0, 5), vec![wid(0, 5), wid(1, 3)])]),
+            snap(1, 7, vec![pc(0, 1, wid(1, 4), vec![wid(0, 4), wid(1, 4)])]),
+        ]);
+        assert!(v.is_closed(), "{v:?}");
+        match v {
+            CutVerdict::Closed { partitions, checks } => {
+                assert_eq!(partitions, 1);
+                assert_eq!(checks, 4);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn applied_beyond_issuer_snapshot_is_a_violation() {
+        // Node 1 applied node 0's update seq 6, but node 0's snapshot only
+        // issued up to seq 5: the cut caught an effect without its cause.
+        let v = verify_cut_closure(&[
+            snap(0, 7, vec![pc(0, 0, wid(0, 5), vec![wid(0, 5), 0])]),
+            snap(1, 7, vec![pc(0, 1, wid(1, 2), vec![wid(0, 6), wid(1, 2)])]),
+        ]);
+        match v {
+            CutVerdict::Violated {
+                partition,
+                observer_role,
+                issuer_role,
+                applied,
+                issued,
+            } => {
+                assert_eq!(partition, 0);
+                assert_eq!(observer_role, 1);
+                assert_eq!(issuer_role, 0);
+                assert_eq!(applied, wid(0, 6));
+                assert_eq!(issued, wid(0, 5));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_role_is_inconclusive() {
+        let v = verify_cut_closure(&[snap(
+            0,
+            7,
+            vec![pc(0, 0, wid(0, 5), vec![wid(0, 5), wid(1, 3)])],
+        )]);
+        assert!(v.is_incomplete(), "{v:?}");
+    }
+
+    #[test]
+    fn duplicate_role_is_inconclusive() {
+        let v = verify_cut_closure(&[
+            snap(0, 7, vec![pc(0, 0, wid(0, 5), vec![wid(0, 5), 0])]),
+            snap(1, 7, vec![pc(0, 0, wid(0, 5), vec![wid(0, 5), 0])]),
+        ]);
+        assert!(v.is_incomplete(), "{v:?}");
+    }
+
+    #[test]
+    fn mixed_tokens_are_inconclusive() {
+        let v = verify_cut_closure(&[
+            snap(0, 7, vec![pc(0, 0, 1, vec![1, 0])]),
+            snap(1, 8, vec![pc(0, 1, 1, vec![0, 1])]),
+        ]);
+        assert!(v.is_incomplete(), "{v:?}");
+    }
+
+    #[test]
+    fn empty_set_is_inconclusive() {
+        assert!(verify_cut_closure(&[]).is_incomplete());
+    }
+
+    #[test]
+    fn multi_partition_cut_checks_each_partition() {
+        let v = verify_cut_closure(&[
+            snap(
+                0,
+                3,
+                vec![
+                    pc(0, 0, wid(0, 9), vec![wid(0, 9), wid(1, 1)]),
+                    pc(1, 1, 0, vec![wid(1, 8), 0]),
+                ],
+            ),
+            snap(
+                1,
+                3,
+                vec![
+                    pc(0, 1, wid(1, 1), vec![wid(0, 2), wid(1, 1)]),
+                    pc(1, 0, wid(1, 8), vec![wid(1, 8), 0]),
+                ],
+            ),
+        ]);
+        assert!(v.is_closed(), "{v:?}");
+    }
+
+    #[test]
+    fn zero_applied_frontiers_need_no_issuer() {
+        // applied == 0 means "never applied anything from that issuer";
+        // no comparison is made (and issued 0 is fine).
+        let v = verify_cut_closure(&[
+            snap(0, 1, vec![pc(0, 0, 0, vec![0, 0])]),
+            snap(1, 1, vec![pc(0, 1, 0, vec![0, 0])]),
+        ]);
+        assert!(v.is_closed(), "{v:?}");
+    }
+}

@@ -20,6 +20,7 @@
 
 mod bitset;
 pub mod checkpoint;
+pub mod cut;
 mod oracle;
 mod report;
 pub mod trace;
@@ -28,6 +29,7 @@ pub use bitset::DynBitSet;
 pub use checkpoint::{
     verify_partitions_checkpointed, verify_trace_checkpointed, CheckpointedVerdict, TraceCheckpoint,
 };
+pub use cut::{verify_cut_closure, CutSnapshot, CutVerdict, PartitionCut};
 pub use oracle::{Oracle, UpdateId};
 pub use report::{LivenessViolation, SafetyViolation, Verdict};
 pub use trace::{verify_trace, TraceError, TraceEvent};

@@ -21,15 +21,20 @@
 //!   "not deliver these update messages until a later time".
 //! * [`NetStats`] — message and byte accounting for metadata-overhead
 //!   experiments.
+//! * [`chaos`] — seeded per-link fault schedules ([`LinkFaultStream`],
+//!   [`FaultProfile`]) shared between the simulator (via [`ChaosPolicy`])
+//!   and the TCP nemesis proxy in `prcc-chaos`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod network;
 mod policy;
 mod stats;
 mod time;
 
+pub use chaos::{ChaosPolicy, FaultOp, FaultProfile, LinkFaultStream};
 pub use network::{Delivery, MessageId, Network};
 pub use policy::{DeliveryPolicy, FixedDelay, PerLinkDelay, UniformDelay};
 pub use stats::NetStats;

@@ -22,14 +22,17 @@
 
 #![forbid(unsafe_code)]
 
+use prcc_chaos::{ChaosConfig, ChaosNemesis, ChaosSchedule, FaultProfile};
 use prcc_clock::EdgeProtocol;
 use prcc_graph::PartitionMap;
 use prcc_service::config::{build_topology, Args};
 use prcc_service::report::{BenchReport, LatencySummary, PartitionBench, VerdictSummary};
+use prcc_service::wire::TAG_CUT_MARKER;
 use prcc_service::{LoopbackCluster, ServiceConfig};
 use prcc_workloads::ops::{generate_keyed_ops, route_keyed_ops};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
 use std::process::exit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -82,6 +85,16 @@ fn run() -> Result<(), String> {
              \t                 (regression guard for O(live state) snapshots; 0 = off)\n\
              \t--max-snapshot-growth F fail if any node's last/first snapshot size\n\
              \t                 ratio reaches F (flat-snapshot guard; 0 = off)\n\
+             \t--chaos-seed S   interpose a seeded nemesis proxy on every peer\n\
+             \t                 link: deterministic delays, reorders, duplicates,\n\
+             \t                 drops and severs, every decision a pure function\n\
+             \t                 of (S, link, frame index); the realized decision\n\
+             \t                 log is checked bit-for-bit against pure replay\n\
+             \t--chaos-profile P  light|heavy fault rates (default light)\n\
+             \t--chaos-partition-every N  per-link frames per rotating\n\
+             \t                 split-brain period (default 0 = no partitions)\n\
+             \t--chaos-partition-len N  leading frames of each period spent\n\
+             \t                 partitioned (one seed-chosen node isolated)\n\
              \t--crash-restart  kill one node mid-drive and restart it from its\n\
              \t                 data dir (a temp dir is used if --data-dir is unset)\n\
              \t--crash-at F     progress fraction at which the crash fires (default 0.5)\n\
@@ -141,6 +154,16 @@ fn run() -> Result<(), String> {
     let quiet = args.has("--quiet");
     let sample_every = args.parse_or("--sample-every", 16u64)?;
     let metrics_mid_run = args.has("--metrics-mid-run");
+    let chaos_seed = match args.value("--chaos-seed") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse::<u64>()
+                .map_err(|_| format!("invalid --chaos-seed '{raw}'"))?,
+        ),
+    };
+    let chaos_profile = args.value("--chaos-profile").unwrap_or("light").to_string();
+    let chaos_partition_every = args.parse_or("--chaos-partition-every", 0u64)?;
+    let chaos_partition_len = args.parse_or("--chaos-partition-len", 0u64)?;
     let crash_restart = args.has("--crash-restart");
     let crash_at = args.parse_or("--crash-at", 0.5f64)?.clamp(0.0, 1.0);
     let crash_node = args.parse_or("--crash-node", 1usize)?;
@@ -179,8 +202,57 @@ fn run() -> Result<(), String> {
     let map = PartitionMap::rotated(graph.clone(), partitions, n)
         .map_err(|e| format!("partition map: {e}"))?;
     let protocol = Arc::new(EdgeProtocol::new(graph));
-    let mut cluster = LoopbackCluster::launch_partitioned(protocol, map.clone(), &cfg, base_port)
-        .map_err(|e| format!("launch failed: {e}"))?;
+    // With --chaos-seed, every directed peer link is routed through a
+    // seeded nemesis proxy; the nemesis launches lazily inside the rewire
+    // closure, once the real peer listeners are bound.
+    let mut nemesis: Option<ChaosNemesis> = None;
+    let chaos_cfg = match chaos_seed {
+        None => None,
+        Some(seed) => {
+            let profile = match chaos_profile.as_str() {
+                "light" => FaultProfile::light(),
+                "heavy" => FaultProfile::heavy(),
+                other => return Err(format!("unknown --chaos-profile '{other}'")),
+            };
+            Some(ChaosConfig {
+                seed,
+                profile,
+                partition_every: chaos_partition_every,
+                partition_len: chaos_partition_len,
+                protect_tags: vec![TAG_CUT_MARKER],
+            })
+        }
+    };
+    let mut cluster = match &chaos_cfg {
+        None => LoopbackCluster::launch_partitioned(protocol, map.clone(), &cfg, base_port),
+        Some(chaos) => {
+            let cell: RefCell<Option<ChaosNemesis>> = RefCell::new(None);
+            let launched = LoopbackCluster::launch_partitioned_via(
+                protocol,
+                map.clone(),
+                &cfg,
+                base_port,
+                |node, real| {
+                    let mut slot = cell.borrow_mut();
+                    if slot.is_none() {
+                        // A failed nemesis launch leaves the slot empty; the
+                        // short address vector below makes the cluster
+                        // launcher report it as an InvalidInput error.
+                        if let Ok(n) = ChaosNemesis::launch(real.to_vec(), chaos.clone()) {
+                            *slot = Some(n);
+                        }
+                    }
+                    match slot.as_ref() {
+                        Some(n) => n.peer_addrs_for(node),
+                        None => Vec::new(),
+                    }
+                },
+            );
+            nemesis = cell.into_inner();
+            launched
+        }
+    }
+    .map_err(|e| format!("launch failed: {e}"))?;
 
     // One seeded keyed op stream, routed into per-node driver scripts — the
     // same generator and per-key holder affinity the simulator harness
@@ -351,6 +423,14 @@ fn run() -> Result<(), String> {
         return Err(format!("{failures} operations were rejected by their node"));
     }
 
+    // Heal the nemesis before draining: frames swallowed by drops and
+    // partition windows are only resent at the next reconnect, which heal
+    // forces exactly once per live link. From here the proxies forward
+    // transparently.
+    if let Some(n) = &nemesis {
+        n.heal();
+    }
+
     // Quiescence, then per-partition verification on the collected traces.
     let drain_start = Instant::now();
     let drain_budget = Duration::from_secs(30) + Duration::from_millis(ops_total as u64 / 10);
@@ -385,6 +465,22 @@ fn run() -> Result<(), String> {
              delivering them"
         ));
     }
+    // The chaos replayability gate: the realized fault-decision log must
+    // be bit-identical to the pure replay of the schedule, or a failing
+    // run could not be reproduced from its seed.
+    if let (Some(nem), Some(chaos)) = (&nemesis, &chaos_cfg) {
+        for ((src, dst), realized) in nem.schedule().decision_log() {
+            let replayed = ChaosSchedule::replay_link(chaos, n, src, dst, realized.len() as u64);
+            if realized != replayed {
+                return Err(format!(
+                    "chaos link {src}->{dst}: realized decision log diverged from \
+                     the pure replay of seed {} — the run is not reproducible",
+                    chaos.seed
+                ));
+            }
+        }
+    }
+
     let partition_verdicts = cluster
         .verify_partitions()
         .map_err(|e| format!("trace collection: {e}"))?;
@@ -533,6 +629,24 @@ fn run() -> Result<(), String> {
                 report.trace_events,
                 report.sealed_events,
                 report.max_window
+            );
+        }
+        if let Some(nem) = &nemesis {
+            let c = nem.schedule().fault_counts();
+            println!(
+                "  chaos: seed {}, {} decisions ({} delivered, {} delayed, {} reordered, \
+                 {} duplicated, {} dropped, {} cut, {} cut mid-frame, {} partition-swallowed), \
+                 decision log replays from the seed",
+                nem.schedule().config().seed,
+                c.delivered + c.faulted(),
+                c.delivered,
+                c.delayed,
+                c.reordered,
+                c.duplicated,
+                c.dropped,
+                c.cut,
+                c.cut_mid,
+                c.partition_dropped
             );
         }
         println!(

@@ -12,7 +12,7 @@ use crate::wire::{
     ClientResponse, NodeStatus, WIRE_VERSION,
 };
 use prcc_checker::trace::TraceEvent;
-use prcc_checker::TraceCheckpoint;
+use prcc_checker::{CutSnapshot, TraceCheckpoint};
 use prcc_graph::{PartitionId, PartitionMap, RegisterId};
 use prcc_telemetry::MetricsSnapshot;
 use prcc_workloads::ops::key_affinity;
@@ -135,6 +135,31 @@ impl ServiceClient {
         match self.round_trip(&ClientRequest::Metrics)? {
             ClientResponse::Metrics(snapshot) => Ok(snapshot),
             _ => Err(protocol_error("unexpected response to metrics")),
+        }
+    }
+
+    /// Starts an online consistent-cut audit: the node snapshots its
+    /// frontiers for `token` (first sighting only) and floods cut markers
+    /// to every peer in channel order. Returns the node's own snapshot.
+    /// Traffic keeps flowing — the audit never blocks the write path.
+    pub fn cut_start(&mut self, token: u64) -> io::Result<Option<CutSnapshot>> {
+        match self.round_trip(&ClientRequest::Cut { token, start: true })? {
+            ClientResponse::Cut(snap) => Ok(snap),
+            _ => Err(protocol_error("unexpected response to cut start")),
+        }
+    }
+
+    /// Fetches the node's recorded snapshot for cut `token`, if the marker
+    /// has reached it (and the token is recent enough to still be
+    /// retained). `None` means "not yet" — poll again or give the cut up
+    /// as incomplete.
+    pub fn cut_report(&mut self, token: u64) -> io::Result<Option<CutSnapshot>> {
+        match self.round_trip(&ClientRequest::Cut {
+            token,
+            start: false,
+        })? {
+            ClientResponse::Cut(snap) => Ok(snap),
+            _ => Err(protocol_error("unexpected response to cut report")),
         }
     }
 

@@ -4,7 +4,10 @@ use crate::client::{RoutedClient, ServiceClient};
 use crate::node::{spawn_node, NodeHandle, NodeSeed, ServiceConfig};
 use crate::wire::NodeStatus;
 use prcc_checker::trace::{TraceError, TraceEvent};
-use prcc_checker::{verify_partitions_checkpointed, TraceCheckpoint, Verdict};
+use prcc_checker::{
+    verify_cut_closure, verify_partitions_checkpointed, CutSnapshot, CutVerdict, TraceCheckpoint,
+    Verdict,
+};
 use prcc_clock::{Protocol, WireClock};
 use prcc_graph::{PartitionId, PartitionMap};
 use prcc_telemetry::MetricsSnapshot;
@@ -24,7 +27,14 @@ use std::time::{Duration, Instant};
 pub struct LoopbackCluster {
     map: PartitionMap,
     nodes: Vec<NodeHandle>,
+    /// The real peer-listener addresses, by node.
     peer_addrs: Vec<SocketAddr>,
+    /// What each node actually dials for each peer — identical to
+    /// `peer_addrs` in a plain deployment, rewired through proxy
+    /// addresses when a fault injector interposes on the links.
+    /// `restart_node` reuses these, so a restarted node redials through
+    /// the same interposition its first life used.
+    dial_addrs: Vec<Vec<SocketAddr>>,
     durable: bool,
     spawner: Arc<dyn Fn(NodeSeed) -> io::Result<NodeHandle> + Send + Sync>,
 }
@@ -67,6 +77,27 @@ impl LoopbackCluster {
         P: Protocol + 'static,
         P::Clock: WireClock,
     {
+        Self::launch_partitioned_via(protocol, map, cfg, base_port, |_, real| real.to_vec())
+    }
+
+    /// [`LoopbackCluster::launch_partitioned`] with the peer links routed
+    /// through an interposer: after every real peer listener is bound,
+    /// `rewire(node, real_peer_addrs)` decides what addresses node `node`
+    /// dials for its peers — typically a fault-injecting proxy's listener
+    /// per directed link, with the node's own slot left at the real
+    /// address. The rewired table sticks: [`LoopbackCluster::restart_node`]
+    /// respawns through it.
+    pub fn launch_partitioned_via<P>(
+        protocol: Arc<P>,
+        map: PartitionMap,
+        cfg: &ServiceConfig,
+        base_port: u16,
+        rewire: impl Fn(usize, &[SocketAddr]) -> Vec<SocketAddr>,
+    ) -> io::Result<LoopbackCluster>
+    where
+        P: Protocol + 'static,
+        P::Clock: WireClock,
+    {
         let n = map.num_nodes();
         let mut peer_listeners = Vec::with_capacity(n);
         let mut client_listeners = Vec::with_capacity(n);
@@ -92,6 +123,18 @@ impl LoopbackCluster {
             let cfg = cfg.clone();
             Arc::new(move |seed| spawn_node(Arc::clone(&protocol), map.clone(), seed, cfg.clone()))
         };
+        let dial_addrs: Vec<Vec<SocketAddr>> = (0..n).map(|i| rewire(i, &peer_addrs)).collect();
+        for (i, dials) in dial_addrs.iter().enumerate() {
+            if dials.len() != n {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "rewire produced {} addresses for node {i}, need {n}",
+                        dials.len()
+                    ),
+                ));
+            }
+        }
         let mut nodes = Vec::with_capacity(n);
         for (i, (peer_listener, client_listener)) in
             peer_listeners.into_iter().zip(client_listeners).enumerate()
@@ -100,13 +143,14 @@ impl LoopbackCluster {
                 node: i,
                 peer_listener,
                 client_listener,
-                peer_addrs: peer_addrs.clone(),
+                peer_addrs: dial_addrs[i].clone(),
             })?);
         }
         Ok(LoopbackCluster {
             map,
             nodes,
             peer_addrs,
+            dial_addrs,
             durable: cfg.data_dir.is_some(),
             spawner,
         })
@@ -218,9 +262,45 @@ impl LoopbackCluster {
             node: i,
             peer_listener,
             client_listener,
-            peer_addrs: self.peer_addrs.clone(),
+            peer_addrs: self.dial_addrs[i].clone(),
         })?;
         Ok(())
+    }
+
+    /// The real peer-listener addresses, by node (what an interposer
+    /// proxies to).
+    pub fn real_peer_addrs(&self) -> &[SocketAddr] {
+        &self.peer_addrs
+    }
+
+    /// Runs one online consistent-cut audit *without stopping traffic*:
+    /// injects marker `token` at node 0, polls every node for its recorded
+    /// snapshot until all have reported (or `timeout` elapses), then checks
+    /// the cut for causal closure. A node that never sees the marker — a
+    /// crash or a severed link mid-audit — yields
+    /// [`CutVerdict::Incomplete`], never a false verdict: retry with a
+    /// fresh token.
+    pub fn cut_audit(&self, token: u64, timeout: Duration) -> io::Result<CutVerdict> {
+        self.client(0)?.cut_start(token)?;
+        let deadline = Instant::now() + timeout;
+        let mut snapshots: Vec<Option<CutSnapshot>> = vec![None; self.len()];
+        loop {
+            for (i, slot) in snapshots.iter_mut().enumerate() {
+                if slot.is_none() {
+                    // A node mid-restart refuses connections; that is "not
+                    // yet", not an error — the deadline decides.
+                    if let Ok(snap) = self.client(i).and_then(|mut c| c.cut_report(token)) {
+                        *slot = snap;
+                    }
+                }
+            }
+            let done = snapshots.iter().all(Option::is_some);
+            if done || Instant::now() >= deadline {
+                let collected: Vec<CutSnapshot> = snapshots.into_iter().flatten().collect();
+                return Ok(verify_cut_closure(&collected));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     /// Polls until the cluster is quiescent: every pending buffer empty,

@@ -68,18 +68,19 @@
 
 use crate::bufpool::{BufPool, Lease};
 use crate::wire::{
-    append_frame, decode_hello_ack, decode_peer_ack, decode_peer_batches, decode_peer_hello,
-    decode_request, encode_hello_ack, encode_multi_batch_into, encode_peer_ack_into,
-    encode_peer_hello, encode_response_into, read_frame, read_frame_pooled, write_frame,
-    ClientRequest, ClientResponse, FlushSections, NodeStatus, PartitionCounters, PeerHello,
-    WIRE_VERSION,
+    append_frame, decode_cut_marker, decode_hello_ack, decode_peer_ack, decode_peer_batches,
+    decode_peer_hello, decode_request, encode_cut_marker, encode_hello_ack,
+    encode_multi_batch_into, encode_peer_ack_into, encode_peer_hello, encode_response_into,
+    read_frame, read_frame_pooled, write_frame, ClientRequest, ClientResponse, FlushSections,
+    NodeStatus, PartitionCounters, PeerHello, TAG_CUT_MARKER, WIRE_VERSION,
 };
 use parking_lot::Mutex;
 use prcc_checker::trace::TraceEvent;
-use prcc_checker::{TraceCheckpoint, UpdateId};
+use prcc_checker::{CutSnapshot, PartitionCut, TraceCheckpoint, UpdateId};
 use prcc_clock::{Protocol, WireClock};
 use prcc_core::{Replica, SeqWatermark, Update};
 use prcc_graph::{PartitionId, PartitionMap, RegisterId, ReplicaId};
+use prcc_net::chaos::mix64;
 use prcc_net::VirtualTime;
 use prcc_storage::{
     decode_record, decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, NodeSnapshot,
@@ -117,6 +118,11 @@ const SWEEP_MAX: usize = 256;
 /// iovec at `IOV_MAX`, typically 1024; 64 keeps each syscall's setup
 /// cheap while still coalescing a deep backlog).
 const MAX_IOV: usize = 64;
+
+/// How many consistent-cut snapshots the core keeps, newest-first. Cut
+/// audits are live-only diagnostics: an auditor that falls more than this
+/// many tokens behind simply sees `None` and retries with a fresh token.
+const CUTS_KEPT: usize = 8;
 
 /// Maximum frames a sender drains into one vectored flush. Each frame is
 /// itself `batch_max`-bounded, so one flush moves at most
@@ -259,6 +265,13 @@ impl NodeHandle {
 enum SenderCmd<C> {
     Update(u64, PartitionId, Update<C>),
     Relink(u64),
+    /// A consistent-cut marker: written to the peer at exactly the channel
+    /// position it was enqueued at (after every update queued before it,
+    /// before every update queued after it) — the Chandy–Lamport discipline
+    /// the cut audit's closure check relies on. Markers are fire-and-forget:
+    /// they never enter the resend window, so a link loss loses them and the
+    /// audit reports the cut incomplete rather than wrong.
+    Marker(u64),
 }
 
 enum CoreMsg<C> {
@@ -297,6 +310,19 @@ enum CoreMsg<C> {
     PeerAcked {
         peer: usize,
         seq: u64,
+    },
+    /// A client-driven consistent-cut request: with `start`, record this
+    /// node's snapshot for `token` (if unseen) and flood markers to every
+    /// peer; either way reply with the recorded snapshot, if any.
+    Cut {
+        token: u64,
+        start: bool,
+        reply: mpsc::Sender<Option<CutSnapshot>>,
+    },
+    /// A cut marker arrived on a peer update stream: record this node's
+    /// snapshot for `token` (if unseen) and propagate markers onward.
+    PeerMarker {
+        token: u64,
     },
     Status(mpsc::Sender<NodeStatus>),
     Trace(mpsc::Sender<Vec<(TraceCheckpoint, Vec<TraceEvent>)>>),
@@ -497,6 +523,11 @@ struct Core<P: Protocol> {
     /// Stage histograms, sampling, and the flight recorder (live-only
     /// state — excluded from snapshots and rebuilt empty on recovery).
     tel: CoreTelemetry,
+    /// Recent consistent-cut snapshots by token, oldest first, bounded by
+    /// [`CUTS_KEPT`]. Live-only audit state: never snapshotted or WAL'd —
+    /// a node that restarts mid-audit simply has no snapshot for the
+    /// token, and the audit reports the cut incomplete.
+    cuts: VecDeque<(u64, CutSnapshot)>,
 }
 
 impl<P: Protocol> Core<P> {
@@ -536,6 +567,78 @@ impl<P: Protocol> Core<P> {
             max_window: 0,
             window_evicted: 0,
             tel,
+            cuts: VecDeque::new(),
+        }
+    }
+
+    /// Whether a snapshot for cut `token` was already recorded (the first
+    /// marker sighting snapshots; later sightings of the same token are
+    /// the expected echoes from the other peer links).
+    fn cut_seen(&self, token: u64) -> bool {
+        self.cuts.iter().any(|(t, _)| *t == token)
+    }
+
+    /// The recorded snapshot for `token`, if it is still retained.
+    fn cut_snapshot(&self, token: u64) -> Option<CutSnapshot> {
+        self.cuts
+            .iter()
+            .find(|(t, _)| *t == token)
+            .map(|(_, snap)| snap.clone())
+    }
+
+    /// Records this node's side of consistent cut `token`: for every
+    /// hosted partition, the issued frontier and the per-issuer-role
+    /// applied frontiers *at this instant* — the sealed checkpoint summary
+    /// joined with the live log tail, which is exactly the state the
+    /// post-hoc oracle would reconstruct up to this point. Wire ids are
+    /// monotone per issuer and applied in issue order per issuer, so these
+    /// frontiers completely describe the cut for the closure check in
+    /// [`prcc_checker::verify_cut_closure`].
+    fn record_cut(&mut self, map: &PartitionMap, token: u64) {
+        let mut partitions = Vec::with_capacity(self.partitions.len());
+        for (index, slot) in self.partitions.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            let partition = PartitionId(index as u32);
+            let mut issued_high = slot.checkpoint.last_issue;
+            let mut applied = slot.checkpoint.applied_high.clone();
+            for event in &slot.log {
+                match event {
+                    TraceEvent::Issue { update, .. } => {
+                        issued_high = issued_high.max(*update);
+                        // An issue is applied at its issuer the moment it
+                        // is issued (step 2 of the prototype).
+                        if let Some(high) = applied.get_mut(slot.role.index()) {
+                            *high = (*high).max(*update);
+                        }
+                    }
+                    TraceEvent::Apply { update, .. } => {
+                        let issuer_node = (*update >> 40) as usize;
+                        if let Some(role) = map.role_on(partition, issuer_node) {
+                            if let Some(high) = applied.get_mut(role.index()) {
+                                *high = (*high).max(*update);
+                            }
+                        }
+                    }
+                }
+            }
+            partitions.push(PartitionCut {
+                partition: partition.0,
+                role: slot.role.index(),
+                issued_high,
+                applied,
+                pending: slot.replica.pending_len() as u64,
+            });
+        }
+        self.cuts.push_back((
+            token,
+            CutSnapshot {
+                node: self.node as u64,
+                token,
+                partitions,
+            },
+        ));
+        while self.cuts.len() > CUTS_KEPT {
+            self.cuts.pop_front();
         }
     }
 
@@ -1082,6 +1185,7 @@ impl<P: Protocol> Core<P> {
             max_window: 0,
             window_evicted: 0,
             tel,
+            cuts: VecDeque::new(),
         };
         core.rebuild_unacked();
         Ok(core)
@@ -1763,6 +1867,16 @@ enum Deferred<C> {
         Vec<(TraceCheckpoint, Vec<TraceEvent>)>,
     ),
     Metrics(mpsc::Sender<MetricsSnapshot>, MetricsSnapshot),
+    /// A consistent-cut reply to a client (the snapshot is live-only
+    /// audit state, but the reply still waits for the sweep's commit like
+    /// every other effect — simpler than a second release path).
+    CutReply(mpsc::Sender<Option<CutSnapshot>>, Option<CutSnapshot>),
+    /// A cut marker to broadcast to every peer sender. Deferred-in-order
+    /// like the sends around it: an update processed before the marker in
+    /// this sweep reaches the sender channel first, one processed after
+    /// it reaches the channel after — channel order is exactly marker
+    /// order on the wire.
+    Marker(u64),
 }
 
 /// The node's event loop, organized as *sweeps*: one blocking receive
@@ -1969,6 +2083,28 @@ fn core_loop<P>(
                 CoreMsg::PeerAcked { peer, seq } => {
                     core.prune(peer, seq);
                 }
+                CoreMsg::Cut {
+                    token,
+                    start,
+                    reply,
+                } => {
+                    if start && !core.cut_seen(token) {
+                        // Snapshot *now*, at this message's channel
+                        // position: writes processed earlier in the sweep
+                        // are inside the cut, later ones outside it.
+                        core.record_cut(map, token);
+                        core.tel.flight.record("cut_start", &[("token", token)]);
+                        deferred.push(Deferred::Marker(token));
+                    }
+                    deferred.push(Deferred::CutReply(reply, core.cut_snapshot(token)));
+                }
+                CoreMsg::PeerMarker { token } => {
+                    if !core.cut_seen(token) {
+                        core.record_cut(map, token);
+                        core.tel.flight.record("cut_marker", &[("token", token)]);
+                        deferred.push(Deferred::Marker(token));
+                    }
+                }
                 CoreMsg::Status(reply) => {
                     let mut status = core.status();
                     if let Some(d) = &durable {
@@ -2080,6 +2216,14 @@ fn core_loop<P>(
                 Deferred::Metrics(tx, snapshot) => {
                     let _ = tx.send(snapshot);
                 }
+                Deferred::CutReply(tx, snap) => {
+                    let _ = tx.send(snap);
+                }
+                Deferred::Marker(token) => {
+                    for tx in peer_txs.iter().flatten() {
+                        let _ = tx.send(SenderCmd::Marker(token));
+                    }
+                }
             }
         }
         if shutdown {
@@ -2138,6 +2282,7 @@ fn dial_peer(
 ) -> Option<(TcpStream, u64)> {
     let deadline = Instant::now() + cfg.connect_timeout;
     let mut backoff = Duration::from_millis(5);
+    let mut attempt = 0u64;
     loop {
         if stop.load(Ordering::SeqCst) {
             return None;
@@ -2165,7 +2310,17 @@ fn dial_peer(
             );
             return None;
         }
-        thread::sleep(backoff.min(deadline - now));
+        attempt += 1;
+        // Seeded jitter, up to +50% of the base backoff: decorrelates the
+        // redial storms a whole cluster restarting (or a partition
+        // healing) would otherwise synchronize, without giving up
+        // determinism — the jitter is a pure hash of (dialer, port,
+        // attempt), so identical histories redial at identical times and
+        // a seed-pinned chaos run replays exactly.
+        let base_us = backoff.as_micros() as u64;
+        let key = ((hello.node as u64) << 48) | ((u64::from(addr.port())) << 32) | attempt;
+        let jitter = Duration::from_micros(mix64(key) % (base_us / 2).max(1));
+        thread::sleep((backoff + jitter).min(deadline - now));
         backoff = (backoff * 2).min(Duration::from_millis(100));
     }
 }
@@ -2385,6 +2540,16 @@ fn peer_sender<C: WireClock>(
                     }
                     continue;
                 }
+                Ok(SenderCmd::Marker(token)) => {
+                    // No batch open: the marker's channel position is
+                    // "right now" — write it immediately.
+                    // lint: allow(alloc) one frame per audit, far off the hot path
+                    match write_frame(&mut stream, &encode_cut_marker(token)) {
+                        Ok(n) => counters.bytes_out.add(n as u64),
+                        Err(_) => continue 'link,
+                    }
+                    continue;
+                }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     if stop.load(Ordering::SeqCst) {
                         return;
@@ -2397,6 +2562,10 @@ fn peer_sender<C: WireClock>(
             batch.push(first);
             let deadline = Instant::now() + cfg.flush_interval;
             let mut relink = false;
+            // A marker closes the batch early: everything queued before it
+            // must hit the wire first, the marker next, everything after
+            // it later — so it waits here while the batch ahead flushes.
+            let mut marker: Option<u64> = None;
             while batch.len() < cfg.batch_max {
                 let now = Instant::now();
                 if now >= deadline {
@@ -2412,6 +2581,10 @@ fn peer_sender<C: WireClock>(
                             break;
                         }
                     }
+                    Ok(SenderCmd::Marker(token)) => {
+                        marker = Some(token);
+                        break;
+                    }
                     Err(_) => break,
                 }
             }
@@ -2419,7 +2592,10 @@ fn peer_sender<C: WireClock>(
             // peer, long flush) pulls whatever is already queued — up to
             // MAX_FLUSH_FRAMES frames' worth — so the vectored flush below
             // moves it with one syscall instead of one per chunk.
-            while !relink && batch.len() < cfg.batch_max.max(1) * MAX_FLUSH_FRAMES {
+            while !relink
+                && marker.is_none()
+                && batch.len() < cfg.batch_max.max(1) * MAX_FLUSH_FRAMES
+            {
                 match rx.try_recv() {
                     Ok(SenderCmd::Update(seq, partition, update)) => {
                         batch.push((seq, partition, update));
@@ -2428,6 +2604,9 @@ fn peer_sender<C: WireClock>(
                         if at == generation {
                             relink = true;
                         }
+                    }
+                    Ok(SenderCmd::Marker(token)) => {
+                        marker = Some(token);
                     }
                     Err(_) => break,
                 }
@@ -2438,29 +2617,45 @@ fn peer_sender<C: WireClock>(
             // Drop entries the resume already transmitted on this
             // connection (they were in both the window and the channel).
             batch.retain(|(seq, _, _)| *seq > covered);
-            let Some(&(last, _, _)) = batch.last() else {
-                continue;
-            };
-            covered = last;
-            if let Err(e) = send_entries(&mut stream, &batch, cfg, counters, pool) {
-                eprintln!(
-                    "prcc-service[{}]: send to {addr}: {e}; reconnecting",
-                    hello.node
-                );
-                continue 'link;
-            }
-            // Send-stage latency (issue → first socket write) for sampled
-            // updates: one clock read per flush, taken lazily, and only on
-            // this first-transmission path — window resends above would
-            // double-count the same stamps.
-            let mut now = 0u64;
-            for (_, _, update) in &batch {
-                let stamp = update.issued_at.0;
-                if stamp != 0 {
-                    if now == 0 {
-                        now = wall_us();
+            if let Some(&(last, _, _)) = batch.last() {
+                covered = last;
+                if let Err(e) = send_entries(&mut stream, &batch, cfg, counters, pool) {
+                    eprintln!(
+                        "prcc-service[{}]: send to {addr}: {e}; reconnecting",
+                        hello.node
+                    );
+                    continue 'link;
+                }
+                // Send-stage latency (issue → first socket write) for sampled
+                // updates: one clock read per flush, taken lazily, and only on
+                // this first-transmission path — window resends above would
+                // double-count the same stamps.
+                let mut now = 0u64;
+                for (_, _, update) in &batch {
+                    let stamp = update.issued_at.0;
+                    if stamp != 0 {
+                        if now == 0 {
+                            now = wall_us();
+                        }
+                        counters.send_us.record(now.saturating_sub(stamp));
                     }
-                    counters.send_us.record(now.saturating_sub(stamp));
+                }
+            }
+            // The batch that was queued ahead of the marker is on the wire;
+            // the marker takes its channel position now. A write failure
+            // loses it (markers are not windowed) — the audit then reports
+            // the cut incomplete, never a wrong verdict.
+            if let Some(token) = marker {
+                // lint: allow(alloc) one frame per audit, far off the hot path
+                match write_frame(&mut stream, &encode_cut_marker(token)) {
+                    Ok(n) => counters.bytes_out.add(n as u64),
+                    Err(e) => {
+                        eprintln!(
+                            "prcc-service[{}]: marker to {addr}: {e}; reconnecting",
+                            hello.node
+                        );
+                        continue 'link;
+                    }
                 }
             }
         }
@@ -2666,6 +2861,17 @@ where
     // lint: hot-path
     while let Some(payload) = read_frame_pooled(stream, pool)? {
         counters.bytes_in.add(payload.len() as u64 + 4);
+        // Cut markers travel in the update stream — that is what gives
+        // them a channel position — so they are intercepted here, before
+        // batch decoding, and forwarded on the same core channel as the
+        // updates around them (arrival order is cut order).
+        if payload.first() == Some(&TAG_CUT_MARKER) {
+            let token = decode_cut_marker(&payload)?;
+            if core_tx.send(CoreMsg::PeerMarker { token }).is_err() {
+                return Ok(()); // Core shut down.
+            }
+            continue;
+        }
         // One frame, many `(partition, [(seq, update)])` sections: validate
         // each section, then hand the whole frame to the core as one
         // delivery (and one WAL receipt record).
@@ -2780,6 +2986,18 @@ fn client_handler<C: WireClock>(
                     .map_err(|_| dead_core())?;
                 let snapshot = rx.recv().map_err(|_| dead_core())?;
                 ClientResponse::Metrics(snapshot)
+            }
+            ClientRequest::Cut { token, start } => {
+                let (reply, rx) = mpsc::channel();
+                core_tx
+                    .send(CoreMsg::Cut {
+                        token,
+                        start,
+                        reply,
+                    })
+                    .map_err(|_| dead_core())?;
+                let snap = rx.recv().map_err(|_| dead_core())?;
+                ClientResponse::Cut(snap)
             }
             ClientRequest::Config => ClientResponse::Config {
                 version: WIRE_VERSION,

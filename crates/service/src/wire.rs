@@ -49,12 +49,23 @@
 //! the live wire only — WAL records and snapshots still use the stamp-free
 //! [`Update::encode_wire`] codec, keeping durable bytes deterministic.
 //!
+//! Version 7 adds the online consistent-cut audit: a client `Cut`
+//! request injects (or polls) a marker token, nodes flood
+//! [`encode_cut_marker`] frames down their peer links *in channel order*
+//! (the Chandy–Lamport discipline — a marker overtaken by data frames
+//! would not delimit a consistent cut), and each node answers with its
+//! [`prcc_checker::CutSnapshot`] of per-partition issue/apply frontiers
+//! taken at first sight of the token. Markers are fire-and-forget: they
+//! carry no link sequence and are not resent, so a marker lost to a
+//! severed connection makes the audit *inconclusive* (retried with a
+//! fresh token), never wrong.
+//!
 //! Causal timestamps ship counters only; index sets and the partition
 //! layout are static configuration carried once in the handshake.
 
 use crate::bufpool::{BufPool, Lease};
 use prcc_checker::trace::TraceEvent;
-use prcc_checker::TraceCheckpoint;
+use prcc_checker::{CutSnapshot, PartitionCut, TraceCheckpoint};
 use prcc_clock::encoding::{read_varint_at as get_varint, write_varint};
 use prcc_clock::WireClock;
 use prcc_core::Update;
@@ -70,9 +81,11 @@ use std::io::{self, Read, Write};
 /// (sequenced updates, hello-acks, streamed acks), to 5 when trace
 /// responses became checkpointed and the status payload grew the
 /// memory-boundedness gauges, to 6 when flush sections gained per-update
-/// issue stamps and the client API gained `Metrics`; peers at any other
-/// version are refused at the handshake.
-pub const WIRE_VERSION: u64 = 6;
+/// issue stamps and the client API gained `Metrics`, to 7 when the
+/// consistent-cut audit landed (peer marker frames, client `Cut`
+/// request/response); peers at any other version are refused at the
+/// handshake.
+pub const WIRE_VERSION: u64 = 7;
 
 /// Upper bound on accepted frame payloads (64 MiB) — a garbage or hostile
 /// length prefix is refused with a descriptive error *before* any
@@ -85,6 +98,11 @@ const TAG_PEER_BATCH: u8 = 2;
 const TAG_MULTI_BATCH: u8 = 3;
 const TAG_HELLO_ACK: u8 = 4;
 const TAG_PEER_ACK: u8 = 5;
+/// Peer-frame tag of a consistent-cut marker (v7). Public so fault
+/// injectors can recognize markers and preserve their channel position —
+/// reordering a marker against data frames would break the cut the audit
+/// checks.
+pub const TAG_CUT_MARKER: u8 = 6;
 const TAG_WRITE: u8 = 16;
 const TAG_READ: u8 = 17;
 const TAG_STATUS: u8 = 18;
@@ -92,6 +110,7 @@ const TAG_TRACE: u8 = 19;
 const TAG_SHUTDOWN: u8 = 20;
 const TAG_CONFIG: u8 = 21;
 const TAG_METRICS: u8 = 22;
+const TAG_CUT: u8 = 23;
 const TAG_WRITE_ACK: u8 = 32;
 const TAG_READ_RESP: u8 = 33;
 const TAG_STATUS_RESP: u8 = 34;
@@ -99,6 +118,7 @@ const TAG_TRACE_RESP: u8 = 35;
 const TAG_BYE: u8 = 36;
 const TAG_CONFIG_RESP: u8 = 37;
 const TAG_METRICS_RESP: u8 = 38;
+const TAG_CUT_RESP: u8 = 39;
 
 /// Writes one frame; returns the bytes put on the wire (payload + prefix).
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<usize> {
@@ -602,6 +622,84 @@ where
     }
 }
 
+/// Encodes a consistent-cut marker peer frame (v7): the tag and the cut
+/// token. Markers are unsequenced — they delimit the channel at the
+/// position they are sent, outside the acknowledged update stream — and
+/// are never resent after a reconnect (a lost marker makes the audit
+/// inconclusive, not wrong).
+pub fn encode_cut_marker(token: u64) -> Vec<u8> {
+    let mut out = vec![TAG_CUT_MARKER];
+    write_varint(&mut out, token);
+    out
+}
+
+/// Decodes a consistent-cut marker frame into its token.
+pub fn decode_cut_marker(payload: &[u8]) -> io::Result<u64> {
+    if payload.first() != Some(&TAG_CUT_MARKER) {
+        return Err(bad_data("not a cut marker frame"));
+    }
+    let mut at = 1;
+    let token = get_varint(payload, &mut at)?;
+    if at != payload.len() {
+        return Err(bad_data("trailing bytes in cut marker"));
+    }
+    Ok(token)
+}
+
+/// Encodes a [`CutSnapshot`] (the `Cut` response body).
+fn encode_cut_snapshot(snap: &CutSnapshot, out: &mut Vec<u8>) {
+    write_varint(out, snap.node);
+    write_varint(out, snap.token);
+    write_varint(out, snap.partitions.len() as u64);
+    for pc in &snap.partitions {
+        write_varint(out, u64::from(pc.partition));
+        write_varint(out, pc.role as u64);
+        write_varint(out, pc.issued_high);
+        write_varint(out, pc.applied.len() as u64);
+        for &applied in &pc.applied {
+            write_varint(out, applied);
+        }
+        write_varint(out, pc.pending);
+    }
+}
+
+fn decode_cut_snapshot(payload: &[u8], at: &mut usize) -> io::Result<CutSnapshot> {
+    let node = get_varint(payload, at)?;
+    let token = get_varint(payload, at)?;
+    let count = get_varint(payload, at)? as usize;
+    if count > 1 << 20 {
+        return Err(bad_data("absurd cut partition count"));
+    }
+    let mut partitions = Vec::with_capacity(count.min(1 << 10));
+    for _ in 0..count {
+        let partition =
+            u32::try_from(get_varint(payload, at)?).map_err(|_| bad_data("partition id"))?;
+        let role = get_varint(payload, at)? as usize;
+        let issued_high = get_varint(payload, at)?;
+        let roles = get_varint(payload, at)? as usize;
+        if roles > 1 << 20 {
+            return Err(bad_data("absurd cut role count"));
+        }
+        let mut applied = Vec::with_capacity(roles.min(1 << 10));
+        for _ in 0..roles {
+            applied.push(get_varint(payload, at)?);
+        }
+        let pending = get_varint(payload, at)?;
+        partitions.push(PartitionCut {
+            partition,
+            role,
+            issued_high,
+            applied,
+            pending,
+        });
+    }
+    Ok(CutSnapshot {
+        node,
+        token,
+        partitions,
+    })
+}
+
 /// A client-API request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientRequest {
@@ -633,6 +731,16 @@ pub enum ClientRequest {
     /// The node's live metric snapshot: counters, gauges, and per-stage
     /// latency histograms (v6).
     Metrics,
+    /// Consistent-cut audit (v7). With `start`, the node snapshots its
+    /// frontiers for `token` (if it has not already seen it) and floods
+    /// markers to its peers; either way the response carries the node's
+    /// snapshot for `token` if it has one.
+    Cut {
+        /// The cut token identifying this audit round.
+        token: u64,
+        /// Initiate the cut here (false = just poll for the snapshot).
+        start: bool,
+    },
     /// Graceful node shutdown.
     Shutdown,
 }
@@ -675,6 +783,11 @@ pub fn encode_request_into(req: &ClientRequest, out: &mut Vec<u8>) {
         ClientRequest::Trace => out.push(TAG_TRACE),
         ClientRequest::Config => out.push(TAG_CONFIG),
         ClientRequest::Metrics => out.push(TAG_METRICS),
+        ClientRequest::Cut { token, start } => {
+            out.push(TAG_CUT);
+            out.push(u8::from(*start));
+            write_varint(out, *token);
+        }
         ClientRequest::Shutdown => out.push(TAG_SHUTDOWN),
     }
 }
@@ -715,6 +828,12 @@ pub fn decode_request(payload: &[u8]) -> io::Result<ClientRequest> {
         Some(&TAG_TRACE) => Ok(ClientRequest::Trace),
         Some(&TAG_CONFIG) => Ok(ClientRequest::Config),
         Some(&TAG_METRICS) => Ok(ClientRequest::Metrics),
+        Some(&TAG_CUT) => {
+            let start = *payload.get(1).ok_or_else(|| bad_data("cut start flag"))? == 1;
+            at = 2;
+            let token = get_varint(payload, &mut at)?;
+            Ok(ClientRequest::Cut { token, start })
+        }
         Some(&TAG_SHUTDOWN) => Ok(ClientRequest::Shutdown),
         _ => Err(bad_data("unknown client request")),
     }
@@ -890,6 +1009,9 @@ pub enum ClientResponse {
     /// Live metric snapshot (v6): counters, gauges, and per-stage latency
     /// histograms, mergeable across nodes.
     Metrics(MetricsSnapshot),
+    /// The node's cut snapshot for the requested token, if it has taken
+    /// one (v7); `None` = the marker has not reached this node yet.
+    Cut(Option<CutSnapshot>),
     /// Shutdown acknowledged.
     Bye,
 }
@@ -968,6 +1090,14 @@ pub fn encode_response_into(resp: &ClientResponse, out: &mut Vec<u8>) {
             out.push(TAG_METRICS_RESP);
             write_varint(out, WIRE_VERSION);
             snapshot.encode(out);
+        }
+        ClientResponse::Cut(snapshot) => {
+            out.push(TAG_CUT_RESP);
+            write_varint(out, WIRE_VERSION);
+            out.push(u8::from(snapshot.is_some()));
+            if let Some(snap) = snapshot {
+                encode_cut_snapshot(snap, out);
+            }
         }
         ClientResponse::Bye => out.push(TAG_BYE),
     }
@@ -1067,6 +1197,27 @@ pub fn decode_response(payload: &[u8]) -> io::Result<ClientResponse> {
                 return Err(bad_data("trailing bytes in metrics response"));
             }
             Ok(ClientResponse::Metrics(snapshot))
+        }
+        Some(&TAG_CUT_RESP) => {
+            let version = get_varint(payload, &mut at)?;
+            if version != WIRE_VERSION {
+                return Err(bad_data(&format!(
+                    "cut response version mismatch: node speaks v{version}, \
+                     this client v{WIRE_VERSION}"
+                )));
+            }
+            let present = *payload.get(at).ok_or_else(|| bad_data("cut presence"))? == 1;
+            at += 1;
+            let snapshot = if present {
+                let snap = decode_cut_snapshot(payload, &mut at)?;
+                if at != payload.len() {
+                    return Err(bad_data("trailing bytes in cut response"));
+                }
+                Some(snap)
+            } else {
+                None
+            };
+            Ok(ClientResponse::Cut(snapshot))
         }
         Some(&TAG_BYE) => Ok(ClientResponse::Bye),
         _ => Err(bad_data("unknown client response")),
@@ -1241,10 +1392,10 @@ mod tests {
             map: PartitionMap::single(topologies::ring(4)),
         };
         let mut payload = encode_peer_hello(&hello);
-        // The version varint sits right after the tag; WIRE_VERSION = 6 is
-        // one byte, so patch it to any older hello — including a v5 peer,
-        // which predates flush-section issue stamps and would misparse
-        // every multi-batch frame.
+        // The version varint sits right after the tag; WIRE_VERSION is a
+        // single byte, so patch it to any older hello — including a v5
+        // peer, which predates flush-section issue stamps and would
+        // misparse every multi-batch frame.
         assert_eq!(payload[1], WIRE_VERSION as u8);
         for old in [1u8, 2, 3, 4, 5] {
             payload[1] = old;
@@ -1589,11 +1740,67 @@ mod tests {
                 map: PartitionMap::rotated(topologies::ring(3), 4, 3).unwrap(),
             },
             ClientResponse::Metrics(sample_metrics()),
+            ClientResponse::Cut(None),
+            ClientResponse::Cut(Some(CutSnapshot {
+                node: 2,
+                token: 0xfeed_beef,
+                partitions: vec![
+                    PartitionCut {
+                        partition: 0,
+                        role: 1,
+                        issued_high: (2 << 40) | 17,
+                        applied: vec![9, (2 << 40) | 17, 0],
+                        pending: 3,
+                    },
+                    PartitionCut {
+                        partition: 5,
+                        role: 0,
+                        issued_high: 0,
+                        applied: vec![0, (1 << 40) | 4],
+                        pending: 0,
+                    },
+                ],
+            })),
             ClientResponse::Bye,
         ];
         for resp in &responses {
             assert_eq!(&decode_response(&encode_response(resp)).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn cut_request_and_marker_round_trip() {
+        for req in [
+            ClientRequest::Cut {
+                token: 7,
+                start: true,
+            },
+            ClientRequest::Cut {
+                token: u64::MAX,
+                start: false,
+            },
+        ] {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+        for token in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let frame = encode_cut_marker(token);
+            assert_eq!(frame[0], TAG_CUT_MARKER);
+            assert_eq!(decode_cut_marker(&frame).unwrap(), token);
+        }
+        assert!(decode_cut_marker(&[TAG_PEER_ACK, 0]).is_err());
+        let mut trailing = encode_cut_marker(9);
+        trailing.push(0);
+        assert!(decode_cut_marker(&trailing).is_err());
+    }
+
+    #[test]
+    fn cut_response_rejects_version_skew() {
+        let payload = encode_response(&ClientResponse::Cut(None));
+        assert_eq!(payload[1], WIRE_VERSION as u8);
+        let mut old = payload.clone();
+        old[1] = (WIRE_VERSION - 1) as u8;
+        let err = decode_response(&old).unwrap_err();
+        assert!(err.to_string().contains("version mismatch"), "{err}");
     }
 
     /// A metrics snapshot with every section populated and a histogram

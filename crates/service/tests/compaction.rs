@@ -14,70 +14,11 @@
 //!   summaries included — because seals travel through the same
 //!   append-before-apply WAL path as every other state mutation.
 
-use prcc_clock::EdgeProtocol;
-use prcc_graph::{topologies, PartitionMap};
-use prcc_service::{LoopbackCluster, ServiceConfig};
-use prcc_workloads::ops::{generate_keyed_ops, route_keyed_ops};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use std::path::PathBuf;
-use std::sync::Arc;
-use std::thread;
+mod common;
+
+use common::{drain_and_verify, drive, launch_ring as launch, scratch_dir, DRAIN};
+use prcc_service::ServiceConfig;
 use std::time::Duration;
-
-const DRAIN: Duration = Duration::from_secs(30);
-
-fn scratch_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("prcc-compact-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).expect("mkdir scratch");
-    dir
-}
-
-fn launch(partitions: u32, nodes: usize, cfg: &ServiceConfig) -> LoopbackCluster {
-    let graph = topologies::ring(nodes);
-    let map = PartitionMap::rotated(graph.clone(), partitions, nodes).expect("valid map");
-    let protocol = Arc::new(EdgeProtocol::new(graph));
-    LoopbackCluster::launch_partitioned(protocol, map, cfg, 0).expect("launch")
-}
-
-fn drive(cluster: &LoopbackCluster, ops: usize, seed: u64) {
-    let map = cluster.map().clone();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let keyed = generate_keyed_ops(&map, ops, None, &mut rng);
-    let scripts = route_keyed_ops(&map, &keyed);
-    let mut drivers = Vec::new();
-    for (node, script) in scripts.into_iter().enumerate() {
-        let mut client = cluster.client(node).expect("client");
-        drivers.push(thread::spawn(move || {
-            for (partition, register, value) in script {
-                assert!(client
-                    .write_in(partition, register, value)
-                    .expect("write io"));
-            }
-        }));
-    }
-    for driver in drivers {
-        driver.join().expect("driver");
-    }
-}
-
-fn drain_and_verify(cluster: &LoopbackCluster, what: &str) {
-    assert!(
-        cluster.drain(DRAIN).expect("drain io"),
-        "no quiescence: {what}"
-    );
-    assert_eq!(cluster.misrouted_drops().expect("statuses"), 0, "{what}");
-    for (p, verdict) in cluster
-        .verify_partitions()
-        .expect("traces")
-        .iter()
-        .enumerate()
-    {
-        let v = verdict.as_ref().expect("replayable");
-        assert!(v.is_consistent(), "{what}: partition {p}: {v:?}");
-    }
-}
 
 /// Mid-run compaction seals most of the history, the live logs stay small,
 /// and the stitched verdict matches a full-history run of the identical

@@ -1,5 +1,8 @@
 //! Integration tests: real TCP loopback clusters on ephemeral ports.
 
+mod common;
+
+use common::{quick_cfg, DRAIN};
 use prcc_clock::EdgeProtocol;
 use prcc_graph::{topologies, RegisterId};
 use prcc_service::{LoopbackCluster, ServiceConfig};
@@ -9,16 +12,6 @@ use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
-
-fn quick_cfg() -> ServiceConfig {
-    ServiceConfig {
-        batch_max: 16,
-        flush_interval: Duration::from_micros(100),
-        ..ServiceConfig::default()
-    }
-}
-
-const DRAIN: Duration = Duration::from_secs(30);
 
 /// Boots a 5-node ring over loopback TCP, drives a seeded workload through
 /// per-node clients in parallel, drains to quiescence and replays the

@@ -2,6 +2,9 @@
 //! clusters hosting many partitions per node, key-routed clients, and
 //! per-partition oracle verification.
 
+mod common;
+
+use common::{launch_ring, quick_cfg, DRAIN};
 use prcc_clock::EdgeProtocol;
 use prcc_graph::{topologies, PartitionId, PartitionMap};
 use prcc_service::{LoopbackCluster, ServiceConfig};
@@ -12,21 +15,8 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-fn quick_cfg() -> ServiceConfig {
-    ServiceConfig {
-        batch_max: 16,
-        flush_interval: Duration::from_micros(100),
-        ..ServiceConfig::default()
-    }
-}
-
-const DRAIN: Duration = Duration::from_secs(30);
-
 fn launch(partitions: u32, nodes: usize) -> LoopbackCluster {
-    let graph = topologies::ring(nodes);
-    let map = PartitionMap::rotated(graph.clone(), partitions, nodes).expect("valid map");
-    let protocol = Arc::new(EdgeProtocol::new(graph));
-    LoopbackCluster::launch_partitioned(protocol, map, &quick_cfg(), 0).expect("launch")
+    launch_ring(partitions, nodes, &quick_cfg())
 }
 
 /// A 4-node ring hosting 8 partitions, driven by a seeded keyed workload

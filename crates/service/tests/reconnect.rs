@@ -12,32 +12,20 @@
 //!   delivered on (or buffered into) the dying connection — closing the
 //!   PR 3 gap where frames written into a dead socket were silently lost.
 
+mod common;
+
+use common::{accept_handshake, read_hello};
 use prcc_clock::{EdgeProtocol, Protocol};
 use prcc_graph::{topologies, PartitionMap, RegisterId};
 use prcc_service::node::{spawn_node, NodeSeed, ServiceConfig};
-use prcc_service::wire::{
-    decode_peer_batches, decode_peer_hello, encode_hello_ack, read_frame, write_frame, PeerHello,
-};
+use prcc_service::wire::{decode_peer_batches, encode_hello_ack, read_frame, write_frame};
 use prcc_service::ServiceClient;
 use std::collections::BTreeSet;
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
-
-fn read_hello(conn: &mut TcpStream) -> PeerHello {
-    let frame = read_frame(conn).expect("hello io").expect("hello frame");
-    decode_peer_hello(&frame).expect("well-formed hello")
-}
-
-/// Completes the acceptor side of the v4 handshake: read the hello, answer
-/// with the given acknowledged offset.
-fn accept_handshake(conn: &mut TcpStream, acked: u64) -> PeerHello {
-    let hello = read_hello(conn);
-    write_frame(conn, &encode_hello_ack(acked)).expect("write hello ack");
-    hello
-}
 
 /// `(seq, value)` pairs of every update in one decoded flush frame.
 fn frame_updates(payload: &[u8], protocol: &EdgeProtocol) -> Vec<(u64, u64)> {
@@ -165,6 +153,61 @@ fn sender_reconnects_and_resumes_after_acked_offset() {
     assert!(
         updates.iter().all(|&(seq, value)| seq > 1 && value > 1),
         "acknowledged update was retransmitted: {updates:?}"
+    );
+
+    rig.client.shutdown().expect("shutdown");
+    rig.node.join();
+}
+
+/// The nemesis's mid-frame cut in miniature, receiver side: a live
+/// MultiBatch frame truncated at EVERY byte offset is a decode error —
+/// the reader never applies a partial frame — and after the cut the
+/// redialing link resends its whole window from the acked offset, so the
+/// severed frame's updates are not lost.
+#[test]
+fn mid_frame_cut_never_decodes_partially_and_the_window_resends() {
+    let mut rig = rig();
+
+    let (mut conn, _) = rig.fake_peer.accept().expect("first accept");
+    accept_handshake(&mut conn, 0);
+    for value in 1..=4u64 {
+        assert!(rig.client.write(RegisterId(0), value).expect("write"));
+    }
+    let payload = read_frame(&mut conn)
+        .expect("frame io")
+        .expect("update frame");
+    for cut in 0..payload.len() {
+        assert!(
+            decode_peer_batches(&payload[..cut], |i| Some(rig.protocol.new_clock(i))).is_err(),
+            "a {cut}-byte prefix of a {}-byte frame decoded",
+            payload.len()
+        );
+    }
+    // Sever the connection (mid-stream from the sender's view: later
+    // frames may be half-flushed into the dead socket); acknowledge
+    // nothing on the redial.
+    drop(conn);
+
+    let (mut conn, _) = rig.fake_peer.accept().expect("reconnect accept");
+    accept_handshake(&mut conn, 0);
+    let mut seen = BTreeSet::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while seen.len() < 4 {
+        assert!(
+            Instant::now() < deadline,
+            "window not resent after the mid-frame cut: got {seen:?}"
+        );
+        let payload = read_frame(&mut conn)
+            .expect("frame io")
+            .expect("resent frame");
+        for (_, value) in frame_updates(&payload, &rig.protocol) {
+            seen.insert(value);
+        }
+    }
+    assert_eq!(
+        seen.into_iter().collect::<Vec<_>>(),
+        vec![1, 2, 3, 4],
+        "every update from the severed connection must be redelivered"
     );
 
     rig.client.shutdown().expect("shutdown");

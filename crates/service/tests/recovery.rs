@@ -15,86 +15,23 @@
 //!   leave byte-identical snapshot + WAL files behind (the determinism
 //!   the whole recovery design rests on).
 
+mod common;
+
+use common::{drive, durable_cfg, launch_ring as launch, scratch_dir};
 use prcc_clock::EdgeProtocol;
-use prcc_graph::{topologies, PartitionMap, RegisterId};
+use prcc_graph::{topologies, RegisterId};
 use prcc_service::{LoopbackCluster, ServiceConfig};
 use prcc_workloads::ops::{generate_keyed_ops, route_keyed_ops};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::path::PathBuf;
-use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-const DRAIN: Duration = Duration::from_secs(30);
-
-/// A fresh scratch dir under the system temp dir, unique per test.
-fn scratch_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("prcc-recovery-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).expect("mkdir scratch");
-    dir
-}
-
-fn durable_cfg(data_dir: PathBuf, snapshot_every: u64) -> ServiceConfig {
-    ServiceConfig {
-        batch_max: 16,
-        flush_interval: Duration::from_micros(100),
-        data_dir: Some(data_dir),
-        snapshot_every,
-        ..ServiceConfig::default()
-    }
-}
-
-fn launch(partitions: u32, nodes: usize, cfg: &ServiceConfig) -> LoopbackCluster {
-    let graph = topologies::ring(nodes);
-    let map = PartitionMap::rotated(graph.clone(), partitions, nodes).expect("valid map");
-    let protocol = Arc::new(EdgeProtocol::new(graph));
-    LoopbackCluster::launch_partitioned(protocol, map, cfg, 0).expect("launch")
-}
-
-/// Drives `ops` seeded keyed writes through per-node clients in parallel.
-fn drive(cluster: &LoopbackCluster, ops: usize, seed: u64) {
-    let map = cluster.map().clone();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let keyed = generate_keyed_ops(&map, ops, None, &mut rng);
-    let scripts = route_keyed_ops(&map, &keyed);
-    let mut drivers = Vec::new();
-    for (node, script) in scripts.into_iter().enumerate() {
-        let mut client = cluster.client(node).expect("client");
-        drivers.push(thread::spawn(move || {
-            for (partition, register, value) in script {
-                assert!(client
-                    .write_in(partition, register, value)
-                    .expect("write io"));
-            }
-        }));
-    }
-    for driver in drivers {
-        driver.join().expect("driver");
-    }
-}
-
-/// Drains to quiescence, dumping every node's counters on a timeout so a
-/// stall is diagnosable from the test log.
-fn drain_or_dump(cluster: &LoopbackCluster, what: &str) {
-    if cluster.drain(DRAIN).expect("drain io") {
-        return;
-    }
-    eprintln!("=== drain timeout: {what} ===");
-    for status in cluster.statuses().expect("statuses") {
-        eprintln!("{status:?}");
-    }
-    panic!("no quiescence: {what}");
-}
+use common::drain_or_dump;
 
 fn assert_all_partitions_consistent(cluster: &LoopbackCluster) {
-    assert_eq!(cluster.misrouted_drops().expect("statuses"), 0);
-    let verdicts = cluster.verify_partitions().expect("traces");
-    for (p, verdict) in verdicts.iter().enumerate() {
-        let v = verdict.as_ref().expect("replayable");
-        assert!(v.is_consistent(), "partition {p}: {v:?}");
-    }
+    common::assert_all_partitions_consistent(cluster, "recovery");
 }
 
 /// Crash at quiescence, restart, and compare the recovered node against

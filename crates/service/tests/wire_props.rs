@@ -293,21 +293,25 @@ proptest! {
 
     /// The concrete upgrade scenario: a peer still speaking an older wire
     /// version (v2 partition tagging, v3 unacknowledged frame packing, v5
-    /// stamp-free updates) is refused by a v6 node at the handshake with an
-    /// error naming both versions — mixed-version clusters fail loudly,
-    /// not silently.
+    /// stamp-free updates, v6 windowed acks) is refused by a current node
+    /// at the handshake with an error naming both versions —
+    /// mixed-version clusters fail loudly, not silently.
     #[test]
-    fn stale_version_hellos_refused_by_v6(map in arb_partition_map()) {
+    fn stale_version_hellos_refused_by_current(map in arb_partition_map()) {
         let mut payload = encode_peer_hello(&PeerHello { node: 0, map });
         prop_assert_eq!(u64::from(payload[1]), prcc_service::WIRE_VERSION);
-        for old in [2u8, 3, 4, 5] {
+        let current = prcc_service::WIRE_VERSION;
+        for old in [2u8, 3, 4, 5, 6] {
             payload[1] = old; // an old peer's hello differs exactly here
             let err = decode_peer_hello(&payload).unwrap_err();
             prop_assert!(
                 err.to_string().contains(&format!("peer speaks v{old}")),
                 "{}", err
             );
-            prop_assert!(err.to_string().contains("this node v6"), "{}", err);
+            prop_assert!(
+                err.to_string().contains(&format!("this node v{current}")),
+                "{}", err
+            );
         }
     }
 
