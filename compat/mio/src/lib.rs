@@ -1,0 +1,677 @@
+//! Offline compatibility shim: the slice of `mio`'s polling API the
+//! reactor needs — [`Poll`], [`Events`], [`Token`], [`Interest`],
+//! [`Waker`] — implemented directly over `epoll_create1` / `epoll_ctl` /
+//! `epoll_wait`, `eventfd`, `fcntl`, and a non-blocking `connect`, all
+//! declared as thin libc FFI (this workspace links nothing beyond libstd
+//! and libc, which libstd already pulls in).
+//!
+//! Like `compat/parking_lot` (which carries the workspace's only
+//! lock-order detector), this crate is the designated home for an
+//! otherwise-forbidden capability: every `prcc-*` crate keeps
+//! `#![forbid(unsafe_code)]`, and the raw syscall surface lives here
+//! alone, wrapped into a safe API whose handles close their file
+//! descriptors on drop.
+//!
+//! Scope notes, where this intentionally diverges from upstream `mio`:
+//!
+//! * Linux-only, level-triggered epoll. The reactor re-arms write
+//!   interest explicitly instead of relying on edge semantics.
+//! * Registration takes any `&impl AsRawFd` instead of a `Source` trait;
+//!   the caller keeps ownership of the socket.
+//! * [`dial`] performs the non-blocking `socket(2)`/`connect(2)` pair
+//!   that std cannot express (std's `TcpStream::connect` always blocks)
+//!   and hands back a std `TcpStream` mid-handshake; completion is
+//!   observed as a WRITABLE event plus [`std::net::TcpStream::take_error`].
+
+// The prcc-lint forbid-unsafe rule accepts this marker (compat/ crates
+// only) in place of `#![forbid(unsafe_code)]`: every unsafe operation
+// here must sit in an explicit `unsafe {}` block stating its contract,
+// even inside unsafe fns.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+use std::sync::Arc;
+use std::time::Duration;
+
+mod sys {
+    //! The entire unsafe surface: FFI declarations and the call sites
+    //! that wrap them into `io::Result`.
+
+    use std::io;
+
+    /// `epoll_event` as the kernel ABI lays it out. On x86-64 the struct
+    /// is packed (no padding between the 32-bit mask and 64-bit data);
+    /// other architectures use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EPOLLOUT: u32 = 0x4;
+    pub const EPOLLERR: u32 = 0x8;
+    pub const EPOLLHUP: u32 = 0x10;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+    const F_GETFL: i32 = 3;
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0o4000;
+    const AF_INET: u16 = 2;
+    const AF_INET6: u16 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_NONBLOCK: i32 = 0o4000;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const EINPROGRESS: i32 = 115;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn connect(fd: i32, addr: *const u8, len: u32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn epoll_create() -> io::Result<i32> {
+        cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+    }
+
+    pub fn epoll_add(epfd: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(|_| ())
+    }
+
+    pub fn epoll_mod(epfd: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &mut ev) }).map(|_| ())
+    }
+
+    pub fn epoll_del(epfd: i32, fd: i32) -> io::Result<()> {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// One `epoll_wait` call; fills `buf` and returns the event count.
+    /// `timeout_ms` follows the syscall convention: `-1` blocks, `0`
+    /// polls. `EINTR` is surfaced as `Ok(0)` (a spurious empty wakeup),
+    /// which every caller must already tolerate.
+    pub fn epoll_wait_into(
+        epfd: i32,
+        buf: &mut Vec<EpollEvent>,
+        timeout_ms: i32,
+    ) -> io::Result<usize> {
+        buf.clear();
+        let cap = buf.capacity().max(1) as i32;
+        buf.reserve(cap as usize);
+        let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), cap, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        // The kernel wrote `n` events into the spare capacity.
+        unsafe { buf.set_len(n as usize) };
+        Ok(n as usize)
+    }
+
+    pub fn eventfd_new() -> io::Result<i32> {
+        cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+    }
+
+    pub fn close_fd(fd: i32) {
+        unsafe { close(fd) };
+    }
+
+    /// Writes one `u64` increment into an eventfd.
+    pub fn eventfd_signal(fd: i32) -> io::Result<()> {
+        let one = 1u64.to_ne_bytes();
+        let n = unsafe { write(fd, one.as_ptr(), one.len()) };
+        // EAGAIN means the counter is saturated — the reader is already
+        // guaranteed a wakeup, so a full eventfd is success.
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Reads (and thereby resets) an eventfd counter.
+    pub fn eventfd_drain(fd: i32) {
+        let mut buf = [0u8; 8];
+        unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+    }
+
+    /// Sets `O_NONBLOCK` on an arbitrary descriptor via `fcntl`.
+    pub fn set_nonblocking_fd(fd: i32) -> io::Result<()> {
+        let flags = cvt(unsafe { fcntl(fd, F_GETFL, 0) })?;
+        cvt(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) }).map(|_| ())
+    }
+
+    /// `sockaddr_in` / `sockaddr_in6` laid out by hand: 16 bytes for v4,
+    /// 28 for v6; family in native order, port and address big-endian.
+    fn sockaddr_bytes(addr: &super::SocketAddr) -> ([u8; 28], u32) {
+        let mut buf = [0u8; 28];
+        match addr {
+            super::SocketAddr::V4(v4) => {
+                buf[0..2].copy_from_slice(&AF_INET.to_ne_bytes());
+                buf[2..4].copy_from_slice(&v4.port().to_be_bytes());
+                buf[4..8].copy_from_slice(&v4.ip().octets());
+                (buf, 16)
+            }
+            super::SocketAddr::V6(v6) => {
+                buf[0..2].copy_from_slice(&AF_INET6.to_ne_bytes());
+                buf[2..4].copy_from_slice(&v6.port().to_be_bytes());
+                buf[4..8].copy_from_slice(&v6.flowinfo().to_be_bytes());
+                buf[8..24].copy_from_slice(&v6.ip().octets());
+                buf[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+                (buf, 28)
+            }
+        }
+    }
+
+    /// Non-blocking `socket(2)` + `connect(2)`. Returns the raw fd and
+    /// whether the connect completed synchronously (loopback usually
+    /// does); `false` means the handshake is in flight and completion
+    /// arrives as a WRITABLE epoll event.
+    pub fn connect_nonblocking(addr: &super::SocketAddr) -> io::Result<(i32, bool)> {
+        let family = match addr {
+            super::SocketAddr::V4(_) => i32::from(AF_INET),
+            super::SocketAddr::V6(_) => i32::from(AF_INET6),
+        };
+        let fd = cvt(unsafe { socket(family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+        let (buf, len) = sockaddr_bytes(addr);
+        let ret = unsafe { connect(fd, buf.as_ptr(), len) };
+        if ret == 0 {
+            return Ok((fd, true));
+        }
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() == Some(EINPROGRESS) {
+            Ok((fd, false))
+        } else {
+            close_fd(fd);
+            Err(err)
+        }
+    }
+}
+
+/// Associates a registered descriptor with the events it produces.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Token(pub usize);
+
+/// Readiness interest for a registration: readable, writable, or both.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness (includes peer-close via `EPOLLRDHUP`).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests (mio's non-const `|` spelling).
+    #[allow(clippy::should_implement_trait)] // upstream mio's method name
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Removes `other` from this interest; `None` if nothing remains.
+    pub fn remove(self, other: Interest) -> Option<Interest> {
+        let left = self.0 & !other.0;
+        (left != 0).then_some(Interest(left))
+    }
+
+    /// Whether this interest includes readability.
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether this interest includes writability.
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+
+    fn epoll_mask(self) -> u32 {
+        let mut mask = 0;
+        if self.is_readable() {
+            mask |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.is_writable() {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness event out of [`Poll::poll`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    mask: u32,
+}
+
+impl Event {
+    /// The token the ready descriptor was registered under.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Read-ready — including error and hangup conditions, mirroring mio:
+    /// the handler's next read surfaces the actual error or EOF.
+    pub fn is_readable(&self) -> bool {
+        self.mask & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLRDHUP | sys::EPOLLERR) != 0
+    }
+
+    /// Write-ready — including error and hangup conditions, so a failed
+    /// async connect (which reports only `EPOLLERR|EPOLLHUP`) still
+    /// reaches the writable path that checks `take_error`.
+    pub fn is_writable(&self) -> bool {
+        self.mask & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+
+    /// Whether the kernel flagged an error condition on the descriptor.
+    pub fn is_error(&self) -> bool {
+        self.mask & sys::EPOLLERR != 0
+    }
+
+    /// Whether the peer closed (full or write-half hangup).
+    pub fn is_hup(&self) -> bool {
+        self.mask & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+}
+
+/// A reusable batch of readiness events, filled by [`Poll::poll`].
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+}
+
+impl Events {
+    /// A batch that receives at most `cap` events per poll.
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            buf: Vec::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Number of events in the current batch.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the current batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Iterates the current batch.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf.iter().map(|raw| Event {
+            token: Token(raw.data as usize),
+            // Copy out of the (possibly packed) struct field by value.
+            mask: { raw.events },
+        })
+    }
+}
+
+/// An epoll instance: registrations plus the wait loop.
+///
+/// Level-triggered: a registered descriptor reports readiness on every
+/// poll until the condition is consumed, so missed events cannot strand a
+/// connection — at worst they cost a spurious wakeup.
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// Creates a new epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            epfd: sys::epoll_create()?,
+        })
+    }
+
+    /// Registers `source` for `interest`, delivering events as `token`.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        sys::epoll_add(
+            self.epfd,
+            source.as_raw_fd(),
+            interest.epoll_mask(),
+            token.0 as u64,
+        )
+    }
+
+    /// Changes the interest set of an already-registered `source`.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        sys::epoll_mod(
+            self.epfd,
+            source.as_raw_fd(),
+            interest.epoll_mask(),
+            token.0 as u64,
+        )
+    }
+
+    /// Removes `source` from the interest set. (Closing the descriptor
+    /// also deregisters it implicitly; this is for keeping a live socket
+    /// out of the poll set.)
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        sys::epoll_del(self.epfd, source.as_raw_fd())
+    }
+
+    /// Waits for readiness, filling `events` (up to its capacity).
+    /// `None` blocks indefinitely; `Some(d)` rounds the timeout *up* to
+    /// whole milliseconds so a 200µs deadline cannot spin at 0ms.
+    /// Returns the number of events; 0 on timeout or `EINTR`.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_micros().div_ceil(1000);
+                i32::try_from(ms).unwrap_or(i32::MAX)
+            }
+        };
+        sys::epoll_wait_into(self.epfd, &mut events.buf, timeout_ms)
+    }
+}
+
+impl AsRawFd for Poll {
+    fn as_raw_fd(&self) -> RawFd {
+        self.epfd
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+struct WakerFd(RawFd);
+
+impl Drop for WakerFd {
+    fn drop(&mut self) {
+        sys::close_fd(self.0);
+    }
+}
+
+/// Cross-thread wakeup for a [`Poll`] blocked in [`Poll::poll`], backed
+/// by an `eventfd`. Cheap to clone; all clones signal the same poll.
+///
+/// The eventfd is registered level-triggered, so after a wakeup event the
+/// poll owner must call [`Waker::drain`] to reset it — the reactor does
+/// this when it sees the waker's token.
+#[derive(Clone)]
+pub struct Waker {
+    fd: Arc<WakerFd>,
+}
+
+impl Waker {
+    /// Creates a waker registered on `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let fd = WakerFd(sys::eventfd_new()?);
+        sys::epoll_add(poll.as_raw_fd(), fd.0, sys::EPOLLIN, token.0 as u64)?;
+        Ok(Waker { fd: Arc::new(fd) })
+    }
+
+    /// Wakes the poll. Callable from any thread; never blocks.
+    pub fn wake(&self) -> io::Result<()> {
+        sys::eventfd_signal(self.fd.0)
+    }
+
+    /// Resets the eventfd after its readable event was observed.
+    pub fn drain(&self) {
+        sys::eventfd_drain(self.fd.0);
+    }
+}
+
+/// Sets `O_NONBLOCK` on any descriptor-backed handle via `fcntl` —
+/// listeners before registration, accepted streams before handoff.
+pub fn set_nonblocking(source: &impl AsRawFd) -> io::Result<()> {
+    sys::set_nonblocking_fd(source.as_raw_fd())
+}
+
+/// A non-blocking outbound connection attempt.
+pub struct Dial {
+    /// The socket, already non-blocking. Until [`Dial::ready`] the
+    /// handshake is in flight: register for WRITABLE and check
+    /// [`TcpStream::take_error`] when the event arrives.
+    pub stream: TcpStream,
+    /// Whether `connect` completed synchronously.
+    pub ready: bool,
+}
+
+/// Starts a non-blocking TCP connect to `addr` (std's `TcpStream::connect`
+/// has no non-blocking form). The returned socket is owned by the `Dial`;
+/// dropping it closes the fd.
+pub fn dial(addr: &SocketAddr) -> io::Result<Dial> {
+    let (fd, ready) = sys::connect_nonblocking(addr)?;
+    // SAFETY-by-construction: `fd` is a fresh, owned socket descriptor
+    // that nothing else references; `from_raw_fd` transfers that
+    // ownership into the TcpStream. This is the crate's one conversion
+    // point between the FFI layer and std types.
+    let stream = unsafe { TcpStream::from_raw_fd(fd) };
+    Ok(Dial { stream, ready })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_event_fires_after_peer_write() {
+        let (mut a, b) = pair();
+        set_nonblocking(&b).unwrap();
+        let mut poll = Poll::new().unwrap();
+        poll.register(&b, Token(7), Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing pending: a zero timeout returns empty.
+        let n = poll.poll(&mut events, Some(Duration::ZERO)).unwrap();
+        assert_eq!(n, 0);
+
+        a.write_all(b"ping").unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let event = events.iter().next().unwrap();
+        assert_eq!(event.token(), Token(7));
+        assert!(event.is_readable());
+
+        let mut buf = [0u8; 4];
+        b.try_clone().unwrap().read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        // Level-triggered: once consumed, readiness clears.
+        let n = poll.poll(&mut events, Some(Duration::ZERO)).unwrap();
+        assert_eq!(n, 0, "consumed socket must not stay readable");
+    }
+
+    #[test]
+    fn nonblocking_read_would_block() {
+        let (_a, mut b) = pair();
+        set_nonblocking(&b).unwrap();
+        let mut buf = [0u8; 4];
+        let err = b.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn interest_combination_and_rearm() {
+        let (_a, b) = pair();
+        set_nonblocking(&b).unwrap();
+        let mut poll = Poll::new().unwrap();
+        poll.register(&b, Token(1), Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+        // An idle socket with write interest reports writable immediately.
+        poll.reregister(&b, Token(1), Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().is_writable());
+        // Dropping write interest silences it again.
+        poll.reregister(&b, Token(1), Interest::READABLE).unwrap();
+        let n = poll.poll(&mut events, Some(Duration::ZERO)).unwrap();
+        assert_eq!(n, 0);
+        assert!(Interest::READABLE.add(Interest::WRITABLE).is_writable());
+        assert_eq!(
+            (Interest::READABLE | Interest::WRITABLE).remove(Interest::WRITABLE),
+            Some(Interest::READABLE)
+        );
+        assert_eq!(Interest::READABLE.remove(Interest::READABLE), None);
+    }
+
+    #[test]
+    fn waker_crosses_threads() {
+        let mut poll = Poll::new().unwrap();
+        let waker = Waker::new(&poll, Token(0)).unwrap();
+        let remote = waker.clone();
+        let handle = std::thread::spawn(move || {
+            remote.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(4);
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events.iter().next().unwrap().token(), Token(0));
+        waker.drain();
+        // Drained: quiet again until the next wake.
+        let n = poll.poll(&mut events, Some(Duration::ZERO)).unwrap();
+        assert_eq!(n, 0);
+        // Coalescing: two wakes before a drain are one event, and wake
+        // never errors even when the counter is already nonzero.
+        waker.wake().unwrap();
+        waker.wake().unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        waker.drain();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn dial_completes_against_live_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dialed = dial(&addr).unwrap();
+        let mut poll = Poll::new().unwrap();
+        if !dialed.ready {
+            poll.register(&dialed.stream, Token(3), Interest::WRITABLE)
+                .unwrap();
+            let mut events = Events::with_capacity(4);
+            let n = poll
+                .poll(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1);
+        }
+        assert!(dialed.stream.take_error().unwrap().is_none());
+        let (mut accepted, _) = listener.accept().unwrap();
+        accepted.write_all(b"ok").unwrap();
+        drop(accepted);
+        let mut out = Vec::new();
+        let mut stream = dialed.stream;
+        // The dialed socket is non-blocking; spin briefly for the bytes.
+        let start = std::time::Instant::now();
+        loop {
+            match stream.read_to_end(&mut out) {
+                Ok(_) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(start.elapsed() < Duration::from_secs(5));
+                    std::thread::yield_now();
+                }
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+        assert_eq!(out, b"ok");
+    }
+
+    #[test]
+    fn dial_to_dead_port_reports_the_error() {
+        // Bind-then-drop guarantees a port with no listener.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let dialed = match dial(&addr) {
+            Ok(d) => d,
+            Err(_) => return, // synchronous refusal is also a pass
+        };
+        if dialed.ready {
+            // Connected to something unexpected — the port was reused.
+            return;
+        }
+        let mut poll = Poll::new().unwrap();
+        poll.register(&dialed.stream, Token(9), Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(4);
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let event = events.iter().next().unwrap();
+        assert!(
+            event.is_writable(),
+            "failed connect must reach the writable path"
+        );
+        assert!(
+            dialed.stream.take_error().unwrap().is_some(),
+            "SO_ERROR must carry the refusal"
+        );
+    }
+}

@@ -40,6 +40,11 @@ pub enum Directive {
     HotPathStart,
     /// `// lint: end-hot-path` — closes it.
     HotPathEnd,
+    /// `// lint: reactor` — opens a fence where event-loop drivers run:
+    /// no thread spawns, no blocking reads, no sleeps.
+    ReactorStart,
+    /// `// lint: end-reactor` — closes it.
+    ReactorEnd,
     /// `// lint: allow(<rule>) <reason>` — suppresses `rule` on this
     /// line and the next.
     Allow {
@@ -276,6 +281,10 @@ fn parse_directive(text: &str, line: u32, out: &mut Lexed) {
         out.directives.push((line, Directive::HotPathStart));
     } else if rest == "end-hot-path" {
         out.directives.push((line, Directive::HotPathEnd));
+    } else if rest == "reactor" {
+        out.directives.push((line, Directive::ReactorStart));
+    } else if rest == "end-reactor" {
+        out.directives.push((line, Directive::ReactorEnd));
     } else if let Some(after) = rest.strip_prefix("allow(") {
         match after.split_once(')') {
             Some((rule, reason)) if !rule.trim().is_empty() => {
@@ -367,6 +376,14 @@ mod tests {
         let lexed = lex("// lint: hotpath\n// lint: allow(unwrap)\n");
         assert_eq!(lexed.directives.len(), 0);
         assert_eq!(lexed.bad_directives.len(), 2);
+    }
+
+    #[test]
+    fn reactor_fences_parse() {
+        let lexed = lex("// lint: reactor\nfn f() {}\n// lint: end-reactor\n");
+        assert_eq!(lexed.directives[0], (1, Directive::ReactorStart));
+        assert_eq!(lexed.directives[1], (3, Directive::ReactorEnd));
+        assert!(lexed.bad_directives.is_empty());
     }
 
     #[test]

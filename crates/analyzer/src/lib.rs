@@ -5,8 +5,10 @@
 //! not check: every WAL append result must reach a fail-stop decision,
 //! fenced hot-path regions must not allocate, service/storage code must
 //! not panic on unchecked `unwrap`s, all locking must flow through the
-//! `compat/parking_lot` shim (where the lock-order detector lives), and
-//! every crate root must forbid `unsafe`. This crate scans the source
+//! `compat/parking_lot` shim (where the lock-order detector lives),
+//! every crate root must forbid `unsafe` (with `compat/mio` confining
+//! the epoll FFI instead), and fenced reactor regions must never block
+//! the event-loop workers. This crate scans the source
 //! tree at the token level and turns each convention into a `file:line`
 //! diagnostic; the `prcc-lint` binary exits nonzero when any fires.
 //!
@@ -22,7 +24,7 @@ mod walk;
 
 pub use lexer::{lex, Directive, Lexed, TokKind, Token};
 pub use rules::{
-    check_file, Finding, RULE_DIRECTIVE, RULE_FORBID_UNSAFE, RULE_HOT_PATH, RULE_STD_LOCK,
-    RULE_UNWRAP, RULE_WAL_DISCARD,
+    check_file, Finding, RULE_DIRECTIVE, RULE_FORBID_UNSAFE, RULE_HOT_PATH, RULE_REACTOR,
+    RULE_STD_LOCK, RULE_UNWRAP, RULE_WAL_DISCARD,
 };
 pub use walk::{collect_rs_files, lint_root, Diagnostic};

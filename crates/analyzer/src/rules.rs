@@ -1,4 +1,4 @@
-//! The five workspace invariants, checked over one file's token stream.
+//! The six workspace invariants, checked over one file's token stream.
 //!
 //! Each rule guards a property the test suite can't see directly:
 //!
@@ -16,10 +16,18 @@
 //!    `compat/`: the `parking_lot` shim adds lock-order detection, and a
 //!    raw std lock would dodge it.
 //! 5. **forbid-unsafe** — every crate root carries
-//!    `#![forbid(unsafe_code)]`.
+//!    `#![forbid(unsafe_code)]`. The single sanctioned escape: a
+//!    `compat/` shim confining a raw capability (the `compat/mio` epoll
+//!    FFI) may instead carry `#![deny(unsafe_op_in_unsafe_fn)]`.
+//! 6. **reactor-blocking** — regions fenced by `// lint: reactor` /
+//!    `// lint: end-reactor` run on the event-loop workers: no
+//!    `thread::spawn`, no blocking socket reads (`read_exact`,
+//!    `read_frame`, …), no `recv`/`sleep`. A driver that blocks stalls
+//!    every connection sharing its worker; use timers and commands.
 //!
-//! Rules 1–4 accept per-line `// lint: allow(<rule>) <reason>` escapes
-//! (the annotation covers its own line and the next).
+//! Rules 1–4 and 6 accept per-line `// lint: allow(<rule>) <reason>`
+//! escapes (the annotation covers its own line and the next; rule 6's
+//! allow name is `reactor`).
 
 use crate::lexer::{lex, Directive, TokKind, Token};
 use std::collections::{HashMap, HashSet};
@@ -45,11 +53,13 @@ pub const RULE_UNWRAP: &str = "unwrap";
 pub const RULE_STD_LOCK: &str = "std-lock";
 /// Rule 5: crate roots must carry `#![forbid(unsafe_code)]`.
 pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+/// Rule 6: no thread spawns or blocking calls in `// lint: reactor` fences.
+pub const RULE_REACTOR: &str = "reactor-blocking";
 /// Meta rule: malformed or unbalanced `// lint:` directives.
 pub const RULE_DIRECTIVE: &str = "directive";
 
 /// The allow-annotation rule names users may write.
-const ALLOWED_RULES: [&str; 4] = ["unwrap", "alloc", "std-lock", "wal-discard"];
+const ALLOWED_RULES: [&str; 5] = ["unwrap", "alloc", "std-lock", "wal-discard", "reactor"];
 
 /// WAL mutation methods whose results must not be discarded.
 const WAL_METHODS: [&str; 3] = ["append", "append_batch", "stage_payload"];
@@ -64,6 +74,22 @@ const OWNED_ENCODERS: [&str; 7] = [
     "encode_request",
     "encode_response",
     "encode_peer_hello",
+];
+
+/// Calls that park or monopolize the calling thread; inside a
+/// `// lint: reactor` fence any of these stalls every connection
+/// multiplexed onto the same event-loop worker.
+const REACTOR_BLOCKING: [&str; 10] = [
+    "spawn",
+    "sleep",
+    "recv",
+    "recv_timeout",
+    "read_exact",
+    "read_to_end",
+    "read_frame",
+    "read_frame_pooled",
+    "accept",
+    "join",
 ];
 
 /// Checks one file. `rel` is the workspace-relative path with `/`
@@ -81,12 +107,26 @@ pub fn check_file(rel: &str, src: &str, is_crate_root: bool) -> Vec<Finding> {
     }
 
     let allows = allow_map(&lexed.directives, &mut findings);
-    let fences = fence_spans(&lexed.directives, &mut findings);
+    let fences = fence_spans(
+        &lexed.directives,
+        &mut findings,
+        Directive::HotPathStart,
+        Directive::HotPathEnd,
+        "hot-path",
+    );
+    let reactor_fences = fence_spans(
+        &lexed.directives,
+        &mut findings,
+        Directive::ReactorStart,
+        Directive::ReactorEnd,
+        "reactor",
+    );
     let toks = &lexed.tokens;
     let test_skip = test_spans(toks);
     let in_tests = |i: usize| test_skip.iter().any(|&(a, b)| i >= a && i < b);
     let allowed = |line: u32, rule: &str| allows.get(&line).is_some_and(|set| set.contains(rule));
     let in_fence = |line: u32| fences.iter().any(|&(a, b)| line >= a && line <= b);
+    let in_reactor = |line: u32| reactor_fences.iter().any(|&(a, b)| line >= a && line <= b);
 
     let compat = rel.starts_with("compat/");
     let test_dir = rel
@@ -94,7 +134,11 @@ pub fn check_file(rel: &str, src: &str, is_crate_root: bool) -> Vec<Finding> {
         .any(|c| c == "tests" || c == "benches" || c == "examples");
     let service_storage = rel.contains("crates/service/src") || rel.contains("crates/storage/src");
 
-    if is_crate_root && !has_forbid_unsafe(toks) {
+    // A `compat/` shim may confine a raw capability behind explicit
+    // unsafe blocks instead of forbidding them outright — but only by
+    // declaring so with `#![deny(unsafe_op_in_unsafe_fn)]` at the root.
+    let unsafe_confinement = compat && has_deny_unsafe_op(toks);
+    if is_crate_root && !has_forbid_unsafe(toks) && !unsafe_confinement {
         findings.push(Finding {
             line: 1,
             rule: RULE_FORBID_UNSAFE,
@@ -204,6 +248,25 @@ pub fn check_file(rel: &str, src: &str, is_crate_root: bool) -> Vec<Finding> {
                 });
             }
         }
+
+        // Rule 6: blocking calls inside reactor fences.
+        if in_reactor(t.line)
+            && !allowed(t.line, "reactor")
+            && next_paren
+            && REACTOR_BLOCKING.contains(&t.text.as_str())
+            && !prev_is(toks, i, "fn")
+        {
+            findings.push(Finding {
+                line: t.line,
+                rule: RULE_REACTOR,
+                message: format!(
+                    "{}() blocks the event-loop worker inside a `// lint: reactor` \
+                     fence; use ctx timers/commands, or annotate \
+                     `// lint: allow(reactor) <reason>` if it cannot block",
+                    t.text
+                ),
+            });
+        }
     }
 
     findings.sort_by_key(|f| f.line);
@@ -237,43 +300,47 @@ fn allow_map(
     map
 }
 
-/// Pairs hot-path fence markers into inclusive line spans; unbalanced
-/// markers are findings (a fence that never closes would silently fence
-/// the rest of the file — or nothing).
-fn fence_spans(directives: &[(u32, Directive)], findings: &mut Vec<Finding>) -> Vec<(u32, u32)> {
+/// Pairs one kind of fence marker (`start`/`end`) into inclusive line
+/// spans; unbalanced markers are findings (a fence that never closes
+/// would silently fence the rest of the file — or nothing). The two
+/// fence kinds pair independently, so a hot-path fence may sit inside a
+/// reactor fence.
+fn fence_spans(
+    directives: &[(u32, Directive)],
+    findings: &mut Vec<Finding>,
+    start: Directive,
+    end: Directive,
+    what: &str,
+) -> Vec<(u32, u32)> {
     let mut spans = Vec::new();
     let mut open: Option<u32> = None;
     for (line, d) in directives {
-        match d {
-            Directive::HotPathStart => {
-                if let Some(at) = open {
-                    findings.push(Finding {
-                        line: *line,
-                        rule: RULE_DIRECTIVE,
-                        message: format!(
-                            "hot-path fence opened again (previous open at line {at})"
-                        ),
-                    });
-                } else {
-                    open = Some(*line);
-                }
+        if *d == start {
+            if let Some(at) = open {
+                findings.push(Finding {
+                    line: *line,
+                    rule: RULE_DIRECTIVE,
+                    message: format!("{what} fence opened again (previous open at line {at})"),
+                });
+            } else {
+                open = Some(*line);
             }
-            Directive::HotPathEnd => match open.take() {
+        } else if *d == end {
+            match open.take() {
                 Some(at) => spans.push((at, *line)),
                 None => findings.push(Finding {
                     line: *line,
                     rule: RULE_DIRECTIVE,
-                    message: "end-hot-path without an open fence".into(),
+                    message: format!("end-{what} without an open fence"),
                 }),
-            },
-            Directive::Allow { .. } => {}
+            }
         }
     }
     if let Some(at) = open {
         findings.push(Finding {
             line: at,
             rule: RULE_DIRECTIVE,
-            message: "hot-path fence never closed".into(),
+            message: format!("{what} fence never closed"),
         });
     }
     spans
@@ -298,6 +365,27 @@ fn has_forbid_unsafe(tokens: &[Token]) -> bool {
             tokens,
             i,
             &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"],
+        )
+    })
+}
+
+/// Finds `#![deny(unsafe_op_in_unsafe_fn)]` — the marker a `compat/`
+/// unsafe-confinement crate carries instead of the forbid.
+fn has_deny_unsafe_op(tokens: &[Token]) -> bool {
+    (0..tokens.len()).any(|i| {
+        path_is(
+            tokens,
+            i,
+            &[
+                "#",
+                "!",
+                "[",
+                "deny",
+                "(",
+                "unsafe_op_in_unsafe_fn",
+                ")",
+                "]",
+            ],
         )
     })
 }
@@ -526,6 +614,50 @@ mod tests {
             true
         )
         .is_empty());
+    }
+
+    #[test]
+    fn compat_shims_may_confine_unsafe_instead() {
+        let confined = "#![deny(unsafe_op_in_unsafe_fn)]\npub fn f() {}";
+        assert!(
+            check_file("compat/mio/src/lib.rs", confined, true).is_empty(),
+            "a compat crate declaring unsafe confinement is exempt"
+        );
+        assert_eq!(
+            check_file("crates/x/src/lib.rs", confined, true)[0].rule,
+            RULE_FORBID_UNSAFE,
+            "the confinement escape is compat/-only"
+        );
+        assert_eq!(
+            check_file("compat/mio/src/lib.rs", "pub fn f() {}", true)[0].rule,
+            RULE_FORBID_UNSAFE,
+            "a compat crate without the deny marker still needs the forbid"
+        );
+    }
+
+    #[test]
+    fn reactor_fences_forbid_blocking_calls() {
+        let src = "// lint: reactor\nfn f() { thread::spawn(g); }\n// lint: end-reactor\n";
+        assert_eq!(rules_hit(SVC, src), [RULE_REACTOR]);
+        let read =
+            "// lint: reactor\nfn f(s: &mut S) { s.read_exact(&mut b)?; }\n// lint: end-reactor\n";
+        assert_eq!(rules_hit(SVC, read), [RULE_REACTOR]);
+        let recv = "// lint: reactor\nfn f(rx: &R) { let m = rx.recv_timeout(d); }\n// lint: end-reactor\n";
+        assert_eq!(rules_hit(SVC, recv), [RULE_REACTOR]);
+        let outside = "fn g(s: &mut S) { s.read_exact(&mut b); }\n// lint: reactor\nfn f() {}\n// lint: end-reactor\n";
+        assert!(rules_hit(SVC, outside).is_empty());
+        let allowed = "// lint: reactor\nfn f(s: &mut S) {\n // lint: allow(reactor) handshake runs before registration\n s.read_exact(&mut b)?;\n}\n// lint: end-reactor\n";
+        assert!(rules_hit(SVC, allowed).is_empty());
+        let defn = "// lint: reactor\nfn read_exact(b: &mut [u8]) {}\n// lint: end-reactor\n";
+        assert!(rules_hit(SVC, defn).is_empty(), "definitions are not calls");
+    }
+
+    #[test]
+    fn reactor_and_hot_path_fences_nest_independently() {
+        let src = "// lint: reactor\n// lint: hot-path\nfn f() { let v = Vec::new(); thread::spawn(g); }\n// lint: end-hot-path\n// lint: end-reactor\n";
+        let mut rules = rules_hit(SVC, src);
+        rules.sort_unstable();
+        assert_eq!(rules, [RULE_HOT_PATH, RULE_REACTOR]);
     }
 
     #[test]

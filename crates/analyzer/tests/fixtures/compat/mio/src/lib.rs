@@ -1,0 +1,7 @@
+//! Fixture unsafe-confinement crate root: a `compat/` shim carrying
+//! `#![deny(unsafe_op_in_unsafe_fn)]` instead of the forbid must NOT
+//! trip rule 5 (outside `compat/`, or without the marker, it would).
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub fn safe_surface() {}

@@ -1,0 +1,20 @@
+//! Fixture reactor fence: blocking calls inside the fence (rule 6),
+//! plus the escapes that must stay silent.
+
+// lint: reactor
+pub fn blocking_driver(stream: &mut Stream, rx: &Receiver) {
+    thread::spawn(background);
+    stream.read_exact(&mut [0u8; 4]);
+    let _m = rx.recv_timeout(timeout());
+}
+
+pub fn patient_driver(stream: &mut Stream) {
+    // lint: allow(reactor) fixture: the annotation must suppress rule 6
+    stream.read_exact(&mut [0u8; 4]);
+    stream.set_timer();
+}
+// lint: end-reactor
+
+pub fn unfenced(stream: &mut Stream) {
+    stream.read_exact(&mut [0u8; 4]);
+}

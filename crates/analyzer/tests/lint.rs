@@ -23,7 +23,8 @@ fn fixtures_trip_every_rule_at_the_expected_lines() {
 
     assert_eq!(
         hits(&diags, "forbid-unsafe"),
-        [("crates/service/src/lib.rs", 1)]
+        [("crates/service/src/lib.rs", 1)],
+        "compat/mio/src/lib.rs declares unsafe confinement and is exempt"
     );
     assert_eq!(hits(&diags, "std-lock"), [("crates/service/src/lib.rs", 4)]);
     assert_eq!(
@@ -52,6 +53,16 @@ fn fixtures_trip_every_rule_at_the_expected_lines() {
         ],
         "underscore binding, .ok() and bare statement; ? and tail \
          position stay silent"
+    );
+    assert_eq!(
+        hits(&diags, "reactor-blocking"),
+        [
+            ("crates/service/src/driver.rs", 6),
+            ("crates/service/src/driver.rs", 7),
+            ("crates/service/src/driver.rs", 8),
+        ],
+        "spawn, a blocking read and recv_timeout inside the fence; the \
+         allow(reactor) line and unfenced code stay silent"
     );
     assert_eq!(
         hits(&diags, "directive"),

@@ -1,0 +1,301 @@
+//! A size-classed pool of reusable byte buffers for the node's data path.
+//!
+//! Every frame read and every flush encode used to allocate (and free) a
+//! fresh `Vec<u8>`; at tens of thousands of frames per second that churn
+//! is pure transport fat. The pool keeps returned buffers on power-of-two
+//! *shelves* and hands them back out on the next lease, so the steady
+//! state recycles the same handful of buffers across every peer reader,
+//! client connection and sender flush of a node.
+//!
+//! Telemetry is wired into the node's `prcc-telemetry` registry:
+//!
+//! * `pool_hits` / `pool_misses` — counters: leases served from a shelf
+//!   vs. leases that had to allocate. After warmup the miss count should
+//!   plateau (misses only happen when concurrency exceeds everything the
+//!   pool has ever seen).
+//! * `pool_outstanding` — gauge: buffers currently leased out. This is
+//!   the RSS bound for the pooled path: hundreds of idle client
+//!   connections hold zero buffers because leases live only for the
+//!   duration of one frame read or one flush write.
+//!
+//! Buffers above the largest shelf class (1 MiB) are served by plain
+//! allocation and *dropped* on return — a rare oversized frame must not
+//! pin megabytes to a shelf forever. Shelf depth is bounded for the same
+//! reason: a burst may allocate, but the pool's idle footprint stays
+//! `SHELF_DEPTH × Σ class sizes` at worst.
+
+use parking_lot::Mutex;
+use prcc_telemetry::{Counter, Gauge, Registry};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Smallest shelf class, in bytes.
+const MIN_CLASS: usize = 256;
+/// Largest shelf class, in bytes; bigger requests bypass the shelves.
+const MAX_CLASS: usize = 1 << 20;
+/// Shelves from 256 B to 1 MiB, doubling.
+const CLASSES: usize = (MAX_CLASS.trailing_zeros() - MIN_CLASS.trailing_zeros() + 1) as usize;
+/// Most buffers one shelf retains; returns beyond this are dropped.
+const SHELF_DEPTH: usize = 64;
+
+struct PoolInner {
+    shelves: [Mutex<Vec<Vec<u8>>>; CLASSES],
+    hits: Counter,
+    misses: Counter,
+    /// Authoritative live-lease count; mirrored into the gauge on every
+    /// change (gauges are set-only).
+    outstanding_now: AtomicU64,
+    outstanding: Gauge,
+}
+
+impl PoolInner {
+    /// Smallest shelf index whose class size covers `cap`, or `None` when
+    /// the request is larger than the biggest shelf.
+    fn class_for(cap: usize) -> Option<usize> {
+        if cap > MAX_CLASS {
+            return None;
+        }
+        let bits = cap.max(MIN_CLASS).next_power_of_two().trailing_zeros();
+        Some((bits - MIN_CLASS.trailing_zeros()) as usize)
+    }
+
+    fn track_lease(&self) {
+        let now = self.outstanding_now.fetch_add(1, Ordering::Relaxed) + 1;
+        self.outstanding.set(now);
+    }
+
+    fn track_return(&self) {
+        let now = self.outstanding_now.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.outstanding.set(now);
+    }
+
+    fn give_back(&self, buf: Vec<u8>) {
+        self.track_return();
+        // Shelve by what the buffer can actually hold: a lease that grew
+        // past its class goes back on the bigger shelf it now serves.
+        let Some(mut class) = Self::class_for(buf.capacity()) else {
+            return; // oversized: drop, don't pin megabytes to a shelf
+        };
+        if buf.capacity() < MIN_CLASS {
+            return; // too small to be worth recycling
+        }
+        // `class_for` rounds capacity *up*; a buffer whose capacity sits
+        // between classes cannot serve that bigger class, so it belongs
+        // one shelf down.
+        if buf.capacity() < class_size(class) {
+            if class == 0 {
+                return;
+            }
+            class -= 1;
+        }
+        let mut shelf = self.shelves[class].lock();
+        if shelf.len() < SHELF_DEPTH {
+            shelf.push(buf);
+        }
+    }
+}
+
+/// Size in bytes of shelf `class`.
+fn class_size(class: usize) -> usize {
+    MIN_CLASS << class
+}
+
+/// A shared, size-classed buffer pool (cheap to clone — all clones share
+/// the shelves and the metrics).
+#[derive(Clone)]
+pub struct BufPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufPool {
+    /// Creates a pool whose `pool_hits`/`pool_misses` counters and
+    /// `pool_outstanding` gauge live in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        BufPool {
+            inner: Arc::new(PoolInner {
+                shelves: std::array::from_fn(|_| Mutex::named(Vec::new(), "service.pool_shelf")),
+                hits: registry.counter("pool_hits"),
+                misses: registry.counter("pool_misses"),
+                outstanding_now: AtomicU64::new(0),
+                outstanding: registry.gauge("pool_outstanding"),
+            }),
+        }
+    }
+
+    /// Leases a cleared buffer with capacity for at least `cap` bytes.
+    /// Dropping the [`Lease`] returns the buffer to its shelf.
+    pub fn lease(&self, cap: usize) -> Lease {
+        let inner = &self.inner;
+        let buf = match PoolInner::class_for(cap) {
+            Some(class) => {
+                let shelved = inner.shelves[class].lock().pop();
+                match shelved {
+                    Some(mut buf) => {
+                        inner.hits.inc();
+                        buf.clear();
+                        buf
+                    }
+                    None => {
+                        inner.misses.inc();
+                        Vec::with_capacity(class_size(class))
+                    }
+                }
+            }
+            None => {
+                // Above the largest class: plain allocation, not shelved.
+                inner.misses.inc();
+                Vec::with_capacity(cap)
+            }
+        };
+        inner.track_lease();
+        Lease {
+            buf,
+            pool: Arc::clone(inner),
+        }
+    }
+
+    /// Buffers currently leased out (the live RSS bound).
+    pub fn outstanding(&self) -> u64 {
+        self.inner.outstanding_now.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for BufPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufPool")
+            .field("outstanding", &self.outstanding())
+            .finish()
+    }
+}
+
+/// A pooled buffer on loan: derefs to its `Vec<u8>`, returns to the pool
+/// on drop.
+pub struct Lease {
+    buf: Vec<u8>,
+    pool: Arc<PoolInner>,
+}
+
+impl Deref for Lease {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for Lease {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        self.pool.give_back(std::mem::take(&mut self.buf));
+    }
+}
+
+impl std::fmt::Debug for Lease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lease")
+            .field("len", &self.buf.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> (BufPool, Registry) {
+        let registry = Registry::new();
+        (BufPool::new(&registry), registry)
+    }
+
+    #[test]
+    fn first_lease_misses_second_hits() {
+        let (pool, registry) = pool();
+        {
+            let mut a = pool.lease(1000);
+            a.extend_from_slice(&[1, 2, 3]);
+            assert_eq!(pool.outstanding(), 1);
+        }
+        assert_eq!(pool.outstanding(), 0);
+        let b = pool.lease(900);
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+        assert!(b.capacity() >= 900);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pool_hits"), Some(1));
+        assert_eq!(snap.counter("pool_misses"), Some(1));
+        assert_eq!(snap.gauge("pool_outstanding"), Some(1));
+    }
+
+    #[test]
+    fn concurrent_leases_each_allocate_then_all_recycle() {
+        let (pool, registry) = pool();
+        let a = pool.lease(512);
+        let b = pool.lease(512);
+        assert_eq!(pool.outstanding(), 2);
+        drop(a);
+        drop(b);
+        let _c = pool.lease(512);
+        let _d = pool.lease(512);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("pool_misses"),
+            Some(2),
+            "only the cold start misses"
+        );
+        assert_eq!(snap.counter("pool_hits"), Some(2));
+    }
+
+    #[test]
+    fn classes_are_separate() {
+        let (pool, registry) = pool();
+        drop(pool.lease(300)); // shelves a 512 B buffer
+        let _big = pool.lease(100_000); // must not get the small one
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pool_hits"), Some(0));
+        assert_eq!(snap.counter("pool_misses"), Some(2));
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_shelved() {
+        let (pool, registry) = pool();
+        drop(pool.lease(MAX_CLASS * 2));
+        drop(pool.lease(MAX_CLASS * 2));
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("pool_misses"),
+            Some(2),
+            "above the largest class every lease allocates"
+        );
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn grown_lease_reshelves_by_its_new_capacity() {
+        let (pool, _registry) = pool();
+        {
+            let mut small = pool.lease(256);
+            small.resize(8192, 0); // grows past its class
+        }
+        let recycled = pool.lease(8192);
+        assert!(
+            recycled.capacity() >= 8192,
+            "the grown buffer must serve the shelf its capacity covers"
+        );
+    }
+
+    #[test]
+    fn shelf_depth_is_bounded() {
+        let (pool, _registry) = pool();
+        let leases: Vec<Lease> = (0..SHELF_DEPTH + 10).map(|_| pool.lease(256)).collect();
+        assert_eq!(pool.outstanding(), (SHELF_DEPTH + 10) as u64);
+        drop(leases);
+        assert_eq!(pool.outstanding(), 0);
+        // Nothing to assert directly about dropped surplus without peeking
+        // at shelf internals; the property under test is that this does
+        // not panic and outstanding returns to zero.
+    }
+}

@@ -111,6 +111,16 @@ fn run() -> Result<(), String> {
              \t--clients N      total client connections across the cluster\n\
              \t                 (default: one per node); each node's script is\n\
              \t                 striped across its share of the connections\n\
+             \t--lane-workers W multiplex the client connections onto W driver\n\
+             \t                 threads (0 = one thread per connection, the\n\
+             \t                 historic shape; large --clients runs want a\n\
+             \t                 small pool here)\n\
+             \t--max-threads N  fail if this process exceeds N threads\n\
+             \t                 mid-drive — the cluster runs in-process, so a\n\
+             \t                 return to thread-per-connection I/O anywhere\n\
+             \t                 trips this (0 = off)\n\
+             \t--max-fds N      fail if this process exceeds N open file\n\
+             \t                 descriptors mid-drive (0 = off)\n\
              \t--sample-every N sample 1-in-N update lifecycles for the stage\n\
              \t                 histograms (1 = every update, default 16)\n\
              \t--metrics-mid-run  request a live metrics frame from node 0\n\
@@ -144,6 +154,9 @@ fn run() -> Result<(), String> {
     let max_wal_writes_per_op = args.parse_or("--max-wal-writes-per-op", 0f64)?;
     let max_pool_miss_rate = args.parse_or("--max-pool-miss-rate", 0f64)?;
     let clients = args.parse_or("--clients", 0usize)?;
+    let lane_workers = args.parse_or("--lane-workers", 0usize)?;
+    let max_threads = args.parse_or("--max-threads", 0u64)?;
+    let max_fds = args.parse_or("--max-fds", 0u64)?;
     let max_snapshot_bytes = args.parse_or("--max-snapshot-bytes", 0u64)?;
     let max_snapshot_growth = args.parse_or("--max-snapshot-growth", 0f64)?;
     let fsync_every = if args.has("--fsync") && args.value("--fsync-every").is_none() {
@@ -270,36 +283,80 @@ fn run() -> Result<(), String> {
     // cluster-wide (ceil-divided per node); the default keeps the historic
     // one-connection-per-node shape so seeded runs stay comparable.
     let per_node_clients = if clients == 0 { 1 } else { clients.div_ceil(n) };
-    let mut drivers = Vec::with_capacity(n * per_node_clients);
+    // Every lane is one live client connection carrying its stripe of a
+    // node's script. Lanes are multiplexed onto --lane-workers driver
+    // threads (default: one per lane, the historic shape) — a 2000-client
+    // run needs a worker pool, not 2000 harness threads, to prove the
+    // *node* holds 2000 sockets on a fixed pool too.
+    struct Lane {
+        addr: std::net::SocketAddr,
+        client: prcc_service::ServiceClient,
+        script: Vec<(prcc_graph::PartitionId, prcc_graph::RegisterId, u64)>,
+        at: usize,
+        rng: ChaCha8Rng,
+    }
+    let mut lanes = Vec::with_capacity(n * per_node_clients);
     for (node, script) in scripts.into_iter().enumerate() {
         let addr = cluster.addrs(node).1;
         for lane in 0..per_node_clients {
-            let script: Vec<_> = script
+            let striped: Vec<_> = script
                 .iter()
                 .copied()
                 .skip(lane)
                 .step_by(per_node_clients)
                 .collect();
-            let mut client = cluster
+            let client = cluster
                 .client(node)
                 .map_err(|e| format!("connect node {node}: {e}"))?;
-            let share = script.len() as f64 / ops_total.max(1) as f64;
-            let interval = if rate > 0.0 && !script.is_empty() {
-                Some(Duration::from_secs_f64(1.0 / (rate * share)))
-            } else {
-                None
+            lanes.push(Lane {
+                addr,
+                client,
+                script: striped,
+                at: 0,
+                rng: ChaCha8Rng::seed_from_u64(
+                    seed ^ ((node as u64 + 1) << 32) ^ ((lane as u64) << 16),
+                ),
+            });
+        }
+    }
+    let workers = if lane_workers == 0 {
+        lanes.len()
+    } else {
+        lane_workers.min(lanes.len()).max(1)
+    };
+    // Deal lanes round-robin so each worker serves a cross-section of the
+    // cluster rather than one node's whole block.
+    let mut dealt: Vec<Vec<Lane>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, lane) in lanes.into_iter().enumerate() {
+        dealt[i % workers].push(lane);
+    }
+    let mut drivers = Vec::with_capacity(workers);
+    for mut my_lanes in dealt {
+        let my_ops: usize = my_lanes.iter().map(|l| l.script.len()).sum();
+        let share = my_ops as f64 / ops_total.max(1) as f64;
+        let interval = if rate > 0.0 && my_ops > 0 {
+            Some(Duration::from_secs_f64(1.0 / (rate * share)))
+        } else {
+            None
+        };
+        let progress = Arc::clone(&progress);
+        drivers.push(thread::spawn(move || -> std::io::Result<DriverResult> {
+            let mut result = DriverResult {
+                latencies_us: Vec::with_capacity(my_ops),
+                reads: 0,
+                failures: 0,
             };
-            let mut thread_rng =
-                ChaCha8Rng::seed_from_u64(seed ^ ((node as u64 + 1) << 32) ^ ((lane as u64) << 16));
-            let progress = Arc::clone(&progress);
-            drivers.push(thread::spawn(move || -> std::io::Result<DriverResult> {
-                let mut result = DriverResult {
-                    latencies_us: Vec::with_capacity(script.len()),
-                    reads: 0,
-                    failures: 0,
-                };
-                let mut next_at = Instant::now();
-                for (partition, register, value) in script {
+            let mut next_at = Instant::now();
+            let mut remaining = my_ops;
+            // One op per lane per pass: every connection makes progress
+            // each round, and per-key order within a lane is preserved.
+            while remaining > 0 {
+                for lane in &mut my_lanes {
+                    let Some(&(partition, register, value)) = lane.script.get(lane.at) else {
+                        continue;
+                    };
+                    lane.at += 1;
+                    remaining -= 1;
                     if let Some(interval) = interval {
                         let now = Instant::now();
                         if next_at > now {
@@ -308,7 +365,7 @@ fn run() -> Result<(), String> {
                         next_at += interval;
                     }
                     let started = Instant::now();
-                    let is_read = read_pct > 0.0 && thread_rng.gen_bool(read_pct);
+                    let is_read = read_pct > 0.0 && lane.rng.gen_bool(read_pct);
                     if is_read {
                         result.reads += 1;
                     }
@@ -319,7 +376,7 @@ fn run() -> Result<(), String> {
                             client.write_padded(partition, register, value, value_bytes)
                         }
                     };
-                    let ok = match attempt(&mut client) {
+                    let ok = match attempt(&mut lane.client) {
                         Ok(ok) => ok,
                         Err(e) if crash_restart => {
                             // The node may be mid crash/restart: ride through
@@ -330,9 +387,11 @@ fn run() -> Result<(), String> {
                             let deadline = Instant::now() + Duration::from_secs(30);
                             loop {
                                 thread::sleep(Duration::from_millis(25));
-                                if let Ok(mut fresh) = prcc_service::ServiceClient::connect(addr) {
+                                if let Ok(mut fresh) =
+                                    prcc_service::ServiceClient::connect(lane.addr)
+                                {
                                     if let Ok(ok) = attempt(&mut fresh) {
-                                        client = fresh;
+                                        lane.client = fresh;
                                         break ok;
                                     }
                                 }
@@ -351,10 +410,16 @@ fn run() -> Result<(), String> {
                         .push(started.elapsed().as_micros() as u64);
                     progress.fetch_add(1, Ordering::Relaxed);
                 }
-                Ok(result)
-            }));
-        }
+            }
+            Ok(result)
+        }));
     }
+
+    // Peak process shape, sampled with every lane connected and the
+    // worker pool live: the cluster runs in-process, so any return to
+    // thread-per-connection I/O scales this with --clients.
+    let sampled_threads = process_threads();
+    let sampled_fds = process_fds();
 
     // The mid-run metrics probe: once a quarter of the ops are in, scrape
     // node 0's live metrics over the client wire — the point is to prove
@@ -539,6 +604,13 @@ fn run() -> Result<(), String> {
         sealed_events: 0,
         max_window: 0,
         window_evicted: 0,
+        reactor_wakeups: 0,
+        reactor_events: 0,
+        reactor_rearms: 0,
+        reactor_outq_hiwat: 0,
+        barrier_skips: 0,
+        process_threads: sampled_threads,
+        process_fds: sampled_fds,
         sample_every,
         visibility: prcc_telemetry::HistSummary::default(),
         pending_stall: prcc_telemetry::HistSummary::default(),
@@ -768,7 +840,50 @@ fn run() -> Result<(), String> {
             ));
         }
     }
+    if max_threads > 0 {
+        if report.process_threads == 0 {
+            return Err("thread gate needs /proc/self/status; it was unreadable".into());
+        }
+        if report.process_threads > max_threads {
+            return Err(format!(
+                "thread count regressed: {} threads mid-drive (limit {max_threads}) — \
+                 connection handling is spawning threads again instead of \
+                 multiplexing onto the reactor pool",
+                report.process_threads
+            ));
+        }
+    }
+    if max_fds > 0 {
+        if report.process_fds == 0 {
+            return Err("fd gate needs /proc/self/fd; it was unreadable".into());
+        }
+        if report.process_fds > max_fds {
+            return Err(format!(
+                "open file descriptors regressed: {} fds mid-drive (limit {max_fds})",
+                report.process_fds
+            ));
+        }
+    }
     Ok(())
+}
+
+/// Current thread count of this process (0 if /proc is unavailable).
+fn process_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Open file descriptors of this process (0 if /proc is unavailable).
+fn process_fds() -> u64 {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|dir| dir.count() as u64)
+        .unwrap_or(0)
 }
 
 fn main() {

@@ -330,10 +330,20 @@ impl LoopbackCluster {
             let duplicates: u64 = statuses.iter().map(|s| s.duplicates_dropped).sum();
             let pending: u64 = statuses.iter().map(|s| s.pending).sum();
             let settled = pending == 0 && received.saturating_sub(duplicates) >= sent;
-            if settled && previous.as_ref() == Some(&statuses) {
+            // Reactor telemetry moves with this drain's own status polling
+            // (every request wakes an event-loop worker), so it must not
+            // count against the two-identical-polls stability check.
+            let mut normalized = statuses;
+            for status in &mut normalized {
+                status.reactor_wakeups = 0;
+                status.reactor_events = 0;
+                status.reactor_rearms = 0;
+                status.reactor_outq_hiwat = 0;
+            }
+            if settled && previous.as_ref() == Some(&normalized) {
                 return Ok(true);
             }
-            previous = Some(statuses);
+            previous = Some(normalized);
             if Instant::now() >= deadline {
                 return Ok(false);
             }

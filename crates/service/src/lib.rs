@@ -15,12 +15,14 @@
 //!   streamed acknowledgement frames, the partition-addressed client
 //!   read/write API, and a version-stamped `Metrics` request returning
 //!   the node's live [`prcc_telemetry::MetricsSnapshot`].
-//! * [`node`] — a partition-routing TCP node: a core event-loop thread
-//!   owning one [`prcc_core::Replica`] per hosted partition, per-peer
-//!   sender threads that batch updates and pack each flush into a single
+//! * [`node`] — a partition-routing TCP node: a core protocol thread
+//!   owning one [`prcc_core::Replica`] per hosted partition, and a fixed
+//!   pool of `prcc-reactor` epoll workers carrying *all* socket I/O —
+//!   peer senders that batch updates and pack each flush into a single
 //!   multi-partition frame (reconnecting with backoff on link loss and
-//!   resending the unacked window), and listeners for peer and client
-//!   traffic. With a data dir configured the core appends every
+//!   resending the unacked window), peer receivers, and every client
+//!   connection, as non-blocking connection drivers instead of dedicated
+//!   threads. With a data dir configured the core appends every
 //!   state-mutating input to a `prcc-storage` write-ahead log before
 //!   applying it, snapshots periodically, and recovers snapshot + log on
 //!   boot — deterministically rebuilding clocks, stores, event logs and
@@ -42,10 +44,13 @@
 //! * [`config`] — topology selection shared by the `prcc-serve` /
 //!   `prcc-load` binaries.
 //!
-//! The deployment is event-loop-per-node with blocking I/O threads rather
-//! than an async runtime: the hermetic build environment has no tokio, and
-//! the thread constellation keeps identical semantics (a run-to-completion
-//! core loop fed by channels) while remaining std-only.
+//! The deployment is event-loop I/O without an async runtime: the hermetic
+//! build environment has no tokio, so sockets are multiplexed onto a fixed
+//! pool of epoll event-loop threads via the dependency-free `compat/mio`
+//! shim and the `prcc-reactor` driver runtime. A node's thread count is a
+//! configuration constant (`reactor_threads` workers plus the core loop),
+//! independent of how many peers or clients are connected, while the core
+//! keeps identical semantics: a run-to-completion loop fed by channels.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

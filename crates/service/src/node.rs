@@ -2,27 +2,35 @@
 //!
 //! A node no longer *is* a replica: it hosts one replica *role* of every
 //! partition the [`PartitionMap`] places on it, each an independent
-//! [`Replica`] with its own share-graph-derived clock. The threads around
-//! the core:
+//! [`Replica`] with its own share-graph-derived clock. The node runs on a
+//! **fixed thread budget** — `reactor_threads` event-loop workers plus one
+//! core thread — independent of how many sockets are open:
 //!
 //! * the core thread serializes all state access (writes, reads, update
 //!   application, trace/status snapshots, link bookkeeping) through one
-//!   channel — replicating the run-to-completion event loop an async
-//!   runtime would provide — and routes every message to the target
-//!   partition's replica;
-//! * one *sender* thread per peer node dials the peer's update listener
-//!   (redialing with bounded backoff and a fresh handshake if the link
-//!   later drops), then coalesces outgoing updates: a batch closes when it
-//!   reaches `batch_max` updates or `flush_interval` elapses after its
-//!   first update, whichever is first, and the whole flush is emitted as
-//!   *one* multi-partition frame carrying a section per partition present;
-//! * the peer listener accepts connections and spawns a reader per peer
-//!   that answers the handshake with the acknowledged resume offset,
-//!   decodes multi-partition flush frames, fans their sections to the
-//!   core, and streams acknowledgement frames back to the sender;
-//! * the client listener serves the request/response API of
-//!   [`crate::wire::ClientRequest`], including the [`PartitionMap`] itself
-//!   (`Config`) so clients can route by key.
+//!   channel and routes every message to the target partition's replica;
+//! * all I/O — both listeners, every peer link in both directions, and
+//!   every client connection — is multiplexed onto the [`Reactor`]'s
+//!   epoll workers. Each connection is a non-blocking state machine
+//!   implementing [`Driver`] (see the `// lint: reactor` fence at the
+//!   bottom of this file): [`PeerOut`] dials a peer's update listener
+//!   (redialing with seeded, bounded backoff via one-shot timers if the
+//!   link drops), handshakes, then coalesces outgoing updates — a batch
+//!   closes when it reaches `batch_max` updates or `flush_interval`
+//!   elapses, whichever is first, and the whole flush is emitted as *one*
+//!   multi-partition frame carrying a section per partition present;
+//!   [`PeerIn`] answers the handshake with the acknowledged resume
+//!   offset, incrementally decodes multi-partition flush frames, fans
+//!   their sections to the core, and streams acknowledgement frames back;
+//!   [`ClientConn`] serves the request/response API of
+//!   [`crate::wire::ClientRequest`], including the [`PartitionMap`]
+//!   itself (`Config`) so clients can route by key.
+//!
+//! Outbound data flows through per-connection bounded queues of pooled
+//! frame buffers (vectored writes, `WouldBlock` re-arms write interest
+//! instead of parking a thread); a connection whose queue exceeds the
+//! bound is torn down loudly rather than ballooning memory — peers redial
+//! and resend from their acknowledged windows, slow clients reconnect.
 //!
 //! # Durability (wire v4 + `prcc-storage`)
 //!
@@ -68,13 +76,12 @@
 
 use crate::bufpool::{BufPool, Lease};
 use crate::wire::{
-    append_frame, decode_cut_marker, decode_hello_ack, decode_peer_ack, decode_peer_batches,
-    decode_peer_hello, decode_request, encode_cut_marker, encode_hello_ack,
-    encode_multi_batch_into, encode_peer_ack_into, encode_peer_hello, encode_response_into,
-    read_frame, read_frame_pooled, write_frame, ClientRequest, ClientResponse, FlushSections,
-    NodeStatus, PartitionCounters, PeerHello, TAG_CUT_MARKER, WIRE_VERSION,
+    append_frame, decode_cut_marker, decode_hello_ack, decode_peer_ack, decode_peer_hello,
+    decode_request, decode_sealed_batches, encode_cut_marker, encode_hello_ack_into,
+    encode_multi_batch_sealed_into, encode_peer_ack_into, encode_peer_hello, encode_response_into,
+    ClientRequest, ClientResponse, FlushSections, NodeStatus, PartitionCounters, PeerHello,
+    TAG_CUT_MARKER, WIRE_VERSION,
 };
-use parking_lot::Mutex;
 use prcc_checker::trace::TraceEvent;
 use prcc_checker::{CutSnapshot, PartitionCut, TraceCheckpoint, UpdateId};
 use prcc_clock::{Protocol, WireClock};
@@ -82,6 +89,7 @@ use prcc_core::{Replica, SeqWatermark, Update};
 use prcc_graph::{PartitionId, PartitionMap, RegisterId, ReplicaId};
 use prcc_net::chaos::mix64;
 use prcc_net::VirtualTime;
+use prcc_reactor::{ConnId, Ctx, Driver, Fate, Reactor, ReactorHandle};
 use prcc_storage::{
     decode_record, decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, NodeSnapshot,
     PartitionSnapshot, PeerSnapshot, Wal, WalRecord,
@@ -89,12 +97,13 @@ use prcc_storage::{
 use prcc_telemetry::{
     wall_us, Counter, FlightRecorder, MetricsSnapshot, Registry, Sampler, SharedHistogram,
 };
+use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::io::{self, IoSlice, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -103,30 +112,21 @@ use std::time::{Duration, Instant};
 /// node's index sits above them).
 const WIRE_SEQ_MASK: u64 = (1 << 40) - 1;
 
-/// How long an idle sender waits between checks of the stop flag (it
-/// cannot block forever on its channel: its own relink handle keeps the
-/// channel alive).
-const SENDER_IDLE_POLL: Duration = Duration::from_millis(200);
-
 /// Maximum messages one core sweep drains before committing the staged
 /// WAL batch and releasing the sweep's replies. Bounds both the latency
 /// any one reply can be held back and the staged-batch memory of a
 /// flooded node; an idle node commits after every single message.
 const SWEEP_MAX: usize = 256;
 
-/// Maximum `IoSlice` entries per `write_vectored` call (kernels cap an
-/// iovec at `IOV_MAX`, typically 1024; 64 keeps each syscall's setup
-/// cheap while still coalescing a deep backlog).
-const MAX_IOV: usize = 64;
-
 /// How many consistent-cut snapshots the core keeps, newest-first. Cut
 /// audits are live-only diagnostics: an auditor that falls more than this
 /// many tokens behind simply sees `None` and retries with a fresh token.
 const CUTS_KEPT: usize = 8;
 
-/// Maximum frames a sender drains into one vectored flush. Each frame is
-/// itself `batch_max`-bounded, so one flush moves at most
-/// `batch_max * MAX_FLUSH_FRAMES` updates.
+/// Maximum frames a peer link coalesces into one flush pass. Each frame
+/// is itself `batch_max`-bounded, so one flush moves at most
+/// `batch_max * MAX_FLUSH_FRAMES` updates before the link ships what it
+/// has instead of accumulating further.
 const MAX_FLUSH_FRAMES: usize = 8;
 
 /// Tuning knobs of a node deployment.
@@ -180,6 +180,15 @@ pub struct ServiceConfig {
     /// Flight-recorder capacity: how many recent core events the in-memory
     /// ring retains for the crash dump. 0 disables the recorder.
     pub flight_events: usize,
+    /// Event-loop worker threads driving every socket of this node (peer
+    /// links, inbound peers, clients). The node's total thread count is
+    /// `reactor_threads + 1` (the core), independent of connection count.
+    pub reactor_threads: usize,
+    /// Per-connection outbound queue bound in bytes — the backpressure
+    /// contract: a connection whose unflushed output exceeds this is torn
+    /// down loudly instead of buffering without bound. Must comfortably
+    /// hold a full resend window (`window_cap` updates) for peer links.
+    pub outbound_queue_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -197,6 +206,8 @@ impl Default for ServiceConfig {
             window_cap: 1 << 16,
             sample_every: 16,
             flight_events: 1024,
+            reactor_threads: 2,
+            outbound_queue_bytes: 16 << 20,
         }
     }
 }
@@ -258,53 +269,69 @@ impl NodeHandle {
     }
 }
 
-/// Commands a sender thread receives: a sequenced outbound update from the
-/// core, or a nudge from an ack-reader that connection `generation` died
-/// (so the sender redials even when no new traffic would surface the
-/// failure).
-enum SenderCmd<C> {
+/// Commands the core sends to a peer link's outbound driver, delivered
+/// through the reactor ([`ReactorHandle::command`]) in enqueue order.
+enum PeerCmd<C> {
+    /// A sequenced outbound update to batch into the next flush frame.
     Update(u64, PartitionId, Update<C>),
-    Relink(u64),
-    /// A consistent-cut marker: written to the peer at exactly the channel
+    /// A consistent-cut marker: written to the peer at exactly the command
     /// position it was enqueued at (after every update queued before it,
     /// before every update queued after it) — the Chandy–Lamport discipline
     /// the cut audit's closure check relies on. Markers are fire-and-forget:
     /// they never enter the resend window, so a link loss loses them and the
     /// audit reports the cut incomplete rather than wrong.
     Marker(u64),
+    /// The core's reply to a [`CoreMsg::PeerResume`]: the window suffix to
+    /// resend plus the link's current seal barrier.
+    Resume {
+        window: Vec<(u64, PartitionId, Update<C>)>,
+        barrier: u64,
+    },
+    /// The link's seal barrier advanced: every sequence at or below it has
+    /// been acknowledged by the peer, so future flush frames carry the new
+    /// value and the receiver can skip the dependency re-check for
+    /// straggler resends underneath it.
+    Barrier(u64),
 }
 
+/// Messages into the core thread. Replies travel back out through the
+/// reactor: client responses are encoded by the core and pushed with
+/// [`ReactorHandle::send`] onto the requesting connection (`conn`); peer
+/// link replies go to the link's driver as [`PeerCmd`]s.
 enum CoreMsg<C> {
     Write {
         partition: PartitionId,
         register: RegisterId,
         value: u64,
-        reply: mpsc::Sender<bool>,
+        conn: ConnId,
     },
     Read {
         partition: PartitionId,
         register: RegisterId,
-        reply: mpsc::Sender<(bool, Option<u64>)>,
+        conn: ConnId,
     },
-    /// One decoded peer flush frame: sender node, its sections, and the
-    /// channel acknowledgements for this connection travel on.
+    /// One decoded peer flush frame: sender node, its sections, the frame's
+    /// seal barrier, and the inbound connection acknowledgements for this
+    /// link travel on.
     Updates {
         peer: usize,
         sections: FlushSections<C>,
-        ack: mpsc::Sender<u64>,
+        barrier: u64,
+        conn: ConnId,
     },
     /// A peer's inbound handshake: reply with the acknowledged resume
-    /// offset for that link.
+    /// offset for that link (a hello-ack frame on `conn`).
     PeerJoin {
         peer: usize,
-        reply: mpsc::Sender<u64>,
+        conn: ConnId,
     },
-    /// A sender (re)connected and the peer acknowledged `acked`: prune the
-    /// link's window to it and hand back what must be resent.
+    /// An outbound link (re)connected and the peer acknowledged `acked`:
+    /// prune the link's window to it and hand back what must be resent
+    /// (a [`PeerCmd::Resume`] to `conn`).
     PeerResume {
         peer: usize,
         acked: u64,
-        reply: mpsc::Sender<Vec<(u64, PartitionId, Update<C>)>>,
+        conn: ConnId,
     },
     /// A streamed acknowledgement from a peer arrived.
     PeerAcked {
@@ -317,28 +344,27 @@ enum CoreMsg<C> {
     Cut {
         token: u64,
         start: bool,
-        reply: mpsc::Sender<Option<CutSnapshot>>,
+        conn: ConnId,
     },
     /// A cut marker arrived on a peer update stream: record this node's
     /// snapshot for `token` (if unseen) and propagate markers onward.
     PeerMarker {
         token: u64,
     },
-    Status(mpsc::Sender<NodeStatus>),
-    Trace(mpsc::Sender<Vec<(TraceCheckpoint, Vec<TraceEvent>)>>),
+    Status(ConnId),
+    Trace(ConnId),
     /// A live metrics scrape: mirror core state into the registry's gauges
     /// and reply with the frozen snapshot.
-    Metrics(mpsc::Sender<MetricsSnapshot>),
+    Metrics(ConnId),
     /// Fault injection: stop immediately, no final snapshot.
     Crash,
     Shutdown,
 }
 
 /// Registry-backed handles for the socket-level metrics, shared by every
-/// I/O thread (senders, readers, client handlers). Replaces the old
-/// ad-hoc atomic-counter struct: the same values now travel in the v6
-/// `Metrics` snapshot under their `net_*` names, and `send_us` times the
-/// issue→first-socket-write stage for sampled updates.
+/// reactor driver of the node. The same values travel in the `Metrics`
+/// snapshot under their `net_*` names, and `send_us` times the
+/// issue→first-socket-enqueue stage for sampled updates.
 struct NetMetrics {
     bytes_out: Counter,
     bytes_in: Counter,
@@ -367,23 +393,6 @@ impl NetMetrics {
         }
     }
 }
-
-/// Per-peer outgoing channel feeding the sender thread.
-type PeerTx<C> = mpsc::Sender<SenderCmd<C>>;
-
-/// The live inbound connection per dialing peer, keyed by its node index
-/// and tagged with a process-unique registration token. A peer's sender
-/// runs exactly one connection at a time, so a redial *replaces* the old
-/// one: the acceptor shuts the stale socket down, which unblocks (and
-/// ends) its reader thread instead of leaking it on a half-open link. The
-/// crash switch severs everything registered here, and every reader
-/// deregisters its own entry (matched by token) on exit — a registered
-/// clone must never keep a readerless socket open, or the peer would keep
-/// writing into a black hole without ever seeing the connection die.
-type PeerConnections = Arc<Mutex<HashMap<usize, (u64, TcpStream)>>>;
-
-/// Process-unique tokens for [`PeerConnections`] registrations.
-static REGISTRATION_TOKEN: AtomicU64 = AtomicU64::new(0);
 
 /// One hosted partition: the role this node plays in it, the replica state
 /// machine, the sealed-prefix checkpoint summary, and the live tail of the
@@ -428,6 +437,24 @@ struct PeerLink<C> {
     recv: SeqWatermark,
     /// Flush frames received since the last streamed acknowledgement.
     frames_since_ack: u64,
+    /// Origin side: highest outbound sequence retired from an `unacked`
+    /// pair *because the peer acknowledged it* (never because the window
+    /// cap evicted it). Every sequence at or below this is provably
+    /// observed by the peer, so it is safe to advertise as the link's seal
+    /// barrier. Live-only — not snapshotted, rebuilt from fresh acks after
+    /// recovery (the barrier is an optimization, never a correctness
+    /// input).
+    sealed_high: u64,
+    /// Origin side: the seal barrier last shipped to the peer's driver
+    /// (so barrier commands flow only when the value advances). Live-only.
+    barrier_sent: u64,
+    /// Receiver side: highest seal barrier seen on this link's inbound
+    /// frames, max-monotone. Straggler resends at or below it skip the
+    /// watermark dependency re-check in `apply_sections` — by
+    /// construction they are duplicates of updates this node already
+    /// acknowledged. Live-only: WAL receipts carry no barrier, so replay
+    /// takes the full re-check path and stays byte-deterministic.
+    seal_barrier: u64,
 }
 
 impl<C> PeerLink<C> {
@@ -439,6 +466,9 @@ impl<C> PeerLink<C> {
             evicted_high: 0,
             recv: SeqWatermark::new(),
             frames_since_ack: 0,
+            sealed_high: 0,
+            barrier_sent: 0,
+            seal_barrier: 0,
         }
     }
 }
@@ -514,6 +544,12 @@ struct Core<P: Protocol> {
     dropped_misrouted: u64,
     /// Duplicate deliveries suppressed by the link watermarks.
     duplicates_dropped: u64,
+    /// Straggler resends dropped by the seal-barrier fast path *without*
+    /// the per-sequence watermark re-check (a subset of
+    /// `duplicates_dropped`, which still counts them). Live-only: replay
+    /// sees no barriers, takes the re-check path, and lands on identical
+    /// durable state.
+    barrier_skips: u64,
     /// Hard cap on any one resend window (config).
     window_cap: usize,
     /// Largest window observed.
@@ -563,6 +599,7 @@ impl<P: Protocol> Core<P> {
             received: 0,
             dropped_misrouted: 0,
             duplicates_dropped: 0,
+            barrier_skips: 0,
             window_cap: window_cap.max(1),
             max_window: 0,
             window_evicted: 0,
@@ -787,6 +824,18 @@ impl<P: Protocol> Core<P> {
             let mut recv_now = 0u64;
             for (seq, update) in updates {
                 self.received += 1;
+                // Seal-barrier fast path: the origin advertised that every
+                // sequence at or below the barrier is acknowledged here, so
+                // a straggler resend underneath it is a duplicate by
+                // construction — drop it without the watermark re-check.
+                // Identical counter motion to the slow path (the watermark
+                // would have returned `false`), so replay — which never
+                // sees a barrier — lands on the same `duplicates_dropped`.
+                if seq > 0 && seq <= self.links[peer].seal_barrier {
+                    self.barrier_skips += 1;
+                    self.duplicates_dropped += 1;
+                    continue;
+                }
                 if seq > 0 && !self.links[peer].recv.observe(seq) {
                     self.duplicates_dropped += 1;
                     continue;
@@ -863,6 +912,7 @@ impl<P: Protocol> Core<P> {
     /// the resulting seal lengths are logged and replayed).
     fn plan_seal(&mut self, min_events: usize) -> Vec<(PartitionId, u64)> {
         let mut seals = Vec::new();
+        let links = &mut self.links;
         for (p, slot) in self.partitions.iter_mut().enumerate() {
             let Some(slot) = slot.as_mut() else { continue };
             if slot.log.len() < min_events.max(1) {
@@ -872,10 +922,24 @@ impl<P: Protocol> Core<P> {
                 // A pair stops blocking once acknowledged — or once its
                 // window entry was evicted by the cap (it can never be
                 // acknowledged then; `window_evicted` records the loss).
+                // Pairs retired *because acknowledged* advance the link's
+                // seal barrier: the peer provably observed them, so future
+                // resends at or below `sealed_high` can skip its
+                // dependency re-check. Evicted pairs must never advance it
+                // — the peer never saw those.
                 pairs.retain(|&(peer, seq)| {
-                    self.links
-                        .get(peer)
-                        .is_none_or(|link| seq > link.acked_high && seq > link.evicted_high)
+                    let Some(link) = links.get_mut(peer) else {
+                        // No such link: keep blocking, matching the
+                        // pre-barrier behavior (this cannot happen for a
+                        // validated map, but silently unblocking would
+                        // falsely seal).
+                        return true;
+                    };
+                    let keep = seq > link.acked_high && seq > link.evicted_high;
+                    if !keep && seq <= link.acked_high {
+                        link.sealed_high = link.sealed_high.max(seq);
+                    }
+                    keep
                 });
                 if pairs.is_empty() {
                     slot.unacked.pop_front();
@@ -1002,8 +1066,10 @@ impl<P: Protocol> Core<P> {
                 .sum(),
             max_window: self.max_window,
             window_evicted: self.window_evicted,
-            // Socket byte/frame counters are filled in by the handler, WAL
-            // counters by the core loop.
+            barrier_skips: self.barrier_skips,
+            // Socket byte/frame counters and reactor counters are filled
+            // in by the core loop's status handler, WAL counters by the
+            // core loop.
             bytes_out: 0,
             bytes_in: 0,
             batches_sent: 0,
@@ -1015,6 +1081,10 @@ impl<P: Protocol> Core<P> {
             wal_bytes: 0,
             snapshot_bytes: 0,
             first_snapshot_bytes: 0,
+            reactor_wakeups: 0,
+            reactor_events: 0,
+            reactor_rearms: 0,
+            reactor_outq_hiwat: 0,
             per_partition,
         }
     }
@@ -1045,6 +1115,7 @@ impl<P: Protocol> Core<P> {
             .set(self.dropped_misrouted);
         r.gauge("core_max_window").set(self.max_window);
         r.gauge("core_window_evicted").set(self.window_evicted);
+        r.gauge("core_barrier_skips").set(self.barrier_skips);
         r.gauge("trace_events_live").set(
             self.partitions
                 .iter()
@@ -1173,6 +1244,12 @@ impl<P: Protocol> Core<P> {
                     evicted_high: 0,
                     recv: SeqWatermark::from_parts(peer.recv_high, peer.recv_residue),
                     frames_since_ack: 0,
+                    // Seal-barrier state is live-only: a restarted node
+                    // re-derives it from post-recovery acks, so replay
+                    // stays byte-deterministic.
+                    sealed_high: 0,
+                    barrier_sent: 0,
+                    seal_barrier: 0,
                 })
                 .collect(),
             seq: snap.seq,
@@ -1181,6 +1258,7 @@ impl<P: Protocol> Core<P> {
             received: snap.received,
             dropped_misrouted: snap.dropped_misrouted,
             duplicates_dropped: snap.duplicates_dropped,
+            barrier_skips: 0,
             window_cap: window_cap.max(1),
             max_window: 0,
             window_evicted: 0,
@@ -1608,10 +1686,16 @@ where
     ))
 }
 
-/// Spawns a node: core thread, peer senders, peer/client listeners. With
-/// `cfg.data_dir` set, the node first recovers its state from
-/// `<data_dir>/node-<i>/` (snapshot + WAL replay) and appends every
-/// subsequent state-mutating input before applying it.
+/// Spawns a node: a small fixed pool of reactor event-loop threads plus
+/// one core thread. With `cfg.data_dir` set, the node first recovers its
+/// state from `<data_dir>/node-<i>/` (snapshot + WAL replay) and appends
+/// every subsequent state-mutating input before applying it.
+///
+/// All socket I/O — both listeners, every peer link (inbound and
+/// outbound, including redials), every client connection — lives on the
+/// reactor's `cfg.reactor_threads` event-loop workers, so the node's
+/// thread count is `reactor_threads + 1` regardless of how many clients
+/// connect.
 ///
 /// `protocol` must be configured for the partition map's per-partition
 /// share graph; each hosted partition gets an independent [`Replica`] over
@@ -1621,10 +1705,10 @@ where
 /// # Errors
 ///
 /// Fails on listener introspection, a protocol/map share-graph mismatch,
-/// or an unrecoverable data dir (I/O failure, corrupted snapshot, or a
-/// checksum-corrupted WAL record — a torn WAL tail recovers silently);
-/// network errors after spawn are handled per-connection (logged to
-/// stderr, connection dropped).
+/// reactor setup (epoll/eventfd), or an unrecoverable data dir (I/O
+/// failure, corrupted snapshot, or a checksum-corrupted WAL record — a
+/// torn WAL tail recovers silently); network errors after spawn are
+/// handled per-connection (logged to stderr, connection dropped).
 pub fn spawn_node<P>(
     protocol: Arc<P>,
     map: PartitionMap,
@@ -1647,6 +1731,7 @@ where
             "protocol share graph differs from the partition map's",
         ));
     }
+    let map = Arc::new(map);
     let peer_addr = peer_listener.local_addr()?;
     let client_addr = client_listener.local_addr()?;
     let n = map.num_nodes();
@@ -1654,11 +1739,11 @@ where
     let registry = Arc::new(Registry::new());
     let counters = Arc::new(NetMetrics::new(&registry));
     let tel = CoreTelemetry::new(Arc::clone(&registry), &cfg);
-    // One buffer pool per node, shared by every reader, sender and client
-    // handler thread (and seeded by recovery's WAL image lease).
+    // One buffer pool per node, shared by the reactor workers and the core
+    // (and seeded by recovery's WAL image lease).
     let pool = BufPool::new(&registry);
 
-    // Recover durable state before any thread starts: senders must see the
+    // Recover durable state before any I/O starts: peer links must see the
     // rebuilt windows on their first handshake.
     let (core, durable) = match &cfg.data_dir {
         Some(dir) => {
@@ -1673,147 +1758,137 @@ where
 
     let (core_tx, core_rx) = mpsc::channel::<CoreMsg<P::Clock>>();
 
-    // Per-peer outgoing channels feeding the sender threads.
-    let mut peer_txs: Vec<Option<PeerTx<P::Clock>>> = Vec::with_capacity(n);
+    // The reactor owns every socket. Registered connections (outbound peer
+    // links) survive disconnects for redialing; accepted ones (inbound
+    // peers, clients) are removed when they die.
+    let reactor = Reactor::new(
+        &format!("prcc-{node}"),
+        cfg.reactor_threads,
+        cfg.outbound_queue_bytes,
+        pool.clone(),
+        &registry,
+    )?;
+    let rh = reactor.handle().clone();
+
+    // Outbound peer links: one socketless registration per remote peer.
+    // Each driver dials from `on_start` and keeps its registration across
+    // reconnects, so its `ConnId` is a stable address for the core's
+    // commands for the node's whole lifetime.
+    let mut peer_conns: Vec<Option<ConnId>> = Vec::with_capacity(n);
     for (k, &addr) in peer_addrs.iter().enumerate().take(n) {
         if k == node {
-            peer_txs.push(None);
+            peer_conns.push(None);
             continue;
         }
-        let (tx, rx) = mpsc::channel::<SenderCmd<P::Clock>>();
-        let relink_tx = tx.clone();
-        peer_txs.push(Some(tx));
         let hello = PeerHello {
             node,
-            map: map.clone(),
+            map: (*map).clone(),
         };
-        let cfg = cfg.clone();
-        let counters = Arc::clone(&counters);
-        let core_tx = core_tx.clone();
-        let stop = Arc::clone(&stop);
-        let pool = pool.clone();
-        thread::spawn(move || {
-            peer_sender(
-                k, addr, hello, &rx, &relink_tx, &cfg, &counters, &core_tx, &stop, &pool,
-            );
-        });
+        let driver = PeerOut {
+            node,
+            peer: k,
+            addr,
+            hello: encode_peer_hello(&hello),
+            batch_max: cfg.batch_max.max(1),
+            flush_interval: cfg.flush_interval,
+            pad_bytes: cfg.pad_bytes,
+            connect_timeout: cfg.connect_timeout,
+            counters: Arc::clone(&counters),
+            core_tx: core_tx.clone(),
+            stop: Arc::clone(&stop),
+            state: OutState::Down,
+            pending: VecDeque::new(),
+            batch: Vec::new(),
+            covered: 0,
+            barrier: 0,
+            acked: 0,
+            generation: 0,
+            deadline: None,
+            backoff: Duration::from_millis(5),
+            attempt: 0,
+            flush_timer: false,
+        };
+        peer_conns.push(Some(rh.register(None, Box::new(driver))));
     }
 
-    // Registry of live inbound peer connections, shared by the peer
-    // listener (redial eviction) and the crash switch (severing).
-    let connections: PeerConnections =
-        Arc::new(Mutex::named(HashMap::new(), "service.peer_connections"));
-
-    // Peer listener: one reader thread per inbound peer connection.
+    // Peer listener: each accepted connection gets a reader driver that
+    // waits for the versioned handshake before it is bound to a link.
     {
-        let core_tx = core_tx.clone();
+        let rh2 = rh.clone();
         let protocol = Arc::clone(&protocol);
-        let map = map.clone();
-        let stop = Arc::clone(&stop);
-        let counters = Arc::clone(&counters);
-        let connections = Arc::clone(&connections);
-        let pool = pool.clone();
-        thread::spawn(move || {
-            for conn in peer_listener.incoming() {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let stream = match conn {
-                    Ok(stream) => stream,
-                    Err(e) => {
-                        // Transient accept failures (ECONNABORTED under
-                        // redial churn, EMFILE spikes) must not kill the
-                        // listener for good — forever-redialing senders
-                        // would mask the outage silently.
-                        eprintln!("prcc-service[{node}]: peer accept: {e}");
-                        thread::sleep(Duration::from_millis(10));
-                        continue;
-                    }
-                };
-                let core_tx = core_tx.clone();
-                let protocol = Arc::clone(&protocol);
-                let map = map.clone();
-                let counters = Arc::clone(&counters);
-                let connections = Arc::clone(&connections);
-                let stop = Arc::clone(&stop);
-                let pool = pool.clone();
-                thread::spawn(move || {
-                    if let Err(e) = peer_reader(
-                        stream,
-                        &protocol,
-                        &map,
-                        node,
-                        &core_tx,
-                        &counters,
-                        &connections,
-                        &stop,
-                        &pool,
-                    ) {
-                        eprintln!("prcc-service[{node}]: peer reader: {e}");
-                    }
-                });
-            }
-        });
-    }
-
-    // Client listener: one handler thread per client connection.
-    {
+        let map = Arc::clone(&map);
         let core_tx = core_tx.clone();
-        let map = map.clone();
-        let stop = Arc::clone(&stop);
         let counters = Arc::clone(&counters);
-        let addrs = (peer_addr, client_addr);
-        let pool = pool.clone();
-        thread::spawn(move || {
-            for conn in client_listener.incoming() {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let stream = match conn {
-                    Ok(stream) => stream,
-                    Err(e) => {
-                        eprintln!("prcc-service[{node}]: client accept: {e}");
-                        thread::sleep(Duration::from_millis(10));
-                        continue;
-                    }
-                };
-                let core_tx = core_tx.clone();
-                let map = map.clone();
-                let stop = Arc::clone(&stop);
-                let counters = Arc::clone(&counters);
-                let pool = pool.clone();
-                thread::spawn(move || {
-                    let _ = client_handler(stream, &map, &core_tx, &stop, &counters, addrs, &pool);
-                });
-            }
-        });
+        rh.listen(
+            peer_listener,
+            Box::new(move |sock: TcpStream, _from: SocketAddr| {
+                rh2.register(
+                    Some(sock),
+                    Box::new(PeerIn {
+                        node,
+                        protocol: Arc::clone(&protocol),
+                        map: Arc::clone(&map),
+                        core_tx: core_tx.clone(),
+                        counters: Arc::clone(&counters),
+                        peer: None,
+                    }),
+                );
+            }),
+        );
     }
 
-    // The crash switch: stop everything without a graceful drain.
+    // Client listener: one lightweight driver per connection — no thread,
+    // no stack, just the decode state machine and the shared core channel.
+    {
+        let rh2 = rh.clone();
+        let map = Arc::clone(&map);
+        let core_tx = core_tx.clone();
+        let stop_c = Arc::clone(&stop);
+        rh.listen(
+            client_listener,
+            Box::new(move |sock: TcpStream, _from: SocketAddr| {
+                rh2.register(
+                    Some(sock),
+                    Box::new(ClientConn {
+                        map: Arc::clone(&map),
+                        core_tx: core_tx.clone(),
+                        stop: Arc::clone(&stop_c),
+                    }),
+                );
+            }),
+        );
+    }
+
+    // The crash switch: stop everything without a graceful drain. Set
+    // before the reactor stop so drivers racing the teardown observe it.
+    let crashed = Arc::new(AtomicBool::new(false));
     let kill: Arc<dyn Fn() + Send + Sync> = {
         let stop = Arc::clone(&stop);
+        let crashed = Arc::clone(&crashed);
         let core_tx = core_tx.clone();
-        let connections = Arc::clone(&connections);
+        let rh = rh.clone();
         Arc::new(move || {
+            crashed.store(true, Ordering::SeqCst);
             stop.store(true, Ordering::SeqCst);
             let _ = core_tx.send(CoreMsg::Crash);
-            let severed: Vec<TcpStream> = {
-                let mut live = connections.lock();
-                live.drain().map(|(_, (_, stream))| stream).collect()
-            };
-            for stream in severed {
-                let _ = stream.shutdown(Shutdown::Both);
-            }
-            // Unblock the accept loops so their threads observe `stop`.
-            let _ = TcpStream::connect(peer_addr);
-            let _ = TcpStream::connect(client_addr);
+            // Sever every connection and both listeners, dropping queued
+            // output on the floor — in-flight client requests see their
+            // connections die, exactly like a process crash.
+            rh.stop(false);
         })
     };
 
-    // The core event loop. It holds the crash switch so a fail-stop (WAL
-    // append failure) tears the whole node down — listeners, registered
-    // connections — instead of leaving a half-alive shell whose bound
-    // ports and accept loops would mask the outage.
+    let io = CoreIo {
+        handle: rh,
+        peer_conns,
+        pool,
+        counters,
+    };
+
+    // The core event loop runs on the one thread the node owns outright.
+    // It holds the crash switch so a fail-stop (WAL append failure) tears
+    // the whole node down — reactor, listeners, connections — instead of
+    // leaving a half-alive shell whose bound ports would mask the outage.
     let ack_every = cfg.ack_every;
     let trace_compact_at = cfg.trace_compact_at;
     let core_kill = Arc::clone(&kill);
@@ -1825,13 +1900,18 @@ where
                 &map,
                 node,
                 &core_rx,
-                &peer_txs,
+                &io,
                 core,
                 durable,
                 ack_every,
                 trace_compact_at,
                 &core_kill,
-            )
+            );
+            // Graceful exits drain queued output (the shutdown Bye,
+            // trailing acks) within the reactor's drain deadline; a crash
+            // already severed everything, and this second stop is a no-op.
+            reactor.stop(!crashed.load(Ordering::SeqCst));
+            reactor.join();
         })?;
 
     Ok(NodeHandle {
@@ -1843,40 +1923,62 @@ where
     })
 }
 
+/// The core thread's grip on the reactor: the handle commands travel out
+/// through, the per-peer outbound link registrations, and the shared pool
+/// and socket counters for encoding replies in place.
+struct CoreIo {
+    handle: ReactorHandle,
+    /// Outbound link `ConnId` per node index (`None` for self). Stable
+    /// for the node's lifetime — links redial under the same id.
+    peer_conns: Vec<Option<ConnId>>,
+    pool: BufPool,
+    counters: Arc<NetMetrics>,
+}
+
 /// One postponed side effect of a core sweep. Nothing a processed message
 /// produced may escape the node — no client reply, no peer update, no
 /// acknowledgement — until the sweep's staged WAL batch is committed:
 /// releasing any of them earlier would let an effect outlive a crash that
 /// loses its record. Emitted in arrival order at sweep end.
 enum Deferred<C> {
-    WriteReply(mpsc::Sender<bool>, bool),
-    ReadReply(mpsc::Sender<(bool, Option<u64>)>, (bool, Option<u64>)),
-    /// An outbound update headed for `peer`'s sender thread.
+    WriteReply(ConnId, bool),
+    ReadReply(ConnId, (bool, Option<u64>)),
+    /// An outbound update headed for `peer`'s link driver.
     Send(usize, u64, PartitionId, Update<C>),
     /// A streamed link acknowledgement — requires a WAL sync first.
-    Ack(mpsc::Sender<u64>, u64),
+    Ack(ConnId, u64),
     /// A handshake acknowledgement — same sync-before-promise rule.
-    JoinReply(mpsc::Sender<u64>, u64),
-    ResumeReply(
-        mpsc::Sender<Vec<(u64, PartitionId, Update<C>)>>,
-        Vec<(u64, PartitionId, Update<C>)>,
-    ),
-    Status(mpsc::Sender<NodeStatus>, Box<NodeStatus>),
-    Trace(
-        mpsc::Sender<Vec<(TraceCheckpoint, Vec<TraceEvent>)>>,
-        Vec<(TraceCheckpoint, Vec<TraceEvent>)>,
-    ),
-    Metrics(mpsc::Sender<MetricsSnapshot>, MetricsSnapshot),
+    JoinReply(ConnId, u64),
+    /// The resume window for a reconnected outbound link, plus the link's
+    /// seal barrier at reply time.
+    ResumeReply(ConnId, Vec<(u64, PartitionId, Update<C>)>, u64),
+    Status(ConnId, Box<NodeStatus>),
+    Trace(ConnId, Vec<(TraceCheckpoint, Vec<TraceEvent>)>),
+    Metrics(ConnId, MetricsSnapshot),
     /// A consistent-cut reply to a client (the snapshot is live-only
     /// audit state, but the reply still waits for the sweep's commit like
     /// every other effect — simpler than a second release path).
-    CutReply(mpsc::Sender<Option<CutSnapshot>>, Option<CutSnapshot>),
-    /// A cut marker to broadcast to every peer sender. Deferred-in-order
+    CutReply(ConnId, Option<CutSnapshot>),
+    /// A cut marker to broadcast to every peer link. Deferred-in-order
     /// like the sends around it: an update processed before the marker in
-    /// this sweep reaches the sender channel first, one processed after
-    /// it reaches the channel after — channel order is exactly marker
+    /// this sweep reaches the link's command queue first, one processed
+    /// after it reaches the queue after — command order is exactly marker
     /// order on the wire.
     Marker(u64),
+    /// A link's seal barrier advanced; ship the new value to its driver.
+    Barrier(usize, u64),
+}
+
+/// Encodes a client response in place into a pooled buffer and pushes it
+/// onto the requesting connection's outbound queue. An encode failure
+/// (frame over the wire cap) drops the connection — the client sees a
+/// reset, never a torn frame.
+fn respond(io: &CoreIo, conn: ConnId, response: &ClientResponse) {
+    let mut frame = io.pool.lease(256);
+    match append_frame(&mut frame, |out| encode_response_into(response, out)) {
+        Ok(_) => io.handle.send(conn, frame),
+        Err(_) => io.handle.close(conn),
+    }
 }
 
 /// The node's event loop, organized as *sweeps*: one blocking receive
@@ -1895,7 +1997,7 @@ fn core_loop<P>(
     map: &PartitionMap,
     node: usize,
     core_rx: &mpsc::Receiver<CoreMsg<P::Clock>>,
-    peer_txs: &[Option<PeerTx<P::Clock>>],
+    io: &CoreIo,
     mut core: Core<P>,
     mut durable: Option<Durable>,
     ack_every: u64,
@@ -1911,6 +2013,10 @@ fn core_loop<P>(
     // Sweep-lived scratch, reused across sweeps.
     let mut deferred: Vec<Deferred<P::Clock>> = Vec::new();
     let mut wal_stamps: Vec<u64> = Vec::new();
+    // The live inbound connection per peer, replaced on redial: the core
+    // closes the stale predecessor so a half-open socket cannot keep the
+    // peer writing into a black hole.
+    let mut inbound: Vec<Option<ConnId>> = vec![None; map.num_nodes()];
     // lint: hot-path
     'run: while let Ok(first) = core_rx.recv() {
         let mut swept = 0usize;
@@ -1923,10 +2029,10 @@ fn core_loop<P>(
                     partition,
                     register,
                     value,
-                    reply,
+                    conn,
                 } => {
                     if !core.can_write(&**protocol, partition, register) {
-                        deferred.push(Deferred::WriteReply(reply, false));
+                        deferred.push(Deferred::WriteReply(conn, false));
                     } else {
                         let wire_id = core.next_wire_id();
                         // Origin sampling decision: a non-zero stamp makes this
@@ -1973,7 +2079,7 @@ fn core_loop<P>(
                         for (peer, seq, p, update) in sends {
                             deferred.push(Deferred::Send(peer, seq, p, update));
                         }
-                        deferred.push(Deferred::WriteReply(reply, true));
+                        deferred.push(Deferred::WriteReply(conn, true));
                         if trace_compact_at > 0 {
                             compact_traces(&mut core, &mut durable, map, trace_compact_at);
                         }
@@ -1989,7 +2095,7 @@ fn core_loop<P>(
                 CoreMsg::Read {
                     partition,
                     register,
-                    reply,
+                    conn,
                 } => {
                     let answer = match core
                         .partitions
@@ -2003,14 +2109,20 @@ fn core_loop<P>(
                     // Deferred like every reply: a read may observe a write
                     // staged earlier in this sweep, and that observation must
                     // not escape before the write's record is committed.
-                    deferred.push(Deferred::ReadReply(reply, answer));
+                    deferred.push(Deferred::ReadReply(conn, answer));
                 }
                 CoreMsg::Updates {
                     peer,
                     sections,
-                    ack,
+                    barrier,
+                    conn,
                 } => {
                     if peer < core.links.len() {
+                        // Raise the link's seal barrier before applying, so
+                        // the straggler fast path covers this very frame's
+                        // own resend overlap.
+                        let link = &mut core.links[peer];
+                        link.seal_barrier = link.seal_barrier.max(barrier);
                         let n_updates: u64 = sections.iter().map(|(_, us)| us.len() as u64).sum();
                         if let Some(d) = durable.as_mut() {
                             // Frame-level sampling for the receipt append: the
@@ -2044,7 +2156,7 @@ fn core_loop<P>(
                             // resend window, so with group commit the sweep
                             // syncs before releasing it.
                             let acked = link.recv.high();
-                            deferred.push(Deferred::Ack(ack, acked));
+                            deferred.push(Deferred::Ack(conn, acked));
                         }
                         if trace_compact_at > 0 {
                             compact_traces(&mut core, &mut durable, map, trace_compact_at);
@@ -2058,18 +2170,37 @@ fn core_loop<P>(
                         }
                     }
                 }
-                CoreMsg::PeerJoin { peer, reply } => {
+                CoreMsg::PeerJoin { peer, conn } => {
                     let acked = core.links.get(peer).map_or(0, |link| link.recv.high());
+                    // A redial replaces the peer's previous inbound
+                    // connection: close the stale one. Binding happens only
+                    // after a validated handshake, so a garbage connection
+                    // cannot evict a healthy link.
+                    if let Some(slot) = inbound.get_mut(peer) {
+                        if let Some(old) = slot.replace(conn) {
+                            if old != conn {
+                                io.handle.close(old);
+                            }
+                        }
+                    }
                     // The hello-ack is an acknowledgement too (the dialer
                     // prunes and resumes past it) — same sync-before-promise
                     // rule as the streamed acks, enforced at sweep end.
                     core.tel
                         .flight
                         .record("peer_join", &[("peer", peer as u64), ("acked", acked)]);
-                    deferred.push(Deferred::JoinReply(reply, acked));
+                    deferred.push(Deferred::JoinReply(conn, acked));
                 }
-                CoreMsg::PeerResume { peer, acked, reply } => {
+                CoreMsg::PeerResume { peer, acked, conn } => {
                     let window = core.resume(peer, acked);
+                    // Ship the link's seal barrier with the resume so the
+                    // very first post-reconnect flush frames carry it; the
+                    // reply doubles as the barrier's delivery, so mark it
+                    // sent.
+                    let barrier = core.links.get_mut(peer).map_or(0, |link| {
+                        link.barrier_sent = link.barrier_sent.max(link.sealed_high);
+                        link.sealed_high
+                    });
                     core.tel.flight.record(
                         "peer_resume",
                         &[
@@ -2078,16 +2209,12 @@ fn core_loop<P>(
                             ("window", window.len() as u64),
                         ],
                     );
-                    deferred.push(Deferred::ResumeReply(reply, window));
+                    deferred.push(Deferred::ResumeReply(conn, window, barrier));
                 }
                 CoreMsg::PeerAcked { peer, seq } => {
                     core.prune(peer, seq);
                 }
-                CoreMsg::Cut {
-                    token,
-                    start,
-                    reply,
-                } => {
+                CoreMsg::Cut { token, start, conn } => {
                     if start && !core.cut_seen(token) {
                         // Snapshot *now*, at this message's channel
                         // position: writes processed earlier in the sweep
@@ -2096,7 +2223,7 @@ fn core_loop<P>(
                         core.tel.flight.record("cut_start", &[("token", token)]);
                         deferred.push(Deferred::Marker(token));
                     }
-                    deferred.push(Deferred::CutReply(reply, core.cut_snapshot(token)));
+                    deferred.push(Deferred::CutReply(conn, core.cut_snapshot(token)));
                 }
                 CoreMsg::PeerMarker { token } => {
                     if !core.cut_seen(token) {
@@ -2105,7 +2232,7 @@ fn core_loop<P>(
                         deferred.push(Deferred::Marker(token));
                     }
                 }
-                CoreMsg::Status(reply) => {
+                CoreMsg::Status(conn) => {
                     let mut status = core.status();
                     if let Some(d) = &durable {
                         status.wal_appends = d.wal_appends;
@@ -2114,18 +2241,32 @@ fn core_loop<P>(
                         status.snapshot_bytes = d.snapshot_bytes;
                         status.first_snapshot_bytes = d.first_snapshot_bytes;
                     }
+                    // Fold in the shared socket counters and the reactor's
+                    // own telemetry — the core is the one place that can
+                    // see both sides.
+                    status.bytes_out = io.counters.bytes_out.get();
+                    status.bytes_in = io.counters.bytes_in.get();
+                    status.batches_sent = io.counters.batches_sent.get();
+                    status.frames_sent = io.counters.frames_sent.get();
+                    status.flushes = io.counters.flushes.get();
+                    status.resent = io.counters.resent.get();
+                    let rm = io.handle.metrics();
+                    status.reactor_wakeups = rm.wakeups.get();
+                    status.reactor_events = rm.events.get();
+                    status.reactor_rearms = rm.rearms.get();
+                    status.reactor_outq_hiwat = rm.outq_hiwat.get();
                     // lint: allow(alloc) status scrape is the cold admin path
-                    deferred.push(Deferred::Status(reply, Box::new(status)));
+                    deferred.push(Deferred::Status(conn, Box::new(status)));
                 }
-                CoreMsg::Trace(reply) => {
-                    deferred.push(Deferred::Trace(reply, core.traces()));
+                CoreMsg::Trace(conn) => {
+                    deferred.push(Deferred::Trace(conn, core.traces()));
                 }
-                CoreMsg::Metrics(reply) => {
+                CoreMsg::Metrics(conn) => {
                     // Gauges mirror authoritative core state at scrape time;
                     // counters and histograms are already live in the
-                    // registry the I/O threads share.
+                    // registry the reactor workers share.
                     core.mirror_gauges(&durable);
-                    deferred.push(Deferred::Metrics(reply, core.tel.registry.snapshot()));
+                    deferred.push(Deferred::Metrics(conn, core.tel.registry.snapshot()));
                 }
                 CoreMsg::Crash => {
                     // Drop the sweep on the floor: nothing staged commits and
@@ -2185,43 +2326,75 @@ fn core_loop<P>(
             kill();
             break;
         }
+        // Seal barriers advance only under the acks this sweep processed;
+        // ship any new value alongside the sweep's other effects.
+        for (peer, link) in core.links.iter_mut().enumerate() {
+            if link.sealed_high > link.barrier_sent {
+                link.barrier_sent = link.sealed_high;
+                deferred.push(Deferred::Barrier(peer, link.sealed_high));
+            }
+        }
         for effect in deferred.drain(..) {
             match effect {
-                Deferred::WriteReply(tx, ok) => {
-                    let _ = tx.send(ok);
+                Deferred::WriteReply(conn, ok) => {
+                    respond(io, conn, &ClientResponse::WriteAck { ok });
                 }
-                Deferred::ReadReply(tx, answer) => {
-                    let _ = tx.send(answer);
+                Deferred::ReadReply(conn, (ok, value)) => {
+                    respond(io, conn, &ClientResponse::ReadResp { ok, value });
                 }
                 Deferred::Send(peer, seq, p, update) => {
-                    if let Some(tx) = &peer_txs[peer] {
-                        let _ = tx.send(SenderCmd::Update(seq, p, update));
+                    if let Some(conn) = io.peer_conns[peer] {
+                        // lint: allow(alloc) one boxed command per cross-thread hop
+                        let cmd = Box::new(PeerCmd::Update(seq, p, update));
+                        io.handle.command(conn, cmd);
                     }
                 }
-                Deferred::Ack(tx, acked) => {
-                    let _ = tx.send(acked);
+                Deferred::Ack(conn, acked) => {
+                    let mut frame = io.pool.lease(64);
+                    match append_frame(&mut frame, |out| encode_peer_ack_into(acked, out)) {
+                        Ok(_) => {
+                            io.counters.bytes_out.add(frame.len() as u64);
+                            io.handle.send(conn, frame);
+                        }
+                        Err(_) => io.handle.close(conn),
+                    }
                 }
-                Deferred::JoinReply(tx, acked) => {
-                    let _ = tx.send(acked);
+                Deferred::JoinReply(conn, acked) => {
+                    let mut frame = io.pool.lease(64);
+                    match append_frame(&mut frame, |out| encode_hello_ack_into(acked, out)) {
+                        Ok(_) => {
+                            io.counters.bytes_out.add(frame.len() as u64);
+                            io.handle.send(conn, frame);
+                        }
+                        Err(_) => io.handle.close(conn),
+                    }
                 }
-                Deferred::ResumeReply(tx, window) => {
-                    let _ = tx.send(window);
+                Deferred::ResumeReply(conn, window, barrier) => {
+                    let cmd = Box::new(PeerCmd::Resume { window, barrier }); // lint: allow(alloc) one boxed command per reconnect
+                    io.handle.command(conn, cmd);
                 }
-                Deferred::Status(tx, status) => {
-                    let _ = tx.send(*status);
+                Deferred::Status(conn, status) => {
+                    respond(io, conn, &ClientResponse::Status(*status));
                 }
-                Deferred::Trace(tx, traces) => {
-                    let _ = tx.send(traces);
+                Deferred::Trace(conn, traces) => {
+                    respond(io, conn, &ClientResponse::Trace(traces));
                 }
-                Deferred::Metrics(tx, snapshot) => {
-                    let _ = tx.send(snapshot);
+                Deferred::Metrics(conn, snapshot) => {
+                    respond(io, conn, &ClientResponse::Metrics(snapshot));
                 }
-                Deferred::CutReply(tx, snap) => {
-                    let _ = tx.send(snap);
+                Deferred::CutReply(conn, snap) => {
+                    respond(io, conn, &ClientResponse::Cut(snap));
                 }
                 Deferred::Marker(token) => {
-                    for tx in peer_txs.iter().flatten() {
-                        let _ = tx.send(SenderCmd::Marker(token));
+                    for conn in io.peer_conns.iter().flatten() {
+                        let cmd = Box::new(PeerCmd::<P::Clock>::Marker(token)); // lint: allow(alloc) one boxed command per audit
+                        io.handle.command(*conn, cmd);
+                    }
+                }
+                Deferred::Barrier(peer, barrier) => {
+                    if let Some(conn) = io.peer_conns[peer] {
+                        let cmd = Box::new(PeerCmd::<P::Clock>::Barrier(barrier)); // lint: allow(alloc) one boxed command per barrier advance
+                        io.handle.command(conn, cmd);
                     }
                 }
             }
@@ -2267,64 +2440,6 @@ fn core_loop<P>(
     }
 }
 
-/// Dials `addr` with retry and exponential backoff (peers come up — and
-/// after a link loss or crash-restart, come back — in arbitrary order),
-/// performs the versioned handshake, and reads the peer's hello-ack.
-/// Returns the connected stream plus the peer's acknowledged link offset;
-/// `None` once `connect_timeout` elapses without a completed handshake, or
-/// when the node is stopping.
-fn dial_peer(
-    addr: SocketAddr,
-    hello: &PeerHello,
-    cfg: &ServiceConfig,
-    counters: &NetMetrics,
-    stop: &AtomicBool,
-) -> Option<(TcpStream, u64)> {
-    let deadline = Instant::now() + cfg.connect_timeout;
-    let mut backoff = Duration::from_millis(5);
-    let mut attempt = 0u64;
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return None;
-        }
-        if let Ok(mut stream) = TcpStream::connect(addr) {
-            let _ = stream.set_nodelay(true);
-            // The handshake opens every connection, including redials: the
-            // acceptor spawns a fresh reader that expects it and answers
-            // with the link's acknowledged resume offset.
-            if let Ok(n) = write_frame(&mut stream, &encode_peer_hello(hello)) {
-                counters.bytes_out.add(n as u64);
-                if let Ok(Some(payload)) = read_frame(&mut stream) {
-                    counters.bytes_in.add(payload.len() as u64 + 4);
-                    if let Ok(acked) = decode_hello_ack(&payload) {
-                        return Some((stream, acked));
-                    }
-                }
-            }
-        }
-        let now = Instant::now();
-        if now >= deadline {
-            eprintln!(
-                "prcc-service[{}]: peer {addr} unreachable for {:?}, backing off",
-                hello.node, cfg.connect_timeout
-            );
-            return None;
-        }
-        attempt += 1;
-        // Seeded jitter, up to +50% of the base backoff: decorrelates the
-        // redial storms a whole cluster restarting (or a partition
-        // healing) would otherwise synchronize, without giving up
-        // determinism — the jitter is a pure hash of (dialer, port,
-        // attempt), so identical histories redial at identical times and
-        // a seed-pinned chaos run replays exactly.
-        let base_us = backoff.as_micros() as u64;
-        let key = ((hello.node as u64) << 48) | ((u64::from(addr.port())) << 32) | attempt;
-        let jitter = Duration::from_micros(mix64(key) % (base_us / 2).max(1));
-        thread::sleep((backoff + jitter).min(deadline - now));
-        backoff = (backoff * 2).min(Duration::from_millis(100));
-    }
-}
-
 /// Groups a run of `(seq, partition, update)` entries into multi-batch
 /// sections, preserving first-seen section order and per-partition update
 /// order (cross-partition order is irrelevant — partitions are causally
@@ -2343,693 +2458,714 @@ fn pack_sections<C>(
     sections
 }
 
-/// Writes a run of complete frames with `write_vectored`, retrying short
-/// writes (a partial write resumes mid-frame) and `Interrupted`. Returns
-/// the total bytes written. Each syscall carries at most [`MAX_IOV`]
-/// slices.
-// lint: hot-path
-fn write_frames_vectored(stream: &mut TcpStream, frames: &[Lease]) -> io::Result<usize> {
-    let mut total = 0usize;
-    let mut frame_idx = 0usize;
-    let mut offset = 0usize;
-    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOV);
-    while frame_idx < frames.len() {
-        slices.clear();
-        slices.push(IoSlice::new(&frames[frame_idx][offset..]));
-        for frame in frames[frame_idx + 1..].iter().take(MAX_IOV - 1) {
-            slices.push(IoSlice::new(frame));
-        }
-        let written = match stream.write_vectored(&slices) {
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::WriteZero,
-                    "peer socket closed mid-flush",
-                ))
-            }
-            Ok(n) => n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        };
-        total += written;
-        // Advance (frame, offset) past the bytes the kernel took.
-        let mut advanced = written;
-        while advanced > 0 {
-            let remaining = frames[frame_idx].len() - offset;
-            if advanced >= remaining {
-                advanced -= remaining;
-                frame_idx += 1;
-                offset = 0;
-            } else {
-                offset += advanced;
-                advanced = 0;
-            }
-        }
-    }
-    stream.flush()?;
-    Ok(total)
+/// Connection lifecycle of an outbound peer link driver.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutState {
+    /// No socket; waiting out a backoff timer before the next dial.
+    Down,
+    /// A non-blocking connect is in flight.
+    Dialing,
+    /// Connected; hello sent; waiting for the peer's hello-ack.
+    AwaitAck,
+    /// Hello-ack received; waiting for the core's resume window.
+    AwaitResume,
+    /// Streaming. Commands apply directly; acks flow back in.
+    Established,
 }
 
-/// Ships a run of `(seq, partition, update)` entries: packs each
-/// `batch_max`-sized chunk into one multi-batch frame encoded in place
-/// into a pooled buffer, then flushes every frame with a single vectored
-/// write. Maintains the flush/frame/batch counters.
-fn send_entries<C: WireClock>(
-    stream: &mut TcpStream,
-    entries: &[(u64, PartitionId, Update<C>)],
-    cfg: &ServiceConfig,
-    counters: &NetMetrics,
-    pool: &BufPool,
-) -> io::Result<()> {
-    if entries.is_empty() {
-        return Ok(());
-    }
-    let chunks = entries.len().div_ceil(cfg.batch_max.max(1));
-    let mut frames: Vec<Lease> = Vec::with_capacity(chunks);
-    let mut batches = 0u64;
-    for chunk in entries.chunks(cfg.batch_max.max(1)) {
-        // lint: allow(alloc) sections regroup one bounded chunk per flush
-        let sections = pack_sections(chunk.iter().cloned());
-        // `flushes` counts drain cycles at the moment a flush exists —
-        // deliberately NOT at the same site as `frames_sent`, which counts
-        // successful frame writes. Keeping the two sites apart is what
-        // makes `frames_per_flush` a binding regression signal for the
-        // prcc-load `--max-frames-per-flush` gate.
-        counters.flushes.add(1);
-        let mut frame = pool.lease(256);
-        append_frame(&mut frame, |out| {
-            encode_multi_batch_into(&sections, cfg.pad_bytes, out)
-        })?;
-        batches += sections.len() as u64;
-        frames.push(frame);
-    }
-    let total = write_frames_vectored(stream, &frames)?;
-    counters.bytes_out.add(total as u64);
-    counters.batches_sent.add(batches);
-    counters.frames_sent.add(frames.len() as u64);
-    Ok(())
-}
-// lint: end-hot-path
-
-#[allow(clippy::too_many_arguments)]
-fn peer_sender<C: WireClock>(
+// lint: reactor
+/// The outbound half of one peer link, driven entirely by reactor events:
+/// dials (and redials, with the same seeded backoff jitter as the old
+/// sender threads), handshakes, retransmits the resume window, batches
+/// core-issued updates into multi-batch flush frames, and feeds streamed
+/// acknowledgements back to the core. Registration is permanent: the
+/// driver returns [`Fate::Keep`] from every disconnect while the node is
+/// alive, so the core's command address never changes.
+struct PeerOut<C> {
+    /// This node's index (log prefix and backoff jitter key).
+    node: usize,
+    /// The remote node's index — the link this driver owns.
     peer: usize,
     addr: SocketAddr,
-    hello: PeerHello,
-    rx: &mpsc::Receiver<SenderCmd<C>>,
-    relink_tx: &PeerTx<C>,
-    cfg: &ServiceConfig,
-    counters: &Arc<NetMetrics>,
-    core_tx: &mpsc::Sender<CoreMsg<C>>,
-    stop: &Arc<AtomicBool>,
-    pool: &BufPool,
-) {
-    // Each successful dial is a new connection generation; stale relink
-    // nudges from a previous connection's ack-reader are ignored.
-    let mut generation: u64 = 0;
-    'link: loop {
-        let Some((mut stream, acked)) = dial_peer(addr, &hello, cfg, counters, stop) else {
-            // Peer unreachable for a whole dial window (or this node is
-            // stopping). Discard the queued channel backlog — every entry
-            // is also parked in the core's window, which the resume on
-            // the next successful dial retransmits — and try again: a
-            // peer down longer than one connect_timeout (e.g. a slow
-            // crash-restart) must not strand the link forever.
-            loop {
-                match rx.try_recv() {
-                    Ok(_) => {}
-                    Err(mpsc::TryRecvError::Empty) => break,
-                    Err(mpsc::TryRecvError::Disconnected) => return,
-                }
-            }
-            if stop.load(Ordering::SeqCst) {
-                return;
-            }
-            continue 'link;
-        };
-        generation += 1;
+    /// The encoded hello payload, built once; framed per connection.
+    hello: Vec<u8>,
+    batch_max: usize,
+    flush_interval: Duration,
+    pad_bytes: usize,
+    connect_timeout: Duration,
+    counters: Arc<NetMetrics>,
+    core_tx: mpsc::Sender<CoreMsg<C>>,
+    stop: Arc<AtomicBool>,
+    state: OutState,
+    /// Commands that arrived mid-handshake, replayed in order once the
+    /// resume window has been retransmitted.
+    pending: VecDeque<PeerCmd<C>>,
+    /// The open batch: updates waiting for the flush timer or a full
+    /// `batch_max * MAX_FLUSH_FRAMES` backlog.
+    batch: Vec<(u64, PartitionId, Update<C>)>,
+    /// Highest sequence already transmitted on this connection (the
+    /// resume window's tail, advanced by every flush): entries at or
+    /// below it still arriving through the command queue are duplicates
+    /// of what the resume sent and are dropped before encoding.
+    covered: u64,
+    /// The link's seal barrier, carried in every flush frame.
+    barrier: u64,
+    /// The peer's acknowledged offset from the current handshake.
+    acked: u64,
+    /// Connection generation: counts successful connects.
+    generation: u64,
+    /// The current dial window's deadline.
+    deadline: Option<Instant>,
+    backoff: Duration,
+    attempt: u64,
+    /// Whether the flush timer is armed for the open batch.
+    flush_timer: bool,
+}
 
-        // Resume: fetch the unacked window past the peer's offset and
-        // retransmit it before any fresh traffic. Everything the peer did
-        // not acknowledge — including frames that were buffered into a
-        // dying socket on the previous connection — goes again; the
-        // receiver's dedup set absorbs any overlap.
-        let (reply, reply_rx) = mpsc::channel();
-        if core_tx
-            .send(CoreMsg::PeerResume { peer, acked, reply })
-            .is_err()
-        {
+impl<C: WireClock> PeerOut<C> {
+    /// Opens a fresh dial window: full `connect_timeout`, backoff reset,
+    /// and an immediate dial.
+    fn begin_window(&mut self, ctx: &mut Ctx<'_>) {
+        self.deadline = Some(ctx.now() + self.connect_timeout);
+        self.backoff = Duration::from_millis(5);
+        self.attempt = 0;
+        self.state = OutState::Dialing;
+        ctx.dial(self.addr);
+    }
+
+    /// Ships a run of `(seq, partition, update)` entries: packs each
+    /// `batch_max`-sized chunk into one multi-batch frame encoded in
+    /// place into a pooled buffer and enqueues it (the reactor coalesces
+    /// queued frames into vectored writes). Maintains the
+    /// flush/frame/batch counters.
+    // lint: hot-path
+    fn transmit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        entries: &[(u64, PartitionId, Update<C>)],
+        record_send_us: bool,
+    ) {
+        if entries.is_empty() {
             return;
         }
-        let Ok(window) = reply_rx.recv() else { return };
-
-        // An ack-reader per connection: forwards streamed acks to the core
-        // and nudges this sender to redial when the connection dies.
-        if let Ok(ack_stream) = stream.try_clone() {
-            let core_tx = core_tx.clone();
-            let relink_tx = relink_tx.clone();
-            let counters = Arc::clone(counters);
-            let this_generation = generation;
-            thread::spawn(move || {
-                peer_ack_reader(
-                    ack_stream,
-                    peer,
-                    this_generation,
-                    &core_tx,
-                    &relink_tx,
-                    &counters,
+        let mut batches = 0u64;
+        for chunk in entries.chunks(self.batch_max) {
+            // lint: allow(alloc) sections regroup one bounded chunk per flush
+            let sections = pack_sections(chunk.iter().cloned());
+            // `flushes` counts drain cycles at the moment a flush exists —
+            // deliberately NOT at the same site as `frames_sent`, which counts
+            // frame enqueues. Keeping the two sites apart is what makes
+            // `frames_per_flush` a binding regression signal for the
+            // prcc-load `--max-frames-per-flush` gate.
+            self.counters.flushes.add(1);
+            let mut frame = ctx.pool().lease(256);
+            if append_frame(&mut frame, |out| {
+                encode_multi_batch_sealed_into(&sections, self.pad_bytes, self.barrier, out)
+            })
+            .is_err()
+            {
+                // A frame over the wire cap is a config error (batch_max
+                // times update size exceeded the frame bound); drop the
+                // connection loudly rather than ship a torn frame.
+                eprintln!(
+                    "prcc-service[{}]: flush frame to {} over the wire cap; dropping link",
+                    self.node, self.addr
                 );
-            });
+                ctx.close();
+                return;
+            }
+            batches += sections.len() as u64;
+            self.counters.frames_sent.add(1);
+            self.counters.bytes_out.add(frame.len() as u64);
+            ctx.send(frame);
         }
+        self.counters.batches_sent.add(batches);
+        // Send-stage latency (issue → first socket enqueue) for sampled
+        // updates: one clock read per flush, taken lazily, and only on
+        // the first-transmission path — window resends would
+        // double-count the same stamps.
+        if record_send_us {
+            let mut now = 0u64;
+            for (_, _, update) in entries {
+                let stamp = update.issued_at.0;
+                if stamp != 0 {
+                    if now == 0 {
+                        now = wall_us();
+                    }
+                    self.counters.send_us.record(now.saturating_sub(stamp));
+                }
+            }
+        }
+    }
 
+    /// Flushes the open batch: drops entries the resume already covered,
+    /// then ships complete `batch_max` chunks — all of it when `force`
+    /// (the flush timer's deadline semantics), only full chunks otherwise
+    /// (a partial tail keeps accumulating under its timer).
+    fn flush(&mut self, ctx: &mut Ctx<'_>, force: bool) {
+        let covered = self.covered;
+        self.batch.retain(|(seq, _, _)| *seq > covered);
+        let ship = if force {
+            self.batch.len()
+        } else {
+            (self.batch.len() / self.batch_max) * self.batch_max
+        };
+        if ship > 0 {
+            let rest = self.batch.split_off(ship);
+            let shipped = std::mem::replace(&mut self.batch, rest);
+            if let Some(&(last, _, _)) = shipped.last() {
+                self.covered = last;
+            }
+            self.transmit(ctx, &shipped, true);
+        }
+        if self.batch.is_empty() {
+            self.flush_timer = false;
+            ctx.clear_timer();
+        } else if !self.flush_timer {
+            self.flush_timer = true;
+            ctx.set_timer(self.flush_interval);
+        }
+    }
+    // lint: end-hot-path
+
+    /// Applies one established-state command (also used to replay the
+    /// handshake-era backlog after a resume).
+    fn apply_cmd(&mut self, ctx: &mut Ctx<'_>, cmd: PeerCmd<C>) {
+        match cmd {
+            PeerCmd::Update(seq, partition, update) => {
+                self.batch.push((seq, partition, update));
+                // Opportunistic backlog bound: a link that fell behind
+                // flushes once MAX_FLUSH_FRAMES frames' worth piles up
+                // instead of growing the batch without limit.
+                if self.batch.len() >= self.batch_max * MAX_FLUSH_FRAMES {
+                    self.flush(ctx, false);
+                }
+            }
+            PeerCmd::Marker(token) => {
+                // Everything queued before the marker must hit the wire
+                // first, the marker next, everything after it later.
+                self.flush(ctx, true);
+                self.write_marker(ctx, token);
+            }
+            PeerCmd::Barrier(b) => self.barrier = self.barrier.max(b),
+            // Resume is handled in on_command before dispatch; a stray one
+            // (stale reply after a re-handshake) is ignored.
+            PeerCmd::Resume { .. } => {}
+        }
+    }
+
+    /// Writes a cut marker frame. A failure loses it (markers are not
+    /// windowed) — the audit then reports the cut incomplete, never a
+    /// wrong verdict.
+    fn write_marker(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let mut frame = ctx.pool().lease(16);
+        if append_frame(&mut frame, |out| {
+            out.extend_from_slice(&encode_cut_marker(token))
+        })
+        .is_ok()
+        {
+            self.counters.bytes_out.add(frame.len() as u64);
+            ctx.send(frame);
+        }
+    }
+
+    /// The core answered the handshake with the resume window: retransmit
+    /// it, mark the link established, and replay the command backlog.
+    fn finish_resume(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        window: Vec<(u64, PartitionId, Update<C>)>,
+        barrier: u64,
+    ) {
+        self.barrier = self.barrier.max(barrier);
         // Everything up to the window's tail is covered by this resume:
-        // entries still sitting in the channel at or below `covered` are
-        // duplicates of what the resume just sent and are skipped below.
-        let mut covered = window.last().map_or(acked, |(seq, _, _)| *seq);
+        // entries still sitting in the command backlog at or below
+        // `covered` are duplicates of what the resume sends and are
+        // dropped by the flush filter.
+        self.covered = window.last().map_or(self.acked, |&(seq, _, _)| seq);
         // A window shipped on the very first connection of a fresh link
         // (generation 1, nothing acked) is a first transmission — writes
         // merely raced the dial — not a retransmission; everything else
         // (reconnects, and restarts where the peer remembers the link) is.
-        let resent = if generation > 1 || acked > 0 {
+        let resent = if self.generation > 1 || self.acked > 0 {
             window.len() as u64
         } else {
             0
         };
-        if let Err(e) = send_entries(&mut stream, &window, cfg, counters, pool) {
-            eprintln!(
-                "prcc-service[{}]: resend to {addr}: {e}; reconnecting",
-                hello.node
-            );
-            continue 'link;
+        self.transmit(ctx, &window, false);
+        self.counters.resent.add(resent);
+        self.state = OutState::Established;
+        while let Some(cmd) = self.pending.pop_front() {
+            self.apply_cmd(ctx, cmd);
         }
-        counters.resent.add(resent);
-
-        // Batching loop: block for the first update, then coalesce until
-        // the batch fills or the flush interval elapses, then emit the
-        // whole flush as ONE multi-partition frame per batch_max chunk —
-        // a backlogged sender drains several chunks and ships them all in
-        // one vectored write. On a dead link the batch is simply dropped
-        // locally and the loop redials: every update still sits in the
-        // core's window and is retransmitted by the resume above.
-        // lint: hot-path
-        loop {
-            let first = match rx.recv_timeout(SENDER_IDLE_POLL) {
-                Ok(SenderCmd::Update(seq, partition, update)) => (seq, partition, update),
-                Ok(SenderCmd::Relink(at)) => {
-                    if at == generation {
-                        continue 'link;
-                    }
-                    continue;
-                }
-                Ok(SenderCmd::Marker(token)) => {
-                    // No batch open: the marker's channel position is
-                    // "right now" — write it immediately.
-                    // lint: allow(alloc) one frame per audit, far off the hot path
-                    match write_frame(&mut stream, &encode_cut_marker(token)) {
-                        Ok(n) => counters.bytes_out.add(n as u64),
-                        Err(_) => continue 'link,
-                    }
-                    continue;
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    if stop.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    continue;
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => return,
-            };
-            let mut batch = Vec::with_capacity(cfg.batch_max.max(1));
-            batch.push(first);
-            let deadline = Instant::now() + cfg.flush_interval;
-            let mut relink = false;
-            // A marker closes the batch early: everything queued before it
-            // must hit the wire first, the marker next, everything after
-            // it later — so it waits here while the batch ahead flushes.
-            let mut marker: Option<u64> = None;
-            while batch.len() < cfg.batch_max {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                match rx.recv_timeout(deadline - now) {
-                    Ok(SenderCmd::Update(seq, partition, update)) => {
-                        batch.push((seq, partition, update));
-                    }
-                    Ok(SenderCmd::Relink(at)) => {
-                        if at == generation {
-                            relink = true;
-                            break;
-                        }
-                    }
-                    Ok(SenderCmd::Marker(token)) => {
-                        marker = Some(token);
-                        break;
-                    }
-                    Err(_) => break,
-                }
-            }
-            // Opportunistic backlog drain: a sender that fell behind (slow
-            // peer, long flush) pulls whatever is already queued — up to
-            // MAX_FLUSH_FRAMES frames' worth — so the vectored flush below
-            // moves it with one syscall instead of one per chunk.
-            while !relink
-                && marker.is_none()
-                && batch.len() < cfg.batch_max.max(1) * MAX_FLUSH_FRAMES
-            {
-                match rx.try_recv() {
-                    Ok(SenderCmd::Update(seq, partition, update)) => {
-                        batch.push((seq, partition, update));
-                    }
-                    Ok(SenderCmd::Relink(at)) => {
-                        if at == generation {
-                            relink = true;
-                        }
-                    }
-                    Ok(SenderCmd::Marker(token)) => {
-                        marker = Some(token);
-                    }
-                    Err(_) => break,
-                }
-            }
-            if relink {
-                continue 'link;
-            }
-            // Drop entries the resume already transmitted on this
-            // connection (they were in both the window and the channel).
-            batch.retain(|(seq, _, _)| *seq > covered);
-            if let Some(&(last, _, _)) = batch.last() {
-                covered = last;
-                if let Err(e) = send_entries(&mut stream, &batch, cfg, counters, pool) {
-                    eprintln!(
-                        "prcc-service[{}]: send to {addr}: {e}; reconnecting",
-                        hello.node
-                    );
-                    continue 'link;
-                }
-                // Send-stage latency (issue → first socket write) for sampled
-                // updates: one clock read per flush, taken lazily, and only on
-                // this first-transmission path — window resends above would
-                // double-count the same stamps.
-                let mut now = 0u64;
-                for (_, _, update) in &batch {
-                    let stamp = update.issued_at.0;
-                    if stamp != 0 {
-                        if now == 0 {
-                            now = wall_us();
-                        }
-                        counters.send_us.record(now.saturating_sub(stamp));
-                    }
-                }
-            }
-            // The batch that was queued ahead of the marker is on the wire;
-            // the marker takes its channel position now. A write failure
-            // loses it (markers are not windowed) — the audit then reports
-            // the cut incomplete, never a wrong verdict.
-            if let Some(token) = marker {
-                // lint: allow(alloc) one frame per audit, far off the hot path
-                match write_frame(&mut stream, &encode_cut_marker(token)) {
-                    Ok(n) => counters.bytes_out.add(n as u64),
-                    Err(e) => {
-                        eprintln!(
-                            "prcc-service[{}]: marker to {addr}: {e}; reconnecting",
-                            hello.node
-                        );
-                        continue 'link;
-                    }
-                }
-            }
-        }
-        // lint: end-hot-path
     }
 }
 
-/// Reads streamed acknowledgement frames off (a clone of) a sender's
-/// connection, forwarding them to the core for window pruning. When the
-/// connection dies — even with no outbound traffic pending — it nudges the
-/// sender to redial, so undelivered window entries are retransmitted
-/// promptly instead of waiting for the next write to fail.
-fn peer_ack_reader<C>(
-    mut stream: TcpStream,
-    peer: usize,
-    generation: u64,
-    core_tx: &mpsc::Sender<CoreMsg<C>>,
-    relink_tx: &PeerTx<C>,
-    counters: &NetMetrics,
-) {
-    while let Ok(Some(payload)) = read_frame(&mut stream) {
-        counters.bytes_in.add(payload.len() as u64 + 4);
-        let Ok(seq) = decode_peer_ack(&payload) else {
-            break;
-        };
-        if core_tx.send(CoreMsg::PeerAcked { peer, seq }).is_err() {
+impl<C: WireClock> Driver for PeerOut<C> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.begin_window(ctx);
+    }
+
+    fn on_connected(&mut self, ctx: &mut Ctx<'_>) {
+        // Each successful dial is a new connection generation. The
+        // handshake opens every connection, including redials: the
+        // acceptor's driver expects it and answers with the link's
+        // acknowledged resume offset.
+        self.generation += 1;
+        self.state = OutState::AwaitAck;
+        let mut frame = ctx.pool().lease(self.hello.len() + 8);
+        if append_frame(&mut frame, |out| out.extend_from_slice(&self.hello)).is_ok() {
+            self.counters.bytes_out.add(frame.len() as u64);
+            ctx.send(frame);
+        } else {
+            ctx.close();
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: Lease) -> io::Result<()> {
+        self.counters.bytes_in.add(frame.len() as u64 + 4);
+        match self.state {
+            OutState::AwaitAck => {
+                self.acked = decode_hello_ack(&frame)?;
+                self.state = OutState::AwaitResume;
+                // Fetch the unacked window past the peer's offset; the
+                // core replies with a Resume command on this connection.
+                if self
+                    .core_tx
+                    .send(CoreMsg::PeerResume {
+                        peer: self.peer,
+                        acked: self.acked,
+                        conn: ctx.conn_id(),
+                    })
+                    .is_err()
+                {
+                    ctx.close(); // Core shut down.
+                }
+                Ok(())
+            }
+            _ => {
+                // Streamed acknowledgements: forward to the core for
+                // window pruning.
+                let seq = decode_peer_ack(&frame)?;
+                if self
+                    .core_tx
+                    .send(CoreMsg::PeerAcked {
+                        peer: self.peer,
+                        seq,
+                    })
+                    .is_err()
+                {
+                    ctx.close(); // Core shut down.
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn on_command(&mut self, ctx: &mut Ctx<'_>, cmd: Box<dyn Any + Send>) {
+        let Ok(cmd) = cmd.downcast::<PeerCmd<C>>() else {
             return;
+        };
+        match *cmd {
+            // Barriers are max-monotone, so applying one early (even
+            // mid-handshake) is always safe.
+            PeerCmd::Barrier(b) => self.barrier = self.barrier.max(b),
+            PeerCmd::Resume { window, barrier } => {
+                if self.state == OutState::AwaitResume {
+                    self.finish_resume(ctx, window, barrier);
+                }
+            }
+            cmd => {
+                if self.state == OutState::Established {
+                    self.apply_cmd(ctx, cmd);
+                } else {
+                    // Mid-handshake (or mid-backoff): park the command.
+                    // Updates in it are also parked in the core's window,
+                    // but replaying the backlog in order after the resume
+                    // keeps markers at their command positions.
+                    self.pending.push_back(cmd);
+                }
+            }
         }
     }
-    let _ = relink_tx.send(SenderCmd::Relink(generation));
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>) {
+        match self.state {
+            // The batching deadline: ship the open batch, full or not.
+            OutState::Established => {
+                self.flush_timer = false;
+                self.flush(ctx, true);
+            }
+            // The backoff expired: dial again inside the current window.
+            OutState::Down => {
+                self.state = OutState::Dialing;
+                ctx.dial(self.addr);
+            }
+            // A stale flush timer from before a disconnect; ignore.
+            _ => {}
+        }
+    }
+
+    fn on_flush(&mut self, ctx: &mut Ctx<'_>) {
+        // End of a tick that delivered commands: ship complete chunks
+        // now; a partial tail waits for more traffic or its timer.
+        if self.state == OutState::Established {
+            self.flush(ctx, false);
+        }
+    }
+
+    fn on_disconnect(&mut self, ctx: &mut Ctx<'_>, err: Option<&io::Error>) -> Fate {
+        if self.stop.load(Ordering::SeqCst) {
+            return Fate::Remove;
+        }
+        let was_established = self.state == OutState::Established;
+        // The local batch dies with the connection: every update in it is
+        // still parked in the core's window, and the resume on the next
+        // successful handshake retransmits whatever the peer missed.
+        self.batch.clear();
+        self.flush_timer = false;
+        if was_established {
+            if let Some(e) = err {
+                eprintln!(
+                    "prcc-service[{}]: peer link {}: {e}; reconnecting",
+                    self.node, self.addr
+                );
+            }
+            self.begin_window(ctx);
+            return Fate::Keep;
+        }
+        // A dial or handshake failed. Back off inside the current window;
+        // when the window is exhausted, report once, discard the command
+        // backlog (every entry is also parked in the core's window, which
+        // the resume on the next successful dial retransmits), and open a
+        // fresh window — a peer down longer than one connect_timeout
+        // (e.g. a slow crash-restart) must not strand the link forever.
+        let now = ctx.now();
+        let deadline = self.deadline.unwrap_or(now);
+        if now >= deadline {
+            eprintln!(
+                "prcc-service[{}]: peer {} unreachable for {:?}, backing off",
+                self.node, self.addr, self.connect_timeout
+            );
+            self.pending.clear();
+            self.begin_window(ctx);
+            return Fate::Keep;
+        }
+        self.attempt += 1;
+        // Seeded jitter, up to +50% of the base backoff: decorrelates the
+        // redial storms a whole cluster restarting (or a partition
+        // healing) would otherwise synchronize, without giving up
+        // determinism — the jitter is a pure hash of (dialer, port,
+        // attempt), so identical histories redial at identical times and
+        // a seed-pinned chaos run replays exactly.
+        let base_us = self.backoff.as_micros() as u64;
+        let key = ((self.node as u64) << 48) | (u64::from(self.addr.port()) << 32) | self.attempt;
+        let jitter = Duration::from_micros(mix64(key) % (base_us / 2).max(1));
+        let wait = (self.backoff + jitter).min(deadline - now);
+        self.backoff = (self.backoff * 2).min(Duration::from_millis(100));
+        self.state = OutState::Down;
+        ctx.set_timer(wait);
+        Fate::Keep
+    }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn peer_reader<P>(
-    mut stream: TcpStream,
-    protocol: &Arc<P>,
-    map: &PartitionMap,
+/// The inbound half of one peer link: validates the versioned handshake,
+/// binds itself to the sender's node index, then decodes flush frames and
+/// cut markers and fans them to the core. Acknowledgements travel the
+/// other way on the same connection, pushed by the core at sweep end.
+struct PeerIn<P: Protocol> {
     node: usize,
-    core_tx: &mpsc::Sender<CoreMsg<P::Clock>>,
-    counters: &Arc<NetMetrics>,
-    connections: &PeerConnections,
-    stop: &Arc<AtomicBool>,
-    pool: &BufPool,
-) -> io::Result<()>
+    protocol: Arc<P>,
+    map: Arc<PartitionMap>,
+    core_tx: mpsc::Sender<CoreMsg<P::Clock>>,
+    counters: Arc<NetMetrics>,
+    /// The sender's node index, `None` until the handshake validates.
+    peer: Option<usize>,
+}
+
+impl<P> Driver for PeerIn<P>
 where
-    P: Protocol,
+    P: Protocol + 'static,
     P::Clock: WireClock,
 {
-    let _ = stream.set_nodelay(true);
-    let Some(hello_frame) = read_frame(&mut stream)? else {
-        return Ok(());
-    };
-    counters.bytes_in.add(hello_frame.len() as u64 + 4);
-    let hello = decode_peer_hello(&hello_frame)?;
-    if &hello.map != map {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("peer {} runs a different partition map", hello.node),
-        ));
-    }
-    if hello.node >= map.num_nodes() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("peer index {} out of range", hello.node),
-        ));
-    }
-    // Answer with the acknowledged resume offset for this link: the sender
-    // retransmits its unacked window right after it.
-    let acked = {
-        let (reply, reply_rx) = mpsc::channel();
-        if core_tx
-            .send(CoreMsg::PeerJoin {
-                peer: hello.node,
-                reply,
-            })
-            .is_err()
-        {
-            return Ok(()); // Core shut down.
-        }
-        let Ok(acked) = reply_rx.recv() else {
+    // lint: hot-path
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: Lease) -> io::Result<()> {
+        self.counters.bytes_in.add(frame.len() as u64 + 4);
+        let Some(peer) = self.peer else {
+            // First frame: the handshake. Answering (the hello-ack) is the
+            // core's job — it owns the link's acknowledged offset.
+            let hello = decode_peer_hello(&frame)?;
+            if hello.map != *self.map {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    // lint: allow(alloc) protocol-violation error, cold
+                    format!("peer {} runs a different partition map", hello.node),
+                ));
+            }
+            if hello.node >= self.map.num_nodes() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    // lint: allow(alloc) protocol-violation error, cold
+                    format!("peer index {} out of range", hello.node),
+                ));
+            }
+            self.peer = Some(hello.node);
+            if self
+                .core_tx
+                .send(CoreMsg::PeerJoin {
+                    peer: hello.node,
+                    conn: ctx.conn_id(),
+                })
+                .is_err()
+            {
+                ctx.close(); // Core shut down.
+            }
             return Ok(());
         };
-        acked
-    };
-    let n = write_frame(&mut stream, &encode_hello_ack(acked))?;
-    counters.bytes_out.add(n as u64);
-
-    // Register this connection as the peer's live one; shut any previous
-    // connection down so the reader blocked on it wakes up and exits (a
-    // sender reconnecting after a half-open link loss would otherwise
-    // accumulate one stuck reader thread per redial). Registering only
-    // after the handshake means a garbage connection cannot evict a
-    // healthy peer link.
-    let token = REGISTRATION_TOKEN.fetch_add(1, Ordering::Relaxed);
-    let replaced = {
-        let mut live = connections.lock();
-        stream
-            .try_clone()
-            .ok()
-            .and_then(|clone| live.insert(hello.node, (token, clone)))
-    };
-    if let Some((_, stale)) = replaced {
-        let _ = stale.shutdown(Shutdown::Both);
-    }
-    // Close the race with the crash switch: its sweep severs everything
-    // registered before it ran, and anything registered after observes
-    // `stop` (set before the sweep) right here and severs itself. Without
-    // this check a handshake completed against the dying core — whose
-    // queued replies can still land after the sweep — would leave a live,
-    // never-severed connection the peer keeps writing into.
-    if stop.load(Ordering::SeqCst) {
-        deregister(connections, hello.node, token);
-        let _ = stream.shutdown(Shutdown::Both);
-        return Ok(());
-    }
-
-    // Acknowledgements are written by a dedicated thread on a clone of the
-    // stream, so the reader keeps draining frames while acks go out (the
-    // core decides when one is due and sends the high-water mark here).
-    let (ack_tx, ack_rx) = mpsc::channel::<u64>();
-    if let Ok(mut ack_stream) = stream.try_clone() {
-        let counters = Arc::clone(counters);
-        let pool = pool.clone();
-        thread::spawn(move || {
-            // One leased buffer for the thread's lifetime: every ack frame
-            // is encoded in place into it.
-            let mut frame = pool.lease(64);
-            while let Ok(mut seq) = ack_rx.recv() {
-                // Coalesce queued acks: only the newest high-water matters.
-                while let Ok(later) = ack_rx.try_recv() {
-                    seq = later;
-                }
-                frame.clear();
-                if append_frame(&mut frame, |out| encode_peer_ack_into(seq, out)).is_err() {
-                    break;
-                }
-                match ack_stream
-                    .write_all(&frame)
-                    .and_then(|()| ack_stream.flush())
-                {
-                    Ok(()) => {
-                        counters.bytes_out.add(frame.len() as u64);
-                    }
-                    Err(_) => break,
-                }
-            }
-        });
-    }
-
-    // Pump frames until the connection or the core dies, then deregister
-    // this connection on EVERY exit path: the registered clone must not
-    // outlive the reader, or the peer's socket would stay open — and its
-    // sender writing happily — with nobody consuming the frames.
-    let result = pump_peer_frames(
-        &mut stream,
-        protocol,
-        map,
-        node,
-        &hello,
-        core_tx,
-        counters,
-        ack_tx,
-        pool,
-    );
-    deregister(connections, hello.node, token);
-    let _ = stream.shutdown(Shutdown::Both);
-    result
-}
-
-/// Removes a peer's registry entry if it still belongs to this reader
-/// (matched by registration token — a newer connection must not be evicted
-/// by its predecessor's cleanup).
-fn deregister(connections: &PeerConnections, peer: usize, token: u64) {
-    let mut live = connections.lock();
-    if live.get(&peer).is_some_and(|(t, _)| *t == token) {
-        if let Some((_, clone)) = live.remove(&peer) {
-            let _ = clone.shutdown(Shutdown::Both);
-        }
-    }
-}
-
-/// The post-handshake frame loop of a peer reader: decode each flush
-/// frame, validate its sections, and hand it to the core as one delivery.
-#[allow(clippy::too_many_arguments)]
-fn pump_peer_frames<P>(
-    stream: &mut TcpStream,
-    protocol: &Arc<P>,
-    map: &PartitionMap,
-    node: usize,
-    hello: &PeerHello,
-    core_tx: &mpsc::Sender<CoreMsg<P::Clock>>,
-    counters: &Arc<NetMetrics>,
-    ack_tx: mpsc::Sender<u64>,
-    pool: &BufPool,
-) -> io::Result<()>
-where
-    P: Protocol,
-    P::Clock: WireClock,
-{
-    let roles = map.graph().num_replicas();
-    // Pooled reads: each frame lands in a leased buffer sized by its
-    // length prefix, returned to the pool as soon as it is decoded.
-    // lint: hot-path
-    while let Some(payload) = read_frame_pooled(stream, pool)? {
-        counters.bytes_in.add(payload.len() as u64 + 4);
         // Cut markers travel in the update stream — that is what gives
         // them a channel position — so they are intercepted here, before
         // batch decoding, and forwarded on the same core channel as the
         // updates around them (arrival order is cut order).
-        if payload.first() == Some(&TAG_CUT_MARKER) {
-            let token = decode_cut_marker(&payload)?;
-            if core_tx.send(CoreMsg::PeerMarker { token }).is_err() {
-                return Ok(()); // Core shut down.
+        if frame.first() == Some(&TAG_CUT_MARKER) {
+            let token = decode_cut_marker(&frame)?;
+            if self.core_tx.send(CoreMsg::PeerMarker { token }).is_err() {
+                ctx.close(); // Core shut down.
             }
-            continue;
+            return Ok(());
         }
-        // One frame, many `(partition, [(seq, update)])` sections: validate
-        // each section, then hand the whole frame to the core as one
-        // delivery (and one WAL receipt record).
-        let sections = decode_peer_batches(&payload, |k| {
+        // One frame, many `(partition, [(seq, update)])` sections plus the
+        // sender's seal barrier: validate each section, then hand the
+        // whole frame to the core as one delivery (and one WAL receipt).
+        let roles = self.map.graph().num_replicas();
+        let protocol = &self.protocol;
+        let (sections, barrier) = decode_sealed_batches(&frame, |k| {
             (k.index() < roles).then(|| protocol.new_clock(k))
         })?;
         for (partition, _) in &sections {
-            if partition.0 >= map.num_partitions() {
+            if partition.0 >= self.map.num_partitions() {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     // lint: allow(alloc) protocol-violation error, cold
                     format!("batch for out-of-range {partition}"),
                 ));
             }
-            if map.role_on(*partition, node).is_none() {
+            if self.map.role_on(*partition, self.node).is_none() {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     // lint: allow(alloc) protocol-violation error, cold
-                    format!("peer {} misrouted {partition} updates here", hello.node),
+                    format!("peer {peer} misrouted {partition} updates here"),
                 ));
             }
         }
-        if core_tx
+        if self
+            .core_tx
             .send(CoreMsg::Updates {
-                peer: hello.node,
+                peer,
                 sections,
-                // lint: allow(alloc) channel-handle refcount bump, not a buffer
-                ack: ack_tx.clone(),
+                barrier,
+                conn: ctx.conn_id(),
             })
             .is_err()
         {
-            return Ok(()); // Core shut down.
+            ctx.close(); // Core shut down.
         }
+        Ok(())
     }
     // lint: end-hot-path
-    Ok(())
+
+    fn on_disconnect(&mut self, _ctx: &mut Ctx<'_>, err: Option<&io::Error>) -> Fate {
+        if let Some(e) = err {
+            eprintln!("prcc-service[{}]: peer reader: {e}", self.node);
+        }
+        Fate::Remove
+    }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn client_handler<C: WireClock>(
-    mut stream: TcpStream,
-    map: &PartitionMap,
-    core_tx: &mpsc::Sender<CoreMsg<C>>,
-    stop: &Arc<AtomicBool>,
-    counters: &NetMetrics,
-    listeners: (SocketAddr, SocketAddr),
-    pool: &BufPool,
-) -> io::Result<()> {
-    let dead_core = || io::Error::new(io::ErrorKind::BrokenPipe, "node core is gone");
-    let _ = stream.set_nodelay(true);
-    while let Some(payload) = read_frame_pooled(&mut stream, pool)? {
-        let response = match decode_request(&payload)? {
+/// One client connection: decodes requests and routes them to the core
+/// tagged with this connection's id; the core encodes the response and
+/// pushes it back through the reactor at sweep end. `Config` and the
+/// shutdown `Bye` are answered inline — neither touches core state.
+struct ClientConn<C: WireClock> {
+    map: Arc<PartitionMap>,
+    core_tx: mpsc::Sender<CoreMsg<C>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl<C: WireClock> Driver for ClientConn<C> {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: Lease) -> io::Result<()> {
+        let conn = ctx.conn_id();
+        let msg = match decode_request(&frame)? {
             ClientRequest::Write {
                 partition,
                 register,
                 value,
                 ..
-            } => {
-                let (reply, rx) = mpsc::channel();
-                core_tx
-                    .send(CoreMsg::Write {
-                        partition,
-                        register,
-                        value,
-                        reply,
-                    })
-                    .map_err(|_| dead_core())?;
-                let ok = rx.recv().map_err(|_| dead_core())?;
-                ClientResponse::WriteAck { ok }
-            }
+            } => CoreMsg::Write {
+                partition,
+                register,
+                value,
+                conn,
+            },
             ClientRequest::Read {
                 partition,
                 register,
-            } => {
-                let (reply, rx) = mpsc::channel();
-                core_tx
-                    .send(CoreMsg::Read {
-                        partition,
-                        register,
-                        reply,
-                    })
-                    .map_err(|_| dead_core())?;
-                let (ok, value) = rx.recv().map_err(|_| dead_core())?;
-                ClientResponse::ReadResp { ok, value }
-            }
-            ClientRequest::Status => {
-                let (reply, rx) = mpsc::channel();
-                core_tx
-                    .send(CoreMsg::Status(reply))
-                    .map_err(|_| dead_core())?;
-                let mut status = rx.recv().map_err(|_| dead_core())?;
-                status.bytes_out = counters.bytes_out.get();
-                status.bytes_in = counters.bytes_in.get();
-                status.batches_sent = counters.batches_sent.get();
-                status.frames_sent = counters.frames_sent.get();
-                status.flushes = counters.flushes.get();
-                status.resent = counters.resent.get();
-                ClientResponse::Status(status)
-            }
-            ClientRequest::Trace => {
-                let (reply, rx) = mpsc::channel();
-                core_tx
-                    .send(CoreMsg::Trace(reply))
-                    .map_err(|_| dead_core())?;
-                let logs = rx.recv().map_err(|_| dead_core())?;
-                ClientResponse::Trace(logs)
-            }
-            ClientRequest::Metrics => {
-                let (reply, rx) = mpsc::channel();
-                core_tx
-                    .send(CoreMsg::Metrics(reply))
-                    .map_err(|_| dead_core())?;
-                let snapshot = rx.recv().map_err(|_| dead_core())?;
-                ClientResponse::Metrics(snapshot)
-            }
-            ClientRequest::Cut { token, start } => {
-                let (reply, rx) = mpsc::channel();
-                core_tx
-                    .send(CoreMsg::Cut {
-                        token,
-                        start,
-                        reply,
-                    })
-                    .map_err(|_| dead_core())?;
-                let snap = rx.recv().map_err(|_| dead_core())?;
-                ClientResponse::Cut(snap)
-            }
-            ClientRequest::Config => ClientResponse::Config {
-                version: WIRE_VERSION,
-                map: map.clone(),
+            } => CoreMsg::Read {
+                partition,
+                register,
+                conn,
             },
+            ClientRequest::Status => CoreMsg::Status(conn),
+            ClientRequest::Trace => CoreMsg::Trace(conn),
+            ClientRequest::Metrics => CoreMsg::Metrics(conn),
+            ClientRequest::Cut { token, start } => CoreMsg::Cut { token, start, conn },
+            ClientRequest::Config => {
+                // Answered inline: pure configuration, no core state.
+                let response = ClientResponse::Config {
+                    version: WIRE_VERSION,
+                    map: (*self.map).clone(),
+                };
+                let mut out = ctx.pool().lease(256);
+                append_frame(&mut out, |buf| encode_response_into(&response, buf))?;
+                ctx.send(out);
+                return Ok(());
+            }
             ClientRequest::Shutdown => {
-                stop.store(true, Ordering::SeqCst);
-                // Ack *before* stopping the core: once the core exits, a
-                // process joining it (prcc-serve) may exit and kill this
-                // thread before an ack written later would ever leave.
-                write_response(&mut stream, &ClientResponse::Bye, pool)?;
-                let _ = core_tx.send(CoreMsg::Shutdown);
-                // Unblock the accept loops so their threads observe `stop`.
-                let _ = TcpStream::connect(listeners.0);
-                let _ = TcpStream::connect(listeners.1);
+                self.stop.store(true, Ordering::SeqCst);
+                // Enqueue the ack *before* stopping the core: the reactor's
+                // graceful drain flushes it even as the node winds down.
+                let mut out = ctx.pool().lease(64);
+                append_frame(&mut out, |buf| {
+                    encode_response_into(&ClientResponse::Bye, buf)
+                })?;
+                ctx.send(out);
+                let _ = self.core_tx.send(CoreMsg::Shutdown);
                 return Ok(());
             }
         };
-        write_response(&mut stream, &response, pool)?;
+        if self.core_tx.send(msg).is_err() {
+            ctx.close(); // Core shut down.
+        }
+        Ok(())
     }
-    Ok(())
 }
+// lint: end-reactor
 
-/// Encodes a client response in place into a pooled buffer and writes it
-/// as one frame.
-fn write_response(
-    stream: &mut TcpStream,
-    response: &ClientResponse,
-    pool: &BufPool,
-) -> io::Result<()> {
-    let mut frame = pool.lease(256);
-    append_frame(&mut frame, |out| encode_response_into(response, out))?;
-    stream.write_all(&frame)?;
-    stream.flush()
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prcc_clock::EdgeProtocol;
+    use prcc_graph::topologies;
+
+    fn ring_core(
+        node: usize,
+        window_cap: usize,
+    ) -> (EdgeProtocol, PartitionMap, Core<EdgeProtocol>) {
+        let graph = topologies::ring(3);
+        let map = PartitionMap::rotated(graph.clone(), 1, 3).expect("valid map");
+        let protocol = EdgeProtocol::new(graph);
+        let tel = CoreTelemetry::new(Arc::new(Registry::new()), &ServiceConfig::default());
+        let core = Core::new(&protocol, &map, node, window_cap, tel);
+        (protocol, map, core)
+    }
+
+    /// Issues one write on `core` that ships a copy to the other node,
+    /// returning the `(peer, seq, partition, update)` send. Scans the
+    /// register space for one this node's role may write with a remote
+    /// recipient — the topology guarantees at least one exists.
+    fn remote_write(
+        protocol: &EdgeProtocol,
+        map: &PartitionMap,
+        core: &mut Core<EdgeProtocol>,
+    ) -> (
+        usize,
+        u64,
+        PartitionId,
+        Update<<EdgeProtocol as Protocol>::Clock>,
+    ) {
+        let partition = PartitionId(0);
+        for r in 0..map.graph().num_registers() {
+            let register = RegisterId(r as u32);
+            if !core.can_write(protocol, partition, register) {
+                continue;
+            }
+            let wire_id = core.next_wire_id();
+            let sends = core
+                .apply_write(protocol, map, partition, register, 7, wire_id, 0)
+                .expect("can_write gated");
+            if let Some(send) = sends.into_iter().find(|(peer, ..)| *peer != core.node) {
+                return send;
+            }
+        }
+        panic!("no register with a remote recipient");
+    }
+
+    #[test]
+    fn sealed_high_advances_only_on_acked_retirement() {
+        let (protocol, map, mut core) = ring_core(0, 64);
+        let (peer, seq, _, _) = remote_write(&protocol, &map, &mut core);
+
+        // Unacknowledged: the pair blocks its seal and the barrier stays.
+        assert!(core.plan_seal(1).is_empty());
+        assert_eq!(core.links[peer].sealed_high, 0);
+
+        // Acked retirement advances the barrier and unblocks the seal.
+        core.prune(peer, seq);
+        assert!(!core.plan_seal(1).is_empty());
+        assert_eq!(core.links[peer].sealed_high, seq);
+    }
+
+    #[test]
+    fn evicted_pairs_never_advance_sealed_high() {
+        let (protocol, map, mut core) = ring_core(0, 1);
+        let (peer, first_seq, _, _) = remote_write(&protocol, &map, &mut core);
+        let (_, second_seq, _, _) = remote_write(&protocol, &map, &mut core);
+        assert_eq!((first_seq, second_seq), (1, 2), "cap 1 evicts the first");
+        assert_eq!(core.window_evicted, 1);
+
+        // The evicted pair retires (it can never be acked) but must not
+        // advance the barrier — the peer never observed it. The second
+        // pair still blocks.
+        core.plan_seal(1);
+        assert_eq!(core.links[peer].sealed_high, 0);
+        assert_eq!(core.links[peer].evicted_high, first_seq);
+    }
+
+    #[test]
+    fn barrier_fast_path_matches_slow_path_counters() {
+        let (protocol, map, mut origin) = ring_core(0, 64);
+        let (peer, seq, partition, update) = remote_write(&protocol, &map, &mut origin);
+        let sections: FlushSections<_> = vec![(partition, vec![(seq, update)])];
+
+        let (_, _, mut receiver) = ring_core(peer, 64);
+        receiver.apply_sections(&protocol, 0, sections.clone());
+        let applied_log = receiver.partitions[partition.index()]
+            .as_ref()
+            .expect("hosted")
+            .log
+            .len();
+        assert_eq!(receiver.duplicates_dropped, 0);
+
+        // Straggler resend without a barrier: the watermark (slow path)
+        // catches the duplicate.
+        receiver.apply_sections(&protocol, 0, sections.clone());
+        assert_eq!(receiver.duplicates_dropped, 1);
+        assert_eq!(receiver.barrier_skips, 0);
+
+        // With the origin's seal barrier covering the sequence, the fast
+        // path drops it before the watermark — same counter motion, same
+        // replica state.
+        receiver.links[0].seal_barrier = seq;
+        receiver.apply_sections(&protocol, 0, sections);
+        assert_eq!(receiver.duplicates_dropped, 2);
+        assert_eq!(receiver.barrier_skips, 1);
+        assert_eq!(
+            receiver.partitions[partition.index()]
+                .as_ref()
+                .expect("hosted")
+                .log
+                .len(),
+            applied_log,
+            "neither duplicate re-applied anything"
+        );
+    }
 }

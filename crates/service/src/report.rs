@@ -115,6 +115,27 @@ pub struct BenchReport {
     /// the cluster *gave up* delivering some updates to a stranded peer —
     /// the load harness refuses to report such a run as clean.
     pub window_evicted: u64,
+    /// Reactor worker wakeups (epoll_wait returns) across the cluster.
+    pub reactor_wakeups: u64,
+    /// Readiness events delivered across all wakeups;
+    /// `reactor_events / reactor_wakeups` is the event-batching ratio.
+    pub reactor_events: u64,
+    /// Write-interest re-arms after partial (`WouldBlock`) flushes — each
+    /// is a write the event loop parked instead of blocking a thread on.
+    pub reactor_rearms: u64,
+    /// Worst single-connection outbound-queue depth in bytes anywhere in
+    /// the cluster (capped by the backpressure bound).
+    pub reactor_outq_hiwat: u64,
+    /// Straggler deliveries fast-dropped by the receiver-side seal
+    /// barrier without a watermark re-check.
+    pub barrier_skips: u64,
+    /// Peak thread count of the load-harness process mid-drive (cluster
+    /// nodes run in-process, so thread-per-connection regressions show
+    /// up here); 0 when the harness did not sample it.
+    pub process_threads: u64,
+    /// Peak open-file-descriptor count of the load-harness process
+    /// mid-drive; 0 when the harness did not sample it.
+    pub process_fds: u64,
     /// Update-lifecycle sampling period the run used (0 = tracing off; the
     /// stage summaries below are then empty).
     pub sample_every: u64,
@@ -161,6 +182,15 @@ impl BenchReport {
         self.sealed_events = statuses.iter().map(|s| s.sealed_events).sum();
         self.max_window = statuses.iter().map(|s| s.max_window).max().unwrap_or(0);
         self.window_evicted = statuses.iter().map(|s| s.window_evicted).sum();
+        self.reactor_wakeups = statuses.iter().map(|s| s.reactor_wakeups).sum();
+        self.reactor_events = statuses.iter().map(|s| s.reactor_events).sum();
+        self.reactor_rearms = statuses.iter().map(|s| s.reactor_rearms).sum();
+        self.reactor_outq_hiwat = statuses
+            .iter()
+            .map(|s| s.reactor_outq_hiwat)
+            .max()
+            .unwrap_or(0);
+        self.barrier_skips = statuses.iter().map(|s| s.barrier_skips).sum();
         self.wire_bytes_per_update = if issued == 0 {
             0.0
         } else {
@@ -278,6 +308,17 @@ impl BenchReport {
         let _ = writeln!(out, "  \"sealed_events\": {},", self.sealed_events);
         let _ = writeln!(out, "  \"max_window\": {},", self.max_window);
         let _ = writeln!(out, "  \"window_evicted\": {},", self.window_evicted);
+        let _ = writeln!(out, "  \"reactor_wakeups\": {},", self.reactor_wakeups);
+        let _ = writeln!(out, "  \"reactor_events\": {},", self.reactor_events);
+        let _ = writeln!(out, "  \"reactor_rearms\": {},", self.reactor_rearms);
+        let _ = writeln!(
+            out,
+            "  \"reactor_outq_hiwat\": {},",
+            self.reactor_outq_hiwat
+        );
+        let _ = writeln!(out, "  \"barrier_skips\": {},", self.barrier_skips);
+        let _ = writeln!(out, "  \"process_threads\": {},", self.process_threads);
+        let _ = writeln!(out, "  \"process_fds\": {},", self.process_fds);
         let _ = writeln!(out, "  \"consistent\": {},", self.verdict.consistent);
         let _ = writeln!(
             out,
@@ -366,6 +407,13 @@ mod tests {
             sealed_events: 0,
             max_window: 0,
             window_evicted: 0,
+            reactor_wakeups: 0,
+            reactor_events: 0,
+            reactor_rearms: 0,
+            reactor_outq_hiwat: 0,
+            barrier_skips: 0,
+            process_threads: 0,
+            process_fds: 0,
             sample_every: 16,
             visibility: HistSummary::default(),
             pending_stall: HistSummary::default(),

@@ -60,6 +60,19 @@
 //! severed connection makes the audit *inconclusive* (retried with a
 //! fresh token), never wrong.
 //!
+//! Version 8 rides the event-loop I/O rewrite and adds the *seal
+//! barrier*: a multi-partition flush may close with one trailing varint
+//! naming the highest link sequence whose update the origin has already
+//! retired as acknowledged-by-this-receiver (absent = 0 = no barrier, so
+//! barrier-free frames are byte-identical to v7). A receiver seeing a
+//! straggler resend at or below the barrier drops it *before* the
+//! watermark/dedup machinery — by the barrier's definition the receiver
+//! has already acknowledged that sequence, so the skip cannot change
+//! watermark state, only save the re-check ([`NodeStatus::barrier_skips`]
+//! counts the saves). The status payload also grew the reactor gauges
+//! (`reactor_wakeups`, `reactor_events`, `reactor_rearms`,
+//! `reactor_outq_hiwat`).
+//!
 //! Causal timestamps ship counters only; index sets and the partition
 //! layout are static configuration carried once in the handshake.
 
@@ -83,14 +96,17 @@ use std::io::{self, Read, Write};
 /// memory-boundedness gauges, to 6 when flush sections gained per-update
 /// issue stamps and the client API gained `Metrics`, to 7 when the
 /// consistent-cut audit landed (peer marker frames, client `Cut`
-/// request/response); peers at any other version are refused at the
-/// handshake.
-pub const WIRE_VERSION: u64 = 7;
+/// request/response), to 8 when flush frames gained the trailing seal
+/// barrier and the status payload the reactor counters; peers at any
+/// other version are refused at the handshake.
+pub const WIRE_VERSION: u64 = 8;
 
 /// Upper bound on accepted frame payloads (64 MiB) — a garbage or hostile
 /// length prefix is refused with a descriptive error *before* any
-/// allocation or pool lease happens.
-pub const MAX_FRAME_BYTES: usize = 64 << 20;
+/// allocation or pool lease happens. Lives in `prcc-reactor` now (the
+/// reactor's incremental [`prcc_reactor::FrameDecoder`] enforces it);
+/// re-exported here so every wire-level caller keeps its path.
+pub use prcc_reactor::MAX_FRAME_BYTES;
 
 // Message tags.
 const TAG_PEER_HELLO: u8 = 1;
@@ -553,6 +569,21 @@ pub fn encode_multi_batch_into<C: WireClock>(
     pad: usize,
     out: &mut Vec<u8>,
 ) {
+    encode_multi_batch_sealed_into(sections, pad, 0, out);
+}
+// lint: end-hot-path
+
+/// The v8 flush encoder: [`encode_multi_batch_into`] plus the trailing
+/// seal barrier. A zero barrier is *omitted* (not encoded as a zero
+/// varint), keeping barrier-free frames byte-identical to v7 — the WAL
+/// receipt codec and every pre-v8 byte-level test rely on that.
+// lint: hot-path
+pub fn encode_multi_batch_sealed_into<C: WireClock>(
+    sections: &FlushSections<C>,
+    pad: usize,
+    barrier: u64,
+    out: &mut Vec<u8>,
+) {
     out.push(TAG_MULTI_BATCH);
     let live = sections.iter().filter(|(_, updates)| !updates.is_empty());
     // lint: allow(alloc) clones the filter iterator (two pointers), no buffer
@@ -562,14 +593,32 @@ pub fn encode_multi_batch_into<C: WireClock>(
         write_varint(out, updates.len() as u64);
         encode_seq_updates(updates, pad, out);
     }
+    if barrier > 0 {
+        write_varint(out, barrier);
+    }
 }
 // lint: end-hot-path
 
 /// Decodes a multi-partition flush frame into its `(partition,
 /// [(link seq, update)])` sections, in wire order. Frames with no sections
 /// or with an empty section are malformed — a well-formed sender never
-/// produces them, so they indicate corruption.
-pub fn decode_multi_batch<C, F>(payload: &[u8], mut make_clock: F) -> io::Result<FlushSections<C>>
+/// produces them, so they indicate corruption. A v8 trailing seal barrier,
+/// if present, is validated and dropped; callers that consume the barrier
+/// use [`decode_sealed_batches`].
+pub fn decode_multi_batch<C, F>(payload: &[u8], make_clock: F) -> io::Result<FlushSections<C>>
+where
+    C: WireClock,
+    F: FnMut(ReplicaId) -> Option<C>,
+{
+    decode_multi_batch_sealed(payload, make_clock).map(|(sections, _)| sections)
+}
+
+/// [`decode_multi_batch`] plus the optional trailing seal barrier
+/// (0 when absent, i.e. a v7-shaped frame).
+fn decode_multi_batch_sealed<C, F>(
+    payload: &[u8],
+    mut make_clock: F,
+) -> io::Result<(FlushSections<C>, u64)>
 where
     C: WireClock,
     F: FnMut(ReplicaId) -> Option<C>,
@@ -597,10 +646,15 @@ where
         let updates = decode_seq_updates(payload, &mut at, updates, &mut make_clock)?;
         sections.push((PartitionId(partition), updates));
     }
+    let barrier = if at != payload.len() {
+        get_varint(payload, &mut at)?
+    } else {
+        0
+    };
     if at != payload.len() {
         return Err(bad_data("trailing bytes in multi-batch"));
     }
-    Ok(sections)
+    Ok((sections, barrier))
 }
 
 /// Decodes any peer update frame — the v4 multi-partition framing or the
@@ -617,6 +671,31 @@ where
         Some(&TAG_MULTI_BATCH) => decode_multi_batch(payload, make_clock),
         Some(&TAG_PEER_BATCH) => decode_batch(payload, make_clock).map(|(partition, updates)| {
             vec![(partition, updates.into_iter().map(|u| (0, u)).collect())]
+        }),
+        _ => Err(bad_data("unknown peer frame tag")),
+    }
+}
+
+/// [`decode_peer_batches`] plus the v8 seal barrier: the origin's highest
+/// link sequence already acknowledged by this receiver at encode time
+/// (0 when absent — barrier-free v8 frames and all legacy framings). The
+/// node's receive path consumes the barrier to fast-drop straggler
+/// deliveries of already-sealed issues without a watermark re-check.
+pub fn decode_sealed_batches<C, F>(
+    payload: &[u8],
+    make_clock: F,
+) -> io::Result<(FlushSections<C>, u64)>
+where
+    C: WireClock,
+    F: FnMut(ReplicaId) -> Option<C>,
+{
+    match payload.first() {
+        Some(&TAG_MULTI_BATCH) => decode_multi_batch_sealed(payload, make_clock),
+        Some(&TAG_PEER_BATCH) => decode_batch(payload, make_clock).map(|(partition, updates)| {
+            (
+                vec![(partition, updates.into_iter().map(|u| (0, u)).collect())],
+                0,
+            )
         }),
         _ => Err(bad_data("unknown peer frame tag")),
     }
@@ -914,12 +993,26 @@ pub struct NodeStatus {
     /// Window entries evicted by the per-peer cap (nonzero only when a
     /// peer was stranded past `window_cap` unacknowledged updates).
     pub window_evicted: u64,
+    /// Reactor worker wakeups (epoll_wait returns) since start (v8).
+    pub reactor_wakeups: u64,
+    /// Readiness events delivered across all wakeups (v8);
+    /// `reactor_events / reactor_wakeups` is the batching ratio.
+    pub reactor_events: u64,
+    /// Interest re-arms after a partial (`WouldBlock`) flush (v8) — each
+    /// is a write the event loop parked instead of blocking a thread on.
+    pub reactor_rearms: u64,
+    /// High-water mark of any single connection's outbound queue in bytes
+    /// (v8); the backpressure bound caps this.
+    pub reactor_outq_hiwat: u64,
+    /// Straggler update deliveries fast-dropped by the seal barrier
+    /// without a watermark re-check (v8).
+    pub barrier_skips: u64,
     /// Counters broken out per partition, indexed by partition id.
     pub per_partition: Vec<PartitionCounters>,
 }
 
 impl NodeStatus {
-    fn fields(&self) -> [u64; 23] {
+    fn fields(&self) -> [u64; 28] {
         [
             self.node,
             self.issued,
@@ -944,10 +1037,15 @@ impl NodeStatus {
             self.sealed_events,
             self.max_window,
             self.window_evicted,
+            self.reactor_wakeups,
+            self.reactor_events,
+            self.reactor_rearms,
+            self.reactor_outq_hiwat,
+            self.barrier_skips,
         ]
     }
 
-    fn from_fields(f: [u64; 23]) -> Self {
+    fn from_fields(f: [u64; 28]) -> Self {
         NodeStatus {
             node: f[0],
             issued: f[1],
@@ -972,6 +1070,11 @@ impl NodeStatus {
             sealed_events: f[20],
             max_window: f[21],
             window_evicted: f[22],
+            reactor_wakeups: f[23],
+            reactor_events: f[24],
+            reactor_rearms: f[25],
+            reactor_outq_hiwat: f[26],
+            barrier_skips: f[27],
             per_partition: Vec::new(),
         }
     }
@@ -1129,7 +1232,7 @@ pub fn decode_response(payload: &[u8]) -> io::Result<ClientResponse> {
                      this client v{WIRE_VERSION}"
                 )));
             }
-            let mut fields = [0u64; 23];
+            let mut fields = [0u64; 28];
             for f in &mut fields {
                 *f = get_varint(payload, &mut at)?;
             }
@@ -1698,6 +1801,11 @@ mod tests {
                 sealed_events: 4000,
                 max_window: 64,
                 window_evicted: 0,
+                reactor_wakeups: 510,
+                reactor_events: 1200,
+                reactor_rearms: 9,
+                reactor_outq_hiwat: 65536,
+                barrier_skips: 5,
                 per_partition: vec![
                     PartitionCounters {
                         issued: 6,

@@ -59,6 +59,14 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Raises the level to `v` if `v` is higher — the high-water-mark
+    /// update, usable concurrently from many threads (a plain
+    /// read-compare-`set` would race and lose peaks).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current level.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
